@@ -1,0 +1,72 @@
+//===- bench/bench_ablation_sched.cpp - scheduling ablations ---------------===//
+//
+// Ablates the dependence-reduction passes of Section 3.2.1.1 (loop
+// rotation and spawn-condition prediction) and reports the available-ILP
+// metric of Section 3.2.1.2.2 that justifies the height-priority list
+// scheduler: the paper observes that dependence chains leading to
+// delinquent loads exhibit little ILP, so forward scheduling with maximum
+// dependence height is near optimal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+int main() {
+  std::printf("=== Ablation: dependence reduction (loop rotation, "
+              "condition prediction) ===\n");
+  printMachineBanner();
+
+  SuiteRunner Full;
+  core::ToolOptions NoRot;
+  NoRot.EnableLoopRotation = false;
+  SuiteRunner NoRotation(NoRot);
+  core::ToolOptions NoPred;
+  NoPred.EnableConditionPrediction = false;
+  SuiteRunner NoPrediction(NoPred);
+
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("benchmark"));
+  T.cell(std::string("full"));
+  T.cell(std::string("no rotation"));
+  T.cell(std::string("no cond-pred"));
+  T.cell(std::string("avail ILP"));
+  T.cell(std::string("slack/iter"));
+  T.cell(std::string("predicted?"));
+
+  for (const workloads::Workload &W : workloads::paperSuite()) {
+    const BenchResult &A = Full.run(W);
+    const BenchResult &B = NoRotation.run(W);
+    const BenchResult &C = NoPrediction.run(W);
+    double ILP = 1.0;
+    uint64_t Slack = 0;
+    bool Predicted = false;
+    if (!A.Report.Slices.empty()) {
+      ILP = A.Report.Slices[0].AvailableILP;
+      Slack = A.Report.Slices[0].SlackPerIteration;
+      Predicted = A.Report.Slices[0].PredictedCondition;
+    }
+    T.row();
+    T.cell(W.Name);
+    T.cell(A.speedupIO(), 2);
+    T.cell(B.speedupIO(), 2);
+    T.cell(C.speedupIO(), 2);
+    T.cell(ILP, 2);
+    T.cell(static_cast<unsigned long long>(Slack));
+    T.cell(std::string(Predicted ? "yes" : "no"));
+  }
+  T.print();
+
+  std::printf("\npaper: available ILP in address-computation slices is "
+              "small (close to 1), validating height-priority list "
+              "scheduling; prediction removes load-dependent spawn "
+              "conditions from the critical sub-slice (treeadd.bf's "
+              "enqueue-dependent condition is the showcase here).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- bench/bench_ablation_throttle.cpp - dynamic trigger throttling ------===//
+//
+// Evaluates the paper's Section 4.4.1 future-work proposal, implemented
+// here: "future dynamic optimizers can monitor the coverage and
+// timeliness data associated with a prefetching thread and if the thread
+// does not help reduce latency, future chk.c instructions for that thread
+// will return no available context."
+//
+// The showcase is a phase-changing kernel whose working set becomes cache
+// resident after its first pass: static SSP keeps spawning chains that
+// prefetch already-cached lines, which is pure overhead (catastrophically
+// so on the OOO model, where every chk.c exception flushes the deep
+// pipeline); the throttle detects the useless prefetches and disables the
+// trigger. On the paper suite the throttle must be neutral (all triggers
+// there are genuinely useful).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+namespace {
+
+struct Row {
+  uint64_t Base, Ssp, SspThrottled;
+  uint64_t Events, Useful, Prefetches;
+};
+
+Row measure(const workloads::Workload &W, const ir::Program &Orig,
+            const ir::Program &Enhanced, sim::PipelineKind Pipe) {
+  auto Run = [&](const ir::Program &P, bool Throttle) {
+    sim::MachineConfig Cfg = Pipe == sim::PipelineKind::InOrder
+                                 ? sim::MachineConfig::inOrder()
+                                 : sim::MachineConfig::outOfOrder();
+    Cfg.EnableSSPThrottle = Throttle;
+    return SuiteRunner::simulate(P, W, Cfg);
+  };
+  Row R{};
+  R.Base = Run(Orig, false).Cycles;
+  R.Ssp = Run(Enhanced, false).Cycles;
+  sim::SimStats T = Run(Enhanced, true);
+  R.SspThrottled = T.Cycles;
+  R.Events = T.ThrottleEvents;
+  R.Useful = T.UsefulPrefetches;
+  R.Prefetches = T.SpecPrefetches;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: dynamic trigger throttling (paper Section "
+              "4.4.1 future work) ===\n");
+  printMachineBanner();
+
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("benchmark"));
+  T.cell(std::string("pipeline"));
+  T.cell(std::string("ssp"));
+  T.cell(std::string("ssp+throttle"));
+  T.cell(std::string("throttle events"));
+  T.cell(std::string("useful/prefetches"));
+
+  std::vector<workloads::Workload> Suite = workloads::paperSuite();
+  Suite.push_back(workloads::makePhasedKernel());
+
+  for (const workloads::Workload &W : Suite) {
+    ir::Program Orig = W.Build();
+    profile::ProfileData PD = core::profileProgram(Orig, W.BuildMemory);
+    core::PostPassTool Tool(Orig, PD);
+    ir::Program Enhanced = Tool.adapt();
+
+    for (auto Pipe : {sim::PipelineKind::InOrder,
+                      sim::PipelineKind::OutOfOrder}) {
+      Row R = measure(W, Orig, Enhanced, Pipe);
+      char Frac[48];
+      std::snprintf(Frac, sizeof(Frac), "%llu/%llu",
+                    static_cast<unsigned long long>(R.Useful),
+                    static_cast<unsigned long long>(R.Prefetches));
+      T.row();
+      T.cell(W.Name);
+      T.cell(std::string(Pipe == sim::PipelineKind::InOrder ? "io"
+                                                            : "ooo"));
+      T.cell(static_cast<double>(R.Base) / R.Ssp, 2);
+      T.cell(static_cast<double>(R.Base) / R.SspThrottled, 2);
+      T.cell(static_cast<unsigned long long>(R.Events));
+      T.cell(std::string(Frac));
+    }
+  }
+  T.print();
+
+  std::printf("\nexpected shape: near-identical columns on the paper "
+              "suite; on the phased kernel the throttle recovers most of "
+              "the OOO regression caused by useless chains.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- bench/bench_fig2_ideal_memory.cpp - Figure 2 ------------------------===//
+//
+// Regenerates Figure 2 of the paper: for every benchmark, the speedup when
+// assuming a perfect memory subsystem (all loads hit L1) versus the speedup
+// when only the selected delinquent loads always hit, on both the in-order
+// and the out-of-order research models. The second bar is the upper bound
+// on what the post-pass tool can achieve; the paper's observation is that
+// eliminating only the delinquent loads yields most of the perfect-memory
+// speedup, and that the OOO model has less room for improvement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+int main() {
+  std::printf("=== Figure 2: speedup with perfect memory vs. perfect "
+              "delinquent loads ===\n");
+  printMachineBanner();
+
+  SuiteRunner Runner;
+
+  // "Delinquent loads always hit" must be computed to a fixpoint: on
+  // lines shared by several loads, idealizing the profiled miss-taker
+  // just moves the miss to the next load of the same line (e.g. a list
+  // node's payload and next-pointer). Each round idealizes the current
+  // set, re-profiles, and adds newly delinquent loads.
+  auto DelinquentFixpoint = [&](const workloads::Workload &W) {
+    std::unordered_set<ir::StaticId> Ids = Runner.delinquentIdsOf(W);
+    for (int Iter = 0; Iter < 3; ++Iter) {
+      sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+      Cfg.PerfectLoads = Ids;
+      sim::SimStats S = Runner.simulateOriginal(W, Cfg);
+      std::vector<std::pair<uint64_t, ir::StaticId>> Remaining;
+      uint64_t Total = 0;
+      for (const auto &[Sid, St] : S.LoadProfile) {
+        if (Ids.count(Sid) || St.MissCycles == 0)
+          continue;
+        Remaining.push_back({St.MissCycles, Sid});
+        Total += St.MissCycles;
+      }
+      // Stop once the leftovers are insignificant (< 5% of the run).
+      if (Total < S.Cycles / 20)
+        break;
+      std::sort(Remaining.rbegin(), Remaining.rend());
+      uint64_t Covered = 0;
+      for (const auto &[Miss, Sid] : Remaining) {
+        if (Covered >= static_cast<uint64_t>(0.9 * Total))
+          break;
+        Ids.insert(Sid);
+        Covered += Miss;
+      }
+    }
+    return Ids;
+  };
+
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("benchmark"));
+  T.cell(std::string("io perfect-mem"));
+  T.cell(std::string("io perfect-delinq"));
+  T.cell(std::string("ooo perfect-mem"));
+  T.cell(std::string("ooo perfect-delinq"));
+  T.cell(std::string("delinq loads"));
+
+  for (const workloads::Workload &W : workloads::paperSuite()) {
+    std::unordered_set<ir::StaticId> Delinquent = DelinquentFixpoint(W);
+
+    auto SpeedupWith = [&](sim::MachineConfig Cfg) {
+      uint64_t Base = Runner.simulateOriginal(W, Cfg).Cycles;
+      sim::MachineConfig PerfectMem = Cfg;
+      PerfectMem.PerfectMemory = true;
+      sim::MachineConfig PerfectDelinq = Cfg;
+      PerfectDelinq.PerfectLoads = Delinquent;
+      double SMem = static_cast<double>(Base) /
+                    Runner.simulateOriginal(W, PerfectMem).Cycles;
+      double SDel = static_cast<double>(Base) /
+                    Runner.simulateOriginal(W, PerfectDelinq).Cycles;
+      return std::pair<double, double>(SMem, SDel);
+    };
+
+    auto [IoMem, IoDel] = SpeedupWith(sim::MachineConfig::inOrder());
+    auto [OooMem, OooDel] = SpeedupWith(sim::MachineConfig::outOfOrder());
+
+    T.row();
+    T.cell(W.Name);
+    T.cell(IoMem, 2);
+    T.cell(IoDel, 2);
+    T.cell(OooMem, 2);
+    T.cell(OooDel, 2);
+    T.cell(static_cast<unsigned long long>(Delinquent.size()));
+  }
+  T.print();
+
+  std::printf("\npaper: delinquent loads cover >= 90%% of miss cycles; "
+              "eliminating only them yields most of the perfect-memory "
+              "speedup, with less headroom on the OOO model.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/bench_hand_vs_auto.cpp - Section 4.5 --------------------------===//
+//
+// Regenerates the Section 4.5 comparison: the automatically adapted mcf
+// and health binaries versus the hand-adapted versions of Wang et al.,
+// which the paper credits with aggressive recursion inlining the tool
+// cannot perform. The paper's numbers: on in-order, hand wins 73% vs 37%
+// (mcf) and 130% vs 103% (health); on OOO health, hand wins 200% vs 120%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+int main() {
+  std::printf("=== Section 4.5: automatic vs. hand adaptation ===\n");
+  printMachineBanner();
+
+  SuiteRunner Runner;
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("benchmark"));
+  T.cell(std::string("pipeline"));
+  T.cell(std::string("auto speedup"));
+  T.cell(std::string("hand speedup"));
+  T.cell(std::string("auto/hand gain"));
+  T.cell(std::string("paper auto"));
+  T.cell(std::string("paper hand"));
+
+  struct Pair {
+    workloads::Workload Base;
+    workloads::Workload Hand;
+    double PaperAutoIO, PaperHandIO, PaperAutoOOO, PaperHandOOO;
+  } Pairs[2] = {
+      {workloads::makeMcf(), workloads::makeMcfHandAdapted(), 1.37, 1.73,
+       1.0, 1.0},
+      {workloads::makeHealth(), workloads::makeHealthHandAdapted(), 2.03,
+       2.30, 2.20, 3.00},
+  };
+
+  for (Pair &P : Pairs) {
+    const BenchResult &Auto = Runner.run(P.Base);
+    for (auto Pipeline :
+         {sim::PipelineKind::InOrder, sim::PipelineKind::OutOfOrder}) {
+      bool InOrder = Pipeline == sim::PipelineKind::InOrder;
+      sim::MachineConfig Cfg =
+          InOrder ? sim::MachineConfig::inOrder()
+                  : sim::MachineConfig::outOfOrder();
+      ir::Program HandProg = P.Hand.Build();
+      bool Ok = true;
+      sim::SimStats Hand = SuiteRunner::simulate(HandProg, P.Hand, Cfg, &Ok);
+      if (!Ok)
+        std::printf("WARNING: %s checksum mismatch\n", P.Hand.Name.c_str());
+      uint64_t Base = InOrder ? Auto.BaseIO.Cycles : Auto.BaseOOO.Cycles;
+      uint64_t AutoCycles = InOrder ? Auto.SspIO.Cycles : Auto.SspOOO.Cycles;
+      double SAuto = static_cast<double>(Base) / AutoCycles;
+      double SHand = static_cast<double>(Base) / Hand.Cycles;
+      // Fraction of the hand adaptation's *gain* the tool achieves,
+      // clamped to [0, 1] (negative means the tool regressed the config).
+      double GainShare =
+          SHand > 1.0 ? (SAuto - 1.0) / (SHand - 1.0) : 1.0;
+      GainShare = std::min(1.0, std::max(0.0, GainShare));
+      T.row();
+      T.cell(P.Base.Name);
+      T.cell(std::string(InOrder ? "in-order" : "ooo"));
+      T.cell(SAuto, 2);
+      T.cell(SHand, 2);
+      T.cell(GainShare, 2);
+      T.cell(InOrder ? P.PaperAutoIO : P.PaperAutoOOO, 2);
+      T.cell(InOrder ? P.PaperHandIO : P.PaperHandOOO, 2);
+    }
+  }
+  T.print();
+
+  std::printf("\npaper: the tool loses at most 20%% of the hand-tuned "
+              "performance on in-order and 27%% on OOO; the loss comes "
+              "from the aggressive inlining of recursive calls the "
+              "programmer performs by hand (health).\n");
+  return 0;
+}

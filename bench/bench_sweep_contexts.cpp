@@ -1,0 +1,60 @@
+//===- bench/bench_sweep_contexts.cpp - hardware context sweep -------------===//
+//
+// Sweeps the number of SMT hardware thread contexts (the paper's Table 1
+// fixes four) and compares the RoundRobin and ICOUNT fetch policies. With
+// two contexts only one chaining thread can live at a time; beyond four,
+// extra contexts let more chain links overlap misses until the two memory
+// ports and the 16-entry fill buffer saturate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+int main() {
+  std::printf("=== Sweep: in-order SSP speedup vs. hardware contexts and "
+              "fetch policy ===\n");
+  printMachineBanner();
+
+  const unsigned Contexts[] = {2, 4, 8};
+
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("benchmark"));
+  for (unsigned C : Contexts)
+    T.cell("rr/" + std::to_string(C));
+  T.cell(std::string("icount/4"));
+
+  for (const workloads::Workload &W : workloads::paperSuite()) {
+    ir::Program Orig = W.Build();
+    profile::ProfileData PD = core::profileProgram(Orig, W.BuildMemory);
+    core::PostPassTool Tool(Orig, PD);
+    ir::Program Enhanced = Tool.adapt();
+
+    T.row();
+    T.cell(W.Name);
+    auto Speedup = [&](unsigned NumThreads, sim::FetchPolicy Policy) {
+      sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+      Cfg.NumThreads = NumThreads;
+      Cfg.Fetch = Policy;
+      uint64_t Base = SuiteRunner::simulate(Orig, W, Cfg).Cycles;
+      uint64_t Ssp = SuiteRunner::simulate(Enhanced, W, Cfg).Cycles;
+      return static_cast<double>(Base) / static_cast<double>(Ssp);
+    };
+    for (unsigned C : Contexts)
+      T.cell(Speedup(C, sim::FetchPolicy::RoundRobin), 2);
+    T.cell(Speedup(4, sim::FetchPolicy::ICount), 2);
+  }
+  T.print();
+
+  std::printf("\nexpected shape: speedups grow from 2 to 4 contexts (more "
+              "overlapped chain links) with diminishing returns at 8; "
+              "ICOUNT is comparable to round-robin here because chaining "
+              "threads mostly stall on memory, not fetch.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- bench/bench_tool_micro.cpp - tool-component microbenchmarks ---------===//
+//
+// google-benchmark microbenchmarks of the post-pass tool's components:
+// analysis construction, slicing, scheduling, full adaptation, and raw
+// simulator throughput. These measure the *tool*, not the simulated
+// machine — useful when modifying the analyses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/RegionGraph.h"
+#include "core/PostPassTool.h"
+#include "harness/Experiment.h"
+#include "sched/Scheduler.h"
+#include "slicer/Slicer.h"
+#include "workloads/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ssp;
+
+namespace {
+
+/// Shared fixture data: the mcf workload, built and profiled once.
+struct McfFixture {
+  workloads::Workload W = workloads::makeMcf();
+  ir::Program P = W.Build();
+  profile::ProfileData PD = core::profileProgram(P, W.BuildMemory);
+};
+
+McfFixture &fixture() {
+  static McfFixture F;
+  return F;
+}
+
+void BM_AnalysisConstruction(benchmark::State &State) {
+  McfFixture &F = fixture();
+  for (auto _ : State) {
+    analysis::ProgramDeps Deps(F.P);
+    for (uint32_t FI = 0; FI < F.P.numFuncs(); ++FI)
+      benchmark::DoNotOptimize(&Deps.forFunction(FI));
+  }
+}
+BENCHMARK(BM_AnalysisConstruction);
+
+void BM_SliceComputation(benchmark::State &State) {
+  McfFixture &F = fixture();
+  analysis::ProgramDeps Deps(F.P);
+  analysis::RegionGraph RG = analysis::RegionGraph::build(Deps);
+  analysis::CallGraph CG = analysis::CallGraph::build(
+      F.P, F.PD.IndirectTargets, F.PD.CallSiteCounts);
+  std::vector<profile::DelinquentLoad> DL =
+      profile::selectDelinquentLoads(F.P, F.PD);
+  slicer::Slicer S(Deps, RG, CG, F.PD);
+  int Region = RG.innermostRegionOf(DL.front().Ref, Deps);
+  for (auto _ : State) {
+    slicer::Slice Slice = S.computeSlice(DL.front().Ref, Region);
+    benchmark::DoNotOptimize(Slice.Insts.size());
+  }
+}
+BENCHMARK(BM_SliceComputation);
+
+void BM_SliceScheduling(benchmark::State &State) {
+  McfFixture &F = fixture();
+  analysis::ProgramDeps Deps(F.P);
+  analysis::RegionGraph RG = analysis::RegionGraph::build(Deps);
+  analysis::CallGraph CG = analysis::CallGraph::build(
+      F.P, F.PD.IndirectTargets, F.PD.CallSiteCounts);
+  std::vector<profile::DelinquentLoad> DL =
+      profile::selectDelinquentLoads(F.P, F.PD);
+  slicer::Slicer S(Deps, RG, CG, F.PD);
+  int Region = RG.innermostRegionOf(DL.front().Ref, Deps);
+  slicer::Slice Slice = S.computeSlice(DL.front().Ref, Region);
+  sched::SliceScheduler Sched(Deps, RG, F.PD);
+  for (auto _ : State) {
+    sched::ScheduledSlice SS =
+        Sched.schedule(Slice, sched::SPModel::Chaining);
+    benchmark::DoNotOptimize(SS.SlackPerIteration);
+  }
+}
+BENCHMARK(BM_SliceScheduling);
+
+void BM_FullAdaptation(benchmark::State &State) {
+  McfFixture &F = fixture();
+  for (auto _ : State) {
+    core::PostPassTool Tool(F.P, F.PD);
+    ir::Program E = Tool.adapt();
+    benchmark::DoNotOptimize(E.numInsts());
+  }
+}
+BENCHMARK(BM_FullAdaptation);
+
+void BM_SimulatorThroughput(benchmark::State &State) {
+  workloads::Workload W = workloads::makeArcKernel(200, 1 << 12);
+  ir::Program P = W.Build();
+  ir::LinkedProgram LP = ir::LinkedProgram::link(P);
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    mem::SimMemory Mem;
+    W.BuildMemory(Mem);
+    sim::Simulator Sim(sim::MachineConfig::inOrder(), LP, Mem);
+    Cycles = Sim.run().Cycles;
+    benchmark::DoNotOptimize(Cycles);
+  }
+  State.counters["sim_cycles_per_run"] = static_cast<double>(Cycles);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

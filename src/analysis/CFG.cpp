@@ -1,0 +1,78 @@
+//===- analysis/CFG.cpp - Control flow graph construction -----------------===//
+
+#include "analysis/CFG.h"
+
+#include "support/Assert.h"
+
+#include <cassert>
+
+using namespace ssp;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+CFG CFG::build(const Function &F) {
+  CFG G;
+  size_t N = F.numBlocks();
+  G.Succs.resize(N);
+  G.Preds.resize(N);
+  G.RPOIndex.assign(N, ~0u);
+
+  // Number of body blocks: attachments always trail the body.
+  uint32_t NumBody = 0;
+  for (const BasicBlock &BB : F.blocks())
+    if (!BB.isAttachment())
+      NumBody = BB.Index + 1;
+
+  for (uint32_t BI = 0; BI < NumBody; ++BI) {
+    const BasicBlock &BB = F.block(BI);
+    assert(!BB.Insts.empty() && "CFG over empty block");
+    const Instruction &Last = BB.Insts.back();
+    switch (Last.Op) {
+    case Opcode::Br:
+      G.Succs[BI].push_back(Last.Target);
+      assert(BI + 1 < NumBody && "conditional branch falls off function");
+      if (Last.Target != BI + 1)
+        G.Succs[BI].push_back(BI + 1);
+      break;
+    case Opcode::Jmp:
+      G.Succs[BI].push_back(Last.Target);
+      break;
+    case Opcode::Ret:
+    case Opcode::Halt:
+      G.Exits.push_back(BI);
+      break;
+    default:
+      assert(BI + 1 < NumBody && "fallthrough falls off function");
+      G.Succs[BI].push_back(BI + 1);
+      break;
+    }
+  }
+  for (uint32_t BI = 0; BI < NumBody; ++BI)
+    for (uint32_t S : G.Succs[BI])
+      G.Preds[S].push_back(BI);
+
+  // Reverse post-order via iterative DFS from the entry.
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done.
+  std::vector<std::pair<uint32_t, uint32_t>> Stack; // (block, next succ).
+  std::vector<uint32_t> PostOrder;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[BI, NextSucc] = Stack.back();
+    if (NextSucc < G.Succs[BI].size()) {
+      uint32_t S = G.Succs[BI][NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      State[BI] = 2;
+      PostOrder.push_back(BI);
+      Stack.pop_back();
+    }
+  }
+  G.RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (uint32_t I = 0; I < G.RPO.size(); ++I)
+    G.RPOIndex[G.RPO[I]] = I;
+  return G;
+}

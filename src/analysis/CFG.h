@@ -1,0 +1,62 @@
+//===- analysis/CFG.h - Control flow graph of a function ------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-level control flow graph over the *body* blocks of one function.
+/// SSP attachments (stub/slice blocks) are excluded: they are reached via
+/// the chk.c exception and spawn mechanisms, not by ordinary control flow,
+/// and the post-pass analyses operate on the original program structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_CFG_H
+#define SSP_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::analysis {
+
+/// Successor/predecessor lists plus a reverse post-order of one function's
+/// body blocks.
+class CFG {
+public:
+  /// Builds the CFG of \p F. Attachment blocks get empty adjacency.
+  static CFG build(const ir::Function &F);
+
+  const std::vector<uint32_t> &succs(uint32_t Block) const {
+    return Succs[Block];
+  }
+  const std::vector<uint32_t> &preds(uint32_t Block) const {
+    return Preds[Block];
+  }
+
+  uint32_t entry() const { return 0; }
+  size_t numBlocks() const { return Succs.size(); }
+
+  /// Body blocks in reverse post-order from the entry (unreachable blocks
+  /// are absent).
+  const std::vector<uint32_t> &rpo() const { return RPO; }
+
+  /// Position of a block in the RPO, or ~0u when unreachable.
+  uint32_t rpoIndex(uint32_t Block) const { return RPOIndex[Block]; }
+
+  /// Blocks with no successors (ret/halt): the exit set.
+  const std::vector<uint32_t> &exits() const { return Exits; }
+
+private:
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<std::vector<uint32_t>> Preds;
+  std::vector<uint32_t> RPO;
+  std::vector<uint32_t> RPOIndex;
+  std::vector<uint32_t> Exits;
+};
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_CFG_H

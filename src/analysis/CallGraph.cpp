@@ -1,0 +1,58 @@
+//===- analysis/CallGraph.cpp - Static + dynamic call graph ---------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+
+using namespace ssp;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+CallGraph CallGraph::build(
+    const Program &P,
+    const std::map<InstRef, std::vector<std::pair<uint32_t, uint64_t>>>
+        &IndirectTargets,
+    const std::map<InstRef, uint64_t> &SiteCounts) {
+  CallGraph CG;
+  CG.Callers.resize(P.numFuncs());
+  CG.Sites.resize(P.numFuncs());
+
+  for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
+    const Function &F = P.func(FI);
+    for (uint32_t BI = 0; BI < F.numBlocks(); ++BI) {
+      const BasicBlock &BB = F.block(BI);
+      if (BB.isAttachment())
+        continue;
+      for (uint32_t II = 0; II < BB.Insts.size(); ++II) {
+        const Instruction &I = BB.Insts[II];
+        InstRef Ref{FI, BI, II};
+        if (I.Op == Opcode::Call) {
+          uint64_t Count = 0;
+          if (auto It = SiteCounts.find(Ref); It != SiteCounts.end())
+            Count = It->second;
+          CallSite CS{Ref, I.Target, Count};
+          CG.Sites[FI].push_back(CS);
+          CG.Callers[I.Target].push_back(CS);
+        } else if (I.Op == Opcode::CallInd) {
+          auto It = IndirectTargets.find(Ref);
+          if (It == IndirectTargets.end())
+            continue; // Unresolved: never executed during profiling.
+          for (const auto &[Callee, Count] : It->second) {
+            CallSite CS{Ref, Callee, Count};
+            CG.Sites[FI].push_back(CS);
+            CG.Callers[Callee].push_back(CS);
+          }
+        }
+      }
+    }
+  }
+
+  for (auto &List : CG.Callers)
+    std::sort(List.begin(), List.end(),
+              [](const CallSite &A, const CallSite &B) {
+                if (A.Count != B.Count)
+                  return A.Count > B.Count;
+                return A.Site < B.Site;
+              });
+  return CG;
+}

@@ -1,0 +1,62 @@
+//===- analysis/CallGraph.h - Static + dynamic call graph -----------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program call graph. Direct calls are resolved statically; indirect
+/// call sites are resolved from the dynamic call graph captured during
+/// profiling, exactly as the paper instruments "all the indirect procedural
+/// calls to capture the call graph during profiling" (Section 3.1.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_CALLGRAPH_H
+#define SSP_ANALYSIS_CALLGRAPH_H
+
+#include "analysis/InstRef.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ssp::analysis {
+
+/// One resolved call edge.
+struct CallSite {
+  InstRef Site;        ///< The call/calli instruction.
+  uint32_t Callee = 0; ///< Target function.
+  uint64_t Count = 0;  ///< Dynamic execution count (0 if unknown).
+};
+
+/// Per-program call graph with caller and callee views.
+class CallGraph {
+public:
+  /// Builds the call graph. \p IndirectTargets resolves calli sites (from
+  /// the profiler's dynamic call graph): site -> (callee, count) list.
+  /// \p SiteCounts optionally gives dynamic counts for direct calls.
+  static CallGraph
+  build(const ir::Program &P,
+        const std::map<InstRef, std::vector<std::pair<uint32_t, uint64_t>>>
+            &IndirectTargets = {},
+        const std::map<InstRef, uint64_t> &SiteCounts = {});
+
+  /// Call sites whose callee is \p Func, hottest first.
+  const std::vector<CallSite> &callersOf(uint32_t Func) const {
+    return Callers[Func];
+  }
+
+  /// Call sites textually inside \p Func.
+  const std::vector<CallSite> &callSitesIn(uint32_t Func) const {
+    return Sites[Func];
+  }
+
+private:
+  std::vector<std::vector<CallSite>> Callers; ///< Indexed by callee.
+  std::vector<std::vector<CallSite>> Sites;   ///< Indexed by caller.
+};
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,160 @@
+//===- analysis/Dominators.cpp - (Post)dominator trees --------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ssp;
+using namespace ssp::analysis;
+
+namespace {
+
+/// Cooper-Harvey-Kennedy over an arbitrary graph given in RPO.
+/// \p Preds gives predecessors in the traversal direction.
+std::vector<uint32_t> iterativeDoms(uint32_t NumNodes, uint32_t Root,
+                                    const std::vector<uint32_t> &RPO,
+                                    const std::vector<uint32_t> &RPOIndex,
+                                    const std::vector<std::vector<uint32_t>>
+                                        &Preds) {
+  std::vector<uint32_t> IDom(NumNodes, ~0u);
+  IDom[Root] = Root;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RPOIndex[A] > RPOIndex[B])
+        A = IDom[A];
+      while (RPOIndex[B] > RPOIndex[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : RPO) {
+      if (B == Root)
+        continue;
+      uint32_t NewIDom = ~0u;
+      for (uint32_t P : Preds[B]) {
+        if (IDom[P] == ~0u)
+          continue; // Not yet processed / unreachable.
+        NewIDom = NewIDom == ~0u ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != ~0u && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[Root] = ~0u; // Root has no parent in tree form.
+  return IDom;
+}
+
+} // namespace
+
+DomTree DomTree::buildDominators(const CFG &G) {
+  DomTree T;
+  T.Root = G.entry();
+  std::vector<std::vector<uint32_t>> Preds(G.numBlocks());
+  for (uint32_t B = 0; B < G.numBlocks(); ++B)
+    Preds[B] = G.preds(B);
+  T.IDom = iterativeDoms(static_cast<uint32_t>(G.numBlocks()), T.Root,
+                         G.rpo(), [&] {
+                           std::vector<uint32_t> Idx(G.numBlocks(), ~0u);
+                           for (uint32_t I = 0; I < G.rpo().size(); ++I)
+                             Idx[G.rpo()[I]] = I;
+                           return Idx;
+                         }(),
+                         Preds);
+  return T;
+}
+
+DomTree DomTree::buildPostDominators(const CFG &G) {
+  // Reverse graph with a virtual exit node V = numBlocks().
+  uint32_t N = static_cast<uint32_t>(G.numBlocks());
+  uint32_t V = N;
+  std::vector<std::vector<uint32_t>> RevSuccs(N + 1), RevPreds(N + 1);
+  for (uint32_t B = 0; B < N; ++B)
+    for (uint32_t S : G.succs(B)) {
+      RevSuccs[S].push_back(B);
+      RevPreds[B].push_back(S);
+    }
+  for (uint32_t E : G.exits()) {
+    RevSuccs[V].push_back(E);
+    RevPreds[E].push_back(V);
+  }
+
+  // RPO on the reverse graph from V.
+  std::vector<uint8_t> State(N + 1, 0);
+  std::vector<std::pair<uint32_t, uint32_t>> Stack;
+  std::vector<uint32_t> PostOrder;
+  Stack.push_back({V, 0});
+  State[V] = 1;
+  while (!Stack.empty()) {
+    auto &[B, Next] = Stack.back();
+    if (Next < RevSuccs[B].size()) {
+      uint32_t S = RevSuccs[B][Next++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      PostOrder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  std::vector<uint32_t> RPO(PostOrder.rbegin(), PostOrder.rend());
+  std::vector<uint32_t> RPOIndex(N + 1, ~0u);
+  for (uint32_t I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  DomTree T;
+  T.Root = V;
+  T.IDom = iterativeDoms(N + 1, V, RPO, RPOIndex, RevPreds);
+  // Queries never mention V, but blocks whose ipdom is V keep it; shrink
+  // the vector view: keep as-is (V index exists).
+  return T;
+}
+
+bool DomTree::dominates(uint32_t A, uint32_t B) const {
+  if (A == B)
+    return true;
+  uint32_t Cur = B;
+  while (IDom[Cur] != ~0u) {
+    Cur = IDom[Cur];
+    if (Cur == A)
+      return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<uint32_t>>
+ssp::analysis::controlDependence(const CFG &G) {
+  uint32_t N = static_cast<uint32_t>(G.numBlocks());
+  DomTree PDom = DomTree::buildPostDominators(G);
+  std::vector<std::vector<uint32_t>> CD(N);
+
+  // Classic algorithm: for each edge (A -> B) where B does not post-dominate
+  // A, walk from B up the post-dominator tree to (exclusive) ipdom(A),
+  // marking every visited block as control dependent on A.
+  for (uint32_t A = 0; A < N; ++A) {
+    if (G.succs(A).size() < 2)
+      continue; // Only branches create control dependence.
+    for (uint32_t B : G.succs(A)) {
+      uint32_t Stop = PDom.idom(A);
+      uint32_t Cur = B;
+      while (Cur != Stop && Cur != ~0u && Cur != PDom.root()) {
+        if (Cur < N)
+          CD[Cur].push_back(A);
+        Cur = PDom.idom(Cur);
+      }
+    }
+  }
+  for (auto &Deps : CD) {
+    std::sort(Deps.begin(), Deps.end());
+    Deps.erase(std::unique(Deps.begin(), Deps.end()), Deps.end());
+  }
+  return CD;
+}

@@ -1,0 +1,62 @@
+//===- analysis/Dominators.h - (Post)dominator trees ----------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator trees over a function's CFG, built with the
+/// Cooper-Harvey-Kennedy iterative algorithm, plus classic control
+/// dependence (a block is control dependent on the branches in its
+/// post-dominance frontier). The trigger placer uses dominance to hoist
+/// triggers to immediate control dominant nodes (paper Section 3.3); the
+/// slicer uses control dependence edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_DOMINATORS_H
+#define SSP_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::analysis {
+
+/// A dominator tree (or post-dominator tree when built over the reverse
+/// CFG). Unreachable blocks have no parent and dominate nothing.
+class DomTree {
+public:
+  /// Builds the dominator tree of \p G.
+  static DomTree buildDominators(const CFG &G);
+
+  /// Builds the post-dominator tree of \p G using a virtual exit node that
+  /// succeeds all exit blocks. The virtual node never appears in queries.
+  static DomTree buildPostDominators(const CFG &G);
+
+  /// Immediate dominator of \p Block, or ~0u for the root / unreachable.
+  uint32_t idom(uint32_t Block) const { return IDom[Block]; }
+
+  /// Returns true if \p A dominates \p B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+  bool isReachable(uint32_t Block) const {
+    return Block == Root || IDom[Block] != ~0u;
+  }
+
+  uint32_t root() const { return Root; }
+
+private:
+  std::vector<uint32_t> IDom;
+  uint32_t Root = 0;
+};
+
+/// For each block, the set of (branch block) ids it is control dependent
+/// on: block B is control dependent on branch X if X's outcome decides
+/// whether B executes (computed via post-dominance frontiers).
+std::vector<std::vector<uint32_t>> controlDependence(const CFG &G);
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_DOMINATORS_H

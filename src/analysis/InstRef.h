@@ -1,0 +1,65 @@
+//===- analysis/InstRef.h - Stable instruction references -----------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// InstRef names one instruction position in a Program by (function, block,
+/// index). All analyses and the slicer exchange instruction sets in this
+/// form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_INSTREF_H
+#define SSP_ANALYSIS_INSTREF_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ssp::analysis {
+
+/// A position of one instruction inside a Program.
+struct InstRef {
+  uint32_t Func = 0;
+  uint32_t Block = 0;
+  uint32_t Inst = 0;
+
+  friend bool operator==(const InstRef &A, const InstRef &B) {
+    return A.Func == B.Func && A.Block == B.Block && A.Inst == B.Inst;
+  }
+  friend bool operator!=(const InstRef &A, const InstRef &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const InstRef &A, const InstRef &B) {
+    if (A.Func != B.Func)
+      return A.Func < B.Func;
+    if (A.Block != B.Block)
+      return A.Block < B.Block;
+    return A.Inst < B.Inst;
+  }
+
+  const ir::Instruction &get(const ir::Program &P) const {
+    return P.func(Func).block(Block).Insts[Inst];
+  }
+
+  std::string str() const {
+    return "fn" + std::to_string(Func) + ":bb" + std::to_string(Block) +
+           ":" + std::to_string(Inst);
+  }
+};
+
+} // namespace ssp::analysis
+
+template <> struct std::hash<ssp::analysis::InstRef> {
+  size_t operator()(const ssp::analysis::InstRef &R) const {
+    uint64_t Key = (static_cast<uint64_t>(R.Func) << 40) ^
+                   (static_cast<uint64_t>(R.Block) << 20) ^ R.Inst;
+    return std::hash<uint64_t>()(Key);
+  }
+};
+
+#endif // SSP_ANALYSIS_INSTREF_H

@@ -1,0 +1,97 @@
+//===- analysis/Loops.cpp - Natural loop detection -------------------------===//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ssp;
+using namespace ssp::analysis;
+
+LoopInfo LoopInfo::build(const CFG &G, const DomTree &Dom) {
+  LoopInfo LI;
+  uint32_t N = static_cast<uint32_t>(G.numBlocks());
+  LI.BlockToLoop.assign(N, -1);
+
+  // Find back edges (Latch -> Header where Header dominates Latch) and
+  // group them by header.
+  std::map<uint32_t, std::vector<uint32_t>> HeaderLatches;
+  for (uint32_t B = 0; B < N; ++B) {
+    if (!Dom.isReachable(B))
+      continue;
+    for (uint32_t S : G.succs(B))
+      if (Dom.dominates(S, B))
+        HeaderLatches[S].push_back(B);
+  }
+
+  // Compute each loop's body: backward reachability from the latches,
+  // stopping at the header.
+  for (auto &[Header, Latches] : HeaderLatches) {
+    Loop L;
+    L.Header = Header;
+    L.Latches = Latches;
+    std::vector<uint32_t> Work = Latches;
+    std::vector<uint8_t> InLoop(N, 0);
+    InLoop[Header] = 1;
+    while (!Work.empty()) {
+      uint32_t B = Work.back();
+      Work.pop_back();
+      if (InLoop[B])
+        continue;
+      InLoop[B] = 1;
+      for (uint32_t P : G.preds(B))
+        Work.push_back(P);
+    }
+    for (uint32_t B = 0; B < N; ++B)
+      if (InLoop[B])
+        L.Blocks.push_back(B);
+    LI.Loops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is a parent of B if A contains B's header and A != B.
+  // The innermost container (smallest block count) wins.
+  for (size_t I = 0; I < LI.Loops.size(); ++I) {
+    int Best = -1;
+    size_t BestSize = ~size_t(0);
+    for (size_t J = 0; J < LI.Loops.size(); ++J) {
+      if (I == J)
+        continue;
+      const Loop &Outer = LI.Loops[J];
+      if (!Outer.contains(LI.Loops[I].Header))
+        continue;
+      if (Outer.Blocks.size() < BestSize) {
+        BestSize = Outer.Blocks.size();
+        Best = static_cast<int>(J);
+      }
+    }
+    LI.Loops[I].Parent = Best;
+    if (Best >= 0)
+      LI.Loops[static_cast<size_t>(Best)].Children.push_back(
+          static_cast<uint32_t>(I));
+  }
+
+  // Depths and block->innermost-loop map.
+  for (size_t I = 0; I < LI.Loops.size(); ++I) {
+    unsigned Depth = 1;
+    int P = LI.Loops[I].Parent;
+    while (P >= 0) {
+      ++Depth;
+      P = LI.Loops[static_cast<size_t>(P)].Parent;
+    }
+    LI.Loops[I].Depth = Depth;
+  }
+  for (uint32_t B = 0; B < N; ++B) {
+    int Best = -1;
+    unsigned BestDepth = 0;
+    for (size_t I = 0; I < LI.Loops.size(); ++I) {
+      if (!LI.Loops[I].contains(B))
+        continue;
+      if (LI.Loops[I].Depth > BestDepth) {
+        BestDepth = LI.Loops[I].Depth;
+        Best = static_cast<int>(I);
+      }
+    }
+    LI.BlockToLoop[B] = Best;
+  }
+  return LI;
+}

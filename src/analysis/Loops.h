@@ -1,0 +1,64 @@
+//===- analysis/Loops.h - Natural loop detection ---------------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops of a function's CFG, found via dominator-identified back
+/// edges, with nesting resolved by containment. Loops are the primary
+/// region kind the post-pass tool targets: chaining SP turns a loop's
+/// p-slice into a do-across prefetching loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_LOOPS_H
+#define SSP_ANALYSIS_LOOPS_H
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::analysis {
+
+/// One natural loop.
+struct Loop {
+  uint32_t Header = 0;
+  std::vector<uint32_t> Blocks;   ///< All blocks in the loop (sorted).
+  std::vector<uint32_t> Latches;  ///< Sources of back edges to the header.
+  int Parent = -1;                ///< Index of the innermost enclosing loop.
+  std::vector<uint32_t> Children; ///< Indices of directly nested loops.
+  unsigned Depth = 1;             ///< 1 for outermost loops.
+
+  bool contains(uint32_t Block) const {
+    for (uint32_t B : Blocks)
+      if (B == Block)
+        return true;
+    return false;
+  }
+};
+
+/// All natural loops of one function, outermost-first within each nest.
+class LoopInfo {
+public:
+  static LoopInfo build(const CFG &G, const DomTree &Dom);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+  size_t numLoops() const { return Loops.size(); }
+  const Loop &loop(size_t I) const { return Loops[I]; }
+
+  /// Index of the innermost loop containing \p Block, or -1.
+  int innermostLoopOf(uint32_t Block) const {
+    return Block < BlockToLoop.size() ? BlockToLoop[Block] : -1;
+  }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<int> BlockToLoop;
+};
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_LOOPS_H

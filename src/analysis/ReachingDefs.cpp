@@ -1,0 +1,149 @@
+//===- analysis/ReachingDefs.cpp - Register reaching definitions ----------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include <cassert>
+
+using namespace ssp;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+ReachingDefs ReachingDefs::build(const Program &P, uint32_t Func,
+                                 const CFG &G) {
+  ReachingDefs RD;
+  RD.Prog = &P;
+  RD.Func = Func;
+  RD.G = &G;
+  const Function &F = P.func(Func);
+
+  // Enumerate definition sites.
+  RD.DefsOfReg.resize(Reg::NumDenseIndices);
+  for (uint32_t BI = 0; BI < F.numBlocks(); ++BI) {
+    const BasicBlock &BB = F.block(BI);
+    if (BB.isAttachment())
+      continue;
+    for (uint32_t II = 0; II < BB.Insts.size(); ++II) {
+      Reg D = BB.Insts[II].def();
+      if (!D.isValid())
+        continue;
+      uint32_t Id = static_cast<uint32_t>(RD.Defs.size());
+      RD.Defs.push_back({Func, BI, II});
+      RD.DefRegs.push_back(D);
+      RD.DefsOfReg[D.denseIndex()].push_back(Id);
+    }
+  }
+
+  size_t NumDefs = RD.Defs.size();
+  size_t NumBlocks = F.numBlocks();
+  RD.In.resize(NumBlocks);
+  RD.EntryReachesIn.resize(NumBlocks);
+  std::vector<BitSet> Out(NumBlocks), EntryReachesOut(NumBlocks);
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    RD.In[B].resize(NumDefs);
+    Out[B].resize(NumDefs);
+    RD.EntryReachesIn[B].resize(Reg::NumDenseIndices);
+    EntryReachesOut[B].resize(Reg::NumDenseIndices);
+  }
+  // At the function entry, every register may hold a caller value.
+  for (unsigned R = 0; R < Reg::NumDenseIndices; ++R)
+    RD.EntryReachesIn[G.entry()].set(R);
+
+  // GEN/KILL per block, derived on the fly inside the transfer function.
+  auto Transfer = [&](uint32_t BI, const BitSet &InSet,
+                      const BitSet &EntryIn, BitSet &OutSet,
+                      BitSet &EntryOut) {
+    OutSet = InSet;
+    EntryOut = EntryIn;
+    const BasicBlock &BB = F.block(BI);
+    uint32_t DefCursor = 0;
+    // Find the first def id belonging to this block by scanning; def ids
+    // are in layout order, so a linear pass works.
+    while (DefCursor < RD.Defs.size() && RD.Defs[DefCursor].Block != BI)
+      ++DefCursor;
+    for (uint32_t II = 0; II < BB.Insts.size(); ++II) {
+      Reg D = BB.Insts[II].def();
+      if (!D.isValid())
+        continue;
+      // Kill all other defs of D, then gen this def.
+      for (uint32_t Killed : RD.DefsOfReg[D.denseIndex()])
+        OutSet.clear(Killed);
+      assert(DefCursor < RD.Defs.size() &&
+             RD.Defs[DefCursor].Block == BI &&
+             RD.Defs[DefCursor].Inst == II && "def enumeration mismatch");
+      OutSet.set(DefCursor);
+      ++DefCursor;
+      EntryOut.clear(D.denseIndex());
+    }
+  };
+
+  // Iterate to a fixed point over the RPO.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t BI : G.rpo()) {
+      for (uint32_t Pred : G.preds(BI)) {
+        if (RD.In[BI].unionWith(Out[Pred]))
+          Changed = true;
+        if (RD.EntryReachesIn[BI].unionWith(EntryReachesOut[Pred]))
+          Changed = true;
+      }
+      BitSet NewOut, NewEntryOut;
+      NewOut.resize(NumDefs);
+      NewEntryOut.resize(Reg::NumDenseIndices);
+      Transfer(BI, RD.In[BI], RD.EntryReachesIn[BI], NewOut, NewEntryOut);
+      if (Out[BI].unionWith(NewOut))
+        Changed = true;
+      if (EntryReachesOut[BI].unionWith(NewEntryOut))
+        Changed = true;
+    }
+  }
+  return RD;
+}
+
+void ReachingDefs::stateBefore(uint32_t Block, uint32_t Inst, ir::Reg R,
+                               std::vector<uint32_t> &DefsOut,
+                               bool &EntrySurvives) const {
+  const Function &F = Prog->func(Func);
+  const BasicBlock &BB = F.block(Block);
+  unsigned Dense = R.denseIndex();
+
+  // Start from the block-entry state for register R.
+  EntrySurvives = EntryReachesIn[Block].get(Dense);
+  std::vector<uint32_t> Live;
+  for (uint32_t Id : DefsOfReg[Dense])
+    if (In[Block].get(Id))
+      Live.push_back(Id);
+
+  // Walk the block up to (exclusive) Inst.
+  for (uint32_t II = 0; II < Inst && II < BB.Insts.size(); ++II) {
+    Reg D = BB.Insts[II].def();
+    if (!D.isValid() || D.denseIndex() != Dense)
+      continue;
+    Live.clear();
+    EntrySurvives = false;
+    // Find this def's id.
+    for (uint32_t Id : DefsOfReg[Dense])
+      if (Defs[Id].Block == Block && Defs[Id].Inst == II)
+        Live.push_back(Id);
+  }
+  DefsOut = std::move(Live);
+}
+
+std::vector<InstRef> ReachingDefs::reachingDefs(uint32_t Block, uint32_t Inst,
+                                                Reg R) const {
+  std::vector<uint32_t> Ids;
+  bool EntrySurvives = false;
+  stateBefore(Block, Inst, R, Ids, EntrySurvives);
+  std::vector<InstRef> Result;
+  Result.reserve(Ids.size());
+  for (uint32_t Id : Ids)
+    Result.push_back(Defs[Id]);
+  return Result;
+}
+
+bool ReachingDefs::mayBeLiveIn(uint32_t Block, uint32_t Inst, Reg R) const {
+  std::vector<uint32_t> Ids;
+  bool EntrySurvives = false;
+  stateBefore(Block, Inst, R, Ids, EntrySurvives);
+  return EntrySurvives;
+}

@@ -1,0 +1,91 @@
+//===- analysis/ReachingDefs.h - Register reaching definitions ------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic reaching-definitions dataflow over one function's registers.
+/// Uses with no intra-function reaching definition are *live-in uses*: the
+/// value comes from a caller, which is where the context-sensitive slicer
+/// continues up the call stack (paper Section 3.1) and what the live-in
+/// analysis of the code generator marshals through the LIB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_REACHINGDEFS_H
+#define SSP_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/CFG.h"
+#include "analysis/InstRef.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::analysis {
+
+/// Reaching definitions for every register of one function. Calls are
+/// treated as transparent (registers are physical and the modeled machine
+/// does not rename across calls); definitions made *inside* callees are
+/// handled separately by the interprocedural slicer via callee summaries.
+class ReachingDefs {
+public:
+  static ReachingDefs build(const ir::Program &P, uint32_t Func,
+                            const CFG &G);
+
+  /// All intra-function definitions of \p R that reach the program point
+  /// just before instruction (\p Block, \p Inst).
+  std::vector<InstRef> reachingDefs(uint32_t Block, uint32_t Inst,
+                                    ir::Reg R) const;
+
+  /// True if some path from the function entry reaches (\p Block, \p Inst)
+  /// with no definition of \p R: the value may come from the caller.
+  bool mayBeLiveIn(uint32_t Block, uint32_t Inst, ir::Reg R) const;
+
+  /// All definition sites in the function, in layout order.
+  const std::vector<InstRef> &allDefs() const { return Defs; }
+
+private:
+  struct BitSet {
+    std::vector<uint64_t> Words;
+    void resize(size_t Bits) { Words.assign((Bits + 63) / 64, 0); }
+    bool get(size_t I) const {
+      return (Words[I / 64] >> (I % 64)) & 1;
+    }
+    void set(size_t I) { Words[I / 64] |= uint64_t(1) << (I % 64); }
+    void clear(size_t I) { Words[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+    bool unionWith(const BitSet &O) {
+      bool Changed = false;
+      for (size_t W = 0; W < Words.size(); ++W) {
+        uint64_t New = Words[W] | O.Words[W];
+        if (New != Words[W]) {
+          Words[W] = New;
+          Changed = true;
+        }
+      }
+      return Changed;
+    }
+  };
+
+  /// Walks block \p Block from its entry state to just before \p Inst,
+  /// producing the live def set and whether the entry value of \p R
+  /// survives.
+  void stateBefore(uint32_t Block, uint32_t Inst, ir::Reg R,
+                   std::vector<uint32_t> &DefsOut, bool &EntrySurvives)
+      const;
+
+  const ir::Program *Prog = nullptr;
+  uint32_t Func = 0;
+  const CFG *G = nullptr;
+
+  std::vector<InstRef> Defs;              ///< Def id -> site.
+  std::vector<ir::Reg> DefRegs;           ///< Def id -> register.
+  std::vector<std::vector<uint32_t>> DefsOfReg; ///< DenseReg -> def ids.
+  std::vector<BitSet> In;                 ///< Block -> reaching def ids.
+  std::vector<BitSet> EntryReachesIn;     ///< Block -> per-reg "no def on
+                                          ///< some path from entry" bit.
+};
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_REACHINGDEFS_H

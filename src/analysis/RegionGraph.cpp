@@ -1,0 +1,77 @@
+//===- analysis/RegionGraph.cpp - Hierarchical regions --------------------===//
+
+#include "analysis/RegionGraph.h"
+
+using namespace ssp;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+RegionGraph RegionGraph::build(ProgramDeps &Deps) {
+  RegionGraph RG;
+  const Program &P = Deps.program();
+  RG.ProcRegion.resize(P.numFuncs(), -1);
+  RG.LoopRegion.resize(P.numFuncs());
+
+  for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
+    const FunctionDeps &FD = Deps.forFunction(FI);
+
+    Region Proc;
+    Proc.Kind = RegionKind::Procedure;
+    Proc.Func = FI;
+    int ProcIdx = static_cast<int>(RG.Regions.size());
+    RG.Regions.push_back(Proc);
+    RG.ProcRegion[FI] = ProcIdx;
+
+    const LoopInfo &LI = FD.loops();
+    RG.LoopRegion[FI].assign(LI.numLoops(), -1);
+    for (size_t L = 0; L < LI.numLoops(); ++L) {
+      Region R;
+      R.Kind = RegionKind::Loop;
+      R.Func = FI;
+      R.LoopIdx = static_cast<int>(L);
+      RG.LoopRegion[FI][L] = static_cast<int>(RG.Regions.size());
+      RG.Regions.push_back(R);
+    }
+    // Wire loop parents: enclosing loop region or the procedure region.
+    for (size_t L = 0; L < LI.numLoops(); ++L) {
+      int Idx = RG.LoopRegion[FI][L];
+      int ParentLoop = LI.loop(L).Parent;
+      int ParentIdx =
+          ParentLoop >= 0 ? RG.LoopRegion[FI][ParentLoop] : ProcIdx;
+      RG.Regions[Idx].Parent = ParentIdx;
+      RG.Regions[ParentIdx].Children.push_back(Idx);
+    }
+  }
+  return RG;
+}
+
+int RegionGraph::innermostRegionOf(const InstRef &I,
+                                   ProgramDeps &Deps) const {
+  const FunctionDeps &FD = Deps.forFunction(I.Func);
+  int LoopIdx = FD.loops().innermostLoopOf(I.Block);
+  if (LoopIdx >= 0)
+    return LoopRegion[I.Func][LoopIdx];
+  return ProcRegion[I.Func];
+}
+
+int RegionGraph::outwardParent(int RegionIdx, const CallGraph &CG,
+                               ProgramDeps &Deps, InstRef *CallSiteOut)
+    const {
+  (void)Deps;
+  const Region &R = Regions[RegionIdx];
+  if (R.Kind == RegionKind::Loop)
+    return R.Parent;
+  // Procedure region: climb to the hottest caller's innermost region.
+  const std::vector<CallSite> &Callers = CG.callersOf(R.Func);
+  if (Callers.empty())
+    return -1; // Program entry.
+  const CallSite &Top = Callers.front();
+  if (CallSiteOut)
+    *CallSiteOut = Top.Site;
+  // The call site's innermost enclosing region in the caller.
+  const FunctionDeps &FD = Deps.forFunction(Top.Site.Func);
+  int LoopIdx = FD.loops().innermostLoopOf(Top.Site.Block);
+  if (LoopIdx >= 0)
+    return LoopRegion[Top.Site.Func][LoopIdx];
+  return ProcRegion[Top.Site.Func];
+}

@@ -1,0 +1,75 @@
+//===- analysis/RegionGraph.h - Hierarchical region representation --------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The region graph of Section 3.1.1: "a region represents a loop, a loop
+/// body, or a procedure", connected parent-to-child from callers to callees
+/// and from outer scopes to inner scopes. Region-based slicing walks from
+/// the innermost region containing a delinquent load outward until the
+/// slack is large enough; region selection (Section 3.4.1) walks the same
+/// chain choosing the precomputation region and model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_REGIONGRAPH_H
+#define SSP_ANALYSIS_REGIONGRAPH_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/DependenceGraph.h"
+#include "analysis/InstRef.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::analysis {
+
+enum class RegionKind : uint8_t { Procedure, Loop };
+
+/// One region of the program-wide region graph.
+struct Region {
+  RegionKind Kind = RegionKind::Procedure;
+  uint32_t Func = 0;
+  int LoopIdx = -1; ///< Index into the function's LoopInfo when Kind==Loop.
+  int Parent = -1;  ///< Enclosing region in the same function, or, for a
+                    ///< Procedure region, -1 (callers resolved separately).
+  std::vector<int> Children;
+
+  bool isLoop() const { return Kind == RegionKind::Loop; }
+};
+
+/// All regions of a program plus navigation helpers.
+class RegionGraph {
+public:
+  /// Builds the per-function region trees. \p Deps supplies loop info.
+  static RegionGraph build(ProgramDeps &Deps);
+
+  const Region &region(int Idx) const { return Regions[Idx]; }
+  size_t numRegions() const { return Regions.size(); }
+
+  /// Procedure region of function \p Func.
+  int procedureRegion(uint32_t Func) const { return ProcRegion[Func]; }
+
+  /// Innermost region containing \p I (the loop it sits in, else the
+  /// procedure region).
+  int innermostRegionOf(const InstRef &I, ProgramDeps &Deps) const;
+
+  /// The parent region for outward traversal. For loops this is the
+  /// enclosing loop or procedure; for procedures it is the region of the
+  /// hottest call site per \p CG (the top of the calling context), or -1
+  /// at the program entry. \p CallSiteOut receives the crossed call site
+  /// when the step is interprocedural.
+  int outwardParent(int RegionIdx, const CallGraph &CG, ProgramDeps &Deps,
+                    InstRef *CallSiteOut = nullptr) const;
+
+private:
+  std::vector<Region> Regions;
+  std::vector<int> ProcRegion;                 ///< Func -> region index.
+  std::vector<std::vector<int>> LoopRegion;    ///< Func -> loop -> region.
+};
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_REGIONGRAPH_H

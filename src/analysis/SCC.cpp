@@ -1,0 +1,68 @@
+//===- analysis/SCC.cpp - Tarjan's SCC algorithm (iterative) --------------===//
+
+#include "analysis/SCC.h"
+
+#include <algorithm>
+
+using namespace ssp::analysis;
+
+std::vector<std::vector<unsigned>>
+ssp::analysis::stronglyConnectedComponents(
+    unsigned NumNodes, const std::vector<std::vector<unsigned>> &Adj) {
+  std::vector<std::vector<unsigned>> Components;
+  std::vector<int> Index(NumNodes, -1), LowLink(NumNodes, 0);
+  std::vector<uint8_t> OnStack(NumNodes, 0);
+  std::vector<unsigned> Stack;
+  int NextIndex = 0;
+
+  // Iterative Tarjan with an explicit DFS frame stack.
+  struct Frame {
+    unsigned Node;
+    size_t NextEdge;
+  };
+  std::vector<Frame> DFS;
+
+  for (unsigned Root = 0; Root < NumNodes; ++Root) {
+    if (Index[Root] != -1)
+      continue;
+    DFS.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+
+    while (!DFS.empty()) {
+      Frame &F = DFS.back();
+      unsigned V = F.Node;
+      if (F.NextEdge < Adj[V].size()) {
+        unsigned W = Adj[V][F.NextEdge++];
+        if (Index[W] == -1) {
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = 1;
+          DFS.push_back({W, 0});
+        } else if (OnStack[W]) {
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+        }
+      } else {
+        DFS.pop_back();
+        if (!DFS.empty())
+          LowLink[DFS.back().Node] =
+              std::min(LowLink[DFS.back().Node], LowLink[V]);
+        if (LowLink[V] == Index[V]) {
+          std::vector<unsigned> Comp;
+          while (true) {
+            unsigned W = Stack.back();
+            Stack.pop_back();
+            OnStack[W] = 0;
+            Comp.push_back(W);
+            if (W == V)
+              break;
+          }
+          std::sort(Comp.begin(), Comp.end());
+          Components.push_back(std::move(Comp));
+        }
+      }
+    }
+  }
+  return Components;
+}

@@ -1,0 +1,34 @@
+//===- analysis/SCC.h - Strongly connected components ---------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tarjan's strongly-connected-components algorithm over a small adjacency
+/// list graph. The chaining-SP scheduler partitions the slice's dependence
+/// graph into SCCs (paper Section 3.2.1.2.1): non-degenerate SCCs are
+/// dependence cycles whose span must be minimized so the next chaining
+/// thread can start early.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_SCC_H
+#define SSP_ANALYSIS_SCC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::analysis {
+
+/// Computes the strongly connected components of the directed graph with
+/// \p NumNodes nodes and adjacency \p Adj. Components are returned in
+/// *reverse topological order* of the condensation (Tarjan's emission
+/// order): if component A has an edge into component B, B appears first.
+std::vector<std::vector<unsigned>>
+stronglyConnectedComponents(unsigned NumNodes,
+                            const std::vector<std::vector<unsigned>> &Adj);
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_SCC_H

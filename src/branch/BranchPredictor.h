@@ -1,0 +1,161 @@
+//===- branch/BranchPredictor.h - GSHARE + BTB ----------------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The branch prediction hardware of the research Itanium models (paper,
+/// Table 1): a 2k-entry GSHARE direction predictor and a 256-entry 4-way
+/// associative branch target buffer. Each hardware thread context keeps its
+/// own global-history register; the tables are shared, as on real SMT parts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_BRANCH_BRANCHPREDICTOR_H
+#define SSP_BRANCH_BRANCHPREDICTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssp::branch {
+
+/// GSHARE direction predictor: a table of 2-bit saturating counters indexed
+/// by PC xor per-thread global history.
+class GShare {
+public:
+  explicit GShare(unsigned Entries = 2048, unsigned NumThreads = 4)
+      : Counters(Entries, 1 /* weakly not-taken */), History(NumThreads, 0),
+        Mask(Entries - 1) {}
+
+  /// Predicts the direction of the branch at \p Pc for thread \p Tid.
+  bool predict(uint64_t Pc, unsigned Tid) const {
+    return Counters[indexOf(Pc, Tid)] >= 2;
+  }
+
+  /// Trains on the resolved outcome and updates the global history.
+  void update(uint64_t Pc, unsigned Tid, bool Taken) {
+    uint8_t &C = Counters[indexOf(Pc, Tid)];
+    if (Taken && C < 3)
+      ++C;
+    else if (!Taken && C > 0)
+      --C;
+    History[Tid] = (History[Tid] << 1) | (Taken ? 1 : 0);
+  }
+
+private:
+  size_t indexOf(uint64_t Pc, unsigned Tid) const {
+    return static_cast<size_t>((Pc ^ History[Tid]) & Mask);
+  }
+
+  std::vector<uint8_t> Counters;
+  std::vector<uint64_t> History;
+  uint64_t Mask;
+};
+
+/// Branch target buffer: 256 entries, 4-way set associative, LRU.
+class BTB {
+public:
+  explicit BTB(unsigned Entries = 256, unsigned Assoc = 4)
+      : Assoc(Assoc), NumSets(Entries / Assoc),
+        Ways(static_cast<size_t>(Entries)) {}
+
+  /// Returns true and fills \p Target if \p Pc hits in the BTB.
+  bool lookup(uint64_t Pc, uint64_t &Target) {
+    Entry *Base = setBase(Pc);
+    for (unsigned W = 0; W < Assoc; ++W) {
+      if (Base[W].Valid && Base[W].Pc == Pc) {
+        Base[W].LastUse = ++UseClock;
+        Target = Base[W].Target;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Installs or refreshes the mapping Pc -> Target.
+  void update(uint64_t Pc, uint64_t Target) {
+    Entry *Base = setBase(Pc);
+    Entry *Victim = &Base[0];
+    for (unsigned W = 0; W < Assoc; ++W) {
+      if (Base[W].Valid && Base[W].Pc == Pc) {
+        Base[W].Target = Target;
+        Base[W].LastUse = ++UseClock;
+        return;
+      }
+      if (!Base[W].Valid) {
+        Victim = &Base[W];
+        break;
+      }
+      if (Base[W].LastUse < Victim->LastUse)
+        Victim = &Base[W];
+    }
+    Victim->Valid = true;
+    Victim->Pc = Pc;
+    Victim->Target = Target;
+    Victim->LastUse = ++UseClock;
+  }
+
+private:
+  struct Entry {
+    uint64_t Pc = 0;
+    uint64_t Target = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  Entry *setBase(uint64_t Pc) {
+    return &Ways[static_cast<size_t>(Pc % NumSets) * Assoc];
+  }
+
+  unsigned Assoc;
+  unsigned NumSets;
+  std::vector<Entry> Ways;
+  uint64_t UseClock = 0;
+};
+
+/// Combined front-end predictor with accuracy counters.
+class BranchPredictor {
+public:
+  explicit BranchPredictor(unsigned NumThreads = 4)
+      : Dir(2048, NumThreads) {}
+
+  /// Predicts direction; trains immediately with the resolved outcome and
+  /// reports whether the prediction was correct. The simulator models the
+  /// misprediction penalty when this returns false.
+  bool predictAndTrainDirection(uint64_t Pc, unsigned Tid, bool Taken) {
+    bool Predicted = Dir.predict(Pc, Tid);
+    Dir.update(Pc, Tid, Taken);
+    ++Branches;
+    if (Predicted != Taken)
+      ++Mispredicts;
+    return Predicted == Taken;
+  }
+
+  /// Predicts an indirect target via the BTB; trains with the resolved
+  /// target and reports whether the prediction was correct.
+  bool predictAndTrainTarget(uint64_t Pc, uint64_t ActualTarget) {
+    uint64_t Predicted = 0;
+    bool Hit = Targets.lookup(Pc, Predicted);
+    Targets.update(Pc, ActualTarget);
+    ++Branches;
+    bool Correct = Hit && Predicted == ActualTarget;
+    if (!Correct)
+      ++Mispredicts;
+    return Correct;
+  }
+
+  uint64_t numBranches() const { return Branches; }
+  uint64_t numMispredicts() const { return Mispredicts; }
+
+private:
+  GShare Dir;
+  BTB Targets;
+  uint64_t Branches = 0;
+  uint64_t Mispredicts = 0;
+};
+
+} // namespace ssp::branch
+
+#endif // SSP_BRANCH_BRANCHPREDICTOR_H

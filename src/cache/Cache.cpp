@@ -1,0 +1,236 @@
+//===- cache/Cache.cpp - Three-level cache hierarchy ----------------------===//
+
+#include "cache/Cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ssp;
+using namespace ssp::cache;
+
+//===----------------------------------------------------------------------===//
+// CacheLevel
+//===----------------------------------------------------------------------===//
+
+CacheLevel::CacheLevel(const CacheParams &P) : Params(P) {
+  assert(P.SizeBytes % (P.LineBytes * P.Assoc) == 0 &&
+         "cache size must be divisible by way size");
+  NumSets = P.SizeBytes / (P.LineBytes * P.Assoc);
+  Ways.resize(static_cast<size_t>(NumSets) * P.Assoc);
+}
+
+bool CacheLevel::lookup(uint64_t LineAddr) {
+  uint32_t Set = setOf(LineAddr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Params.Assoc];
+  for (uint32_t W = 0; W < Params.Assoc; ++W) {
+    if (Base[W].Valid && Base[W].Tag == LineAddr) {
+      Base[W].LastUse = ++UseClock;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CacheLevel::contains(uint64_t LineAddr) const {
+  uint32_t Set = setOf(LineAddr);
+  const Way *Base = &Ways[static_cast<size_t>(Set) * Params.Assoc];
+  for (uint32_t W = 0; W < Params.Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == LineAddr)
+      return true;
+  return false;
+}
+
+void CacheLevel::insert(uint64_t LineAddr) {
+  uint32_t Set = setOf(LineAddr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Params.Assoc];
+  Way *Victim = &Base[0];
+  for (uint32_t W = 0; W < Params.Assoc; ++W) {
+    if (Base[W].Valid && Base[W].Tag == LineAddr) {
+      Base[W].LastUse = ++UseClock; // Already present; refresh.
+      return;
+    }
+    if (!Base[W].Valid) {
+      Victim = &Base[W];
+      break;
+    }
+    if (Base[W].LastUse < Victim->LastUse)
+      Victim = &Base[W];
+  }
+  Victim->Valid = true;
+  Victim->Tag = LineAddr;
+  Victim->LastUse = ++UseClock;
+}
+
+void CacheLevel::reset() {
+  for (Way &W : Ways)
+    W.Valid = false;
+  UseClock = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// CacheHierarchy
+//===----------------------------------------------------------------------===//
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &Cfg, unsigned NumThreads)
+    : Cfg(Cfg), L1(Cfg.L1), L2(Cfg.L2), L3(Cfg.L3) {
+  Fill.resize(Cfg.FillBufferEntries);
+  TLBs.resize(NumThreads);
+  TLBClock.resize(NumThreads, 0);
+}
+
+CacheHierarchy::FillEntry *CacheHierarchy::findInFlight(uint64_t LineAddr,
+                                                        uint64_t Cycle) {
+  for (FillEntry &E : Fill) {
+    if (!E.Valid)
+      continue;
+    if (E.ReadyCycle <= Cycle) {
+      E.Valid = false; // Fill completed; retire lazily.
+      continue;
+    }
+    if (E.LineAddr == LineAddr)
+      return &E;
+  }
+  return nullptr;
+}
+
+uint64_t CacheHierarchy::allocateFill(uint64_t LineAddr, uint64_t ReadyCycle,
+                                      Level From, uint64_t Cycle) {
+  FillEntry *Victim = nullptr;
+  uint64_t EarliestReady = UINT64_MAX;
+  for (FillEntry &E : Fill) {
+    if (!E.Valid || E.ReadyCycle <= Cycle) {
+      E.Valid = false;
+      Victim = &E;
+      break;
+    }
+    if (E.ReadyCycle < EarliestReady) {
+      EarliestReady = E.ReadyCycle;
+      Victim = &E;
+    }
+  }
+  assert(Victim && "fill buffer has no entries at all");
+  uint64_t ExtraWait = 0;
+  if (Victim->Valid) {
+    // All 16 entries busy: the request waits for the earliest completion.
+    ExtraWait = EarliestReady - Cycle;
+    Tot.FillBufferStallCycles += ExtraWait;
+  }
+  Victim->Valid = true;
+  Victim->LineAddr = LineAddr;
+  Victim->ReadyCycle = ReadyCycle + ExtraWait;
+  Victim->From = From;
+  return ExtraWait;
+}
+
+uint32_t CacheHierarchy::tlbAccess(unsigned Tid, uint64_t Addr) {
+  uint64_t Page = Addr >> 12;
+  auto &TLB = TLBs[Tid];
+  uint64_t &Clock = TLBClock[Tid];
+  for (auto &Entry : TLB) {
+    if (Entry.first == Page) {
+      Entry.second = ++Clock;
+      return 0;
+    }
+  }
+  // Miss: insert, evicting the LRU entry when full.
+  if (TLB.size() < Cfg.TLBEntries) {
+    TLB.push_back({Page, ++Clock});
+  } else {
+    auto Victim = std::min_element(
+        TLB.begin(), TLB.end(),
+        [](const auto &A, const auto &B) { return A.second < B.second; });
+    *Victim = {Page, ++Clock};
+  }
+  ++Tot.TLBMisses;
+  return Cfg.TLBMissPenalty;
+}
+
+AccessResult CacheHierarchy::access(uint64_t Addr, uint64_t Cycle,
+                                    ir::StaticId Pc, unsigned Tid,
+                                    bool CollectProfile) {
+  AccessResult R;
+  ++Tot.Accesses;
+
+  // Idealized modes (Figure 2): the access behaves as an L1 hit and leaves
+  // the cache state untouched.
+  if (PerfectMemory || PerfectLoads.count(Pc)) {
+    R.ServedBy = Level::L1;
+    R.Latency = Cfg.L1.LatencyCycles;
+    R.ReadyCycle = Cycle + R.Latency;
+    ++Tot.Hits[0];
+    if (CollectProfile) {
+      PcCacheStats &S = Profile[Pc];
+      ++S.Accesses;
+      ++S.Hits[0];
+    }
+    return R;
+  }
+
+  uint64_t Line = lineOf(Addr);
+  uint32_t TLBPenalty = tlbAccess(Tid, Addr);
+
+  // A line already in transit to L1 is a partial hit (Figure 9).
+  if (FillEntry *E = findInFlight(Line, Cycle)) {
+    R.ServedBy = E->From;
+    R.Partial = true;
+    R.ReadyCycle = E->ReadyCycle + TLBPenalty;
+    R.Latency = static_cast<uint32_t>(R.ReadyCycle - Cycle);
+  } else if (L1.lookup(Line)) {
+    R.ServedBy = Level::L1;
+    R.Latency = Cfg.L1.LatencyCycles + TLBPenalty;
+    R.ReadyCycle = Cycle + R.Latency;
+  } else {
+    // L1 miss: walk down the hierarchy, then install the line everywhere
+    // and occupy a fill-buffer entry until the data arrives at L1.
+    if (L2.lookup(Line)) {
+      R.ServedBy = Level::L2;
+      R.Latency = Cfg.L2.LatencyCycles;
+    } else if (L3.lookup(Line)) {
+      R.ServedBy = Level::L3;
+      R.Latency = Cfg.L3.LatencyCycles;
+      L2.insert(Line);
+    } else {
+      R.ServedBy = Level::Mem;
+      R.Latency = Cfg.MemLatency;
+      L3.insert(Line);
+      L2.insert(Line);
+    }
+    R.Latency += TLBPenalty;
+    uint64_t ExtraWait =
+        allocateFill(Line, Cycle + R.Latency, R.ServedBy, Cycle);
+    R.Latency += static_cast<uint32_t>(ExtraWait);
+    R.ReadyCycle = Cycle + R.Latency;
+    L1.insert(Line);
+  }
+
+  unsigned LevelIdx = static_cast<unsigned>(R.ServedBy);
+  if (R.Partial)
+    ++Tot.Partials[LevelIdx];
+  else
+    ++Tot.Hits[LevelIdx];
+
+  if (CollectProfile) {
+    PcCacheStats &S = Profile[Pc];
+    ++S.Accesses;
+    if (R.Partial)
+      ++S.Partials[LevelIdx];
+    else
+      ++S.Hits[LevelIdx];
+    if (R.Latency > Cfg.L1.LatencyCycles)
+      S.MissCycles += R.Latency - Cfg.L1.LatencyCycles;
+  }
+  return R;
+}
+
+void CacheHierarchy::reset() {
+  L1.reset();
+  L2.reset();
+  L3.reset();
+  for (FillEntry &E : Fill)
+    E.Valid = false;
+  for (auto &TLB : TLBs)
+    TLB.clear();
+  std::fill(TLBClock.begin(), TLBClock.end(), 0);
+  Profile.clear();
+  Tot = Totals();
+}

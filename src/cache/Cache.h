@@ -1,0 +1,199 @@
+//===- cache/Cache.h - Three-level cache hierarchy with fill buffer -------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory hierarchy of the research Itanium model (paper, Table 1):
+/// separate 16KB 4-way L1 (we model the data side; instruction fetch is
+/// modeled as always hitting), a shared 256KB 4-way L2, a shared 3072KB
+/// 12-way L3, 64-byte lines everywhere, a 16-entry fill buffer, 230-cycle
+/// memory and a 30-cycle TLB miss penalty. The fill buffer tracks lines in
+/// transit so that a second access to an in-flight line becomes a *partial*
+/// hit, the category Figure 9 of the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_CACHE_CACHE_H
+#define SSP_CACHE_CACHE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ssp::cache {
+
+/// Where an access was served from.
+enum class Level : uint8_t { L1 = 0, L2 = 1, L3 = 2, Mem = 3 };
+
+inline const char *levelName(Level L) {
+  switch (L) {
+  case Level::L1:
+    return "L1";
+  case Level::L2:
+    return "L2";
+  case Level::L3:
+    return "L3";
+  case Level::Mem:
+    return "Mem";
+  }
+  return "?";
+}
+
+/// Geometry and latency of one cache level.
+struct CacheParams {
+  uint32_t SizeBytes;
+  uint32_t Assoc;
+  uint32_t LineBytes;
+  uint32_t LatencyCycles;
+};
+
+/// Full hierarchy configuration. Defaults are the paper's Table 1.
+struct CacheConfig {
+  CacheParams L1 = {16 * 1024, 4, 64, 2};
+  CacheParams L2 = {256 * 1024, 4, 64, 14};
+  CacheParams L3 = {3072 * 1024, 12, 64, 30};
+  uint32_t MemLatency = 230;
+  uint32_t FillBufferEntries = 16;
+  uint32_t TLBEntries = 64;
+  uint32_t TLBMissPenalty = 30;
+};
+
+/// The outcome of one data access.
+struct AccessResult {
+  Level ServedBy = Level::L1;
+  bool Partial = false;        ///< Line was already in transit to L1.
+  uint32_t Latency = 0;        ///< Load-to-use latency in cycles.
+  uint64_t ReadyCycle = 0;     ///< Cycle the value becomes available.
+};
+
+/// One set-associative, LRU, write-allocate cache array.
+class CacheLevel {
+public:
+  explicit CacheLevel(const CacheParams &P);
+
+  /// Returns true and refreshes LRU state if \p LineAddr is present.
+  bool lookup(uint64_t LineAddr);
+
+  /// Returns true if \p LineAddr is present, without updating LRU state.
+  bool contains(uint64_t LineAddr) const;
+
+  /// Inserts \p LineAddr, evicting the LRU way of its set if needed.
+  void insert(uint64_t LineAddr);
+
+  /// Drops every line (used between simulation phases).
+  void reset();
+
+  uint32_t latency() const { return Params.LatencyCycles; }
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  uint32_t setOf(uint64_t LineAddr) const {
+    return static_cast<uint32_t>(LineAddr % NumSets);
+  }
+
+  CacheParams Params;
+  uint32_t NumSets;
+  std::vector<Way> Ways; ///< NumSets * Assoc, set-major.
+  uint64_t UseClock = 0;
+};
+
+/// Per-static-load hit/miss statistics, keyed by ir::StaticId. This is both
+/// the cache profile the tool's delinquent-load identification consumes
+/// (Section 3.1) and the data behind the paper's Figure 9.
+struct PcCacheStats {
+  uint64_t Accesses = 0;
+  uint64_t Hits[4] = {0, 0, 0, 0};     ///< Indexed by Level.
+  uint64_t Partials[4] = {0, 0, 0, 0}; ///< Partial hits, by fetch level.
+  uint64_t MissCycles = 0; ///< Total latency beyond an L1 hit.
+
+  uint64_t l1Misses() const {
+    return Hits[1] + Hits[2] + Hits[3] + Partials[1] + Partials[2] +
+           Partials[3];
+  }
+};
+
+using CacheProfile = std::unordered_map<ir::StaticId, PcCacheStats>;
+
+/// The full shared hierarchy, including the fill buffer and per-thread TLBs.
+class CacheHierarchy {
+public:
+  explicit CacheHierarchy(const CacheConfig &Cfg = CacheConfig(),
+                          unsigned NumThreads = 4);
+
+  /// Performs one data access at time \p Cycle for static load \p Pc from
+  /// hardware thread \p Tid. When \p CollectProfile is set, the access is
+  /// recorded in the per-PC profile (main-thread demand loads only).
+  AccessResult access(uint64_t Addr, uint64_t Cycle, ir::StaticId Pc,
+                      unsigned Tid, bool CollectProfile);
+
+  /// When enabled, every access hits in L1 (Figure 2's "perfect memory").
+  void setPerfectMemory(bool Enable) { PerfectMemory = Enable; }
+
+  /// Loads in \p Ids always hit L1 (Figure 2's "perfect delinquent loads").
+  void setPerfectLoads(std::unordered_set<ir::StaticId> Ids) {
+    PerfectLoads = std::move(Ids);
+  }
+
+  const CacheProfile &profile() const { return Profile; }
+  CacheProfile &profile() { return Profile; }
+
+  const CacheConfig &config() const { return Cfg; }
+
+  /// Global counters (all threads, all accesses).
+  struct Totals {
+    uint64_t Accesses = 0;
+    uint64_t Hits[4] = {0, 0, 0, 0};
+    uint64_t Partials[4] = {0, 0, 0, 0};
+    uint64_t FillBufferStallCycles = 0;
+    uint64_t TLBMisses = 0;
+  };
+  const Totals &totals() const { return Tot; }
+
+  /// Drops all cached state and statistics.
+  void reset();
+
+private:
+  struct FillEntry {
+    uint64_t LineAddr = 0;
+    uint64_t ReadyCycle = 0;
+    Level From = Level::Mem;
+    bool Valid = false;
+  };
+
+  uint64_t lineOf(uint64_t Addr) const { return Addr / Cfg.L1.LineBytes; }
+
+  /// Looks up \p LineAddr in the fill buffer; returns entry or nullptr.
+  FillEntry *findInFlight(uint64_t LineAddr, uint64_t Cycle);
+
+  /// Allocates a fill-buffer entry; if all 16 are busy the request waits for
+  /// the earliest retirement, and the extra wait is returned.
+  uint64_t allocateFill(uint64_t LineAddr, uint64_t ReadyCycle, Level From,
+                        uint64_t Cycle);
+
+  /// Simple per-thread fully-associative LRU TLB; returns the penalty.
+  uint32_t tlbAccess(unsigned Tid, uint64_t Addr);
+
+  CacheConfig Cfg;
+  CacheLevel L1, L2, L3;
+  std::vector<FillEntry> Fill;
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> TLBs; // (page,use)
+  std::vector<uint64_t> TLBClock;
+  CacheProfile Profile;
+  Totals Tot;
+  bool PerfectMemory = false;
+  std::unordered_set<ir::StaticId> PerfectLoads;
+};
+
+} // namespace ssp::cache
+
+#endif // SSP_CACHE_CACHE_H

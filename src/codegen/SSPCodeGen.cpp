@@ -1,0 +1,315 @@
+//===- codegen/SSPCodeGen.cpp - SSP-enabled binary rewriting --------------===//
+
+#include "codegen/SSPCodeGen.h"
+
+#include "ir/IRBuilder.h"
+#include "sim/ThreadContext.h"
+#include "ir/Verifier.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace ssp;
+using namespace ssp::codegen;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+namespace {
+
+/// Registers referenced anywhere in the emitted slice (sources, dests and
+/// live-ins), used to pick scratch registers for the chain budget.
+std::set<Reg> collectUsedRegs(const Program &P, const AdaptedLoad &AL) {
+  std::set<Reg> Used;
+  auto AddInst = [&](const InstRef &I) {
+    const Instruction &Inst = I.get(P);
+    Inst.forEachUse([&](Reg R) { Used.insert(R); });
+    Reg D = Inst.def();
+    if (D.isValid())
+      Used.insert(D);
+  };
+  for (const InstRef &I : AL.Sched.Critical)
+    AddInst(I);
+  for (const InstRef &I : AL.Sched.NonCritical)
+    AddInst(I);
+  for (Reg R : AL.Slice.LiveIns)
+    Used.insert(R);
+  for (const InstRef &T : AL.Slice.TargetLoads)
+    AddInst(T);
+  return Used;
+}
+
+Reg pickScratchInt(const std::set<Reg> &Used) {
+  for (int N = NumIntRegs - 1; N > 0; --N) {
+    Reg R = ireg(static_cast<unsigned>(N));
+    if (!Used.count(R))
+      return R;
+  }
+  ssp_unreachable("no free integer register for the chain budget");
+}
+
+Reg pickScratchPred(const std::set<Reg> &Used) {
+  for (int N = NumPredRegs - 1; N > 0; --N) {
+    Reg R = preg(static_cast<unsigned>(N));
+    if (!Used.count(R))
+      return R;
+  }
+  ssp_unreachable("no free predicate register for the chain budget");
+}
+
+/// Emits one slice-member instruction into the current block, dropping
+/// control transfers (if-conversion; see header comment).
+void emitSliceInst(IRBuilder &B, const Program &Src, const InstRef &Ref,
+                   unsigned &Count) {
+  const Instruction &I = Ref.get(Src);
+  switch (I.Op) {
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::CallInd:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::ChkC:
+  case Opcode::Rfi:
+  case Opcode::Spawn:
+  case Opcode::KillThread:
+  case Opcode::Nop:
+    return; // Speculated through / never copied into a slice.
+  case Opcode::Store:
+  case Opcode::StoreF:
+    // The no-store invariant of Section 2: stores never enter a p-slice.
+    return;
+  default:
+    break;
+  }
+  Instruction Copy = I;
+  Copy.Id = 0; // Reassigned by emit().
+  B.emit(Copy);
+  ++Count;
+}
+
+} // namespace
+
+Program ssp::codegen::rewriteWithSlices(const Program &Orig,
+                                        const std::vector<AdaptedLoad> &Loads,
+                                        RewriteInfo *Info) {
+  Program New = Orig.clone();
+  IRBuilder B(New);
+  RewriteInfo Stats;
+
+  // Trigger insertions are deferred so that block instruction indices from
+  // the plans (computed on the original layout) stay valid. Key: (func,
+  // block) -> list of (index, stub block).
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<std::pair<uint32_t,
+                                                               uint32_t>>>
+      PendingTriggers;
+
+  for (const AdaptedLoad &AL : Loads) {
+    if (!AL.Slice.Valid || AL.Plan.Triggers.empty())
+      continue;
+    uint32_t Func = AL.Plan.Triggers.front().Where.Func;
+    B.setFunction(Func);
+
+    bool Chaining = AL.Sched.Model == sched::SPModel::Chaining;
+    bool HasPrologue = Chaining && !AL.Sched.Prologue.empty();
+
+    // LIB slot layouts. The stub stages the slice live-ins for the first
+    // spawned thread (the prologue when present, else the first chain
+    // link); the prologue re-stages the chain live-ins for the chain.
+    const std::vector<Reg> &StubLiveIns =
+        HasPrologue || !Chaining ? AL.Slice.LiveIns : AL.Sched.ChainLiveIns;
+    const std::vector<Reg> &ChainLiveIns = AL.Sched.ChainLiveIns;
+    assert(StubLiveIns.size() + 1 <= sim::MaxLIBSlots && "LIB overflow");
+    assert(ChainLiveIns.size() + 1 <= sim::MaxLIBSlots && "LIB overflow");
+    const uint32_t BudgetSlot = static_cast<uint32_t>(ChainLiveIns.size());
+
+    // A chain must be bounded: gate on the slice's own condition when it
+    // was scheduled, otherwise on the LIB trip budget.
+    bool UseBudget =
+        Chaining && (AL.Sched.PredictCondition || !AL.Sched.HasConditionBranch);
+
+    std::set<Reg> Used = collectUsedRegs(New, AL);
+    Reg BudgetReg, BudgetPred;
+    if (UseBudget) {
+      BudgetReg = pickScratchInt(Used);
+      BudgetPred = pickScratchPred(Used);
+    }
+
+    // Emits the non-critical body: scheduled instructions, inner-loop
+    // members unrolled InnerUnroll times total (the speculative thread
+    // walks several inner-loop steps, e.g. a collision chain), then one
+    // prefetch per targeted delinquent address.
+    auto EmitBodyAndPrefetches = [&]() {
+      std::set<InstRef> Inner(AL.Sched.InnerLoopMembers.begin(),
+                              AL.Sched.InnerLoopMembers.end());
+      for (const InstRef &I : AL.Sched.NonCritical)
+        emitSliceInst(B, New, I, Stats.SliceInsts);
+      if (!Inner.empty() && AL.InnerUnroll > 1) {
+        for (unsigned U = 1; U < AL.InnerUnroll; ++U)
+          for (const InstRef &I : AL.Sched.NonCritical)
+            if (Inner.count(I))
+              emitSliceInst(B, New, I, Stats.SliceInsts);
+      }
+      std::set<std::pair<Reg, int64_t>> Prefetched;
+      for (const InstRef &T : AL.Slice.TargetLoads) {
+        const Instruction &L = T.get(New);
+        if (Prefetched.insert({L.Src1, L.Imm}).second)
+          B.prefetch(L.Src1, L.Imm);
+      }
+      B.killThread();
+    };
+
+    // --- Slice blocks (appended attachments) ---
+    uint32_t Hdr = B.createBlock("ssp.slice.hdr", BlockKind::Slice);
+    uint32_t Body = 0, SpawnBlk = 0, Pro = 0;
+    if (Chaining) {
+      Body = B.createBlock("ssp.slice.body", BlockKind::Slice);
+      SpawnBlk = B.createBlock("ssp.slice.spawn", BlockKind::Slice);
+      Stats.SliceBlocks += 2;
+      if (HasPrologue) {
+        Pro = B.createBlock("ssp.slice.prologue", BlockKind::Slice);
+        ++Stats.SliceBlocks;
+      }
+    }
+    ++Stats.SliceBlocks;
+
+    B.setInsertPoint(Hdr);
+    if (Chaining) {
+      for (uint32_t I = 0; I < ChainLiveIns.size(); ++I)
+        B.copyFromLIB(ChainLiveIns[I], I);
+      if (UseBudget)
+        B.copyFromLIB(BudgetReg, BudgetSlot);
+    } else {
+      for (uint32_t I = 0; I < StubLiveIns.size(); ++I)
+        B.copyFromLIB(StubLiveIns[I], I);
+    }
+
+    for (const InstRef &I : AL.Sched.Critical)
+      emitSliceInst(B, New, I, Stats.SliceInsts);
+
+    if (Chaining) {
+      // Stage the next thread's live-ins (carried values were just
+      // updated by the critical sub-slice; invariants pass through).
+      for (uint32_t I = 0; I < ChainLiveIns.size(); ++I)
+        B.copyToLIB(I, ChainLiveIns[I]);
+      if (UseBudget) {
+        B.addI(BudgetReg, BudgetReg, -1);
+        B.copyToLIB(BudgetSlot, BudgetReg);
+        B.cmpI(CondCode::GT, BudgetPred, BudgetReg, 0);
+        B.br(BudgetPred, SpawnBlk);
+      } else {
+        // Gate on the computed spawn condition (the loop latch predicate).
+        const Instruction &CondBr = AL.Sched.ConditionBranch.get(New);
+        assert(CondBr.Op == Opcode::Br);
+        B.br(CondBr.Src1, SpawnBlk);
+      }
+
+      B.setInsertPoint(Body);
+      EmitBodyAndPrefetches();
+
+      B.setInsertPoint(SpawnBlk);
+      B.spawn(Hdr);
+      B.jmp(Body);
+
+      if (HasPrologue) {
+        // The prologue thread: compute the chain's initial live-ins from
+        // the trigger-point live-ins, then launch the first chain link.
+        B.setInsertPoint(Pro);
+        for (uint32_t I = 0; I < StubLiveIns.size(); ++I)
+          B.copyFromLIB(StubLiveIns[I], I);
+        for (const InstRef &I : AL.Sched.Prologue)
+          emitSliceInst(B, New, I, Stats.SliceInsts);
+        for (uint32_t I = 0; I < ChainLiveIns.size(); ++I)
+          B.copyToLIB(I, ChainLiveIns[I]);
+        if (UseBudget)
+          B.copyToLIBI(BudgetSlot, static_cast<int64_t>(AL.TripBudget));
+        B.spawn(Hdr);
+        B.killThread();
+      }
+    } else {
+      // Basic SP: one straight-line thread per trigger firing. The list
+      // schedule already orders prologue producers first. Extra sections
+      // (other calling contexts) follow, each after a fresh live-in
+      // reload so register redefinitions cannot cross-contaminate.
+      std::set<InstRef> Inner(AL.Sched.InnerLoopMembers.begin(),
+                              AL.Sched.InnerLoopMembers.end());
+      auto EmitSection = [&](const std::vector<InstRef> &Body2,
+                             const std::vector<InstRef> &Targets) {
+        for (const InstRef &I : Body2)
+          emitSliceInst(B, New, I, Stats.SliceInsts);
+        std::set<std::pair<Reg, int64_t>> Prefetched;
+        for (const InstRef &T : Targets) {
+          const Instruction &L = T.get(New);
+          if (Prefetched.insert({L.Src1, L.Imm}).second)
+            B.prefetch(L.Src1, L.Imm);
+        }
+      };
+      EmitSection(AL.Sched.NonCritical, AL.Slice.TargetLoads);
+      if (!Inner.empty() && AL.InnerUnroll > 1) {
+        std::vector<InstRef> InnerSeq;
+        for (const InstRef &I : AL.Sched.NonCritical)
+          if (Inner.count(I))
+            InnerSeq.push_back(I);
+        for (unsigned U = 1; U < AL.InnerUnroll; ++U)
+          EmitSection(InnerSeq, AL.Slice.TargetLoads);
+      }
+      for (size_t SI = 0; SI < AL.ExtraSections.size(); ++SI) {
+        for (uint32_t I = 0; I < StubLiveIns.size(); ++I)
+          B.copyFromLIB(StubLiveIns[I], I);
+        EmitSection(AL.ExtraSections[SI].NonCritical,
+                    SI < AL.ExtraTargets.size() ? AL.ExtraTargets[SI]
+                                                : AL.Slice.TargetLoads);
+      }
+      B.killThread();
+    }
+
+    // --- Stub block ---
+    uint32_t Stub = B.createBlock("ssp.stub", BlockKind::Stub);
+    ++Stats.StubBlocks;
+    B.setInsertPoint(Stub);
+    for (uint32_t I = 0; I < StubLiveIns.size(); ++I)
+      B.copyToLIB(I, StubLiveIns[I]);
+    if (UseBudget && !HasPrologue)
+      B.copyToLIBI(BudgetSlot, static_cast<int64_t>(AL.TripBudget));
+    B.spawn(HasPrologue ? Pro : Hdr);
+    B.rfi();
+
+    // --- Triggers (cut-set triggers plus chain restart triggers) ---
+    for (const trigger::TriggerPlacement &T : AL.Plan.Triggers)
+      PendingTriggers[{T.Where.Func, T.Where.Block}].push_back(
+          {T.Where.Inst, Stub});
+    for (const trigger::TriggerPlacement &T : AL.Plan.RestartTriggers)
+      PendingTriggers[{T.Where.Func, T.Where.Block}].push_back(
+          {T.Where.Inst, Stub});
+  }
+
+  // Insert chk.c instructions, highest index first so indices stay valid.
+  for (auto &[Loc, Inserts] : PendingTriggers) {
+    auto [Func, Block] = Loc;
+    std::sort(Inserts.begin(), Inserts.end(),
+              [](const auto &A, const auto &B2) { return A.first > B2.first; });
+    Function &F = New.func(Func);
+    for (const auto &[Idx, Stub] : Inserts) {
+      Instruction I;
+      I.Op = Opcode::ChkC;
+      I.Target = Stub;
+      I.Id = F.nextInstId();
+      BasicBlock &BB = F.block(Block);
+      assert(Idx <= BB.Insts.size() && "trigger index out of range");
+      BB.Insts.insert(BB.Insts.begin() + Idx, I);
+      ++Stats.TriggersInserted;
+    }
+  }
+
+  std::vector<std::string> Diags = verify(New);
+  if (!Diags.empty()) {
+    for (const std::string &D : Diags)
+      std::fprintf(stderr, "rewriter produced invalid IR: %s\n", D.c_str());
+    fatalError("SSP rewriter verification failed");
+  }
+  if (Info)
+    *Info = Stats;
+  return New;
+}

@@ -1,0 +1,81 @@
+//===- codegen/SSPCodeGen.h - SSP-enabled binary rewriting ----------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary rewriting backend (Section 3.4.2 / Figure 7). For every
+/// adapted load the rewriter emits, appended after the trigger's function:
+///
+///   * a *stub block* — the chk.c recovery code run by the main thread:
+///     copy the live-in values into the live-in buffer, spawn the first
+///     slice thread, and rfi back to the interrupted instruction; and
+///   * *slice blocks* — the p-slice run by the speculative thread: copy
+///     live-ins from the LIB, execute the critical sub-slice, stage the
+///     next iteration's live-ins, conditionally chain-spawn, execute the
+///     non-critical sub-slice, prefetch the delinquent addresses, and
+///     kill the thread.
+///
+/// Triggers are installed by inserting chk.c instructions at the planned
+/// positions (the paper replaces an existing nop slot; inserting is
+/// equivalent in this IR since bundle padding is implicit).
+///
+/// Emitted p-slices are if-converted straight-line code: control
+/// dependences inside the slice are speculated through (their branches are
+/// dropped), in the spirit of control-flow speculative slicing — a wrong
+/// speculative path can only produce a useless prefetch, never corrupt
+/// state. The spawn gate is the one synthesized branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_CODEGEN_SSPCODEGEN_H
+#define SSP_CODEGEN_SSPCODEGEN_H
+
+#include "sched/Scheduler.h"
+#include "slicer/Slicer.h"
+#include "trigger/TriggerPlacer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::codegen {
+
+/// Everything the rewriter needs for one installed slice.
+struct AdaptedLoad {
+  slicer::Slice Slice;
+  sched::ScheduledSlice Sched;
+  trigger::TriggerPlan Plan;
+  /// Chain budget (iterations) when the spawn condition is predicted or
+  /// absent; derived from the profiled trip count.
+  uint64_t TripBudget = 64;
+  /// Total emission count for inner-loop members (see
+  /// ScheduledSlice::InnerLoopMembers).
+  unsigned InnerUnroll = 2;
+  /// Additional per-calling-context sections (basic SP only): each is
+  /// emitted after a fresh live-in reload, so sections may redefine the
+  /// same registers (e.g. treeadd's left- and right-child chains).
+  std::vector<sched::ScheduledSlice> ExtraSections;
+  /// Prefetch targets per extra section (parallel to ExtraSections).
+  std::vector<std::vector<analysis::InstRef>> ExtraTargets;
+};
+
+/// Statistics about one rewrite.
+struct RewriteInfo {
+  unsigned TriggersInserted = 0;
+  unsigned StubBlocks = 0;
+  unsigned SliceBlocks = 0;
+  unsigned SliceInsts = 0; ///< Instructions emitted into slice blocks.
+};
+
+/// Produces the SSP-enhanced binary: a clone of \p Orig with triggers
+/// inserted and stub/slice attachments appended. Static ids of original
+/// instructions are preserved. The result is verified; a malformed result
+/// aborts (tool bug).
+ir::Program rewriteWithSlices(const ir::Program &Orig,
+                              const std::vector<AdaptedLoad> &Loads,
+                              RewriteInfo *Info = nullptr);
+
+} // namespace ssp::codegen
+
+#endif // SSP_CODEGEN_SSPCODEGEN_H

@@ -1,0 +1,151 @@
+//===- core/PostPassTool.h - The post-pass binary adaptation tool ---------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the reproduction: the post-pass compilation
+/// tool of the paper. Given the original binary and profiling feedback
+/// (Figure 1's two-pass flow), it
+///
+///   1. identifies the delinquent loads covering >= 90% of miss cycles,
+///   2. walks the region graph outward from each load's innermost region,
+///      computing region-restricted context-sensitive slices,
+///   3. schedules each slice for chaining or basic SP and evaluates the
+///      reduced-miss-cycle objective, selecting the first region crossing
+///      the cutoff (Section 3.4.1),
+///   4. combines overlapping slices, places triggers, and
+///   5. rewrites the binary with stub and slice attachments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_CORE_POSTPASSTOOL_H
+#define SSP_CORE_POSTPASSTOOL_H
+
+#include "codegen/SSPCodeGen.h"
+#include "profile/Profile.h"
+
+#include <functional>
+
+#include <string>
+#include <vector>
+
+namespace ssp::core {
+
+/// Tuning options of the tool (defaults follow the paper).
+struct ToolOptions {
+  /// Delinquent loads must cover this fraction of miss cycles.
+  double DelinquentCoverage = 0.90;
+  unsigned MaxDelinquentLoads = 10;
+
+  /// Region selection: accept the first region whose reduced miss cycles
+  /// reach this fraction of the load's total miss cycles ("the cutoff
+  /// percentage", Section 3.4.1).
+  double ReducedMissCutoff = 0.30;
+
+  /// Stop the region traversal when nested this many levels outward.
+  unsigned MaxRegionDepth = 4;
+
+  /// Feature toggles (for the ablation benches).
+  bool EnableChaining = true;
+  bool EnableLoopRotation = true;
+  bool EnableConditionPrediction = true;
+  bool EnableSpeculativeSlicing = true;
+
+  /// Bound on the chain length when the spawn condition is predicted.
+  uint64_t MaxTripBudget = 4096;
+
+  /// Reject adaptations whose estimated slack per iteration is below this
+  /// (a prefetch with no slack only adds trigger overhead).
+  uint64_t MinSlackCycles = 16;
+
+  /// Install chain restart triggers at the chain-loop header (see
+  /// TriggerPlan::RestartTriggers).
+  bool EnableRestartTriggers = true;
+
+  /// Total emission count for inner-loop slice members (collision chains
+  /// etc. walked this many steps per chain link).
+  unsigned InnerUnroll = 2;
+
+  /// Trace candidate evaluation to stderr.
+  bool Verbose = false;
+
+  slicer::SliceOptions Slicing;
+};
+
+/// Per-slice entry of the adaptation report (the rows behind Table 2).
+struct SliceReport {
+  std::string FunctionName;
+  analysis::InstRef Load;
+  unsigned Size = 0;       ///< Slice instructions.
+  unsigned LiveIns = 0;
+  bool Interprocedural = false;
+  sched::SPModel Model = sched::SPModel::Chaining;
+  bool PredictedCondition = false;
+  unsigned RegionDepth = 0; ///< Outward steps taken from the innermost.
+  uint64_t SlackPerIteration = 0;
+  double AvailableILP = 1.0;
+  uint64_t HeuristicTriggerCost = 0;
+  uint64_t MinCutTriggerCost = 0;
+  unsigned Targets = 1; ///< Delinquent loads covered after combining.
+};
+
+/// Aggregate adaptation results (Table 2).
+struct AdaptationReport {
+  std::vector<SliceReport> Slices;
+  unsigned DelinquentLoads = 0;
+  codegen::RewriteInfo Rewrite;
+
+  unsigned numSlices() const {
+    return static_cast<unsigned>(Slices.size());
+  }
+  unsigned numInterprocedural() const {
+    unsigned N = 0;
+    for (const SliceReport &S : Slices)
+      N += S.Interprocedural;
+    return N;
+  }
+  double averageSize() const {
+    if (Slices.empty())
+      return 0.0;
+    double Sum = 0;
+    for (const SliceReport &S : Slices)
+      Sum += S.Size;
+    return Sum / static_cast<double>(Slices.size());
+  }
+  double averageLiveIns() const {
+    if (Slices.empty())
+      return 0.0;
+    double Sum = 0;
+    for (const SliceReport &S : Slices)
+      Sum += S.LiveIns;
+    return Sum / static_cast<double>(Slices.size());
+  }
+};
+
+/// The post-pass tool. Holds references to the original binary and its
+/// profile for the duration of the adaptation.
+class PostPassTool {
+public:
+  PostPassTool(const ir::Program &Orig, const profile::ProfileData &PD,
+               ToolOptions Opts = ToolOptions());
+
+  /// Runs the full pipeline and returns the SSP-enhanced binary.
+  ir::Program adapt(AdaptationReport *Report = nullptr);
+
+private:
+  const ir::Program &Orig;
+  const profile::ProfileData &PD;
+  ToolOptions Opts;
+};
+
+/// Convenience: profile \p P by running it (functional pass + baseline
+/// in-order timing pass) with memory images produced by \p BuildMemory.
+profile::ProfileData
+profileProgram(const ir::Program &P,
+               const std::function<void(mem::SimMemory &)> &BuildMemory);
+
+} // namespace ssp::core
+
+#endif // SSP_CORE_POSTPASSTOOL_H

@@ -1,0 +1,98 @@
+//===- harness/Experiment.cpp - Shared experiment harness -----------------===//
+
+#include "harness/Experiment.h"
+
+#include "support/Assert.h"
+
+#include <cstdio>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+sim::SimStats SuiteRunner::simulate(const ir::Program &P,
+                                    const workloads::Workload &W,
+                                    sim::MachineConfig Cfg,
+                                    bool *ChecksumOk) {
+  ir::LinkedProgram LP = ir::LinkedProgram::link(P);
+  mem::SimMemory Mem;
+  uint64_t Expected = W.BuildMemory(Mem);
+  sim::Simulator Sim(Cfg, LP, Mem);
+  sim::SimStats Stats = Sim.run();
+  if (ChecksumOk)
+    *ChecksumOk = Mem.read(workloads::ResultAddr) == Expected;
+  return Stats;
+}
+
+const profile::ProfileData &
+SuiteRunner::profileOf(const workloads::Workload &W) {
+  auto It = Profiles.find(W.Name);
+  if (It != Profiles.end())
+    return It->second;
+  auto OrigIt = Originals.find(W.Name);
+  if (OrigIt == Originals.end())
+    OrigIt = Originals.emplace(W.Name, W.Build()).first;
+  profile::ProfileData PD =
+      core::profileProgram(OrigIt->second, W.BuildMemory);
+  return Profiles.emplace(W.Name, std::move(PD)).first->second;
+}
+
+std::unordered_set<ir::StaticId>
+SuiteRunner::delinquentIdsOf(const workloads::Workload &W) {
+  const profile::ProfileData &PD = profileOf(W);
+  const ir::Program &P = Originals.at(W.Name);
+  std::unordered_set<ir::StaticId> Ids;
+  for (const profile::DelinquentLoad &D : profile::selectDelinquentLoads(
+           P, PD, Opts.DelinquentCoverage, Opts.MaxDelinquentLoads))
+    Ids.insert(D.Sid);
+  return Ids;
+}
+
+sim::SimStats SuiteRunner::simulateOriginal(const workloads::Workload &W,
+                                            sim::MachineConfig Cfg) {
+  auto OrigIt = Originals.find(W.Name);
+  if (OrigIt == Originals.end())
+    OrigIt = Originals.emplace(W.Name, W.Build()).first;
+  return simulate(OrigIt->second, W, Cfg);
+}
+
+const BenchResult &SuiteRunner::run(const workloads::Workload &W) {
+  auto It = Cache.find(W.Name);
+  if (It != Cache.end())
+    return It->second;
+
+  BenchResult R;
+  R.Name = W.Name;
+
+  auto OrigIt = Originals.find(W.Name);
+  if (OrigIt == Originals.end())
+    OrigIt = Originals.emplace(W.Name, W.Build()).first;
+  const ir::Program &Orig = OrigIt->second;
+
+  const profile::ProfileData &PD = profileOf(W);
+  core::PostPassTool Tool(Orig, PD, Opts);
+  ir::Program Enhanced = Tool.adapt(&R.Report);
+
+  bool Ok = true;
+  R.BaseIO = simulate(Orig, W, sim::MachineConfig::inOrder(), &Ok);
+  R.ChecksumsOk &= Ok;
+  R.SspIO = simulate(Enhanced, W, sim::MachineConfig::inOrder(), &Ok);
+  R.ChecksumsOk &= Ok;
+  R.BaseOOO = simulate(Orig, W, sim::MachineConfig::outOfOrder(), &Ok);
+  R.ChecksumsOk &= Ok;
+  R.SspOOO = simulate(Enhanced, W, sim::MachineConfig::outOfOrder(), &Ok);
+  R.ChecksumsOk &= Ok;
+  if (!R.ChecksumsOk)
+    fatalError("workload checksum mismatch: adaptation corrupted results");
+
+  return Cache.emplace(W.Name, std::move(R)).first->second;
+}
+
+void ssp::harness::printMachineBanner() {
+  std::printf(
+      "machine model (paper Table 1): SMT x4 contexts | in-order 12-stage / "
+      "OOO 16-stage (ROB 255, RS 18)\n"
+      "fetch/issue 2 bundles from 1 thread or 1+1 from 2 | 4 int, 2 FP, 3 "
+      "br, 2 mem ports | GSHARE 2k + BTB 256\n"
+      "L1 16KB/4w/2cyc, L2 256KB/4w/14cyc, L3 3MB/12w/30cyc, 64B lines, "
+      "16-entry fill buffer, mem 230cyc, TLB miss 30cyc\n\n");
+}

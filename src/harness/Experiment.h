@@ -1,0 +1,97 @@
+//===- harness/Experiment.h - Shared experiment harness -------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment harness shared by every bench binary: it profiles a
+/// workload, runs the post-pass tool, simulates the baseline and the
+/// SSP-enhanced binary on both research Itanium models (and the idealized
+/// memory modes of Figure 2), validates checksums, and caches results so
+/// one bench binary never simulates the same configuration twice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_HARNESS_EXPERIMENT_H
+#define SSP_HARNESS_EXPERIMENT_H
+
+#include "core/PostPassTool.h"
+#include "sim/Simulator.h"
+#include "workloads/Workload.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ssp::harness {
+
+/// All simulation results for one workload under one tool configuration.
+struct BenchResult {
+  std::string Name;
+  core::AdaptationReport Report;
+
+  sim::SimStats BaseIO;  ///< Original binary, in-order.
+  sim::SimStats SspIO;   ///< Enhanced binary, in-order.
+  sim::SimStats BaseOOO; ///< Original binary, out-of-order.
+  sim::SimStats SspOOO;  ///< Enhanced binary, out-of-order.
+
+  bool ChecksumsOk = true; ///< Every run stored the expected checksum.
+
+  double speedupIO() const {
+    return static_cast<double>(BaseIO.Cycles) /
+           static_cast<double>(SspIO.Cycles);
+  }
+  double speedupOOOOverIO() const {
+    return static_cast<double>(BaseIO.Cycles) /
+           static_cast<double>(BaseOOO.Cycles);
+  }
+  double speedupSspOOOOverIO() const {
+    return static_cast<double>(BaseIO.Cycles) /
+           static_cast<double>(SspOOO.Cycles);
+  }
+};
+
+/// Runs workloads through the full pipeline with caching.
+class SuiteRunner {
+public:
+  explicit SuiteRunner(core::ToolOptions Opts = core::ToolOptions())
+      : Opts(std::move(Opts)) {}
+
+  /// Full result for \p W (profile -> adapt -> 4 simulations). Cached.
+  const BenchResult &run(const workloads::Workload &W);
+
+  /// Simulates \p W's original binary under \p Cfg (Figure 2's idealized
+  /// modes are reached through Cfg.PerfectMemory / Cfg.PerfectLoads).
+  sim::SimStats simulateOriginal(const workloads::Workload &W,
+                                 sim::MachineConfig Cfg);
+
+  /// The profile of \p W's original binary. Cached.
+  const profile::ProfileData &profileOf(const workloads::Workload &W);
+
+  /// StaticIds of the delinquent loads the tool would select for \p W.
+  std::unordered_set<ir::StaticId>
+  delinquentIdsOf(const workloads::Workload &W);
+
+  const core::ToolOptions &options() const { return Opts; }
+
+  /// Simulates \p P on \p W's data image; checks the checksum when
+  /// \p ChecksumOk is provided.
+  static sim::SimStats simulate(const ir::Program &P,
+                                const workloads::Workload &W,
+                                sim::MachineConfig Cfg,
+                                bool *ChecksumOk = nullptr);
+
+private:
+  core::ToolOptions Opts;
+  std::map<std::string, BenchResult> Cache;
+  std::map<std::string, profile::ProfileData> Profiles;
+  std::map<std::string, ir::Program> Originals;
+};
+
+/// Prints the Table 1 machine-model banner every bench emits.
+void printMachineBanner();
+
+} // namespace ssp::harness
+
+#endif // SSP_HARNESS_EXPERIMENT_H

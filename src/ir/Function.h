@@ -1,0 +1,112 @@
+//===- ir/Function.h - Basic blocks and functions --------------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock and Function: the structured view of the binary. Blocks are
+/// laid out in vector order; control falls through from one block to the
+/// next unless the block ends with an unconditional terminator. Attachment
+/// blocks (SSP stub and slice blocks, Figure 7 of the paper) are appended
+/// after the function body and are only reachable via chk.c exceptions and
+/// thread spawns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_IR_FUNCTION_H
+#define SSP_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssp::ir {
+
+/// The role a block plays in the SSP-enhanced binary layout (Figure 7).
+enum class BlockKind : uint8_t {
+  Body,  ///< Part of the original function body.
+  Stub,  ///< chk.c recovery code: copies live-ins to the LIB and spawns.
+  Slice  ///< p-slice body executed by a speculative thread.
+};
+
+/// A straight-line sequence of instructions with a single entry point.
+struct BasicBlock {
+  std::string Name;
+  uint32_t Index = 0; ///< Position within the parent function.
+  BlockKind Kind = BlockKind::Body;
+  std::vector<Instruction> Insts;
+
+  bool isAttachment() const { return Kind != BlockKind::Body; }
+
+  /// Returns true if the block ends with an opcode after which control never
+  /// falls through to the next block in layout order.
+  bool endsWithUnconditionalExit() const {
+    if (Insts.empty())
+      return false;
+    return isTerminator(Insts.back().Op);
+  }
+};
+
+/// A procedure of the binary: an entry block followed by body blocks, then
+/// (after adaptation) any stub/slice attachments.
+class Function {
+public:
+  Function(std::string Name, uint32_t Index)
+      : Name(std::move(Name)), Index(Index) {}
+
+  const std::string &getName() const { return Name; }
+  uint32_t getIndex() const { return Index; }
+
+  /// Appends a new block and returns its index.
+  uint32_t addBlock(std::string BlockName,
+                    BlockKind Kind = BlockKind::Body) {
+    uint32_t Idx = static_cast<uint32_t>(Blocks.size());
+    Blocks.push_back(BasicBlock());
+    Blocks.back().Name = std::move(BlockName);
+    Blocks.back().Index = Idx;
+    Blocks.back().Kind = Kind;
+    return Idx;
+  }
+
+  BasicBlock &block(uint32_t Idx) { return Blocks[Idx]; }
+  const BasicBlock &block(uint32_t Idx) const { return Blocks[Idx]; }
+  size_t numBlocks() const { return Blocks.size(); }
+
+  std::vector<BasicBlock> &blocks() { return Blocks; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// Allocates the next function-unique static instruction id.
+  uint32_t nextInstId() { return NextId++; }
+
+  /// Raises the id watermark (used when cloning so fresh ids never collide
+  /// with preserved ones).
+  void setInstIdWatermark(uint32_t V) {
+    if (V > NextId)
+      NextId = V;
+  }
+
+  /// Number of instruction ids handed out so far (upper bound for id-indexed
+  /// side tables).
+  uint32_t numInstIds() const { return NextId; }
+
+  /// Total instruction count over all blocks.
+  size_t numInsts() const {
+    size_t N = 0;
+    for (const BasicBlock &BB : Blocks)
+      N += BB.Insts.size();
+    return N;
+  }
+
+private:
+  std::string Name;
+  uint32_t Index;
+  std::vector<BasicBlock> Blocks;
+  uint32_t NextId = 0;
+};
+
+} // namespace ssp::ir
+
+#endif // SSP_IR_FUNCTION_H

@@ -1,0 +1,229 @@
+//===- ir/IRBuilder.h - Convenience construction of IR --------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder assembles functions instruction by instruction. The workload
+/// generators use it to hand-write the seven benchmark binaries, and the SSP
+/// rewriter uses it to emit stub and slice attachments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_IR_IRBUILDER_H
+#define SSP_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+
+#include <cassert>
+
+namespace ssp::ir {
+
+/// Builds IR into a Program. Holds a current insertion point (function,
+/// block); every emit call appends one instruction there and assigns it a
+/// fresh function-unique static id.
+class IRBuilder {
+public:
+  explicit IRBuilder(Program &P) : P(P) {}
+
+  /// Creates a function and makes it current (with no current block).
+  Function &createFunction(const std::string &Name) {
+    Function &F = P.addFunction(Name);
+    CurFunc = F.getIndex();
+    CurBlock = ~0u;
+    return F;
+  }
+
+  /// Switches the insertion function (e.g. back to a previously created one).
+  void setFunction(uint32_t FuncIdx) {
+    assert(FuncIdx < P.numFuncs() && "bad function index");
+    CurFunc = FuncIdx;
+    CurBlock = ~0u;
+  }
+
+  /// Creates a block in the current function and makes it the insert point.
+  uint32_t createBlock(const std::string &Name,
+                       BlockKind Kind = BlockKind::Body) {
+    assert(CurFunc != ~0u && "no current function");
+    CurBlock = P.func(CurFunc).addBlock(Name, Kind);
+    return CurBlock;
+  }
+
+  void setInsertPoint(uint32_t BlockIdx) {
+    assert(CurFunc != ~0u && BlockIdx < P.func(CurFunc).numBlocks());
+    CurBlock = BlockIdx;
+  }
+
+  uint32_t currentFunction() const { return CurFunc; }
+  uint32_t currentBlock() const { return CurBlock; }
+
+  /// Emits a fully-formed instruction at the insertion point, assigning a
+  /// fresh static id, and returns a reference to the stored instruction.
+  Instruction &emit(Instruction I) {
+    assert(CurFunc != ~0u && CurBlock != ~0u && "no insertion point");
+    Function &F = P.func(CurFunc);
+    I.Id = F.nextInstId();
+    F.block(CurBlock).Insts.push_back(I);
+    return F.block(CurBlock).Insts.back();
+  }
+
+  // ALU, reg-reg.
+  void add(Reg D, Reg A, Reg B) { emitRRR(Opcode::Add, D, A, B); }
+  void sub(Reg D, Reg A, Reg B) { emitRRR(Opcode::Sub, D, A, B); }
+  void mul(Reg D, Reg A, Reg B) { emitRRR(Opcode::Mul, D, A, B); }
+  void and_(Reg D, Reg A, Reg B) { emitRRR(Opcode::And, D, A, B); }
+  void or_(Reg D, Reg A, Reg B) { emitRRR(Opcode::Or, D, A, B); }
+  void xor_(Reg D, Reg A, Reg B) { emitRRR(Opcode::Xor, D, A, B); }
+  void shl(Reg D, Reg A, Reg B) { emitRRR(Opcode::Shl, D, A, B); }
+  void shr(Reg D, Reg A, Reg B) { emitRRR(Opcode::Shr, D, A, B); }
+
+  // ALU, reg-imm.
+  void addI(Reg D, Reg A, int64_t Imm) { emitRRI(Opcode::AddI, D, A, Imm); }
+  void mulI(Reg D, Reg A, int64_t Imm) { emitRRI(Opcode::MulI, D, A, Imm); }
+  void shlI(Reg D, Reg A, int64_t Imm) { emitRRI(Opcode::ShlI, D, A, Imm); }
+  void andI(Reg D, Reg A, int64_t Imm) { emitRRI(Opcode::AndI, D, A, Imm); }
+  void orI(Reg D, Reg A, int64_t Imm) { emitRRI(Opcode::OrI, D, A, Imm); }
+
+  // Moves.
+  void mov(Reg D, Reg S) { emitRRR(Opcode::Mov, D, S, Reg()); }
+  void movI(Reg D, int64_t Imm) {
+    Instruction I;
+    I.Op = Opcode::MovI;
+    I.Dst = D;
+    I.Imm = Imm;
+    emit(I);
+  }
+
+  // Compares.
+  void cmp(CondCode CC, Reg P_, Reg A, Reg B) {
+    Instruction I;
+    I.Op = Opcode::Cmp;
+    I.Cond = CC;
+    I.Dst = P_;
+    I.Src1 = A;
+    I.Src2 = B;
+    emit(I);
+  }
+  void cmpI(CondCode CC, Reg P_, Reg A, int64_t Imm) {
+    Instruction I;
+    I.Op = Opcode::CmpI;
+    I.Cond = CC;
+    I.Dst = P_;
+    I.Src1 = A;
+    I.Imm = Imm;
+    emit(I);
+  }
+
+  // Floating point.
+  void fadd(Reg D, Reg A, Reg B) { emitRRR(Opcode::FAdd, D, A, B); }
+  void fsub(Reg D, Reg A, Reg B) { emitRRR(Opcode::FSub, D, A, B); }
+  void fmul(Reg D, Reg A, Reg B) { emitRRR(Opcode::FMul, D, A, B); }
+  void xtof(Reg D, Reg S) { emitRRR(Opcode::XToF, D, S, Reg()); }
+  void ftox(Reg D, Reg S) { emitRRR(Opcode::FToX, D, S, Reg()); }
+
+  // Memory.
+  void load(Reg D, Reg Base, int64_t Off = 0) {
+    emitMem(Opcode::Load, D, Base, Reg(), Off);
+  }
+  void loadF(Reg D, Reg Base, int64_t Off = 0) {
+    emitMem(Opcode::LoadF, D, Base, Reg(), Off);
+  }
+  void store(Reg Base, int64_t Off, Reg Val) {
+    emitMem(Opcode::Store, Reg(), Base, Val, Off);
+  }
+  void storeF(Reg Base, int64_t Off, Reg Val) {
+    emitMem(Opcode::StoreF, Reg(), Base, Val, Off);
+  }
+  void prefetch(Reg Base, int64_t Off = 0) {
+    emitMem(Opcode::Prefetch, Reg(), Base, Reg(), Off);
+  }
+
+  // Control flow.
+  void br(Reg Pred, uint32_t Block) {
+    Instruction I;
+    I.Op = Opcode::Br;
+    I.Src1 = Pred;
+    I.Target = Block;
+    emit(I);
+  }
+  void jmp(uint32_t Block) { emitTarget(Opcode::Jmp, Block); }
+  void call(uint32_t FuncIdx) { emitTarget(Opcode::Call, FuncIdx); }
+  void callInd(Reg FuncIdxReg) {
+    Instruction I;
+    I.Op = Opcode::CallInd;
+    I.Src1 = FuncIdxReg;
+    emit(I);
+  }
+  void ret() { emitTarget(Opcode::Ret, 0); }
+  void halt() { emitTarget(Opcode::Halt, 0); }
+  void nop() { emitTarget(Opcode::Nop, 0); }
+
+  // SSP extensions (used by the rewriter and by hand-adapted workloads).
+  void chkC(uint32_t StubBlock) { emitTarget(Opcode::ChkC, StubBlock); }
+  void rfi() { emitTarget(Opcode::Rfi, 0); }
+  void spawn(uint32_t SliceBlock) { emitTarget(Opcode::Spawn, SliceBlock); }
+  void killThread() { emitTarget(Opcode::KillThread, 0); }
+  void copyToLIB(uint32_t Slot, Reg Src) {
+    Instruction I;
+    I.Op = Opcode::CopyToLIB;
+    I.Src1 = Src;
+    I.Target = Slot;
+    emit(I);
+  }
+  void copyToLIBI(uint32_t Slot, int64_t Imm) {
+    Instruction I;
+    I.Op = Opcode::CopyToLIBI;
+    I.Imm = Imm;
+    I.Target = Slot;
+    emit(I);
+  }
+  void copyFromLIB(Reg Dst, uint32_t Slot) {
+    Instruction I;
+    I.Op = Opcode::CopyFromLIB;
+    I.Dst = Dst;
+    I.Target = Slot;
+    emit(I);
+  }
+
+private:
+  void emitRRR(Opcode Op, Reg D, Reg A, Reg B) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = D;
+    I.Src1 = A;
+    I.Src2 = B;
+    emit(I);
+  }
+  void emitRRI(Opcode Op, Reg D, Reg A, int64_t Imm) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = D;
+    I.Src1 = A;
+    I.Imm = Imm;
+    emit(I);
+  }
+  void emitMem(Opcode Op, Reg D, Reg Base, Reg Val, int64_t Off) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = D;
+    I.Src1 = Base;
+    I.Src2 = Val;
+    I.Imm = Off;
+    emit(I);
+  }
+  void emitTarget(Opcode Op, uint32_t Target) {
+    Instruction I;
+    I.Op = Op;
+    I.Target = Target;
+    emit(I);
+  }
+
+  Program &P;
+  uint32_t CurFunc = ~0u;
+  uint32_t CurBlock = ~0u;
+};
+
+} // namespace ssp::ir
+
+#endif // SSP_IR_IRBUILDER_H

@@ -1,0 +1,154 @@
+//===- ir/Instruction.h - Machine-level IR instructions -------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Instruction is one machine operation of the binary being adapted. The
+/// representation matches the paper's setting where "the IR exactly matches
+/// the hardware instructions in the binary": the post-pass tool reads this
+/// IR, computes slices over it, and rewrites it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_IR_INSTRUCTION_H
+#define SSP_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "ir/Reg.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ssp::ir {
+
+/// One instruction of the Itanium-like binary IR.
+///
+/// Field usage by opcode family:
+///  * ALU reg-reg:   Dst := Src1 op Src2
+///  * ALU reg-imm:   Dst := Src1 op Imm
+///  * Cmp/CmpI:      Dst(pred) := Src1 <Cond> (Src2 | Imm)
+///  * Load/LoadF:    Dst := mem[Src1 + Imm]
+///  * Store/StoreF:  mem[Src1 + Imm] := Src2
+///  * Prefetch:      touch mem[Src1 + Imm]
+///  * Br:            if Src1(pred) goto block Target
+///  * Jmp/ChkC/Spawn: block Target
+///  * Call:          function Target;  CallInd: function index in Src1
+///  * CopyToLIB:     LIB[Target] := Src1;  CopyFromLIB: Dst := LIB[Target]
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  CondCode Cond = CondCode::EQ;
+  Reg Dst;
+  Reg Src1;
+  Reg Src2;
+  int64_t Imm = 0;
+  uint32_t Target = 0;
+
+  /// Function-unique static instruction id. Assigned by the IRBuilder and
+  /// preserved verbatim by the rewriter so that cache profiles collected on
+  /// the original binary stay valid for the SSP-enhanced binary.
+  uint32_t Id = 0;
+
+  /// Returns the register this instruction defines, or an invalid Reg.
+  Reg def() const {
+    return writesDst() ? Dst : Reg();
+  }
+
+  /// Returns true if the instruction writes its Dst register.
+  bool writesDst() const {
+    switch (Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::AddI:
+    case Opcode::MulI:
+    case Opcode::ShlI:
+    case Opcode::AndI:
+    case Opcode::OrI:
+    case Opcode::Mov:
+    case Opcode::MovI:
+    case Opcode::Cmp:
+    case Opcode::CmpI:
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::XToF:
+    case Opcode::FToX:
+    case Opcode::Load:
+    case Opcode::LoadF:
+    case Opcode::CopyFromLIB:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Calls \p Fn for every register this instruction reads.
+  template <typename CallableT> void forEachUse(CallableT Fn) const {
+    switch (Op) {
+    case Opcode::Nop:
+    case Opcode::MovI:
+    case Opcode::Jmp:
+    case Opcode::Call:
+    case Opcode::Ret:
+    case Opcode::Halt:
+    case Opcode::ChkC:
+    case Opcode::Rfi:
+    case Opcode::Spawn:
+    case Opcode::KillThread:
+    case Opcode::CopyFromLIB:
+    case Opcode::CopyToLIBI:
+      return;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Cmp:
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+      Fn(Src1);
+      Fn(Src2);
+      return;
+    case Opcode::AddI:
+    case Opcode::MulI:
+    case Opcode::ShlI:
+    case Opcode::AndI:
+    case Opcode::OrI:
+    case Opcode::Mov:
+    case Opcode::CmpI:
+    case Opcode::XToF:
+    case Opcode::FToX:
+    case Opcode::Load:
+    case Opcode::LoadF:
+    case Opcode::Prefetch:
+    case Opcode::Br:
+    case Opcode::CallInd:
+    case Opcode::CopyToLIB:
+      Fn(Src1);
+      return;
+    case Opcode::Store:
+    case Opcode::StoreF:
+      Fn(Src1); // Address base.
+      Fn(Src2); // Stored value.
+      return;
+    }
+  }
+
+  /// Renders the instruction as assembly-like text.
+  std::string str() const;
+};
+
+} // namespace ssp::ir
+
+#endif // SSP_IR_INSTRUCTION_H

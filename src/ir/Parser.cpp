@@ -1,0 +1,468 @@
+//===- ir/Parser.cpp - Assembly-text parser for the IR --------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Program.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+using namespace ssp;
+using namespace ssp::ir;
+
+namespace {
+
+/// A tiny cursor over one line of text.
+class LineCursor {
+public:
+  explicit LineCursor(const std::string &Line) : Text(Line) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(unsigned(Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size() || Text[Pos] == '#';
+  }
+
+  /// Consumes \p Literal (after whitespace); returns false if absent.
+  bool eat(const std::string &Literal) {
+    skipSpace();
+    if (Text.compare(Pos, Literal.size(), Literal) != 0)
+      return false;
+    Pos += Literal.size();
+    return true;
+  }
+
+  /// Peeks whether \p Literal comes next.
+  bool peek(const std::string &Literal) {
+    skipSpace();
+    return Text.compare(Pos, Literal.size(), Literal) == 0;
+  }
+
+  /// Reads a token of [A-Za-z0-9_.<>-] characters.
+  std::string word() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(unsigned(Text[Pos])) || Text[Pos] == '_' ||
+            Text[Pos] == '.' || Text[Pos] == '-'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Reads a signed integer; returns false on failure.
+  bool integer(int64_t &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() && std::isdigit(unsigned(Text[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = std::strtoll(Text.substr(Start, Pos - Start).c_str(), nullptr,
+                       10);
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+class Parser {
+public:
+  Parser(const std::string &Text, Program &Out, DataImage *Data)
+      : Out(Out), Data(Data) {
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line))
+      Lines.push_back(Line);
+  }
+
+  bool run(std::string &Error) {
+    // Pass 1: collect function headers so calls can be resolved by index
+    // even before the callee is parsed (indices appear literally as fnN,
+    // so a single pass suffices; we only validate block counts at the
+    // end via the verifier-style checks the caller runs).
+    for (LineNo = 0; LineNo < Lines.size(); ++LineNo) {
+      LineCursor C(Lines[LineNo]);
+      if (C.atEnd())
+        continue;
+      if (C.peek("function")) {
+        InDataSection = false;
+        if (!parseFunctionHeader(C))
+          return fail(Error);
+        continue;
+      }
+      if (C.eat("data:")) {
+        if (!C.atEnd()) {
+          Msg = "trailing junk after 'data:'";
+          return fail(Error);
+        }
+        InDataSection = true;
+        continue;
+      }
+      if (InDataSection) {
+        if (!parseDataLine(C))
+          return fail(Error);
+        continue;
+      }
+      if (C.peek("bb")) {
+        if (!parseBlockHeader(C))
+          return fail(Error);
+        continue;
+      }
+      if (!parseInstruction(C))
+        return fail(Error);
+    }
+    if (Out.numFuncs() == 0) {
+      Msg = "no functions in input";
+      return fail(Error);
+    }
+    return true;
+  }
+
+private:
+  bool fail(std::string &Error) {
+    Error = "line " + std::to_string(LineNo + 1) + ": " + Msg;
+    return false;
+  }
+
+  bool error(const std::string &M) {
+    Msg = M;
+    return false;
+  }
+
+  bool parseDataLine(LineCursor &C) {
+    // ADDR ':' value+   (ADDR may be hex 0x... or decimal).
+    uint64_t Addr = 0;
+    if (!parseAddress(C, Addr))
+      return false;
+    if (!C.eat(":"))
+      return error("expected ':' after data address");
+    if ((Addr & 7) != 0)
+      return error("data address must be 8-byte aligned");
+    bool Any = false;
+    while (!C.atEnd()) {
+      int64_t V = 0;
+      if (!C.integer(V))
+        return error("expected data word");
+      if (Data)
+        Data->push_back({Addr, static_cast<uint64_t>(V)});
+      Addr += 8;
+      Any = true;
+    }
+    if (!Any)
+      return error("data line has no words");
+    return true;
+  }
+
+  bool parseAddress(LineCursor &C, uint64_t &Addr) {
+    C.skipSpace();
+    if (C.eat("0x")) {
+      std::string Hex = C.word();
+      if (Hex.empty())
+        return error("expected hex address");
+      Addr = std::strtoull(Hex.c_str(), nullptr, 16);
+      return true;
+    }
+    int64_t V = 0;
+    if (!C.integer(V))
+      return error("expected data address");
+    Addr = static_cast<uint64_t>(V);
+    return true;
+  }
+
+  bool parseFunctionHeader(LineCursor &C) {
+    C.eat("function");
+    std::string Name = C.word();
+    if (Name.empty())
+      return error("expected function name");
+    if (!C.eat("(fn"))
+      return error("expected (fnN) after function name");
+    int64_t Idx = 0;
+    if (!C.integer(Idx))
+      return error("expected function index");
+    if (!C.eat(")"))
+      return error("expected ')'");
+    if (static_cast<uint64_t>(Idx) != Out.numFuncs())
+      return error("function index " + std::to_string(Idx) +
+                   " out of order (expected fn" +
+                   std::to_string(Out.numFuncs()) + ")");
+    bool IsEntry = C.eat("[entry]");
+    if (!C.eat(":"))
+      return error("expected ':' after function header");
+    CurFunc = &Out.addFunction(Name);
+    CurBlock = ~0u;
+    if (IsEntry)
+      Out.setEntry(CurFunc->getIndex());
+    return true;
+  }
+
+  bool parseBlockHeader(LineCursor &C) {
+    if (!CurFunc)
+      return error("block outside a function");
+    C.eat("bb");
+    int64_t Idx = 0;
+    if (!C.integer(Idx))
+      return error("expected block index");
+    if (!C.eat("<"))
+      return error("expected '<name>' after block index");
+    std::string Name = C.word();
+    if (!C.eat(">"))
+      return error("expected '>' after block name");
+    BlockKind Kind = BlockKind::Body;
+    if (C.eat("[stub]"))
+      Kind = BlockKind::Stub;
+    else if (C.eat("[slice]"))
+      Kind = BlockKind::Slice;
+    if (!C.eat(":"))
+      return error("expected ':' after block header");
+    if (static_cast<uint64_t>(Idx) != CurFunc->numBlocks())
+      return error("block index out of order");
+    CurBlock = CurFunc->addBlock(Name, Kind);
+    return true;
+  }
+
+  bool parseReg(LineCursor &C, Reg &Out2) {
+    std::string W = C.word();
+    if (W.size() < 2)
+      return error("expected register, got '" + W + "'");
+    char Cls = W[0];
+    long N = std::strtol(W.c_str() + 1, nullptr, 10);
+    if (Cls == 'r' && N >= 0 && N < int(NumIntRegs))
+      Out2 = ireg(unsigned(N));
+    else if (Cls == 'f' && N >= 0 && N < int(NumFPRegs))
+      Out2 = freg(unsigned(N));
+    else if (Cls == 'p' && N >= 0 && N < int(NumPredRegs))
+      Out2 = preg(unsigned(N));
+    else
+      return error("bad register '" + W + "'");
+    return true;
+  }
+
+  /// Parses "[rB + imm]" into \p Base and \p Off.
+  bool parseMemRef(LineCursor &C, Reg &Base, int64_t &Off) {
+    if (!C.eat("["))
+      return error("expected '['");
+    if (!parseReg(C, Base))
+      return false;
+    if (!C.eat("+"))
+      return error("expected '+' in memory operand");
+    if (!C.integer(Off))
+      return error("expected displacement");
+    if (!C.eat("]"))
+      return error("expected ']'");
+    return true;
+  }
+
+  bool parseBlockRef(LineCursor &C, uint32_t &Target) {
+    if (!C.eat("bb"))
+      return error("expected block reference");
+    int64_t N = 0;
+    if (!C.integer(N))
+      return error("expected block number");
+    Target = static_cast<uint32_t>(N);
+    return true;
+  }
+
+  bool parseCond(const std::string &Name, CondCode &CC) {
+    if (Name == "eq")
+      CC = CondCode::EQ;
+    else if (Name == "ne")
+      CC = CondCode::NE;
+    else if (Name == "lt")
+      CC = CondCode::LT;
+    else if (Name == "le")
+      CC = CondCode::LE;
+    else if (Name == "gt")
+      CC = CondCode::GT;
+    else if (Name == "ge")
+      CC = CondCode::GE;
+    else
+      return error("bad condition code '" + Name + "'");
+    return true;
+  }
+
+  void emit(Instruction I) {
+    I.Id = CurFunc->nextInstId();
+    CurFunc->block(CurBlock).Insts.push_back(I);
+  }
+
+  bool parseInstruction(LineCursor &C) {
+    if (!CurFunc || CurBlock == ~0u)
+      return error("instruction outside a block");
+    std::string Mn = C.word();
+    Instruction I;
+
+    // Split "cmp.lt" / "cmpi.ge" / "chk.c" / "lib.st" style mnemonics.
+    std::string Base = Mn, Suffix;
+    if (size_t Dot = Mn.find('.'); Dot != std::string::npos) {
+      Base = Mn.substr(0, Dot);
+      Suffix = Mn.substr(Dot + 1);
+    }
+
+    auto RRR = [&](Opcode Op) {
+      I.Op = Op;
+      return parseReg(C, I.Dst) && C.eat("=") && parseReg(C, I.Src1) &&
+             C.eat(",") && parseReg(C, I.Src2);
+    };
+    auto RRI = [&](Opcode Op) {
+      I.Op = Op;
+      return parseReg(C, I.Dst) && C.eat("=") && parseReg(C, I.Src1) &&
+             C.eat(",") && C.integer(I.Imm);
+    };
+    auto RR = [&](Opcode Op) {
+      I.Op = Op;
+      return parseReg(C, I.Dst) && C.eat("=") && parseReg(C, I.Src1);
+    };
+    auto Bare = [&](Opcode Op) {
+      I.Op = Op;
+      return true;
+    };
+    auto BlockOp = [&](Opcode Op) {
+      I.Op = Op;
+      return parseBlockRef(C, I.Target);
+    };
+
+    bool Ok;
+    if (Mn == "nop")
+      Ok = Bare(Opcode::Nop);
+    else if (Mn == "add")
+      Ok = RRR(Opcode::Add);
+    else if (Mn == "sub")
+      Ok = RRR(Opcode::Sub);
+    else if (Mn == "mul")
+      Ok = RRR(Opcode::Mul);
+    else if (Mn == "and")
+      Ok = RRR(Opcode::And);
+    else if (Mn == "or")
+      Ok = RRR(Opcode::Or);
+    else if (Mn == "xor")
+      Ok = RRR(Opcode::Xor);
+    else if (Mn == "shl")
+      Ok = RRR(Opcode::Shl);
+    else if (Mn == "shr")
+      Ok = RRR(Opcode::Shr);
+    else if (Mn == "addi")
+      Ok = RRI(Opcode::AddI);
+    else if (Mn == "muli")
+      Ok = RRI(Opcode::MulI);
+    else if (Mn == "shli")
+      Ok = RRI(Opcode::ShlI);
+    else if (Mn == "andi")
+      Ok = RRI(Opcode::AndI);
+    else if (Mn == "ori")
+      Ok = RRI(Opcode::OrI);
+    else if (Mn == "mov")
+      Ok = RR(Opcode::Mov);
+    else if (Mn == "movi") {
+      I.Op = Opcode::MovI;
+      Ok = parseReg(C, I.Dst) && C.eat("=") && C.integer(I.Imm);
+    } else if (Base == "cmp" && !Suffix.empty()) {
+      Ok = parseCond(Suffix, I.Cond) && RRR(Opcode::Cmp);
+    } else if (Base == "cmpi" && !Suffix.empty()) {
+      Ok = parseCond(Suffix, I.Cond) && RRI(Opcode::CmpI);
+    } else if (Mn == "fadd")
+      Ok = RRR(Opcode::FAdd);
+    else if (Mn == "fsub")
+      Ok = RRR(Opcode::FSub);
+    else if (Mn == "fmul")
+      Ok = RRR(Opcode::FMul);
+    else if (Mn == "xtof")
+      Ok = RR(Opcode::XToF);
+    else if (Mn == "ftox")
+      Ok = RR(Opcode::FToX);
+    else if (Mn == "ld8" || Mn == "ldf") {
+      I.Op = Mn == "ld8" ? Opcode::Load : Opcode::LoadF;
+      Ok = parseReg(C, I.Dst) && C.eat("=") &&
+           parseMemRef(C, I.Src1, I.Imm);
+    } else if (Mn == "st8" || Mn == "stf") {
+      I.Op = Mn == "st8" ? Opcode::Store : Opcode::StoreF;
+      Ok = parseMemRef(C, I.Src1, I.Imm) && C.eat("=") &&
+           parseReg(C, I.Src2);
+    } else if (Mn == "lfetch") {
+      I.Op = Opcode::Prefetch;
+      Ok = parseMemRef(C, I.Src1, I.Imm);
+    } else if (Mn == "br") {
+      I.Op = Opcode::Br;
+      Ok = C.eat("(") && parseReg(C, I.Src1) && C.eat(")") &&
+           parseBlockRef(C, I.Target);
+    } else if (Mn == "jmp")
+      Ok = BlockOp(Opcode::Jmp);
+    else if (Mn == "call") {
+      I.Op = Opcode::Call;
+      int64_t N = 0;
+      Ok = C.eat("fn") && C.integer(N);
+      I.Target = static_cast<uint32_t>(N);
+    } else if (Mn == "calli") {
+      I.Op = Opcode::CallInd;
+      Ok = C.eat("[") && parseReg(C, I.Src1) && C.eat("]");
+    } else if (Mn == "ret")
+      Ok = Bare(Opcode::Ret);
+    else if (Mn == "halt")
+      Ok = Bare(Opcode::Halt);
+    else if (Base == "chk" && Suffix == "c")
+      Ok = BlockOp(Opcode::ChkC);
+    else if (Mn == "rfi")
+      Ok = Bare(Opcode::Rfi);
+    else if (Mn == "spawn")
+      Ok = BlockOp(Opcode::Spawn);
+    else if (Mn == "kill")
+      Ok = Bare(Opcode::KillThread);
+    else if (Base == "lib" && suffixIsLib(Suffix)) {
+      int64_t Slot = 0;
+      if (Suffix == "ld") {
+        I.Op = Opcode::CopyFromLIB;
+        Ok = parseReg(C, I.Dst) && C.eat("=") && C.eat("lib[") &&
+             C.integer(Slot) && C.eat("]");
+      } else {
+        I.Op = Suffix == "st" ? Opcode::CopyToLIB : Opcode::CopyToLIBI;
+        Ok = C.eat("lib[") && C.integer(Slot) && C.eat("]") && C.eat("=");
+        if (Ok) {
+          if (I.Op == Opcode::CopyToLIB)
+            Ok = parseReg(C, I.Src1);
+          else
+            Ok = C.integer(I.Imm);
+        }
+      }
+      I.Target = static_cast<uint32_t>(Slot);
+    } else {
+      return error("unknown mnemonic '" + Mn + "'");
+    }
+
+    if (!Ok)
+      return Msg.empty() ? error("malformed operands for '" + Mn + "'")
+                         : false;
+    if (!C.atEnd())
+      return error("trailing junk after instruction");
+    emit(I);
+    return true;
+  }
+
+  static bool suffixIsLib(const std::string &S) {
+    return S == "st" || S == "sti" || S == "ld";
+  }
+
+  Program &Out;
+  DataImage *Data = nullptr;
+  bool InDataSection = false;
+  std::vector<std::string> Lines;
+  size_t LineNo = 0;
+  std::string Msg;
+  Function *CurFunc = nullptr;
+  uint32_t CurBlock = ~0u;
+};
+
+} // namespace
+
+bool ssp::ir::parseProgram(const std::string &Text, Program &Out,
+                           std::string &Error, DataImage *Data) {
+  return Parser(Text, Out, Data).run(Error);
+}

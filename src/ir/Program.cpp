@@ -1,0 +1,187 @@
+//===- ir/Program.cpp - Linking and printing ------------------------------===//
+
+#include "ir/Program.h"
+
+#include "support/Assert.h"
+
+#include <cassert>
+
+using namespace ssp;
+using namespace ssp::ir;
+
+LinkedProgram LinkedProgram::link(const Program &P) {
+  LinkedProgram LP;
+  LP.Prog = &P;
+  LP.FuncEntries.resize(P.numFuncs(), 0);
+  LP.BlockStarts.resize(P.numFuncs());
+
+  // First pass: assign addresses to every instruction in layout order
+  // (functions in index order; blocks in index order, which places SSP
+  // attachments after the function body per Figure 7).
+  uint32_t Addr = 0;
+  uint32_t BundleId = 0;
+  for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
+    const Function &F = P.func(FI);
+    LP.FuncEntries[FI] = Addr;
+    LP.BlockStarts[FI].resize(F.numBlocks(), 0);
+    for (uint32_t BI = 0; BI < F.numBlocks(); ++BI) {
+      const BasicBlock &BB = F.block(BI);
+      assert(!BB.Insts.empty() && "cannot link an empty basic block");
+      LP.BlockStarts[FI][BI] = Addr;
+      unsigned InBundle = 0;
+      for (const Instruction &I : BB.Insts) {
+        LinkedInst LI;
+        LI.I = &I;
+        LI.Func = FI;
+        LI.Block = BI;
+        LI.BundleId = BundleId;
+        LI.Sid = makeStaticId(FI, I.Id);
+        LP.Code.push_back(LI);
+        ++Addr;
+        if (++InBundle == 3) {
+          InBundle = 0;
+          ++BundleId;
+        }
+      }
+      // A bundle never spans a block boundary.
+      if (InBundle != 0)
+        ++BundleId;
+    }
+  }
+
+  // Second pass: resolve control transfer targets to global addresses.
+  for (LinkedInst &LI : LP.Code) {
+    const Instruction &I = *LI.I;
+    if (hasBlockTarget(I.Op)) {
+      assert(I.Target < LP.BlockStarts[LI.Func].size() &&
+             "branch target block out of range");
+      LI.TargetAddr = LP.BlockStarts[LI.Func][I.Target];
+    } else if (I.Op == Opcode::Call) {
+      assert(I.Target < LP.FuncEntries.size() &&
+             "call target function out of range");
+      LI.TargetAddr = LP.FuncEntries[I.Target];
+    }
+  }
+  return LP;
+}
+
+std::string Instruction::str() const {
+  std::string S = opcodeName(Op);
+  if (Op == Opcode::Cmp || Op == Opcode::CmpI) {
+    S += '.';
+    S += condName(Cond);
+  }
+  auto Append = [&S](const std::string &Part) {
+    S += S.back() == ' ' ? "" : " ";
+    S += Part;
+  };
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::Rfi:
+  case Opcode::KillThread:
+    break;
+  case Opcode::MovI:
+    Append(Dst.str() + " = " + std::to_string(Imm));
+    break;
+  case Opcode::Mov:
+  case Opcode::XToF:
+  case Opcode::FToX:
+    Append(Dst.str() + " = " + Src1.str());
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Cmp:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+    Append(Dst.str() + " = " + Src1.str() + ", " + Src2.str());
+    break;
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::ShlI:
+  case Opcode::AndI:
+  case Opcode::OrI:
+  case Opcode::CmpI:
+    Append(Dst.str() + " = " + Src1.str() + ", " + std::to_string(Imm));
+    break;
+  case Opcode::Load:
+  case Opcode::LoadF:
+    Append(Dst.str() + " = [" + Src1.str() + " + " + std::to_string(Imm) +
+           "]");
+    break;
+  case Opcode::Store:
+  case Opcode::StoreF:
+    Append("[" + Src1.str() + " + " + std::to_string(Imm) + "] = " +
+           Src2.str());
+    break;
+  case Opcode::Prefetch:
+    Append("[" + Src1.str() + " + " + std::to_string(Imm) + "]");
+    break;
+  case Opcode::Br:
+    Append("(" + Src1.str() + ") bb" + std::to_string(Target));
+    break;
+  case Opcode::Jmp:
+  case Opcode::ChkC:
+  case Opcode::Spawn:
+    Append("bb" + std::to_string(Target));
+    break;
+  case Opcode::Call:
+    Append("fn" + std::to_string(Target));
+    break;
+  case Opcode::CallInd:
+    Append("[" + Src1.str() + "]");
+    break;
+  case Opcode::CopyToLIB:
+    Append("lib[" + std::to_string(Target) + "] = " + Src1.str());
+    break;
+  case Opcode::CopyToLIBI:
+    Append("lib[" + std::to_string(Target) + "] = " + std::to_string(Imm));
+    break;
+  case Opcode::CopyFromLIB:
+    Append(Dst.str() + " = lib[" + std::to_string(Target) + "]");
+    break;
+  }
+  return S;
+}
+
+Program Program::clone() const {
+  Program New;
+  for (uint32_t FI = 0; FI < numFuncs(); ++FI) {
+    const Function &F = func(FI);
+    Function &NF = New.addFunction(F.getName());
+    NF.blocks() = F.blocks();
+    NF.setInstIdWatermark(F.numInstIds());
+  }
+  New.setEntry(EntryFunc);
+  return New;
+}
+
+std::string Program::str() const {
+  std::string S;
+  for (uint32_t FI = 0; FI < numFuncs(); ++FI) {
+    const Function &F = func(FI);
+    S += "function " + F.getName() + " (fn" + std::to_string(FI) + ")";
+    if (FI == EntryFunc)
+      S += " [entry]";
+    S += ":\n";
+    for (const BasicBlock &BB : F.blocks()) {
+      S += "  bb" + std::to_string(BB.Index) + " <" + BB.Name + ">";
+      if (BB.Kind == BlockKind::Stub)
+        S += " [stub]";
+      else if (BB.Kind == BlockKind::Slice)
+        S += " [slice]";
+      S += ":\n";
+      for (const Instruction &I : BB.Insts)
+        S += "    " + I.str() + "\n";
+    }
+  }
+  return S;
+}

@@ -1,0 +1,125 @@
+//===- ir/Program.h - Whole-binary container and linking ------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program holds all functions of the binary. LinkedProgram is the flat,
+/// address-indexed view the simulator executes: functions laid out in order,
+/// each function's body blocks first and its SSP attachments appended after
+/// the function, exactly as the paper's Figure 7 lays out the enhanced
+/// binary. Linking resolves block targets to global addresses and assigns
+/// bundle boundaries (three instructions per bundle, reset at block entry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_IR_PROGRAM_H
+#define SSP_IR_PROGRAM_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ssp::ir {
+
+/// Key identifying a static instruction across simulation and rewriting:
+/// (function index, function-unique instruction id).
+using StaticId = uint64_t;
+
+inline StaticId makeStaticId(uint32_t Func, uint32_t InstId) {
+  return (static_cast<uint64_t>(Func) << 32) | InstId;
+}
+inline uint32_t staticIdFunc(StaticId Id) {
+  return static_cast<uint32_t>(Id >> 32);
+}
+inline uint32_t staticIdInst(StaticId Id) {
+  return static_cast<uint32_t>(Id);
+}
+
+/// A whole binary: a list of functions plus the entry function.
+class Program {
+public:
+  /// Creates a new empty function and returns a reference to it.
+  Function &addFunction(const std::string &Name) {
+    uint32_t Idx = static_cast<uint32_t>(Funcs.size());
+    Funcs.push_back(std::make_unique<Function>(Name, Idx));
+    return *Funcs.back();
+  }
+
+  Function &func(uint32_t Idx) { return *Funcs[Idx]; }
+  const Function &func(uint32_t Idx) const { return *Funcs[Idx]; }
+  size_t numFuncs() const { return Funcs.size(); }
+
+  void setEntry(uint32_t FuncIdx) { EntryFunc = FuncIdx; }
+  uint32_t getEntry() const { return EntryFunc; }
+
+  /// Total instruction count over all functions.
+  size_t numInsts() const {
+    size_t N = 0;
+    for (const auto &F : Funcs)
+      N += F->numInsts();
+    return N;
+  }
+
+  /// Renders the whole program as assembly-like text.
+  std::string str() const;
+
+  /// Deep-copies the program, preserving every instruction's static id (so
+  /// profiles collected on the original remain valid for the copy). The
+  /// rewriter adapts a clone and leaves the original untouched.
+  Program clone() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+  uint32_t EntryFunc = 0;
+};
+
+/// One instruction slot of the linked (flat) binary image.
+struct LinkedInst {
+  const Instruction *I = nullptr;
+  uint32_t Func = 0;      ///< Owning function index.
+  uint32_t Block = 0;     ///< Owning block index within the function.
+  uint32_t TargetAddr = 0; ///< Resolved address for block-target opcodes and
+                           ///< direct calls; unused otherwise.
+  uint32_t BundleId = 0;  ///< Global bundle number (3 instructions/bundle).
+  StaticId Sid = 0;       ///< Stable static id for profiles.
+};
+
+/// The executable image: a flat array of instructions with resolved control
+/// transfer targets. Immutable snapshot of a Program; relink after rewriting.
+class LinkedProgram {
+public:
+  /// Lays out and links \p P. The Program must outlive the result and must
+  /// not be mutated while the LinkedProgram is in use.
+  static LinkedProgram link(const Program &P);
+
+  const LinkedInst &at(uint32_t Addr) const { return Code[Addr]; }
+  uint32_t size() const { return static_cast<uint32_t>(Code.size()); }
+
+  /// Address of the first instruction of \p FuncIdx.
+  uint32_t funcEntry(uint32_t FuncIdx) const { return FuncEntries[FuncIdx]; }
+
+  /// Address of the first instruction of block \p BlockIdx in \p FuncIdx.
+  uint32_t blockStart(uint32_t FuncIdx, uint32_t BlockIdx) const {
+    return BlockStarts[FuncIdx][BlockIdx];
+  }
+
+  /// Address of the program entry point.
+  uint32_t entry() const { return FuncEntries[Prog->getEntry()]; }
+
+  const Program &program() const { return *Prog; }
+
+private:
+  const Program *Prog = nullptr;
+  std::vector<LinkedInst> Code;
+  std::vector<uint32_t> FuncEntries;
+  std::vector<std::vector<uint32_t>> BlockStarts;
+};
+
+} // namespace ssp::ir
+
+#endif // SSP_IR_PROGRAM_H

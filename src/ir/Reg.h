@@ -1,0 +1,109 @@
+//===- ir/Reg.h - Register operands ---------------------------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register operands of the Itanium-like IR. The modeled machine follows the
+/// per-thread register files of the paper's Table 1: 128 integer registers,
+/// 128 FP registers and 64 predicate registers per hardware thread context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_IR_REG_H
+#define SSP_IR_REG_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace ssp::ir {
+
+/// Register file sizes per hardware thread context (paper, Table 1).
+enum : unsigned {
+  NumIntRegs = 128,
+  NumFPRegs = 128,
+  NumPredRegs = 64
+};
+
+/// The register file a register operand names.
+enum class RegClass : uint8_t {
+  None, ///< Operand slot unused.
+  Int,  ///< r0..r127. r0 is hardwired to zero, as on Itanium.
+  FP,   ///< f0..f127.
+  Pred  ///< p0..p63. p0 is hardwired to true, as on Itanium.
+};
+
+/// A register operand: a register file plus a register number.
+struct Reg {
+  RegClass Cls = RegClass::None;
+  uint8_t Num = 0;
+
+  constexpr Reg() = default;
+  constexpr Reg(RegClass Cls, uint8_t Num) : Cls(Cls), Num(Num) {}
+
+  bool isValid() const { return Cls != RegClass::None; }
+  bool isInt() const { return Cls == RegClass::Int; }
+  bool isFP() const { return Cls == RegClass::FP; }
+  bool isPred() const { return Cls == RegClass::Pred; }
+
+  friend bool operator==(const Reg &A, const Reg &B) {
+    return A.Cls == B.Cls && A.Num == B.Num;
+  }
+  friend bool operator!=(const Reg &A, const Reg &B) { return !(A == B); }
+  friend bool operator<(const Reg &A, const Reg &B) {
+    if (A.Cls != B.Cls)
+      return static_cast<uint8_t>(A.Cls) < static_cast<uint8_t>(B.Cls);
+    return A.Num < B.Num;
+  }
+
+  /// A dense index usable as a key across all register files of one thread.
+  unsigned denseIndex() const {
+    switch (Cls) {
+    case RegClass::None:
+      assert(false && "denseIndex of invalid register");
+      return 0;
+    case RegClass::Int:
+      return Num;
+    case RegClass::FP:
+      return NumIntRegs + Num;
+    case RegClass::Pred:
+      return NumIntRegs + NumFPRegs + Num;
+    }
+    return 0;
+  }
+
+  /// Total number of dense register indices per thread.
+  static constexpr unsigned NumDenseIndices =
+      NumIntRegs + NumFPRegs + NumPredRegs;
+
+  std::string str() const {
+    switch (Cls) {
+    case RegClass::None:
+      return "<none>";
+    case RegClass::Int:
+      return "r" + std::to_string(Num);
+    case RegClass::FP:
+      return "f" + std::to_string(Num);
+    case RegClass::Pred:
+      return "p" + std::to_string(Num);
+    }
+    return "<bad>";
+  }
+};
+
+/// Shorthand constructors used pervasively by the workload builders.
+inline constexpr Reg ireg(unsigned N) {
+  return Reg(RegClass::Int, static_cast<uint8_t>(N));
+}
+inline constexpr Reg freg(unsigned N) {
+  return Reg(RegClass::FP, static_cast<uint8_t>(N));
+}
+inline constexpr Reg preg(unsigned N) {
+  return Reg(RegClass::Pred, static_cast<uint8_t>(N));
+}
+
+} // namespace ssp::ir
+
+#endif // SSP_IR_REG_H

@@ -1,0 +1,258 @@
+//===- ir/Verifier.cpp - Structural well-formedness checks ----------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Program.h"
+
+#include <set>
+
+using namespace ssp;
+using namespace ssp::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Program &P) : P(P) {}
+
+  std::vector<std::string> run() {
+    for (uint32_t FI = 0; FI < P.numFuncs(); ++FI)
+      verifyFunction(P.func(FI));
+    if (P.numFuncs() == 0)
+      error("program has no functions");
+    else if (P.getEntry() >= P.numFuncs())
+      error("entry function index out of range");
+    return std::move(Diags);
+  }
+
+private:
+  void error(const std::string &Msg) { Diags.push_back(Msg); }
+
+  void errorIn(const Function &F, const BasicBlock &BB,
+               const std::string &Msg) {
+    error("in " + F.getName() + " bb" + std::to_string(BB.Index) + ": " +
+          Msg);
+  }
+
+  void verifyFunction(const Function &F) {
+    if (F.numBlocks() == 0) {
+      error("function " + F.getName() + " has no blocks");
+      return;
+    }
+    // Attachments must come after all body blocks, so body fallthrough never
+    // runs into a stub or slice (Figure 7 layout).
+    bool SeenAttachment = false;
+    uint32_t LastBodyIdx = 0;
+    for (const BasicBlock &BB : F.blocks()) {
+      if (BB.isAttachment()) {
+        SeenAttachment = true;
+      } else {
+        if (SeenAttachment)
+          errorIn(F, BB, "body block after attachment blocks");
+        LastBodyIdx = BB.Index;
+      }
+    }
+    for (const BasicBlock &BB : F.blocks())
+      verifyBlock(F, BB, BB.Index == LastBodyIdx);
+    verifyUniqueIds(F);
+  }
+
+  void verifyUniqueIds(const Function &F) {
+    std::set<uint32_t> Seen;
+    for (const BasicBlock &BB : F.blocks())
+      for (const Instruction &I : BB.Insts)
+        if (!Seen.insert(I.Id).second)
+          errorIn(F, BB,
+                  "duplicate static instruction id " + std::to_string(I.Id));
+  }
+
+  void verifyBlock(const Function &F, const BasicBlock &BB,
+                   bool IsLastBody) {
+    if (BB.Insts.empty()) {
+      errorIn(F, BB, "empty basic block");
+      return;
+    }
+    for (size_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+      const Instruction &I = BB.Insts[Idx];
+      bool IsLast = Idx + 1 == BB.Insts.size();
+      verifyInst(F, BB, I, IsLast);
+    }
+    // The last body block must not fall off the end of the function.
+    const Instruction &Last = BB.Insts.back();
+    bool Exits = isTerminator(Last.Op) || Last.Op == Opcode::Br;
+    if (IsLastBody && BB.Kind == BlockKind::Body &&
+        !BB.endsWithUnconditionalExit())
+      errorIn(F, BB, "last body block may fall through past the function");
+    (void)Exits;
+    switch (BB.Kind) {
+    case BlockKind::Body:
+      break;
+    case BlockKind::Stub:
+      if (Last.Op != Opcode::Rfi)
+        errorIn(F, BB, "stub block must end with rfi");
+      break;
+    case BlockKind::Slice:
+      if (!isTerminator(Last.Op) && Last.Op != Opcode::Br)
+        errorIn(F, BB, "slice block must end with control flow");
+      break;
+    }
+  }
+
+  void verifyInst(const Function &F, const BasicBlock &BB,
+                  const Instruction &I, bool IsLast) {
+    // Register class constraints.
+    auto WantClass = [&](Reg R, RegClass C, const char *What) {
+      if (R.Cls != C)
+        errorIn(F, BB, std::string(What) + " has wrong register class in '" +
+                           I.str() + "'");
+    };
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      WantClass(I.Dst, RegClass::Int, "dst");
+      WantClass(I.Src1, RegClass::Int, "src1");
+      WantClass(I.Src2, RegClass::Int, "src2");
+      break;
+    case Opcode::AddI:
+    case Opcode::MulI:
+    case Opcode::ShlI:
+    case Opcode::AndI:
+    case Opcode::OrI:
+    case Opcode::MovI:
+      WantClass(I.Dst, RegClass::Int, "dst");
+      if (I.Op != Opcode::MovI)
+        WantClass(I.Src1, RegClass::Int, "src1");
+      break;
+    case Opcode::Mov:
+      if (I.Dst.Cls != I.Src1.Cls || (!I.Dst.isInt() && !I.Dst.isFP()))
+        errorIn(F, BB, "mov operands must be same Int/FP class");
+      break;
+    case Opcode::Cmp:
+      WantClass(I.Dst, RegClass::Pred, "dst");
+      WantClass(I.Src1, RegClass::Int, "src1");
+      WantClass(I.Src2, RegClass::Int, "src2");
+      break;
+    case Opcode::CmpI:
+      WantClass(I.Dst, RegClass::Pred, "dst");
+      WantClass(I.Src1, RegClass::Int, "src1");
+      break;
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+      WantClass(I.Dst, RegClass::FP, "dst");
+      WantClass(I.Src1, RegClass::FP, "src1");
+      WantClass(I.Src2, RegClass::FP, "src2");
+      break;
+    case Opcode::XToF:
+      WantClass(I.Dst, RegClass::FP, "dst");
+      WantClass(I.Src1, RegClass::Int, "src1");
+      break;
+    case Opcode::FToX:
+      WantClass(I.Dst, RegClass::Int, "dst");
+      WantClass(I.Src1, RegClass::FP, "src1");
+      break;
+    case Opcode::Load:
+      WantClass(I.Dst, RegClass::Int, "dst");
+      WantClass(I.Src1, RegClass::Int, "base");
+      break;
+    case Opcode::LoadF:
+      WantClass(I.Dst, RegClass::FP, "dst");
+      WantClass(I.Src1, RegClass::Int, "base");
+      break;
+    case Opcode::Store:
+      WantClass(I.Src1, RegClass::Int, "base");
+      WantClass(I.Src2, RegClass::Int, "value");
+      break;
+    case Opcode::StoreF:
+      WantClass(I.Src1, RegClass::Int, "base");
+      WantClass(I.Src2, RegClass::FP, "value");
+      break;
+    case Opcode::Prefetch:
+      WantClass(I.Src1, RegClass::Int, "base");
+      break;
+    case Opcode::Br:
+      WantClass(I.Src1, RegClass::Pred, "predicate");
+      break;
+    case Opcode::CallInd:
+      WantClass(I.Src1, RegClass::Int, "target");
+      break;
+    case Opcode::CopyToLIB:
+      if (!I.Src1.isValid())
+        errorIn(F, BB, "lib.st needs a source register");
+      break;
+    case Opcode::CopyFromLIB:
+      if (!I.Dst.isValid())
+        errorIn(F, BB, "lib.ld needs a destination register");
+      break;
+    default:
+      break;
+    }
+
+    // Hardwired registers are read-only: r0 == 0 and p0 == true.
+    Reg D = I.def();
+    if (D.isValid() && D.Num == 0 &&
+        (D.Cls == RegClass::Int || D.Cls == RegClass::Pred))
+      errorIn(F, BB, "write to hardwired register " + D.str());
+
+    // Control transfer target validity.
+    if (hasBlockTarget(I.Op)) {
+      if (I.Target >= F.numBlocks()) {
+        errorIn(F, BB, "block target out of range in '" + I.str() + "'");
+      } else {
+        const BasicBlock &TargetBB = F.block(I.Target);
+        if (I.Op == Opcode::ChkC && TargetBB.Kind != BlockKind::Stub)
+          errorIn(F, BB, "chk.c must target a stub block");
+        if (I.Op == Opcode::Spawn && TargetBB.Kind != BlockKind::Slice)
+          errorIn(F, BB, "spawn must target a slice block");
+        if ((I.Op == Opcode::Br || I.Op == Opcode::Jmp) &&
+            TargetBB.isAttachment() != BB.isAttachment())
+          errorIn(F, BB, "branch crosses body/attachment boundary");
+      }
+    }
+    if (I.Op == Opcode::Call && I.Target >= P.numFuncs())
+      errorIn(F, BB, "call target function out of range");
+
+    // Br/Jmp/terminators must end the block; Call/ChkC/Spawn may be inline.
+    bool MustBeLast = I.Op == Opcode::Br || isTerminator(I.Op);
+    if (MustBeLast && !IsLast)
+      errorIn(F, BB, "'" + I.str() + "' must be the last instruction");
+
+    // SSP invariants (paper Section 2): speculative code never stores to
+    // program memory and never invokes procedures or halts the machine.
+    if (BB.Kind == BlockKind::Slice) {
+      if (isStore(I.Op))
+        errorIn(F, BB, "p-slice contains a store: '" + I.str() + "'");
+      switch (I.Op) {
+      case Opcode::Call:
+      case Opcode::CallInd:
+      case Opcode::Ret:
+      case Opcode::Halt:
+      case Opcode::ChkC:
+      case Opcode::Rfi:
+        errorIn(F, BB, "illegal opcode in p-slice: '" + I.str() + "'");
+        break;
+      default:
+        break;
+      }
+    }
+    if (BB.Kind == BlockKind::Stub && isStore(I.Op))
+      errorIn(F, BB, "stub block contains a program-memory store");
+  }
+
+  const Program &P;
+  std::vector<std::string> Diags;
+};
+
+} // namespace
+
+std::vector<std::string> ssp::ir::verify(const Program &P) {
+  return VerifierImpl(P).run();
+}
+
+bool ssp::ir::isWellFormed(const Program &P) { return verify(P).empty(); }

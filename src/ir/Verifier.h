@@ -1,0 +1,35 @@
+//===- ir/Verifier.h - Structural well-formedness checks ------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies structural invariants of a Program before linking/simulation,
+/// including the SSP-specific ones from the paper: p-slice blocks contain no
+/// stores (speculative threads never modify the main thread's architectural
+/// state, Section 2), chk.c targets stub blocks, spawn targets slice blocks,
+/// and stub blocks end with rfi.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_IR_VERIFIER_H
+#define SSP_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace ssp::ir {
+
+class Program;
+
+/// Checks all functions of \p P and returns a list of human-readable
+/// diagnostics; empty means the program is well formed.
+std::vector<std::string> verify(const Program &P);
+
+/// Convenience wrapper: returns true iff verify() reports no diagnostics.
+bool isWellFormed(const Program &P);
+
+} // namespace ssp::ir
+
+#endif // SSP_IR_VERIFIER_H

@@ -1,0 +1,183 @@
+//===- profile/Profile.cpp - Profiling feedback ----------------------------===//
+
+#include "profile/Profile.h"
+
+#include "sim/Executor.h"
+#include "sim/ThreadContext.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ssp;
+using namespace ssp::profile;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+double ProfileData::tripCountOf(uint32_t Func, const Loop &L,
+                                double Fallback) const {
+  uint64_t HeaderCount = blockCount(Func, L.Header);
+  if (HeaderCount == 0)
+    return Fallback;
+  // Entries = executions of edges into the header from outside the loop.
+  uint64_t Entries = 0;
+  if (Func < EdgeCounts.size()) {
+    for (const auto &[Edge, Count] : EdgeCounts[Func]) {
+      if (Edge.second != L.Header)
+        continue;
+      if (!L.contains(Edge.first))
+        Entries += Count;
+    }
+  }
+  if (Entries == 0)
+    return static_cast<double>(HeaderCount);
+  return static_cast<double>(HeaderCount) / static_cast<double>(Entries);
+}
+
+ProfileData
+ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
+                                        mem::SimMemory &Mem,
+                                        uint64_t MaxInsts) {
+  const Program &P = LP.program();
+  ProfileData PD;
+  PD.BlockCounts.resize(P.numFuncs());
+  PD.EdgeCounts.resize(P.numFuncs());
+  for (uint32_t FI = 0; FI < P.numFuncs(); ++FI)
+    PD.BlockCounts[FI].assign(P.func(FI).numBlocks(), 0);
+
+  sim::ThreadContext Ctx;
+  Ctx.PC = LP.entry();
+
+  // Count the entry block.
+  {
+    const LinkedInst &First = LP.at(Ctx.PC);
+    PD.BlockCounts[First.Func][First.Block]++;
+  }
+
+  uint32_t PrevFunc = LP.at(Ctx.PC).Func;
+  uint32_t PrevBlock = LP.at(Ctx.PC).Block;
+
+  uint64_t Insts = 0;
+  while (true) {
+    if (++Insts > MaxInsts)
+      fatalError("functional profiling exceeded MaxInsts");
+    const LinkedInst &LI = LP.at(Ctx.PC);
+    uint32_t InstIdx = Ctx.PC - LP.blockStart(LI.Func, LI.Block);
+    InstRef Ref{LI.Func, LI.Block, InstIdx};
+
+    if (LI.I->Op == Opcode::Call)
+      PD.CallSiteCounts[Ref]++;
+
+    sim::ExecOutcome Out;
+    // The original binary has no chk.c; if one is present (profiling an
+    // already-enhanced binary), treat it as a nop by reporting no free
+    // context.
+    executeStep(Ctx, LP, Mem, /*Speculative=*/false,
+                /*FreeContextAvailable=*/false, Out);
+
+    if (Out.Kind == sim::CtrlKind::Halt)
+      break;
+
+    if (LI.I->Op == Opcode::CallInd) {
+      uint32_t Callee = LP.at(Ctx.PC).Func;
+      auto &Targets = PD.IndirectTargets[Ref];
+      bool Found = false;
+      for (auto &[F, C] : Targets)
+        if (F == Callee) {
+          ++C;
+          Found = true;
+        }
+      if (!Found)
+        Targets.push_back({Callee, 1});
+    }
+
+    const LinkedInst &Next = LP.at(Ctx.PC);
+    // A block is re-entered either when control moves to a different
+    // block, or when a taken transfer lands back at the start of the same
+    // block (a self-loop back edge).
+    bool TookTransfer = Out.Kind == sim::CtrlKind::DirectJump ||
+                        Out.Kind == sim::CtrlKind::IndirectJump ||
+                        (Out.Kind == sim::CtrlKind::Branch && Out.Taken);
+    bool SelfLoop = TookTransfer && Next.Func == PrevFunc &&
+                    Next.Block == PrevBlock &&
+                    Ctx.PC == LP.blockStart(Next.Func, Next.Block);
+    if (Next.Func != PrevFunc || Next.Block != PrevBlock || SelfLoop) {
+      PD.BlockCounts[Next.Func][Next.Block]++;
+      // Record intra-function transitions as CFG edges (branch taken /
+      // not taken / jmp); call/ret transitions are not CFG edges.
+      if (Next.Func == PrevFunc && LI.I->Op != Opcode::Call &&
+          LI.I->Op != Opcode::CallInd && LI.I->Op != Opcode::Ret)
+        PD.EdgeCounts[Next.Func][{PrevBlock, Next.Block}]++;
+      PrevFunc = Next.Func;
+      PrevBlock = Next.Block;
+    }
+  }
+  return PD;
+}
+
+void ssp::profile::addCacheProfile(ProfileData &PD,
+                                   const sim::SimStats &Stats) {
+  PD.Loads = Stats.LoadProfile;
+  PD.BaselineCycles = Stats.Cycles;
+}
+
+std::unordered_map<StaticId, InstRef>
+ssp::profile::buildStaticIdIndex(const Program &P) {
+  std::unordered_map<StaticId, InstRef> Index;
+  for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
+    const Function &F = P.func(FI);
+    for (uint32_t BI = 0; BI < F.numBlocks(); ++BI) {
+      const BasicBlock &BB = F.block(BI);
+      for (uint32_t II = 0; II < BB.Insts.size(); ++II)
+        Index[makeStaticId(FI, BB.Insts[II].Id)] = {FI, BI, II};
+    }
+  }
+  return Index;
+}
+
+std::vector<DelinquentLoad>
+ssp::profile::selectDelinquentLoads(const Program &P, const ProfileData &PD,
+                                    double Coverage, unsigned MaxLoads) {
+  auto Index = buildStaticIdIndex(P);
+
+  std::vector<DelinquentLoad> All;
+  uint64_t TotalMissCycles = 0;
+  for (const auto &[Sid, Stats] : PD.Loads) {
+    if (Stats.MissCycles == 0)
+      continue;
+    auto It = Index.find(Sid);
+    if (It == Index.end())
+      continue; // Load vanished across rewriting; ignore.
+    DelinquentLoad D;
+    D.Ref = It->second;
+    D.Sid = Sid;
+    D.MissCycles = Stats.MissCycles;
+    D.L1Misses = Stats.l1Misses();
+    D.AvgLatency = Stats.Accesses == 0
+                       ? 0.0
+                       : static_cast<double>(Stats.MissCycles) /
+                             static_cast<double>(Stats.Accesses);
+    All.push_back(D);
+    TotalMissCycles += Stats.MissCycles;
+  }
+  std::sort(All.begin(), All.end(),
+            [](const DelinquentLoad &A, const DelinquentLoad &B) {
+              if (A.MissCycles != B.MissCycles)
+                return A.MissCycles > B.MissCycles;
+              return A.Ref < B.Ref;
+            });
+
+  std::vector<DelinquentLoad> Selected;
+  uint64_t Covered = 0;
+  for (const DelinquentLoad &D : All) {
+    if (Selected.size() >= MaxLoads)
+      break;
+    if (TotalMissCycles > 0 &&
+        static_cast<double>(Covered) >=
+            Coverage * static_cast<double>(TotalMissCycles))
+      break;
+    Selected.push_back(D);
+    Covered += D.MissCycles;
+  }
+  return Selected;
+}

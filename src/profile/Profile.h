@@ -1,0 +1,109 @@
+//===- profile/Profile.h - Profiling feedback for the post-pass tool ------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling feedback of the paper's two-pass flow (Figure 1): the
+/// original binary is run once to collect (a) block and edge frequencies
+/// and the dynamic call graph for indirect calls (a fast functional pass),
+/// and (b) the cache profile of every static load plus the baseline cycle
+/// count (a timing pass on the baseline in-order model). The tool consumes
+/// this ProfileData to identify delinquent loads, filter unexecuted paths
+/// during speculative slicing, estimate trip counts, and weigh trigger
+/// placements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_PROFILE_PROFILE_H
+#define SSP_PROFILE_PROFILE_H
+
+#include "analysis/InstRef.h"
+#include "analysis/Loops.h"
+#include "cache/Cache.h"
+#include "ir/Program.h"
+#include "mem/SimMemory.h"
+#include "sim/SimStats.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace ssp::profile {
+
+/// All profiling feedback for one program.
+struct ProfileData {
+  /// Dynamic execution count per (function, block).
+  std::vector<std::vector<uint64_t>> BlockCounts;
+
+  /// Dynamic count per intra-function CFG edge (from, to), per function.
+  std::vector<std::map<std::pair<uint32_t, uint32_t>, uint64_t>> EdgeCounts;
+
+  /// Dynamic call graph: indirect call site -> (callee, count).
+  std::map<analysis::InstRef, std::vector<std::pair<uint32_t, uint64_t>>>
+      IndirectTargets;
+
+  /// Dynamic counts of direct call sites.
+  std::map<analysis::InstRef, uint64_t> CallSiteCounts;
+
+  /// Per-static-load cache behaviour from the baseline timing run.
+  cache::CacheProfile Loads;
+
+  /// Baseline cycles of the timing run that produced `Loads`.
+  uint64_t BaselineCycles = 0;
+
+  uint64_t blockCount(uint32_t Func, uint32_t Block) const {
+    if (Func >= BlockCounts.size() || Block >= BlockCounts[Func].size())
+      return 0;
+    return BlockCounts[Func][Block];
+  }
+
+  uint64_t edgeCount(uint32_t Func, uint32_t From, uint32_t To) const {
+    if (Func >= EdgeCounts.size())
+      return 0;
+    auto It = EdgeCounts[Func].find({From, To});
+    return It == EdgeCounts[Func].end() ? 0 : It->second;
+  }
+
+  /// Average iterations per entry of \p L, from header and entry-edge
+  /// counts; returns \p Fallback when the loop never ran.
+  double tripCountOf(uint32_t Func, const analysis::Loop &L,
+                     double Fallback = 1.0) const;
+};
+
+/// Runs the program functionally (no timing) on \p Mem and returns the
+/// control-flow portion of the profile. \p MaxInsts bounds the run.
+ProfileData collectControlFlowProfile(const ir::LinkedProgram &LP,
+                                      mem::SimMemory &Mem,
+                                      uint64_t MaxInsts = 1ULL << 32);
+
+/// Folds the cache profile and cycle count of a baseline timing run into
+/// \p PD.
+void addCacheProfile(ProfileData &PD, const sim::SimStats &Stats);
+
+/// One load selected for speculative precomputation.
+struct DelinquentLoad {
+  analysis::InstRef Ref;
+  ir::StaticId Sid = 0;
+  uint64_t MissCycles = 0;
+  uint64_t L1Misses = 0;
+  double AvgLatency = 0.0;
+};
+
+/// Ranks static loads by miss cycles and returns the smallest prefix that
+/// covers at least \p Coverage of all miss cycles (paper: the top loads
+/// contributing >= 90% of cache misses), capped at \p MaxLoads.
+std::vector<DelinquentLoad>
+selectDelinquentLoads(const ir::Program &P, const ProfileData &PD,
+                      double Coverage = 0.90, unsigned MaxLoads = 10);
+
+/// Maps every StaticId of \p P to its position (needed to translate cache
+/// profiles, which are keyed by StaticId, back into instruction positions).
+std::unordered_map<ir::StaticId, analysis::InstRef>
+buildStaticIdIndex(const ir::Program &P);
+
+} // namespace ssp::profile
+
+#endif // SSP_PROFILE_PROFILE_H

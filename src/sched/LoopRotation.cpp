@@ -1,0 +1,76 @@
+//===- sched/LoopRotation.cpp - Dependence reduction by loop rotation -----===//
+
+#include "sched/LoopRotation.h"
+
+#include <cassert>
+
+using namespace ssp;
+using namespace ssp::sched;
+
+RotationResult
+ssp::sched::rotateForMinimalCarried(const SliceDepGraph &G,
+                                    const std::vector<unsigned> &Order) {
+  unsigned N = static_cast<unsigned>(Order.size());
+  RotationResult R;
+  R.Order = Order;
+  if (N == 0)
+    return R;
+
+  // Position of each node in the iteration order.
+  std::vector<unsigned> Pos(G.size(), 0);
+  for (unsigned I = 0; I < N; ++I)
+    Pos[Order[I]] = I;
+
+  // Gather edges as position pairs.
+  struct Edge {
+    unsigned From, To;
+  };
+  std::vector<Edge> IntraEdges, CarriedEdges;
+  for (unsigned V = 0; V < G.size(); ++V) {
+    for (unsigned W : G.intraSuccs()[V])
+      IntraEdges.push_back({Pos[V], Pos[W]});
+    for (unsigned W : G.carriedSuccs()[V])
+      CarriedEdges.push_back({Pos[V], Pos[W]});
+  }
+  R.CarriedBefore = static_cast<unsigned>(CarriedEdges.size());
+  R.CarriedAfter = R.CarriedBefore;
+
+  unsigned BestK = 0;
+  unsigned BestConverted = 0;
+  for (unsigned K = 1; K < N; ++K) {
+    // Legality: no intra edge (a before b) may be split by the boundary,
+    // since splitting would turn it into a new loop-carried dependence.
+    bool Legal = true;
+    for (const Edge &E : IntraEdges) {
+      if (E.From < K && K <= E.To) {
+        Legal = false;
+        break;
+      }
+    }
+    if (!Legal)
+      continue;
+    // Profit: carried edge (a -> next-iteration b) becomes intra when the
+    // rotation places a before b within one iteration: a in the tail part
+    // (>= K) and b in the head part (< K).
+    unsigned Converted = 0;
+    for (const Edge &E : CarriedEdges)
+      if (E.From >= K && E.To < K)
+        ++Converted;
+    if (Converted > BestConverted) {
+      BestConverted = Converted;
+      BestK = K;
+    }
+  }
+
+  if (BestK == 0)
+    return R; // No profitable legal rotation.
+
+  R.Boundary = BestK;
+  R.CarriedAfter = R.CarriedBefore - BestConverted;
+  R.Order.clear();
+  for (unsigned I = BestK; I < N; ++I)
+    R.Order.push_back(Order[I]);
+  for (unsigned I = 0; I < BestK; ++I)
+    R.Order.push_back(Order[I]);
+  return R;
+}

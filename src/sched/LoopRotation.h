@@ -1,0 +1,47 @@
+//===- sched/LoopRotation.h - Dependence reduction by loop rotation -------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop rotation for dependence reduction (Section 3.2.1.1): shifting the
+/// slice loop's boundary converts backward loop-carried dependences (from
+/// the bottom of one iteration to the top of the next) into true
+/// intra-iteration dependences, exposing parallelism across chaining
+/// threads. The greedy algorithm picks the boundary converting the most
+/// carried edges, subject to the paper's constraint that the new boundary
+/// introduces no new loop-carried dependences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SCHED_LOOPROTATION_H
+#define SSP_SCHED_LOOPROTATION_H
+
+#include "sched/SliceDepGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::sched {
+
+/// Result of a rotation search over a dependence graph whose nodes are in
+/// iteration order.
+struct RotationResult {
+  unsigned Boundary = 0; ///< New first node (0 = no rotation).
+  unsigned CarriedBefore = 0;
+  unsigned CarriedAfter = 0;
+  std::vector<unsigned> Order; ///< Node indices in the rotated order.
+};
+
+/// Finds the best rotation boundary for \p G given iteration order
+/// \p Order (node indices, original boundary first). A boundary k is legal
+/// iff it splits no intra edge (that would create a new carried
+/// dependence); among legal boundaries the one converting the most carried
+/// edges into intra edges wins.
+RotationResult rotateForMinimalCarried(const SliceDepGraph &G,
+                                       const std::vector<unsigned> &Order);
+
+} // namespace ssp::sched
+
+#endif // SSP_SCHED_LOOPROTATION_H

@@ -1,0 +1,213 @@
+//===- sched/SliceDepGraph.cpp - Latency-annotated dependence graphs ------===//
+
+#include "sched/SliceDepGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace ssp;
+using namespace ssp::sched;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+uint32_t ssp::sched::profiledLoadLatency(const Program &P, const InstRef &Ref,
+                                         const profile::ProfileData &PD) {
+  const Instruction &I = Ref.get(P);
+  StaticId Sid = makeStaticId(Ref.Func, I.Id);
+  auto It = PD.Loads.find(Sid);
+  if (It == PD.Loads.end() || It->second.Accesses == 0)
+    return 2; // Unprofiled: assume an L1 hit.
+  const cache::PcCacheStats &S = It->second;
+  return static_cast<uint32_t>(
+      2 + S.MissCycles / S.Accesses); // L1 latency + average miss penalty.
+}
+
+SliceDepGraph SliceDepGraph::build(ProgramDeps &Deps,
+                                   const std::vector<InstRef> &Insts,
+                                   const Loop *L, uint32_t LoopFunc,
+                                   const profile::ProfileData &PD,
+                                   bool PessimisticLoads,
+                                   const std::vector<uint32_t> *CallCosts) {
+  SliceDepGraph G;
+  const Program &P = Deps.program();
+  std::map<InstRef, unsigned> Index;
+  for (const InstRef &I : Insts) {
+    Index[I] = static_cast<unsigned>(G.Nodes.size());
+    DepNode N;
+    N.Ref = I;
+    const Instruction &Inst = I.get(P);
+    if (isLoad(Inst.Op)) {
+      N.Latency = profiledLoadLatency(P, I, PD);
+      if (PessimisticLoads)
+        N.Latency = std::max(N.Latency, AssumedColdLoadLatency);
+    }
+    else if (Inst.Op == Opcode::Call || Inst.Op == Opcode::CallInd) {
+      // Region heights must account for time spent inside callees (e.g.
+      // the recursive subtree calls that give treeadd its slack).
+      N.Latency = CallLatencyEstimate;
+      if (CallCosts && Inst.Op == Opcode::Call &&
+          Inst.Target < CallCosts->size() && (*CallCosts)[Inst.Target] > 0)
+        N.Latency = (*CallCosts)[Inst.Target];
+    }
+    else
+      N.Latency = latencyOf(Inst.Op);
+    G.Nodes.push_back(N);
+  }
+  G.Intra.resize(G.Nodes.size());
+  G.Carried.resize(G.Nodes.size());
+
+  for (unsigned UI = 0; UI < G.Nodes.size(); ++UI) {
+    const InstRef &Use = G.Nodes[UI].Ref;
+    const FunctionDeps &FD = Deps.forFunction(Use.Func);
+
+    auto Classify = [&](const InstRef &Def, unsigned DI) {
+      bool SameLoopFunc = L && Def.Func == LoopFunc && Use.Func == LoopFunc &&
+                          L->contains(Def.Block) && L->contains(Use.Block);
+      if (SameLoopFunc) {
+        if (FD.reachesWithoutBackedge(Def, Use, *L))
+          G.Intra[DI].push_back(UI);
+        else
+          G.Carried[DI].push_back(UI);
+      } else {
+        // Interprocedural members or no loop: order by layout as intra.
+        G.Intra[DI].push_back(UI);
+      }
+    };
+
+    for (const InstRef &Def : FD.dataSources(Use)) {
+      auto It = Index.find(Def);
+      if (It != Index.end() && It->second != UI)
+        Classify(Def, It->second);
+    }
+    for (const InstRef &Ctrl : FD.controlSources(Use)) {
+      auto It = Index.find(Ctrl);
+      if (It != Index.end() && It->second != UI)
+        Classify(Ctrl, It->second);
+    }
+
+    // Cross-function flow edges: a use whose value may come from outside
+    // its function (live-in at that point) depends on any member of a
+    // *different* function defining that register — the caller computing
+    // an argument the callee consumes, or a callee computing a value its
+    // caller reads after the call. Reaching definitions are per-function
+    // and cannot see these.
+    Use.get(P).forEachUse([&](Reg R2) {
+      if ((R2.isInt() || R2.isPred()) && R2.Num == 0)
+        return;
+      if (!FD.reachingDefs().mayBeLiveIn(Use.Block, Use.Inst, R2))
+        return;
+      for (unsigned DI = 0; DI < G.Nodes.size(); ++DI) {
+        if (DI == UI || G.Nodes[DI].Ref.Func == Use.Func)
+          continue;
+        if (G.Nodes[DI].Ref.get(P).def() == R2)
+          G.Intra[DI].push_back(UI);
+      }
+    });
+  }
+
+  // Deduplicate adjacency.
+  for (auto *Adj : {&G.Intra, &G.Carried})
+    for (auto &Edges : *Adj) {
+      std::sort(Edges.begin(), Edges.end());
+      Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+    }
+  return G;
+}
+
+int SliceDepGraph::indexOf(const InstRef &Ref) const {
+  for (unsigned I = 0; I < Nodes.size(); ++I)
+    if (Nodes[I].Ref == Ref)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::vector<uint64_t> SliceDepGraph::nodeHeights() const {
+  // Longest path over the intra DAG; the intra subgraph is acyclic by
+  // construction (acyclic reaching order), so reverse topological
+  // processing via repeated relaxation converges in |V| rounds; we use a
+  // DFS-based memoized computation instead.
+  std::vector<uint64_t> Height(Nodes.size(), 0);
+  std::vector<uint8_t> State(Nodes.size(), 0); // 0 new, 1 visiting, 2 done.
+  struct Frame {
+    unsigned Node;
+    size_t Next;
+  };
+  std::vector<Frame> Stack;
+  for (unsigned Root = 0; Root < Nodes.size(); ++Root) {
+    if (State[Root] == 2)
+      continue;
+    Stack.push_back({Root, 0});
+    State[Root] = 1;
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      unsigned V = F.Node;
+      if (F.Next < Intra[V].size()) {
+        unsigned W = Intra[V][F.Next++];
+        if (State[W] == 0) {
+          State[W] = 1;
+          Stack.push_back({W, 0});
+        }
+        // A back edge here would mean a cycle in the intra subgraph; the
+        // classification forbids it, and ignoring it keeps heights finite.
+      } else {
+        uint64_t Best = 0;
+        for (unsigned W : Intra[V])
+          if (State[W] == 2)
+            Best = std::max(Best, Height[W]);
+        Height[V] = Best + Nodes[V].Latency;
+        State[V] = 2;
+        Stack.pop_back();
+      }
+    }
+  }
+  return Height;
+}
+
+uint64_t SliceDepGraph::height() const {
+  uint64_t Max = 0;
+  for (uint64_t H : nodeHeights())
+    Max = std::max(Max, H);
+  return Max;
+}
+
+uint64_t SliceDepGraph::totalLatency() const {
+  uint64_t Sum = 0;
+  for (const DepNode &N : Nodes)
+    Sum += N.Latency;
+  return Sum;
+}
+
+double SliceDepGraph::availableILP() const {
+  uint64_t H = height();
+  if (H == 0)
+    return 1.0;
+  return static_cast<double>(totalLatency()) / static_cast<double>(H);
+}
+
+std::vector<InstRef> ssp::sched::regionInstructions(const RegionGraph &RG,
+                                                    int RegionIdx,
+                                                    ProgramDeps &Deps) {
+  const Region &R = RG.region(RegionIdx);
+  const Program &P = Deps.program();
+  const Function &F = P.func(R.Func);
+  std::vector<InstRef> Insts;
+
+  auto AddBlock = [&](uint32_t BI) {
+    const BasicBlock &BB = F.block(BI);
+    if (BB.isAttachment())
+      return;
+    for (uint32_t II = 0; II < BB.Insts.size(); ++II)
+      Insts.push_back({R.Func, BI, II});
+  };
+
+  if (R.Kind == RegionKind::Procedure) {
+    for (uint32_t BI = 0; BI < F.numBlocks(); ++BI)
+      AddBlock(BI);
+  } else {
+    const FunctionDeps &FD = Deps.forFunction(R.Func);
+    for (uint32_t BI : FD.loops().loop(R.LoopIdx).Blocks)
+      AddBlock(BI);
+  }
+  return Insts;
+}

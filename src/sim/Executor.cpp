@@ -1,0 +1,256 @@
+//===- sim/Executor.cpp - Functional instruction execution ----------------===//
+
+#include "sim/Executor.h"
+
+#include "support/Assert.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+using namespace ssp;
+using namespace ssp::sim;
+using namespace ssp::ir;
+
+namespace {
+
+double asDouble(uint64_t Bits) { return std::bit_cast<double>(Bits); }
+uint64_t asBits(double D) { return std::bit_cast<uint64_t>(D); }
+
+uint64_t readReg(const ThreadContext &Ctx, Reg R) {
+  switch (R.Cls) {
+  case RegClass::Int:
+    return Ctx.readInt(R.Num);
+  case RegClass::FP:
+    return Ctx.F[R.Num];
+  case RegClass::Pred:
+    return Ctx.readPred(R.Num) ? 1 : 0;
+  case RegClass::None:
+    break;
+  }
+  ssp_unreachable("read of invalid register operand");
+}
+
+void writeReg(ThreadContext &Ctx, Reg R, uint64_t V) {
+  switch (R.Cls) {
+  case RegClass::Int:
+    Ctx.writeInt(R.Num, V);
+    return;
+  case RegClass::FP:
+    Ctx.F[R.Num] = V;
+    return;
+  case RegClass::Pred:
+    Ctx.writePred(R.Num, V != 0);
+    return;
+  case RegClass::None:
+    break;
+  }
+  ssp_unreachable("write of invalid register operand");
+}
+
+} // namespace
+
+void ssp::sim::executeStep(ThreadContext &Ctx, const LinkedProgram &LP,
+                           mem::SimMemory &Mem, bool Speculative,
+                           bool FreeContextAvailable, ExecOutcome &Out) {
+  assert(Ctx.PC < LP.size() && "PC out of range");
+  const LinkedInst &LI = LP.at(Ctx.PC);
+  const Instruction &I = *LI.I;
+  Out = ExecOutcome();
+
+  uint32_t NextPC = Ctx.PC + 1;
+  auto S1 = [&] { return readReg(Ctx, I.Src1); };
+  auto S2 = [&] { return readReg(Ctx, I.Src2); };
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+
+  case Opcode::Add:
+    writeReg(Ctx, I.Dst, S1() + S2());
+    break;
+  case Opcode::Sub:
+    writeReg(Ctx, I.Dst, S1() - S2());
+    break;
+  case Opcode::Mul:
+    writeReg(Ctx, I.Dst, S1() * S2());
+    break;
+  case Opcode::And:
+    writeReg(Ctx, I.Dst, S1() & S2());
+    break;
+  case Opcode::Or:
+    writeReg(Ctx, I.Dst, S1() | S2());
+    break;
+  case Opcode::Xor:
+    writeReg(Ctx, I.Dst, S1() ^ S2());
+    break;
+  case Opcode::Shl:
+    writeReg(Ctx, I.Dst, S1() << (S2() & 63));
+    break;
+  case Opcode::Shr:
+    writeReg(Ctx, I.Dst, S1() >> (S2() & 63));
+    break;
+
+  case Opcode::AddI:
+    writeReg(Ctx, I.Dst, S1() + static_cast<uint64_t>(I.Imm));
+    break;
+  case Opcode::MulI:
+    writeReg(Ctx, I.Dst, S1() * static_cast<uint64_t>(I.Imm));
+    break;
+  case Opcode::ShlI:
+    writeReg(Ctx, I.Dst, S1() << (static_cast<uint64_t>(I.Imm) & 63));
+    break;
+  case Opcode::AndI:
+    writeReg(Ctx, I.Dst, S1() & static_cast<uint64_t>(I.Imm));
+    break;
+  case Opcode::OrI:
+    writeReg(Ctx, I.Dst, S1() | static_cast<uint64_t>(I.Imm));
+    break;
+
+  case Opcode::Mov:
+    writeReg(Ctx, I.Dst, readReg(Ctx, I.Src1));
+    break;
+  case Opcode::MovI:
+    writeReg(Ctx, I.Dst, static_cast<uint64_t>(I.Imm));
+    break;
+
+  case Opcode::Cmp:
+    writeReg(Ctx, I.Dst,
+             evalCond(I.Cond, static_cast<int64_t>(S1()),
+                      static_cast<int64_t>(S2()))
+                 ? 1
+                 : 0);
+    break;
+  case Opcode::CmpI:
+    writeReg(Ctx, I.Dst,
+             evalCond(I.Cond, static_cast<int64_t>(S1()), I.Imm) ? 1 : 0);
+    break;
+
+  case Opcode::FAdd:
+    writeReg(Ctx, I.Dst, asBits(asDouble(S1()) + asDouble(S2())));
+    break;
+  case Opcode::FSub:
+    writeReg(Ctx, I.Dst, asBits(asDouble(S1()) - asDouble(S2())));
+    break;
+  case Opcode::FMul:
+    writeReg(Ctx, I.Dst, asBits(asDouble(S1()) * asDouble(S2())));
+    break;
+  case Opcode::XToF:
+    writeReg(Ctx, I.Dst,
+             asBits(static_cast<double>(static_cast<int64_t>(S1()))));
+    break;
+  case Opcode::FToX:
+    writeReg(Ctx, I.Dst,
+             static_cast<uint64_t>(static_cast<int64_t>(asDouble(S1()))));
+    break;
+
+  case Opcode::Load:
+  case Opcode::LoadF: {
+    uint64_t Addr = S1() + static_cast<uint64_t>(I.Imm);
+    Out.IsMem = true;
+    Out.IsLoad = true;
+    Out.MemAddr = Addr;
+    uint64_t Value;
+    if (Speculative) {
+      bool Mapped = false;
+      Value = Mem.readMaybe(Addr, Mapped);
+      Out.WildLoad = !Mapped;
+    } else {
+      Value = Mem.read(Addr);
+    }
+    writeReg(Ctx, I.Dst, Value);
+    break;
+  }
+  case Opcode::Store:
+  case Opcode::StoreF: {
+    assert(!Speculative && "speculative thread attempted a store");
+    uint64_t Addr = S1() + static_cast<uint64_t>(I.Imm);
+    Out.IsMem = true;
+    Out.IsStore = true;
+    Out.MemAddr = Addr;
+    Mem.write(Addr, S2());
+    break;
+  }
+  case Opcode::Prefetch: {
+    // Non-binding, non-faulting touch: affects only cache state.
+    Out.IsMem = true;
+    Out.MemAddr = S1() + static_cast<uint64_t>(I.Imm);
+    break;
+  }
+
+  case Opcode::Br: {
+    Out.Kind = CtrlKind::Branch;
+    Out.Taken = readReg(Ctx, I.Src1) != 0;
+    if (Out.Taken)
+      NextPC = LI.TargetAddr;
+    break;
+  }
+  case Opcode::Jmp:
+    Out.Kind = CtrlKind::DirectJump;
+    NextPC = LI.TargetAddr;
+    break;
+  case Opcode::Call:
+    Out.Kind = CtrlKind::DirectJump;
+    Ctx.CallStack.push_back(Ctx.PC + 1);
+    NextPC = LI.TargetAddr;
+    break;
+  case Opcode::CallInd: {
+    Out.Kind = CtrlKind::IndirectJump;
+    uint64_t FuncIdx = S1();
+    assert(FuncIdx < LP.program().numFuncs() && "bad indirect call target");
+    Ctx.CallStack.push_back(Ctx.PC + 1);
+    NextPC = LP.funcEntry(static_cast<uint32_t>(FuncIdx));
+    break;
+  }
+  case Opcode::Ret:
+    Out.Kind = CtrlKind::IndirectJump;
+    assert(!Ctx.CallStack.empty() && "ret with empty call stack");
+    NextPC = Ctx.CallStack.back();
+    Ctx.CallStack.pop_back();
+    break;
+  case Opcode::Halt:
+    Out.Kind = CtrlKind::Halt;
+    NextPC = Ctx.PC; // Parked.
+    break;
+
+  case Opcode::ChkC:
+    if (FreeContextAvailable) {
+      Out.Kind = CtrlKind::ChkCFired;
+      Ctx.ResumeStack.push_back(Ctx.PC + 1);
+      NextPC = LI.TargetAddr;
+    } else {
+      Out.Kind = CtrlKind::ChkCNop;
+    }
+    break;
+  case Opcode::Rfi:
+    Out.Kind = CtrlKind::RfiReturn;
+    assert(!Ctx.ResumeStack.empty() && "rfi with empty resume stack");
+    NextPC = Ctx.ResumeStack.back();
+    Ctx.ResumeStack.pop_back();
+    break;
+  case Opcode::CopyToLIB:
+    assert(I.Target < MaxLIBSlots && "LIB slot out of range");
+    Ctx.LIBStage[I.Target] = readReg(Ctx, I.Src1);
+    break;
+  case Opcode::CopyToLIBI:
+    assert(I.Target < MaxLIBSlots && "LIB slot out of range");
+    Ctx.LIBStage[I.Target] = static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::CopyFromLIB:
+    assert(I.Target < MaxLIBSlots && "LIB slot out of range");
+    writeReg(Ctx, I.Dst, Ctx.LIBIn[I.Target]);
+    break;
+  case Opcode::Spawn:
+    Out.Kind = CtrlKind::SpawnPoint;
+    Out.HasSpawn = true;
+    Out.SpawnTargetAddr = LI.TargetAddr;
+    std::memcpy(Out.SpawnFrame, Ctx.LIBStage, sizeof(Out.SpawnFrame));
+    break;
+  case Opcode::KillThread:
+    Out.Kind = CtrlKind::Kill;
+    NextPC = Ctx.PC; // Parked.
+    break;
+  }
+
+  Ctx.PC = NextPC;
+}

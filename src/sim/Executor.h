@@ -1,0 +1,68 @@
+//===- sim/Executor.h - Functional instruction execution ------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The functional executor advances a thread's architectural state by one
+/// instruction. The timing cores run it at fetch time (functional-first
+/// simulation): fetch therefore always follows the true execution path, and
+/// front-end penalties for mispredictions and exceptions are modeled as
+/// fetch-blocking intervals rather than wrong-path execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SIM_EXECUTOR_H
+#define SSP_SIM_EXECUTOR_H
+
+#include "ir/Program.h"
+#include "mem/SimMemory.h"
+#include "sim/ThreadContext.h"
+
+namespace ssp::sim {
+
+/// Control effect of one functionally executed instruction.
+enum class CtrlKind : uint8_t {
+  Fall,         ///< Fall through to PC+1.
+  Branch,       ///< Conditional branch; see ExecOutcome::Taken.
+  DirectJump,   ///< jmp / call: statically known target.
+  IndirectJump, ///< ret / calli: target from stack or register.
+  ChkCFired,    ///< chk.c raised the spawn exception; redirect to the stub.
+  ChkCNop,      ///< chk.c saw no free context; falls through.
+  RfiReturn,    ///< rfi back to the interrupted PC.
+  SpawnPoint,   ///< spawn executed; request payload captured.
+  Halt,         ///< Program finished (main thread).
+  Kill          ///< Speculative thread terminated itself.
+};
+
+/// Everything the timing model needs to know about one executed instruction.
+struct ExecOutcome {
+  CtrlKind Kind = CtrlKind::Fall;
+  bool Taken = false; ///< For Kind == Branch.
+
+  bool IsMem = false;   ///< Accesses the data cache (load/store/prefetch).
+  bool IsLoad = false;  ///< Writes a register from memory.
+  bool IsStore = false;
+  bool WildLoad = false; ///< Speculative load touched unmapped memory.
+  uint64_t MemAddr = 0;
+
+  bool HasSpawn = false; ///< Spawn payload captured below.
+  uint32_t SpawnTargetAddr = 0;
+  uint64_t SpawnFrame[MaxLIBSlots] = {};
+};
+
+/// Executes the instruction at \p Ctx.PC, updating \p Ctx (including PC).
+///
+/// \param Speculative  thread is a prefetch thread: loads never fault and
+///                     stores are forbidden.
+/// \param FreeContextAvailable  consulted by chk.c to decide whether the
+///                     spawn exception fires.
+/// \param Out          filled with the control/memory effects.
+void executeStep(ThreadContext &Ctx, const ir::LinkedProgram &LP,
+                 mem::SimMemory &Mem, bool Speculative,
+                 bool FreeContextAvailable, ExecOutcome &Out);
+
+} // namespace ssp::sim
+
+#endif // SSP_SIM_EXECUTOR_H

@@ -1,0 +1,117 @@
+//===- sim/MachineConfig.h - Research Itanium machine models --------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two research Itanium machine models of the paper (Table 1): an
+/// in-order 12-stage SMT pipeline and an out-of-order 16-stage SMT pipeline,
+/// both with four hardware thread contexts, fetching and issuing two bundles
+/// per cycle from one thread or one bundle each from two threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SIM_MACHINECONFIG_H
+#define SSP_SIM_MACHINECONFIG_H
+
+#include "cache/Cache.h"
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace ssp::sim {
+
+enum class PipelineKind : uint8_t { InOrder, OutOfOrder };
+
+/// SMT fetch arbitration policy. RoundRobin rotates among ready threads;
+/// ICount (Tullsen et al., the policy of the SMTSIM lineage the paper's
+/// simulator derives from) prioritizes the thread with the fewest
+/// instructions in the pre-issue stages, which starves stalled threads of
+/// fetch bandwidth.
+enum class FetchPolicy : uint8_t { RoundRobin, ICount };
+
+/// Full machine configuration. Defaults reproduce the paper's Table 1.
+struct MachineConfig {
+  PipelineKind Pipeline = PipelineKind::InOrder;
+
+  unsigned NumThreads = 4;
+
+  /// Fetch/issue policy: 2 bundles from 1 thread, or 1 each from 2 threads.
+  unsigned FetchBundlesPerCycle = 2;
+  FetchPolicy Fetch = FetchPolicy::RoundRobin;
+  unsigned IssueBundlesPerCycle = 2;
+
+  /// Function units: 4 integer, 2 FP, 3 branch, 2 memory ports.
+  unsigned IntUnits = 4;
+  unsigned FPUnits = 2;
+  unsigned BranchUnits = 3;
+  unsigned MemPorts = 2;
+
+  /// In-order: per-thread 16-bundle expansion queue.
+  unsigned ExpansionQueueBundles = 16;
+
+  /// OOO: per-thread 255-entry reorder buffer, 18-entry reservation station.
+  unsigned RobEntries = 255;
+  unsigned RsEntries = 18;
+
+  /// Extra restart delay after a chk.c exception or rfi redirect, on top of
+  /// the natural pipeline-refill cost.
+  unsigned ExceptionRestartDelay = 4;
+
+  /// Number of live-in slots in the RSE-backing-store live-in buffer.
+  unsigned LIBSlots = 16;
+
+  /// Dynamic SSP throttling (the paper's Section 4.4.1 future-work idea:
+  /// monitor the coverage and timeliness of each trigger's prefetch
+  /// threads; a trigger whose threads do not reduce latency makes future
+  /// chk.c checks report no available context). Disabled by default, as
+  /// in the paper.
+  bool EnableSSPThrottle = false;
+  /// Evaluate trigger health every this many cycles (power of two). The
+  /// evaluation is time-based so consumption credits — which trail the
+  /// prefetches of far-ahead chains — have a full period to arrive.
+  uint64_t ThrottleEvalPeriod = 16384;
+  /// Minimum speculative touches in a period for a verdict.
+  unsigned ThrottleMinSample = 64;
+  /// Minimum fraction of timely prefetches to stay enabled.
+  double ThrottleMinUseful = 0.25;
+  /// How long a throttled trigger stays disabled (cycles).
+  uint64_t ThrottlePenalty = 100000;
+  /// A prefetch counts as timely if the main thread's subsequent access
+  /// completes within this latency (cycles).
+  uint32_t ThrottleTimelyLatency = 30;
+
+  /// Safety bound on simulated cycles.
+  uint64_t MaxCycles = 4000000000ULL;
+
+  cache::CacheConfig Cache;
+
+  /// Idealizations for Figure 2.
+  bool PerfectMemory = false;
+  std::unordered_set<ir::StaticId> PerfectLoads;
+
+  /// Pipeline depth: 12 stages in order, 16 out of order (the OOO model
+  /// adds four front-end stages for renaming/scheduling).
+  unsigned pipelineDepth() const {
+    return Pipeline == PipelineKind::InOrder ? 12 : 16;
+  }
+
+  /// Cycles from fetch to issue eligibility: the front-end portion of the
+  /// pipeline. This is what a misprediction or exception redirect pays to
+  /// refill.
+  unsigned frontLatency() const {
+    return Pipeline == PipelineKind::InOrder ? 8 : 12;
+  }
+
+  static MachineConfig inOrder() { return MachineConfig(); }
+  static MachineConfig outOfOrder() {
+    MachineConfig C;
+    C.Pipeline = PipelineKind::OutOfOrder;
+    return C;
+  }
+};
+
+} // namespace ssp::sim
+
+#endif // SSP_SIM_MACHINECONFIG_H

@@ -1,0 +1,91 @@
+//===- sim/SimStats.h - Simulation statistics ------------------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics collected by one simulation run. CycleCat reproduces the six
+/// cycle-accounting categories of the paper's Figure 10: L3/L2/L1 denote
+/// stall cycles attributed to misses *of* that cache level (e.g. the "L3"
+/// category counts cycles stalled on loads that missed in L3 and were
+/// served by memory) while no instruction issued; Cache+Exec counts cycles
+/// where the main thread issued while a demand miss was outstanding; Exec
+/// counts issue cycles with no outstanding miss; Other covers branch
+/// bubbles, spawn flushes and every remaining stall.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SIM_SIMSTATS_H
+#define SSP_SIM_SIMSTATS_H
+
+#include "cache/Cache.h"
+
+#include <cstdint>
+
+namespace ssp::sim {
+
+/// Figure 10 cycle categories.
+enum class CycleCat : uint8_t {
+  L3 = 0,        ///< Stalled on a load served by memory (missed L3).
+  L2 = 1,        ///< Stalled on a load served by L3 (missed L2).
+  L1 = 2,        ///< Stalled on a load served by L2 (missed L1).
+  CacheExec = 3, ///< Issued while a demand miss was outstanding.
+  Exec = 4,      ///< Issued with no outstanding miss.
+  Other = 5      ///< Branch bubbles, spawn flushes, other stalls.
+};
+inline constexpr unsigned NumCycleCats = 6;
+
+inline const char *cycleCatName(CycleCat C) {
+  switch (C) {
+  case CycleCat::L3:
+    return "L3";
+  case CycleCat::L2:
+    return "L2";
+  case CycleCat::L1:
+    return "L1";
+  case CycleCat::CacheExec:
+    return "Cache+Exec";
+  case CycleCat::Exec:
+    return "Exec";
+  case CycleCat::Other:
+    return "Other";
+  }
+  return "?";
+}
+
+/// All counters produced by Simulator::run().
+struct SimStats {
+  uint64_t Cycles = 0;          ///< Cycles until the main thread halted.
+  uint64_t MainInsts = 0;       ///< Instructions issued by the main thread.
+  uint64_t SpecInsts = 0;       ///< Instructions issued by prefetch threads.
+  uint64_t CatCycles[NumCycleCats] = {0, 0, 0, 0, 0, 0};
+
+  // SSP event counters.
+  uint64_t TriggersFired = 0;   ///< chk.c raised the spawn exception.
+  uint64_t TriggersIgnored = 0; ///< chk.c saw no free context (acted as nop).
+  uint64_t SpawnsSucceeded = 0; ///< Spawn found a free context.
+  uint64_t SpawnsDropped = 0;   ///< Spawn request ignored (no free context).
+  uint64_t SpecWildLoads = 0;   ///< Speculative loads of unmapped addresses.
+  uint64_t SpecPrefetches = 0;  ///< Lines touched by speculative threads.
+  uint64_t UsefulPrefetches = 0; ///< ... later consumed timely by main.
+  uint64_t ThrottleEvents = 0;  ///< Triggers dynamically disabled.
+
+  // Branch prediction.
+  uint64_t Branches = 0;
+  uint64_t BranchMispredicts = 0;
+
+  // Memory system (global + per-static-load).
+  cache::CacheHierarchy::Totals CacheTotals;
+  cache::CacheProfile LoadProfile;
+
+  double ipc() const {
+    return Cycles == 0 ? 0.0
+                       : static_cast<double>(MainInsts) /
+                             static_cast<double>(Cycles);
+  }
+};
+
+} // namespace ssp::sim
+
+#endif // SSP_SIM_SIMSTATS_H

@@ -1,0 +1,782 @@
+//===- sim/Simulator.cpp - Cycle-level SMT Itanium simulator --------------===//
+
+#include "sim/Simulator.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+using namespace ssp;
+using namespace ssp::sim;
+using namespace ssp::ir;
+
+namespace {
+
+/// Insertion sort for the tiny (<= NumThreads) arbitration arrays; avoids
+/// std::sort's codegen on fixed-size buffers.
+template <typename LessT>
+void sortSmall(unsigned *Begin, unsigned N, LessT Less) {
+  for (unsigned I = 1; I < N; ++I) {
+    unsigned V = Begin[I];
+    unsigned J = I;
+    while (J > 0 && Less(V, Begin[J - 1])) {
+      Begin[J] = Begin[J - 1];
+      --J;
+    }
+    Begin[J] = V;
+  }
+}
+
+} // namespace
+
+Simulator::Simulator(const MachineConfig &Cfg, const LinkedProgram &LP,
+                     mem::SimMemory &Mem)
+    : Cfg(Cfg), LP(LP), Mem(Mem), Cache(Cfg.Cache, Cfg.NumThreads),
+      Bpred(Cfg.NumThreads), Threads(Cfg.NumThreads) {
+  Cache.setPerfectMemory(Cfg.PerfectMemory);
+  Cache.setPerfectLoads(Cfg.PerfectLoads);
+  Threads[0].Active = true;
+  Threads[0].Speculative = false;
+  Threads[0].Ctx.PC = LP.entry();
+}
+
+unsigned Simulator::fuLimit(FuncUnit FU) const {
+  switch (FU) {
+  case FuncUnit::None:
+    return ~0u;
+  case FuncUnit::Int:
+    return Cfg.IntUnits;
+  case FuncUnit::FP:
+    return Cfg.FPUnits;
+  case FuncUnit::Mem:
+    return Cfg.MemPorts;
+  case FuncUnit::Br:
+    return Cfg.BranchUnits;
+  }
+  ssp_unreachable("bad func unit");
+}
+
+bool Simulator::hasFreeContext() const {
+  for (const Thread &T : Threads)
+    if (!T.Active)
+      return true;
+  return false;
+}
+
+bool Simulator::chkCWouldFire(const LinkedInst &LI) const {
+  if (!hasFreeContext())
+    return false;
+  if (LI.I->Op != Opcode::ChkC || !Cfg.EnableSSPThrottle)
+    return true;
+  auto It = TriggerStats.find(LI.Sid);
+  return It == TriggerStats.end() || It->second.DisabledUntil <= Now;
+}
+
+void Simulator::evaluateThrottle() {
+  // Periodic verdicts: in steady state, a healthy chain's per-period
+  // consumption credits keep pace with its prefetches; a useless one
+  // (cache-resident data) accumulates touches without credits.
+  for (auto &[Sid, H] : TriggerStats) {
+    // Two failure signatures: (a) the trigger's threads touch memory but
+    // almost never move a line up from L3/memory (the data is cached
+    // anyway), or (b) the lines they do move are neither consumed timely
+    // nor still awaiting consumption (a healthy long-range chain is
+    // *supposed* to be far ahead, so pending lines count as presumed
+    // useful).
+    if (std::getenv("SSP_THROTTLE_TRACE"))
+      std::fprintf(stderr,
+                   "[throttle] now=%llu sid=%llx pre=%llu trk=%llu use=%llu "
+                   "inflight=%llu\n",
+                   (unsigned long long)Now, (unsigned long long)Sid,
+                   (unsigned long long)H.Prefetches,
+                   (unsigned long long)H.Tracked,
+                   (unsigned long long)H.Useful,
+                   (unsigned long long)H.InFlight);
+    if (H.Prefetches < Cfg.ThrottleMinSample)
+      continue; // Too small a sample; let it accumulate.
+    // Credits (timely consumptions plus lines still pending) must keep
+    // pace with the work: the demand is the tracked lines, but a trigger
+    // whose threads touch plenty while moving almost nothing is judged
+    // against its touch volume instead (cache-resident data).
+    double Demand = std::max<double>(static_cast<double>(H.Tracked),
+                                     static_cast<double>(H.Prefetches) / 8);
+    bool Useless = static_cast<double>(H.Useful + H.InFlight) <
+                   Cfg.ThrottleMinUseful * Demand;
+    if (Cfg.EnableSSPThrottle && Useless) {
+      H.DisabledUntil = Now + Cfg.ThrottlePenalty;
+      ++Stats.ThrottleEvents;
+    }
+    H.Prefetches = 0;
+    H.Tracked = 0;
+    H.Useful = 0;
+  }
+}
+
+void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
+                               const cache::AccessResult &R) {
+  uint64_t Line = S.Out.MemAddr / Cfg.Cache.L1.LineBytes;
+  Thread &T = Threads[Tid];
+  if (T.Speculative) {
+    // A speculative touch is a prefetch on behalf of its trigger.
+    ++Stats.SpecPrefetches;
+    if (T.OriginTrigger == 0)
+      return;
+    // Only a touch that actually moved the line up from L3/memory can be
+    // credited later: touching an already-near line is the signature of
+    // a useless prefetch (the data was cached anyway).
+    bool MovedLine = R.ServedBy == cache::Level::L3 ||
+                     R.ServedBy == cache::Level::Mem;
+    if (MovedLine) {
+      if (PrefetchedLines.size() > (1u << 16)) {
+        PrefetchedLines.clear(); // Bound the table; stale entries lapse.
+        for (auto &[Sid2, H2] : TriggerStats)
+          H2.InFlight = 0;
+      }
+      auto [It, Inserted] = PrefetchedLines.insert({Line, T.OriginTrigger});
+      if (Inserted)
+        ++TriggerStats[T.OriginTrigger].InFlight;
+      else
+        It->second = T.OriginTrigger;
+      ++TriggerStats[T.OriginTrigger].Tracked;
+    }
+    ++TriggerStats[T.OriginTrigger].Prefetches;
+    return;
+  }
+  if (!S.Out.IsLoad)
+    return;
+  // Main-thread consumption: a prefetched line consumed quickly counts as
+  // a timely ("useful") prefetch for its trigger.
+  auto It = PrefetchedLines.find(Line);
+  if (It == PrefetchedLines.end())
+    return;
+  // Timely enough, or still in flight (the prefetch overlapped part of
+  // the miss): either way the thread reduced latency.
+  TriggerHealth &H = TriggerStats[It->second];
+  if (H.InFlight > 0)
+    --H.InFlight;
+  // The prefetch helped if the main thread did not pay a full memory
+  // access for the line: it was still cached at some level (TLB penalties
+  // are the main thread's own) or the fetch was at least in flight.
+  if (R.Partial || R.ServedBy != cache::Level::Mem) {
+    ++Stats.UsefulPrefetches;
+    ++H.Useful;
+  }
+  PrefetchedLines.erase(It);
+}
+
+void Simulator::trySpawn(const ExecOutcome &Out, unsigned SpawnerTid) {
+  const Thread &Spawner = Threads[SpawnerTid];
+  ir::StaticId Origin = Spawner.Speculative ? Spawner.OriginTrigger
+                                            : Spawner.LastFiredTrigger;
+  for (Thread &T : Threads) {
+    if (T.Active)
+      continue;
+    T.resetForSpawn();
+    T.Active = true;
+    T.Speculative = true;
+    T.OriginTrigger = Origin;
+    T.Ctx.PC = Out.SpawnTargetAddr;
+    std::memcpy(T.Ctx.LIBIn, Out.SpawnFrame, sizeof(T.Ctx.LIBIn));
+    // The new context begins fetching next cycle.
+    T.FetchResumeCycle = Now + 1;
+    ++Stats.SpawnsSucceeded;
+    return;
+  }
+  ++Stats.SpawnsDropped;
+}
+
+//===----------------------------------------------------------------------===//
+// Fetch (shared by both pipelines)
+//===----------------------------------------------------------------------===//
+
+void Simulator::fetchCycle() {
+  // Candidate threads, least-recently-fetched first.
+  unsigned Order[8];
+  unsigned N = 0;
+  for (unsigned Tid = 0; Tid < Threads.size(); ++Tid) {
+    Thread &T = Threads[Tid];
+    if (!T.Active || T.FetchStopped || T.FetchWaitingOnEvent)
+      continue;
+    if (Now < T.FetchResumeCycle)
+      continue;
+    if (T.FrontQ.size() >= Cfg.ExpansionQueueBundles * 3)
+      continue;
+    Order[N++] = Tid;
+  }
+  if (Cfg.Fetch == FetchPolicy::ICount) {
+    // ICOUNT: fewest in-flight pre-issue instructions first.
+    sortSmall(Order, N, [this](unsigned A, unsigned B) {
+      size_t IA = Threads[A].FrontQ.size() + Threads[A].RsCount;
+      size_t IB = Threads[B].FrontQ.size() + Threads[B].RsCount;
+      if (IA != IB)
+        return IA < IB;
+      return Threads[A].LastFetchCycle < Threads[B].LastFetchCycle;
+    });
+  } else {
+    sortSmall(Order, N, [this](unsigned A, unsigned B) {
+      if (Threads[A].LastFetchCycle != Threads[B].LastFetchCycle)
+        return Threads[A].LastFetchCycle < Threads[B].LastFetchCycle;
+      return A < B;
+    });
+  }
+
+  unsigned BundlesLeft = Cfg.FetchBundlesPerCycle;
+  unsigned ThreadsUsed = 0;
+  for (unsigned I = 0; I < N && BundlesLeft > 0 && ThreadsUsed < 2; ++I) {
+    unsigned Cap = ThreadsUsed == 0 ? BundlesLeft : 1;
+    unsigned Got = fetchThread(Order[I], Cap);
+    if (Got > 0) {
+      ++ThreadsUsed;
+      BundlesLeft -= Got;
+      Threads[Order[I]].LastFetchCycle = Now;
+    }
+  }
+}
+
+unsigned Simulator::fetchThread(unsigned Tid, unsigned MaxBundles) {
+  Thread &T = Threads[Tid];
+  const size_t QueueCap = static_cast<size_t>(Cfg.ExpansionQueueBundles) * 3;
+  unsigned Bundles = 0;
+
+  while (Bundles < MaxBundles) {
+    if (T.FrontQ.size() >= QueueCap || T.FetchStopped ||
+        T.FetchWaitingOnEvent)
+      break;
+    uint32_t CurBundle = LP.at(T.Ctx.PC).BundleId;
+    bool FetchedAny = false;
+    bool EndCycle = false;
+
+    while (T.FrontQ.size() < QueueCap) {
+      if (LP.at(T.Ctx.PC).BundleId != CurBundle)
+        break; // Bundle boundary.
+
+      InstSlot S;
+      S.LI = &LP.at(T.Ctx.PC);
+      S.FetchCycle = Now;
+      S.EligibleCycle = Now + Cfg.frontLatency();
+      uint64_t FetchPC = T.Ctx.PC;
+
+      executeStep(T.Ctx, LP, Mem, T.Speculative, chkCWouldFire(*S.LI),
+                  S.Out);
+      FetchedAny = true;
+
+      bool InOrder = Cfg.Pipeline == PipelineKind::InOrder;
+      switch (S.Out.Kind) {
+      case CtrlKind::Fall:
+      case CtrlKind::SpawnPoint:
+      case CtrlKind::ChkCNop:
+        if (S.Out.Kind == CtrlKind::ChkCNop)
+          ++Stats.TriggersIgnored;
+        break;
+      case CtrlKind::Branch: {
+        bool Correct =
+            Bpred.predictAndTrainDirection(FetchPC, Tid, S.Out.Taken);
+        if (!Correct) {
+          S.Mispredicted = true;
+          S.Resume = ResumeEvent::AtIssue; // Resolves at execute.
+          S.ResumeDelay = 1;
+          T.FetchWaitingOnEvent = true;
+        }
+        if (S.Out.Taken)
+          EndCycle = true; // Taken transfers end the cycle's fetch.
+        break;
+      }
+      case CtrlKind::DirectJump:
+        EndCycle = true; // Statically known target: no bubble beyond this.
+        break;
+      case CtrlKind::IndirectJump: {
+        bool Correct = Bpred.predictAndTrainTarget(FetchPC, T.Ctx.PC);
+        if (!Correct) {
+          S.Mispredicted = true;
+          S.Resume = ResumeEvent::AtIssue;
+          S.ResumeDelay = 1;
+          T.FetchWaitingOnEvent = true;
+        }
+        EndCycle = true;
+        break;
+      }
+      case CtrlKind::ChkCFired:
+        T.LastFiredTrigger = S.LI->Sid;
+        // The spawn exception is taken at retirement; the hardware
+        // predicts "no exception" so fetch is not stalled until then —
+        // the cost is a full pipeline flush and refill when it fires.
+        // Modeled as a redirect charged at issue, deepened by the
+        // pipeline depth on the OOO model.
+        ++Stats.TriggersFired;
+        S.Resume = ResumeEvent::AtIssue;
+        S.ResumeDelay = Cfg.ExceptionRestartDelay +
+                        (InOrder ? 0 : Cfg.pipelineDepth());
+        T.FetchWaitingOnEvent = true;
+        break;
+      case CtrlKind::RfiReturn:
+        S.Resume = ResumeEvent::AtIssue;
+        S.ResumeDelay = InOrder ? 1 : Cfg.pipelineDepth();
+        T.FetchWaitingOnEvent = true;
+        break;
+      case CtrlKind::Halt:
+      case CtrlKind::Kill:
+        T.FetchStopped = true;
+        break;
+      }
+
+      T.FrontQ.push_back(std::move(S));
+      if (T.FetchWaitingOnEvent || T.FetchStopped) {
+        EndCycle = true;
+        break;
+      }
+      if (EndCycle)
+        break;
+    }
+
+    if (FetchedAny)
+      ++Bundles;
+    if (EndCycle || T.FetchStopped || T.FetchWaitingOnEvent)
+      break;
+    if (!FetchedAny)
+      break; // Queue full.
+  }
+  return Bundles;
+}
+
+//===----------------------------------------------------------------------===//
+// Issue-time effects (shared)
+//===----------------------------------------------------------------------===//
+
+void Simulator::applyIssueTiming(unsigned Tid, InstSlot &S) {
+  Thread &T = Threads[Tid];
+  const Instruction &I = *S.LI->I;
+  S.Issued = true;
+  S.IssueCycle = Now;
+  uint64_t Complete = Now + latencyOf(I.Op);
+
+  if (S.Out.IsMem) {
+    bool Collect = !T.Speculative && S.Out.IsLoad;
+    cache::AccessResult R =
+        Cache.access(S.Out.MemAddr, Now, S.LI->Sid, Tid, Collect);
+    S.ServedBy = R.ServedBy;
+    S.Partial = R.Partial;
+    noteDataAccess(Tid, S, R);
+    if (S.Out.IsLoad) {
+      Complete = R.ReadyCycle;
+      if (!T.Speculative && R.ServedBy != cache::Level::L1)
+        MainOutstanding.push_back({R.ReadyCycle, R.ServedBy});
+    } else {
+      // Stores and prefetches occupy the port but never block the thread.
+      Complete = Now + 1;
+    }
+    if (S.Out.WildLoad)
+      ++Stats.SpecWildLoads;
+  }
+
+  S.CompleteCycle = Complete;
+
+  // In-order scoreboard update (harmless for OOO; its consumers use the
+  // rename map instead).
+  Reg D = I.def();
+  if (D.isValid()) {
+    unsigned Dense = D.denseIndex();
+    T.RegReady[Dense] = Complete;
+    T.RegSrcLevel[Dense] =
+        S.Out.IsLoad ? static_cast<uint8_t>(1 + static_cast<unsigned>(
+                                                    S.ServedBy))
+                     : 0;
+  }
+
+  if (S.Out.HasSpawn)
+    trySpawn(S.Out, Tid);
+
+  if (S.Resume == ResumeEvent::AtIssue)
+    fireResume(Tid, S);
+
+  if (S.Out.Kind == CtrlKind::Halt && !T.Speculative)
+    MainDone = true;
+
+  if (T.Speculative)
+    ++Stats.SpecInsts;
+  else
+    ++Stats.MainInsts;
+  ++IssuedThisCycle[Tid];
+}
+
+void Simulator::fireResume(unsigned Tid, const InstSlot &S) {
+  Thread &T = Threads[Tid];
+  T.FetchWaitingOnEvent = false;
+  T.FetchResumeCycle = Now + S.ResumeDelay;
+}
+
+//===----------------------------------------------------------------------===//
+// In-order issue
+//===----------------------------------------------------------------------===//
+
+void Simulator::issueCycleInOrder() {
+  unsigned FUUsed[5] = {0, 0, 0, 0, 0};
+
+  unsigned Order[8];
+  unsigned N = 0;
+  for (unsigned Tid = 0; Tid < Threads.size(); ++Tid)
+    if (Threads[Tid].Active && !Threads[Tid].FrontQ.empty())
+      Order[N++] = Tid;
+  sortSmall(Order, N, [this](unsigned A, unsigned B) {
+    if (Threads[A].LastIssueCycle != Threads[B].LastIssueCycle)
+      return Threads[A].LastIssueCycle < Threads[B].LastIssueCycle;
+    return A < B;
+  });
+
+  unsigned BundlesLeft = Cfg.IssueBundlesPerCycle;
+  unsigned ThreadsUsed = 0;
+  for (unsigned I = 0; I < N && BundlesLeft > 0 && ThreadsUsed < 2; ++I) {
+    unsigned Cap = ThreadsUsed == 0 ? BundlesLeft : 1;
+    unsigned Got = issueFromThreadInOrder(Order[I], Cap, FUUsed);
+    if (Got > 0) {
+      ++ThreadsUsed;
+      BundlesLeft -= Got;
+      Threads[Order[I]].LastIssueCycle = Now;
+    }
+  }
+}
+
+unsigned Simulator::issueFromThreadInOrder(unsigned Tid, unsigned MaxBundles,
+                                           unsigned FUUsed[]) {
+  Thread &T = Threads[Tid];
+  unsigned Bundles = 0;
+  uint64_t CurBundle = UINT64_MAX;
+
+  while (!T.FrontQ.empty()) {
+    InstSlot &S = T.FrontQ.front();
+    if (S.EligibleCycle > Now)
+      break;
+
+    // Starting a new bundle requires budget.
+    if (S.LI->BundleId != CurBundle && Bundles == MaxBundles)
+      break;
+
+    // In-order stall-on-use: the head blocks until its operands are ready.
+    bool Ready = true;
+    S.LI->I->forEachUse([&](Reg R) {
+      if (T.RegReady[R.denseIndex()] > Now)
+        Ready = false;
+    });
+    if (!Ready)
+      break;
+
+    FuncUnit FU = funcUnitOf(S.LI->I->Op);
+    if (FU != FuncUnit::None &&
+        FUUsed[static_cast<unsigned>(FU)] >= fuLimit(FU))
+      break;
+
+    if (S.LI->BundleId != CurBundle) {
+      CurBundle = S.LI->BundleId;
+      ++Bundles;
+    }
+    if (FU != FuncUnit::None)
+      ++FUUsed[static_cast<unsigned>(FU)];
+
+    applyIssueTiming(Tid, S);
+    bool WasKill = S.Out.Kind == CtrlKind::Kill;
+    T.FrontQ.pop_front();
+    if (WasKill) {
+      T.Active = false;
+      break;
+    }
+  }
+  return Bundles;
+}
+
+//===----------------------------------------------------------------------===//
+// Out-of-order pipeline phases
+//===----------------------------------------------------------------------===//
+
+void Simulator::oooWriteback() {
+  for (Thread &T : Threads) {
+    if (!T.Active && T.Rob.empty())
+      continue;
+    for (InstSlot &S : T.Rob) {
+      if (!S.Issued || S.Completed || S.CompleteCycle > Now)
+        continue;
+      S.Completed = true;
+      Reg D = S.LI->I->def();
+      if (D.isValid()) {
+        unsigned Dense = D.denseIndex();
+        if (T.RegProd[Dense] == &S) {
+          T.RegProd[Dense] = nullptr;
+          T.RegReady[Dense] = S.CompleteCycle;
+        }
+      }
+    }
+  }
+}
+
+void Simulator::oooResolveRS() {
+  for (Thread &T : Threads) {
+    for (InstSlot &S : T.Rob) {
+      if (!S.Dispatched || S.Issued || S.NumProd == 0)
+        continue;
+      unsigned Keep = 0;
+      for (unsigned I = 0; I < S.NumProd; ++I) {
+        InstSlot *P = S.Prod[I];
+        if (P->Completed) {
+          S.OperandReadyCycle =
+              std::max(S.OperandReadyCycle, P->CompleteCycle);
+        } else {
+          S.Prod[Keep++] = P;
+        }
+      }
+      S.NumProd = Keep;
+    }
+  }
+}
+
+void Simulator::oooRetire() {
+  for (unsigned Tid = 0; Tid < Threads.size(); ++Tid) {
+    Thread &T = Threads[Tid];
+    unsigned Retired = 0;
+    while (!T.Rob.empty() && Retired < 6) {
+      InstSlot &S = T.Rob.front();
+      if (!S.Completed || S.CompleteCycle > Now)
+        break;
+      if (S.Resume == ResumeEvent::AtRetire)
+        fireResume(Tid, S);
+      bool WasKill = S.Out.Kind == CtrlKind::Kill;
+      bool WasHalt = S.Out.Kind == CtrlKind::Halt;
+      // Clear any rename-map entry still pointing at this slot before the
+      // storage is reclaimed.
+      Reg D = S.LI->I->def();
+      if (D.isValid() && T.RegProd[D.denseIndex()] == &S)
+        T.RegProd[D.denseIndex()] = nullptr;
+      T.Rob.pop_front();
+      ++Retired;
+      if (WasKill) {
+        T.Active = false;
+        break;
+      }
+      if (WasHalt && !T.Speculative)
+        MainDone = true;
+    }
+  }
+}
+
+void Simulator::oooIssue() {
+  // Gather ready reservation-station entries, oldest first.
+  struct Cand {
+    InstSlot *S;
+    unsigned Tid;
+  };
+  std::vector<Cand> Ready;
+  for (unsigned Tid = 0; Tid < Threads.size(); ++Tid) {
+    Thread &T = Threads[Tid];
+    for (InstSlot &S : T.Rob) {
+      if (!S.Dispatched || S.Issued)
+        continue;
+      if (S.NumProd != 0 || S.OperandReadyCycle > Now)
+        continue;
+      Ready.push_back({&S, Tid});
+    }
+  }
+  std::sort(Ready.begin(), Ready.end(), [](const Cand &A, const Cand &B) {
+    if (A.S->FetchCycle != B.S->FetchCycle)
+      return A.S->FetchCycle < B.S->FetchCycle;
+    return A.Tid < B.Tid;
+  });
+
+  unsigned FUUsed[5] = {0, 0, 0, 0, 0};
+  unsigned IssuedCount = 0;
+  const unsigned IssueWidth = Cfg.IssueBundlesPerCycle * 3;
+  for (Cand &C : Ready) {
+    if (IssuedCount >= IssueWidth)
+      break;
+    FuncUnit FU = funcUnitOf(C.S->LI->I->Op);
+    if (FU != FuncUnit::None &&
+        FUUsed[static_cast<unsigned>(FU)] >= fuLimit(FU))
+      continue;
+    if (FU != FuncUnit::None)
+      ++FUUsed[static_cast<unsigned>(FU)];
+    applyIssueTiming(C.Tid, *C.S);
+    assert(Threads[C.Tid].RsCount > 0);
+    --Threads[C.Tid].RsCount;
+    ++IssuedCount;
+  }
+}
+
+void Simulator::oooDispatch() {
+  unsigned Order[8];
+  unsigned N = 0;
+  for (unsigned Tid = 0; Tid < Threads.size(); ++Tid)
+    if (Threads[Tid].Active && !Threads[Tid].FrontQ.empty())
+      Order[N++] = Tid;
+  sortSmall(Order, N, [this](unsigned A, unsigned B) {
+    if (Threads[A].LastIssueCycle != Threads[B].LastIssueCycle)
+      return Threads[A].LastIssueCycle < Threads[B].LastIssueCycle;
+    return A < B;
+  });
+
+  unsigned BundlesLeft = Cfg.IssueBundlesPerCycle;
+  unsigned ThreadsUsed = 0;
+  for (unsigned I = 0; I < N && BundlesLeft > 0 && ThreadsUsed < 2; ++I) {
+    unsigned Cap = ThreadsUsed == 0 ? BundlesLeft : 1;
+    unsigned Got = oooDispatchThread(Order[I], Cap);
+    if (Got > 0) {
+      ++ThreadsUsed;
+      BundlesLeft -= Got;
+      Threads[Order[I]].LastIssueCycle = Now;
+    }
+  }
+}
+
+unsigned Simulator::oooDispatchThread(unsigned Tid, unsigned MaxBundles) {
+  Thread &T = Threads[Tid];
+  unsigned Bundles = 0;
+  uint64_t CurBundle = UINT64_MAX;
+
+  while (!T.FrontQ.empty()) {
+    InstSlot &Head = T.FrontQ.front();
+    if (Head.EligibleCycle > Now)
+      break;
+    if (T.Rob.size() >= Cfg.RobEntries || T.RsCount >= Cfg.RsEntries)
+      break;
+    if (Head.LI->BundleId != CurBundle && Bundles == MaxBundles)
+      break;
+    if (Head.LI->BundleId != CurBundle) {
+      CurBundle = Head.LI->BundleId;
+      ++Bundles;
+    }
+
+    T.Rob.push_back(std::move(Head));
+    T.FrontQ.pop_front();
+    InstSlot &S = T.Rob.back();
+    S.Dispatched = true;
+    ++T.RsCount;
+
+    // Capture operand producers (register renaming happens here: each use
+    // binds to the latest prior writer of that register).
+    S.NumProd = 0;
+    S.OperandReadyCycle = 0;
+    S.LI->I->forEachUse([&](Reg R) {
+      unsigned Dense = R.denseIndex();
+      if (InstSlot *P = T.RegProd[Dense]) {
+        if (S.NumProd < 2)
+          S.Prod[S.NumProd++] = P;
+      } else {
+        S.OperandReadyCycle =
+            std::max(S.OperandReadyCycle, T.RegReady[Dense]);
+      }
+    });
+    Reg D = S.LI->I->def();
+    if (D.isValid())
+      T.RegProd[D.denseIndex()] = &S;
+  }
+  return Bundles;
+}
+
+//===----------------------------------------------------------------------===//
+// Cycle accounting (Figure 10)
+//===----------------------------------------------------------------------===//
+
+void Simulator::pruneMainOutstanding() {
+  size_t Keep = 0;
+  for (size_t I = 0; I < MainOutstanding.size(); ++I)
+    if (MainOutstanding[I].first > Now)
+      MainOutstanding[Keep++] = MainOutstanding[I];
+  MainOutstanding.resize(Keep);
+}
+
+bool Simulator::mainMissOutstanding() { return !MainOutstanding.empty(); }
+
+void Simulator::classifyCycle() {
+  Thread &M = Threads[0];
+  CycleCat Cat;
+
+  auto CatOfLevel = [](cache::Level L) {
+    switch (L) {
+    case cache::Level::L2:
+      return CycleCat::L1; // Missed L1, served by L2.
+    case cache::Level::L3:
+      return CycleCat::L2; // Missed L2, served by L3.
+    case cache::Level::Mem:
+      return CycleCat::L3; // Missed L3, served by memory.
+    case cache::Level::L1:
+      break;
+    }
+    return CycleCat::Other;
+  };
+
+  if (IssuedThisCycle[0] > 0) {
+    Cat = mainMissOutstanding() ? CycleCat::CacheExec : CycleCat::Exec;
+  } else if (Cfg.Pipeline == PipelineKind::InOrder) {
+    Cat = CycleCat::Other;
+    if (!M.FrontQ.empty() && M.FrontQ.front().EligibleCycle <= Now) {
+      // Head is present but stalled: attribute to the first unready operand
+      // if it was produced by a load miss.
+      const InstSlot &S = M.FrontQ.front();
+      CycleCat Found = CycleCat::Other;
+      bool Done = false;
+      S.LI->I->forEachUse([&](Reg R) {
+        if (Done)
+          return;
+        unsigned Dense = R.denseIndex();
+        if (M.RegReady[Dense] > Now) {
+          uint8_t Lvl = M.RegSrcLevel[Dense];
+          if (Lvl != 0)
+            Found = CatOfLevel(static_cast<cache::Level>(Lvl - 1));
+          Done = true;
+        }
+      });
+      Cat = Found;
+    }
+  } else {
+    // OOO: attribute no-issue cycles to the deepest outstanding main-thread
+    // demand miss, if any.
+    Cat = CycleCat::Other;
+    cache::Level Deepest = cache::Level::L1;
+    bool Any = false;
+    for (const auto &Miss : MainOutstanding) {
+      Any = true;
+      if (static_cast<unsigned>(Miss.second) >
+          static_cast<unsigned>(Deepest))
+        Deepest = Miss.second;
+    }
+    if (Any)
+      Cat = CatOfLevel(Deepest);
+  }
+
+  ++Stats.CatCycles[static_cast<unsigned>(Cat)];
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+SimStats Simulator::run() {
+  while (!MainDone) {
+    ++Now;
+    if (Now > Cfg.MaxCycles)
+      fatalError("simulation exceeded MaxCycles (livelock?)");
+    pruneMainOutstanding();
+    if ((Now & (Cfg.ThrottleEvalPeriod - 1)) == 0)
+      evaluateThrottle();
+    std::memset(IssuedThisCycle, 0, sizeof(IssuedThisCycle));
+
+    if (Cfg.Pipeline == PipelineKind::InOrder) {
+      issueCycleInOrder();
+      fetchCycle();
+    } else {
+      oooWriteback();
+      oooResolveRS();
+      oooRetire();
+      if (MainDone)
+        break;
+      oooIssue();
+      oooDispatch();
+      fetchCycle();
+    }
+    classifyCycle();
+  }
+
+  Stats.Cycles = Now;
+  Stats.Branches = Bpred.numBranches();
+  Stats.BranchMispredicts = Bpred.numMispredicts();
+  Stats.CacheTotals = Cache.totals();
+  Stats.LoadProfile = Cache.profile();
+  return Stats;
+}

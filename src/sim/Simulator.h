@@ -1,0 +1,193 @@
+//===- sim/Simulator.h - Cycle-level SMT Itanium simulator ----------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-driven, cycle-level SMT simulator standing in for the
+/// paper's SMTSIM/IPFsim infrastructure. It models both research Itanium
+/// pipelines of Table 1 over the shared cache hierarchy, the GSHARE/BTB
+/// front end, the four hardware thread contexts, the chk.c lightweight
+/// exception spawning mechanism and the RSE-backing-store live-in buffer.
+///
+/// Simulation style: functional-first. Instructions execute architecturally
+/// at fetch, so fetch always follows the true path; front-end costs of
+/// mispredictions, chk.c exceptions and rfi returns are modeled as
+/// fetch-blocking intervals that resolve when the blocking instruction
+/// issues (in-order) or retires (out-of-order), naturally charging the
+/// pipeline-refill penalty of the 12/16-stage pipes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SIM_SIMULATOR_H
+#define SSP_SIM_SIMULATOR_H
+
+#include "branch/BranchPredictor.h"
+#include "cache/Cache.h"
+#include "ir/Program.h"
+#include "mem/SimMemory.h"
+#include "sim/Executor.h"
+#include "sim/MachineConfig.h"
+#include "sim/SimStats.h"
+#include "sim/ThreadContext.h"
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace ssp::sim {
+
+/// Runs one program to completion on one machine configuration.
+class Simulator {
+public:
+  /// \p Mem is the initial data image; it is mutated by the run.
+  Simulator(const MachineConfig &Cfg, const ir::LinkedProgram &LP,
+            mem::SimMemory &Mem);
+
+  /// Simulates until the main thread halts and returns the statistics.
+  SimStats run();
+
+private:
+  /// What event re-enables fetch for a thread blocked on this instruction.
+  enum class ResumeEvent : uint8_t { None, AtIssue, AtRetire };
+
+  /// One fetched instruction flowing through the pipeline.
+  struct InstSlot {
+    const ir::LinkedInst *LI = nullptr;
+    ExecOutcome Out;
+    uint64_t FetchCycle = 0;
+    uint64_t EligibleCycle = 0; ///< Earliest issue/dispatch cycle.
+    bool Mispredicted = false;
+
+    ResumeEvent Resume = ResumeEvent::None;
+    uint32_t ResumeDelay = 0;
+
+    // Timing state.
+    bool Dispatched = false; ///< OOO: moved into the ROB/RS.
+    bool Issued = false;
+    bool Completed = false;
+    uint64_t IssueCycle = 0;
+    uint64_t CompleteCycle = 0;
+
+    // OOO operand tracking: producers still in flight at dispatch.
+    InstSlot *Prod[2] = {nullptr, nullptr};
+    unsigned NumProd = 0;
+    uint64_t OperandReadyCycle = 0;
+
+    // Load service classification (set at issue).
+    cache::Level ServedBy = cache::Level::L1;
+    bool Partial = false;
+  };
+
+  /// Per-hardware-context simulation state.
+  struct Thread {
+    bool Active = false;
+    bool Speculative = false;
+    bool FetchStopped = false; ///< Saw halt/kill; no further fetch.
+    /// The chk.c whose firing (transitively) created this speculative
+    /// thread; used for per-trigger prefetch health (throttling).
+    ir::StaticId OriginTrigger = 0;
+    /// Main thread only: the most recently fired chk.c (the stub's spawn
+    /// attributes its thread to it).
+    ir::StaticId LastFiredTrigger = 0;
+    ThreadContext Ctx;
+
+    std::deque<InstSlot> FrontQ; ///< Expansion queue / decode queue.
+    std::deque<InstSlot> Rob;    ///< OOO only.
+    unsigned RsCount = 0;        ///< OOO: dispatched but not issued.
+
+    uint64_t FetchResumeCycle = 0;
+    bool FetchWaitingOnEvent = false;
+
+    uint64_t LastFetchCycle = 0;
+    uint64_t LastIssueCycle = 0;
+    uint64_t SeqCounter = 0;
+
+    // In-order scoreboard: cycle each register becomes available, plus the
+    // cache level that produced it (for Figure 10 stall classification).
+    uint64_t RegReady[ir::Reg::NumDenseIndices] = {};
+    uint8_t RegSrcLevel[ir::Reg::NumDenseIndices] = {};
+
+    // OOO rename map: in-flight producer of each register, if any.
+    InstSlot *RegProd[ir::Reg::NumDenseIndices] = {};
+
+    void resetForSpawn() {
+      Ctx.reset();
+      FrontQ.clear();
+      Rob.clear();
+      RsCount = 0;
+      FetchResumeCycle = 0;
+      FetchWaitingOnEvent = false;
+      FetchStopped = false;
+      SeqCounter = 0;
+      for (unsigned I = 0; I < ir::Reg::NumDenseIndices; ++I) {
+        RegReady[I] = 0;
+        RegSrcLevel[I] = 0;
+        RegProd[I] = nullptr;
+      }
+    }
+  };
+
+  // Pipeline phases.
+  void fetchCycle();
+  unsigned fetchThread(unsigned Tid, unsigned MaxBundles);
+  void issueCycleInOrder();
+  unsigned issueFromThreadInOrder(unsigned Tid, unsigned MaxBundles,
+                                  unsigned FUUsed[]);
+  void oooWriteback();
+  void oooResolveRS();
+  void oooRetire();
+  void oooIssue();
+  void oooDispatch();
+  unsigned oooDispatchThread(unsigned Tid, unsigned MaxBundles);
+  void classifyCycle();
+
+  // Helpers.
+  void applyIssueTiming(unsigned Tid, InstSlot &S);
+  void fireResume(unsigned Tid, const InstSlot &S);
+  void trySpawn(const ExecOutcome &Out, unsigned SpawnerTid);
+  bool hasFreeContext() const;
+  /// chk.c availability check: a free context exists and the trigger is
+  /// not dynamically throttled.
+  bool chkCWouldFire(const ir::LinkedInst &LI) const;
+  /// Prefetch health bookkeeping around one data access.
+  void noteDataAccess(unsigned Tid, const InstSlot &S,
+                      const cache::AccessResult &R);
+  /// Periodic per-trigger usefulness verdicts (dynamic throttling).
+  void evaluateThrottle();
+  unsigned fuLimit(ir::FuncUnit FU) const;
+  bool mainMissOutstanding();
+  void pruneMainOutstanding();
+
+  const MachineConfig &Cfg;
+  const ir::LinkedProgram &LP;
+  mem::SimMemory &Mem;
+  cache::CacheHierarchy Cache;
+  branch::BranchPredictor Bpred;
+  std::vector<Thread> Threads;
+  SimStats Stats;
+
+  uint64_t Now = 0;
+  bool MainDone = false;
+  unsigned IssuedThisCycle[8] = {};
+  std::vector<std::pair<uint64_t, cache::Level>> MainOutstanding;
+
+  // Per-trigger prefetch health (Section 4.4.1's dynamic throttling).
+  struct TriggerHealth {
+    uint64_t Prefetches = 0; ///< Speculative touches this period.
+    uint64_t Tracked = 0;    ///< Touches that moved a line from L3/mem.
+    uint64_t Useful = 0;     ///< Timely consumptions credited this period.
+    uint64_t InFlight = 0;   ///< Tracked lines not yet consumed (a chain
+                             ///< may legitimately run far ahead; its
+                             ///< pending lines count as presumed useful).
+    uint64_t DisabledUntil = 0;
+  };
+  std::unordered_map<ir::StaticId, TriggerHealth> TriggerStats;
+  std::unordered_map<uint64_t, ir::StaticId> PrefetchedLines;
+};
+
+} // namespace ssp::sim
+
+#endif // SSP_SIM_SIMULATOR_H

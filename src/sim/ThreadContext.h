@@ -1,0 +1,73 @@
+//===- sim/ThreadContext.h - Architectural state of one HW context --------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architectural state of one hardware thread context: the per-thread
+/// register files of Table 1, the PC, the call/return stacks, and this
+/// thread's view of the live-in buffer (the spill area of the Register
+/// Stack Engine backing store that the paper uses for inter-thread live-in
+/// transfer, Section 3.4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SIM_THREADCONTEXT_H
+#define SSP_SIM_THREADCONTEXT_H
+
+#include "ir/Reg.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ssp::sim {
+
+/// Maximum live-in slots per spawn frame.
+inline constexpr unsigned MaxLIBSlots = 16;
+
+/// Architectural state of one hardware thread context.
+struct ThreadContext {
+  uint64_t R[ir::NumIntRegs];  ///< Integer registers; r0 hardwired to 0.
+  uint64_t F[ir::NumFPRegs];   ///< FP registers, stored as raw bits.
+  bool P[ir::NumPredRegs];     ///< Predicates; p0 hardwired to true.
+  uint32_t PC = 0;
+
+  std::vector<uint32_t> CallStack;   ///< Return addresses for call/ret.
+  std::vector<uint32_t> ResumeStack; ///< Resume addresses for chk.c/rfi.
+
+  /// Live-in frame handed to this thread when it was spawned.
+  uint64_t LIBIn[MaxLIBSlots];
+  /// Staged outgoing live-ins, written by CopyToLIB, snapshotted by Spawn.
+  uint64_t LIBStage[MaxLIBSlots];
+
+  ThreadContext() { reset(); }
+
+  void reset() {
+    std::memset(R, 0, sizeof(R));
+    std::memset(F, 0, sizeof(F));
+    std::memset(P, 0, sizeof(P));
+    P[0] = true; // p0 is hardwired true.
+    PC = 0;
+    CallStack.clear();
+    ResumeStack.clear();
+    std::memset(LIBIn, 0, sizeof(LIBIn));
+    std::memset(LIBStage, 0, sizeof(LIBStage));
+  }
+
+  uint64_t readInt(unsigned N) const { return N == 0 ? 0 : R[N]; }
+  void writeInt(unsigned N, uint64_t V) {
+    if (N != 0)
+      R[N] = V;
+  }
+  bool readPred(unsigned N) const { return N == 0 ? true : P[N]; }
+  void writePred(unsigned N, bool V) {
+    if (N != 0)
+      P[N] = V;
+  }
+};
+
+} // namespace ssp::sim
+
+#endif // SSP_SIM_THREADCONTEXT_H

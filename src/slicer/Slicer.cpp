@@ -1,0 +1,366 @@
+//===- slicer/Slicer.cpp - Slicing for speculative precomputation ---------===//
+
+#include "slicer/Slicer.h"
+
+#include "sim/ThreadContext.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <tuple>
+
+using namespace ssp;
+using namespace ssp::slicer;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+Slicer::Slicer(ProgramDeps &Deps, const RegionGraph &RG, const CallGraph &CG,
+               const profile::ProfileData &PD, SliceOptions Opts)
+    : Deps(Deps), RG(RG), CG(CG), PD(PD), Opts(Opts) {
+  Summaries.resize(Deps.program().numFuncs());
+}
+
+bool Slicer::blockIsCold(uint32_t Func, uint32_t Block) const {
+  if (!Opts.Speculative)
+    return false;
+  return PD.blockCount(Func, Block) == 0;
+}
+
+bool Slicer::regionContains(int RegionIdx, uint32_t Func,
+                            uint32_t Block) {
+  const Region &R = RG.region(RegionIdx);
+  if (R.Func != Func)
+    return false;
+  if (R.Kind == RegionKind::Procedure)
+    return true;
+  return Deps.forFunction(Func).loops().loop(R.LoopIdx).contains(Block);
+}
+
+//===----------------------------------------------------------------------===//
+// Callee summaries (Section 3.1.1): worklist fixed point over recursion.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Size cap for one register's summary slice; beyond this the summary is
+/// truncated (the slice using it will then exceed its own cap and be
+/// rejected, which matches the paper's guard against oversized slices).
+constexpr size_t SummaryRegCap = 200;
+
+} // namespace
+
+void Slicer::computeSummaries() {
+  const Program &P = Deps.program();
+  // Iterate all function summaries to a fixed point. Sets only grow and
+  // are bounded, so this terminates; recursion (e.g. treeadd) converges in
+  // a few rounds.
+  bool Changed = true;
+  unsigned Round = 0;
+  while (Changed && Round < 8) {
+    Changed = false;
+    ++Round;
+    for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
+      const FunctionDeps &FD = Deps.forFunction(FI);
+      const Function &F = P.func(FI);
+      FuncSummary &Sum = Summaries[FI];
+
+      for (const InstRef &Def : FD.reachingDefs().allDefs()) {
+        Reg R = Def.get(P).def();
+        if (blockIsCold(FI, Def.Block))
+          continue;
+        FuncSummary::RegInfo &Info = Sum.DefinedRegs[R.denseIndex()];
+
+        // Closure of this def within the function.
+        std::set<InstRef> Members(Info.Insts.begin(), Info.Insts.end());
+        std::set<unsigned> Entry;
+        for (Reg E : Info.EntryDeps)
+          Entry.insert(E.denseIndex());
+        size_t OldMembers = Members.size(), OldEntry = Entry.size();
+
+        std::deque<InstRef> Work;
+        if (!Members.count(Def))
+          Work.push_back(Def);
+        Members.insert(Def);
+        while (!Work.empty()) {
+          InstRef I = Work.front();
+          Work.pop_front();
+          if (Members.size() > SummaryRegCap)
+            break;
+          const Instruction &Inst = I.get(P);
+          Inst.forEachUse([&](Reg U) {
+            if ((U.isInt() || U.isPred()) && U.Num == 0)
+              return;
+            for (const InstRef &Prod :
+                 FD.reachingDefs().reachingDefs(I.Block, I.Inst, U)) {
+              if (blockIsCold(FI, Prod.Block))
+                continue;
+              if (Members.insert(Prod).second)
+                Work.push_back(Prod);
+            }
+            if (FD.reachingDefs().mayBeLiveIn(I.Block, I.Inst, U))
+              Entry.insert(U.denseIndex());
+          });
+          for (const InstRef &Ctrl : FD.controlSources(I)) {
+            if (blockIsCold(FI, Ctrl.Block))
+              continue;
+            if (Members.insert(Ctrl).second)
+              Work.push_back(Ctrl);
+          }
+        }
+
+        if (Members.size() != OldMembers || Entry.size() != OldEntry) {
+          Changed = true;
+          Info.Insts.assign(Members.begin(), Members.end());
+          Info.EntryDeps.clear();
+          for (unsigned Dense : Entry) {
+            // Reconstruct the Reg from its dense index.
+            Reg E;
+            if (Dense < NumIntRegs)
+              E = Reg(RegClass::Int, static_cast<uint8_t>(Dense));
+            else if (Dense < NumIntRegs + NumFPRegs)
+              E = Reg(RegClass::FP,
+                      static_cast<uint8_t>(Dense - NumIntRegs));
+            else
+              E = Reg(RegClass::Pred,
+                      static_cast<uint8_t>(Dense - NumIntRegs - NumFPRegs));
+            Info.EntryDeps.push_back(E);
+          }
+        }
+      }
+      (void)F;
+      Sum.Computed = true;
+    }
+  }
+  SummariesReady = true;
+}
+
+const FuncSummary &Slicer::summaryOf(uint32_t Func) {
+  if (!SummariesReady)
+    computeSummaries();
+  return Summaries[Func];
+}
+
+//===----------------------------------------------------------------------===//
+// Demand-driven, region-restricted, context-sensitive slicing.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Acyclic may-reach test between two positions in one function's CFG
+/// (used to decide whether a call site can feed a later use).
+bool mayReach(const FunctionDeps &FD, const InstRef &From,
+              const InstRef &To) {
+  if (From.Block == To.Block)
+    return From.Inst < To.Inst;
+  const CFG &G = FD.cfg();
+  std::vector<uint32_t> Work{From.Block};
+  std::vector<uint8_t> Seen(G.numBlocks(), 0);
+  Seen[From.Block] = 1;
+  while (!Work.empty()) {
+    uint32_t B = Work.back();
+    Work.pop_back();
+    for (uint32_t S : G.succs(B)) {
+      if (S == To.Block)
+        return true;
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Work.push_back(S);
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
+                           const std::vector<InstRef> &ContextCallSites) {
+  const Program &P = Deps.program();
+  Slice S;
+  S.PrimaryLoad = Load;
+  S.TargetLoads.push_back(Load);
+  S.RegionIdx = RegionIdx;
+  S.Valid = true;
+
+  // Frame k function: 0 = load's function; k>0 = ContextCallSites[k-1]'s.
+  const size_t TopFrame = ContextCallSites.size();
+
+  std::set<InstRef> Members;
+  std::set<unsigned> LiveInDense;
+  std::deque<std::pair<InstRef, size_t>> Work; // (instruction, frame).
+
+  auto InRegionAtFrame = [&](const InstRef &I, size_t K) {
+    if (K < TopFrame)
+      return true; // Inner frames are dynamically inside the region.
+    return regionContains(RegionIdx, I.Func, I.Block);
+  };
+
+  // Adds an instruction to the slice.
+  auto Include = [&](const InstRef &I, size_t K) {
+    if (Members.count(I))
+      return;
+    if (blockIsCold(I.Func, I.Block))
+      return; // Speculative slicing filters unexecuted paths.
+    Members.insert(I);
+    Work.push_back({I, K});
+  };
+
+  // Expands the value of register R as observed just before position Pos
+  // at frame K. Memoized on (position, frame, register) to terminate in
+  // the presence of recursive entry-dependence chains.
+  std::set<std::tuple<InstRef, size_t, unsigned>> ExpandedUses;
+  std::function<void(const InstRef &, size_t, Reg)> ExpandUse =
+      [&](const InstRef &Pos, size_t K, Reg R) {
+        if ((R.isInt() || R.isPred()) && R.Num == 0)
+          return;
+        if (!ExpandedUses.insert({Pos, K, R.denseIndex()}).second)
+          return;
+        const FunctionDeps &FD = Deps.forFunction(Pos.Func);
+
+        for (const InstRef &Prod :
+             FD.reachingDefs().reachingDefs(Pos.Block, Pos.Inst, R)) {
+          if (InRegionAtFrame(Prod, K)) {
+            Include(Prod, K);
+          } else {
+            // Producer outside the region: the value is a region live-in.
+            LiveInDense.insert(R.denseIndex());
+          }
+        }
+
+        // Values produced inside callees: expand through summaries for
+        // every warm call site that can reach this position and whose
+        // callee may define R.
+        for (const CallSite &C : CG.callSitesIn(Pos.Func)) {
+          if (blockIsCold(Pos.Func, C.Site.Block))
+            continue;
+          if (!(C.Site == Pos) && !mayReach(FD, C.Site, Pos))
+            continue;
+          if (!InRegionAtFrame(C.Site, K))
+            continue;
+          const FuncSummary &Sum = summaryOf(C.Callee);
+          auto It = Sum.DefinedRegs.find(R.denseIndex());
+          if (It == Sum.DefinedRegs.end())
+            continue;
+          S.Interprocedural = true;
+          for (const InstRef &M : It->second.Insts)
+            Include(M, K); // Callee instructions: dynamically in region.
+          for (Reg E : It->second.EntryDeps)
+            ExpandUse(C.Site, K, E); // Actuals just before the call.
+        }
+
+        if (FD.reachingDefs().mayBeLiveIn(Pos.Block, Pos.Inst, R)) {
+          if (K < TopFrame) {
+            // Continue in the caller just before the context call site:
+            // the context-sensitive contextmap(f, c) step.
+            S.Interprocedural = true;
+            ExpandUse(ContextCallSites[K], K + 1, R);
+          } else {
+            LiveInDense.insert(R.denseIndex());
+          }
+        }
+      };
+
+  // Seed: the address operand of the delinquent load plus its control
+  // dependences (Figure 3 includes the loop's continue condition).
+  const Instruction &LoadInst = Load.get(P);
+  assert(isLoad(LoadInst.Op) && "slicing a non-load");
+  ExpandUse(Load, 0, LoadInst.Src1);
+  {
+    const FunctionDeps &FD = Deps.forFunction(Load.Func);
+    for (const InstRef &Ctrl : FD.controlSources(Load))
+      if (InRegionAtFrame(Ctrl, 0))
+        Include(Ctrl, 0);
+  }
+
+  // Transitive closure.
+  while (!Work.empty()) {
+    auto [I, K] = Work.front();
+    Work.pop_front();
+    if (Members.size() > Opts.MaxSize) {
+      S.Valid = false;
+      S.RejectReason = "slice exceeds size cap";
+      break;
+    }
+    const Instruction &Inst = I.get(P);
+    const FunctionDeps &FD = Deps.forFunction(I.Func);
+
+    if (Opts.RejectStoreDependent && isLoad(Inst.Op)) {
+      for (const InstRef &Store : FD.memorySources(I)) {
+        if (InRegionAtFrame(Store, K)) {
+          S.Valid = false;
+          S.RejectReason = "address depends on an in-region store";
+        }
+      }
+    }
+
+    Inst.forEachUse([&](Reg R) { ExpandUse(I, K, R); });
+    for (const InstRef &Ctrl : FD.controlSources(I))
+      if (InRegionAtFrame(Ctrl, K))
+        Include(Ctrl, K);
+  }
+
+  S.Insts.assign(Members.begin(), Members.end());
+  for (unsigned Dense : LiveInDense) {
+    Reg R;
+    if (Dense < NumIntRegs)
+      R = Reg(RegClass::Int, static_cast<uint8_t>(Dense));
+    else if (Dense < NumIntRegs + NumFPRegs)
+      R = Reg(RegClass::FP, static_cast<uint8_t>(Dense - NumIntRegs));
+    else
+      R = Reg(RegClass::Pred,
+              static_cast<uint8_t>(Dense - NumIntRegs - NumFPRegs));
+    S.LiveIns.push_back(R);
+  }
+  S.Interprocedural |= TopFrame > 0;
+
+  if (S.LiveIns.size() > sim::MaxLIBSlots - 2) {
+    S.Valid = false;
+    S.RejectReason = "too many live-ins for the LIB";
+  }
+  if (S.Valid && S.Insts.empty()) {
+    S.Valid = false;
+    S.RejectReason = "empty slice (address is region-invariant)";
+  }
+  return S;
+}
+
+void Slicer::mergeInto(Slice &A, const Slice &B) {
+  assert(A.RegionIdx == B.RegionIdx && "merging slices of different regions");
+  std::set<InstRef> Members(A.Insts.begin(), A.Insts.end());
+  Members.insert(B.Insts.begin(), B.Insts.end());
+  A.Insts.assign(Members.begin(), Members.end());
+  std::set<InstRef> Targets(A.TargetLoads.begin(), A.TargetLoads.end());
+  Targets.insert(B.TargetLoads.begin(), B.TargetLoads.end());
+  A.TargetLoads.assign(Targets.begin(), Targets.end());
+  std::set<Reg> Lives(A.LiveIns.begin(), A.LiveIns.end());
+  Lives.insert(B.LiveIns.begin(), B.LiveIns.end());
+  A.LiveIns.assign(Lives.begin(), Lives.end());
+  A.Interprocedural |= B.Interprocedural;
+}
+
+bool Slicer::combineIfOverlapping(Slice &A, const Slice &B) {
+  if (A.RegionIdx != B.RegionIdx || !A.Valid || !B.Valid)
+    return false;
+  bool Shares = false;
+  for (const InstRef &I : B.Insts)
+    if (A.contains(I)) {
+      Shares = true;
+      break;
+    }
+  if (!Shares)
+    return false;
+  // Union members, targets and live-ins.
+  std::set<InstRef> Members(A.Insts.begin(), A.Insts.end());
+  Members.insert(B.Insts.begin(), B.Insts.end());
+  A.Insts.assign(Members.begin(), Members.end());
+  std::set<InstRef> Targets(A.TargetLoads.begin(), A.TargetLoads.end());
+  Targets.insert(B.TargetLoads.begin(), B.TargetLoads.end());
+  A.TargetLoads.assign(Targets.begin(), Targets.end());
+  std::set<Reg> Lives(A.LiveIns.begin(), A.LiveIns.end());
+  Lives.insert(B.LiveIns.begin(), B.LiveIns.end());
+  A.LiveIns.assign(Lives.begin(), Lives.end());
+  A.Interprocedural |= B.Interprocedural;
+  return true;
+}

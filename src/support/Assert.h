@@ -1,0 +1,42 @@
+//===- support/Assert.h - Assertion helpers ------------------------------===//
+//
+// Part of the ssp-postpass project: a reproduction of "Post-Pass Binary
+// Adaptation for Software-Based Speculative Precomputation" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small assertion helpers shared across the project. `ssp_unreachable`
+/// mirrors llvm_unreachable: it aborts with a message in all build modes so
+/// that impossible control flow is always diagnosed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SUPPORT_ASSERT_H
+#define SSP_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssp {
+
+/// Aborts the program, reporting \p Msg and the source location. Used to mark
+/// control flow that must never be reached if program invariants hold.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Aborts the program with a fatal-error message. Used for invariant
+/// violations that must be diagnosed even in release builds.
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace ssp
+
+#define ssp_unreachable(MSG) ::ssp::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // SSP_SUPPORT_ASSERT_H

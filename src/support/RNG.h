@@ -1,0 +1,80 @@
+//===- support/RNG.h - Deterministic random number generation ------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic xorshift-based RNG. The workload generators use it
+/// so that every simulation run of a benchmark touches exactly the same data
+/// structure layout, which keeps the baseline and the SSP-enhanced binary
+/// observationally comparable and makes all experiments reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SUPPORT_RNG_H
+#define SSP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ssp {
+
+/// xorshift128+ generator with a splitmix64-seeded state. Deterministic for a
+/// given seed on all platforms, unlike std::mt19937 distributions.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9E3779B97F4A7C15ULL) {
+    State0 = splitMix64(Seed + 1);
+    State1 = splitMix64(Seed + 2);
+    // Avoid the all-zero state, which is a fixed point of xorshift.
+    if (State0 == 0 && State1 == 0)
+      State1 = 0x9E3779B97F4A7C15ULL;
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t X = State0;
+    const uint64_t Y = State1;
+    State0 = Y;
+    X ^= X << 23;
+    State1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State1 + Y;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow bound must be non-zero");
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in [Lo, Hi]. Requires Lo <= Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t splitMix64(uint64_t X) {
+    uint64_t Z = X + 0x9E3779B97F4A7C15ULL;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace ssp
+
+#endif // SSP_SUPPORT_RNG_H

@@ -1,0 +1,67 @@
+//===- support/TablePrinter.cpp - Aligned text tables ---------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ssp;
+
+void TablePrinter::cell(const std::string &Text) {
+  assert(!Rows.empty() && "cell() before row()");
+  Rows.back().push_back(Text);
+}
+
+void TablePrinter::cell(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  cell(std::string(Buf));
+}
+
+void TablePrinter::cell(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  cell(std::string(Buf));
+}
+
+void TablePrinter::cell(unsigned long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu", Value);
+  cell(std::string(Buf));
+}
+
+std::string TablePrinter::toString() const {
+  // Compute the width of each column across all rows.
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  }
+
+  std::string Out;
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    const auto &Row = Rows[R];
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        Out += "  ";
+      Out += Row[I];
+      Out.append(Widths[I] - Row[I].size(), ' ');
+    }
+    Out += '\n';
+    if (R == 0 && Rows.size() > 1) {
+      size_t Total = 0;
+      for (size_t I = 0; I < Widths.size(); ++I)
+        Total += Widths[I] + (I != 0 ? 2 : 0);
+      Out.append(Total, '-');
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::fputs(toString().c_str(), Out);
+}

@@ -1,0 +1,56 @@
+//===- support/TablePrinter.h - Aligned text tables for benches -----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small helper that renders aligned ASCII tables. The benchmark harness
+/// uses it to print the rows of every table and figure the paper reports in
+/// a form that is easy to diff against the paper's numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SUPPORT_TABLEPRINTER_H
+#define SSP_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ssp {
+
+/// Accumulates rows of string cells and prints them with per-column
+/// alignment. The first added row is treated as the header.
+class TablePrinter {
+public:
+  /// Starts a new row. Subsequent cell() calls append to it.
+  void row() { Rows.emplace_back(); }
+
+  /// Appends a string cell to the current row.
+  void cell(const std::string &Text);
+
+  /// Appends a formatted floating-point cell with \p Digits fraction digits.
+  void cell(double Value, int Digits = 2);
+
+  /// Appends an integer cell.
+  void cell(long long Value);
+  void cell(unsigned long long Value);
+  void cell(int Value) { cell(static_cast<long long>(Value)); }
+  void cell(unsigned Value) { cell(static_cast<unsigned long long>(Value)); }
+  void cell(size_t Value) { cell(static_cast<unsigned long long>(Value)); }
+
+  /// Renders the table to \p Out (defaults to stdout). A separator line is
+  /// drawn between the header row and the body.
+  void print(std::FILE *Out = stdout) const;
+
+  /// Renders the table into a string (used by unit tests).
+  std::string toString() const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ssp
+
+#endif // SSP_SUPPORT_TABLEPRINTER_H

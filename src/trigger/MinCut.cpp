@@ -1,0 +1,91 @@
+//===- trigger/MinCut.cpp - Edmonds-Karp max flow --------------------------===//
+
+#include "trigger/MinCut.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+using namespace ssp;
+using namespace ssp::trigger;
+
+uint64_t ssp::trigger::maxFlowMinCut(unsigned NumNodes, unsigned Source,
+                                     unsigned Sink,
+                                     const std::vector<FlowEdge> &Edges,
+                                     std::vector<size_t> *CutEdges) {
+  // Residual representation: forward and backward arcs interleaved.
+  struct Arc {
+    unsigned To;
+    uint64_t Cap;
+    size_t Rev; ///< Index of the reverse arc in Adj[To].
+  };
+  std::vector<std::vector<Arc>> Adj(NumNodes);
+  // Remember where each input edge's forward arc lives.
+  std::vector<std::pair<unsigned, size_t>> ArcOfEdge;
+  ArcOfEdge.reserve(Edges.size());
+  for (const FlowEdge &E : Edges) {
+    Adj[E.From].push_back({E.To, E.Capacity, Adj[E.To].size()});
+    Adj[E.To].push_back({E.From, 0, Adj[E.From].size() - 1});
+    ArcOfEdge.push_back({E.From, Adj[E.From].size() - 1});
+  }
+
+  uint64_t Flow = 0;
+  while (true) {
+    // BFS for the shortest augmenting path.
+    std::vector<std::pair<unsigned, size_t>> Parent(
+        NumNodes, {~0u, 0}); // (node, arc idx in Adj[node]).
+    std::deque<unsigned> Queue{Source};
+    Parent[Source] = {Source, 0};
+    while (!Queue.empty() && Parent[Sink].first == ~0u) {
+      unsigned V = Queue.front();
+      Queue.pop_front();
+      for (size_t AI = 0; AI < Adj[V].size(); ++AI) {
+        const Arc &A = Adj[V][AI];
+        if (A.Cap == 0 || Parent[A.To].first != ~0u)
+          continue;
+        Parent[A.To] = {V, AI};
+        Queue.push_back(A.To);
+      }
+    }
+    if (Parent[Sink].first == ~0u)
+      break;
+
+    // Bottleneck along the path.
+    uint64_t Bottleneck = std::numeric_limits<uint64_t>::max();
+    for (unsigned V = Sink; V != Source;) {
+      auto [U, AI] = Parent[V];
+      Bottleneck = std::min(Bottleneck, Adj[U][AI].Cap);
+      V = U;
+    }
+    for (unsigned V = Sink; V != Source;) {
+      auto [U, AI] = Parent[V];
+      Arc &A = Adj[U][AI];
+      A.Cap -= Bottleneck;
+      Adj[A.To][A.Rev].Cap += Bottleneck;
+      V = U;
+    }
+    Flow += Bottleneck;
+  }
+
+  if (CutEdges) {
+    // Source side = nodes reachable in the residual graph.
+    std::vector<uint8_t> Reach(NumNodes, 0);
+    std::deque<unsigned> Queue{Source};
+    Reach[Source] = 1;
+    while (!Queue.empty()) {
+      unsigned V = Queue.front();
+      Queue.pop_front();
+      for (const Arc &A : Adj[V]) {
+        if (A.Cap == 0 || Reach[A.To])
+          continue;
+        Reach[A.To] = 1;
+        Queue.push_back(A.To);
+      }
+    }
+    CutEdges->clear();
+    for (size_t I = 0; I < Edges.size(); ++I)
+      if (Reach[Edges[I].From] && !Reach[Edges[I].To])
+        CutEdges->push_back(I);
+  }
+  return Flow;
+}

@@ -1,0 +1,43 @@
+//===- trigger/MinCut.h - Max-flow / min-cut on the CFG -------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3 maps optimal trigger placement to the max-flow min-cut
+/// problem: edges weighted by frequency times triggering cost, the optimal
+/// trigger set is the minimum cut between the program entry and the
+/// delinquent region. The tool itself uses a conservative heuristic; this
+/// reference implementation (BFS augmenting paths, Edmonds-Karp) exists to
+/// quantify how far the heuristic is from optimal (ablation bench).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_TRIGGER_MINCUT_H
+#define SSP_TRIGGER_MINCUT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssp::trigger {
+
+/// One directed edge with capacity.
+struct FlowEdge {
+  unsigned From = 0;
+  unsigned To = 0;
+  uint64_t Capacity = 0;
+};
+
+/// Computes the max-flow value (== min-cut weight) from \p Source to
+/// \p Sink over \p Edges on a graph of \p NumNodes nodes. Also returns,
+/// via \p CutEdges, the indices into \p Edges of a minimum cut (edges from
+/// the source side to the sink side of the residual graph).
+uint64_t maxFlowMinCut(unsigned NumNodes, unsigned Source, unsigned Sink,
+                       const std::vector<FlowEdge> &Edges,
+                       std::vector<size_t> *CutEdges = nullptr);
+
+} // namespace ssp::trigger
+
+#endif // SSP_TRIGGER_MINCUT_H

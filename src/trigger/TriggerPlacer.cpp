@@ -1,0 +1,226 @@
+//===- trigger/TriggerPlacer.cpp - Trigger point placement -----------------===//
+
+#include "trigger/TriggerPlacer.h"
+
+#include "trigger/MinCut.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace ssp;
+using namespace ssp::trigger;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+namespace {
+
+/// The insertion index at the end of a block, respecting that control
+/// transfer instructions must stay last.
+uint32_t endInsertionIndex(const BasicBlock &BB) {
+  if (BB.Insts.empty())
+    return 0;
+  const Instruction &Last = BB.Insts.back();
+  if (Last.Op == Opcode::Br || isTerminator(Last.Op))
+    return static_cast<uint32_t>(BB.Insts.size() - 1);
+  return static_cast<uint32_t>(BB.Insts.size());
+}
+
+/// Index just after the last instruction in \p BB producing a slice
+/// input: a definition of a live-in register, or a store to a location a
+/// slice load reads (same base + displacement; the p-slice must observe
+/// the stored value, e.g. a spilled argument). Clamped to the legal end
+/// position; 0 when none.
+uint32_t afterLastLiveInDef(
+    const BasicBlock &BB, const std::vector<Reg> &LiveIns,
+    const std::vector<std::pair<Reg, int64_t>> &MemFeeds = {}) {
+  std::set<Reg> Set(LiveIns.begin(), LiveIns.end());
+  std::set<std::pair<Reg, int64_t>> Feeds(MemFeeds.begin(), MemFeeds.end());
+  uint32_t Pos = 0;
+  for (uint32_t II = 0; II < BB.Insts.size(); ++II) {
+    const Instruction &I = BB.Insts[II];
+    Reg D = I.def();
+    if (D.isValid() && Set.count(D))
+      Pos = II + 1;
+    if (isStore(I.Op) && Feeds.count({I.Src1, I.Imm}))
+      Pos = II + 1;
+  }
+  return std::min(Pos, endInsertionIndex(BB));
+}
+
+/// (Base, displacement) pairs of every load in the slice.
+std::vector<std::pair<Reg, int64_t>>
+sliceLoadAddresses(const Program &P, const slicer::Slice &S) {
+  std::vector<std::pair<Reg, int64_t>> Feeds;
+  for (const analysis::InstRef &M : S.Insts) {
+    const Instruction &I = M.get(P);
+    if (isLoad(I.Op))
+      Feeds.push_back({I.Src1, I.Imm});
+  }
+  return Feeds;
+}
+
+} // namespace
+
+TriggerPlan TriggerPlacer::place(const slicer::Slice &S,
+                                 const sched::ScheduledSlice &Sched,
+                                 bool RestartTriggers) {
+  TriggerPlan Plan;
+  const Region &R = RG.region(S.RegionIdx);
+  const Program &P = Deps.program();
+  const Function &F = P.func(R.Func);
+  const FunctionDeps &FD = Deps.forFunction(R.Func);
+
+  auto CostOf = [&](uint32_t Block) {
+    return PD.blockCount(R.Func, Block) * (1 + S.LiveIns.size());
+  };
+
+  if (R.Kind == RegionKind::Loop &&
+      Sched.Model == sched::SPModel::Basic) {
+    // Basic SP: the main thread triggers the next iteration's prefetch
+    // thread inside the loop body.
+    const Loop &L = FD.loops().loop(R.LoopIdx);
+    Plan.PerIteration = true;
+    Plan.Triggers.push_back({{R.Func, L.Header, 0}});
+    Plan.HeuristicCost = CostOf(L.Header);
+    return Plan;
+  }
+
+  if (R.Kind == RegionKind::Loop) {
+    // Chaining SP: one trigger per loop entry edge, after the last
+    // live-in producing instruction, hoisted to the immediate dominator
+    // while it carries the same frequency (slack unchanged) and defines
+    // no live-in after the insertion point.
+    const Loop &L = FD.loops().loop(R.LoopIdx);
+    std::set<std::pair<uint32_t, uint32_t>> Placements;
+    for (uint32_t Pred : FD.cfg().preds(L.Header)) {
+      if (L.contains(Pred))
+        continue; // Back edge.
+      uint32_t Block = Pred;
+      uint32_t Idx = afterLastLiveInDef(F.block(Block), S.LiveIns,
+                                        sliceLoadAddresses(P, S));
+      // Hoist: climb the immediate dominators while legal.
+      while (Idx == 0) {
+        uint32_t IDom = FD.doms().idom(Block);
+        if (IDom == ~0u)
+          break;
+        if (PD.blockCount(R.Func, IDom) != PD.blockCount(R.Func, Block))
+          break; // Frequency differs: hoisting would change slack/cost.
+        uint32_t NewIdx = afterLastLiveInDef(F.block(IDom), S.LiveIns,
+                                             sliceLoadAddresses(P, S));
+        Block = IDom;
+        Idx = NewIdx;
+        if (Idx != 0)
+          break;
+      }
+      // Combining happens naturally: identical placements deduplicate.
+      Placements.insert({Block, Idx});
+    }
+    for (const auto &[Block, Idx] : Placements) {
+      Plan.Triggers.push_back({{R.Func, Block, Idx}});
+      Plan.HeuristicCost += CostOf(Block);
+    }
+    if (RestartTriggers)
+      Plan.RestartTriggers.push_back({{R.Func, L.Header, 0}});
+    return Plan;
+  }
+
+  // Procedure region: the function entry dominates everything; place the
+  // trigger after the last live-in producing instruction in the entry
+  // block (Section 3.3's "after the instruction that produces the last
+  // live-in to the slice").
+  uint32_t EntryIdx = afterLastLiveInDef(F.block(FD.cfg().entry()),
+                                         S.LiveIns, sliceLoadAddresses(P, S));
+  Plan.Triggers.push_back({{R.Func, FD.cfg().entry(), EntryIdx}});
+  Plan.HeuristicCost = CostOf(FD.cfg().entry());
+  return Plan;
+}
+
+bool TriggerPlacer::isCutSet(const CFG &G,
+                             const std::vector<TriggerPlacement> &Triggers,
+                             uint32_t TargetBlock) {
+  if (Triggers.empty())
+    return false;
+  std::set<uint32_t> TriggerBlocks;
+  for (const TriggerPlacement &T : Triggers)
+    TriggerBlocks.insert(T.Where.Block);
+
+  // Coverage: no trigger-free path from the entry to the target.
+  if (!TriggerBlocks.count(G.entry()) && G.entry() != TargetBlock) {
+    std::deque<uint32_t> Queue{G.entry()};
+    std::vector<uint8_t> Seen(G.numBlocks(), 0);
+    Seen[G.entry()] = 1;
+    while (!Queue.empty()) {
+      uint32_t B = Queue.front();
+      Queue.pop_front();
+      for (uint32_t Succ : G.succs(B)) {
+        if (TriggerBlocks.count(Succ))
+          continue; // Path blocked by a trigger.
+        if (Succ == TargetBlock)
+          return false; // Reached the target without crossing a trigger.
+        if (!Seen[Succ]) {
+          Seen[Succ] = 1;
+          Queue.push_back(Succ);
+        }
+      }
+    }
+  } else if (TriggerBlocks.count(G.entry()) && TriggerBlocks.size() > 1) {
+    // fallthrough to the double-cross check below.
+  }
+
+  // Single crossing: from any trigger, no other trigger is reachable
+  // without first passing the target (distinct triggers only; a trigger
+  // re-reached around the loop serves the next region entry).
+  for (uint32_t T : TriggerBlocks) {
+    std::deque<uint32_t> Queue;
+    std::vector<uint8_t> Seen(G.numBlocks(), 0);
+    for (uint32_t Succ : G.succs(T))
+      if (Succ != TargetBlock && !Seen[Succ]) {
+        Seen[Succ] = 1;
+        Queue.push_back(Succ);
+      }
+    while (!Queue.empty()) {
+      uint32_t B = Queue.front();
+      Queue.pop_front();
+      if (TriggerBlocks.count(B) && B != T)
+        return false;
+      for (uint32_t Succ : G.succs(B))
+        if (Succ != TargetBlock && !Seen[Succ]) {
+          Seen[Succ] = 1;
+          Queue.push_back(Succ);
+        }
+    }
+  }
+  return true;
+}
+
+uint64_t TriggerPlacer::minCutCost(const slicer::Slice &S) {
+  const Region &R = RG.region(S.RegionIdx);
+  const FunctionDeps &FD = Deps.forFunction(R.Func);
+  const CFG &G = FD.cfg();
+  if (R.Kind != RegionKind::Loop)
+    return 0;
+  const Loop &L = FD.loops().loop(R.LoopIdx);
+
+  // Flow network: CFG edges outside the loop, capacity freq * cost.
+  // Source = entry, sink = loop header; back edges are excluded so the
+  // cut separates region *entries* only.
+  std::vector<FlowEdge> Edges;
+  uint64_t CostFactor = 1 + S.LiveIns.size();
+  for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+    for (uint32_t Succ : G.succs(B)) {
+      if (L.contains(B))
+        continue; // Inside the loop (includes back edges).
+      uint64_t Freq = PD.edgeCount(R.Func, B, Succ);
+      if (Freq == 0 && PD.blockCount(R.Func, B) > 0 &&
+          G.succs(B).size() == 1)
+        Freq = PD.blockCount(R.Func, B); // Fallthrough-only edge.
+      Edges.push_back({B, Succ, Freq * CostFactor});
+    }
+  }
+  if (G.entry() == L.Header)
+    return PD.blockCount(R.Func, L.Header) * CostFactor;
+  return maxFlowMinCut(static_cast<unsigned>(G.numBlocks()), G.entry(),
+                       L.Header, Edges);
+}

@@ -1,0 +1,87 @@
+//===- trigger/TriggerPlacer.h - Trigger point placement -------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trigger placement (Section 3.3). The trigger set must form a cut set on
+/// the CFG: every execution path reaching the delinquent region crosses
+/// exactly one trigger. For chaining SP on a loop, triggers go on the loop
+/// entry edges, after the instruction producing the last live-in, hoisted
+/// to immediate dominators while frequency (and hence slack) is unchanged.
+/// For basic SP the trigger sits at the top of the loop body so each
+/// iteration spawns the prefetch thread for the next. The module also
+/// exposes the cut-set checker used by tests and the weighted heuristic /
+/// min-cut costs compared in the ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_TRIGGER_TRIGGERPLACER_H
+#define SSP_TRIGGER_TRIGGERPLACER_H
+
+#include "sched/Scheduler.h"
+#include "slicer/Slicer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::trigger {
+
+/// One trigger: insert a chk.c at index `Where.Inst` of block
+/// `Where.Block` in function `Where.Func` (before the instruction
+/// currently at that index).
+struct TriggerPlacement {
+  analysis::InstRef Where;
+};
+
+/// The complete triggering decision for one slice.
+struct TriggerPlan {
+  std::vector<TriggerPlacement> Triggers;
+  /// Chaining restart triggers: placed at the chain-loop header so a chain
+  /// that died (its spawn found no free context) is re-launched with the
+  /// main thread's current live-in values. chk.c acts as a nop while the
+  /// chain is alive and holding all contexts, so the steady-state cost is
+  /// one branch-unit slot per iteration. These are not part of the cut
+  /// set; they exploit chk.c's fire-only-when-idle semantics.
+  std::vector<TriggerPlacement> RestartTriggers;
+  bool PerIteration = false; ///< Basic SP: trigger fires every iteration.
+  uint64_t HeuristicCost = 0; ///< Sum of freq * (1 + #live-ins) at triggers.
+};
+
+/// Places triggers for scheduled slices.
+class TriggerPlacer {
+public:
+  TriggerPlacer(analysis::ProgramDeps &Deps,
+                const analysis::RegionGraph &RG,
+                const profile::ProfileData &PD)
+      : Deps(Deps), RG(RG), PD(PD) {}
+
+  /// Computes the trigger plan for \p S under schedule \p Sched. When
+  /// \p RestartTriggers is set, chaining plans on loop regions also get a
+  /// header restart trigger.
+  TriggerPlan place(const slicer::Slice &S,
+                    const sched::ScheduledSlice &Sched,
+                    bool RestartTriggers = true);
+
+  /// Verifies the cut-set property: every path from the function entry to
+  /// \p TargetBlock crosses at least one trigger, and no path crosses two
+  /// (paper: "each execution path leading to the delinquent load has only
+  /// one trigger point"). Triggers must all be in \p Func.
+  static bool isCutSet(const analysis::CFG &G,
+                       const std::vector<TriggerPlacement> &Triggers,
+                       uint32_t TargetBlock);
+
+  /// Optimal trigger cost via max-flow min-cut over loop entry edges,
+  /// with edge capacity freq * (1 + #live-ins). Reference for ablation.
+  uint64_t minCutCost(const slicer::Slice &S);
+
+private:
+  analysis::ProgramDeps &Deps;
+  const analysis::RegionGraph &RG;
+  const profile::ProfileData &PD;
+};
+
+} // namespace ssp::trigger
+
+#endif // SSP_TRIGGER_TRIGGERPLACER_H

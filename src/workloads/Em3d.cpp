@@ -1,0 +1,160 @@
+//===- workloads/Em3d.cpp - Olden em3d (EM propagation) --------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Olden's em3d solves electromagnetic propagation in 3D on a bipartite
+/// graph of E and H field nodes. The kernel walks a linked list of E-nodes
+/// and relaxes each against three dependency H-nodes reached through
+/// pointers:   e->value -= coeff * dep_k->value.
+/// The dependency pointers scatter into an H-node array larger than the
+/// L3 cache, so the dep->value loads are delinquent; the E-node list is
+/// linked in shuffled order, so the list walk itself also misses.
+///
+/// Node layout (64-byte line per node):
+///   +0 value (double bits), +8 next, +16/+24/+32 dependency pointers,
+///   +40 coeff (double bits).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+#include <bit>
+#include <numeric>
+#include <vector>
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+
+constexpr uint64_t EBase = 0x1000000;
+constexpr uint64_t HBase = 0x8000000;
+constexpr uint64_t Stride = 64;
+constexpr unsigned NumE = 4096;
+constexpr unsigned NumH = 1 << 16; // 4 MiB of H-node lines.
+
+uint64_t eAddr(unsigned I) { return EBase + static_cast<uint64_t>(I) * Stride; }
+uint64_t hAddr(unsigned I) { return HBase + static_cast<uint64_t>(I) * Stride; }
+
+} // namespace
+
+Workload ssp::workloads::makeEm3d() {
+  Workload W;
+  W.Name = "em3d";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+    B.createFunction("main");
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Loop = B.createBlock("relax");
+    uint32_t Exit = B.createBlock("exit");
+
+    const Reg Node = ireg(1), Dep1 = ireg(3), Dep2 = ireg(4),
+              Dep3 = ireg(5), Res = ireg(11), Chk = ireg(12);
+    const Reg Val = freg(1), D1 = freg(3), D2 = freg(4), D3 = freg(5),
+              Coef = freg(6), FSum = freg(7);
+    const Reg Cont = preg(1);
+
+    B.setInsertPoint(Entry);
+    B.movI(Node, eAddr(0)); // List head: E-node 0.
+    B.movI(Res, ResultAddr);
+    B.xtof(FSum, ireg(0)); // FSum = 0.0.
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.loadF(Val, Node, 0);
+    B.load(Dep1, Node, 16);
+    B.load(Dep2, Node, 24);
+    B.load(Dep3, Node, 32);
+    B.loadF(Coef, Node, 40);
+    B.loadF(D1, Dep1, 0); // Delinquent: H-node values.
+    B.loadF(D2, Dep2, 0);
+    B.loadF(D3, Dep3, 0);
+    B.fmul(D1, D1, Coef);
+    B.fsub(Val, Val, D1);
+    B.fmul(D2, D2, Coef);
+    B.fsub(Val, Val, D2);
+    B.fmul(D3, D3, Coef);
+    B.fsub(Val, Val, D3);
+    B.storeF(Node, 0, Val);
+    B.fadd(FSum, FSum, Val);
+    B.load(Node, Node, 8); // Shuffled next pointer.
+    B.cmpI(CondCode::NE, Cont, Node, 0);
+    B.br(Cont, Loop);
+
+    B.setInsertPoint(Exit);
+    B.ftox(Chk, FSum);
+    B.store(Res, 0, Chk);
+    B.halt();
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    RNG Rng(0xE3D);
+    auto Bits = [](double D) { return std::bit_cast<uint64_t>(D); };
+
+    // H-nodes: values only.
+    std::vector<double> HVal(NumH);
+    for (unsigned I = 0; I < NumH; ++I) {
+      HVal[I] = 0.25 + static_cast<double>((I * 2654435761u) % 1024) / 512.0;
+      Mem.write(hAddr(I), Bits(HVal[I]));
+    }
+
+    // E-node list order: a shuffled permutation so the walk misses.
+    std::vector<unsigned> Order(NumE);
+    std::iota(Order.begin(), Order.end(), 0u);
+    for (unsigned I = NumE - 1; I > 0; --I)
+      std::swap(Order[I],
+                Order[static_cast<unsigned>(Rng.nextBelow(I + 1))]);
+    // The program starts at E-node 0, so make it first in the walk.
+    for (unsigned I = 0; I < NumE; ++I)
+      if (Order[I] == 0) {
+        std::swap(Order[0], Order[I]);
+        break;
+      }
+
+    struct ENode {
+      double Value, Coeff;
+      unsigned Dep[3];
+    };
+    std::vector<ENode> E(NumE);
+    for (unsigned I = 0; I < NumE; ++I) {
+      ENode &N = E[I];
+      N.Value = 1.0 + static_cast<double>(I % 97) / 7.0;
+      N.Coeff = 0.125 + static_cast<double>(I % 13) / 64.0;
+      for (unsigned K = 0; K < 3; ++K)
+        N.Dep[K] = static_cast<unsigned>(Rng.nextBelow(NumH));
+      Mem.write(eAddr(I) + 0, Bits(N.Value));
+      Mem.write(eAddr(I) + 40, Bits(N.Coeff));
+      for (unsigned K = 0; K < 3; ++K)
+        Mem.write(eAddr(I) + 16 + 8 * K, hAddr(N.Dep[K]));
+    }
+    for (unsigned I = 0; I + 1 < NumE; ++I)
+      Mem.write(eAddr(Order[I]) + 8, eAddr(Order[I + 1]));
+    Mem.write(eAddr(Order[NumE - 1]) + 8, 0);
+    Mem.write(ResultAddr, 0);
+
+    // Mirror the relaxation in walk order for the expected checksum.
+    double FSum = 0.0;
+    for (unsigned I = 0; I < NumE; ++I) {
+      ENode &N = E[Order[I]];
+      double V = N.Value;
+      V -= HVal[N.Dep[0]] * N.Coeff;
+      V -= HVal[N.Dep[1]] * N.Coeff;
+      V -= HVal[N.Dep[2]] * N.Coeff;
+      N.Value = V;
+      FSum += V;
+    }
+    return static_cast<uint64_t>(static_cast<int64_t>(FSum));
+  };
+  return W;
+}

@@ -1,0 +1,263 @@
+//===- workloads/Health.cpp - Olden health (hospital simulation) ----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Olden's health models the Colombian health-care system: a four-ary tree
+/// of villages, each holding a linked list of patients. The simulation
+/// recursively visits every village and walks its patient list,
+/// accumulating waiting times. Patients are scattered across a region much
+/// larger than the L3 cache, so the list-walk loads are delinquent; the
+/// walk lives in a procedure reached through recursion, which is what
+/// makes health's slice interprocedural in the paper's Table 2.
+///
+/// Village layout: +8..+32 four child pointers (null at leaves),
+///                 +40 patient-list head.
+/// Patient layout: +0 next, +8 time.
+/// The recursive visitor keeps its locals in a simulated memory stack.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+#include <numeric>
+#include <vector>
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+
+constexpr uint64_t VillageBase = 0x1000000;
+constexpr uint64_t VillageStride = 64;
+constexpr unsigned Fanout = 4;
+constexpr unsigned Depth = 3; // 1 + 4 + 16 + 64 = 85 villages.
+constexpr unsigned NumVillages = 1 + 4 + 16 + 64;
+/// Patients are referred up the hierarchy, so higher-level villages treat
+/// more of them (as in Olden's health): leaves hold PatientsLeaf and each
+/// level up doubles the list length.
+constexpr unsigned PatientsLeaf = 12;
+
+constexpr uint64_t PatientRegion = 0x8000000;
+constexpr unsigned PatientSlots = 1 << 16; // 64-byte slots over 4 MiB.
+
+constexpr uint64_t StackBase = 0x200000;
+constexpr uint64_t AccAddr = 0x9000; ///< Global waiting-time accumulator.
+
+uint64_t villageAddr(unsigned I) {
+  return VillageBase + static_cast<uint64_t>(I) * VillageStride;
+}
+
+} // namespace
+
+Workload ssp::workloads::makeHealth() {
+  Workload W;
+  W.Name = "health";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+
+    // fn0: main.
+    B.createFunction("main");
+    uint32_t MEntry = B.createBlock("entry");
+    const Reg Sp = ireg(30), Arg = ireg(10), Res = ireg(22),
+              Acc = ireg(23);
+    B.setInsertPoint(MEntry);
+    B.movI(Sp, StackBase + 65536); // Stack grows down.
+    B.movI(Arg, AccAddr);
+    B.store(Arg, 0, ireg(0)); // Acc = 0.
+    B.movI(Arg, villageAddr(0));
+    B.call(1); // visit(root).
+    B.movI(Arg, AccAddr);
+    B.load(Acc, Arg, 0);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Acc);
+    B.halt();
+
+    // fn1: visit(village in r10) — recursive. Layout: child.loop falls
+    // through to child.next, which falls through to patients; the
+    // recursion block is out of line at the end.
+    B.createFunction("visit");
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t ChildLoop = B.createBlock("child.loop");
+    uint32_t ChildNext = B.createBlock("child.next");
+    uint32_t Patients = B.createBlock("patients");
+    uint32_t PLoop = B.createBlock("plist.loop");
+    uint32_t PBody = B.createBlock("plist.body");
+    uint32_t Done = B.createBlock("done");
+    uint32_t Recurse = B.createBlock("child.recurse");
+
+    const Reg V = ireg(10), Idx = ireg(11), Slot = ireg(12),
+              Child = ireg(13), Pat = ireg(14), Time = ireg(15),
+              AccPtr = ireg(16), AccVal = ireg(17);
+    const Reg HasChild = preg(1), MoreKids = preg(2), PatNull = preg(3);
+
+    B.setInsertPoint(Entry);
+    B.addI(Sp, Sp, -16);
+    B.store(Sp, 0, V);
+    B.movI(Idx, 0);
+    B.jmp(ChildLoop);
+
+    B.setInsertPoint(ChildLoop);
+    B.store(Sp, 8, Idx);
+    B.load(V, Sp, 0);
+    B.shlI(Slot, Idx, 3);
+    B.add(Slot, Slot, V);
+    B.load(Child, Slot, 8); // children at +8..+32.
+    B.cmpI(CondCode::NE, HasChild, Child, 0);
+    B.br(HasChild, Recurse);
+
+    B.setInsertPoint(ChildNext);
+    B.load(Idx, Sp, 8);
+    B.addI(Idx, Idx, 1);
+    B.cmpI(CondCode::LT, MoreKids, Idx, Fanout);
+    B.br(MoreKids, ChildLoop); // Falls through to patients.
+
+    B.setInsertPoint(Patients);
+    B.load(V, Sp, 0);
+    B.load(Pat, V, 40); // Patient-list head; falls through to the loop.
+
+    B.setInsertPoint(PLoop);
+    B.cmpI(CondCode::EQ, PatNull, Pat, 0);
+    B.br(PatNull, Done); // Falls through to the body.
+
+    B.setInsertPoint(PBody);
+    B.load(Time, Pat, 8); // Delinquent: scattered patient record.
+    B.movI(AccPtr, AccAddr);
+    B.load(AccVal, AccPtr, 0);
+    B.add(AccVal, AccVal, Time);
+    B.store(AccPtr, 0, AccVal);
+    B.load(Pat, Pat, 0); // Delinquent: p->next walk.
+    B.jmp(PLoop);
+
+    B.setInsertPoint(Done);
+    B.addI(Sp, Sp, 16);
+    B.ret();
+
+    B.setInsertPoint(Recurse);
+    B.mov(V, Child);
+    B.call(1); // visit(child).
+    B.jmp(ChildNext);
+
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    RNG Rng(0x4EA17);
+    // Shuffled patient slots over the 4 MiB region.
+    std::vector<uint32_t> Slots(PatientSlots);
+    std::iota(Slots.begin(), Slots.end(), 0u);
+    for (unsigned I = PatientSlots - 1; I > 0; --I)
+      std::swap(Slots[I],
+                Slots[static_cast<unsigned>(Rng.nextBelow(I + 1))]);
+    unsigned NextSlot = 0;
+    auto AllocPatient = [&]() {
+      return PatientRegion + static_cast<uint64_t>(Slots[NextSlot++]) * 64;
+    };
+
+    // Village tree: children of village i (level order).
+    uint64_t Expected = 0;
+    for (unsigned I = 0; I < NumVillages; ++I) {
+      uint64_t VA = villageAddr(I);
+      for (unsigned K = 0; K < Fanout; ++K) {
+        unsigned Child = I * Fanout + 1 + K;
+        Mem.write(VA + 8 + 8 * K,
+                  Child < NumVillages ? villageAddr(Child) : 0);
+      }
+      // Patient list, scaled by level (root = level 0 treats the most).
+      unsigned Level = 0;
+      for (unsigned V = I; V != 0; V = (V - 1) / Fanout)
+        ++Level;
+      unsigned NumPatients = PatientsLeaf << (Depth - Level);
+      uint64_t Head = 0;
+      for (unsigned J = 0; J < NumPatients; ++J) {
+        uint64_t Pa = AllocPatient();
+        uint64_t Time = (I * 131 + J * 17) % 1000;
+        Mem.write(Pa + 0, Head);
+        Mem.write(Pa + 8, Time);
+        Head = Pa;
+        Expected += Time;
+      }
+      Mem.write(VA + 40, Head);
+    }
+    Mem.write(ResultAddr, 0);
+    Mem.write(AccAddr, 0);
+    (void)Depth;
+    return Expected;
+  };
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-adapted health (Section 4.5). The hand version encodes what the
+// paper says the tool cannot do: it "inlines" a level of the village
+// recursion into the slice, so a single speculative thread spawned at
+// visit() entry prefetches this village's patient chain AND the four child
+// villages' patient-list heads — creating slack across the whole recursive
+// descent rather than one list walk.
+//===----------------------------------------------------------------------===//
+
+Workload ssp::workloads::makeHealthHandAdapted() {
+  Workload Base = makeHealth();
+  Workload W;
+  W.Name = "health.hand";
+  W.BuildMemory = Base.BuildMemory;
+
+  W.Build = [Base]() {
+    Program P = Base.Build();
+    IRBuilder B(P);
+    B.setFunction(1); // visit.
+
+    const Reg V = ireg(10);
+    // Slice-private registers.
+    const Reg SV = ireg(40), SP = ireg(41), SC = ireg(42), SH = ireg(43);
+
+    uint32_t Slice = B.createBlock("hand.slice", BlockKind::Slice);
+    uint32_t Stub = B.createBlock("hand.stub", BlockKind::Stub);
+
+    B.setInsertPoint(Slice);
+    B.copyFromLIB(SV, 0);
+    // Prefetch this village's patient chain, speculatively walking it
+    // straight-line (wild loads past the list end are harmless); sized
+    // for the level-weighted lists of the workload.
+    B.load(SP, SV, 40);
+    for (int I = 0; I < 24; ++I) {
+      B.prefetch(SP, 8);
+      B.load(SP, SP, 0);
+    }
+    // Inlined recursion level: walk into each child village's list too —
+    // the aggressive inlining the paper credits the hand adaptation with.
+    for (int K = 0; K < 4; ++K) {
+      B.load(SC, SV, 8 + 8 * K);
+      B.load(SH, SC, 40);
+      for (int I = 0; I < 6; ++I) {
+        B.prefetch(SH, 8);
+        B.load(SH, SH, 0);
+      }
+    }
+    B.killThread();
+
+    B.setInsertPoint(Stub);
+    B.copyToLIB(0, V);
+    B.spawn(Slice);
+    B.rfi();
+
+    // Trigger at visit() entry, before the frame setup (r10 is live-in).
+    Function &F = P.func(1);
+    Instruction Chk;
+    Chk.Op = Opcode::ChkC;
+    Chk.Target = Stub;
+    Chk.Id = F.nextInstId();
+    F.block(0).Insts.insert(F.block(0).Insts.begin(), Chk);
+    return P;
+  };
+  return W;
+}

@@ -1,0 +1,152 @@
+//===- workloads/Kernels.cpp - Small kernels for tests and examples -------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+constexpr uint64_t KernelArcBase = 0x100000;
+constexpr uint64_t KernelNodeBase = 0x4000000;
+} // namespace
+
+Workload ssp::workloads::makePhasedKernel(unsigned NumPasses,
+                                          unsigned NumArcs,
+                                          unsigned NumNodes) {
+  constexpr uint64_t ArcSize = 64;
+  constexpr uint64_t NodeStride = 64;
+  Workload W;
+  W.Name = "phased-kernel";
+
+  W.Build = [NumPasses, NumArcs]() {
+    Program P;
+    IRBuilder B(P);
+    B.createFunction("main");
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Pass = B.createBlock("pass");
+    uint32_t Loop = B.createBlock("scan");
+    uint32_t PassLatch = B.createBlock("pass.latch");
+    uint32_t Exit = B.createBlock("exit");
+
+    const Reg Arc = ireg(1), Sum = ireg(2), Tail = ireg(3), K = ireg(4),
+              Val = ireg(6), PassNo = ireg(9), Res = ireg(11);
+    const Reg Cont = preg(1), More = preg(2);
+
+    B.setInsertPoint(Entry);
+    B.movI(Sum, 0);
+    B.movI(PassNo, NumPasses);
+    B.movI(K, KernelArcBase + static_cast<uint64_t>(NumArcs) * ArcSize);
+    // Falls through to the pass header.
+
+    B.setInsertPoint(Pass);
+    B.movI(Arc, KernelArcBase);
+    // Falls through to the scan loop.
+
+    B.setInsertPoint(Loop);
+    B.load(Tail, Arc, 8);
+    B.load(Val, Tail, 0);
+    B.add(Sum, Sum, Val);
+    B.addI(Arc, Arc, ArcSize);
+    B.cmp(CondCode::LT, Cont, Arc, K);
+    B.br(Cont, Loop); // Falls through to the pass latch.
+
+    B.setInsertPoint(PassLatch);
+    B.addI(PassNo, PassNo, -1);
+    B.cmpI(CondCode::GT, More, PassNo, 0);
+    B.br(More, Pass); // Falls through to exit.
+
+    B.setInsertPoint(Exit);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Sum);
+    B.halt();
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [NumPasses, NumArcs, NumNodes](mem::SimMemory &Mem) {
+    RNG Rng(0xFA5E);
+    uint64_t PassSum = 0;
+    for (unsigned I = 0; I < NumNodes; ++I)
+      Mem.write(KernelNodeBase + static_cast<uint64_t>(I) * NodeStride,
+                I * 11 + 5);
+    for (unsigned I = 0; I < NumArcs; ++I) {
+      uint64_t Arc = KernelArcBase + static_cast<uint64_t>(I) * ArcSize;
+      uint64_t Node =
+          KernelNodeBase + Rng.nextBelow(NumNodes) * NodeStride;
+      Mem.write(Arc + 8, Node);
+      PassSum += Mem.read(Node);
+    }
+    Mem.write(ResultAddr, 0);
+    return PassSum * NumPasses;
+  };
+  return W;
+}
+
+Workload ssp::workloads::makeArcKernel(unsigned NumArcs, unsigned NumNodes) {
+  constexpr uint64_t ArcBase = 0x100000;
+  constexpr uint64_t ArcSize = 64;
+  constexpr uint64_t NodeBase = 0x4000000;
+  constexpr uint64_t NodeStride = 64;
+
+  Workload W;
+  W.Name = "arc-kernel";
+
+  W.Build = [NumArcs]() {
+    Program P;
+    IRBuilder B(P);
+    B.createFunction("main");
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Loop = B.createBlock("loop");
+    uint32_t Exit = B.createBlock("exit");
+
+    const Reg Arc = ireg(1), Sum = ireg(2), Tail = ireg(3), K = ireg(4),
+              Val = ireg(6), Tmp = ireg(10), ResBase = ireg(11);
+    const Reg Cont = preg(1);
+
+    B.setInsertPoint(Entry);
+    B.movI(Arc, ArcBase);
+    B.movI(Sum, 0);
+    B.movI(K, ArcBase + static_cast<uint64_t>(NumArcs) * ArcSize);
+    B.movI(ResBase, ResultAddr);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.load(Tail, Arc, 8);  // t->tail.
+    B.load(Val, Tail, 0);  // tail->potential: the delinquent load.
+    B.add(Sum, Sum, Val);
+    B.movI(Tmp, 1);
+    for (int I = 0; I < 10; ++I)
+      B.add(Tmp, Tmp, Val);
+    B.xor_(Tmp, Tmp, Sum);
+    B.addI(Arc, Arc, ArcSize);
+    B.cmp(CondCode::LT, Cont, Arc, K);
+    B.br(Cont, Loop);
+
+    B.setInsertPoint(Exit);
+    B.store(ResBase, 0, Sum);
+    B.halt();
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [NumArcs, NumNodes](mem::SimMemory &Mem) {
+    RNG Rng(1234);
+    uint64_t Expected = 0;
+    for (unsigned I = 0; I < NumNodes; ++I)
+      Mem.write(NodeBase + static_cast<uint64_t>(I) * NodeStride,
+                I * 3 + 1);
+    for (unsigned I = 0; I < NumArcs; ++I) {
+      uint64_t Arc = ArcBase + static_cast<uint64_t>(I) * ArcSize;
+      uint64_t Node = NodeBase + Rng.nextBelow(NumNodes) * NodeStride;
+      Mem.write(Arc + 8, Node);
+      Expected += Mem.read(Node);
+    }
+    Mem.write(ResultAddr, 0);
+    return Expected;
+  };
+  return W;
+}

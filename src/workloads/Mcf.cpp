@@ -1,0 +1,253 @@
+//===- workloads/Mcf.cpp - SPEC CPU2000 mcf (primal_bea_mpp arc scan) -----===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reproduction of mcf's dominant loop, the arc scan of primal_bea_mpp
+/// that the paper uses as its running example (Figure 3):
+///
+///   do { t = arc; u = t->tail; red_cost = cost - u->potential; if best
+///        basket update; arc += nr_group; } while (arc < K);
+///
+/// Arcs are scanned with a stride (nr_group), and each arc dereferences
+/// its tail node's potential — a dependent load into a node array larger
+/// than the L3 cache. The basket update is a data-dependent branch.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+
+constexpr uint64_t ArcBase = 0x100000;
+constexpr uint64_t ArcSize = 64;        // One cache line per arc.
+constexpr unsigned NumArcs = 4096;
+constexpr uint64_t NrGroup = 3;         // Stride in arcs, as in mcf.
+constexpr uint64_t NodeBase = 0x8000000;
+constexpr uint64_t NodeStride = 64;
+constexpr unsigned NumNodes = 1 << 16;  // 4 MiB of node lines.
+constexpr unsigned NumPasses = 2;       // Outer pricing iterations.
+
+// Arc layout: +0 cost, +8 tail pointer.
+// Node layout: +0 potential.
+
+} // namespace
+
+Workload ssp::workloads::makeMcf() {
+  Workload W;
+  W.Name = "mcf";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+
+    // fn0: main — runs NumPasses pricing passes over the arc array.
+    B.createFunction("main");
+    uint32_t MEntry = B.createBlock("entry");
+    uint32_t MLoop = B.createBlock("passes");
+    uint32_t MExit = B.createBlock("exit");
+    const Reg PassCnt = ireg(20), Acc = ireg(21), Res = ireg(22),
+              RetVal = ireg(8);
+    const Reg MCont = preg(4);
+
+    B.setInsertPoint(MEntry);
+    B.movI(PassCnt, NumPasses);
+    B.movI(Acc, 0);
+    B.movI(Res, ResultAddr);
+    B.jmp(MLoop);
+
+    B.setInsertPoint(MLoop);
+    B.call(1); // arc_scan -> r8.
+    B.add(Acc, Acc, RetVal);
+    B.addI(PassCnt, PassCnt, -1);
+    B.cmpI(CondCode::GT, MCont, PassCnt, 0);
+    B.br(MCont, MLoop);
+
+    B.setInsertPoint(MExit);
+    B.store(Res, 0, Acc);
+    B.halt();
+
+    // fn1: arc_scan — the primal_bea_mpp inner loop of Figure 3, with
+    // mcf's cold repricing path: when a sentinel cost is seen (never, in
+    // these inputs), the tail pointer is refreshed from a secondary slot.
+    // The cold path exists to exercise control-flow speculative slicing:
+    // a static slicer must include the refresh producers; the speculative
+    // slicer filters the never-executed block.
+    B.createFunction("primal_bea_mpp");
+    // Layout: loop falls through to loop.body, which falls through to the
+    // latch, which falls through to done; the basket update and the cold
+    // refresh are out of line at the end.
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Loop = B.createBlock("loop");
+    uint32_t LoopBody = B.createBlock("loop.body");
+    uint32_t Latch = B.createBlock("latch");
+    uint32_t Done = B.createBlock("done");
+    uint32_t Update = B.createBlock("basket_update");
+    uint32_t Refresh = B.createBlock("refresh.tail");
+
+    const Reg Arc = ireg(1), Sum = ireg(2), Tail = ireg(3), K = ireg(4),
+              Cost = ireg(5), Pot = ireg(6), RedCost = ireg(7),
+              BestCost = ireg(9), BestArc = ireg(10), Tail2 = ireg(11);
+    const Reg Cont = preg(1), IsBetter = preg(2), NeedRefresh = preg(3);
+
+    B.setInsertPoint(Entry);
+    B.movI(Arc, ArcBase);
+    B.movI(K, ArcBase + static_cast<uint64_t>(NumArcs) * ArcSize);
+    B.movI(Sum, 0);
+    B.movI(BestCost, 1 << 30);
+    B.movI(BestArc, 0);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.load(Cost, Arc, 0);      // t->cost (streams through the arc array).
+    B.load(Tail, Arc, 8);      // t->tail.
+    B.cmpI(CondCode::EQ, NeedRefresh, Cost, -999999); // Sentinel: never.
+    B.br(NeedRefresh, Refresh); // Falls through to loop.body.
+
+    B.setInsertPoint(LoopBody);
+    B.load(Pot, Tail, 0);      // tail->potential: the delinquent load.
+    B.sub(RedCost, Cost, Pot); // red_cost = cost - potential.
+    B.add(Sum, Sum, RedCost);
+    B.cmp(CondCode::LT, IsBetter, RedCost, BestCost);
+    B.br(IsBetter, Update);
+
+    B.setInsertPoint(Latch);
+    B.addI(Arc, Arc, ArcSize * NrGroup);
+    B.cmp(CondCode::LT, Cont, Arc, K);
+    B.br(Cont, Loop);
+
+    B.setInsertPoint(Update); // Basket update: remember the best arc.
+    B.mov(BestCost, RedCost);
+    B.mov(BestArc, Arc);
+    B.jmp(Latch);
+
+    B.setInsertPoint(Refresh); // Cold: re-derive the tail pointer.
+    B.load(Tail2, Arc, 16);    // Secondary tail slot.
+    B.mov(Tail, Tail2);
+    B.jmp(LoopBody);
+
+    B.setInsertPoint(Done);
+    B.add(RetVal, Sum, BestCost);
+    B.xor_(RetVal, RetVal, BestArc);
+    B.ret();
+
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    RNG Rng(20020617);
+    for (unsigned I = 0; I < NumNodes; ++I)
+      Mem.write(NodeBase + static_cast<uint64_t>(I) * NodeStride,
+                (I * 7 + 11) % 50021);
+    std::vector<uint64_t> Tails(NumArcs), Costs(NumArcs);
+    for (unsigned I = 0; I < NumArcs; ++I) {
+      uint64_t Arc = ArcBase + static_cast<uint64_t>(I) * ArcSize;
+      Costs[I] = Rng.nextBelow(100000);
+      Tails[I] = NodeBase + Rng.nextBelow(NumNodes) * NodeStride;
+      Mem.write(Arc + 0, Costs[I]);
+      Mem.write(Arc + 8, Tails[I]);
+      Mem.write(Arc + 16, Tails[I]); // Secondary tail (cold refresh path).
+    }
+    Mem.write(ResultAddr, 0);
+
+    // Mirror the program to compute the expected checksum.
+    uint64_t Acc = 0;
+    for (unsigned Pass = 0; Pass < NumPasses; ++Pass) {
+      uint64_t Sum = 0;
+      int64_t BestCost = 1 << 30;
+      uint64_t BestArc = 0;
+      for (uint64_t A = 0; A < NumArcs; A += NrGroup) {
+        int64_t Red = static_cast<int64_t>(Costs[A]) -
+                      static_cast<int64_t>(Mem.read(Tails[A]));
+        Sum += static_cast<uint64_t>(Red);
+        if (Red < BestCost) {
+          BestCost = Red;
+          BestArc = ArcBase + A * ArcSize;
+        }
+      }
+      Acc += (Sum + static_cast<uint64_t>(BestCost)) ^ BestArc;
+    }
+    return Acc;
+  };
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-adapted mcf (Section 4.5): the manually tuned SSP binary. The hand
+// slice is leaner than the automated one — two scan iterations per chaining
+// thread (halving spawn overhead) and prefetches of both the arc line and
+// the tail-node line — matching how the hand adaptation of Wang et al.
+// outperforms the tool on mcf.
+//===----------------------------------------------------------------------===//
+
+Workload ssp::workloads::makeMcfHandAdapted() {
+  Workload Base = makeMcf();
+  Workload W;
+  W.Name = "mcf.hand";
+  W.BuildMemory = Base.BuildMemory;
+
+  W.Build = [Base]() {
+    Program P = Base.Build();
+    IRBuilder B(P);
+    B.setFunction(1); // primal_bea_mpp.
+
+    const Reg Arc = ireg(1), K = ireg(4);
+    // Slice-private registers (fresh context, any numbering works).
+    const Reg SArc = ireg(40), SK = ireg(41), SNext = ireg(42),
+              STail = ireg(43), STail2 = ireg(44), SArc2 = ireg(45);
+    const Reg SCont = preg(6);
+
+    uint32_t Hdr = B.createBlock("hand.slice.hdr", BlockKind::Slice);
+    uint32_t Body = B.createBlock("hand.slice.body", BlockKind::Slice);
+    uint32_t SpawnB = B.createBlock("hand.slice.spawn", BlockKind::Slice);
+    uint32_t Stub = B.createBlock("hand.stub", BlockKind::Stub);
+
+    B.setInsertPoint(Hdr);
+    B.copyFromLIB(SArc, 0);
+    B.copyFromLIB(SK, 1);
+    // Two iterations per thread: advance by 2 strides before chaining.
+    B.addI(SNext, SArc, ArcSize * NrGroup * 2);
+    B.copyToLIB(0, SNext);
+    B.copyToLIB(1, SK);
+    B.cmp(CondCode::LT, SCont, SNext, SK);
+    B.br(SCont, SpawnB); // Falls through to the body.
+
+    B.setInsertPoint(Body);
+    B.addI(SArc2, SArc, ArcSize * NrGroup);
+    B.load(STail, SArc, 8);  // Prefetches the arc line as a side effect.
+    B.load(STail2, SArc2, 8);
+    B.prefetch(STail, 0);    // tail->potential, iteration i.
+    B.prefetch(STail2, 0);   // tail->potential, iteration i+1.
+    B.killThread();
+
+    B.setInsertPoint(SpawnB);
+    B.spawn(Hdr);
+    B.jmp(Body);
+
+    B.setInsertPoint(Stub);
+    B.copyToLIB(0, Arc);
+    B.copyToLIB(1, K);
+    B.spawn(Hdr);
+    B.rfi();
+
+    // Trigger: at the top of the scan loop (block 1 = "loop").
+    Function &F = P.func(1);
+    Instruction Chk;
+    Chk.Op = Opcode::ChkC;
+    Chk.Target = Stub;
+    Chk.Id = F.nextInstId();
+    F.block(1).Insts.insert(F.block(1).Insts.begin(), Chk);
+    return P;
+  };
+  return W;
+}

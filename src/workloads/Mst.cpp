@@ -1,0 +1,165 @@
+//===- workloads/Mst.cpp - Olden mst (minimum spanning tree) --------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Olden's mst computes a minimum spanning tree; its hot kernel probes a
+/// chained hash table of edge weights. The reproduction walks vertices and
+/// performs hash lookups whose collision-chain entries are scattered over
+/// a region larger than the L3 cache: the ent->key / ent->next loads are
+/// delinquent. The lookup lives in its own procedure, giving the
+/// interprocedural slice mst shows in the paper's Table 2.
+///
+/// Bucket array: NumBuckets pointers. Entry: +0 next, +8 key, +16 weight.
+/// Calling convention: key in r10, weight returned in r8.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+#include <numeric>
+#include <vector>
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+
+constexpr uint64_t BucketBase = 0x400000;
+constexpr unsigned NumBuckets = 1024;
+constexpr uint64_t EntryRegion = 0x8000000;
+constexpr unsigned EntrySlots = 1 << 16; // 64-byte slots over 4 MiB.
+constexpr unsigned NumEntries = 4096;
+constexpr unsigned NumLookups = 3000;
+constexpr uint64_t HashMult = 2654435761u;
+
+uint64_t hashOf(uint64_t Key) { return (Key * HashMult) & (NumBuckets - 1); }
+
+} // namespace
+
+Workload ssp::workloads::makeMst() {
+  Workload W;
+  W.Name = "mst";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+
+    // fn0: main — performs NumLookups probes with a deterministic key
+    // schedule and accumulates the found weights.
+    B.createFunction("main");
+    uint32_t MEntry = B.createBlock("entry");
+    uint32_t MLoop = B.createBlock("lookups");
+    uint32_t MExit = B.createBlock("exit");
+    const Reg I = ireg(20), Acc = ireg(21), Res = ireg(22), Key = ireg(10),
+              RetW = ireg(8), Tmp = ireg(23);
+    const Reg MCont = preg(4);
+
+    B.setInsertPoint(MEntry);
+    B.movI(I, 0);
+    B.movI(Acc, 0);
+    B.jmp(MLoop);
+
+    B.setInsertPoint(MLoop);
+    // key = (i * 97 + 13) % NumEntries — hits existing entries.
+    B.mulI(Tmp, I, 97);
+    B.addI(Tmp, Tmp, 13);
+    B.andI(Key, Tmp, NumEntries - 1);
+    B.call(1); // hash_lookup(key) -> r8.
+    B.add(Acc, Acc, RetW);
+    B.addI(I, I, 1);
+    B.cmpI(CondCode::LT, MCont, I, NumLookups);
+    B.br(MCont, MLoop);
+
+    B.setInsertPoint(MExit);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Acc);
+    B.halt();
+
+    // fn1: hash_lookup(key in r10) -> weight in r8.
+    B.createFunction("hash_lookup");
+    // Layout: walk falls through to the key check, which falls through
+    // to chain.next; found/miss are at the end.
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Walk = B.createBlock("chain.walk");
+    uint32_t Check = B.createBlock("chain.check");
+    uint32_t Next = B.createBlock("chain.next");
+    uint32_t Found = B.createBlock("found");
+    uint32_t Miss = B.createBlock("miss");
+
+    const Reg H = ireg(11), Ent = ireg(12), EKey = ireg(13);
+    const Reg IsNull = preg(1), IsMatch = preg(2);
+
+    B.setInsertPoint(Entry);
+    B.mulI(H, Key, static_cast<int64_t>(HashMult));
+    B.andI(H, H, NumBuckets - 1); // Power-of-two table.
+    B.shlI(H, H, 3);
+    B.addI(H, H, static_cast<int64_t>(BucketBase));
+    B.load(Ent, H, 0); // Bucket head pointer.
+
+    B.setInsertPoint(Walk);
+    B.cmpI(CondCode::EQ, IsNull, Ent, 0);
+    B.br(IsNull, Miss); // Falls through to the key check.
+
+    B.setInsertPoint(Check);
+    B.load(EKey, Ent, 8); // Delinquent: scattered chain entry.
+    B.cmp(CondCode::EQ, IsMatch, EKey, Key);
+    B.br(IsMatch, Found); // Falls through to chain.next.
+
+    B.setInsertPoint(Next);
+    B.load(Ent, Ent, 0); // Delinquent: ent->next.
+    B.jmp(Walk);
+
+    B.setInsertPoint(Found);
+    B.load(RetW, Ent, 16);
+    B.ret();
+
+    B.setInsertPoint(Miss);
+    B.movI(RetW, 0);
+    B.ret();
+
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    RNG Rng(0x357);
+    std::vector<uint32_t> Slots(EntrySlots);
+    std::iota(Slots.begin(), Slots.end(), 0u);
+    for (unsigned K = EntrySlots - 1; K > 0; --K)
+      std::swap(Slots[K],
+                Slots[static_cast<unsigned>(Rng.nextBelow(K + 1))]);
+
+    std::vector<uint64_t> BucketHead(NumBuckets, 0);
+    std::vector<uint64_t> Weight(NumEntries);
+    for (unsigned E = 0; E < NumEntries; ++E) {
+      uint64_t Addr = EntryRegion + static_cast<uint64_t>(Slots[E]) * 64;
+      uint64_t Key = E;
+      uint64_t H = hashOf(Key);
+      Weight[E] = (E * 37 + 5) % 10007;
+      Mem.write(Addr + 0, BucketHead[H]); // next.
+      Mem.write(Addr + 8, Key);
+      Mem.write(Addr + 16, Weight[E]);
+      BucketHead[H] = Addr;
+    }
+    for (unsigned Bk = 0; Bk < NumBuckets; ++Bk)
+      Mem.write(BucketBase + static_cast<uint64_t>(Bk) * 8,
+                BucketHead[Bk]);
+    Mem.write(ResultAddr, 0);
+
+    uint64_t Acc = 0;
+    for (unsigned I = 0; I < NumLookups; ++I) {
+      uint64_t Key = (static_cast<uint64_t>(I) * 97 + 13) &
+                     (NumEntries - 1);
+      Acc += Weight[Key];
+    }
+    return Acc;
+  };
+  return W;
+}

@@ -1,0 +1,10 @@
+//===- workloads/Registry.cpp - Benchmark suite registry -------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace ssp::workloads;
+
+std::vector<Workload> ssp::workloads::paperSuite() {
+  return {makeEm3d(),      makeHealth(), makeMst(), makeTreeaddDF(),
+          makeTreeaddBF(), makeMcf(),    makeVpr()};
+}

@@ -1,0 +1,228 @@
+//===- workloads/Treeadd.cpp - Olden treeadd (DF and BF variants) ---------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Olden's treeadd sums a balanced binary tree. Following the paper, two
+/// traversals are built: treeadd.df performs the classic depth-first
+/// recursive sum (locals kept in a simulated memory stack), and treeadd.bf
+/// performs a breadth-first sum through an explicit queue. Tree nodes are
+/// placed at shuffled 64-byte slots over a region larger than the L3, so
+/// the node loads are delinquent. The breadth-first variant is the
+/// showcase for long-range chaining prefetch: the queue contents are
+/// written long before they are consumed, so a chaining thread can run far
+/// ahead of the main thread.
+///
+/// Node layout: +0 value, +8 left, +16 right.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+#include <numeric>
+#include <vector>
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+
+constexpr unsigned TreeDepth = 13; // 2^13 - 1 = 8191 nodes.
+constexpr unsigned NumNodes = (1u << TreeDepth) - 1;
+constexpr uint64_t NodeRegion = 0x8000000;
+constexpr unsigned NodeSlots = 1 << 16; // 64-byte slots over 4 MiB.
+constexpr uint64_t StackBase = 0x200000;
+constexpr uint64_t QueueBase = 0x600000;
+
+/// Builds the tree image shared by both variants; returns the root address
+/// and fills \p Value/\p Left/\p Right keyed by node address.
+uint64_t buildTree(mem::SimMemory &Mem, uint64_t &ExpectedSum) {
+  RNG Rng(0x7EE);
+  std::vector<uint32_t> Slots(NodeSlots);
+  std::iota(Slots.begin(), Slots.end(), 0u);
+  for (unsigned I = NodeSlots - 1; I > 0; --I)
+    std::swap(Slots[I], Slots[static_cast<unsigned>(Rng.nextBelow(I + 1))]);
+
+  // Heap-indexed complete binary tree: node i has children 2i+1, 2i+2.
+  std::vector<uint64_t> Addr(NumNodes);
+  for (unsigned I = 0; I < NumNodes; ++I)
+    Addr[I] = NodeRegion + static_cast<uint64_t>(Slots[I]) * 64;
+
+  ExpectedSum = 0;
+  for (unsigned I = 0; I < NumNodes; ++I) {
+    uint64_t Value = (I * 2654435761u) % 4093;
+    ExpectedSum += Value;
+    Mem.write(Addr[I] + 0, Value);
+    unsigned L = 2 * I + 1, R = 2 * I + 2;
+    Mem.write(Addr[I] + 8, L < NumNodes ? Addr[L] : 0);
+    Mem.write(Addr[I] + 16, R < NumNodes ? Addr[R] : 0);
+  }
+  Mem.write(ResultAddr, 0);
+  return Addr[0];
+}
+
+/// Root pointer cell, read by both programs at startup.
+constexpr uint64_t RootPtrAddr = 0x9100;
+
+} // namespace
+
+Workload ssp::workloads::makeTreeaddDF() {
+  Workload W;
+  W.Name = "treeadd.df";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+
+    // fn0: main.
+    B.createFunction("main");
+    B.createBlock("entry");
+    const Reg Sp = ireg(30), Arg = ireg(10), RetV = ireg(8),
+              Res = ireg(22), Tmp = ireg(23);
+    B.movI(Sp, StackBase + (1 << 20)); // Deep recursion: 1 MiB stack.
+    B.movI(Tmp, RootPtrAddr);
+    B.load(Arg, Tmp, 0);
+    B.call(1); // treeadd(root) -> r8.
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, RetV);
+    B.halt();
+
+    // fn1: treeadd(node in r10) -> sum in r8. Depth-first recursion with
+    // a memory stack frame {node, left-sum}.
+    B.createFunction("treeadd");
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Body = B.createBlock("body");
+    uint32_t NullCase = B.createBlock("null");
+
+    const Reg Node = ireg(10), Val = ireg(11), Sum = ireg(8);
+    const Reg IsNull = preg(1);
+
+    B.setInsertPoint(Entry);
+    B.cmpI(CondCode::EQ, IsNull, Node, 0);
+    B.br(IsNull, NullCase); // Falls through to body.
+
+    B.setInsertPoint(Body);
+    B.addI(Sp, Sp, -16);
+    B.store(Sp, 0, Node);
+    B.load(Val, Node, 0); // Delinquent: scattered node line.
+    B.store(Sp, 8, Val);
+    B.load(Node, Node, 8); // left.
+    B.call(1);
+    // Fold the left sum into the saved value.
+    B.load(Val, Sp, 8);
+    B.add(Val, Val, Sum);
+    B.store(Sp, 8, Val);
+    B.load(Node, Sp, 0);
+    B.load(Node, Node, 16); // right.
+    B.call(1);
+    B.load(Val, Sp, 8);
+    B.add(Sum, Sum, Val);
+    B.addI(Sp, Sp, 16);
+    B.ret();
+
+    B.setInsertPoint(NullCase);
+    B.movI(Sum, 0);
+    B.ret();
+
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    uint64_t Expected = 0;
+    uint64_t Root = buildTree(Mem, Expected);
+    Mem.write(RootPtrAddr, Root);
+    return Expected;
+  };
+  return W;
+}
+
+Workload ssp::workloads::makeTreeaddBF() {
+  Workload W;
+  W.Name = "treeadd.bf";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+
+    B.createFunction("main");
+    // Layout: loop falls through to enq.left check chain, which falls
+    // through back around; exit at the end.
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Loop = B.createBlock("bfs.loop");
+    uint32_t AfterL = B.createBlock("after.left");
+    uint32_t Latch = B.createBlock("latch");
+    uint32_t Exit = B.createBlock("exit");
+    uint32_t EnqL = B.createBlock("enq.left");
+    uint32_t EnqR = B.createBlock("enq.right");
+
+    const Reg Head = ireg(1), Tail = ireg(2), Node = ireg(3),
+              Val = ireg(4), Sum = ireg(5), Child = ireg(6),
+              Res = ireg(22), Tmp = ireg(23);
+    const Reg HasWork = preg(1), HasL = preg(2), HasR = preg(3);
+
+    B.setInsertPoint(Entry);
+    B.movI(Head, QueueBase);
+    B.movI(Tail, QueueBase + 8);
+    B.movI(Tmp, RootPtrAddr);
+    B.load(Node, Tmp, 0);
+    B.movI(Tmp, QueueBase);
+    B.store(Tmp, 0, Node); // queue[0] = root.
+    B.movI(Sum, 0);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.load(Node, Head, 0); // Dequeue: sequential queue line.
+    B.addI(Head, Head, 8);
+    B.load(Val, Node, 0); // Delinquent: scattered node line.
+    B.add(Sum, Sum, Val);
+    B.load(Child, Node, 8); // left.
+    B.cmpI(CondCode::NE, HasL, Child, 0);
+    B.br(HasL, EnqL); // Falls through to after.left.
+
+    B.setInsertPoint(AfterL);
+    B.load(Child, Node, 16); // right.
+    B.cmpI(CondCode::NE, HasR, Child, 0);
+    B.br(HasR, EnqR); // Falls through to the latch.
+
+    B.setInsertPoint(Latch);
+    B.cmp(CondCode::LT, HasWork, Head, Tail);
+    B.br(HasWork, Loop); // Falls through to exit.
+
+    B.setInsertPoint(Exit);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Sum);
+    B.halt();
+
+    B.setInsertPoint(EnqL);
+    B.store(Tail, 0, Child);
+    B.addI(Tail, Tail, 8);
+    B.jmp(AfterL);
+
+    B.setInsertPoint(EnqR);
+    B.store(Tail, 0, Child);
+    B.addI(Tail, Tail, 8);
+    B.jmp(Latch);
+
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    uint64_t Expected = 0;
+    uint64_t Root = buildTree(Mem, Expected);
+    Mem.write(RootPtrAddr, Root);
+    // Pre-map the queue region (the program stores into it, mapping pages
+    // on demand, but mapping it here keeps the image self-contained).
+    for (uint64_t Off = 0; Off <= NumNodes; ++Off)
+      Mem.write(QueueBase + Off * 8, 0);
+    return Expected;
+  };
+  return W;
+}

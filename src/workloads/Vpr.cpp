@@ -1,0 +1,197 @@
+//===- workloads/Vpr.cpp - SPEC CPU2000 vpr (FPGA placement cost) ---------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vpr places and routes FPGA circuits; its placement inner loop computes
+/// net bounding-box costs by dereferencing block records through net
+/// structures. The reproduction walks a net array (sequential) whose two
+/// endpoint block pointers scatter into a block array larger than the L3
+/// cache — the block coordinate loads are delinquent. A minority of nets
+/// dispatch through an *indirect* call to one of two timing-cost models,
+/// exercising the dynamic call graph the profiler captures for the slicer.
+///
+/// Net layout: +0 blkA, +8 blkB, +16 mode (0 = linear, taken rarely),
+///             +24 cost-model function index.
+/// Block layout: +0 x, +8 y.
+/// Cost functions take (dx in r12, dy in r13) and return r8.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+
+constexpr uint64_t NetBase = 0x1000000;
+constexpr uint64_t NetStride = 64;
+constexpr unsigned NumNets = 3000;
+constexpr uint64_t BlockBase = 0x8000000;
+constexpr uint64_t BlockStride = 64;
+constexpr unsigned NumBlocks = 1 << 16; // 4 MiB of block lines.
+
+int64_t absDiff(int64_t A, int64_t B2) { return A > B2 ? A - B2 : B2 - A; }
+
+} // namespace
+
+Workload ssp::workloads::makeVpr() {
+  Workload W;
+  W.Name = "vpr";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+
+    // fn0: main — bounding-box cost over all nets.
+    B.createFunction("main");
+    // Layout: the hot straight-line path (loop -> have.dx -> have.dy ->
+    // latch -> exit) is contiguous; the negation fixups and the timing
+    // call are out of line at the end.
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Loop = B.createBlock("nets.loop");
+    uint32_t HaveDx = B.createBlock("have.dx");
+    uint32_t HaveDy = B.createBlock("have.dy");
+    uint32_t Latch = B.createBlock("latch");
+    uint32_t Exit = B.createBlock("exit");
+    uint32_t Dx2 = B.createBlock("dx.neg");
+    uint32_t Dy2 = B.createBlock("dy.neg");
+    uint32_t Timing = B.createBlock("timing.cost");
+
+    const Reg Net = ireg(1), End = ireg(2), BlkA = ireg(3), BlkB = ireg(4),
+              XA = ireg(5), YA = ireg(6), XB = ireg(7), YB = ireg(9),
+              Dx = ireg(12), Dy = ireg(13), Cost = ireg(14),
+              Acc = ireg(15), Mode = ireg(16), FnIdx = ireg(17),
+              RetV = ireg(8), Res = ireg(22);
+    const Reg Cont = preg(1), DxNeg = preg(2), DyNeg = preg(3),
+              UseTiming = preg(5);
+
+    B.setInsertPoint(Entry);
+    B.movI(Net, NetBase);
+    B.movI(End, NetBase + static_cast<uint64_t>(NumNets) * NetStride);
+    B.movI(Acc, 0);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.load(BlkA, Net, 0);
+    B.load(BlkB, Net, 8);
+    B.load(XA, BlkA, 0); // Delinquent: scattered block record.
+    B.load(YA, BlkA, 8);
+    B.load(XB, BlkB, 0); // Delinquent.
+    B.load(YB, BlkB, 8);
+    B.sub(Dx, XA, XB);
+    B.cmpI(CondCode::LT, DxNeg, Dx, 0);
+    B.br(DxNeg, Dx2); // Falls through to have.dx.
+
+    B.setInsertPoint(HaveDx);
+    B.sub(Dy, YA, YB);
+    B.cmpI(CondCode::LT, DyNeg, Dy, 0);
+    B.br(DyNeg, Dy2); // Falls through to have.dy.
+
+    B.setInsertPoint(HaveDy);
+    B.add(Cost, Dx, Dy);
+    B.load(Mode, Net, 16);
+    B.cmpI(CondCode::EQ, UseTiming, Mode, 1);
+    B.br(UseTiming, Timing); // Falls through to the latch.
+
+    B.setInsertPoint(Latch);
+    B.add(Acc, Acc, Cost);
+    B.addI(Net, Net, NetStride);
+    B.cmp(CondCode::LT, Cont, Net, End);
+    B.br(Cont, Loop); // Falls through to exit.
+
+    B.setInsertPoint(Exit);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Acc);
+    B.halt();
+
+    B.setInsertPoint(Dx2);
+    B.sub(Dx, XB, XA);
+    B.jmp(HaveDx);
+
+    B.setInsertPoint(Dy2);
+    B.sub(Dy, YB, YA);
+    B.jmp(HaveDy);
+
+    B.setInsertPoint(Timing);
+    B.load(FnIdx, Net, 24);
+    B.callInd(FnIdx); // cost_model(dx, dy) -> r8.
+    B.add(Cost, Cost, RetV);
+    B.jmp(Latch);
+
+    // fn1: cost_linear(dx, dy) = 3*dx + 2*dy.
+    B.createFunction("cost_linear");
+    B.createBlock("entry");
+    {
+      const Reg T1 = ireg(24), T2 = ireg(25);
+      B.mulI(T1, Dx, 3);
+      B.mulI(T2, Dy, 2);
+      B.add(RetV, T1, T2);
+      B.ret();
+    }
+
+    // fn2: cost_quadratic(dx, dy) = dx*dx + dy*dy.
+    B.createFunction("cost_quadratic");
+    B.createBlock("entry");
+    {
+      const Reg T1 = ireg(24), T2 = ireg(25);
+      B.mul(T1, Dx, Dx);
+      B.mul(T2, Dy, Dy);
+      B.add(RetV, T1, T2);
+      B.ret();
+    }
+
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    RNG Rng(0x7B12);
+    struct Blk {
+      int64_t X, Y;
+    };
+    std::vector<Blk> Blocks(NumBlocks);
+    for (unsigned I = 0; I < NumBlocks; ++I) {
+      Blocks[I] = {static_cast<int64_t>(Rng.nextBelow(512)),
+                   static_cast<int64_t>(Rng.nextBelow(512))};
+      uint64_t A = BlockBase + static_cast<uint64_t>(I) * BlockStride;
+      Mem.write(A + 0, static_cast<uint64_t>(Blocks[I].X));
+      Mem.write(A + 8, static_cast<uint64_t>(Blocks[I].Y));
+    }
+
+    uint64_t Acc = 0;
+    for (unsigned I = 0; I < NumNets; ++I) {
+      uint64_t Net = NetBase + static_cast<uint64_t>(I) * NetStride;
+      unsigned A = static_cast<unsigned>(Rng.nextBelow(NumBlocks));
+      unsigned Bi = static_cast<unsigned>(Rng.nextBelow(NumBlocks));
+      uint64_t Mode = (I % 8 == 0) ? 1 : 0; // 1 in 8 nets: timing cost.
+      uint64_t FnIdx = (I % 16 == 0) ? 2 : 1;
+      Mem.write(Net + 0, BlockBase + static_cast<uint64_t>(A) * BlockStride);
+      Mem.write(Net + 8,
+                BlockBase + static_cast<uint64_t>(Bi) * BlockStride);
+      Mem.write(Net + 16, Mode);
+      Mem.write(Net + 24, FnIdx);
+
+      int64_t Dx = absDiff(Blocks[A].X, Blocks[Bi].X);
+      int64_t Dy = absDiff(Blocks[A].Y, Blocks[Bi].Y);
+      uint64_t Cost = static_cast<uint64_t>(Dx + Dy);
+      if (Mode == 1) {
+        if (FnIdx == 2)
+          Cost += static_cast<uint64_t>(Dx * Dx + Dy * Dy);
+        else
+          Cost += static_cast<uint64_t>(3 * Dx + 2 * Dy);
+      }
+      Acc += Cost;
+    }
+    Mem.write(ResultAddr, 0);
+    return Acc;
+  };
+  return W;
+}

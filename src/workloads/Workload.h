@@ -1,0 +1,78 @@
+//===- workloads/Workload.h - Benchmark workload interface ----------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite of the paper's evaluation (Section 4.1): the
+/// pointer-intensive Olden programs em3d, health, mst and treeadd (in both
+/// depth-first and breadth-first variants) plus the SPEC CPU2000 programs
+/// mcf and vpr. Each workload is an IR program (built with IRBuilder) and
+/// a deterministic data-image generator reproducing the memory behaviour
+/// the paper exploits: delinquent pointer-chasing loads whose working set
+/// exceeds the 3 MiB L3. Every program writes a checksum so runs can be
+/// validated against the analytically computed expected value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_WORKLOADS_WORKLOAD_H
+#define SSP_WORKLOADS_WORKLOAD_H
+
+#include "ir/Program.h"
+#include "mem/SimMemory.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ssp::workloads {
+
+/// Address every workload writes its checksum to before halting.
+inline constexpr uint64_t ResultAddr = 0x8000;
+
+/// One benchmark: program builder + data-image builder.
+struct Workload {
+  std::string Name;
+  /// Builds the original (pre-adaptation) binary.
+  std::function<ir::Program()> Build;
+  /// Populates the data image; returns the expected checksum the program
+  /// must store at ResultAddr.
+  std::function<uint64_t(mem::SimMemory &)> BuildMemory;
+};
+
+// The seven benchmarks of the paper's evaluation.
+Workload makeEm3d();
+Workload makeHealth();
+Workload makeMst();
+Workload makeTreeaddDF();
+Workload makeTreeaddBF();
+Workload makeMcf();
+Workload makeVpr();
+
+/// All seven, in the paper's reporting order.
+std::vector<Workload> paperSuite();
+
+/// Hand-adapted SSP binaries (Section 4.5): the manually tuned mcf and
+/// health from Wang et al., including the aggressive recursion inlining
+/// the automated tool cannot perform. They share the data-image builders
+/// of their automatic counterparts.
+Workload makeMcfHandAdapted();
+Workload makeHealthHandAdapted();
+
+/// A small arc-scan kernel (the paper's Figure 3 example) used by tests
+/// and the quickstart example; \p NumArcs and \p NumNodes scale it.
+Workload makeArcKernel(unsigned NumArcs = 800, unsigned NumNodes = 1 << 16);
+
+/// A phase-changing kernel: the same arc array is scanned \p NumPasses
+/// times over a node array small enough to become cache resident after
+/// the first pass. SSP prefetching is profitable only during pass one;
+/// afterwards the chains churn uselessly — the scenario motivating the
+/// paper's Section 4.4.1 dynamic-throttling idea.
+Workload makePhasedKernel(unsigned NumPasses = 6, unsigned NumArcs = 800,
+                          unsigned NumNodes = 1 << 10);
+
+} // namespace ssp::workloads
+
+#endif // SSP_WORKLOADS_WORKLOAD_H

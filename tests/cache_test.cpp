@@ -1,0 +1,173 @@
+//===- tests/cache_test.cpp - Unit tests for the cache hierarchy ----------===//
+
+#include "cache/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssp::cache;
+using ssp::ir::makeStaticId;
+
+namespace {
+
+CacheConfig smallConfig() {
+  CacheConfig C;
+  C.L1 = {1024, 2, 64, 2};    // 8 sets x 2 ways.
+  C.L2 = {4096, 2, 64, 14};   // 32 lines.
+  C.L3 = {16384, 4, 64, 30};  // 256 lines.
+  return C;
+}
+
+} // namespace
+
+TEST(CacheLevel, HitAfterInsert) {
+  CacheLevel L({1024, 2, 64, 2});
+  L.insert(5);
+  EXPECT_TRUE(L.contains(5));
+  EXPECT_TRUE(L.lookup(5));
+}
+
+TEST(CacheLevel, MissWhenEmpty) {
+  CacheLevel L({1024, 2, 64, 2});
+  EXPECT_FALSE(L.lookup(5));
+}
+
+TEST(CacheLevel, LRUEviction) {
+  // 2-way: three lines mapping to the same set evict the least recent.
+  CacheLevel L({1024, 2, 64, 2}); // 8 sets.
+  L.insert(0);       // Set 0.
+  L.insert(8);       // Set 0.
+  EXPECT_TRUE(L.lookup(0)); // Refresh line 0 -> line 8 is LRU.
+  L.insert(16);      // Set 0: evicts 8.
+  EXPECT_TRUE(L.contains(0));
+  EXPECT_FALSE(L.contains(8));
+  EXPECT_TRUE(L.contains(16));
+}
+
+TEST(CacheLevel, ResetDropsEverything) {
+  CacheLevel L({1024, 2, 64, 2});
+  L.insert(3);
+  L.reset();
+  EXPECT_FALSE(L.contains(3));
+}
+
+TEST(CacheHierarchy, ColdMissServedByMemory) {
+  CacheHierarchy H(smallConfig());
+  AccessResult R = H.access(0x10000, 100, makeStaticId(0, 1), 0, true);
+  EXPECT_EQ(R.ServedBy, Level::Mem);
+  EXPECT_FALSE(R.Partial);
+  // 230 memory + 30 first-touch TLB miss.
+  EXPECT_EQ(R.Latency, 260u);
+}
+
+TEST(CacheHierarchy, SecondAccessHitsL1) {
+  CacheHierarchy H(smallConfig());
+  H.access(0x10000, 100, makeStaticId(0, 1), 0, true);
+  // Well after the fill completes.
+  AccessResult R = H.access(0x10000, 1000, makeStaticId(0, 1), 0, true);
+  EXPECT_EQ(R.ServedBy, Level::L1);
+  EXPECT_EQ(R.Latency, smallConfig().L1.LatencyCycles);
+}
+
+TEST(CacheHierarchy, InFlightLineIsPartialHit) {
+  CacheHierarchy H(smallConfig());
+  H.access(0x10000, 100, makeStaticId(0, 1), 0, true);
+  // The line is still in transit (ready at 360); accessing at 200 waits.
+  AccessResult R = H.access(0x10000, 200, makeStaticId(0, 2), 0, true);
+  EXPECT_TRUE(R.Partial);
+  EXPECT_EQ(R.ServedBy, Level::Mem);
+  EXPECT_EQ(R.ReadyCycle, 360u);
+}
+
+TEST(CacheHierarchy, EvictedFromL1HitsL2) {
+  CacheConfig C = smallConfig();
+  CacheHierarchy H(C);
+  // Fill set 0 of L1 (2 ways) plus one more line in the same set.
+  uint64_t Base = 0x10000;
+  uint64_t SetStride = 64 * 8; // 8 sets.
+  H.access(Base, 100, makeStaticId(0, 1), 0, true);
+  H.access(Base + SetStride, 1000, makeStaticId(0, 1), 0, true);
+  H.access(Base + 2 * SetStride, 2000, makeStaticId(0, 1), 0, true);
+  // The first line was evicted from L1 but lives in L2.
+  AccessResult R = H.access(Base, 3000, makeStaticId(0, 1), 0, true);
+  EXPECT_EQ(R.ServedBy, Level::L2);
+}
+
+TEST(CacheHierarchy, PerfectMemoryAlwaysL1) {
+  CacheHierarchy H(smallConfig());
+  H.setPerfectMemory(true);
+  AccessResult R = H.access(0x999000, 5, makeStaticId(0, 1), 0, true);
+  EXPECT_EQ(R.ServedBy, Level::L1);
+  EXPECT_EQ(R.Latency, smallConfig().L1.LatencyCycles);
+}
+
+TEST(CacheHierarchy, PerfectLoadsOnlyNamedPc) {
+  CacheHierarchy H(smallConfig());
+  H.setPerfectLoads({makeStaticId(0, 1)});
+  AccessResult Ideal = H.access(0x10000, 5, makeStaticId(0, 1), 0, true);
+  EXPECT_EQ(Ideal.ServedBy, Level::L1);
+  AccessResult Real = H.access(0x20000, 5, makeStaticId(0, 2), 0, true);
+  EXPECT_EQ(Real.ServedBy, Level::Mem);
+}
+
+TEST(CacheHierarchy, ProfileRecordsMissCycles) {
+  CacheHierarchy H(smallConfig());
+  ssp::ir::StaticId Pc = makeStaticId(0, 7);
+  H.access(0x10000, 100, Pc, 0, true);
+  const PcCacheStats &S = H.profile().at(Pc);
+  EXPECT_EQ(S.Accesses, 1u);
+  EXPECT_EQ(S.Hits[3], 1u);
+  EXPECT_EQ(S.l1Misses(), 1u);
+  EXPECT_GT(S.MissCycles, 200u);
+}
+
+TEST(CacheHierarchy, NoProfileWhenDisabled) {
+  CacheHierarchy H(smallConfig());
+  H.access(0x10000, 100, makeStaticId(0, 7), 0, false);
+  EXPECT_TRUE(H.profile().empty());
+}
+
+TEST(CacheHierarchy, FillBufferLimitsOutstandingMisses) {
+  CacheConfig C = smallConfig();
+  C.FillBufferEntries = 2;
+  CacheHierarchy H(C);
+  // Three distinct-line misses at the same cycle: the third must wait for
+  // a fill-buffer entry.
+  H.access(0x10000, 100, makeStaticId(0, 1), 0, false);
+  H.access(0x20000, 100, makeStaticId(0, 2), 0, false);
+  AccessResult R = H.access(0x30000, 100, makeStaticId(0, 3), 0, false);
+  EXPECT_GT(H.totals().FillBufferStallCycles, 0u);
+  EXPECT_GT(R.Latency, C.MemLatency + C.TLBMissPenalty);
+}
+
+TEST(CacheHierarchy, TLBMissPenaltyOncePerPage) {
+  CacheConfig C = smallConfig();
+  CacheHierarchy H(C);
+  H.access(0x10000, 100, makeStaticId(0, 1), 0, false);
+  uint64_t MissesAfterFirst = H.totals().TLBMisses;
+  EXPECT_EQ(MissesAfterFirst, 1u);
+  // Same page, different line: no new TLB miss.
+  H.access(0x10040, 1000, makeStaticId(0, 1), 0, false);
+  EXPECT_EQ(H.totals().TLBMisses, 1u);
+  // Different page.
+  H.access(0x20000, 2000, makeStaticId(0, 1), 0, false);
+  EXPECT_EQ(H.totals().TLBMisses, 2u);
+}
+
+TEST(CacheHierarchy, PrefetchInstallsForOtherThread) {
+  // Thread 1 (a prefetch thread) touches a line; thread 0 then hits in the
+  // shared hierarchy. This is the mechanism SSP relies on.
+  CacheHierarchy H(smallConfig());
+  H.access(0x10000, 100, makeStaticId(0, 1), /*Tid=*/1, false);
+  AccessResult R = H.access(0x10000, 1000, makeStaticId(0, 2), 0, true);
+  EXPECT_EQ(R.ServedBy, Level::L1);
+}
+
+TEST(CacheHierarchy, ResetClearsState) {
+  CacheHierarchy H(smallConfig());
+  H.access(0x10000, 100, makeStaticId(0, 1), 0, true);
+  H.reset();
+  EXPECT_TRUE(H.profile().empty());
+  EXPECT_EQ(H.totals().Accesses, 0u);
+  AccessResult R = H.access(0x10000, 100, makeStaticId(0, 1), 0, true);
+  EXPECT_EQ(R.ServedBy, Level::Mem);
+}

@@ -1,0 +1,226 @@
+//===- tests/ir_test.cpp - Unit tests for the IR layer --------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Program.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssp::ir;
+
+namespace {
+
+/// Builds: entry block sums 1..3 into r2 and halts.
+Program makeTinyProgram() {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("main");
+  B.createBlock("entry");
+  B.movI(ireg(1), 1);
+  B.movI(ireg(2), 0);
+  B.add(ireg(2), ireg(2), ireg(1));
+  B.halt();
+  P.setEntry(0);
+  return P;
+}
+
+} // namespace
+
+TEST(IR, BuilderAssignsUniqueIds) {
+  Program P = makeTinyProgram();
+  const Function &F = P.func(0);
+  EXPECT_EQ(F.numInstIds(), 4u);
+  EXPECT_EQ(F.block(0).Insts[0].Id, 0u);
+  EXPECT_EQ(F.block(0).Insts[3].Id, 3u);
+}
+
+TEST(IR, VerifierAcceptsWellFormed) {
+  Program P = makeTinyProgram();
+  EXPECT_TRUE(isWellFormed(P)) << verify(P)[0];
+}
+
+TEST(IR, VerifierRejectsEmptyBlock) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  B.createBlock("empty");
+  EXPECT_FALSE(isWellFormed(P));
+}
+
+TEST(IR, VerifierRejectsFallthroughPastFunction) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  B.createBlock("entry");
+  B.movI(ireg(1), 0); // No terminator.
+  EXPECT_FALSE(isWellFormed(P));
+}
+
+TEST(IR, VerifierRejectsStoreInSlice) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  uint32_t Entry = B.createBlock("entry");
+  B.halt();
+  uint32_t Slice = B.createBlock("slice", BlockKind::Slice);
+  B.store(ireg(1), 0, ireg(2));
+  B.killThread();
+  (void)Entry;
+  (void)Slice;
+  std::vector<std::string> Diags = verify(P);
+  ASSERT_FALSE(Diags.empty());
+  bool Found = false;
+  for (const std::string &D : Diags)
+    if (D.find("store") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(IR, VerifierRejectsChkCToNonStub) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  B.createBlock("entry");
+  B.chkC(0); // Targets the body block itself.
+  B.halt();
+  EXPECT_FALSE(isWellFormed(P));
+}
+
+TEST(IR, VerifierRejectsWriteToHardwiredZero) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  B.createBlock("entry");
+  B.movI(ireg(0), 5);
+  B.halt();
+  EXPECT_FALSE(isWellFormed(P));
+}
+
+TEST(IR, VerifierRejectsBranchMidBlock) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  uint32_t Entry = B.createBlock("entry");
+  B.br(preg(1), Entry);
+  B.movI(ireg(1), 1); // After a branch.
+  B.halt();
+  EXPECT_FALSE(isWellFormed(P));
+}
+
+TEST(IR, VerifierRejectsBadCallTarget) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  B.createBlock("entry");
+  B.call(7); // No such function.
+  B.halt();
+  EXPECT_FALSE(isWellFormed(P));
+}
+
+TEST(IR, LinkAssignsSequentialAddresses) {
+  Program P = makeTinyProgram();
+  LinkedProgram LP = LinkedProgram::link(P);
+  ASSERT_EQ(LP.size(), 4u);
+  EXPECT_EQ(LP.entry(), 0u);
+  EXPECT_EQ(LP.at(0).I->Op, Opcode::MovI);
+  EXPECT_EQ(LP.at(3).I->Op, Opcode::Halt);
+}
+
+TEST(IR, LinkBundlesDoNotSpanBlocks) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  uint32_t B0 = B.createBlock("b0");
+  B.movI(ireg(1), 1); // Addr 0, bundle 0.
+  uint32_t B1 = B.createBlock("b1");
+  B.setInsertPoint(B0);
+  B.jmp(B1);
+  B.setInsertPoint(B1);
+  B.movI(ireg(2), 2);
+  B.halt();
+  LinkedProgram LP = LinkedProgram::link(P);
+  // Block b0 has 2 instructions (one bundle), b1 starts a new bundle.
+  EXPECT_EQ(LP.at(0).BundleId, LP.at(1).BundleId);
+  EXPECT_NE(LP.at(1).BundleId, LP.at(2).BundleId);
+}
+
+TEST(IR, LinkResolvesBranchTargets) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  uint32_t B0 = B.createBlock("b0");
+  B.movI(ireg(1), 1);
+  B.movI(ireg(2), 2);
+  uint32_t B1 = B.createBlock("b1");
+  B.setInsertPoint(B0);
+  B.jmp(B1);
+  B.setInsertPoint(B1);
+  B.halt();
+  LinkedProgram LP = LinkedProgram::link(P);
+  EXPECT_EQ(LP.at(2).TargetAddr, LP.blockStart(0, B1));
+}
+
+TEST(IR, LinkResolvesCallTargets) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("main");
+  B.createBlock("entry");
+  B.call(1);
+  B.halt();
+  B.createFunction("callee");
+  B.createBlock("entry");
+  B.ret();
+  P.setEntry(0);
+  LinkedProgram LP = LinkedProgram::link(P);
+  EXPECT_EQ(LP.at(0).TargetAddr, LP.funcEntry(1));
+}
+
+TEST(IR, StaticIdRoundTrip) {
+  StaticId Id = makeStaticId(3, 17);
+  EXPECT_EQ(staticIdFunc(Id), 3u);
+  EXPECT_EQ(staticIdInst(Id), 17u);
+}
+
+TEST(IR, InstructionPrinting) {
+  Instruction I;
+  I.Op = Opcode::Load;
+  I.Dst = ireg(3);
+  I.Src1 = ireg(1);
+  I.Imm = 8;
+  EXPECT_EQ(I.str(), "ld8 r3 = [r1 + 8]");
+}
+
+TEST(IR, ProgramPrintingMentionsAttachments) {
+  Program P;
+  IRBuilder B(P);
+  B.createFunction("f");
+  B.createBlock("entry");
+  B.halt();
+  B.createBlock("sl", BlockKind::Slice);
+  B.killThread();
+  std::string S = P.str();
+  EXPECT_NE(S.find("[slice]"), std::string::npos);
+}
+
+TEST(IR, ForEachUseVisitsAllSources) {
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = ireg(1);
+  I.Src1 = ireg(2);
+  I.Src2 = ireg(3);
+  int Count = 0;
+  I.forEachUse([&](Reg R) {
+    ++Count;
+    EXPECT_TRUE(R.isInt());
+  });
+  EXPECT_EQ(Count, 2);
+  EXPECT_EQ(I.def(), ireg(1));
+}
+
+TEST(IR, StoreHasNoDef) {
+  Instruction I;
+  I.Op = Opcode::Store;
+  I.Src1 = ireg(1);
+  I.Src2 = ireg(2);
+  EXPECT_FALSE(I.def().isValid());
+}

@@ -1,0 +1,90 @@
+//===- tests/mem_test.cpp - Unit tests for SimMemory ----------------------===//
+
+#include "mem/SimMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssp::mem;
+
+TEST(SimMemory, ReadBackWrittenValue) {
+  SimMemory M;
+  M.write(0x1000, 0xDEADBEEFULL);
+  EXPECT_EQ(M.read(0x1000), 0xDEADBEEFULL);
+}
+
+TEST(SimMemory, DistinctWordsIndependent) {
+  SimMemory M;
+  M.write(0x1000, 1);
+  M.write(0x1008, 2);
+  EXPECT_EQ(M.read(0x1000), 1u);
+  EXPECT_EQ(M.read(0x1008), 2u);
+}
+
+TEST(SimMemory, SparsePagesFarApart) {
+  SimMemory M;
+  M.write(0x10000, 7);
+  M.write(0x7FFFFFFF0000ULL, 9);
+  EXPECT_EQ(M.read(0x10000), 7u);
+  EXPECT_EQ(M.read(0x7FFFFFFF0000ULL), 9u);
+  EXPECT_EQ(M.numPages(), 2u);
+}
+
+TEST(SimMemory, ReadMaybeUnmappedReturnsZero) {
+  SimMemory M;
+  bool Mapped = true;
+  EXPECT_EQ(M.readMaybe(0x123450, Mapped), 0u);
+  EXPECT_FALSE(Mapped);
+}
+
+TEST(SimMemory, ReadMaybeUnalignedIsWild) {
+  SimMemory M;
+  M.write(0x1000, 42);
+  bool Mapped = true;
+  EXPECT_EQ(M.readMaybe(0x1003, Mapped), 0u);
+  EXPECT_FALSE(Mapped);
+}
+
+TEST(SimMemory, ReadMaybeMappedReturnsValue) {
+  SimMemory M;
+  M.write(0x2000, 55);
+  bool Mapped = false;
+  EXPECT_EQ(M.readMaybe(0x2000, Mapped), 55u);
+  EXPECT_TRUE(Mapped);
+}
+
+TEST(SimMemory, ZeroFilledPages) {
+  SimMemory M;
+  M.write(0x3000, 1);
+  // Same page, untouched word.
+  EXPECT_EQ(M.read(0x3008), 0u);
+}
+
+TEST(BumpAllocator, AlignedDisjointAllocations) {
+  SimMemory M;
+  BumpAllocator A(M, 0x10000);
+  uint64_t P1 = A.alloc(24);
+  uint64_t P2 = A.alloc(3); // Rounds up to 8.
+  uint64_t P3 = A.alloc(8);
+  EXPECT_EQ(P1 % 8, 0u);
+  EXPECT_EQ(P2, P1 + 24);
+  EXPECT_EQ(P3, P2 + 8);
+}
+
+TEST(BumpAllocator, AllocationsAreMappedAndZeroed) {
+  SimMemory M;
+  BumpAllocator A(M);
+  uint64_t P = A.alloc(64);
+  for (uint64_t Off = 0; Off < 64; Off += 8) {
+    EXPECT_TRUE(M.isMapped(P + Off));
+    EXPECT_EQ(M.read(P + Off), 0u);
+  }
+}
+
+TEST(BumpAllocator, AlignToSkipsForward) {
+  SimMemory M;
+  BumpAllocator A(M, 0x10000);
+  A.alloc(8);
+  A.alignTo(256);
+  uint64_t P = A.alloc(8);
+  EXPECT_EQ(P % 256, 0u);
+}

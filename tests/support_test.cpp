@@ -1,0 +1,80 @@
+//===- tests/support_test.cpp - Unit tests for ssp::support ---------------===//
+
+#include "support/RNG.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ssp;
+
+TEST(RNG, DeterministicForSeed) {
+  RNG A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RNG, NextBelowInRange) {
+  RNG R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RNG, NextInRangeBounds) {
+  RNG R(9);
+  for (int I = 0; I < 10000; ++I) {
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(RNG, NextDoubleUnitInterval) {
+  RNG R(11);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, ReasonableSpread) {
+  RNG R(3);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 256; ++I)
+    Seen.insert(R.nextBelow(1u << 20));
+  // With 2^20 buckets, 256 draws should be almost all distinct.
+  EXPECT_GT(Seen.size(), 250u);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("name"));
+  T.cell(std::string("value"));
+  T.row();
+  T.cell(std::string("x"));
+  T.cell(1234LL);
+  std::string S = T.toString();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("1234"), std::string::npos);
+  EXPECT_NE(S.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatsDoubles) {
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("h"));
+  T.row();
+  T.cell(1.23456, 2);
+  EXPECT_NE(T.toString().find("1.23"), std::string::npos);
+}

@@ -1,0 +1,132 @@
+//===- tools/ssp-sim.cpp - Run a text-IR program on the Itanium models ----===//
+//
+// The simulator's standalone face: run a .ssp program (with its `data:`
+// image) on a chosen machine configuration and print the cycle counts and
+// the Figure-10 cycle-accounting breakdown. No adaptation is performed —
+// the input may already contain chk.c triggers and slice attachments
+// (e.g. the output of `ssp-adapt --emit`).
+//
+//   ssp-sim prog.ssp                  in-order model
+//   ssp-sim prog.ssp --ooo            out-of-order model
+//   ssp-sim prog.ssp --contexts N     N hardware thread contexts
+//   ssp-sim prog.ssp --memlat N       memory latency in cycles
+//   ssp-sim prog.ssp --icount         ICOUNT fetch policy
+//   ssp-sim prog.ssp --throttle       dynamic trigger throttling
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace ssp;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.ssp> [--ooo] [--contexts N] [--memlat N] "
+               "[--icount] [--throttle]\n",
+               Argv0);
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--ooo") == 0) {
+      Cfg.Pipeline = sim::PipelineKind::OutOfOrder;
+    } else if (std::strcmp(argv[I], "--contexts") == 0 && I + 1 < argc) {
+      Cfg.NumThreads = unsigned(std::atoi(argv[++I]));
+      if (Cfg.NumThreads < 1 || Cfg.NumThreads > 8)
+        return usage(argv[0]);
+    } else if (std::strcmp(argv[I], "--memlat") == 0 && I + 1 < argc) {
+      Cfg.Cache.MemLatency = unsigned(std::atoi(argv[++I]));
+    } else if (std::strcmp(argv[I], "--icount") == 0) {
+      Cfg.Fetch = sim::FetchPolicy::ICount;
+    } else if (std::strcmp(argv[I], "--throttle") == 0) {
+      Cfg.EnableSSPThrottle = true;
+    } else if (argv[I][0] == '-' || Path) {
+      return usage(argv[0]);
+    } else {
+      Path = argv[I];
+    }
+  }
+  if (!Path)
+    return usage(argv[0]);
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  ir::Program P;
+  ir::DataImage Data;
+  std::string Err;
+  if (!ir::parseProgram(Buf.str(), P, Err, &Data)) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Path, Err.c_str());
+    return 1;
+  }
+  std::vector<std::string> Diags = ir::verify(P);
+  if (!Diags.empty()) {
+    for (const std::string &D : Diags)
+      std::fprintf(stderr, "%s: %s\n", Path, D.c_str());
+    return 1;
+  }
+
+  ir::LinkedProgram LP = ir::LinkedProgram::link(P);
+  mem::SimMemory Mem;
+  for (const auto &[Addr, Value] : Data)
+    Mem.write(Addr, Value);
+  sim::Simulator Sim(Cfg, LP, Mem);
+  sim::SimStats S = Sim.run();
+
+  std::printf("%s, %u contexts, mem %u cycles%s%s\n",
+              Cfg.Pipeline == sim::PipelineKind::InOrder ? "in-order"
+                                                         : "out-of-order",
+              Cfg.NumThreads, Cfg.Cache.MemLatency,
+              Cfg.Fetch == sim::FetchPolicy::ICount ? ", ICOUNT" : "",
+              Cfg.EnableSSPThrottle ? ", throttle" : "");
+  std::printf("cycles: %llu   main insts: %llu (IPC %.2f)   spec insts: "
+              "%llu\n",
+              static_cast<unsigned long long>(S.Cycles),
+              static_cast<unsigned long long>(S.MainInsts), S.ipc(),
+              static_cast<unsigned long long>(S.SpecInsts));
+  std::printf("cycle breakdown:");
+  for (unsigned C = 0; C < sim::NumCycleCats; ++C)
+    std::printf(" %s %.1f%%",
+                sim::cycleCatName(static_cast<sim::CycleCat>(C)),
+                100.0 * static_cast<double>(S.CatCycles[C]) /
+                    static_cast<double>(S.Cycles));
+  std::printf("\n");
+  std::printf("branches: %llu (%.2f%% mispredicted)   TLB misses: %llu\n",
+              static_cast<unsigned long long>(S.Branches),
+              S.Branches ? 100.0 * static_cast<double>(S.BranchMispredicts) /
+                               static_cast<double>(S.Branches)
+                         : 0.0,
+              static_cast<unsigned long long>(S.CacheTotals.TLBMisses));
+  if (S.TriggersFired + S.TriggersIgnored > 0)
+    std::printf("SSP: %llu triggers fired (%llu ignored), %llu spawns "
+                "(%llu dropped), %llu/%llu useful prefetches, %llu "
+                "throttle events\n",
+                static_cast<unsigned long long>(S.TriggersFired),
+                static_cast<unsigned long long>(S.TriggersIgnored),
+                static_cast<unsigned long long>(S.SpawnsSucceeded),
+                static_cast<unsigned long long>(S.SpawnsDropped),
+                static_cast<unsigned long long>(S.UsefulPrefetches),
+                static_cast<unsigned long long>(S.SpecPrefetches),
+                static_cast<unsigned long long>(S.ThrottleEvents));
+  return 0;
+}
