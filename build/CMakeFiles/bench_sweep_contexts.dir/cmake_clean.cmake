@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_contexts.dir/bench/bench_sweep_contexts.cpp.o"
+  "CMakeFiles/bench_sweep_contexts.dir/bench/bench_sweep_contexts.cpp.o.d"
+  "bench/bench_sweep_contexts"
+  "bench/bench_sweep_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_memlat.dir/bench/bench_sweep_memlat.cpp.o"
+  "CMakeFiles/bench_sweep_memlat.dir/bench/bench_sweep_memlat.cpp.o.d"
+  "bench/bench_sweep_memlat"
+  "bench/bench_sweep_memlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_memlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

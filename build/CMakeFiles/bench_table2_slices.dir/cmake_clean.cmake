@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_slices.dir/bench/bench_table2_slices.cpp.o"
+  "CMakeFiles/bench_table2_slices.dir/bench/bench_table2_slices.cpp.o.d"
+  "bench/bench_table2_slices"
+  "bench/bench_table2_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

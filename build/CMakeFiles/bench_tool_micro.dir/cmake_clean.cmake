@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tool_micro.dir/bench/bench_tool_micro.cpp.o"
+  "CMakeFiles/bench_tool_micro.dir/bench/bench_tool_micro.cpp.o.d"
+  "bench/bench_tool_micro"
+  "bench/bench_tool_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tool_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_inspector.dir/binary_inspector.cpp.o"
+  "CMakeFiles/binary_inspector.dir/binary_inspector.cpp.o.d"
+  "binary_inspector"
+  "binary_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

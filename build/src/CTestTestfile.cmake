@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("mem")
+subdirs("cache")
+subdirs("branch")
+subdirs("analysis")
+subdirs("sim")
+subdirs("profile")
+subdirs("slicer")
+subdirs("sched")
+subdirs("trigger")
+subdirs("codegen")
+subdirs("core")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFG.cpp" "src/analysis/CMakeFiles/ssp_analysis.dir/CFG.cpp.o" "gcc" "src/analysis/CMakeFiles/ssp_analysis.dir/CFG.cpp.o.d"
+  "/root/repo/src/analysis/CallGraph.cpp" "src/analysis/CMakeFiles/ssp_analysis.dir/CallGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/ssp_analysis.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/DependenceGraph.cpp" "src/analysis/CMakeFiles/ssp_analysis.dir/DependenceGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/ssp_analysis.dir/DependenceGraph.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/ssp_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/ssp_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Loops.cpp" "src/analysis/CMakeFiles/ssp_analysis.dir/Loops.cpp.o" "gcc" "src/analysis/CMakeFiles/ssp_analysis.dir/Loops.cpp.o.d"
+  "/root/repo/src/analysis/ReachingDefs.cpp" "src/analysis/CMakeFiles/ssp_analysis.dir/ReachingDefs.cpp.o" "gcc" "src/analysis/CMakeFiles/ssp_analysis.dir/ReachingDefs.cpp.o.d"
+  "/root/repo/src/analysis/RegionGraph.cpp" "src/analysis/CMakeFiles/ssp_analysis.dir/RegionGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/ssp_analysis.dir/RegionGraph.cpp.o.d"
+  "/root/repo/src/analysis/SCC.cpp" "src/analysis/CMakeFiles/ssp_analysis.dir/SCC.cpp.o" "gcc" "src/analysis/CMakeFiles/ssp_analysis.dir/SCC.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ssp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ssp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/ssp_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/ssp_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/ssp_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/ssp_analysis.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/ssp_analysis.dir/DependenceGraph.cpp.o.d"
+  "CMakeFiles/ssp_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/ssp_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/ssp_analysis.dir/Loops.cpp.o"
+  "CMakeFiles/ssp_analysis.dir/Loops.cpp.o.d"
+  "CMakeFiles/ssp_analysis.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/ssp_analysis.dir/ReachingDefs.cpp.o.d"
+  "CMakeFiles/ssp_analysis.dir/RegionGraph.cpp.o"
+  "CMakeFiles/ssp_analysis.dir/RegionGraph.cpp.o.d"
+  "CMakeFiles/ssp_analysis.dir/SCC.cpp.o"
+  "CMakeFiles/ssp_analysis.dir/SCC.cpp.o.d"
+  "libssp_analysis.a"
+  "libssp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_cache.dir/Cache.cpp.o"
+  "CMakeFiles/ssp_cache.dir/Cache.cpp.o.d"
+  "libssp_cache.a"
+  "libssp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_codegen.dir/SSPCodeGen.cpp.o"
+  "CMakeFiles/ssp_codegen.dir/SSPCodeGen.cpp.o.d"
+  "libssp_codegen.a"
+  "libssp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

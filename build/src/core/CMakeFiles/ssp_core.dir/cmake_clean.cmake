@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_core.dir/PostPassTool.cpp.o"
+  "CMakeFiles/ssp_core.dir/PostPassTool.cpp.o.d"
+  "libssp_core.a"
+  "libssp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/ssp_harness.dir/Experiment.cpp.o.d"
+  "libssp_harness.a"
+  "libssp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

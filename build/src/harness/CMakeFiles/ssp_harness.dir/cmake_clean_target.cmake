@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssp_harness.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/ssp_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/ssp_ir.dir/Parser.cpp.o"
+  "CMakeFiles/ssp_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/ssp_ir.dir/Program.cpp.o"
+  "CMakeFiles/ssp_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/ssp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/ssp_ir.dir/Verifier.cpp.o.d"
+  "libssp_ir.a"
+  "libssp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

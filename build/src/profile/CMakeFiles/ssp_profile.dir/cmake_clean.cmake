@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_profile.dir/Profile.cpp.o"
+  "CMakeFiles/ssp_profile.dir/Profile.cpp.o.d"
+  "libssp_profile.a"
+  "libssp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_sched.dir/LoopRotation.cpp.o"
+  "CMakeFiles/ssp_sched.dir/LoopRotation.cpp.o.d"
+  "CMakeFiles/ssp_sched.dir/Scheduler.cpp.o"
+  "CMakeFiles/ssp_sched.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/ssp_sched.dir/SliceDepGraph.cpp.o"
+  "CMakeFiles/ssp_sched.dir/SliceDepGraph.cpp.o.d"
+  "libssp_sched.a"
+  "libssp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_sim.dir/Executor.cpp.o"
+  "CMakeFiles/ssp_sim.dir/Executor.cpp.o.d"
+  "CMakeFiles/ssp_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/ssp_sim.dir/Simulator.cpp.o.d"
+  "libssp_sim.a"
+  "libssp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

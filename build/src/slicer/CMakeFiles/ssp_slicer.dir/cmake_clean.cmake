@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_slicer.dir/Slicer.cpp.o"
+  "CMakeFiles/ssp_slicer.dir/Slicer.cpp.o.d"
+  "libssp_slicer.a"
+  "libssp_slicer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_slicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

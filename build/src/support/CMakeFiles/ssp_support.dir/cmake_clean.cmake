@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/ssp_support.dir/TablePrinter.cpp.o.d"
+  "libssp_support.a"
+  "libssp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_trigger.dir/MinCut.cpp.o"
+  "CMakeFiles/ssp_trigger.dir/MinCut.cpp.o.d"
+  "CMakeFiles/ssp_trigger.dir/TriggerPlacer.cpp.o"
+  "CMakeFiles/ssp_trigger.dir/TriggerPlacer.cpp.o.d"
+  "libssp_trigger.a"
+  "libssp_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Em3d.cpp" "src/workloads/CMakeFiles/ssp_workloads.dir/Em3d.cpp.o" "gcc" "src/workloads/CMakeFiles/ssp_workloads.dir/Em3d.cpp.o.d"
+  "/root/repo/src/workloads/Health.cpp" "src/workloads/CMakeFiles/ssp_workloads.dir/Health.cpp.o" "gcc" "src/workloads/CMakeFiles/ssp_workloads.dir/Health.cpp.o.d"
+  "/root/repo/src/workloads/Kernels.cpp" "src/workloads/CMakeFiles/ssp_workloads.dir/Kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/ssp_workloads.dir/Kernels.cpp.o.d"
+  "/root/repo/src/workloads/Mcf.cpp" "src/workloads/CMakeFiles/ssp_workloads.dir/Mcf.cpp.o" "gcc" "src/workloads/CMakeFiles/ssp_workloads.dir/Mcf.cpp.o.d"
+  "/root/repo/src/workloads/Mst.cpp" "src/workloads/CMakeFiles/ssp_workloads.dir/Mst.cpp.o" "gcc" "src/workloads/CMakeFiles/ssp_workloads.dir/Mst.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/ssp_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/ssp_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Treeadd.cpp" "src/workloads/CMakeFiles/ssp_workloads.dir/Treeadd.cpp.o" "gcc" "src/workloads/CMakeFiles/ssp_workloads.dir/Treeadd.cpp.o.d"
+  "/root/repo/src/workloads/Vpr.cpp" "src/workloads/CMakeFiles/ssp_workloads.dir/Vpr.cpp.o" "gcc" "src/workloads/CMakeFiles/ssp_workloads.dir/Vpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ssp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ssp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

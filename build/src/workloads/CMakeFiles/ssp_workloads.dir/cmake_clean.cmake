@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_workloads.dir/Em3d.cpp.o"
+  "CMakeFiles/ssp_workloads.dir/Em3d.cpp.o.d"
+  "CMakeFiles/ssp_workloads.dir/Health.cpp.o"
+  "CMakeFiles/ssp_workloads.dir/Health.cpp.o.d"
+  "CMakeFiles/ssp_workloads.dir/Kernels.cpp.o"
+  "CMakeFiles/ssp_workloads.dir/Kernels.cpp.o.d"
+  "CMakeFiles/ssp_workloads.dir/Mcf.cpp.o"
+  "CMakeFiles/ssp_workloads.dir/Mcf.cpp.o.d"
+  "CMakeFiles/ssp_workloads.dir/Mst.cpp.o"
+  "CMakeFiles/ssp_workloads.dir/Mst.cpp.o.d"
+  "CMakeFiles/ssp_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/ssp_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/ssp_workloads.dir/Treeadd.cpp.o"
+  "CMakeFiles/ssp_workloads.dir/Treeadd.cpp.o.d"
+  "CMakeFiles/ssp_workloads.dir/Vpr.cpp.o"
+  "CMakeFiles/ssp_workloads.dir/Vpr.cpp.o.d"
+  "libssp_workloads.a"
+  "libssp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

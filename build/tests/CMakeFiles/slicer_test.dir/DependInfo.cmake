@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slicer_test.cpp" "tests/CMakeFiles/slicer_test.dir/slicer_test.cpp.o" "gcc" "tests/CMakeFiles/slicer_test.dir/slicer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slicer/CMakeFiles/ssp_slicer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ssp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ssp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ssp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ssp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ssp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ssp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

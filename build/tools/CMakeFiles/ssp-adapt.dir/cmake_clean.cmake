@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp-adapt.dir/ssp-adapt.cpp.o"
+  "CMakeFiles/ssp-adapt.dir/ssp-adapt.cpp.o.d"
+  "ssp-adapt"
+  "ssp-adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp-adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

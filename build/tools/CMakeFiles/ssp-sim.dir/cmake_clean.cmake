@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp-sim.dir/ssp-sim.cpp.o"
+  "CMakeFiles/ssp-sim.dir/ssp-sim.cpp.o.d"
+  "ssp-sim"
+  "ssp-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
