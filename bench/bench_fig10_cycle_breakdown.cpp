@@ -18,12 +18,13 @@
 using namespace ssp;
 using namespace ssp::harness;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Figure 10: cycle breakdown normalized to baseline "
               "in-order (%%) ===\n");
   printMachineBanner();
 
-  SuiteRunner Runner;
+  ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
+  Runner.runAll(workloads::paperSuite());
   TablePrinter T;
   T.row();
   T.cell(std::string("benchmark"));

@@ -18,12 +18,12 @@
 using namespace ssp;
 using namespace ssp::harness;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Figure 2: speedup with perfect memory vs. perfect "
               "delinquent loads ===\n");
   printMachineBanner();
 
-  SuiteRunner Runner;
+  ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
 
   // "Delinquent loads always hit" must be computed to a fixpoint: on
   // lines shared by several loads, idealizing the profiled miss-taker
@@ -68,7 +68,17 @@ int main() {
   T.cell(std::string("ooo perfect-delinq"));
   T.cell(std::string("delinq loads"));
 
-  for (const workloads::Workload &W : workloads::paperSuite()) {
+  // One pool job per benchmark row: the fixpoint and its six simulations
+  // are independent across workloads. Rows land in fixed slots, so the
+  // table below is identical for any --jobs value.
+  const std::vector<workloads::Workload> Suite = workloads::paperSuite();
+  struct RowData {
+    double IoMem, IoDel, OooMem, OooDel;
+    size_t DelinquentLoads;
+  };
+  std::vector<RowData> Rows(Suite.size());
+  Runner.pool().parallelFor(Suite.size(), [&](size_t I) {
+    const workloads::Workload &W = Suite[I];
     std::unordered_set<ir::StaticId> Delinquent = DelinquentFixpoint(W);
 
     auto SpeedupWith = [&](sim::MachineConfig Cfg) {
@@ -86,14 +96,17 @@ int main() {
 
     auto [IoMem, IoDel] = SpeedupWith(sim::MachineConfig::inOrder());
     auto [OooMem, OooDel] = SpeedupWith(sim::MachineConfig::outOfOrder());
+    Rows[I] = {IoMem, IoDel, OooMem, OooDel, Delinquent.size()};
+  });
 
+  for (size_t I = 0; I < Suite.size(); ++I) {
     T.row();
-    T.cell(W.Name);
-    T.cell(IoMem, 2);
-    T.cell(IoDel, 2);
-    T.cell(OooMem, 2);
-    T.cell(OooDel, 2);
-    T.cell(static_cast<unsigned long long>(Delinquent.size()));
+    T.cell(Suite[I].Name);
+    T.cell(Rows[I].IoMem, 2);
+    T.cell(Rows[I].IoDel, 2);
+    T.cell(Rows[I].OooMem, 2);
+    T.cell(Rows[I].OooDel, 2);
+    T.cell(static_cast<unsigned long long>(Rows[I].DelinquentLoads));
   }
   T.print();
 

@@ -17,11 +17,12 @@
 using namespace ssp;
 using namespace ssp::harness;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Figure 8: speedups over the baseline in-order model ===\n");
   printMachineBanner();
 
-  SuiteRunner Runner;
+  ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
+  Runner.runAll(workloads::paperSuite());
   TablePrinter T;
   T.row();
   T.cell(std::string("benchmark"));

@@ -55,12 +55,13 @@ Breakdown breakdownOf(const sim::SimStats &S,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Figure 9: where delinquent loads are satisfied when "
               "missing L1 (%% of accesses) ===\n");
   printMachineBanner();
 
-  SuiteRunner Runner;
+  ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
+  Runner.runAll(workloads::paperSuite());
   TablePrinter T;
   T.row();
   T.cell(std::string("benchmark"));

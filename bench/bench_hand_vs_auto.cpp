@@ -17,11 +17,11 @@
 using namespace ssp;
 using namespace ssp::harness;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Section 4.5: automatic vs. hand adaptation ===\n");
   printMachineBanner();
 
-  SuiteRunner Runner;
+  ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
   TablePrinter T;
   T.row();
   T.cell(std::string("benchmark"));
@@ -43,18 +43,35 @@ int main() {
        2.30, 2.20, 3.00},
   };
 
-  for (Pair &P : Pairs) {
+  // Six independent jobs: the two auto pipelines (4 simulations each,
+  // serial inside the job) and the four hand-adapted simulations. Results
+  // land in fixed slots so the report below is identical for any --jobs.
+  sim::SimStats HandStats[4];
+  bool HandOk[4] = {true, true, true, true};
+  Runner.pool().parallelFor(6, [&](size_t I) {
+    if (I < 2) {
+      Runner.inner().run(Pairs[I].Base, nullptr);
+      return;
+    }
+    size_t Slot = I - 2;
+    Pair &P = Pairs[Slot / 2];
+    sim::MachineConfig Cfg = Slot % 2 == 0
+                                 ? sim::MachineConfig::inOrder()
+                                 : sim::MachineConfig::outOfOrder();
+    ir::Program HandProg = P.Hand.Build();
+    HandStats[Slot] =
+        SuiteRunner::simulate(HandProg, P.Hand, Cfg, &HandOk[Slot]);
+  });
+
+  for (size_t PI = 0; PI < 2; ++PI) {
+    Pair &P = Pairs[PI];
     const BenchResult &Auto = Runner.run(P.Base);
     for (auto Pipeline :
          {sim::PipelineKind::InOrder, sim::PipelineKind::OutOfOrder}) {
       bool InOrder = Pipeline == sim::PipelineKind::InOrder;
-      sim::MachineConfig Cfg =
-          InOrder ? sim::MachineConfig::inOrder()
-                  : sim::MachineConfig::outOfOrder();
-      ir::Program HandProg = P.Hand.Build();
-      bool Ok = true;
-      sim::SimStats Hand = SuiteRunner::simulate(HandProg, P.Hand, Cfg, &Ok);
-      if (!Ok)
+      size_t Slot = PI * 2 + (InOrder ? 0 : 1);
+      const sim::SimStats &Hand = HandStats[Slot];
+      if (!HandOk[Slot])
         std::printf("WARNING: %s checksum mismatch\n", P.Hand.Name.c_str());
       uint64_t Base = InOrder ? Auto.BaseIO.Cycles : Auto.BaseOOO.Cycles;
       uint64_t AutoCycles = InOrder ? Auto.SspIO.Cycles : Auto.SspOOO.Cycles;

@@ -1,0 +1,70 @@
+//===- bench/bench_smoke.cpp - end-to-end smoke benchmark ------------------===//
+//
+// Runs one small workload through the full pipeline (profile -> adapt ->
+// four simulations) on the parallel harness, wall-clocks it, and writes a
+// machine-readable JSON summary: simulator throughput in simulated cycles
+// per second plus the headline in-order SSP speedup. Driven by the
+// `bench-smoke` CMake target (see bench/emit_json.cmake) as a quick
+// everything-still-works check of the build.
+//
+//   bench_smoke [--jobs N] [--out FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+int main(int argc, char **argv) {
+  const char *OutPath = nullptr;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      OutPath = argv[++I];
+
+  ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
+  workloads::Workload W = workloads::makeEm3d();
+
+  auto Start = std::chrono::steady_clock::now();
+  const BenchResult &R = Runner.run(W);
+  double WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  // Total simulated cycles retired across the four machine runs.
+  uint64_t SimCycles = R.BaseIO.Cycles + R.SspIO.Cycles + R.BaseOOO.Cycles +
+                       R.SspOOO.Cycles;
+  double CyclesPerSec =
+      WallSeconds > 0 ? static_cast<double>(SimCycles) / WallSeconds : 0;
+
+  char Json[512];
+  std::snprintf(Json, sizeof(Json),
+                "{\n"
+                "  \"workload\": \"%s\",\n"
+                "  \"jobs\": %u,\n"
+                "  \"wall_seconds\": %.6f,\n"
+                "  \"sim_cycles\": %llu,\n"
+                "  \"sim_cycles_per_sec\": %.0f,\n"
+                "  \"speedupIO\": %.4f,\n"
+                "  \"checksum_ok\": %s\n"
+                "}\n",
+                W.Name.c_str(), Runner.pool().numThreads(), WallSeconds,
+                static_cast<unsigned long long>(SimCycles), CyclesPerSec,
+                R.speedupIO(), R.ChecksumsOk ? "true" : "false");
+
+  std::fputs(Json, stdout);
+  if (OutPath) {
+    std::FILE *F = std::fopen(OutPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
+      return 1;
+    }
+    std::fputs(Json, F);
+    std::fclose(F);
+  }
+  return R.ChecksumsOk ? 0 : 1;
+}

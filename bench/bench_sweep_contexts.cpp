@@ -16,7 +16,7 @@
 using namespace ssp;
 using namespace ssp::harness;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Sweep: in-order SSP speedup vs. hardware contexts and "
               "fetch policy ===\n");
   printMachineBanner();
@@ -30,25 +30,41 @@ int main() {
     T.cell("rr/" + std::to_string(C));
   T.cell(std::string("icount/4"));
 
-  for (const workloads::Workload &W : workloads::paperSuite()) {
-    ir::Program Orig = W.Build();
-    profile::ProfileData PD = core::profileProgram(Orig, W.BuildMemory);
-    core::PostPassTool Tool(Orig, PD);
-    ir::Program Enhanced = Tool.adapt();
+  // Phase 1: profile and adapt each workload once. Phase 2: one pool job
+  // per (workload, machine-config) point — three round-robin context
+  // counts plus ICOUNT at four contexts.
+  const std::vector<workloads::Workload> Suite = workloads::paperSuite();
+  constexpr size_t NumCfgs = 4;
+  support::ThreadPool Pool(jobsFromArgs(argc, argv));
+  struct Prepared {
+    ir::Program Orig, Enhanced;
+  };
+  std::vector<Prepared> Prep(Suite.size());
+  Pool.parallelFor(Suite.size(), [&](size_t I) {
+    const workloads::Workload &W = Suite[I];
+    Prep[I].Orig = W.Build();
+    profile::ProfileData PD = core::profileProgram(Prep[I].Orig, W.BuildMemory);
+    core::PostPassTool Tool(Prep[I].Orig, PD);
+    Prep[I].Enhanced = Tool.adapt();
+  });
+  std::vector<double> Speedups(Suite.size() * NumCfgs);
+  Pool.parallelFor(Speedups.size(), [&](size_t I) {
+    size_t WI = I / NumCfgs, CI = I % NumCfgs;
+    sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+    Cfg.NumThreads = CI < 3 ? Contexts[CI] : 4;
+    Cfg.Fetch =
+        CI < 3 ? sim::FetchPolicy::RoundRobin : sim::FetchPolicy::ICount;
+    uint64_t Base = SuiteRunner::simulate(Prep[WI].Orig, Suite[WI], Cfg).Cycles;
+    uint64_t Ssp =
+        SuiteRunner::simulate(Prep[WI].Enhanced, Suite[WI], Cfg).Cycles;
+    Speedups[I] = static_cast<double>(Base) / static_cast<double>(Ssp);
+  });
 
+  for (size_t WI = 0; WI < Suite.size(); ++WI) {
     T.row();
-    T.cell(W.Name);
-    auto Speedup = [&](unsigned NumThreads, sim::FetchPolicy Policy) {
-      sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
-      Cfg.NumThreads = NumThreads;
-      Cfg.Fetch = Policy;
-      uint64_t Base = SuiteRunner::simulate(Orig, W, Cfg).Cycles;
-      uint64_t Ssp = SuiteRunner::simulate(Enhanced, W, Cfg).Cycles;
-      return static_cast<double>(Base) / static_cast<double>(Ssp);
-    };
-    for (unsigned C : Contexts)
-      T.cell(Speedup(C, sim::FetchPolicy::RoundRobin), 2);
-    T.cell(Speedup(4, sim::FetchPolicy::ICount), 2);
+    T.cell(Suite[WI].Name);
+    for (size_t CI = 0; CI < NumCfgs; ++CI)
+      T.cell(Speedups[WI * NumCfgs + CI], 2);
   }
   T.print();
 

@@ -16,11 +16,12 @@
 using namespace ssp;
 using namespace ssp::harness;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Sweep: in-order SSP speedup vs. memory latency ===\n");
   printMachineBanner();
 
   const unsigned Latencies[] = {100, 160, 230, 320, 400};
+  constexpr size_t NumLat = sizeof(Latencies) / sizeof(Latencies[0]);
 
   TablePrinter T;
   T.row();
@@ -28,23 +29,38 @@ int main() {
   for (unsigned L : Latencies)
     T.cell("mem=" + std::to_string(L));
 
-  for (const workloads::Workload &W : workloads::paperSuite()) {
-    // Profile and adapt once, at the default (230-cycle) machine; the
-    // paper's flow fixes the binary and varies the hardware.
-    ir::Program Orig = W.Build();
-    profile::ProfileData PD = core::profileProgram(Orig, W.BuildMemory);
-    core::PostPassTool Tool(Orig, PD);
-    ir::Program Enhanced = Tool.adapt();
+  // Phase 1: profile and adapt each workload once, at the default
+  // (230-cycle) machine — the paper's flow fixes the binary and varies
+  // the hardware. Phase 2: one pool job per (workload, latency) point.
+  const std::vector<workloads::Workload> Suite = workloads::paperSuite();
+  support::ThreadPool Pool(jobsFromArgs(argc, argv));
+  struct Prepared {
+    ir::Program Orig, Enhanced;
+  };
+  std::vector<Prepared> Prep(Suite.size());
+  Pool.parallelFor(Suite.size(), [&](size_t I) {
+    const workloads::Workload &W = Suite[I];
+    Prep[I].Orig = W.Build();
+    profile::ProfileData PD = core::profileProgram(Prep[I].Orig, W.BuildMemory);
+    core::PostPassTool Tool(Prep[I].Orig, PD);
+    Prep[I].Enhanced = Tool.adapt();
+  });
+  std::vector<double> Speedups(Suite.size() * NumLat);
+  Pool.parallelFor(Speedups.size(), [&](size_t I) {
+    const workloads::Workload &W = Suite[I / NumLat];
+    sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+    Cfg.Cache.MemLatency = Latencies[I % NumLat];
+    uint64_t Base = SuiteRunner::simulate(Prep[I / NumLat].Orig, W, Cfg).Cycles;
+    uint64_t Ssp =
+        SuiteRunner::simulate(Prep[I / NumLat].Enhanced, W, Cfg).Cycles;
+    Speedups[I] = static_cast<double>(Base) / static_cast<double>(Ssp);
+  });
 
+  for (size_t WI = 0; WI < Suite.size(); ++WI) {
     T.row();
-    T.cell(W.Name);
-    for (unsigned L : Latencies) {
-      sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
-      Cfg.Cache.MemLatency = L;
-      uint64_t Base = SuiteRunner::simulate(Orig, W, Cfg).Cycles;
-      uint64_t Ssp = SuiteRunner::simulate(Enhanced, W, Cfg).Cycles;
-      T.cell(static_cast<double>(Base) / static_cast<double>(Ssp), 2);
-    }
+    T.cell(Suite[WI].Name);
+    for (size_t LI = 0; LI < NumLat; ++LI)
+      T.cell(Speedups[WI * NumLat + LI], 2);
   }
   T.print();
 

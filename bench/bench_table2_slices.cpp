@@ -16,7 +16,7 @@
 using namespace ssp;
 using namespace ssp::harness;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Table 2: slice characteristics ===\n");
   printMachineBanner();
 
@@ -28,7 +28,8 @@ int main() {
       {"vpr", {6, 0, 13.5, 4.0}},
   };
 
-  SuiteRunner Runner;
+  ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
+  Runner.runAll(workloads::paperSuite());
   TablePrinter T;
   T.row();
   T.cell(std::string("benchmark"));

@@ -1,0 +1,30 @@
+# Runs a JSON-emitting bench binary and echoes its report — the script
+# behind the `bench-smoke` target. Invoked as:
+#
+#   cmake -DBENCH_BIN=<path> -DOUT=<path>.json [-DJOBS=N] -P emit_json.cmake
+#
+# Fails the build if the binary fails (e.g. a checksum mismatch).
+
+if(NOT BENCH_BIN)
+  message(FATAL_ERROR "emit_json.cmake: BENCH_BIN not set")
+endif()
+if(NOT OUT)
+  message(FATAL_ERROR "emit_json.cmake: OUT not set")
+endif()
+if(NOT JOBS)
+  set(JOBS 2)
+endif()
+
+execute_process(
+  COMMAND ${BENCH_BIN} --jobs ${JOBS} --out ${OUT}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR
+          "bench smoke run failed (rc=${RC})\n${STDOUT}${STDERR}")
+endif()
+
+file(READ ${OUT} REPORT)
+message(STATUS "bench smoke report (${OUT}):\n${REPORT}")

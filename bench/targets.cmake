@@ -22,6 +22,20 @@ ssp_add_bench(bench_ablation_trigger)
 ssp_add_bench(bench_ablation_throttle)
 ssp_add_bench(bench_sweep_memlat)
 ssp_add_bench(bench_sweep_contexts)
+ssp_add_bench(bench_smoke)
+
+# `cmake --build build --target bench-smoke` runs one small workload
+# end-to-end on the parallel harness and writes BENCH_smoke.json
+# (throughput in simulated cycles/sec + the in-order SSP speedup).
+add_custom_target(bench-smoke
+  COMMAND ${CMAKE_COMMAND}
+          -DBENCH_BIN=$<TARGET_FILE:bench_smoke>
+          -DOUT=${CMAKE_BINARY_DIR}/BENCH_smoke.json
+          -DJOBS=2
+          -P ${CMAKE_SOURCE_DIR}/bench/emit_json.cmake
+  DEPENDS bench_smoke
+  COMMENT "Running end-to-end bench smoke (2 jobs)"
+  VERBATIM)
 
 add_executable(bench_tool_micro ${CMAKE_SOURCE_DIR}/bench/bench_tool_micro.cpp)
 target_link_libraries(bench_tool_micro PRIVATE ssp_harness

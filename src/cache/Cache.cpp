@@ -13,9 +13,13 @@ using namespace ssp::cache;
 //===----------------------------------------------------------------------===//
 
 CacheLevel::CacheLevel(const CacheParams &P) : Params(P) {
+  assert(P.LineBytes > 0 && P.Assoc > 0 && "degenerate cache geometry");
   assert(P.SizeBytes % (P.LineBytes * P.Assoc) == 0 &&
          "cache size must be divisible by way size");
   NumSets = P.SizeBytes / (P.LineBytes * P.Assoc);
+  assert(NumSets > 0 && "cache must have at least one set");
+  if ((NumSets & (NumSets - 1)) == 0)
+    SetMask = NumSets - 1;
   Ways.resize(static_cast<size_t>(NumSets) * P.Assoc);
 }
 
@@ -73,9 +77,17 @@ void CacheLevel::reset() {
 
 CacheHierarchy::CacheHierarchy(const CacheConfig &Cfg, unsigned NumThreads)
     : Cfg(Cfg), L1(Cfg.L1), L2(Cfg.L2), L3(Cfg.L3) {
+  if (Cfg.L1.LineBytes > 0 &&
+      (Cfg.L1.LineBytes & (Cfg.L1.LineBytes - 1)) == 0) {
+    LineShift = 0;
+    while ((1u << LineShift) != Cfg.L1.LineBytes)
+      ++LineShift;
+  }
   Fill.resize(Cfg.FillBufferEntries);
   TLBs.resize(NumThreads);
   TLBClock.resize(NumThreads, 0);
+  TLBLastPage.resize(NumThreads, 0);
+  TLBLastValid.resize(NumThreads, 0);
 }
 
 CacheHierarchy::FillEntry *CacheHierarchy::findInFlight(uint64_t LineAddr,
@@ -119,16 +131,22 @@ uint64_t CacheHierarchy::allocateFill(uint64_t LineAddr, uint64_t ReadyCycle,
   Victim->LineAddr = LineAddr;
   Victim->ReadyCycle = ReadyCycle + ExtraWait;
   Victim->From = From;
+  if (Victim->ReadyCycle > FillLatestReady)
+    FillLatestReady = Victim->ReadyCycle;
   return ExtraWait;
 }
 
 uint32_t CacheHierarchy::tlbAccess(unsigned Tid, uint64_t Addr) {
   uint64_t Page = Addr >> 12;
+  if (TLBLastValid[Tid] && TLBLastPage[Tid] == Page)
+    return 0;
   auto &TLB = TLBs[Tid];
   uint64_t &Clock = TLBClock[Tid];
   for (auto &Entry : TLB) {
     if (Entry.first == Page) {
       Entry.second = ++Clock;
+      TLBLastPage[Tid] = Page;
+      TLBLastValid[Tid] = 1;
       return 0;
     }
   }
@@ -141,6 +159,8 @@ uint32_t CacheHierarchy::tlbAccess(unsigned Tid, uint64_t Addr) {
         [](const auto &A, const auto &B) { return A.second < B.second; });
     *Victim = {Page, ++Clock};
   }
+  TLBLastPage[Tid] = Page;
+  TLBLastValid[Tid] = 1;
   ++Tot.TLBMisses;
   return Cfg.TLBMissPenalty;
 }
@@ -153,7 +173,7 @@ AccessResult CacheHierarchy::access(uint64_t Addr, uint64_t Cycle,
 
   // Idealized modes (Figure 2): the access behaves as an L1 hit and leaves
   // the cache state untouched.
-  if (PerfectMemory || PerfectLoads.count(Pc)) {
+  if (PerfectMemory || (!PerfectLoads.empty() && PerfectLoads.count(Pc))) {
     R.ServedBy = Level::L1;
     R.Latency = Cfg.L1.LatencyCycles;
     R.ReadyCycle = Cycle + R.Latency;
@@ -169,16 +189,33 @@ AccessResult CacheHierarchy::access(uint64_t Addr, uint64_t Cycle,
   uint64_t Line = lineOf(Addr);
   uint32_t TLBPenalty = tlbAccess(Tid, Addr);
 
+  // Once every fill has landed, the 16-entry in-flight scan cannot match:
+  // skip it. (Stale Valid flags are harmless — both findInFlight and
+  // allocateFill treat ReadyCycle <= Cycle as free.)
+  FillEntry *E = Cycle < FillLatestReady ? findInFlight(Line, Cycle) : nullptr;
+
   // A line already in transit to L1 is a partial hit (Figure 9).
-  if (FillEntry *E = findInFlight(Line, Cycle)) {
+  if (E) {
     R.ServedBy = E->From;
     R.Partial = true;
     R.ReadyCycle = E->ReadyCycle + TLBPenalty;
     R.Latency = static_cast<uint32_t>(R.ReadyCycle - Cycle);
   } else if (L1.lookup(Line)) {
+    // Fast path: the overwhelmingly common L1 hit. Bypass the generic
+    // level-indexed bookkeeping below; bail out immediately when the access
+    // does not feed the per-PC profile (speculative touches and stores).
     R.ServedBy = Level::L1;
     R.Latency = Cfg.L1.LatencyCycles + TLBPenalty;
     R.ReadyCycle = Cycle + R.Latency;
+    ++Tot.Hits[0];
+    if (CollectProfile) {
+      PcCacheStats &S = Profile[Pc];
+      ++S.Accesses;
+      ++S.Hits[0];
+      if (R.Latency > Cfg.L1.LatencyCycles)
+        S.MissCycles += R.Latency - Cfg.L1.LatencyCycles;
+    }
+    return R;
   } else {
     // L1 miss: walk down the hierarchy, then install the line everywhere
     // and occupy a fill-buffer entry until the data arrives at L1.
@@ -228,9 +265,11 @@ void CacheHierarchy::reset() {
   L3.reset();
   for (FillEntry &E : Fill)
     E.Valid = false;
+  FillLatestReady = 0;
   for (auto &TLB : TLBs)
     TLB.clear();
   std::fill(TLBClock.begin(), TLBClock.end(), 0);
+  std::fill(TLBLastValid.begin(), TLBLastValid.end(), 0);
   Profile.clear();
   Tot = Totals();
 }

@@ -18,10 +18,10 @@
 #ifndef SSP_CACHE_CACHE_H
 #define SSP_CACHE_CACHE_H
 
+#include "ir/DenseSidMap.h"
 #include "ir/Program.h"
 
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -97,12 +97,19 @@ private:
     bool Valid = false;
   };
 
+  /// Set index of a *line address* (already divided by the line size). For
+  /// the common power-of-two geometries this is a mask; degenerate sweep
+  /// configurations fall back to modulo. NumSets > 0 is asserted at
+  /// construction.
   uint32_t setOf(uint64_t LineAddr) const {
+    if (SetMask != 0)
+      return static_cast<uint32_t>(LineAddr & SetMask);
     return static_cast<uint32_t>(LineAddr % NumSets);
   }
 
   CacheParams Params;
   uint32_t NumSets;
+  uint32_t SetMask = 0; ///< NumSets - 1 when NumSets is a power of two.
   std::vector<Way> Ways; ///< NumSets * Assoc, set-major.
   uint64_t UseClock = 0;
 };
@@ -122,7 +129,10 @@ struct PcCacheStats {
   }
 };
 
-using CacheProfile = std::unordered_map<ir::StaticId, PcCacheStats>;
+/// Dense (two-array-indexations, no hashing) per-StaticId profile map; the
+/// profile update sits on the simulator's issue path for every main-thread
+/// load, so lookup cost is visible in end-to-end wall clock.
+using CacheProfile = ir::DenseSidMap<PcCacheStats>;
 
 /// The full shared hierarchy, including the fill buffer and per-thread TLBs.
 class CacheHierarchy {
@@ -170,7 +180,14 @@ private:
     bool Valid = false;
   };
 
-  uint64_t lineOf(uint64_t Addr) const { return Addr / Cfg.L1.LineBytes; }
+  /// Line address of \p Addr. The shift is precomputed at construction for
+  /// the (universal) power-of-two line size; LineShift < 0 falls back to
+  /// division for degenerate sweep configurations.
+  uint64_t lineOf(uint64_t Addr) const {
+    if (LineShift >= 0)
+      return Addr >> LineShift;
+    return Addr / Cfg.L1.LineBytes;
+  }
 
   /// Looks up \p LineAddr in the fill buffer; returns entry or nullptr.
   FillEntry *findInFlight(uint64_t LineAddr, uint64_t Cycle);
@@ -185,9 +202,20 @@ private:
 
   CacheConfig Cfg;
   CacheLevel L1, L2, L3;
+  int LineShift = -1; ///< log2(L1.LineBytes) when it is a power of two.
   std::vector<FillEntry> Fill;
+  /// Latest ReadyCycle over all fill-buffer allocations: when the current
+  /// cycle is past it, no fill can be in flight and the 16-entry scan is
+  /// skipped entirely (the common L1-hit fast path).
+  uint64_t FillLatestReady = 0;
   std::vector<std::vector<std::pair<uint64_t, uint64_t>>> TLBs; // (page,use)
   std::vector<uint64_t> TLBClock;
+  /// One-entry MRU filter per thread: consecutive accesses to the same page
+  /// skip the TLB scan. Skipping the LRU-clock bump on those hits cannot
+  /// change eviction decisions — the filtered entry already holds the
+  /// strictly greatest use stamp until another page is touched.
+  std::vector<uint64_t> TLBLastPage;
+  std::vector<uint8_t> TLBLastValid;
   CacheProfile Profile;
   Totals Tot;
   bool PerfectMemory = false;

@@ -5,6 +5,8 @@
 #include "support/Assert.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace ssp;
 using namespace ssp::harness;
@@ -23,23 +25,25 @@ sim::SimStats SuiteRunner::simulate(const ir::Program &P,
   return Stats;
 }
 
+const ir::Program &SuiteRunner::originalOf(const workloads::Workload &W) {
+  CacheEntry<ir::Program> &E = entryFor(Originals, W.Name);
+  std::call_once(E.Once, [&] { E.Value = W.Build(); });
+  return E.Value;
+}
+
 const profile::ProfileData &
 SuiteRunner::profileOf(const workloads::Workload &W) {
-  auto It = Profiles.find(W.Name);
-  if (It != Profiles.end())
-    return It->second;
-  auto OrigIt = Originals.find(W.Name);
-  if (OrigIt == Originals.end())
-    OrigIt = Originals.emplace(W.Name, W.Build()).first;
-  profile::ProfileData PD =
-      core::profileProgram(OrigIt->second, W.BuildMemory);
-  return Profiles.emplace(W.Name, std::move(PD)).first->second;
+  CacheEntry<profile::ProfileData> &E = entryFor(Profiles, W.Name);
+  std::call_once(E.Once, [&] {
+    E.Value = core::profileProgram(originalOf(W), W.BuildMemory);
+  });
+  return E.Value;
 }
 
 std::unordered_set<ir::StaticId>
 SuiteRunner::delinquentIdsOf(const workloads::Workload &W) {
   const profile::ProfileData &PD = profileOf(W);
-  const ir::Program &P = Originals.at(W.Name);
+  const ir::Program &P = originalOf(W);
   std::unordered_set<ir::StaticId> Ids;
   for (const profile::DelinquentLoad &D : profile::selectDelinquentLoads(
            P, PD, Opts.DelinquentCoverage, Opts.MaxDelinquentLoads))
@@ -49,42 +53,83 @@ SuiteRunner::delinquentIdsOf(const workloads::Workload &W) {
 
 sim::SimStats SuiteRunner::simulateOriginal(const workloads::Workload &W,
                                             sim::MachineConfig Cfg) {
-  auto OrigIt = Originals.find(W.Name);
-  if (OrigIt == Originals.end())
-    OrigIt = Originals.emplace(W.Name, W.Build()).first;
-  return simulate(OrigIt->second, W, Cfg);
+  return simulate(originalOf(W), W, std::move(Cfg));
 }
 
-const BenchResult &SuiteRunner::run(const workloads::Workload &W) {
-  auto It = Cache.find(W.Name);
-  if (It != Cache.end())
-    return It->second;
-
-  BenchResult R;
+void SuiteRunner::computeResult(const workloads::Workload &W, BenchResult &R,
+                                support::ThreadPool *Pool) {
   R.Name = W.Name;
+  const ir::Program &Orig = originalOf(W);
 
-  auto OrigIt = Originals.find(W.Name);
-  if (OrigIt == Originals.end())
-    OrigIt = Originals.emplace(W.Name, W.Build()).first;
-  const ir::Program &Orig = OrigIt->second;
-
-  const profile::ProfileData &PD = profileOf(W);
-  core::PostPassTool Tool(Orig, PD, Opts);
-  ir::Program Enhanced = Tool.adapt(&R.Report);
-
-  bool Ok = true;
-  R.BaseIO = simulate(Orig, W, sim::MachineConfig::inOrder(), &Ok);
-  R.ChecksumsOk &= Ok;
-  R.SspIO = simulate(Enhanced, W, sim::MachineConfig::inOrder(), &Ok);
-  R.ChecksumsOk &= Ok;
-  R.BaseOOO = simulate(Orig, W, sim::MachineConfig::outOfOrder(), &Ok);
-  R.ChecksumsOk &= Ok;
-  R.SspOOO = simulate(Enhanced, W, sim::MachineConfig::outOfOrder(), &Ok);
-  R.ChecksumsOk &= Ok;
+  bool OkBaseIO = true, OkSspIO = true, OkBaseOOO = true, OkSspOOO = true;
+  if (Pool && Pool->numThreads() > 1) {
+    // The baseline simulations need no profile: start them immediately so
+    // they overlap the profiling run and the adaptation.
+    std::future<void> FBaseIO = Pool->submit([&] {
+      R.BaseIO = simulate(Orig, W, sim::MachineConfig::inOrder(), &OkBaseIO);
+    });
+    std::future<void> FBaseOOO = Pool->submit([&] {
+      R.BaseOOO =
+          simulate(Orig, W, sim::MachineConfig::outOfOrder(), &OkBaseOOO);
+    });
+    const profile::ProfileData &PD = profileOf(W);
+    core::PostPassTool Tool(Orig, PD, Opts);
+    ir::Program Enhanced = Tool.adapt(&R.Report);
+    std::future<void> FSspIO = Pool->submit([&] {
+      R.SspIO =
+          simulate(Enhanced, W, sim::MachineConfig::inOrder(), &OkSspIO);
+    });
+    // Run the fourth simulation here instead of idling on the futures.
+    R.SspOOO =
+        simulate(Enhanced, W, sim::MachineConfig::outOfOrder(), &OkSspOOO);
+    FBaseIO.get();
+    FBaseOOO.get();
+    FSspIO.get();
+  } else {
+    const profile::ProfileData &PD = profileOf(W);
+    core::PostPassTool Tool(Orig, PD, Opts);
+    ir::Program Enhanced = Tool.adapt(&R.Report);
+    R.BaseIO = simulate(Orig, W, sim::MachineConfig::inOrder(), &OkBaseIO);
+    R.SspIO =
+        simulate(Enhanced, W, sim::MachineConfig::inOrder(), &OkSspIO);
+    R.BaseOOO =
+        simulate(Orig, W, sim::MachineConfig::outOfOrder(), &OkBaseOOO);
+    R.SspOOO =
+        simulate(Enhanced, W, sim::MachineConfig::outOfOrder(), &OkSspOOO);
+  }
+  R.ChecksumsOk = OkBaseIO && OkSspIO && OkBaseOOO && OkSspOOO;
   if (!R.ChecksumsOk)
     fatalError("workload checksum mismatch: adaptation corrupted results");
+}
 
-  return Cache.emplace(W.Name, std::move(R)).first->second;
+const BenchResult &SuiteRunner::run(const workloads::Workload &W,
+                                    support::ThreadPool *Pool) {
+  CacheEntry<BenchResult> &E = entryFor(Cache, W.Name);
+  std::call_once(E.Once, [&] { computeResult(W, E.Value, Pool); });
+  return E.Value;
+}
+
+void ParallelSuiteRunner::runAll(const std::vector<workloads::Workload> &Ws) {
+  // Phase 1: every profile (one full functional + one timing run each) in
+  // parallel. Phase 2: one pipeline job per workload; each runs its four
+  // simulations serially inside the job, so pool workers never block on
+  // nested submissions. call_once makes both phases idempotent.
+  Pool.parallelFor(Ws.size(), [&](size_t I) { Inner.profileOf(Ws[I]); });
+  Pool.parallelFor(Ws.size(), [&](size_t I) { Inner.run(Ws[I], nullptr); });
+}
+
+unsigned ssp::harness::jobsFromArgs(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+      int N = std::atoi(argv[I + 1]);
+      if (N < 1 || N > 512) {
+        std::fprintf(stderr, "error: --jobs expects a count in [1, 512]\n");
+        std::exit(1);
+      }
+      return static_cast<unsigned>(N);
+    }
+  }
+  return 0; // Default: hardware_concurrency.
 }
 
 void ssp::harness::printMachineBanner() {

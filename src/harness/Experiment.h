@@ -11,6 +11,16 @@
 /// memory modes of Figure 2), validates checksums, and caches results so
 /// one bench binary never simulates the same configuration twice.
 ///
+/// Parallel experiment engine: SuiteRunner's caches are mutex-guarded with
+/// per-key once-initialization, so independent jobs may share one runner
+/// without ever simulating the same key twice; each simulation job owns its
+/// SimMemory image, CacheHierarchy and BranchPredictor (all private to its
+/// Simulator), so Simulator itself needs no locking and results are
+/// bit-identical to the serial path regardless of thread count.
+/// ParallelSuiteRunner couples a runner to a support::ThreadPool and fans
+/// the four simulations of a BenchResult — and, via runAll, independent
+/// workloads — out across it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SSP_HARNESS_EXPERIMENT_H
@@ -18,9 +28,11 @@
 
 #include "core/PostPassTool.h"
 #include "sim/Simulator.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workload.h"
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -52,14 +64,21 @@ struct BenchResult {
   }
 };
 
-/// Runs workloads through the full pipeline with caching.
+/// Runs workloads through the full pipeline with caching. Thread-safe: all
+/// public methods may be called concurrently; each cache key is computed
+/// exactly once (other callers block until it is ready) and references
+/// returned from the caches are stable for the runner's lifetime.
 class SuiteRunner {
 public:
   explicit SuiteRunner(core::ToolOptions Opts = core::ToolOptions())
       : Opts(std::move(Opts)) {}
 
   /// Full result for \p W (profile -> adapt -> 4 simulations). Cached.
-  const BenchResult &run(const workloads::Workload &W);
+  /// When \p Pool is non-null (and has real workers), the four simulations
+  /// run concurrently on it; pass a pool only from a thread that is not
+  /// itself a pool worker, or the nested wait can deadlock.
+  const BenchResult &run(const workloads::Workload &W,
+                         support::ThreadPool *Pool = nullptr);
 
   /// Simulates \p W's original binary under \p Cfg (Figure 2's idealized
   /// modes are reached through Cfg.PerfectMemory / Cfg.PerfectLoads).
@@ -68,6 +87,9 @@ public:
 
   /// The profile of \p W's original binary. Cached.
   const profile::ProfileData &profileOf(const workloads::Workload &W);
+
+  /// \p W's original (pre-adaptation) binary. Cached.
+  const ir::Program &originalOf(const workloads::Workload &W);
 
   /// StaticIds of the delinquent loads the tool would select for \p W.
   std::unordered_set<ir::StaticId>
@@ -83,11 +105,90 @@ public:
                                 bool *ChecksumOk = nullptr);
 
 private:
+  /// A cache node: the once-flag serializes computation of the payload;
+  /// the std::map guarantees node stability across concurrent insertions.
+  template <typename T> struct CacheEntry {
+    std::once_flag Once;
+    T Value;
+  };
+
+  /// Finds or creates the node for \p Key under the cache mutex. The lock
+  /// covers only the map operation, never a simulation.
+  template <typename T>
+  CacheEntry<T> &entryFor(std::map<std::string, CacheEntry<T>> &M,
+                          const std::string &Key) {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    return M[Key];
+  }
+
+  void computeResult(const workloads::Workload &W, BenchResult &R,
+                     support::ThreadPool *Pool);
+
   core::ToolOptions Opts;
-  std::map<std::string, BenchResult> Cache;
-  std::map<std::string, profile::ProfileData> Profiles;
-  std::map<std::string, ir::Program> Originals;
+  std::mutex CacheMutex;
+  std::map<std::string, CacheEntry<BenchResult>> Cache;
+  std::map<std::string, CacheEntry<profile::ProfileData>> Profiles;
+  std::map<std::string, CacheEntry<ir::Program>> Originals;
 };
+
+/// A SuiteRunner bound to a thread pool: the parallel experiment engine the
+/// bench binaries use. `run` fans the four simulations of one workload out
+/// across the pool; `runAll` additionally overlaps independent workloads
+/// (profiles first, then whole-workload pipelines). Sweep-style benches use
+/// `pool().parallelFor` directly over their (workload x config) points.
+class ParallelSuiteRunner {
+public:
+  /// \p Jobs = 0 selects hardware_concurrency; 1 is the exact serial path.
+  explicit ParallelSuiteRunner(core::ToolOptions Opts = core::ToolOptions(),
+                               unsigned Jobs = 0)
+      : Inner(std::move(Opts)), Pool(Jobs) {}
+
+  /// Full result for \p W, its four simulations running concurrently.
+  /// Call from the orchestrating thread only (not from pool jobs).
+  const BenchResult &run(const workloads::Workload &W) {
+    return Inner.run(W, &Pool);
+  }
+
+  /// Warms the cache for all of \p Ws with maximal overlap: all profiles
+  /// in parallel, then one pipeline job per workload. Subsequent run()
+  /// calls return the cached results instantly.
+  void runAll(const std::vector<workloads::Workload> &Ws);
+
+  sim::SimStats simulateOriginal(const workloads::Workload &W,
+                                 sim::MachineConfig Cfg) {
+    return Inner.simulateOriginal(W, std::move(Cfg));
+  }
+  const profile::ProfileData &profileOf(const workloads::Workload &W) {
+    return Inner.profileOf(W);
+  }
+  const ir::Program &originalOf(const workloads::Workload &W) {
+    return Inner.originalOf(W);
+  }
+  std::unordered_set<ir::StaticId>
+  delinquentIdsOf(const workloads::Workload &W) {
+    return Inner.delinquentIdsOf(W);
+  }
+  const core::ToolOptions &options() const { return Inner.options(); }
+
+  static sim::SimStats simulate(const ir::Program &P,
+                                const workloads::Workload &W,
+                                sim::MachineConfig Cfg,
+                                bool *ChecksumOk = nullptr) {
+    return SuiteRunner::simulate(P, W, std::move(Cfg), ChecksumOk);
+  }
+
+  support::ThreadPool &pool() { return Pool; }
+  SuiteRunner &inner() { return Inner; }
+
+private:
+  SuiteRunner Inner;
+  support::ThreadPool Pool;
+};
+
+/// Parses a `--jobs N` argument from the command line (for the bench
+/// binaries and tools). Returns 0 — "use hardware_concurrency" — when the
+/// flag is absent; exits with a usage error on a malformed value.
+unsigned jobsFromArgs(int argc, char **argv);
 
 /// Prints the Table 1 machine-model banner every bench emits.
 void printMachineBanner();

@@ -1,0 +1,144 @@
+//===- sim/PrefetchTable.h - Open-addressed prefetched-line table ---------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line-address -> origin-trigger table behind the simulator's prefetch
+/// usefulness accounting (Section 4.4.1 dynamic throttling). It is touched
+/// on every speculative line-moving access and on every main-thread load,
+/// so it is an open-addressed flat table instead of a node-based hash map:
+/// one multiplicative hash, a short linear probe over three parallel
+/// arrays, no allocation on the hot path.
+///
+/// Capacity is fixed at 2^17 slots so that the historical overflow policy
+/// is preserved exactly: the simulator clears the table when the live count
+/// exceeds 2^16 entries ("stale entries lapse"), which keeps the load
+/// factor at or below one half. Tombstones left by erasures are reclaimed
+/// by an in-place deterministic rebuild when they accumulate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SIM_PREFETCHTABLE_H
+#define SSP_SIM_PREFETCHTABLE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::sim {
+
+/// Maps 64-bit line addresses to the StaticId of the chk.c trigger whose
+/// speculative thread moved the line up the hierarchy.
+class PrefetchedLineTable {
+  enum : uint8_t { Empty = 0, Full = 1, Tomb = 2 };
+  static constexpr unsigned LogCap = 17;
+  static constexpr size_t Cap = size_t(1) << LogCap;
+
+public:
+  /// Storage is allocated on first insert: baseline and profiling runs
+  /// never touch the table, and a Simulator is built per run, so paying
+  /// ~2 MB of zeroed arrays up front would tax exactly the runs that
+  /// cannot use them.
+  PrefetchedLineTable() = default;
+
+  size_t size() const { return Live; }
+
+  /// Pointer to the value stored for \p Line, or nullptr if absent.
+  ir::StaticId *find(uint64_t Line) {
+    if (State.empty())
+      return nullptr;
+    size_t I = slotOf(Line);
+    while (State[I] != Empty) {
+      if (State[I] == Full && Keys[I] == Line)
+        return &Vals[I];
+      I = (I + 1) & (Cap - 1);
+    }
+    return nullptr;
+  }
+
+  /// Inserts (Line, Sid); returns true when the key was absent. An existing
+  /// entry's value is overwritten (matching map::insert + assignment in the
+  /// original simulator code).
+  bool insertOrAssign(uint64_t Line, ir::StaticId Sid) {
+    if (State.empty()) {
+      Keys.assign(Cap, 0);
+      Vals.assign(Cap, 0);
+      State.assign(Cap, Empty);
+    }
+    if (Live + Tombs >= Cap - (Cap >> 2))
+      rebuild(); // Reclaim tombstones before probes can degenerate.
+    size_t I = slotOf(Line);
+    size_t FirstFree = Cap;
+    while (State[I] != Empty) {
+      if (State[I] == Full && Keys[I] == Line) {
+        Vals[I] = Sid;
+        return false;
+      }
+      if (State[I] == Tomb && FirstFree == Cap)
+        FirstFree = I;
+      I = (I + 1) & (Cap - 1);
+    }
+    if (FirstFree != Cap) {
+      I = FirstFree;
+      --Tombs;
+    }
+    State[I] = Full;
+    Keys[I] = Line;
+    Vals[I] = Sid;
+    ++Live;
+    return true;
+  }
+
+  /// Erases \p Line if present.
+  void erase(uint64_t Line) {
+    if (State.empty())
+      return;
+    size_t I = slotOf(Line);
+    while (State[I] != Empty) {
+      if (State[I] == Full && Keys[I] == Line) {
+        State[I] = Tomb;
+        --Live;
+        ++Tombs;
+        return;
+      }
+      I = (I + 1) & (Cap - 1);
+    }
+  }
+
+  void clear() {
+    std::fill(State.begin(), State.end(), uint8_t(Empty));
+    Live = 0;
+    Tombs = 0;
+  }
+
+private:
+  size_t slotOf(uint64_t Line) const {
+    return size_t((Line * 0x9E3779B97F4A7C15ULL) >> (64 - LogCap));
+  }
+
+  /// Rehashes live entries in place, dropping tombstones. Deterministic and
+  /// invisible to callers (no entry is added or removed).
+  void rebuild() {
+    std::vector<std::pair<uint64_t, ir::StaticId>> Entries;
+    Entries.reserve(Live);
+    for (size_t I = 0; I < Cap; ++I)
+      if (State[I] == Full)
+        Entries.push_back({Keys[I], Vals[I]});
+    clear();
+    for (const auto &[Line, Sid] : Entries)
+      insertOrAssign(Line, Sid);
+  }
+
+  std::vector<uint64_t> Keys;
+  std::vector<ir::StaticId> Vals;
+  std::vector<uint8_t> State;
+  size_t Live = 0;
+  size_t Tombs = 0;
+};
+
+} // namespace ssp::sim
+
+#endif // SSP_SIM_PREFETCHTABLE_H

@@ -134,11 +134,8 @@ void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
         for (auto &[Sid2, H2] : TriggerStats)
           H2.InFlight = 0;
       }
-      auto [It, Inserted] = PrefetchedLines.insert({Line, T.OriginTrigger});
-      if (Inserted)
+      if (PrefetchedLines.insertOrAssign(Line, T.OriginTrigger))
         ++TriggerStats[T.OriginTrigger].InFlight;
-      else
-        It->second = T.OriginTrigger;
       ++TriggerStats[T.OriginTrigger].Tracked;
     }
     ++TriggerStats[T.OriginTrigger].Prefetches;
@@ -148,12 +145,12 @@ void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
     return;
   // Main-thread consumption: a prefetched line consumed quickly counts as
   // a timely ("useful") prefetch for its trigger.
-  auto It = PrefetchedLines.find(Line);
-  if (It == PrefetchedLines.end())
+  ir::StaticId *Origin = PrefetchedLines.find(Line);
+  if (!Origin)
     return;
   // Timely enough, or still in flight (the prefetch overlapped part of
   // the miss): either way the thread reduced latency.
-  TriggerHealth &H = TriggerStats[It->second];
+  TriggerHealth &H = TriggerStats[*Origin];
   if (H.InFlight > 0)
     --H.InFlight;
   // The prefetch helped if the main thread did not pay a full memory
@@ -163,7 +160,7 @@ void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
     ++Stats.UsefulPrefetches;
     ++H.Useful;
   }
-  PrefetchedLines.erase(It);
+  PrefetchedLines.erase(Line);
 }
 
 void Simulator::trySpawn(const ExecOutcome &Out, unsigned SpawnerTid) {

@@ -25,16 +25,17 @@
 
 #include "branch/BranchPredictor.h"
 #include "cache/Cache.h"
+#include "ir/DenseSidMap.h"
 #include "ir/Program.h"
 #include "mem/SimMemory.h"
 #include "sim/Executor.h"
 #include "sim/MachineConfig.h"
+#include "sim/PrefetchTable.h"
 #include "sim/SimStats.h"
 #include "sim/ThreadContext.h"
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 namespace ssp::sim {
@@ -184,8 +185,10 @@ private:
                              ///< pending lines count as presumed useful).
     uint64_t DisabledUntil = 0;
   };
-  std::unordered_map<ir::StaticId, TriggerHealth> TriggerStats;
-  std::unordered_map<uint64_t, ir::StaticId> PrefetchedLines;
+  /// Dense per-trigger health map: consulted on every chk.c fetch and
+  /// updated on every speculative data access — no hashing on either path.
+  ir::DenseSidMap<TriggerHealth> TriggerStats;
+  PrefetchedLineTable PrefetchedLines;
 };
 
 } // namespace ssp::sim

@@ -1,0 +1,75 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace ssp;
+using namespace ssp::support;
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads)
+    : NumThreads(NumThreads == 0 ? defaultConcurrency() : NumThreads) {
+  if (this->NumThreads <= 1)
+    return; // Inline pool: jobs run on the submitting thread.
+  Workers.reserve(this->NumThreads);
+  for (unsigned I = 0; I < this->NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::packaged_task<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      CV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Fn) {
+  std::packaged_task<void()> Task(std::move(Fn));
+  std::future<void> Fut = Task.get_future();
+  if (NumThreads <= 1) {
+    Task(); // Inline pool: run now; the future carries any exception.
+    return Fut;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  CV.notify_one();
+  return Fut;
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (NumThreads <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Futures.push_back(submit([&Fn, I] { Fn(I); }));
+  for (std::future<void> &F : Futures)
+    F.get(); // Rethrows the first failure in index order.
+}
+

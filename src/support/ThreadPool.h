@@ -1,0 +1,75 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ----------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, FIFO thread pool for the experiment harness: simulation
+/// jobs are coarse (whole cycle-level runs) and independent, so a single
+/// locked queue — no work stealing — is all the machinery required. A pool
+/// constructed with one thread spawns no workers at all and runs every job
+/// inline on the submitting thread, which makes `--jobs 1` exactly the
+/// serial execution path.
+///
+/// Determinism contract: the pool adds no randomness. Each job owns all of
+/// its mutable state; results are written to caller-provided slots, so any
+/// schedule produces bit-identical outputs. Exceptions thrown inside a job
+/// are captured in the returned future and rethrown to the waiter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SUPPORT_THREADPOOL_H
+#define SSP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssp::support {
+
+class ThreadPool {
+public:
+  /// \p NumThreads = 0 selects defaultConcurrency(). One thread means "run
+  /// inline": no workers are spawned.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// The pool's parallelism (>= 1, counting the submitting thread for the
+  /// inline pool).
+  unsigned numThreads() const { return NumThreads; }
+
+  /// Enqueues \p Fn; the future completes when the job finishes and
+  /// rethrows anything the job threw. With an inline pool the job runs
+  /// before submit returns.
+  std::future<void> submit(std::function<void()> Fn);
+
+  /// Runs Fn(0..N-1), blocking until all complete. The calling thread
+  /// participates by draining its own futures; with an inline pool this is
+  /// a plain loop.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static unsigned defaultConcurrency();
+
+private:
+  void workerLoop();
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+  std::deque<std::packaged_task<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable CV;
+  bool Stopping = false;
+};
+
+} // namespace ssp::support
+
+#endif // SSP_SUPPORT_THREADPOOL_H

@@ -171,3 +171,31 @@ TEST(CacheHierarchy, ResetClearsState) {
   AccessResult R = H.access(0x10000, 100, makeStaticId(0, 1), 0, true);
   EXPECT_EQ(R.ServedBy, Level::Mem);
 }
+
+TEST(CacheLevel, NonPowerOfTwoSetsUseModulo) {
+  // 3 sets x 1 way: line addresses congruent mod 3 collide; others do not.
+  CacheLevel L({3 * 64, 1, 64, 2});
+  L.insert(0);
+  L.insert(1);
+  L.insert(2);
+  EXPECT_TRUE(L.lookup(0));
+  EXPECT_TRUE(L.lookup(1));
+  EXPECT_TRUE(L.lookup(2));
+  L.insert(3); // Same set as line 0: evicts it.
+  EXPECT_FALSE(L.lookup(0));
+  EXPECT_TRUE(L.lookup(3));
+  EXPECT_TRUE(L.lookup(1));
+  EXPECT_TRUE(L.lookup(2));
+}
+
+TEST(CacheLevel, PowerOfTwoSetsMaskMatchesModulo) {
+  // 8 sets x 1 way: the masked index must behave exactly like mod 8.
+  CacheLevel L({8 * 64, 1, 64, 2});
+  L.insert(5);
+  L.insert(13); // 13 & 7 == 5: evicts line 5.
+  EXPECT_FALSE(L.lookup(5));
+  EXPECT_TRUE(L.lookup(13));
+  L.insert(6); // Different set: no interference.
+  EXPECT_TRUE(L.lookup(13));
+  EXPECT_TRUE(L.lookup(6));
+}

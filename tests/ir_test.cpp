@@ -1,5 +1,6 @@
 //===- tests/ir_test.cpp - Unit tests for the IR layer --------------------===//
 
+#include "ir/DenseSidMap.h"
 #include "ir/IRBuilder.h"
 #include "ir/Program.h"
 #include "ir/Verifier.h"
@@ -223,4 +224,68 @@ TEST(IR, StoreHasNoDef) {
   I.Src1 = ireg(1);
   I.Src2 = ireg(2);
   EXPECT_FALSE(I.def().isValid());
+}
+
+TEST(DenseSidMap, IndexCreatesZeroInitialized) {
+  DenseSidMap<int> M;
+  EXPECT_TRUE(M.empty());
+  StaticId S = makeStaticId(2, 7);
+  EXPECT_EQ(M[S], 0);
+  M[S] = 41;
+  ++M[S];
+  EXPECT_EQ(M.at(S), 42);
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_FALSE(M.empty());
+}
+
+TEST(DenseSidMap, FindAndCount) {
+  DenseSidMap<int> M;
+  StaticId Present = makeStaticId(0, 3), Absent = makeStaticId(1, 9);
+  M[Present] = 5;
+  ASSERT_NE(M.find(Present), M.end());
+  EXPECT_EQ(M.find(Present)->second, 5);
+  EXPECT_EQ(M.find(Absent), M.end());
+  EXPECT_EQ(M.count(Present), 1u);
+  EXPECT_EQ(M.count(Absent), 0u);
+
+  const DenseSidMap<int> &CM = M;
+  ASSERT_NE(CM.find(Present), CM.end());
+  EXPECT_EQ(CM.find(Present)->second, 5);
+}
+
+TEST(DenseSidMap, IteratesInInsertionOrder) {
+  DenseSidMap<int> M;
+  StaticId Ids[] = {makeStaticId(3, 100), makeStaticId(0, 0),
+                    makeStaticId(1, 50)};
+  int V = 10;
+  for (StaticId S : Ids)
+    M[S] = V++;
+  size_t I = 0;
+  for (const auto &[Sid, Val] : M) {
+    EXPECT_EQ(Sid, Ids[I]);
+    EXPECT_EQ(Val, 10 + static_cast<int>(I));
+    ++I;
+  }
+  EXPECT_EQ(I, 3u);
+}
+
+TEST(DenseSidMap, HandlesSparseLargeIds) {
+  DenseSidMap<uint64_t> M;
+  StaticId Big = makeStaticId(17, 1 << 20);
+  StaticId Small = makeStaticId(0, 1);
+  M[Big] = 1;
+  M[Small] = 2;
+  EXPECT_EQ(M.size(), 2u);
+  EXPECT_EQ(M.at(Big), 1u);
+  EXPECT_EQ(M.at(Small), 2u);
+}
+
+TEST(DenseSidMap, ClearEmpties) {
+  DenseSidMap<int> M;
+  M[makeStaticId(1, 2)] = 3;
+  M.clear();
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.find(makeStaticId(1, 2)), M.end());
+  M[makeStaticId(1, 2)] = 4; // Reusable after clear.
+  EXPECT_EQ(M.size(), 1u);
 }

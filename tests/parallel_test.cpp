@@ -1,0 +1,119 @@
+//===- tests/parallel_test.cpp - Parallel harness determinism --------------===//
+//
+// The parallel experiment engine's contract: ParallelSuiteRunner produces
+// results bit-identical to the serial SuiteRunner for every thread count.
+// Each simulation job owns its SimMemory / CacheHierarchy / BranchPredictor,
+// so no schedule can perturb a single counter; these tests pin that down by
+// comparing every SimStats field across --jobs 1, 2 and 8 on two workloads
+// and both machine models.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+namespace {
+
+void expectStatsEqual(const sim::SimStats &A, const sim::SimStats &B,
+                      const std::string &What) {
+  SCOPED_TRACE(What);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.MainInsts, B.MainInsts);
+  EXPECT_EQ(A.SpecInsts, B.SpecInsts);
+  for (unsigned C = 0; C < sim::NumCycleCats; ++C)
+    EXPECT_EQ(A.CatCycles[C], B.CatCycles[C]) << "category " << C;
+
+  EXPECT_EQ(A.TriggersFired, B.TriggersFired);
+  EXPECT_EQ(A.TriggersIgnored, B.TriggersIgnored);
+  EXPECT_EQ(A.SpawnsSucceeded, B.SpawnsSucceeded);
+  EXPECT_EQ(A.SpawnsDropped, B.SpawnsDropped);
+  EXPECT_EQ(A.SpecWildLoads, B.SpecWildLoads);
+  EXPECT_EQ(A.SpecPrefetches, B.SpecPrefetches);
+  EXPECT_EQ(A.UsefulPrefetches, B.UsefulPrefetches);
+  EXPECT_EQ(A.ThrottleEvents, B.ThrottleEvents);
+
+  EXPECT_EQ(A.Branches, B.Branches);
+  EXPECT_EQ(A.BranchMispredicts, B.BranchMispredicts);
+
+  EXPECT_EQ(A.CacheTotals.Accesses, B.CacheTotals.Accesses);
+  EXPECT_EQ(A.CacheTotals.FillBufferStallCycles,
+            B.CacheTotals.FillBufferStallCycles);
+  EXPECT_EQ(A.CacheTotals.TLBMisses, B.CacheTotals.TLBMisses);
+  for (unsigned L = 0; L < 4; ++L) {
+    EXPECT_EQ(A.CacheTotals.Hits[L], B.CacheTotals.Hits[L]) << "level " << L;
+    EXPECT_EQ(A.CacheTotals.Partials[L], B.CacheTotals.Partials[L])
+        << "level " << L;
+  }
+
+  // The per-load profile must match entry for entry, in insertion order
+  // (the order loads first execute — a pure function of the program).
+  ASSERT_EQ(A.LoadProfile.size(), B.LoadProfile.size());
+  auto ItB = B.LoadProfile.begin();
+  for (const auto &[Sid, SA] : A.LoadProfile) {
+    EXPECT_EQ(Sid, ItB->first);
+    const cache::PcCacheStats &SB = ItB->second;
+    EXPECT_EQ(SA.Accesses, SB.Accesses);
+    EXPECT_EQ(SA.MissCycles, SB.MissCycles);
+    for (unsigned L = 0; L < 4; ++L) {
+      EXPECT_EQ(SA.Hits[L], SB.Hits[L]);
+      EXPECT_EQ(SA.Partials[L], SB.Partials[L]);
+    }
+    ++ItB;
+  }
+}
+
+void expectResultsEqual(const BenchResult &A, const BenchResult &B) {
+  expectStatsEqual(A.BaseIO, B.BaseIO, "BaseIO");
+  expectStatsEqual(A.SspIO, B.SspIO, "SspIO");
+  expectStatsEqual(A.BaseOOO, B.BaseOOO, "BaseOOO");
+  expectStatsEqual(A.SspOOO, B.SspOOO, "SspOOO");
+  EXPECT_EQ(A.ChecksumsOk, B.ChecksumsOk);
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<unsigned /*Jobs*/> {};
+
+TEST_P(ParallelDeterminism, MatchesSerialRunner) {
+  SuiteRunner Serial;
+  ParallelSuiteRunner Parallel(core::ToolOptions(), GetParam());
+  for (const workloads::Workload &W :
+       {workloads::makeEm3d(), workloads::makeMst()}) {
+    SCOPED_TRACE(W.Name);
+    expectResultsEqual(Serial.run(W), Parallel.run(W));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ParallelDeterminism,
+                         ::testing::Values(1u, 2u, 8u));
+
+TEST(ParallelSuiteRunner, RunAllWarmsIdenticalResults) {
+  SuiteRunner Serial;
+  ParallelSuiteRunner Parallel(core::ToolOptions(), 4);
+  std::vector<workloads::Workload> Ws = {workloads::makeEm3d(),
+                                         workloads::makeMst()};
+  Parallel.runAll(Ws);
+  // run() after runAll must hit the cache (same reference twice) and the
+  // warmed results must equal the serial ones.
+  for (const workloads::Workload &W : Ws) {
+    SCOPED_TRACE(W.Name);
+    const BenchResult &R1 = Parallel.run(W);
+    const BenchResult &R2 = Parallel.run(W);
+    EXPECT_EQ(&R1, &R2);
+    expectResultsEqual(Serial.run(W), R1);
+  }
+}
+
+TEST(ParallelSuiteRunner, JobsOneIsInline) {
+  ParallelSuiteRunner Runner(core::ToolOptions(), 1);
+  EXPECT_EQ(Runner.pool().numThreads(), 1u);
+  const BenchResult &R = Runner.run(workloads::makeEm3d());
+  EXPECT_TRUE(R.ChecksumsOk);
+  EXPECT_GT(R.BaseIO.Cycles, 0u);
+}
+
+} // namespace

@@ -2,10 +2,13 @@
 
 #include "support/RNG.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 
 using namespace ssp;
 
@@ -77,4 +80,59 @@ TEST(TablePrinter, FormatsDoubles) {
   T.row();
   T.cell(1.23456, 2);
   EXPECT_NE(T.toString().find("1.23"), std::string::npos);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(support::ThreadPool::defaultConcurrency(), 1u);
+}
+
+TEST(ThreadPool, InlinePoolRunsOnSubmittingThread) {
+  support::ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::thread::id JobThread;
+  Pool.submit([&] { JobThread = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(JobThread, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SubmitRunsEveryJob) {
+  support::ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numThreads(), 4u);
+  std::atomic<int> Count{0};
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 100; ++I)
+    Futures.push_back(Pool.submit([&] { ++Count; }));
+  for (std::future<void> &F : Futures)
+    F.get();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesExactlyOnce) {
+  support::ThreadPool Pool(8);
+  std::vector<std::atomic<int>> Marks(1000);
+  Pool.parallelFor(Marks.size(), [&](size_t I) { ++Marks[I]; });
+  for (const std::atomic<int> &M : Marks)
+    EXPECT_EQ(M.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsReachTheWaiter) {
+  support::ThreadPool Pool(2);
+  std::future<void> F =
+      Pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(F.get(), std::runtime_error);
+  EXPECT_THROW(Pool.parallelFor(4,
+                                [](size_t I) {
+                                  if (I == 2)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    support::ThreadPool Pool(2);
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([&] { ++Count; });
+  } // Destructor joins after running everything queued.
+  EXPECT_EQ(Count.load(), 50);
 }

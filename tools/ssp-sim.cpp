@@ -1,29 +1,40 @@
 //===- tools/ssp-sim.cpp - Run a text-IR program on the Itanium models ----===//
 //
-// The simulator's standalone face: run a .ssp program (with its `data:`
-// image) on a chosen machine configuration and print the cycle counts and
-// the Figure-10 cycle-accounting breakdown. No adaptation is performed —
-// the input may already contain chk.c triggers and slice attachments
-// (e.g. the output of `ssp-adapt --emit`).
+// The simulator's standalone face: run one or more .ssp programs (with
+// their `data:` images) on a chosen machine configuration and print the
+// cycle counts and the Figure-10 cycle-accounting breakdown. No
+// adaptation is performed — the input may already contain chk.c triggers
+// and slice attachments (e.g. the output of `ssp-adapt --emit`).
 //
 //   ssp-sim prog.ssp                  in-order model
+//   ssp-sim a.ssp b.ssp c.ssp        several inputs, simulated concurrently
 //   ssp-sim prog.ssp --ooo            out-of-order model
 //   ssp-sim prog.ssp --contexts N     N hardware thread contexts
 //   ssp-sim prog.ssp --memlat N       memory latency in cycles
 //   ssp-sim prog.ssp --icount         ICOUNT fetch policy
 //   ssp-sim prog.ssp --throttle       dynamic trigger throttling
+//   ssp-sim a.ssp b.ssp --jobs N      simulation parallelism (default:
+//                                     hardware concurrency)
+//
+// With several inputs each file is simulated as an independent job on a
+// thread pool; output is buffered per file and printed in command-line
+// order, so the report is identical for any --jobs value.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "sim/Simulator.h"
+#include "support/ThreadPool.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 using namespace ssp;
 
@@ -31,17 +42,105 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s <input.ssp> [--ooo] [--contexts N] [--memlat N] "
-               "[--icount] [--throttle]\n",
+               "usage: %s <input.ssp>... [--ooo] [--contexts N] [--memlat N] "
+               "[--icount] [--throttle] [--jobs N]\n",
                Argv0);
   return 1;
+}
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+/// Parses, verifies and simulates one input file; the report (or the
+/// errors) go to \p Out so concurrent jobs never interleave output.
+/// Returns false on any failure.
+bool simulateFile(const std::string &Path, const sim::MachineConfig &Cfg,
+                  bool Banner, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    appendf(Out, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  ir::Program P;
+  ir::DataImage Data;
+  std::string Err;
+  if (!ir::parseProgram(Buf.str(), P, Err, &Data)) {
+    appendf(Out, "%s: parse error: %s\n", Path.c_str(), Err.c_str());
+    return false;
+  }
+  std::vector<std::string> Diags = ir::verify(P);
+  if (!Diags.empty()) {
+    for (const std::string &D : Diags)
+      appendf(Out, "%s: %s\n", Path.c_str(), D.c_str());
+    return false;
+  }
+
+  ir::LinkedProgram LP = ir::LinkedProgram::link(P);
+  mem::SimMemory Mem;
+  for (const auto &[Addr, Value] : Data)
+    Mem.write(Addr, Value);
+  sim::Simulator Sim(Cfg, LP, Mem);
+  sim::SimStats S = Sim.run();
+
+  if (Banner)
+    appendf(Out, "=== %s ===\n", Path.c_str());
+  appendf(Out, "%s, %u contexts, mem %u cycles%s%s\n",
+          Cfg.Pipeline == sim::PipelineKind::InOrder ? "in-order"
+                                                     : "out-of-order",
+          Cfg.NumThreads, Cfg.Cache.MemLatency,
+          Cfg.Fetch == sim::FetchPolicy::ICount ? ", ICOUNT" : "",
+          Cfg.EnableSSPThrottle ? ", throttle" : "");
+  appendf(Out,
+          "cycles: %llu   main insts: %llu (IPC %.2f)   spec insts: %llu\n",
+          static_cast<unsigned long long>(S.Cycles),
+          static_cast<unsigned long long>(S.MainInsts), S.ipc(),
+          static_cast<unsigned long long>(S.SpecInsts));
+  appendf(Out, "cycle breakdown:");
+  for (unsigned C = 0; C < sim::NumCycleCats; ++C)
+    appendf(Out, " %s %.1f%%",
+            sim::cycleCatName(static_cast<sim::CycleCat>(C)),
+            100.0 * static_cast<double>(S.CatCycles[C]) /
+                static_cast<double>(S.Cycles));
+  appendf(Out, "\n");
+  appendf(Out, "branches: %llu (%.2f%% mispredicted)   TLB misses: %llu\n",
+          static_cast<unsigned long long>(S.Branches),
+          S.Branches ? 100.0 * static_cast<double>(S.BranchMispredicts) /
+                           static_cast<double>(S.Branches)
+                     : 0.0,
+          static_cast<unsigned long long>(S.CacheTotals.TLBMisses));
+  if (S.TriggersFired + S.TriggersIgnored > 0)
+    appendf(Out,
+            "SSP: %llu triggers fired (%llu ignored), %llu spawns "
+            "(%llu dropped), %llu/%llu useful prefetches, %llu "
+            "throttle events\n",
+            static_cast<unsigned long long>(S.TriggersFired),
+            static_cast<unsigned long long>(S.TriggersIgnored),
+            static_cast<unsigned long long>(S.SpawnsSucceeded),
+            static_cast<unsigned long long>(S.SpawnsDropped),
+            static_cast<unsigned long long>(S.UsefulPrefetches),
+            static_cast<unsigned long long>(S.SpecPrefetches),
+            static_cast<unsigned long long>(S.ThrottleEvents));
+  return true;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  const char *Path = nullptr;
+  std::vector<std::string> Paths;
   sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+  unsigned Jobs = 0; // 0 = hardware concurrency.
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--ooo") == 0) {
       Cfg.Pipeline = sim::PipelineKind::OutOfOrder;
@@ -55,78 +154,36 @@ int main(int argc, char **argv) {
       Cfg.Fetch = sim::FetchPolicy::ICount;
     } else if (std::strcmp(argv[I], "--throttle") == 0) {
       Cfg.EnableSSPThrottle = true;
-    } else if (argv[I][0] == '-' || Path) {
+    } else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+      int N = std::atoi(argv[++I]);
+      if (N < 1 || N > 512)
+        return usage(argv[0]);
+      Jobs = unsigned(N);
+    } else if (argv[I][0] == '-') {
       return usage(argv[0]);
     } else {
-      Path = argv[I];
+      Paths.push_back(argv[I]);
     }
   }
-  if (!Path)
+  if (Paths.empty())
     return usage(argv[0]);
 
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
-    return 1;
-  }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
+  // Each input is an independent simulation job; buffered output keeps
+  // the report in command-line order whatever the schedule.
+  std::vector<std::string> Outputs(Paths.size());
+  std::vector<char> FileOk(Paths.size(), 1);
+  support::ThreadPool Pool(Paths.size() == 1 ? 1 : Jobs);
+  Pool.parallelFor(Paths.size(), [&](size_t I) {
+    FileOk[I] =
+        simulateFile(Paths[I], Cfg, Paths.size() > 1, Outputs[I]) ? 1 : 0;
+  });
 
-  ir::Program P;
-  ir::DataImage Data;
-  std::string Err;
-  if (!ir::parseProgram(Buf.str(), P, Err, &Data)) {
-    std::fprintf(stderr, "%s: parse error: %s\n", Path, Err.c_str());
-    return 1;
+  bool AllOk = true;
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    if (I > 0 && Paths.size() > 1)
+      std::printf("\n");
+    std::fputs(Outputs[I].c_str(), FileOk[I] ? stdout : stderr);
+    AllOk = AllOk && FileOk[I];
   }
-  std::vector<std::string> Diags = ir::verify(P);
-  if (!Diags.empty()) {
-    for (const std::string &D : Diags)
-      std::fprintf(stderr, "%s: %s\n", Path, D.c_str());
-    return 1;
-  }
-
-  ir::LinkedProgram LP = ir::LinkedProgram::link(P);
-  mem::SimMemory Mem;
-  for (const auto &[Addr, Value] : Data)
-    Mem.write(Addr, Value);
-  sim::Simulator Sim(Cfg, LP, Mem);
-  sim::SimStats S = Sim.run();
-
-  std::printf("%s, %u contexts, mem %u cycles%s%s\n",
-              Cfg.Pipeline == sim::PipelineKind::InOrder ? "in-order"
-                                                         : "out-of-order",
-              Cfg.NumThreads, Cfg.Cache.MemLatency,
-              Cfg.Fetch == sim::FetchPolicy::ICount ? ", ICOUNT" : "",
-              Cfg.EnableSSPThrottle ? ", throttle" : "");
-  std::printf("cycles: %llu   main insts: %llu (IPC %.2f)   spec insts: "
-              "%llu\n",
-              static_cast<unsigned long long>(S.Cycles),
-              static_cast<unsigned long long>(S.MainInsts), S.ipc(),
-              static_cast<unsigned long long>(S.SpecInsts));
-  std::printf("cycle breakdown:");
-  for (unsigned C = 0; C < sim::NumCycleCats; ++C)
-    std::printf(" %s %.1f%%",
-                sim::cycleCatName(static_cast<sim::CycleCat>(C)),
-                100.0 * static_cast<double>(S.CatCycles[C]) /
-                    static_cast<double>(S.Cycles));
-  std::printf("\n");
-  std::printf("branches: %llu (%.2f%% mispredicted)   TLB misses: %llu\n",
-              static_cast<unsigned long long>(S.Branches),
-              S.Branches ? 100.0 * static_cast<double>(S.BranchMispredicts) /
-                               static_cast<double>(S.Branches)
-                         : 0.0,
-              static_cast<unsigned long long>(S.CacheTotals.TLBMisses));
-  if (S.TriggersFired + S.TriggersIgnored > 0)
-    std::printf("SSP: %llu triggers fired (%llu ignored), %llu spawns "
-                "(%llu dropped), %llu/%llu useful prefetches, %llu "
-                "throttle events\n",
-                static_cast<unsigned long long>(S.TriggersFired),
-                static_cast<unsigned long long>(S.TriggersIgnored),
-                static_cast<unsigned long long>(S.SpawnsSucceeded),
-                static_cast<unsigned long long>(S.SpawnsDropped),
-                static_cast<unsigned long long>(S.UsefulPrefetches),
-                static_cast<unsigned long long>(S.SpecPrefetches),
-                static_cast<unsigned long long>(S.ThrottleEvents));
-  return 0;
+  return AllOk ? 0 : 1;
 }
