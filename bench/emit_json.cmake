@@ -27,4 +27,9 @@ if(NOT RC EQUAL 0)
 endif()
 
 file(READ ${OUT} REPORT)
+if(NOT REPORT MATCHES "sim_cycles_per_sec_skip")
+  message(FATAL_ERROR
+          "bench smoke report is missing the skip/no-skip throughput pair "
+          "(sim_cycles_per_sec_skip / sim_cycles_per_sec_noskip):\n${REPORT}")
+endif()
 message(STATUS "bench smoke report (${OUT}):\n${REPORT}")

@@ -66,22 +66,22 @@ void SuiteRunner::computeResult(const workloads::Workload &W, BenchResult &R,
     // The baseline simulations need no profile: start them immediately so
     // they overlap the profiling run and the adaptation.
     std::future<void> FBaseIO = Pool->submit([&] {
-      R.BaseIO = simulate(Orig, W, sim::MachineConfig::inOrder(), &OkBaseIO);
+      R.BaseIO = simulate(Orig, W, ioCfg(), &OkBaseIO);
     });
     std::future<void> FBaseOOO = Pool->submit([&] {
       R.BaseOOO =
-          simulate(Orig, W, sim::MachineConfig::outOfOrder(), &OkBaseOOO);
+          simulate(Orig, W, oooCfg(), &OkBaseOOO);
     });
     const profile::ProfileData &PD = profileOf(W);
     core::PostPassTool Tool(Orig, PD, Opts);
     ir::Program Enhanced = Tool.adapt(&R.Report);
     std::future<void> FSspIO = Pool->submit([&] {
       R.SspIO =
-          simulate(Enhanced, W, sim::MachineConfig::inOrder(), &OkSspIO);
+          simulate(Enhanced, W, ioCfg(), &OkSspIO);
     });
     // Run the fourth simulation here instead of idling on the futures.
     R.SspOOO =
-        simulate(Enhanced, W, sim::MachineConfig::outOfOrder(), &OkSspOOO);
+        simulate(Enhanced, W, oooCfg(), &OkSspOOO);
     FBaseIO.get();
     FBaseOOO.get();
     FSspIO.get();
@@ -89,13 +89,13 @@ void SuiteRunner::computeResult(const workloads::Workload &W, BenchResult &R,
     const profile::ProfileData &PD = profileOf(W);
     core::PostPassTool Tool(Orig, PD, Opts);
     ir::Program Enhanced = Tool.adapt(&R.Report);
-    R.BaseIO = simulate(Orig, W, sim::MachineConfig::inOrder(), &OkBaseIO);
+    R.BaseIO = simulate(Orig, W, ioCfg(), &OkBaseIO);
     R.SspIO =
-        simulate(Enhanced, W, sim::MachineConfig::inOrder(), &OkSspIO);
+        simulate(Enhanced, W, ioCfg(), &OkSspIO);
     R.BaseOOO =
-        simulate(Orig, W, sim::MachineConfig::outOfOrder(), &OkBaseOOO);
+        simulate(Orig, W, oooCfg(), &OkBaseOOO);
     R.SspOOO =
-        simulate(Enhanced, W, sim::MachineConfig::outOfOrder(), &OkSspOOO);
+        simulate(Enhanced, W, oooCfg(), &OkSspOOO);
   }
   R.ChecksumsOk = OkBaseIO && OkSspIO && OkBaseOOO && OkSspOOO;
   if (!R.ChecksumsOk)
@@ -130,6 +130,13 @@ unsigned ssp::harness::jobsFromArgs(int argc, char **argv) {
     }
   }
   return 0; // Default: hardware_concurrency.
+}
+
+bool ssp::harness::noSkipFromArgs(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--no-skip") == 0)
+      return true;
+  return false;
 }
 
 void ssp::harness::printMachineBanner() {

@@ -97,6 +97,13 @@ public:
 
   const core::ToolOptions &options() const { return Opts; }
 
+  /// Controls event-driven idle-cycle skipping for the runner's own
+  /// simulations (run/computeResult). Stats are bit-identical either way;
+  /// `--no-skip` in the tools routes here. Set before the first run() —
+  /// cached results are not invalidated. Configs passed explicitly to
+  /// simulate/simulateOriginal carry their own SkipIdleCycles flag.
+  void setSkipIdleCycles(bool Skip) { SkipIdle = Skip; }
+
   /// Simulates \p P on \p W's data image; checks the checksum when
   /// \p ChecksumOk is provided.
   static sim::SimStats simulate(const ir::Program &P,
@@ -124,7 +131,20 @@ private:
   void computeResult(const workloads::Workload &W, BenchResult &R,
                      support::ThreadPool *Pool);
 
+  /// Table 1 machine configs with the runner's skip setting applied.
+  sim::MachineConfig ioCfg() const {
+    sim::MachineConfig C = sim::MachineConfig::inOrder();
+    C.SkipIdleCycles = SkipIdle;
+    return C;
+  }
+  sim::MachineConfig oooCfg() const {
+    sim::MachineConfig C = sim::MachineConfig::outOfOrder();
+    C.SkipIdleCycles = SkipIdle;
+    return C;
+  }
+
   core::ToolOptions Opts;
+  bool SkipIdle = true;
   std::mutex CacheMutex;
   std::map<std::string, CacheEntry<BenchResult>> Cache;
   std::map<std::string, CacheEntry<profile::ProfileData>> Profiles;
@@ -169,6 +189,7 @@ public:
     return Inner.delinquentIdsOf(W);
   }
   const core::ToolOptions &options() const { return Inner.options(); }
+  void setSkipIdleCycles(bool Skip) { Inner.setSkipIdleCycles(Skip); }
 
   static sim::SimStats simulate(const ir::Program &P,
                                 const workloads::Workload &W,
@@ -189,6 +210,10 @@ private:
 /// binaries and tools). Returns 0 — "use hardware_concurrency" — when the
 /// flag is absent; exits with a usage error on a malformed value.
 unsigned jobsFromArgs(int argc, char **argv);
+
+/// Parses a `--no-skip` argument (disable event-driven idle-cycle
+/// skipping; see MachineConfig::SkipIdleCycles). Returns true when present.
+bool noSkipFromArgs(int argc, char **argv);
 
 /// Prints the Table 1 machine-model banner every bench emits.
 void printMachineBanner();

@@ -62,6 +62,41 @@ LinkedProgram LinkedProgram::link(const Program &P) {
       LI.TargetAddr = LP.FuncEntries[I.Target];
     }
   }
+
+  // Third pass: predecode. Everything the executor and the timing cores
+  // consult per dynamic instance — dense operand indices, function unit,
+  // latency, final targets — is resolved here, once per static instruction.
+  LP.Decoded.reserve(LP.Code.size());
+  for (const LinkedInst &LI : LP.Code) {
+    const Instruction &I = *LI.I;
+    DecodedInst D;
+    D.Op = I.Op;
+    D.Cond = I.Cond;
+    D.FU = funcUnitOf(I.Op);
+    D.Latency = static_cast<uint8_t>(latencyOf(I.Op));
+    D.Imm = I.Imm;
+    D.Src1 = I.Src1.isValid() ? static_cast<uint16_t>(I.Src1.denseIndex())
+                              : uint16_t(0);
+    D.Src2 = I.Src2.isValid() ? static_cast<uint16_t>(I.Src2.denseIndex())
+                              : uint16_t(0);
+    I.forEachUse([&](Reg R) {
+      assert(D.NumUses < 2 && "more than two register uses");
+      D.Uses[D.NumUses++] = static_cast<uint16_t>(R.denseIndex());
+    });
+    Reg Def = I.def();
+    if (Def.isValid()) {
+      D.Def = static_cast<uint16_t>(Def.denseIndex());
+      D.DstIsPred = Def.isPred();
+      // r0 and p0 are hardwired: the timing def slot exists, the
+      // architectural write is dropped.
+      bool Hardwired =
+          Def.Num == 0 && (Def.isInt() || Def.isPred());
+      D.WDst = Hardwired ? DecodedInst::NoReg : D.Def;
+    }
+    D.Target = (hasBlockTarget(I.Op) || I.Op == Opcode::Call) ? LI.TargetAddr
+                                                              : I.Target;
+    LP.Decoded.push_back(D);
+  }
   return LP;
 }
 

@@ -89,6 +89,44 @@ struct LinkedInst {
   StaticId Sid = 0;       ///< Stable static id for profiles.
 };
 
+/// The predecoded form of one linked instruction: everything the executor
+/// and the timing cores consult per dynamic instance, resolved once at link
+/// time. Register operands are dense per-thread indices (Reg::denseIndex),
+/// the function unit and latency are pre-looked-up, and control/LIB targets
+/// are final (a branch target is a global address, not a block index).
+struct DecodedInst {
+  /// Sentinel dense register index: "no register" / hardwired write target.
+  static constexpr uint16_t NoReg = 0xFFFF;
+
+  Opcode Op = Opcode::Nop;
+  CondCode Cond = CondCode::EQ;
+  FuncUnit FU = FuncUnit::None;
+  uint8_t Latency = 1;   ///< Execution latency (latencyOf), sans cache.
+  uint8_t NumUses = 0;   ///< Number of entries in Uses[].
+  bool DstIsPred = false; ///< Writes a predicate (writes normalize to 0/1).
+
+  uint16_t Src1 = 0;     ///< Dense index of Src1 (0 if the slot is unused;
+                         ///< never read by opcodes without that operand).
+  uint16_t Src2 = 0;     ///< Dense index of Src2 (same convention).
+  /// Register reads in Instruction::forEachUse order — the order the
+  /// scoreboard checks and the Figure-10 attribution depend on.
+  uint16_t Uses[2] = {0, 0};
+  /// Timing def: dense index the scoreboard/rename map tracks for this
+  /// instruction (Instruction::def), or NoReg if it writes no register.
+  /// Includes hardwired destinations — a def of r0 still occupies the
+  /// scoreboard slot, exactly as the non-decoded path behaved.
+  uint16_t Def = NoReg;
+  /// Functional write target: like Def but NoReg also for the hardwired
+  /// r0/p0, whose architectural writes are dropped.
+  uint16_t WDst = NoReg;
+
+  /// Pre-resolved target: a global address for block-target opcodes and
+  /// direct calls, the LIB slot for lib.st/lib.sti/lib.ld, and the raw
+  /// Instruction::Target otherwise.
+  uint32_t Target = 0;
+  int64_t Imm = 0;
+};
+
 /// The executable image: a flat array of instructions with resolved control
 /// transfer targets. Immutable snapshot of a Program; relink after rewriting.
 class LinkedProgram {
@@ -99,6 +137,9 @@ public:
 
   const LinkedInst &at(uint32_t Addr) const { return Code[Addr]; }
   uint32_t size() const { return static_cast<uint32_t>(Code.size()); }
+
+  /// The predecoded form of the instruction at \p Addr (parallel to Code).
+  const DecodedInst &decoded(uint32_t Addr) const { return Decoded[Addr]; }
 
   /// Address of the first instruction of \p FuncIdx.
   uint32_t funcEntry(uint32_t FuncIdx) const { return FuncEntries[FuncIdx]; }
@@ -116,6 +157,7 @@ public:
 private:
   const Program *Prog = nullptr;
   std::vector<LinkedInst> Code;
+  std::vector<DecodedInst> Decoded;
   std::vector<uint32_t> FuncEntries;
   std::vector<std::vector<uint32_t>> BlockStarts;
 };

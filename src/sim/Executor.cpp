@@ -17,136 +17,110 @@ namespace {
 double asDouble(uint64_t Bits) { return std::bit_cast<double>(Bits); }
 uint64_t asBits(double D) { return std::bit_cast<uint64_t>(D); }
 
-uint64_t readReg(const ThreadContext &Ctx, Reg R) {
-  switch (R.Cls) {
-  case RegClass::Int:
-    return Ctx.readInt(R.Num);
-  case RegClass::FP:
-    return Ctx.F[R.Num];
-  case RegClass::Pred:
-    return Ctx.readPred(R.Num) ? 1 : 0;
-  case RegClass::None:
-    break;
-  }
-  ssp_unreachable("read of invalid register operand");
-}
-
-void writeReg(ThreadContext &Ctx, Reg R, uint64_t V) {
-  switch (R.Cls) {
-  case RegClass::Int:
-    Ctx.writeInt(R.Num, V);
-    return;
-  case RegClass::FP:
-    Ctx.F[R.Num] = V;
-    return;
-  case RegClass::Pred:
-    Ctx.writePred(R.Num, V != 0);
-    return;
-  case RegClass::None:
-    break;
-  }
-  ssp_unreachable("write of invalid register operand");
-}
-
 } // namespace
 
 void ssp::sim::executeStep(ThreadContext &Ctx, const LinkedProgram &LP,
                            mem::SimMemory &Mem, bool Speculative,
                            bool FreeContextAvailable, ExecOutcome &Out) {
   assert(Ctx.PC < LP.size() && "PC out of range");
-  const LinkedInst &LI = LP.at(Ctx.PC);
-  const Instruction &I = *LI.I;
+  const DecodedInst &D = LP.decoded(Ctx.PC);
   Out = ExecOutcome();
 
+  // All register reads and writes go through the predecoded dense indices:
+  // one array access, no RegClass dispatch. Predicates are stored as 0/1
+  // and the hardwired r0/p0 slots hold their constants, so reads need no
+  // special cases; writes to hardwired destinations were stripped at
+  // decode (WDst == NoReg).
+  uint64_t *Regs = Ctx.Regs;
   uint32_t NextPC = Ctx.PC + 1;
-  auto S1 = [&] { return readReg(Ctx, I.Src1); };
-  auto S2 = [&] { return readReg(Ctx, I.Src2); };
+  auto S1 = [&] { return Regs[D.Src1]; };
+  auto S2 = [&] { return Regs[D.Src2]; };
+  auto WR = [&](uint64_t V) {
+    if (D.WDst != DecodedInst::NoReg)
+      Regs[D.WDst] = D.DstIsPred ? (V != 0 ? 1 : 0) : V;
+  };
 
-  switch (I.Op) {
+  switch (D.Op) {
   case Opcode::Nop:
     break;
 
   case Opcode::Add:
-    writeReg(Ctx, I.Dst, S1() + S2());
+    WR(S1() + S2());
     break;
   case Opcode::Sub:
-    writeReg(Ctx, I.Dst, S1() - S2());
+    WR(S1() - S2());
     break;
   case Opcode::Mul:
-    writeReg(Ctx, I.Dst, S1() * S2());
+    WR(S1() * S2());
     break;
   case Opcode::And:
-    writeReg(Ctx, I.Dst, S1() & S2());
+    WR(S1() & S2());
     break;
   case Opcode::Or:
-    writeReg(Ctx, I.Dst, S1() | S2());
+    WR(S1() | S2());
     break;
   case Opcode::Xor:
-    writeReg(Ctx, I.Dst, S1() ^ S2());
+    WR(S1() ^ S2());
     break;
   case Opcode::Shl:
-    writeReg(Ctx, I.Dst, S1() << (S2() & 63));
+    WR(S1() << (S2() & 63));
     break;
   case Opcode::Shr:
-    writeReg(Ctx, I.Dst, S1() >> (S2() & 63));
+    WR(S1() >> (S2() & 63));
     break;
 
   case Opcode::AddI:
-    writeReg(Ctx, I.Dst, S1() + static_cast<uint64_t>(I.Imm));
+    WR(S1() + static_cast<uint64_t>(D.Imm));
     break;
   case Opcode::MulI:
-    writeReg(Ctx, I.Dst, S1() * static_cast<uint64_t>(I.Imm));
+    WR(S1() * static_cast<uint64_t>(D.Imm));
     break;
   case Opcode::ShlI:
-    writeReg(Ctx, I.Dst, S1() << (static_cast<uint64_t>(I.Imm) & 63));
+    WR(S1() << (static_cast<uint64_t>(D.Imm) & 63));
     break;
   case Opcode::AndI:
-    writeReg(Ctx, I.Dst, S1() & static_cast<uint64_t>(I.Imm));
+    WR(S1() & static_cast<uint64_t>(D.Imm));
     break;
   case Opcode::OrI:
-    writeReg(Ctx, I.Dst, S1() | static_cast<uint64_t>(I.Imm));
+    WR(S1() | static_cast<uint64_t>(D.Imm));
     break;
 
   case Opcode::Mov:
-    writeReg(Ctx, I.Dst, readReg(Ctx, I.Src1));
+    WR(S1());
     break;
   case Opcode::MovI:
-    writeReg(Ctx, I.Dst, static_cast<uint64_t>(I.Imm));
+    WR(static_cast<uint64_t>(D.Imm));
     break;
 
   case Opcode::Cmp:
-    writeReg(Ctx, I.Dst,
-             evalCond(I.Cond, static_cast<int64_t>(S1()),
-                      static_cast<int64_t>(S2()))
-                 ? 1
-                 : 0);
+    WR(evalCond(D.Cond, static_cast<int64_t>(S1()),
+                static_cast<int64_t>(S2()))
+           ? 1
+           : 0);
     break;
   case Opcode::CmpI:
-    writeReg(Ctx, I.Dst,
-             evalCond(I.Cond, static_cast<int64_t>(S1()), I.Imm) ? 1 : 0);
+    WR(evalCond(D.Cond, static_cast<int64_t>(S1()), D.Imm) ? 1 : 0);
     break;
 
   case Opcode::FAdd:
-    writeReg(Ctx, I.Dst, asBits(asDouble(S1()) + asDouble(S2())));
+    WR(asBits(asDouble(S1()) + asDouble(S2())));
     break;
   case Opcode::FSub:
-    writeReg(Ctx, I.Dst, asBits(asDouble(S1()) - asDouble(S2())));
+    WR(asBits(asDouble(S1()) - asDouble(S2())));
     break;
   case Opcode::FMul:
-    writeReg(Ctx, I.Dst, asBits(asDouble(S1()) * asDouble(S2())));
+    WR(asBits(asDouble(S1()) * asDouble(S2())));
     break;
   case Opcode::XToF:
-    writeReg(Ctx, I.Dst,
-             asBits(static_cast<double>(static_cast<int64_t>(S1()))));
+    WR(asBits(static_cast<double>(static_cast<int64_t>(S1()))));
     break;
   case Opcode::FToX:
-    writeReg(Ctx, I.Dst,
-             static_cast<uint64_t>(static_cast<int64_t>(asDouble(S1()))));
+    WR(static_cast<uint64_t>(static_cast<int64_t>(asDouble(S1()))));
     break;
 
   case Opcode::Load:
   case Opcode::LoadF: {
-    uint64_t Addr = S1() + static_cast<uint64_t>(I.Imm);
+    uint64_t Addr = S1() + static_cast<uint64_t>(D.Imm);
     Out.IsMem = true;
     Out.IsLoad = true;
     Out.MemAddr = Addr;
@@ -158,13 +132,13 @@ void ssp::sim::executeStep(ThreadContext &Ctx, const LinkedProgram &LP,
     } else {
       Value = Mem.read(Addr);
     }
-    writeReg(Ctx, I.Dst, Value);
+    WR(Value);
     break;
   }
   case Opcode::Store:
   case Opcode::StoreF: {
     assert(!Speculative && "speculative thread attempted a store");
-    uint64_t Addr = S1() + static_cast<uint64_t>(I.Imm);
+    uint64_t Addr = S1() + static_cast<uint64_t>(D.Imm);
     Out.IsMem = true;
     Out.IsStore = true;
     Out.MemAddr = Addr;
@@ -174,25 +148,25 @@ void ssp::sim::executeStep(ThreadContext &Ctx, const LinkedProgram &LP,
   case Opcode::Prefetch: {
     // Non-binding, non-faulting touch: affects only cache state.
     Out.IsMem = true;
-    Out.MemAddr = S1() + static_cast<uint64_t>(I.Imm);
+    Out.MemAddr = S1() + static_cast<uint64_t>(D.Imm);
     break;
   }
 
   case Opcode::Br: {
     Out.Kind = CtrlKind::Branch;
-    Out.Taken = readReg(Ctx, I.Src1) != 0;
+    Out.Taken = S1() != 0;
     if (Out.Taken)
-      NextPC = LI.TargetAddr;
+      NextPC = D.Target;
     break;
   }
   case Opcode::Jmp:
     Out.Kind = CtrlKind::DirectJump;
-    NextPC = LI.TargetAddr;
+    NextPC = D.Target;
     break;
   case Opcode::Call:
     Out.Kind = CtrlKind::DirectJump;
     Ctx.CallStack.push_back(Ctx.PC + 1);
-    NextPC = LI.TargetAddr;
+    NextPC = D.Target;
     break;
   case Opcode::CallInd: {
     Out.Kind = CtrlKind::IndirectJump;
@@ -217,7 +191,7 @@ void ssp::sim::executeStep(ThreadContext &Ctx, const LinkedProgram &LP,
     if (FreeContextAvailable) {
       Out.Kind = CtrlKind::ChkCFired;
       Ctx.ResumeStack.push_back(Ctx.PC + 1);
-      NextPC = LI.TargetAddr;
+      NextPC = D.Target;
     } else {
       Out.Kind = CtrlKind::ChkCNop;
     }
@@ -229,21 +203,21 @@ void ssp::sim::executeStep(ThreadContext &Ctx, const LinkedProgram &LP,
     Ctx.ResumeStack.pop_back();
     break;
   case Opcode::CopyToLIB:
-    assert(I.Target < MaxLIBSlots && "LIB slot out of range");
-    Ctx.LIBStage[I.Target] = readReg(Ctx, I.Src1);
+    assert(D.Target < MaxLIBSlots && "LIB slot out of range");
+    Ctx.LIBStage[D.Target] = S1();
     break;
   case Opcode::CopyToLIBI:
-    assert(I.Target < MaxLIBSlots && "LIB slot out of range");
-    Ctx.LIBStage[I.Target] = static_cast<uint64_t>(I.Imm);
+    assert(D.Target < MaxLIBSlots && "LIB slot out of range");
+    Ctx.LIBStage[D.Target] = static_cast<uint64_t>(D.Imm);
     break;
   case Opcode::CopyFromLIB:
-    assert(I.Target < MaxLIBSlots && "LIB slot out of range");
-    writeReg(Ctx, I.Dst, Ctx.LIBIn[I.Target]);
+    assert(D.Target < MaxLIBSlots && "LIB slot out of range");
+    WR(Ctx.LIBIn[D.Target]);
     break;
   case Opcode::Spawn:
     Out.Kind = CtrlKind::SpawnPoint;
     Out.HasSpawn = true;
-    Out.SpawnTargetAddr = LI.TargetAddr;
+    Out.SpawnTargetAddr = D.Target;
     std::memcpy(Out.SpawnFrame, Ctx.LIBStage, sizeof(Out.SpawnFrame));
     break;
   case Opcode::KillThread:

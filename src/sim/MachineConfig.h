@@ -68,7 +68,8 @@ struct MachineConfig {
   /// chk.c checks report no available context). Disabled by default, as
   /// in the paper.
   bool EnableSSPThrottle = false;
-  /// Evaluate trigger health every this many cycles (power of two). The
+  /// Evaluate trigger health every this many cycles (any period; powers of
+  /// two take a cheaper strength-reduced path, 0 disables evaluation). The
   /// evaluation is time-based so consumption credits — which trail the
   /// prefetches of far-ahead chains — have a full period to arrive.
   uint64_t ThrottleEvalPeriod = 16384;
@@ -84,6 +85,14 @@ struct MachineConfig {
 
   /// Safety bound on simulated cycles.
   uint64_t MaxCycles = 4000000000ULL;
+
+  /// Event-driven idle-cycle skipping: when a cycle fetches, issues,
+  /// dispatches, completes and retires nothing, jump straight to the next
+  /// cycle at which anything can happen, bulk-accounting the skipped span.
+  /// Produces bit-identical SimStats either way (enforced by skip_test);
+  /// disable (`--no-skip` in the tools) to cross-check or to step the
+  /// simulator cycle by cycle under a debugger.
+  bool SkipIdleCycles = true;
 
   cache::CacheConfig Cache;
 

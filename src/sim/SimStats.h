@@ -75,6 +75,12 @@ struct SimStats {
   uint64_t Branches = 0;
   uint64_t BranchMispredicts = 0;
 
+  // Simulator diagnostics (NOT architectural: these describe how the
+  // simulator ran, differ between skip and --no-skip modes by design, and
+  // are excluded from the skip_test differential comparison).
+  uint64_t SkippedCycles = 0; ///< Idle cycles accounted in bulk, not ticked.
+  uint64_t SkipEvents = 0;    ///< Number of idle spans jumped over.
+
   // Memory system (global + per-static-load).
   cache::CacheHierarchy::Totals CacheTotals;
   cache::CacheProfile LoadProfile;

@@ -37,6 +37,8 @@ Simulator::Simulator(const MachineConfig &Cfg, const LinkedProgram &LP,
       Bpred(Cfg.NumThreads), Threads(Cfg.NumThreads) {
   Cache.setPerfectMemory(Cfg.PerfectMemory);
   Cache.setPerfectLoads(Cfg.PerfectLoads);
+  ThrottlePow2 = Cfg.ThrottleEvalPeriod != 0 &&
+                 (Cfg.ThrottleEvalPeriod & (Cfg.ThrottleEvalPeriod - 1)) == 0;
   Threads[0].Active = true;
   Threads[0].Speculative = false;
   Threads[0].Ctx.PC = LP.entry();
@@ -228,6 +230,7 @@ void Simulator::fetchCycle() {
       ++ThreadsUsed;
       BundlesLeft -= Got;
       Threads[Order[I]].LastFetchCycle = Now;
+      ActivityThisCycle = true;
     }
   }
 }
@@ -251,6 +254,7 @@ unsigned Simulator::fetchThread(unsigned Tid, unsigned MaxBundles) {
 
       InstSlot S;
       S.LI = &LP.at(T.Ctx.PC);
+      S.DI = &LP.decoded(T.Ctx.PC); // Before executeStep advances the PC.
       S.FetchCycle = Now;
       S.EligibleCycle = Now + Cfg.frontLatency();
       uint64_t FetchPC = T.Ctx.PC;
@@ -343,10 +347,10 @@ unsigned Simulator::fetchThread(unsigned Tid, unsigned MaxBundles) {
 
 void Simulator::applyIssueTiming(unsigned Tid, InstSlot &S) {
   Thread &T = Threads[Tid];
-  const Instruction &I = *S.LI->I;
+  const DecodedInst &D = *S.DI;
   S.Issued = true;
   S.IssueCycle = Now;
-  uint64_t Complete = Now + latencyOf(I.Op);
+  uint64_t Complete = Now + D.Latency;
 
   if (S.Out.IsMem) {
     bool Collect = !T.Speculative && S.Out.IsLoad;
@@ -368,14 +372,19 @@ void Simulator::applyIssueTiming(unsigned Tid, InstSlot &S) {
   }
 
   S.CompleteCycle = Complete;
+  if (Cfg.Pipeline == PipelineKind::OutOfOrder) {
+    // Completion is always in the future (latencies and store/prefetch
+    // port occupancy are >= 1), so the new entry joins the pending set.
+    ++T.PendingCompletions;
+    if (Complete < T.MinPendingComplete)
+      T.MinPendingComplete = Complete;
+  }
 
   // In-order scoreboard update (harmless for OOO; its consumers use the
   // rename map instead).
-  Reg D = I.def();
-  if (D.isValid()) {
-    unsigned Dense = D.denseIndex();
-    T.RegReady[Dense] = Complete;
-    T.RegSrcLevel[Dense] =
+  if (D.Def != DecodedInst::NoReg) {
+    T.RegReady[D.Def] = Complete;
+    T.RegSrcLevel[D.Def] =
         S.Out.IsLoad ? static_cast<uint8_t>(1 + static_cast<unsigned>(
                                                     S.ServedBy))
                      : 0;
@@ -395,6 +404,7 @@ void Simulator::applyIssueTiming(unsigned Tid, InstSlot &S) {
   else
     ++Stats.MainInsts;
   ++IssuedThisCycle[Tid];
+  ActivityThisCycle = true;
 }
 
 void Simulator::fireResume(unsigned Tid, const InstSlot &S) {
@@ -450,15 +460,17 @@ unsigned Simulator::issueFromThreadInOrder(unsigned Tid, unsigned MaxBundles,
       break;
 
     // In-order stall-on-use: the head blocks until its operands are ready.
+    const DecodedInst &D = *S.DI;
     bool Ready = true;
-    S.LI->I->forEachUse([&](Reg R) {
-      if (T.RegReady[R.denseIndex()] > Now)
+    for (unsigned U = 0; U < D.NumUses; ++U)
+      if (T.RegReady[D.Uses[U]] > Now) {
         Ready = false;
-    });
+        break;
+      }
     if (!Ready)
       break;
 
-    FuncUnit FU = funcUnitOf(S.LI->I->Op);
+    FuncUnit FU = D.FU;
     if (FU != FuncUnit::None &&
         FUUsed[static_cast<unsigned>(FU)] >= fuLimit(FU))
       break;
@@ -487,26 +499,45 @@ unsigned Simulator::issueFromThreadInOrder(unsigned Tid, unsigned MaxBundles,
 
 void Simulator::oooWriteback() {
   for (Thread &T : Threads) {
+    T.CompletedThisCycle = false;
     if (!T.Active && T.Rob.empty())
       continue;
+    // Watermark short-circuit: nothing in this thread's ROB completes
+    // before MinPendingComplete, so skip the scan until it is due.
+    if (T.PendingCompletions == 0 || T.MinPendingComplete > Now)
+      continue;
+    uint64_t NewMin = UINT64_MAX;
+    unsigned Pending = 0;
     for (InstSlot &S : T.Rob) {
-      if (!S.Issued || S.Completed || S.CompleteCycle > Now)
+      if (!S.Issued || S.Completed)
         continue;
+      if (S.CompleteCycle > Now) {
+        if (S.CompleteCycle < NewMin)
+          NewMin = S.CompleteCycle;
+        ++Pending;
+        continue;
+      }
       S.Completed = true;
-      Reg D = S.LI->I->def();
-      if (D.isValid()) {
-        unsigned Dense = D.denseIndex();
-        if (T.RegProd[Dense] == &S) {
-          T.RegProd[Dense] = nullptr;
-          T.RegReady[Dense] = S.CompleteCycle;
-        }
+      T.CompletedThisCycle = true;
+      ActivityThisCycle = true;
+      const DecodedInst &D = *S.DI;
+      if (D.Def != DecodedInst::NoReg && T.RegProd[D.Def] == &S) {
+        T.RegProd[D.Def] = nullptr;
+        T.RegReady[D.Def] = S.CompleteCycle;
       }
     }
+    T.MinPendingComplete = NewMin;
+    T.PendingCompletions = Pending;
   }
 }
 
 void Simulator::oooResolveRS() {
   for (Thread &T : Threads) {
+    // An RS entry's producers are same-thread ROB entries that were still
+    // in flight at dispatch, so a resolution can only happen on a cycle
+    // where this thread's writeback completed something.
+    if (!T.CompletedThisCycle)
+      continue;
     for (InstSlot &S : T.Rob) {
       if (!S.Dispatched || S.Issued || S.NumProd == 0)
         continue;
@@ -539,11 +570,12 @@ void Simulator::oooRetire() {
       bool WasHalt = S.Out.Kind == CtrlKind::Halt;
       // Clear any rename-map entry still pointing at this slot before the
       // storage is reclaimed.
-      Reg D = S.LI->I->def();
-      if (D.isValid() && T.RegProd[D.denseIndex()] == &S)
-        T.RegProd[D.denseIndex()] = nullptr;
+      const DecodedInst &D = *S.DI;
+      if (D.Def != DecodedInst::NoReg && T.RegProd[D.Def] == &S)
+        T.RegProd[D.Def] = nullptr;
       T.Rob.pop_front();
       ++Retired;
+      ActivityThisCycle = true;
       if (WasKill) {
         T.Active = false;
         break;
@@ -555,35 +587,38 @@ void Simulator::oooRetire() {
 }
 
 void Simulator::oooIssue() {
-  // Gather ready reservation-station entries, oldest first.
-  struct Cand {
-    InstSlot *S;
-    unsigned Tid;
-  };
-  std::vector<Cand> Ready;
+  // Gather ready reservation-station entries, oldest first, into the
+  // reused candidate buffer.
+  ReadyBuf.clear();
   for (unsigned Tid = 0; Tid < Threads.size(); ++Tid) {
     Thread &T = Threads[Tid];
+    if (T.RsCount == 0)
+      continue;
+    // RsCount entries are dispatched-but-unissued; stop once all seen.
+    unsigned Left = T.RsCount;
     for (InstSlot &S : T.Rob) {
       if (!S.Dispatched || S.Issued)
         continue;
-      if (S.NumProd != 0 || S.OperandReadyCycle > Now)
-        continue;
-      Ready.push_back({&S, Tid});
+      if (S.NumProd == 0 && S.OperandReadyCycle <= Now)
+        ReadyBuf.push_back({&S, Tid});
+      if (--Left == 0)
+        break;
     }
   }
-  std::sort(Ready.begin(), Ready.end(), [](const Cand &A, const Cand &B) {
-    if (A.S->FetchCycle != B.S->FetchCycle)
-      return A.S->FetchCycle < B.S->FetchCycle;
-    return A.Tid < B.Tid;
-  });
+  std::sort(ReadyBuf.begin(), ReadyBuf.end(),
+            [](const Cand &A, const Cand &B) {
+              if (A.S->FetchCycle != B.S->FetchCycle)
+                return A.S->FetchCycle < B.S->FetchCycle;
+              return A.Tid < B.Tid;
+            });
 
   unsigned FUUsed[5] = {0, 0, 0, 0, 0};
   unsigned IssuedCount = 0;
   const unsigned IssueWidth = Cfg.IssueBundlesPerCycle * 3;
-  for (Cand &C : Ready) {
+  for (Cand &C : ReadyBuf) {
     if (IssuedCount >= IssueWidth)
       break;
-    FuncUnit FU = funcUnitOf(C.S->LI->I->Op);
+    FuncUnit FU = C.S->DI->FU;
     if (FU != FuncUnit::None &&
         FUUsed[static_cast<unsigned>(FU)] >= fuLimit(FU))
       continue;
@@ -617,6 +652,7 @@ void Simulator::oooDispatch() {
       ++ThreadsUsed;
       BundlesLeft -= Got;
       Threads[Order[I]].LastIssueCycle = Now;
+      ActivityThisCycle = true;
     }
   }
 }
@@ -647,10 +683,11 @@ unsigned Simulator::oooDispatchThread(unsigned Tid, unsigned MaxBundles) {
 
     // Capture operand producers (register renaming happens here: each use
     // binds to the latest prior writer of that register).
+    const DecodedInst &D = *S.DI;
     S.NumProd = 0;
     S.OperandReadyCycle = 0;
-    S.LI->I->forEachUse([&](Reg R) {
-      unsigned Dense = R.denseIndex();
+    for (unsigned U = 0; U < D.NumUses; ++U) {
+      unsigned Dense = D.Uses[U];
       if (InstSlot *P = T.RegProd[Dense]) {
         if (S.NumProd < 2)
           S.Prod[S.NumProd++] = P;
@@ -658,10 +695,9 @@ unsigned Simulator::oooDispatchThread(unsigned Tid, unsigned MaxBundles) {
         S.OperandReadyCycle =
             std::max(S.OperandReadyCycle, T.RegReady[Dense]);
       }
-    });
-    Reg D = S.LI->I->def();
-    if (D.isValid())
-      T.RegProd[D.denseIndex()] = &S;
+    }
+    if (D.Def != DecodedInst::NoReg)
+      T.RegProd[D.Def] = &S;
   }
   return Bundles;
 }
@@ -678,10 +714,12 @@ void Simulator::pruneMainOutstanding() {
   MainOutstanding.resize(Keep);
 }
 
-bool Simulator::mainMissOutstanding() { return !MainOutstanding.empty(); }
+bool Simulator::mainMissOutstanding() const {
+  return !MainOutstanding.empty();
+}
 
-void Simulator::classifyCycle() {
-  Thread &M = Threads[0];
+CycleCat Simulator::classifyCycle() const {
+  const Thread &M = Threads[0];
   CycleCat Cat;
 
   auto CatOfLevel = [](cache::Level L) {
@@ -706,19 +744,17 @@ void Simulator::classifyCycle() {
       // Head is present but stalled: attribute to the first unready operand
       // if it was produced by a load miss.
       const InstSlot &S = M.FrontQ.front();
+      const DecodedInst &D = *S.DI;
       CycleCat Found = CycleCat::Other;
-      bool Done = false;
-      S.LI->I->forEachUse([&](Reg R) {
-        if (Done)
-          return;
-        unsigned Dense = R.denseIndex();
+      for (unsigned U = 0; U < D.NumUses; ++U) {
+        unsigned Dense = D.Uses[U];
         if (M.RegReady[Dense] > Now) {
           uint8_t Lvl = M.RegSrcLevel[Dense];
           if (Lvl != 0)
             Found = CatOfLevel(static_cast<cache::Level>(Lvl - 1));
-          Done = true;
+          break;
         }
-      });
+      }
       Cat = Found;
     }
   } else {
@@ -737,12 +773,87 @@ void Simulator::classifyCycle() {
       Cat = CatOfLevel(Deepest);
   }
 
-  ++Stats.CatCycles[static_cast<unsigned>(Cat)];
+  return Cat;
 }
 
 //===----------------------------------------------------------------------===//
 // Main loop
 //===----------------------------------------------------------------------===//
+
+uint64_t Simulator::nextEventCycle() const {
+  uint64_t Next = UINT64_MAX;
+  auto Consider = [&](uint64_t C) {
+    if (C > Now && C < Next)
+      Next = C;
+  };
+
+  const size_t QueueCap = static_cast<size_t>(Cfg.ExpansionQueueBundles) * 3;
+  const bool InOrder = Cfg.Pipeline == PipelineKind::InOrder;
+  for (const Thread &T : Threads) {
+    if (!T.Active)
+      continue;
+    // A fetch-capable thread fetches as soon as its resume cycle arrives
+    // (a fetch candidate always fetches at least one bundle).
+    if (!T.FetchStopped && !T.FetchWaitingOnEvent &&
+        T.FrontQ.size() < QueueCap)
+      Consider(std::max(T.FetchResumeCycle, Now + 1));
+    if (!T.FrontQ.empty()) {
+      const InstSlot &S = T.FrontQ.front();
+      if (S.EligibleCycle > Now) {
+        Consider(S.EligibleCycle);
+      } else if (InOrder) {
+        // Eligible head stalled on operands: each unready operand's ready
+        // cycle is an event — issue enabling aside, the Figure 10
+        // first-unready-operand attribution can change at each of them.
+        const DecodedInst &D = *S.DI;
+        bool AnyUnready = false;
+        for (unsigned U = 0; U < D.NumUses; ++U)
+          if (T.RegReady[D.Uses[U]] > Now) {
+            Consider(T.RegReady[D.Uses[U]]);
+            AnyUnready = true;
+          }
+        if (!AnyUnready)
+          Consider(Now + 1); // Ready head: issues next tick (defensive).
+      } else if (T.Rob.size() < Cfg.RobEntries && T.RsCount < Cfg.RsEntries) {
+        Consider(Now + 1); // Eligible head with ROB/RS space: dispatches.
+      }
+    }
+    if (!InOrder) {
+      if (T.PendingCompletions > 0)
+        Consider(std::max(T.MinPendingComplete, Now + 1));
+      if (!T.Rob.empty() && T.Rob.front().Completed)
+        Consider(Now + 1); // Retirement backlog (the 6-per-cycle cap).
+      // Dispatched entries whose operands are (or become) ready.
+      unsigned Left = T.RsCount;
+      if (Left > 0)
+        for (const InstSlot &S : T.Rob) {
+          if (!S.Dispatched || S.Issued)
+            continue;
+          if (S.NumProd == 0)
+            Consider(std::max(S.OperandReadyCycle, Now + 1));
+          if (--Left == 0)
+            break;
+        }
+    }
+  }
+
+  // An outstanding main-thread miss expiring changes the Figure 10
+  // classification (CacheExec / deepest-level attribution).
+  for (const auto &Miss : MainOutstanding)
+    Consider(Miss.first);
+
+  // Throttle-evaluation boundaries are always events: evaluateThrottle
+  // mutates trigger health there, so a skipped span never crosses one.
+  if (Cfg.ThrottleEvalPeriod != 0) {
+    uint64_t Phase = ThrottlePow2 ? (Now & (Cfg.ThrottleEvalPeriod - 1))
+                                  : Now % Cfg.ThrottleEvalPeriod;
+    Consider(Now + Cfg.ThrottleEvalPeriod - Phase);
+  }
+
+  // Nothing pending: tick serially so the livelock guard fires exactly as
+  // it would without skipping.
+  return Next == UINT64_MAX ? Now + 1 : Next;
+}
 
 SimStats Simulator::run() {
   while (!MainDone) {
@@ -750,9 +861,14 @@ SimStats Simulator::run() {
     if (Now > Cfg.MaxCycles)
       fatalError("simulation exceeded MaxCycles (livelock?)");
     pruneMainOutstanding();
-    if ((Now & (Cfg.ThrottleEvalPeriod - 1)) == 0)
+    // Boundary test handles any period: strength-reduced mask for powers
+    // of two, modulo otherwise, never for a zero period.
+    if (Cfg.ThrottleEvalPeriod != 0 &&
+        (ThrottlePow2 ? (Now & (Cfg.ThrottleEvalPeriod - 1)) == 0
+                      : Now % Cfg.ThrottleEvalPeriod == 0))
       evaluateThrottle();
     std::memset(IssuedThisCycle, 0, sizeof(IssuedThisCycle));
+    ActivityThisCycle = false;
 
     if (Cfg.Pipeline == PipelineKind::InOrder) {
       issueCycleInOrder();
@@ -767,7 +883,26 @@ SimStats Simulator::run() {
       oooDispatch();
       fetchCycle();
     }
-    classifyCycle();
+    CycleCat Cat = classifyCycle();
+    ++Stats.CatCycles[static_cast<unsigned>(Cat)];
+
+    // Event-driven idle skipping: nothing fetched, issued, dispatched,
+    // completed or retired this cycle, so every cycle before the next
+    // event repeats this one's (in)activity and classification exactly —
+    // account the whole span at once and jump.
+    if (Cfg.SkipIdleCycles && !ActivityThisCycle) {
+      uint64_t Next = nextEventCycle();
+      // Keep the livelock guard firing at the same cycle as serial mode.
+      if (Next > Cfg.MaxCycles + 1)
+        Next = Cfg.MaxCycles + 1;
+      if (Next > Now + 1) {
+        uint64_t Span = Next - 1 - Now;
+        Stats.CatCycles[static_cast<unsigned>(Cat)] += Span;
+        Stats.SkippedCycles += Span;
+        ++Stats.SkipEvents;
+        Now = Next - 1;
+      }
+    }
   }
 
   Stats.Cycles = Now;

@@ -57,6 +57,7 @@ private:
   /// One fetched instruction flowing through the pipeline.
   struct InstSlot {
     const ir::LinkedInst *LI = nullptr;
+    const ir::DecodedInst *DI = nullptr; ///< Predecoded form of *LI.
     ExecOutcome Out;
     uint64_t FetchCycle = 0;
     uint64_t EligibleCycle = 0; ///< Earliest issue/dispatch cycle.
@@ -99,6 +100,14 @@ private:
     std::deque<InstSlot> Rob;    ///< OOO only.
     unsigned RsCount = 0;        ///< OOO: dispatched but not issued.
 
+    // OOO completion watermark: earliest CompleteCycle among issued,
+    // not-yet-completed ROB entries, and how many there are. Lets
+    // writeback, RS resolution and the next-event computation skip
+    // threads with nothing due instead of rescanning the full ROB.
+    uint64_t MinPendingComplete = UINT64_MAX;
+    unsigned PendingCompletions = 0;
+    bool CompletedThisCycle = false; ///< Writeback completed something now.
+
     uint64_t FetchResumeCycle = 0;
     bool FetchWaitingOnEvent = false;
 
@@ -123,6 +132,9 @@ private:
       FetchWaitingOnEvent = false;
       FetchStopped = false;
       SeqCounter = 0;
+      MinPendingComplete = UINT64_MAX;
+      PendingCompletions = 0;
+      CompletedThisCycle = false;
       for (unsigned I = 0; I < ir::Reg::NumDenseIndices; ++I) {
         RegReady[I] = 0;
         RegSrcLevel[I] = 0;
@@ -143,7 +155,14 @@ private:
   void oooIssue();
   void oooDispatch();
   unsigned oooDispatchThread(unsigned Tid, unsigned MaxBundles);
-  void classifyCycle();
+  CycleCat classifyCycle() const;
+  /// Earliest cycle after Now at which any pipeline state can change:
+  /// min over fetch-resume cycles, head eligibility, the scoreboard
+  /// ready-cycles a stalled in-order head waits on, pending completions,
+  /// RS operand-ready cycles, outstanding main-thread misses, and the
+  /// next throttle-evaluation boundary. Returns Now + 1 if nothing is
+  /// pending (the livelock guard in run() then fires as in serial mode).
+  uint64_t nextEventCycle() const;
 
   // Helpers.
   void applyIssueTiming(unsigned Tid, InstSlot &S);
@@ -159,7 +178,7 @@ private:
   /// Periodic per-trigger usefulness verdicts (dynamic throttling).
   void evaluateThrottle();
   unsigned fuLimit(ir::FuncUnit FU) const;
-  bool mainMissOutstanding();
+  bool mainMissOutstanding() const;
   void pruneMainOutstanding();
 
   const MachineConfig &Cfg;
@@ -172,8 +191,21 @@ private:
 
   uint64_t Now = 0;
   bool MainDone = false;
+  /// Whether the current cycle fetched, issued, dispatched, completed or
+  /// retired anything; an idle (false) cycle is a candidate for skipping.
+  bool ActivityThisCycle = false;
+  /// Strength-reduction flag: ThrottleEvalPeriod is a nonzero power of two.
+  bool ThrottlePow2 = false;
   unsigned IssuedThisCycle[8] = {};
   std::vector<std::pair<uint64_t, cache::Level>> MainOutstanding;
+
+  /// Reused issue-candidate buffer for oooIssue (hoisted out of the
+  /// per-cycle hot path; cleared, never shrunk).
+  struct Cand {
+    InstSlot *S;
+    unsigned Tid;
+  };
+  std::vector<Cand> ReadyBuf;
 
   // Per-trigger prefetch health (Section 4.4.1's dynamic throttling).
   struct TriggerHealth {

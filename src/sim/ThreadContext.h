@@ -29,9 +29,15 @@ inline constexpr unsigned MaxLIBSlots = 16;
 
 /// Architectural state of one hardware thread context.
 struct ThreadContext {
-  uint64_t R[ir::NumIntRegs];  ///< Integer registers; r0 hardwired to 0.
-  uint64_t F[ir::NumFPRegs];   ///< FP registers, stored as raw bits.
-  bool P[ir::NumPredRegs];     ///< Predicates; p0 hardwired to true.
+  /// Dense index of p0 within Regs (the first predicate register).
+  static constexpr unsigned P0Index = ir::NumIntRegs + ir::NumFPRegs;
+
+  /// All register files of Table 1 in one dense array, indexed by
+  /// ir::Reg::denseIndex(): r0..r127, then f0..f127 (raw bits), then
+  /// p0..p63 (stored as 0/1). Invariants: Regs[0] == 0 (r0 hardwired to
+  /// zero) and Regs[P0Index] == 1 (p0 hardwired true) — writes to the
+  /// hardwired slots are dropped, so reads never need to special-case.
+  uint64_t Regs[ir::Reg::NumDenseIndices];
   uint32_t PC = 0;
 
   std::vector<uint32_t> CallStack;   ///< Return addresses for call/ret.
@@ -45,10 +51,8 @@ struct ThreadContext {
   ThreadContext() { reset(); }
 
   void reset() {
-    std::memset(R, 0, sizeof(R));
-    std::memset(F, 0, sizeof(F));
-    std::memset(P, 0, sizeof(P));
-    P[0] = true; // p0 is hardwired true.
+    std::memset(Regs, 0, sizeof(Regs));
+    Regs[P0Index] = 1; // p0 is hardwired true.
     PC = 0;
     CallStack.clear();
     ResumeStack.clear();
@@ -56,15 +60,17 @@ struct ThreadContext {
     std::memset(LIBStage, 0, sizeof(LIBStage));
   }
 
-  uint64_t readInt(unsigned N) const { return N == 0 ? 0 : R[N]; }
+  uint64_t readInt(unsigned N) const { return Regs[N]; }
   void writeInt(unsigned N, uint64_t V) {
     if (N != 0)
-      R[N] = V;
+      Regs[N] = V;
   }
-  bool readPred(unsigned N) const { return N == 0 ? true : P[N]; }
+  uint64_t readFP(unsigned N) const { return Regs[ir::NumIntRegs + N]; }
+  void writeFP(unsigned N, uint64_t V) { Regs[ir::NumIntRegs + N] = V; }
+  bool readPred(unsigned N) const { return Regs[P0Index + N] != 0; }
   void writePred(unsigned N, bool V) {
     if (N != 0)
-      P[N] = V;
+      Regs[P0Index + N] = V ? 1 : 0;
   }
 };
 

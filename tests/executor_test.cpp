@@ -62,14 +62,14 @@ TEST(Executor, IntegerALU) {
   H.B.shl(ireg(9), ireg(1), ireg(2));
   H.B.shr(ireg(10), ireg(1), ireg(2));
   H.run(10);
-  EXPECT_EQ(H.Ctx.R[3], 10u);
-  EXPECT_EQ(H.Ctx.R[4], 4u);
-  EXPECT_EQ(H.Ctx.R[5], 21u);
-  EXPECT_EQ(H.Ctx.R[6], 3u);
-  EXPECT_EQ(H.Ctx.R[7], 7u);
-  EXPECT_EQ(H.Ctx.R[8], 4u);
-  EXPECT_EQ(H.Ctx.R[9], 56u);
-  EXPECT_EQ(H.Ctx.R[10], 0u);
+  EXPECT_EQ(H.Ctx.readInt(3), 10u);
+  EXPECT_EQ(H.Ctx.readInt(4), 4u);
+  EXPECT_EQ(H.Ctx.readInt(5), 21u);
+  EXPECT_EQ(H.Ctx.readInt(6), 3u);
+  EXPECT_EQ(H.Ctx.readInt(7), 7u);
+  EXPECT_EQ(H.Ctx.readInt(8), 4u);
+  EXPECT_EQ(H.Ctx.readInt(9), 56u);
+  EXPECT_EQ(H.Ctx.readInt(10), 0u);
 }
 
 TEST(Executor, ImmediateALUAndWraparound) {
@@ -81,18 +81,18 @@ TEST(Executor, ImmediateALUAndWraparound) {
   H.B.andI(ireg(5), ireg(1), 0xFF);
   H.B.orI(ireg(6), ireg(0), 0x10);
   H.run(6);
-  EXPECT_EQ(H.Ctx.R[2], 1u); // Wraps.
-  EXPECT_EQ(H.Ctx.R[3], static_cast<uint64_t>(-3));
-  EXPECT_EQ(H.Ctx.R[4], 0xF000000000000000ull);
-  EXPECT_EQ(H.Ctx.R[5], 0xFFu);
-  EXPECT_EQ(H.Ctx.R[6], 0x10u);
+  EXPECT_EQ(H.Ctx.readInt(2), 1u); // Wraps.
+  EXPECT_EQ(H.Ctx.readInt(3), static_cast<uint64_t>(-3));
+  EXPECT_EQ(H.Ctx.readInt(4), 0xF000000000000000ull);
+  EXPECT_EQ(H.Ctx.readInt(5), 0xFFu);
+  EXPECT_EQ(H.Ctx.readInt(6), 0x10u);
 }
 
 TEST(Executor, HardwiredRegisters) {
   ExecHarness H;
   H.B.addI(ireg(1), ireg(0), 5); // r0 reads as 0.
   H.run(1);
-  EXPECT_EQ(H.Ctx.R[1], 5u);
+  EXPECT_EQ(H.Ctx.readInt(1), 5u);
   EXPECT_TRUE(H.Ctx.readPred(0)); // p0 reads as true.
 }
 
@@ -107,12 +107,12 @@ TEST(Executor, CompareConditions) {
   H.B.cmpI(CondCode::LE, preg(5), ireg(1), 5);
   H.B.cmpI(CondCode::GE, preg(6), ireg(1), 6);
   H.run(8);
-  EXPECT_TRUE(H.Ctx.P[1]);
-  EXPECT_FALSE(H.Ctx.P[2]);
-  EXPECT_TRUE(H.Ctx.P[3]);
-  EXPECT_FALSE(H.Ctx.P[4]);
-  EXPECT_TRUE(H.Ctx.P[5]);
-  EXPECT_FALSE(H.Ctx.P[6]);
+  EXPECT_TRUE(H.Ctx.readPred(1));
+  EXPECT_FALSE(H.Ctx.readPred(2));
+  EXPECT_TRUE(H.Ctx.readPred(3));
+  EXPECT_FALSE(H.Ctx.readPred(4));
+  EXPECT_TRUE(H.Ctx.readPred(5));
+  EXPECT_FALSE(H.Ctx.readPred(6));
 }
 
 TEST(Executor, SignedCompare) {
@@ -120,7 +120,7 @@ TEST(Executor, SignedCompare) {
   H.B.movI(ireg(1), -2);
   H.B.cmpI(CondCode::LT, preg(1), ireg(1), 0);
   H.run(2);
-  EXPECT_TRUE(H.Ctx.P[1]) << "compares are signed";
+  EXPECT_TRUE(H.Ctx.readPred(1)) << "compares are signed";
 }
 
 TEST(Executor, FloatingPoint) {
@@ -134,10 +134,10 @@ TEST(Executor, FloatingPoint) {
   H.B.fmul(freg(5), freg(1), freg(2));
   H.B.ftox(ireg(3), freg(5));
   H.run(8);
-  EXPECT_EQ(dbl(H.Ctx.F[3]), 7.0);
-  EXPECT_EQ(dbl(H.Ctx.F[4]), -1.0);
-  EXPECT_EQ(dbl(H.Ctx.F[5]), 12.0);
-  EXPECT_EQ(H.Ctx.R[3], 12u);
+  EXPECT_EQ(dbl(H.Ctx.readFP(3)), 7.0);
+  EXPECT_EQ(dbl(H.Ctx.readFP(4)), -1.0);
+  EXPECT_EQ(dbl(H.Ctx.readFP(5)), 12.0);
+  EXPECT_EQ(H.Ctx.readInt(3), 12u);
 }
 
 TEST(Executor, LoadStoreRoundTrip) {
@@ -148,7 +148,7 @@ TEST(Executor, LoadStoreRoundTrip) {
   H.B.store(ireg(1), 0, ireg(2));
   H.B.load(ireg(3), ireg(1), 0);
   ExecOutcome Out = H.run(4);
-  EXPECT_EQ(H.Ctx.R[3], 77u);
+  EXPECT_EQ(H.Ctx.readInt(3), 77u);
   EXPECT_TRUE(Out.IsMem);
   EXPECT_TRUE(Out.IsLoad);
   EXPECT_EQ(Out.MemAddr, 0x2000u);
@@ -161,7 +161,7 @@ TEST(Executor, LoadFStoresBits) {
   H.B.loadF(freg(1), ireg(1), 0);
   H.B.storeF(ireg(1), 8, freg(1));
   H.run(3);
-  EXPECT_EQ(dbl(H.Ctx.F[1]), 2.5);
+  EXPECT_EQ(dbl(H.Ctx.readFP(1)), 2.5);
   EXPECT_EQ(H.Mem.read(0x2008), bits(2.5));
 }
 
@@ -182,7 +182,7 @@ TEST(Executor, SpeculativeWildLoadReturnsZero) {
   H.B.load(ireg(2), ireg(1), 0); // Unmapped.
   ExecOutcome Out = H.run(2, /*Speculative=*/true);
   EXPECT_TRUE(Out.WildLoad);
-  EXPECT_EQ(H.Ctx.R[2], 0u);
+  EXPECT_EQ(H.Ctx.readInt(2), 0u);
 }
 
 TEST(Executor, BranchTakenAndNot) {
@@ -237,8 +237,8 @@ TEST(Executor, CallAndReturn) {
   EXPECT_EQ(Out.Kind, CtrlKind::IndirectJump);
   EXPECT_TRUE(Ctx.CallStack.empty());
   executeStep(Ctx, LP, Mem, false, true, Out); // movI r5
-  EXPECT_EQ(Ctx.R[5], 99u);
-  EXPECT_EQ(Ctx.R[4], 7u);
+  EXPECT_EQ(Ctx.readInt(5), 99u);
+  EXPECT_EQ(Ctx.readInt(4), 7u);
 }
 
 TEST(Executor, IndirectCallUsesRegister) {
@@ -335,7 +335,7 @@ TEST(Executor, CopyFromLIBReadsIncomingFrame) {
   H.Ctx.LIBIn[3] = 4242;
   H.B.copyFromLIB(ireg(9), 3);
   H.run(1);
-  EXPECT_EQ(H.Ctx.R[9], 4242u);
+  EXPECT_EQ(H.Ctx.readInt(9), 4242u);
 }
 
 TEST(Executor, HaltParksThePC) {

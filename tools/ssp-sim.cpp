@@ -13,6 +13,7 @@
 //   ssp-sim prog.ssp --memlat N       memory latency in cycles
 //   ssp-sim prog.ssp --icount         ICOUNT fetch policy
 //   ssp-sim prog.ssp --throttle       dynamic trigger throttling
+//   ssp-sim prog.ssp --no-skip        tick every cycle (no idle skipping)
 //   ssp-sim a.ssp b.ssp --jobs N      simulation parallelism (default:
 //                                     hardware concurrency)
 //
@@ -43,7 +44,7 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp>... [--ooo] [--contexts N] [--memlat N] "
-               "[--icount] [--throttle] [--jobs N]\n",
+               "[--icount] [--throttle] [--no-skip] [--jobs N]\n",
                Argv0);
   return 1;
 }
@@ -154,6 +155,8 @@ int main(int argc, char **argv) {
       Cfg.Fetch = sim::FetchPolicy::ICount;
     } else if (std::strcmp(argv[I], "--throttle") == 0) {
       Cfg.EnableSSPThrottle = true;
+    } else if (std::strcmp(argv[I], "--no-skip") == 0) {
+      Cfg.SkipIdleCycles = false;
     } else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
       int N = std::atoi(argv[++I]);
       if (N < 1 || N > 512)
