@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI entry point: build (Release and sanitized), test, lint, and run the
+# verifier over every example program and its adaptation.
+#
+#   scripts/ci.sh [jobs]
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc 2>/dev/null || echo 1)}"
+cd "$ROOT"
+
+echo "== Release build + tests =="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "== clang-tidy (no-op when not installed) =="
+cmake --build build-ci --target lint
+
+echo "== ssp-verify over examples/ =="
+for f in examples/*.ssp; do
+  echo "-- $f"
+  # The source program must be clean, and the adapted binary must verify
+  # against it (ssp-adapt exits non-zero on verification errors itself;
+  # the standalone pass re-checks the emitted text end to end).
+  ./build-ci/tools/ssp-verify "$f"
+  ./build-ci/tools/ssp-adapt "$f" --emit >"build-ci/$(basename "$f").out"
+  sed -n '/^function /,$p' "build-ci/$(basename "$f").out" \
+    >"build-ci/$(basename "$f").adapted"
+  ./build-ci/tools/ssp-verify "build-ci/$(basename "$f").adapted"
+done
+
+echo "== Sanitized build (ASan+UBSan) + tests =="
+cmake -B build-asan -S . -DSSP_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "CI OK"

@@ -30,15 +30,45 @@ std::set<Reg> collectUsedRegs(const Program &P, const AdaptedLoad &AL) {
     if (D.isValid())
       Used.insert(D);
   };
+  for (const InstRef &I : AL.Sched.Prologue)
+    AddInst(I);
   for (const InstRef &I : AL.Sched.Critical)
     AddInst(I);
   for (const InstRef &I : AL.Sched.NonCritical)
     AddInst(I);
+  for (const sched::ScheduledSlice &ES : AL.ExtraSections)
+    for (const std::vector<InstRef> *Seq :
+         {&ES.Prologue, &ES.Critical, &ES.NonCritical})
+      for (const InstRef &I : *Seq)
+        AddInst(I);
   for (Reg R : AL.Slice.LiveIns)
     Used.insert(R);
   for (const InstRef &T : AL.Slice.TargetLoads)
     AddInst(T);
   return Used;
+}
+
+/// True when emitSliceInst would copy this opcode into a slice (control
+/// transfers and stores are dropped).
+bool sliceEmittable(Opcode Op) {
+  switch (Op) {
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::CallInd:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::ChkC:
+  case Opcode::Rfi:
+  case Opcode::Spawn:
+  case Opcode::KillThread:
+  case Opcode::Nop:
+  case Opcode::Store:
+  case Opcode::StoreF:
+    return false;
+  default:
+    return true;
+  }
 }
 
 Reg pickScratchInt(const std::set<Reg> &Used) {
@@ -64,26 +94,10 @@ Reg pickScratchPred(const std::set<Reg> &Used) {
 void emitSliceInst(IRBuilder &B, const Program &Src, const InstRef &Ref,
                    unsigned &Count) {
   const Instruction &I = Ref.get(Src);
-  switch (I.Op) {
-  case Opcode::Br:
-  case Opcode::Jmp:
-  case Opcode::Call:
-  case Opcode::CallInd:
-  case Opcode::Ret:
-  case Opcode::Halt:
-  case Opcode::ChkC:
-  case Opcode::Rfi:
-  case Opcode::Spawn:
-  case Opcode::KillThread:
-  case Opcode::Nop:
-    return; // Speculated through / never copied into a slice.
-  case Opcode::Store:
-  case Opcode::StoreF:
-    // The no-store invariant of Section 2: stores never enter a p-slice.
+  // Control transfers are speculated through (if-conversion); stores are
+  // the no-store invariant of Section 2 and never enter a p-slice.
+  if (!sliceEmittable(I.Op))
     return;
-  default:
-    break;
-  }
   Instruction Copy = I;
   Copy.Id = 0; // Reassigned by emit().
   B.emit(Copy);
@@ -94,10 +108,13 @@ void emitSliceInst(IRBuilder &B, const Program &Src, const InstRef &Ref,
 
 Program ssp::codegen::rewriteWithSlices(const Program &Orig,
                                         const std::vector<AdaptedLoad> &Loads,
-                                        RewriteInfo *Info) {
+                                        RewriteInfo *Info,
+                                        verify::AdaptationManifest *Manifest) {
   Program New = Orig.clone();
   IRBuilder B(New);
   RewriteInfo Stats;
+  if (Manifest)
+    *Manifest = verify::AdaptationManifest();
 
   // Trigger insertions are deferred so that block instruction indices from
   // the plans (computed on the original layout) stay valid. Key: (func,
@@ -118,11 +135,80 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
     // LIB slot layouts. The stub stages the slice live-ins for the first
     // spawned thread (the prologue when present, else the first chain
     // link); the prologue re-stages the chain live-ins for the chain.
-    const std::vector<Reg> &StubLiveIns =
-        HasPrologue || !Chaining ? AL.Slice.LiveIns : AL.Sched.ChainLiveIns;
-    const std::vector<Reg> &ChainLiveIns = AL.Sched.ChainLiveIns;
-    assert(StubLiveIns.size() + 1 <= sim::MaxLIBSlots && "LIB overflow");
-    assert(ChainLiveIns.size() + 1 <= sim::MaxLIBSlots && "LIB overflow");
+    std::vector<Reg> ChainLiveIns = AL.Sched.ChainLiveIns;
+    std::vector<Reg> StubLiveIns =
+        HasPrologue || !Chaining ? AL.Slice.LiveIns : ChainLiveIns;
+
+    // Widen the live-in lists with uses that are upward-exposed in the
+    // straight-line emission order. The slicer resolves a loop-carried use
+    // against the in-slice definition from the previous iteration, so the
+    // register is not in its live-in set; but once the slice is laid out
+    // as a straight line the first use precedes every definition and would
+    // read the spawned thread's zeroed register file. The main thread
+    // holds the wanted value at trigger time, so such registers are
+    // marshalled through the LIB like any other live-in.
+    auto AppendExposed = [&](std::vector<Reg> &LiveIns,
+                             std::initializer_list<
+                                 const std::vector<InstRef> *>
+                                 Seqs,
+                             const std::vector<InstRef> *PrefTargets,
+                             const std::vector<Reg> &TrailingUses) {
+      std::set<Reg> Live(LiveIns.begin(), LiveIns.end());
+      std::set<Reg> Defined;
+      auto Use = [&](Reg R) {
+        if (!R.isValid() || Live.count(R) || Defined.count(R))
+          return;
+        if (R.Num == 0 &&
+            (R.Cls == RegClass::Int || R.Cls == RegClass::Pred))
+          return; // Hardwired r0/p0 read the same in every thread.
+        Live.insert(R);
+        LiveIns.push_back(R);
+      };
+      for (const std::vector<InstRef> *Seq : Seqs)
+        for (const InstRef &Ref : *Seq) {
+          const Instruction &I = Ref.get(New);
+          if (!sliceEmittable(I.Op))
+            continue;
+          I.forEachUse(Use);
+          Reg D = I.def();
+          if (D.isValid())
+            Defined.insert(D);
+        }
+      if (PrefTargets)
+        for (const InstRef &T : *PrefTargets)
+          Use(T.get(New).Src1);
+      for (Reg R : TrailingUses)
+        Use(R);
+    };
+    if (Chaining) {
+      // Header + fallthrough body run with only ChainLiveIns loaded.
+      AppendExposed(ChainLiveIns, {&AL.Sched.Critical, &AL.Sched.NonCritical},
+                    &AL.Slice.TargetLoads, {});
+      if (HasPrologue)
+        // The prologue must produce every chain live-in before its spawn;
+        // ones it neither loads nor computes come from the stub.
+        AppendExposed(StubLiveIns, {&AL.Sched.Prologue}, nullptr,
+                      ChainLiveIns);
+      else
+        StubLiveIns = ChainLiveIns;
+    } else {
+      AppendExposed(StubLiveIns, {&AL.Sched.NonCritical},
+                    &AL.Slice.TargetLoads, {});
+      // Extra sections re-load the full live-in set, so each only needs
+      // its own upward-exposed uses covered.
+      for (size_t SI = 0; SI < AL.ExtraSections.size(); ++SI)
+        AppendExposed(StubLiveIns, {&AL.ExtraSections[SI].NonCritical},
+                      SI < AL.ExtraTargets.size() ? &AL.ExtraTargets[SI]
+                                                  : &AL.Slice.TargetLoads,
+                      {});
+    }
+
+    // The LIB is finite; an adaptation whose live-ins cannot be marshalled
+    // (plus one slot for the trip budget) is dropped rather than emitted
+    // with threads reading unstaged registers.
+    if (StubLiveIns.size() + 1 > sim::MaxLIBSlots ||
+        ChainLiveIns.size() + 1 > sim::MaxLIBSlots)
+      continue;
     const uint32_t BudgetSlot = static_cast<uint32_t>(ChainLiveIns.size());
 
     // A chain must be bounded: gate on the slice's own condition when it
@@ -283,6 +369,38 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
     for (const trigger::TriggerPlacement &T : AL.Plan.RestartTriggers)
       PendingTriggers[{T.Where.Func, T.Where.Block}].push_back(
           {T.Where.Inst, Stub});
+
+    // --- Rewrite plan record for the verification pipeline ---
+    // Planned prefetches mirror the emission dedup above exactly: the
+    // verifier re-finds them in the emitted slice, so drift between this
+    // record and the emitters is itself a detectable bug.
+    if (Manifest) {
+      verify::SliceManifest SM;
+      SM.Func = Func;
+      SM.StubBlock = Stub;
+      SM.HeaderBlock = Hdr;
+      SM.UsesBudget = UseBudget;
+      SM.TripBudget = AL.TripBudget;
+      std::set<std::pair<Reg, int64_t>> Planned;
+      for (const InstRef &T : AL.Slice.TargetLoads) {
+        const Instruction &L = T.get(New);
+        Planned.insert({L.Src1, L.Imm});
+      }
+      if (!Chaining)
+        for (size_t SI = 0; SI < AL.ExtraSections.size(); ++SI) {
+          const std::vector<InstRef> &Targets =
+              SI < AL.ExtraTargets.size() ? AL.ExtraTargets[SI]
+                                          : AL.Slice.TargetLoads;
+          for (const InstRef &T : Targets) {
+            const Instruction &L = T.get(New);
+            Planned.insert({L.Src1, L.Imm});
+          }
+        }
+      SM.PrefetchTargets.assign(Planned.begin(), Planned.end());
+      Manifest->Slices.push_back(std::move(SM));
+      Manifest->PlannedTriggers += static_cast<unsigned>(
+          AL.Plan.Triggers.size() + AL.Plan.RestartTriggers.size());
+    }
   }
 
   // Insert chk.c instructions, highest index first so indices stay valid.
@@ -303,7 +421,7 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
     }
   }
 
-  std::vector<std::string> Diags = verify(New);
+  std::vector<std::string> Diags = ir::verify(New);
   if (!Diags.empty()) {
     for (const std::string &D : Diags)
       std::fprintf(stderr, "rewriter produced invalid IR: %s\n", D.c_str());

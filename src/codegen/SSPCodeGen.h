@@ -35,6 +35,7 @@
 #include "sched/Scheduler.h"
 #include "slicer/Slicer.h"
 #include "trigger/TriggerPlacer.h"
+#include "verify/Manifest.h"
 
 #include <cstdint>
 #include <vector>
@@ -70,11 +71,18 @@ struct RewriteInfo {
 
 /// Produces the SSP-enhanced binary: a clone of \p Orig with triggers
 /// inserted and stub/slice attachments appended. Static ids of original
-/// instructions are preserved. The result is verified; a malformed result
-/// aborts (tool bug).
+/// instructions are preserved. The result is verified structurally; a
+/// malformed result aborts (tool bug).
+///
+/// When \p Manifest is non-null it is filled with the rewrite *plan*
+/// (planned prefetch targets, trip budgets, trigger count, block
+/// placement), recorded from the AdaptedLoad inputs rather than from the
+/// emitted code: the verification pipeline diffs plan against emission, so
+/// an emission bug that drops a prefetch or the budget staging is caught.
 ir::Program rewriteWithSlices(const ir::Program &Orig,
                               const std::vector<AdaptedLoad> &Loads,
-                              RewriteInfo *Info = nullptr);
+                              RewriteInfo *Info = nullptr,
+                              verify::AdaptationManifest *Manifest = nullptr);
 
 } // namespace ssp::codegen
 

@@ -4,7 +4,9 @@
 
 #include "analysis/RegionGraph.h"
 #include "sim/Simulator.h"
+#include "support/Assert.h"
 #include "trigger/TriggerPlacer.h"
+#include "verify/PassManager.h"
 
 #include <algorithm>
 #include <cassert>
@@ -340,7 +342,26 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
     Adapted.push_back(std::move(AL));
   }
 
-  Program Enhanced = codegen::rewriteWithSlices(Orig, Adapted, &Rep.Rewrite);
+  Program Enhanced = codegen::rewriteWithSlices(Orig, Adapted, &Rep.Rewrite,
+                                                &Rep.Manifest);
+
+  // Validate the adaptation end to end: the emitted binary against the
+  // original (translation validation) and against the rewrite plan, plus
+  // the stub/slice speculation contracts. Errors here mean the tool
+  // produced an unsafe binary — by default that is fatal.
+  if (Opts.VerifyAdapted) {
+    ssp::verify::VerifyContext VC{Enhanced, &Orig, &Rep.Manifest};
+    ssp::verify::DiagnosticEngine DE = ssp::verify::runStandardPipeline(VC);
+    Rep.VerifyErrors = DE.errorCount();
+    Rep.VerifyWarnings = DE.warningCount();
+    Rep.VerifyDiags = DE.diagnostics();
+    if (DE.hasErrors() && Opts.FatalOnVerifyError) {
+      std::fprintf(stderr, "%s",
+                   ssp::verify::renderTextAll(DE, &Enhanced).c_str());
+      fatalError("adapted binary failed SSP verification");
+    }
+  }
+
   if (Report)
     *Report = std::move(Rep);
   return Enhanced;

@@ -25,6 +25,7 @@
 
 #include "codegen/SSPCodeGen.h"
 #include "profile/Profile.h"
+#include "verify/Diagnostic.h"
 
 #include <functional>
 
@@ -71,6 +72,17 @@ struct ToolOptions {
   /// Trace candidate evaluation to stderr.
   bool Verbose = false;
 
+  /// Run the full verification pipeline (structural checks, translation
+  /// validation against the original, stub/slice contracts, lints) over
+  /// the adapted binary before returning it.
+  bool VerifyAdapted = true;
+
+  /// Abort via fatalError when the pipeline reports errors (a tool bug:
+  /// the rewriter emitted an unsafe adaptation). CLI frontends set this
+  /// false to print the diagnostics and exit with a status code instead;
+  /// the findings are in AdaptationReport::VerifyDiags either way.
+  bool FatalOnVerifyError = true;
+
   slicer::SliceOptions Slicing;
 };
 
@@ -96,6 +108,14 @@ struct AdaptationReport {
   std::vector<SliceReport> Slices;
   unsigned DelinquentLoads = 0;
   codegen::RewriteInfo Rewrite;
+
+  /// The rewrite plan handed to the verification pipeline.
+  verify::AdaptationManifest Manifest;
+  /// Verification findings over the adapted binary (empty when
+  /// ToolOptions::VerifyAdapted is off).
+  std::vector<verify::Diagnostic> VerifyDiags;
+  unsigned VerifyErrors = 0;
+  unsigned VerifyWarnings = 0;
 
   unsigned numSlices() const {
     return static_cast<unsigned>(Slices.size());

@@ -3,6 +3,7 @@
 #include "ir/Verifier.h"
 
 #include "ir/Program.h"
+#include "verify/Diagnostic.h"
 
 #include <set>
 
@@ -13,30 +14,41 @@ namespace {
 
 class VerifierImpl {
 public:
-  explicit VerifierImpl(const Program &P) : P(P) {}
+  VerifierImpl(const Program &P, verify::DiagnosticEngine &DE)
+      : P(P), DE(DE) {}
 
-  std::vector<std::string> run() {
+  void run() {
     for (uint32_t FI = 0; FI < P.numFuncs(); ++FI)
       verifyFunction(P.func(FI));
     if (P.numFuncs() == 0)
-      error("program has no functions");
+      DE.errorInProgram("structural.no-functions",
+                        "program has no functions");
     else if (P.getEntry() >= P.numFuncs())
-      error("entry function index out of range");
-    return std::move(Diags);
+      DE.errorInProgram("structural.entry-range",
+                        "entry function index out of range");
   }
 
 private:
-  void error(const std::string &Msg) { Diags.push_back(Msg); }
+  void errorIn(const Function &F, const BasicBlock &BB, uint32_t Inst,
+               const char *CheckId, const std::string &Msg,
+               std::string Hint = "") {
+    DE.error(CheckId, {F.getIndex(), BB.Index, Inst},
+             "in " + F.getName() + " bb" + std::to_string(BB.Index) + ": " +
+                 Msg,
+             std::move(Hint));
+  }
 
-  void errorIn(const Function &F, const BasicBlock &BB,
-               const std::string &Msg) {
-    error("in " + F.getName() + " bb" + std::to_string(BB.Index) + ": " +
-          Msg);
+  void errorInBlock(const Function &F, const BasicBlock &BB,
+                    const char *CheckId, const std::string &Msg) {
+    DE.errorInBlock(CheckId, F.getIndex(), BB.Index,
+                    "in " + F.getName() + " bb" + std::to_string(BB.Index) +
+                        ": " + Msg);
   }
 
   void verifyFunction(const Function &F) {
     if (F.numBlocks() == 0) {
-      error("function " + F.getName() + " has no blocks");
+      DE.errorInFunc("structural.empty-function", F.getIndex(),
+                     "function " + F.getName() + " has no blocks");
       return;
     }
     // Attachments must come after all body blocks, so body fallthrough never
@@ -48,7 +60,8 @@ private:
         SeenAttachment = true;
       } else {
         if (SeenAttachment)
-          errorIn(F, BB, "body block after attachment blocks");
+          errorInBlock(F, BB, "structural.block-order",
+                       "body block after attachment blocks");
         LastBodyIdx = BB.Index;
       }
     }
@@ -60,51 +73,57 @@ private:
   void verifyUniqueIds(const Function &F) {
     std::set<uint32_t> Seen;
     for (const BasicBlock &BB : F.blocks())
-      for (const Instruction &I : BB.Insts)
-        if (!Seen.insert(I.Id).second)
-          errorIn(F, BB,
-                  "duplicate static instruction id " + std::to_string(I.Id));
+      for (uint32_t Idx = 0; Idx < BB.Insts.size(); ++Idx)
+        if (!Seen.insert(BB.Insts[Idx].Id).second)
+          errorIn(F, BB, Idx, "structural.dup-id",
+                  "duplicate static instruction id " +
+                      std::to_string(BB.Insts[Idx].Id));
   }
 
   void verifyBlock(const Function &F, const BasicBlock &BB,
                    bool IsLastBody) {
     if (BB.Insts.empty()) {
-      errorIn(F, BB, "empty basic block");
+      errorInBlock(F, BB, "structural.empty-block", "empty basic block");
       return;
     }
     for (size_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
       const Instruction &I = BB.Insts[Idx];
       bool IsLast = Idx + 1 == BB.Insts.size();
-      verifyInst(F, BB, I, IsLast);
+      verifyInst(F, BB, static_cast<uint32_t>(Idx), I, IsLast);
     }
     // The last body block must not fall off the end of the function.
     const Instruction &Last = BB.Insts.back();
-    bool Exits = isTerminator(Last.Op) || Last.Op == Opcode::Br;
     if (IsLastBody && BB.Kind == BlockKind::Body &&
         !BB.endsWithUnconditionalExit())
-      errorIn(F, BB, "last body block may fall through past the function");
-    (void)Exits;
+      errorInBlock(F, BB, "structural.fallthrough",
+                   "last body block may fall through past the function");
     switch (BB.Kind) {
     case BlockKind::Body:
       break;
     case BlockKind::Stub:
       if (Last.Op != Opcode::Rfi)
-        errorIn(F, BB, "stub block must end with rfi");
+        errorIn(F, BB, static_cast<uint32_t>(BB.Insts.size() - 1),
+                "structural.stub-rfi", "stub block must end with rfi",
+                "end the chk.c recovery code with rfi so the main thread "
+                "resumes at the interrupted instruction");
       break;
     case BlockKind::Slice:
       if (!isTerminator(Last.Op) && Last.Op != Opcode::Br)
-        errorIn(F, BB, "slice block must end with control flow");
+        errorIn(F, BB, static_cast<uint32_t>(BB.Insts.size() - 1),
+                "structural.slice-terminator",
+                "slice block must end with control flow");
       break;
     }
   }
 
-  void verifyInst(const Function &F, const BasicBlock &BB,
+  void verifyInst(const Function &F, const BasicBlock &BB, uint32_t Idx,
                   const Instruction &I, bool IsLast) {
     // Register class constraints.
     auto WantClass = [&](Reg R, RegClass C, const char *What) {
       if (R.Cls != C)
-        errorIn(F, BB, std::string(What) + " has wrong register class in '" +
-                           I.str() + "'");
+        errorIn(F, BB, Idx, "structural.regclass",
+                std::string(What) + " has wrong register class in '" +
+                    I.str() + "'");
     };
     switch (I.Op) {
     case Opcode::Add:
@@ -131,7 +150,8 @@ private:
       break;
     case Opcode::Mov:
       if (I.Dst.Cls != I.Src1.Cls || (!I.Dst.isInt() && !I.Dst.isFP()))
-        errorIn(F, BB, "mov operands must be same Int/FP class");
+        errorIn(F, BB, Idx, "structural.regclass",
+                "mov operands must be same Int/FP class");
       break;
     case Opcode::Cmp:
       WantClass(I.Dst, RegClass::Pred, "dst");
@@ -184,11 +204,13 @@ private:
       break;
     case Opcode::CopyToLIB:
       if (!I.Src1.isValid())
-        errorIn(F, BB, "lib.st needs a source register");
+        errorIn(F, BB, Idx, "structural.regclass",
+                "lib.st needs a source register");
       break;
     case Opcode::CopyFromLIB:
       if (!I.Dst.isValid())
-        errorIn(F, BB, "lib.ld needs a destination register");
+        errorIn(F, BB, Idx, "structural.regclass",
+                "lib.ld needs a destination register");
       break;
     default:
       break;
@@ -198,36 +220,48 @@ private:
     Reg D = I.def();
     if (D.isValid() && D.Num == 0 &&
         (D.Cls == RegClass::Int || D.Cls == RegClass::Pred))
-      errorIn(F, BB, "write to hardwired register " + D.str());
+      errorIn(F, BB, Idx, "structural.hardwired-write",
+              "write to hardwired register " + D.str());
 
     // Control transfer target validity.
     if (hasBlockTarget(I.Op)) {
       if (I.Target >= F.numBlocks()) {
-        errorIn(F, BB, "block target out of range in '" + I.str() + "'");
+        errorIn(F, BB, Idx, "structural.target-range",
+                "block target out of range in '" + I.str() + "'");
       } else {
         const BasicBlock &TargetBB = F.block(I.Target);
         if (I.Op == Opcode::ChkC && TargetBB.Kind != BlockKind::Stub)
-          errorIn(F, BB, "chk.c must target a stub block");
+          errorIn(F, BB, Idx, "structural.chkc-target",
+                  "chk.c must target a stub block",
+                  "point the trigger at the chk.c recovery stub");
         if (I.Op == Opcode::Spawn && TargetBB.Kind != BlockKind::Slice)
-          errorIn(F, BB, "spawn must target a slice block");
+          errorIn(F, BB, Idx, "structural.spawn-target",
+                  "spawn must target a slice block",
+                  "speculative threads may only execute p-slice code");
         if ((I.Op == Opcode::Br || I.Op == Opcode::Jmp) &&
             TargetBB.isAttachment() != BB.isAttachment())
-          errorIn(F, BB, "branch crosses body/attachment boundary");
+          errorIn(F, BB, Idx, "structural.branch-crossing",
+                  "branch crosses body/attachment boundary");
       }
     }
     if (I.Op == Opcode::Call && I.Target >= P.numFuncs())
-      errorIn(F, BB, "call target function out of range");
+      errorIn(F, BB, Idx, "structural.call-range",
+              "call target function out of range");
 
     // Br/Jmp/terminators must end the block; Call/ChkC/Spawn may be inline.
     bool MustBeLast = I.Op == Opcode::Br || isTerminator(I.Op);
     if (MustBeLast && !IsLast)
-      errorIn(F, BB, "'" + I.str() + "' must be the last instruction");
+      errorIn(F, BB, Idx, "structural.terminator-position",
+              "'" + I.str() + "' must be the last instruction");
 
     // SSP invariants (paper Section 2): speculative code never stores to
     // program memory and never invokes procedures or halts the machine.
     if (BB.Kind == BlockKind::Slice) {
       if (isStore(I.Op))
-        errorIn(F, BB, "p-slice contains a store: '" + I.str() + "'");
+        errorIn(F, BB, Idx, "structural.slice-store",
+                "p-slice contains a store: '" + I.str() + "'",
+                "p-slices must be store-free; drop the store or convert "
+                "its value into a live-in");
       switch (I.Op) {
       case Opcode::Call:
       case Opcode::CallInd:
@@ -235,24 +269,36 @@ private:
       case Opcode::Halt:
       case Opcode::ChkC:
       case Opcode::Rfi:
-        errorIn(F, BB, "illegal opcode in p-slice: '" + I.str() + "'");
+        errorIn(F, BB, Idx, "structural.slice-opcode",
+                "illegal opcode in p-slice: '" + I.str() + "'");
         break;
       default:
         break;
       }
     }
     if (BB.Kind == BlockKind::Stub && isStore(I.Op))
-      errorIn(F, BB, "stub block contains a program-memory store");
+      errorIn(F, BB, Idx, "structural.stub-store",
+              "stub block contains a program-memory store");
   }
 
   const Program &P;
-  std::vector<std::string> Diags;
+  verify::DiagnosticEngine &DE;
 };
 
 } // namespace
 
+void ssp::ir::verifyStructural(const Program &P,
+                               verify::DiagnosticEngine &DE) {
+  VerifierImpl(P, DE).run();
+}
+
 std::vector<std::string> ssp::ir::verify(const Program &P) {
-  return VerifierImpl(P).run();
+  verify::DiagnosticEngine DE;
+  verifyStructural(P, DE);
+  std::vector<std::string> Out;
+  for (const verify::Diagnostic &D : DE.diagnostics())
+    Out.push_back(D.Message);
+  return Out;
 }
 
 bool ssp::ir::isWellFormed(const Program &P) { return verify(P).empty(); }

@@ -11,6 +11,11 @@
 /// state, Section 2), chk.c targets stub blocks, spawn targets slice blocks,
 /// and stub blocks end with rfi.
 ///
+/// The checker emits structured verify::Diagnostics (check ids prefixed
+/// "structural."); the legacy verify() entry point renders them to strings.
+/// The full semantic pipeline (translation validation, slice dataflow,
+/// lints) lives in src/verify/ and runs this checker as its first pass.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SSP_IR_VERIFIER_H
@@ -19,9 +24,17 @@
 #include <string>
 #include <vector>
 
+namespace ssp::verify {
+class DiagnosticEngine;
+} // namespace ssp::verify
+
 namespace ssp::ir {
 
 class Program;
+
+/// Checks all functions of \p P, reporting structured diagnostics (severity
+/// error, check ids "structural.*") into \p DE.
+void verifyStructural(const Program &P, verify::DiagnosticEngine &DE);
 
 /// Checks all functions of \p P and returns a list of human-readable
 /// diagnostics; empty means the program is well formed.

@@ -181,7 +181,9 @@ private:
   bool mainMissOutstanding() const;
   void pruneMainOutstanding();
 
-  const MachineConfig &Cfg;
+  // Owned by value: callers routinely pass a temporary (e.g.
+  // MachineConfig::inOrder()) whose lifetime ends before run().
+  const MachineConfig Cfg;
   const ir::LinkedProgram &LP;
   mem::SimMemory &Mem;
   cache::CacheHierarchy Cache;

@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include <memory>
+
 using namespace ssp;
 using namespace ssp::support;
 
@@ -65,10 +67,14 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
       Fn(I);
     return;
   }
+  // Each task owns a handle to the callable: if get() rethrows, this frame
+  // unwinds while later tasks may still be queued or running, so they must
+  // not reference the caller's Fn.
+  auto Shared = std::make_shared<std::function<void(size_t)>>(Fn);
   std::vector<std::future<void>> Futures;
   Futures.reserve(N);
   for (size_t I = 0; I < N; ++I)
-    Futures.push_back(submit([&Fn, I] { Fn(I); }));
+    Futures.push_back(submit([Shared, I] { (*Shared)(I); }));
   for (std::future<void> &F : Futures)
     F.get(); // Rethrows the first failure in index order.
 }

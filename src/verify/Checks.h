@@ -1,0 +1,58 @@
+//===- verify/Checks.h - The SSP verification passes ----------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories for the concrete verification passes. Check-id catalogue:
+///
+///   structural.*          ir::verifyStructural (well-formedness)
+///   tv.*                  translation validation against the original
+///   stub.*                chk.c recovery-stub contract
+///   slice.*               p-slice dataflow: live-ins, LIB staging, chain
+///                         termination, prefetch coverage
+///   lint.*                warnings: dead slice code, staging order,
+///                         bundle slot pressure, trigger reachability
+///
+/// The full list with rationale is documented in DESIGN.md under
+/// "Verification architecture".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_VERIFY_CHECKS_H
+#define SSP_VERIFY_CHECKS_H
+
+#include "verify/Pass.h"
+
+#include <memory>
+
+namespace ssp::verify {
+
+/// Wraps ir::verifyStructural. Runs even on ill-formed programs (it is the
+/// pass that decides ill-formedness).
+std::unique_ptr<VerifyPass> createStructuralPass();
+
+/// Diffs the adapted program against Ctx.Orig: every original instruction
+/// must be preserved in order, and the only permitted body edit is the
+/// insertion of chk.c triggers. Skips silently when Ctx.Orig is null.
+std::unique_ptr<VerifyPass> createTranslationValidationPass();
+
+/// Stub blocks may only marshal live-ins into the LIB and spawn: any
+/// register write would corrupt the interrupted thread across the rfi.
+std::unique_ptr<VerifyPass> createStubContractPass();
+
+/// Slice dataflow: every register a p-slice reads is computed in the slice
+/// or loaded from the LIB; every LIB slot a spawn target reads is staged on
+/// every path to the spawn; chains terminate; planned prefetches are
+/// actually emitted.
+std::unique_ptr<VerifyPass> createSliceDataflowPass();
+
+/// Warnings-only lints: dead slice results, live-ins staged after the
+/// spawn, over-subscribed issue bundles, LIB pressure, unreachable or
+/// possibly-uninitialized triggers.
+std::unique_ptr<VerifyPass> createLintPass();
+
+} // namespace ssp::verify
+
+#endif // SSP_VERIFY_CHECKS_H

@@ -1,0 +1,250 @@
+//===- verify/Diagnostic.h - Structured verification diagnostics ----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic vocabulary of the verification subsystem: a Diagnostic is
+/// one finding of one check (severity, stable check id, InstRef location,
+/// message, optional fix hint), and a DiagnosticEngine accumulates them
+/// across the pass pipeline. Text and JSON renderers turn the collected
+/// diagnostics into `ssp-verify` output.
+///
+/// This header is intentionally header-only and depends only on ir/ plus
+/// the header-only analysis/InstRef.h, so the structural checker in ssp_ir
+/// can emit through the same engine without a library cycle (ssp_verify's
+/// compiled passes depend on ssp_analysis which depends on ssp_ir).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_VERIFY_DIAGNOSTIC_H
+#define SSP_VERIFY_DIAGNOSTIC_H
+
+#include "analysis/InstRef.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssp::verify {
+
+enum class Severity : uint8_t { Error, Warning, Note };
+
+inline const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+/// Where a diagnostic points. Granularity narrows from program-level (no
+/// location) through function and block down to one instruction.
+enum class LocKind : uint8_t { Program, Function, Block, Inst };
+
+/// One finding of one check.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  /// Stable check identifier (e.g. "slice.livein", "tv.inst-changed").
+  /// The catalogue lives in DESIGN.md's "Verification architecture".
+  std::string CheckId;
+  LocKind Kind = LocKind::Program;
+  /// Location; fields beyond the granularity of Kind are zero.
+  analysis::InstRef Loc;
+  std::string Message;
+  /// Optional suggestion for fixing the finding.
+  std::string FixHint;
+
+  bool isError() const { return Sev == Severity::Error; }
+
+  /// "fn1:bb5:2"-style location string, trimmed to the location kind.
+  std::string locStr() const {
+    switch (Kind) {
+    case LocKind::Program:
+      return "<program>";
+    case LocKind::Function:
+      return "fn" + std::to_string(Loc.Func);
+    case LocKind::Block:
+      return "fn" + std::to_string(Loc.Func) + ":bb" +
+             std::to_string(Loc.Block);
+    case LocKind::Inst:
+      return Loc.str();
+    }
+    return "<?>";
+  }
+};
+
+/// Accumulates diagnostics across a pass pipeline.
+class DiagnosticEngine {
+public:
+  void report(Diagnostic D) {
+    if (D.Sev == Severity::Error)
+      ++Errors;
+    else if (D.Sev == Severity::Warning)
+      ++Warnings;
+    Diags.push_back(std::move(D));
+  }
+
+  void error(std::string CheckId, const analysis::InstRef &Loc,
+             std::string Msg, std::string Hint = "") {
+    report({Severity::Error, std::move(CheckId), LocKind::Inst, Loc,
+            std::move(Msg), std::move(Hint)});
+  }
+  void errorInBlock(std::string CheckId, uint32_t Func, uint32_t Block,
+                    std::string Msg, std::string Hint = "") {
+    report({Severity::Error, std::move(CheckId), LocKind::Block,
+            {Func, Block, 0}, std::move(Msg), std::move(Hint)});
+  }
+  void errorInFunc(std::string CheckId, uint32_t Func, std::string Msg,
+                   std::string Hint = "") {
+    report({Severity::Error, std::move(CheckId), LocKind::Function,
+            {Func, 0, 0}, std::move(Msg), std::move(Hint)});
+  }
+  void errorInProgram(std::string CheckId, std::string Msg,
+                      std::string Hint = "") {
+    report({Severity::Error, std::move(CheckId), LocKind::Program, {},
+            std::move(Msg), std::move(Hint)});
+  }
+  void warning(std::string CheckId, const analysis::InstRef &Loc,
+               std::string Msg, std::string Hint = "") {
+    report({Severity::Warning, std::move(CheckId), LocKind::Inst, Loc,
+            std::move(Msg), std::move(Hint)});
+  }
+  void warningInBlock(std::string CheckId, uint32_t Func, uint32_t Block,
+                      std::string Msg, std::string Hint = "") {
+    report({Severity::Warning, std::move(CheckId), LocKind::Block,
+            {Func, Block, 0}, std::move(Msg), std::move(Hint)});
+  }
+  void note(std::string CheckId, const analysis::InstRef &Loc,
+            std::string Msg) {
+    report({Severity::Note, std::move(CheckId), LocKind::Inst, Loc,
+            std::move(Msg), ""});
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  unsigned errorCount() const { return Errors; }
+  unsigned warningCount() const { return Warnings; }
+  bool hasErrors() const { return Errors != 0; }
+
+  /// All diagnostics of one severity.
+  std::vector<Diagnostic> bySeverity(Severity S) const {
+    std::vector<Diagnostic> Out;
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == S)
+        Out.push_back(D);
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+};
+
+/// Renders one diagnostic as a single text line:
+///   error[slice.livein] fn1:bb5:2 (in primal_bea_mpp): r7 read before ...
+/// When \p P is non-null, the owning function's name is appended.
+inline std::string renderText(const Diagnostic &D,
+                              const ir::Program *P = nullptr) {
+  std::string Out = std::string(severityName(D.Sev)) + "[" + D.CheckId +
+                    "] " + D.locStr();
+  if (P && D.Kind != LocKind::Program && D.Loc.Func < P->numFuncs())
+    Out += " (in " + P->func(D.Loc.Func).getName() + ")";
+  Out += ": " + D.Message;
+  if (!D.FixHint.empty())
+    Out += " [hint: " + D.FixHint + "]";
+  return Out;
+}
+
+/// Renders every diagnostic, one per line.
+inline std::string renderTextAll(const DiagnosticEngine &DE,
+                                 const ir::Program *P = nullptr) {
+  std::string Out;
+  for (const Diagnostic &D : DE.diagnostics())
+    Out += renderText(D, P) + "\n";
+  return Out;
+}
+
+namespace detail {
+inline void jsonEscape(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+} // namespace detail
+
+/// Renders the engine's contents as a JSON document:
+///   {"errors":1,"warnings":0,"diagnostics":[{"severity":"error", ...}]}
+inline std::string renderJSON(const DiagnosticEngine &DE,
+                              const ir::Program *P = nullptr) {
+  std::string Out = "{\"errors\":" + std::to_string(DE.errorCount()) +
+                    ",\"warnings\":" + std::to_string(DE.warningCount()) +
+                    ",\"diagnostics\":[";
+  bool First = true;
+  for (const Diagnostic &D : DE.diagnostics()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "{\"severity\":\"";
+    Out += severityName(D.Sev);
+    Out += "\",\"check\":\"";
+    detail::jsonEscape(Out, D.CheckId);
+    Out += "\"";
+    if (D.Kind != LocKind::Program) {
+      Out += ",\"func\":" + std::to_string(D.Loc.Func);
+      if (P && D.Loc.Func < P->numFuncs()) {
+        Out += ",\"function\":\"";
+        detail::jsonEscape(Out, P->func(D.Loc.Func).getName());
+        Out += "\"";
+      }
+    }
+    if (D.Kind == LocKind::Block || D.Kind == LocKind::Inst)
+      Out += ",\"block\":" + std::to_string(D.Loc.Block);
+    if (D.Kind == LocKind::Inst)
+      Out += ",\"inst\":" + std::to_string(D.Loc.Inst);
+    Out += ",\"message\":\"";
+    detail::jsonEscape(Out, D.Message);
+    Out += "\"";
+    if (!D.FixHint.empty()) {
+      Out += ",\"hint\":\"";
+      detail::jsonEscape(Out, D.FixHint);
+      Out += "\"";
+    }
+    Out += "}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+} // namespace ssp::verify
+
+#endif // SSP_VERIFY_DIAGNOSTIC_H

@@ -1,0 +1,59 @@
+//===- verify/Manifest.h - Adaptation metadata for validation -------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AdaptationManifest records what the rewriter *planned* to emit for
+/// each adapted load: the prefetch address expressions that must appear in
+/// the slice, the chain trip budget, and the stub/slice block placement.
+/// The verification pipeline diffs this plan against the adapted program,
+/// so a codegen bug that silently drops a prefetch or the budget staging is
+/// caught even though the emitted program is otherwise well formed.
+///
+/// The manifest is filled by codegen::rewriteWithSlices from AdaptedLoad
+/// data *before* emission and consumed by the verify passes, which re-derive
+/// the facts from the emitted instructions independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_VERIFY_MANIFEST_H
+#define SSP_VERIFY_MANIFEST_H
+
+#include "ir/Reg.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ssp::verify {
+
+/// The plan for one installed slice (one codegen::AdaptedLoad).
+struct SliceManifest {
+  /// Function the attachments were appended to.
+  uint32_t Func = 0;
+  /// Block index of the stub block.
+  uint32_t StubBlock = 0;
+  /// Block index of the first slice block (the spawn header).
+  uint32_t HeaderBlock = 0;
+  /// (base register, offset) of every prefetch the slice must emit,
+  /// deduplicated exactly as the code generator deduplicates emissions.
+  std::vector<std::pair<ir::Reg, int64_t>> PrefetchTargets;
+  /// True when the chain is bounded by a LIB-staged trip budget rather
+  /// than by the slice's own computed spawn condition.
+  bool UsesBudget = false;
+  /// The budget value staged via lib.sti when UsesBudget.
+  uint64_t TripBudget = 0;
+};
+
+/// Everything the rewriter planned, for one whole adaptation.
+struct AdaptationManifest {
+  std::vector<SliceManifest> Slices;
+  /// Number of chk.c trigger insertions planned.
+  unsigned PlannedTriggers = 0;
+};
+
+} // namespace ssp::verify
+
+#endif // SSP_VERIFY_MANIFEST_H

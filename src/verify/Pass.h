@@ -1,0 +1,54 @@
+//===- verify/Pass.h - Analysis-pass interface for verification -----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VerifyPass is one static check (or family of checks) over an adapted
+/// program plus its adaptation metadata. Passes are composed by the
+/// PassManager into the standard pipeline: structural well-formedness,
+/// translation validation against the original binary, the stub and slice
+/// speculation contracts, and the lints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_VERIFY_PASS_H
+#define SSP_VERIFY_PASS_H
+
+#include "verify/Diagnostic.h"
+#include "verify/Manifest.h"
+
+namespace ssp::verify {
+
+/// Everything a pass may look at. Orig and Manifest are optional: when
+/// absent, passes that need them (translation validation, plan diffing)
+/// skip silently, so the same pipeline serves `ssp-verify prog.ssp` and
+/// the in-tool post-rewrite validation.
+struct VerifyContext {
+  const ir::Program &P;                       ///< The (adapted) program.
+  const ir::Program *Orig = nullptr;          ///< Pre-adaptation binary.
+  const AdaptationManifest *Manifest = nullptr; ///< Rewriter's plan.
+};
+
+/// One verification pass.
+class VerifyPass {
+public:
+  virtual ~VerifyPass() = default;
+
+  /// Stable pass name (shown by `ssp-verify --verbose`).
+  virtual const char *name() const = 0;
+
+  /// Runs the pass, reporting findings into \p DE.
+  virtual void run(const VerifyContext &Ctx, DiagnosticEngine &DE) = 0;
+
+  /// Passes that walk semantic structure (dataflow, CFG successors) assume
+  /// a structurally well-formed program; the manager skips them once an
+  /// earlier pass reported errors. The structural pass itself returns
+  /// false.
+  virtual bool requiresWellFormed() const { return true; }
+};
+
+} // namespace ssp::verify
+
+#endif // SSP_VERIFY_PASS_H

@@ -1,0 +1,44 @@
+//===- verify/PassManager.cpp - Verification pass pipeline ----------------===//
+
+#include "verify/PassManager.h"
+
+#include "verify/Checks.h"
+
+using namespace ssp;
+using namespace ssp::verify;
+
+DiagnosticEngine PassManager::run(const VerifyContext &Ctx) const {
+  DiagnosticEngine DE;
+  for (const std::unique_ptr<VerifyPass> &P : Passes) {
+    // Semantic passes walk block targets and dataflow; on a structurally
+    // broken program they would chase out-of-range indices, so they are
+    // skipped once errors exist. The structural pass itself (and any other
+    // pass declaring requiresWellFormed() == false) always runs.
+    if (P->requiresWellFormed() && DE.hasErrors())
+      continue;
+    P->run(Ctx, DE);
+  }
+  return DE;
+}
+
+std::vector<std::string> PassManager::passNames() const {
+  std::vector<std::string> Out;
+  Out.reserve(Passes.size());
+  for (const std::unique_ptr<VerifyPass> &P : Passes)
+    Out.push_back(P->name());
+  return Out;
+}
+
+PassManager PassManager::standardPipeline() {
+  PassManager PM;
+  PM.add(createStructuralPass());
+  PM.add(createTranslationValidationPass());
+  PM.add(createStubContractPass());
+  PM.add(createSliceDataflowPass());
+  PM.add(createLintPass());
+  return PM;
+}
+
+DiagnosticEngine ssp::verify::runStandardPipeline(const VerifyContext &Ctx) {
+  return PassManager::standardPipeline().run(Ctx);
+}

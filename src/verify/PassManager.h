@@ -1,0 +1,68 @@
+//===- verify/PassManager.h - Verification pass pipeline ------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs an ordered pipeline of VerifyPasses over one VerifyContext and
+/// collects their diagnostics. Passes that assume structural validity are
+/// skipped once an earlier pass reported errors, so the dataflow checks
+/// never walk out-of-range block targets.
+///
+/// The standard pipeline (standardPipeline) is what `ssp-verify`, the
+/// post-pass tool and the tests run:
+///
+///   1. structural        — ir::verifyStructural (well-formedness + the
+///                          basic SSP opcode/placement invariants)
+///   2. translation       — original-vs-adapted diff (needs Ctx.Orig)
+///   3. stub-contract     — stub blocks marshal and spawn, clobber nothing
+///   4. slice-dataflow    — live-in completeness, LIB staging, chain
+///                          budget/termination, prefetch coverage
+///   5. lint              — dead slice code, staging-order hazards, bundle
+///                          slot pressure, trigger reachability
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_VERIFY_PASSMANAGER_H
+#define SSP_VERIFY_PASSMANAGER_H
+
+#include "verify/Pass.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ssp::verify {
+
+class PassManager {
+public:
+  PassManager() = default;
+  PassManager(PassManager &&) = default;
+  PassManager &operator=(PassManager &&) = default;
+
+  /// Appends \p P to the pipeline.
+  void add(std::unique_ptr<VerifyPass> P) {
+    Passes.push_back(std::move(P));
+  }
+
+  /// Runs every pass in order over \p Ctx. Passes with requiresWellFormed()
+  /// are skipped once errors have been reported by earlier passes.
+  DiagnosticEngine run(const VerifyContext &Ctx) const;
+
+  /// Pass names in pipeline order.
+  std::vector<std::string> passNames() const;
+
+  /// The full check pipeline described in the header comment.
+  static PassManager standardPipeline();
+
+private:
+  std::vector<std::unique_ptr<VerifyPass>> Passes;
+};
+
+/// Convenience: builds the standard pipeline and runs it over \p Ctx.
+DiagnosticEngine runStandardPipeline(const VerifyContext &Ctx);
+
+} // namespace ssp::verify
+
+#endif // SSP_VERIFY_PASSMANAGER_H

@@ -130,7 +130,7 @@ TEST(CodeGen, RewriteOutputAlwaysVerifies) {
     profile::ProfileData PD = core::profileProgram(Orig, W.BuildMemory);
     core::PostPassTool Tool(Orig, PD);
     Program Enhanced = Tool.adapt();
-    std::vector<std::string> Diags = verify(Enhanced);
+    std::vector<std::string> Diags = ir::verify(Enhanced);
     EXPECT_TRUE(Diags.empty())
         << W.Name << ": " << (Diags.empty() ? "" : Diags.front());
   }

@@ -19,6 +19,7 @@
 #include "ir/Verifier.h"
 #include "sim/Simulator.h"
 #include "support/RNG.h"
+#include "verify/PassManager.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
@@ -165,7 +166,7 @@ class Fuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(Fuzz, GeneratedProgramIsWellFormed) {
   FuzzProgram F(uint64_t(GetParam()) * 7919 + 11);
-  std::vector<std::string> Diags = verify(F.P);
+  std::vector<std::string> Diags = ir::verify(F.P);
   std::string All;
   for (const std::string &D : Diags)
     All += D + "; ";
@@ -198,7 +199,7 @@ TEST_P(Fuzz, AdaptationIsSafeOnArbitraryPrograms) {
   core::PostPassTool Tool(F.P, PD);
   core::AdaptationReport Rep;
   Program Enhanced = Tool.adapt(&Rep);
-  std::vector<std::string> Diags = verify(Enhanced);
+  std::vector<std::string> Diags = ir::verify(Enhanced);
   ASSERT_TRUE(Diags.empty()) << Diags.front();
 
   uint64_t Before = runFunctional(F.P);
@@ -216,6 +217,31 @@ TEST_P(Fuzz, ParserRoundTripsGeneratedPrograms) {
   std::string Err;
   ASSERT_TRUE(parseProgram(Text, Q, Err)) << Err;
   EXPECT_EQ(Q.str(), Text);
+}
+
+TEST_P(Fuzz, VerifierAcceptsEveryParserAcceptedProgram) {
+  // Parser -> verification-pipeline round trip: whatever program text the
+  // parser accepts, the full check pipeline must process without crashing,
+  // and generator/tool output must come back error-free. (The in-tool run
+  // inside adapt() additionally checks the manifest and the original; this
+  // covers the standalone ssp-verify path over parsed text.)
+  FuzzProgram F(uint64_t(GetParam()) * 7919 + 11);
+  Program Q;
+  std::string Err;
+  ASSERT_TRUE(parseProgram(F.P.str(), Q, Err)) << Err;
+  verify::DiagnosticEngine DE =
+      verify::runStandardPipeline({Q, nullptr, nullptr});
+  EXPECT_EQ(DE.errorCount(), 0u) << verify::renderTextAll(DE, &Q);
+
+  profile::ProfileData PD =
+      core::profileProgram(F.P, &FuzzProgram::buildMemory);
+  core::PostPassTool Tool(F.P, PD);
+  Program Enhanced = Tool.adapt();
+  Program R;
+  ASSERT_TRUE(parseProgram(Enhanced.str(), R, Err)) << Err;
+  verify::DiagnosticEngine DE2 =
+      verify::runStandardPipeline({R, nullptr, nullptr});
+  EXPECT_EQ(DE2.errorCount(), 0u) << verify::renderTextAll(DE2, &R);
 }
 
 TEST_P(Fuzz, SliceMembersArePartitionedBySchedule) {

@@ -37,7 +37,7 @@ TEST(IR, BuilderAssignsUniqueIds) {
 
 TEST(IR, VerifierAcceptsWellFormed) {
   Program P = makeTinyProgram();
-  EXPECT_TRUE(isWellFormed(P)) << verify(P)[0];
+  EXPECT_TRUE(isWellFormed(P)) << ssp::ir::verify(P)[0];
 }
 
 TEST(IR, VerifierRejectsEmptyBlock) {
@@ -68,7 +68,7 @@ TEST(IR, VerifierRejectsStoreInSlice) {
   B.killThread();
   (void)Entry;
   (void)Slice;
-  std::vector<std::string> Diags = verify(P);
+  std::vector<std::string> Diags = ssp::ir::verify(P);
   ASSERT_FALSE(Diags.empty());
   bool Found = false;
   for (const std::string &D : Diags)

@@ -142,7 +142,7 @@ SimStats runArcProgram(bool WithSSP, MachineConfig Cfg,
                        uint64_t *ExpectedSum = nullptr,
                        uint64_t *GotSum = nullptr) {
   Program P = buildArcProgram(WithSSP);
-  EXPECT_TRUE(isWellFormed(P)) << verify(P).front();
+  EXPECT_TRUE(isWellFormed(P)) << ir::verify(P).front();
   LinkedProgram LP = LinkedProgram::link(P);
   mem::SimMemory Mem;
   uint64_t Want = buildArcData(Mem);

@@ -10,6 +10,10 @@
 //   ssp-adapt input.ssp --no-chaining    basic SP only
 //   ssp-adapt input.ssp --throttle       enable dynamic trigger throttling
 //   ssp-adapt input.ssp --verbose        trace the region/model decisions
+//   ssp-adapt input.ssp --Werror         verifier warnings fail the run
+//
+// The adapted binary is verified (see src/verify/) before the tool
+// returns: verification errors print to stderr and exit non-zero.
 //
 // The input file contains the program (and the initial memory image in
 // `data:` sections); see examples/listsum.ssp.
@@ -33,7 +37,7 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp> [--emit] [--run] [--no-chaining] "
-               "[--throttle] [--verbose]\n",
+               "[--throttle] [--verbose] [--Werror]\n",
                Argv0);
   return 1;
 }
@@ -58,8 +62,11 @@ int main(int argc, char **argv) {
   if (argc < 2)
     return usage(argv[0]);
   const char *Path = nullptr;
-  bool Emit = false, Run = false, Throttle = false;
+  bool Emit = false, Run = false, Throttle = false, Werror = false;
   core::ToolOptions Opts;
+  // Report verification findings here instead of aborting inside the
+  // library; the exit status reflects them below.
+  Opts.FatalOnVerifyError = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--emit") == 0)
       Emit = true;
@@ -71,6 +78,8 @@ int main(int argc, char **argv) {
       Throttle = true;
     else if (std::strcmp(argv[I], "--verbose") == 0)
       Opts.Verbose = true;
+    else if (std::strcmp(argv[I], "--Werror") == 0)
+      Werror = true;
     else if (argv[I][0] == '-')
       return usage(argv[0]);
     else if (Path)
@@ -124,6 +133,16 @@ int main(int argc, char **argv) {
                 S.LiveIns, sched::modelName(S.Model),
                 static_cast<unsigned long long>(S.SlackPerIteration));
 
+  // Verification findings over the adapted binary (collected by the tool;
+  // errors mean the rewriter emitted an unsafe adaptation).
+  for (const verify::Diagnostic &D : Rep.VerifyDiags)
+    if (D.isError() || Opts.Verbose || Werror)
+      std::fprintf(stderr, "%s\n", verify::renderText(D, &Enhanced).c_str());
+  std::printf("verified: %u error(s), %u warning(s)\n", Rep.VerifyErrors,
+              Rep.VerifyWarnings);
+  bool VerifyFailed =
+      Rep.VerifyErrors != 0 || (Werror && Rep.VerifyWarnings != 0);
+
   if (Emit)
     std::printf("\n%s", Enhanced.str().c_str());
 
@@ -147,5 +166,5 @@ int main(int argc, char **argv) {
                   static_cast<unsigned long long>(Ssp.SpawnsSucceeded));
     }
   }
-  return 0;
+  return VerifyFailed ? 1 : 0;
 }

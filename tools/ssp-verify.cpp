@@ -1,0 +1,100 @@
+//===- tools/ssp-verify.cpp - Standalone SSP verifier CLI -----------------===//
+//
+// Runs the verification pipeline (structural checks, translation
+// validation, stub/slice contracts, lints) over a program in the text IR
+// format:
+//
+//   ssp-verify prog.ssp                check prog.ssp; print findings
+//   ssp-verify prog.ssp --json         ... as a JSON document
+//   ssp-verify prog.ssp --Werror       warnings also fail the exit code
+//   ssp-verify prog.ssp --orig o.ssp   also translation-validate against
+//                                      the original (unadapted) binary
+//   ssp-verify prog.ssp --quiet        exit code only, no output
+//
+// Exit status: 0 clean, 1 verification errors (or warnings under
+// --Werror), 2 usage/parse errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "verify/PassManager.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace ssp;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <prog.ssp> [--json] [--Werror] [--quiet] "
+               "[--orig <original.ssp>]\n",
+               Argv0);
+  return 2;
+}
+
+bool parseFile(const char *Path, ir::Program &P) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Err;
+  if (!ir::parseProgram(Buf.str(), P, Err)) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Path, Err.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr, *OrigPath = nullptr;
+  bool Json = false, Werror = false, Quiet = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(argv[I], "--Werror") == 0)
+      Werror = true;
+    else if (std::strcmp(argv[I], "--quiet") == 0)
+      Quiet = true;
+    else if (std::strcmp(argv[I], "--orig") == 0 && I + 1 < argc)
+      OrigPath = argv[++I];
+    else if (argv[I][0] == '-')
+      return usage(argv[0]);
+    else if (Path)
+      return usage(argv[0]);
+    else
+      Path = argv[I];
+  }
+  if (!Path)
+    return usage(argv[0]);
+
+  ir::Program P, Orig;
+  if (!parseFile(Path, P))
+    return 2;
+  if (OrigPath && !parseFile(OrigPath, Orig))
+    return 2;
+
+  verify::VerifyContext Ctx{P, OrigPath ? &Orig : nullptr, nullptr};
+  verify::DiagnosticEngine DE = verify::runStandardPipeline(Ctx);
+
+  if (!Quiet) {
+    if (Json) {
+      std::printf("%s\n", verify::renderJSON(DE, &P).c_str());
+    } else {
+      std::fputs(verify::renderTextAll(DE, &P).c_str(), stdout);
+      std::printf("%s: %u error(s), %u warning(s)\n", Path,
+                  DE.errorCount(), DE.warningCount());
+    }
+  }
+  if (DE.hasErrors() || (Werror && DE.warningCount() != 0))
+    return 1;
+  return 0;
+}
