@@ -5,10 +5,20 @@
 // simulator throughput. These measure the *tool*, not the simulated
 // machine — useful when modifying the analyses.
 //
+// Two modes:
+//
+//   bench_tool_micro [google-benchmark flags]   interactive microbenchmarks
+//   bench_tool_micro --out FILE [--jobs N]      JSON stage report: per-stage
+//       (analysis/slice/sched/full-adapt) wall times on mcf and a stress
+//       program, adaptations per second, and the serial-vs-parallel
+//       full-adaptation ratio at N jobs. Driven by the `bench-tool` CMake
+//       target, which writes BENCH_tool.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DependenceGraph.h"
 #include "analysis/RegionGraph.h"
+#include "core/AnalysisCache.h"
 #include "core/PostPassTool.h"
 #include "harness/Experiment.h"
 #include "sched/Scheduler.h"
@@ -16,6 +26,10 @@
 #include "workloads/Workload.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 
 using namespace ssp;
 
@@ -90,6 +104,44 @@ void BM_FullAdaptation(benchmark::State &State) {
 }
 BENCHMARK(BM_FullAdaptation);
 
+/// The same two hot paths on a stress program (32 funcs x 8 blocks x 2
+/// delinquent loads per block) ~50x larger than the paper kernels.
+struct StressFixture {
+  workloads::Workload W = workloads::makeStress(32, 8, 2);
+  ir::Program P = W.Build();
+  profile::ProfileData PD = core::profileProgram(P, W.BuildMemory);
+};
+
+StressFixture &stressFixture() {
+  static StressFixture F;
+  return F;
+}
+
+void BM_SliceComputationStress(benchmark::State &State) {
+  StressFixture &F = stressFixture();
+  core::AnalysisCache AC(F.P, F.PD, slicer::SliceOptions(),
+                         sched::ScheduleOptions());
+  std::vector<profile::DelinquentLoad> DL =
+      profile::selectDelinquentLoads(F.P, F.PD);
+  slicer::Slicer S = AC.makeSlicer();
+  int Region = AC.regions().innermostRegionOf(DL.front().Ref, AC.deps());
+  for (auto _ : State) {
+    slicer::Slice Slice = S.computeSlice(DL.front().Ref, Region);
+    benchmark::DoNotOptimize(Slice.Insts.size());
+  }
+}
+BENCHMARK(BM_SliceComputationStress);
+
+void BM_FullAdaptationStress(benchmark::State &State) {
+  StressFixture &F = stressFixture();
+  for (auto _ : State) {
+    core::PostPassTool Tool(F.P, F.PD);
+    ir::Program E = Tool.adapt();
+    benchmark::DoNotOptimize(E.numInsts());
+  }
+}
+BENCHMARK(BM_FullAdaptationStress);
+
 void BM_SimulatorThroughput(benchmark::State &State) {
   workloads::Workload W = workloads::makeArcKernel(200, 1 << 12);
   ir::Program P = W.Build();
@@ -110,6 +162,140 @@ void BM_SimulatorThroughput(benchmark::State &State) {
 }
 BENCHMARK(BM_SimulatorThroughput);
 
+//===----------------------------------------------------------------------===//
+// JSON stage report (the `bench-tool` target).
+//===----------------------------------------------------------------------===//
+
+/// Best-of-\p Reps wall time of \p Fn in milliseconds (best-of filters
+/// scheduler noise on shared CI hosts).
+template <typename Fn> double bestOfMs(unsigned Reps, Fn &&F) {
+  double Best = 1e300;
+  for (unsigned R = 0; R < Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    F();
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    if (Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
+
+struct StageTimes {
+  double AnalysisMs = 0;   ///< AnalysisCache construction (deps, regions,
+                           ///< call graph, summaries, call costs).
+  double SliceMs = 0;      ///< One slice of the hottest delinquent load.
+  double SchedMs = 0;      ///< One chaining schedule of that slice.
+  double AdaptMs = 0;      ///< Full PostPassTool::adapt, Jobs = 1.
+  double AdaptParallelMs = 0; ///< Full adapt at the requested job count.
+};
+
+StageTimes measureStages(const workloads::Workload &W, unsigned Jobs) {
+  StageTimes T;
+  ir::Program P = W.Build();
+  profile::ProfileData PD = core::profileProgram(P, W.BuildMemory);
+
+  slicer::SliceOptions SO;
+  sched::ScheduleOptions SchO;
+  T.AnalysisMs = bestOfMs(3, [&] {
+    core::AnalysisCache AC(P, PD, SO, SchO);
+    benchmark::DoNotOptimize(&AC.deps());
+  });
+
+  core::AnalysisCache AC(P, PD, SO, SchO);
+  std::vector<profile::DelinquentLoad> DL =
+      profile::selectDelinquentLoads(P, PD);
+  if (!DL.empty()) {
+    slicer::Slicer S = AC.makeSlicer();
+    int Region = AC.regions().innermostRegionOf(DL.front().Ref, AC.deps());
+    slicer::Slice Slice;
+    T.SliceMs = bestOfMs(5, [&] {
+      Slice = S.computeSlice(DL.front().Ref, Region);
+      benchmark::DoNotOptimize(Slice.Insts.size());
+    });
+    if (Slice.Valid) {
+      sched::SliceScheduler Sched = AC.makeScheduler();
+      T.SchedMs = bestOfMs(5, [&] {
+        sched::ScheduledSlice SS =
+            Sched.schedule(Slice, sched::SPModel::Chaining);
+        benchmark::DoNotOptimize(SS.SlackPerIteration);
+      });
+    }
+  }
+
+  auto TimeAdapt = [&](unsigned JobCount) {
+    return bestOfMs(3, [&] {
+      core::ToolOptions Opts;
+      Opts.Jobs = JobCount;
+      core::PostPassTool Tool(P, PD, Opts);
+      ir::Program E = Tool.adapt();
+      benchmark::DoNotOptimize(E.numInsts());
+    });
+  };
+  T.AdaptMs = TimeAdapt(1);
+  T.AdaptParallelMs = TimeAdapt(Jobs);
+  return T;
+}
+
+void printStages(std::FILE *F, const char *Name, const StageTimes &T,
+                 bool TrailingComma) {
+  std::fprintf(F,
+               "  \"%s\": {\n"
+               "    \"analysis_ms\": %.4f,\n"
+               "    \"slice_ms\": %.4f,\n"
+               "    \"sched_ms\": %.4f,\n"
+               "    \"full_adapt_ms\": %.4f,\n"
+               "    \"full_adapt_parallel_ms\": %.4f,\n"
+               "    \"adaptations_per_sec\": %.2f,\n"
+               "    \"serial_over_parallel\": %.3f\n"
+               "  }%s\n",
+               Name, T.AnalysisMs, T.SliceMs, T.SchedMs, T.AdaptMs,
+               T.AdaptParallelMs, T.AdaptMs > 0 ? 1000.0 / T.AdaptMs : 0.0,
+               T.AdaptParallelMs > 0 ? T.AdaptMs / T.AdaptParallelMs : 0.0,
+               TrailingComma ? "," : "");
+}
+
+int jsonMain(const char *OutPath, unsigned Jobs) {
+  StageTimes Mcf = measureStages(workloads::makeMcf(), Jobs);
+  StageTimes Stress =
+      measureStages(workloads::makeStress(32, 8, 2), Jobs);
+
+  std::FILE *F = std::fopen(OutPath, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
+    return 1;
+  }
+  double TotalAdaptMs = Mcf.AdaptMs + Stress.AdaptMs;
+  for (std::FILE *Out : {F, stdout}) {
+    std::fprintf(Out, "{\n  \"jobs\": %u,\n", Jobs);
+    // Headline rate: serial full adaptations per second over both programs.
+    std::fprintf(Out, "  \"adaptations_per_sec\": %.2f,\n",
+                 TotalAdaptMs > 0 ? 2000.0 / TotalAdaptMs : 0.0);
+    printStages(Out, "mcf", Mcf, /*TrailingComma=*/true);
+    printStages(Out, "stress_32x8x2", Stress, /*TrailingComma=*/false);
+    std::fprintf(Out, "}\n");
+  }
+  std::fclose(F);
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  const char *OutPath = nullptr;
+  unsigned Jobs = 2;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
+      Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
+  }
+  if (OutPath)
+    return jsonMain(OutPath, Jobs == 0 ? 1 : Jobs);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,12 @@
 # Runs a JSON-emitting bench binary and echoes its report — the script
-# behind the `bench-smoke` target. Invoked as:
+# behind the `bench-smoke` and `bench-tool` targets. Invoked as:
 #
-#   cmake -DBENCH_BIN=<path> -DOUT=<path>.json [-DJOBS=N] -P emit_json.cmake
+#   cmake -DBENCH_BIN=<path> -DOUT=<path>.json [-DJOBS=N]
+#         [-DREQUIRE=<key>] -P emit_json.cmake
 #
-# Fails the build if the binary fails (e.g. a checksum mismatch).
+# Fails the build if the binary fails (e.g. a checksum mismatch) or the
+# report lacks the REQUIRE key (default: the bench-smoke skip/no-skip
+# throughput pair).
 
 if(NOT BENCH_BIN)
   message(FATAL_ERROR "emit_json.cmake: BENCH_BIN not set")
@@ -13,6 +16,9 @@ if(NOT OUT)
 endif()
 if(NOT JOBS)
   set(JOBS 2)
+endif()
+if(NOT REQUIRE)
+  set(REQUIRE "sim_cycles_per_sec_skip")
 endif()
 
 execute_process(
@@ -27,9 +33,8 @@ if(NOT RC EQUAL 0)
 endif()
 
 file(READ ${OUT} REPORT)
-if(NOT REPORT MATCHES "sim_cycles_per_sec_skip")
+if(NOT REPORT MATCHES "${REQUIRE}")
   message(FATAL_ERROR
-          "bench smoke report is missing the skip/no-skip throughput pair "
-          "(sim_cycles_per_sec_skip / sim_cycles_per_sec_noskip):\n${REPORT}")
+          "bench report is missing the required key '${REQUIRE}':\n${REPORT}")
 endif()
-message(STATUS "bench smoke report (${OUT}):\n${REPORT}")
+message(STATUS "bench report (${OUT}):\n${REPORT}")

@@ -47,3 +47,18 @@ target_link_libraries(bench_tool_micro PRIVATE ssp_harness
                       benchmark::benchmark)
 set_target_properties(bench_tool_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY
                       ${CMAKE_BINARY_DIR}/bench)
+
+# `cmake --build build --target bench-tool` times the tool's own stages
+# (analysis construction, slicing, scheduling, full adaptation — serial
+# and at 2 jobs) on mcf and a stress program and writes BENCH_tool.json
+# with adaptations/sec and the serial-vs-parallel ratio.
+add_custom_target(bench-tool
+  COMMAND ${CMAKE_COMMAND}
+          -DBENCH_BIN=$<TARGET_FILE:bench_tool_micro>
+          -DOUT=${CMAKE_BINARY_DIR}/BENCH_tool.json
+          -DJOBS=2
+          -DREQUIRE=adaptations_per_sec
+          -P ${CMAKE_SOURCE_DIR}/bench/emit_json.cmake
+  DEPENDS bench_tool_micro
+  COMMENT "Timing tool stages (analysis/slice/sched/adapt) on mcf + stress"
+  VERBATIM)

@@ -19,6 +19,13 @@ ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 echo "== clang-tidy (no-op when not installed) =="
 cmake --build build-ci --target lint
 
+# Optional: tool-stage timing report (BENCH_tool.json). Off by default —
+# timings are only meaningful on quiet machines. Enable with SSP_CI_BENCH=1.
+if [[ "${SSP_CI_BENCH:-0}" != 0 ]]; then
+  echo "== bench-tool (tool-stage timings) =="
+  cmake --build build-ci --target bench-tool
+fi
+
 echo "== ssp-verify over examples/ =="
 for f in examples/*.ssp; do
   echo "-- $f"
@@ -36,5 +43,17 @@ echo "== Sanitized build (ASan+UBSan) + tests =="
 cmake -B build-asan -S . -DSSP_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+# Optional third matrix entry: ThreadSanitizer over the concurrent paths
+# (the parallel simulation harness and the tool's parallel candidate
+# generation). Enable with SSP_CI_TSAN=1; off by default because TSan
+# roughly doubles CI wall time on top of the ASan pass.
+if [[ "${SSP_CI_TSAN:-0}" != 0 ]]; then
+  echo "== Sanitized build (TSan) + concurrency tests =="
+  cmake -B build-tsan -S . -DSSP_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target tool_parallel_test parallel_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'ToolParallelDeterminism|Parallel'
+fi
 
 echo "CI OK"

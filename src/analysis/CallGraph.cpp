@@ -8,14 +8,21 @@ using namespace ssp;
 using namespace ssp::analysis;
 using namespace ssp::ir;
 
-CallGraph CallGraph::build(
-    const Program &P,
-    const std::map<InstRef, std::vector<std::pair<uint32_t, uint64_t>>>
-        &IndirectTargets,
-    const std::map<InstRef, uint64_t> &SiteCounts) {
+CallGraph CallGraph::build(const Program &P,
+                           const std::vector<IndirectCallTarget>
+                               &IndirectTargets,
+                           const std::vector<DirectCallCount> &SiteCounts) {
   CallGraph CG;
   CG.Callers.resize(P.numFuncs());
   CG.Sites.resize(P.numFuncs());
+
+  auto DirectBySite = [&](InstRef Ref) -> uint64_t {
+    auto It = std::lower_bound(SiteCounts.begin(), SiteCounts.end(), Ref,
+                               [](const DirectCallCount &A, InstRef B) {
+                                 return A.Site < B;
+                               });
+    return It != SiteCounts.end() && It->Site == Ref ? It->Count : 0;
+  };
 
   for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
     const Function &F = P.func(FI);
@@ -27,20 +34,21 @@ CallGraph CallGraph::build(
         const Instruction &I = BB.Insts[II];
         InstRef Ref{FI, BI, II};
         if (I.Op == Opcode::Call) {
-          uint64_t Count = 0;
-          if (auto It = SiteCounts.find(Ref); It != SiteCounts.end())
-            Count = It->second;
-          CallSite CS{Ref, I.Target, Count};
+          CallSite CS{Ref, I.Target, DirectBySite(Ref)};
           CG.Sites[FI].push_back(CS);
           CG.Callers[I.Target].push_back(CS);
         } else if (I.Op == Opcode::CallInd) {
-          auto It = IndirectTargets.find(Ref);
-          if (It == IndirectTargets.end())
-            continue; // Unresolved: never executed during profiling.
-          for (const auto &[Callee, Count] : It->second) {
-            CallSite CS{Ref, Callee, Count};
+          // Unresolved sites (never executed during profiling) have no
+          // records and contribute no edges.
+          auto It = std::lower_bound(
+              IndirectTargets.begin(), IndirectTargets.end(), Ref,
+              [](const IndirectCallTarget &A, InstRef B) {
+                return A.Site < B;
+              });
+          for (; It != IndirectTargets.end() && It->Site == Ref; ++It) {
+            CallSite CS{Ref, It->Callee, It->Count};
             CG.Sites[FI].push_back(CS);
-            CG.Callers[Callee].push_back(CS);
+            CG.Callers[It->Callee].push_back(CS);
           }
         }
       }

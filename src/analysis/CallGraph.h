@@ -18,7 +18,6 @@
 #include "analysis/InstRef.h"
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace ssp::analysis {
@@ -30,17 +29,32 @@ struct CallSite {
   uint64_t Count = 0;  ///< Dynamic execution count (0 if unknown).
 };
 
+/// One profiled (indirect call site, callee) edge. The profiler emits these
+/// as a flat vector sorted by (Site, Callee) so the call-graph builder can
+/// binary-search instead of walking an ordered map.
+struct IndirectCallTarget {
+  InstRef Site;
+  uint32_t Callee = 0;
+  uint64_t Count = 0;
+};
+
+/// Dynamic execution count of one direct call site, sorted by Site.
+struct DirectCallCount {
+  InstRef Site;
+  uint64_t Count = 0;
+};
+
 /// Per-program call graph with caller and callee views.
 class CallGraph {
 public:
   /// Builds the call graph. \p IndirectTargets resolves calli sites (from
-  /// the profiler's dynamic call graph): site -> (callee, count) list.
-  /// \p SiteCounts optionally gives dynamic counts for direct calls.
+  /// the profiler's dynamic call graph) and must be sorted by
+  /// (Site, Callee); \p SiteCounts optionally gives dynamic counts for
+  /// direct calls and must be sorted by Site.
   static CallGraph
   build(const ir::Program &P,
-        const std::map<InstRef, std::vector<std::pair<uint32_t, uint64_t>>>
-            &IndirectTargets = {},
-        const std::map<InstRef, uint64_t> &SiteCounts = {});
+        const std::vector<IndirectCallTarget> &IndirectTargets = {},
+        const std::vector<DirectCallCount> &SiteCounts = {});
 
   /// Call sites whose callee is \p Func, hottest first.
   const std::vector<CallSite> &callersOf(uint32_t Func) const {

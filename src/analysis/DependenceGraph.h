@@ -26,6 +26,7 @@
 
 #include "analysis/CFG.h"
 #include "analysis/Dominators.h"
+#include "analysis/InstIndex.h"
 #include "analysis/InstRef.h"
 #include "analysis/Loops.h"
 #include "analysis/ReachingDefs.h"
@@ -77,23 +78,30 @@ private:
   std::vector<std::vector<uint32_t>> CtrlDeps; ///< Block -> branch blocks.
 };
 
-/// Dependence analyses for a whole program, built lazily per function.
+/// Dependence analyses for a whole program. Construction is eager (the
+/// tool's summary fixpoint visits every function anyway), which makes the
+/// object immutable afterwards: parallel candidate generation const-shares
+/// one ProgramDeps across worker threads with no synchronization.
 class ProgramDeps {
 public:
-  explicit ProgramDeps(const ir::Program &P) : P(P) {
-    Cache.resize(P.numFuncs());
+  explicit ProgramDeps(const ir::Program &P) : P(P), Index(P) {
+    Cache.reserve(P.numFuncs());
+    for (uint32_t F = 0; F < P.numFuncs(); ++F)
+      Cache.push_back(std::make_unique<FunctionDeps>(P, F));
   }
 
-  const FunctionDeps &forFunction(uint32_t Func) {
-    if (!Cache[Func])
-      Cache[Func] = std::make_unique<FunctionDeps>(P, Func);
+  const FunctionDeps &forFunction(uint32_t Func) const {
     return *Cache[Func];
   }
 
   const ir::Program &program() const { return P; }
 
+  /// Program-wide dense instruction ids (layout order).
+  const InstIndex &instIndex() const { return Index; }
+
 private:
   const ir::Program &P;
+  InstIndex Index;
   std::vector<std::unique_ptr<FunctionDeps>> Cache;
 };
 

@@ -1,0 +1,63 @@
+//===- analysis/InstIndex.h - Program-wide dense instruction ids ----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bijection between InstRef positions and dense instruction ids in
+/// program layout order. Because InstRef's lexicographic (Func, Block,
+/// Inst) order *is* layout order, ascending id order reproduces the
+/// iteration order of a std::set<InstRef> — which lets the slicer keep
+/// instruction sets in flat BitVectors without perturbing any output the
+/// deterministic-adaptation contract pins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_INSTINDEX_H
+#define SSP_ANALYSIS_INSTINDEX_H
+
+#include "analysis/InstRef.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::analysis {
+
+class InstIndex {
+public:
+  InstIndex() = default;
+
+  explicit InstIndex(const ir::Program &P) {
+    BlockOff.reserve(P.numFuncs());
+    for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
+      const ir::Function &F = P.func(FI);
+      BlockOff.push_back(static_cast<uint32_t>(BlockBase.size()));
+      for (uint32_t BI = 0; BI < F.numBlocks(); ++BI) {
+        BlockBase.push_back(static_cast<uint32_t>(Refs.size()));
+        const ir::BasicBlock &BB = F.block(BI);
+        for (uint32_t II = 0; II < BB.Insts.size(); ++II)
+          Refs.push_back({FI, BI, II});
+      }
+    }
+  }
+
+  uint32_t numInsts() const { return static_cast<uint32_t>(Refs.size()); }
+
+  /// Dense layout-order id of \p R.
+  uint32_t id(const InstRef &R) const {
+    return BlockBase[BlockOff[R.Func] + R.Block] + R.Inst;
+  }
+
+  /// Position of dense id \p Id.
+  const InstRef &ref(uint32_t Id) const { return Refs[Id]; }
+
+private:
+  std::vector<uint32_t> BlockOff;  ///< Func -> first entry in BlockBase.
+  std::vector<uint32_t> BlockBase; ///< (Func, Block) -> id of first inst.
+  std::vector<InstRef> Refs;       ///< Id -> position.
+};
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_INSTINDEX_H

@@ -37,7 +37,7 @@ ReachingDefs ReachingDefs::build(const Program &P, uint32_t Func,
   size_t NumBlocks = F.numBlocks();
   RD.In.resize(NumBlocks);
   RD.EntryReachesIn.resize(NumBlocks);
-  std::vector<BitSet> Out(NumBlocks), EntryReachesOut(NumBlocks);
+  std::vector<support::BitVector> Out(NumBlocks), EntryReachesOut(NumBlocks);
   for (size_t B = 0; B < NumBlocks; ++B) {
     RD.In[B].resize(NumDefs);
     Out[B].resize(NumDefs);
@@ -49,9 +49,10 @@ ReachingDefs ReachingDefs::build(const Program &P, uint32_t Func,
     RD.EntryReachesIn[G.entry()].set(R);
 
   // GEN/KILL per block, derived on the fly inside the transfer function.
-  auto Transfer = [&](uint32_t BI, const BitSet &InSet,
-                      const BitSet &EntryIn, BitSet &OutSet,
-                      BitSet &EntryOut) {
+  auto Transfer = [&](uint32_t BI, const support::BitVector &InSet,
+                      const support::BitVector &EntryIn,
+                      support::BitVector &OutSet,
+                      support::BitVector &EntryOut) {
     OutSet = InSet;
     EntryOut = EntryIn;
     const BasicBlock &BB = F.block(BI);
@@ -66,13 +67,13 @@ ReachingDefs ReachingDefs::build(const Program &P, uint32_t Func,
         continue;
       // Kill all other defs of D, then gen this def.
       for (uint32_t Killed : RD.DefsOfReg[D.denseIndex()])
-        OutSet.clear(Killed);
+        OutSet.reset(Killed);
       assert(DefCursor < RD.Defs.size() &&
              RD.Defs[DefCursor].Block == BI &&
              RD.Defs[DefCursor].Inst == II && "def enumeration mismatch");
       OutSet.set(DefCursor);
       ++DefCursor;
-      EntryOut.clear(D.denseIndex());
+      EntryOut.reset(D.denseIndex());
     }
   };
 
@@ -87,7 +88,7 @@ ReachingDefs ReachingDefs::build(const Program &P, uint32_t Func,
         if (RD.EntryReachesIn[BI].unionWith(EntryReachesOut[Pred]))
           Changed = true;
       }
-      BitSet NewOut, NewEntryOut;
+      support::BitVector NewOut, NewEntryOut;
       NewOut.resize(NumDefs);
       NewEntryOut.resize(Reg::NumDenseIndices);
       Transfer(BI, RD.In[BI], RD.EntryReachesIn[BI], NewOut, NewEntryOut);
@@ -108,10 +109,11 @@ void ReachingDefs::stateBefore(uint32_t Block, uint32_t Inst, ir::Reg R,
   unsigned Dense = R.denseIndex();
 
   // Start from the block-entry state for register R.
-  EntrySurvives = EntryReachesIn[Block].get(Dense);
-  std::vector<uint32_t> Live;
+  EntrySurvives = EntryReachesIn[Block].test(Dense);
+  std::vector<uint32_t> &Live = DefsOut;
+  Live.clear();
   for (uint32_t Id : DefsOfReg[Dense])
-    if (In[Block].get(Id))
+    if (In[Block].test(Id))
       Live.push_back(Id);
 
   // Walk the block up to (exclusive) Inst.
@@ -126,7 +128,6 @@ void ReachingDefs::stateBefore(uint32_t Block, uint32_t Inst, ir::Reg R,
       if (Defs[Id].Block == Block && Defs[Id].Inst == II)
         Live.push_back(Id);
   }
-  DefsOut = std::move(Live);
 }
 
 std::vector<InstRef> ReachingDefs::reachingDefs(uint32_t Block, uint32_t Inst,

@@ -18,6 +18,7 @@
 
 #include "analysis/CFG.h"
 #include "analysis/InstRef.h"
+#include "support/BitVector.h"
 
 #include <cstdint>
 #include <vector>
@@ -38,6 +39,20 @@ public:
   std::vector<InstRef> reachingDefs(uint32_t Block, uint32_t Inst,
                                     ir::Reg R) const;
 
+  /// Allocation-free form of reachingDefs for the slicer hot path: calls
+  /// \p Fn(const InstRef &) for every reaching definition, in the same
+  /// order reachingDefs returns them. \p Scratch is a caller-owned reused
+  /// id buffer (per-thread in parallel adaptation; this analysis stays
+  /// const-shared and holds no mutable state).
+  template <typename Fn>
+  void forEachReachingDef(uint32_t Block, uint32_t Inst, ir::Reg R,
+                          std::vector<uint32_t> &Scratch, Fn &&F) const {
+    bool EntrySurvives = false;
+    stateBefore(Block, Inst, R, Scratch, EntrySurvives);
+    for (uint32_t Id : Scratch)
+      F(Defs[Id]);
+  }
+
   /// True if some path from the function entry reaches (\p Block, \p Inst)
   /// with no definition of \p R: the value may come from the caller.
   bool mayBeLiveIn(uint32_t Block, uint32_t Inst, ir::Reg R) const;
@@ -46,27 +61,6 @@ public:
   const std::vector<InstRef> &allDefs() const { return Defs; }
 
 private:
-  struct BitSet {
-    std::vector<uint64_t> Words;
-    void resize(size_t Bits) { Words.assign((Bits + 63) / 64, 0); }
-    bool get(size_t I) const {
-      return (Words[I / 64] >> (I % 64)) & 1;
-    }
-    void set(size_t I) { Words[I / 64] |= uint64_t(1) << (I % 64); }
-    void clear(size_t I) { Words[I / 64] &= ~(uint64_t(1) << (I % 64)); }
-    bool unionWith(const BitSet &O) {
-      bool Changed = false;
-      for (size_t W = 0; W < Words.size(); ++W) {
-        uint64_t New = Words[W] | O.Words[W];
-        if (New != Words[W]) {
-          Words[W] = New;
-          Changed = true;
-        }
-      }
-      return Changed;
-    }
-  };
-
   /// Walks block \p Block from its entry state to just before \p Inst,
   /// producing the live def set and whether the entry value of \p R
   /// survives.
@@ -81,9 +75,9 @@ private:
   std::vector<InstRef> Defs;              ///< Def id -> site.
   std::vector<ir::Reg> DefRegs;           ///< Def id -> register.
   std::vector<std::vector<uint32_t>> DefsOfReg; ///< DenseReg -> def ids.
-  std::vector<BitSet> In;                 ///< Block -> reaching def ids.
-  std::vector<BitSet> EntryReachesIn;     ///< Block -> per-reg "no def on
-                                          ///< some path from entry" bit.
+  std::vector<support::BitVector> In;     ///< Block -> reaching def ids.
+  std::vector<support::BitVector> EntryReachesIn; ///< Block -> per-reg "no
+                                          ///< def on some path from entry".
 };
 
 } // namespace ssp::analysis

@@ -6,7 +6,7 @@ using namespace ssp;
 using namespace ssp::analysis;
 using namespace ssp::ir;
 
-RegionGraph RegionGraph::build(ProgramDeps &Deps) {
+RegionGraph RegionGraph::build(const ProgramDeps &Deps) {
   RegionGraph RG;
   const Program &P = Deps.program();
   RG.ProcRegion.resize(P.numFuncs(), -1);
@@ -46,7 +46,7 @@ RegionGraph RegionGraph::build(ProgramDeps &Deps) {
 }
 
 int RegionGraph::innermostRegionOf(const InstRef &I,
-                                   ProgramDeps &Deps) const {
+                                   const ProgramDeps &Deps) const {
   const FunctionDeps &FD = Deps.forFunction(I.Func);
   int LoopIdx = FD.loops().innermostLoopOf(I.Block);
   if (LoopIdx >= 0)
@@ -55,7 +55,7 @@ int RegionGraph::innermostRegionOf(const InstRef &I,
 }
 
 int RegionGraph::outwardParent(int RegionIdx, const CallGraph &CG,
-                               ProgramDeps &Deps, InstRef *CallSiteOut)
+                               const ProgramDeps &Deps, InstRef *CallSiteOut)
     const {
   (void)Deps;
   const Region &R = Regions[RegionIdx];

@@ -44,7 +44,7 @@ struct Region {
 class RegionGraph {
 public:
   /// Builds the per-function region trees. \p Deps supplies loop info.
-  static RegionGraph build(ProgramDeps &Deps);
+  static RegionGraph build(const ProgramDeps &Deps);
 
   const Region &region(int Idx) const { return Regions[Idx]; }
   size_t numRegions() const { return Regions.size(); }
@@ -54,14 +54,14 @@ public:
 
   /// Innermost region containing \p I (the loop it sits in, else the
   /// procedure region).
-  int innermostRegionOf(const InstRef &I, ProgramDeps &Deps) const;
+  int innermostRegionOf(const InstRef &I, const ProgramDeps &Deps) const;
 
   /// The parent region for outward traversal. For loops this is the
   /// enclosing loop or procedure; for procedures it is the region of the
   /// hottest call site per \p CG (the top of the calling context), or -1
   /// at the program entry. \p CallSiteOut receives the crossed call site
   /// when the step is interprocedural.
-  int outwardParent(int RegionIdx, const CallGraph &CG, ProgramDeps &Deps,
+  int outwardParent(int RegionIdx, const CallGraph &CG, const ProgramDeps &Deps,
                     InstRef *CallSiteOut = nullptr) const;
 
 private:

@@ -3,14 +3,17 @@
 #include "core/PostPassTool.h"
 
 #include "analysis/RegionGraph.h"
+#include "core/AnalysisCache.h"
 #include "sim/Simulator.h"
 #include "support/Assert.h"
+#include "support/ThreadPool.h"
 #include "trigger/TriggerPlacer.h"
 #include "verify/PassManager.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <set>
 
 using namespace ssp;
 using namespace ssp::core;
@@ -22,20 +25,20 @@ PostPassTool::PostPassTool(const Program &Orig,
     : Orig(Orig), PD(PD), Opts(Opts) {}
 
 Program PostPassTool::adapt(AdaptationReport *Report) {
-  ProgramDeps Deps(Orig);
-  RegionGraph RG = RegionGraph::build(Deps);
-  CallGraph CG =
-      CallGraph::build(Orig, PD.IndirectTargets, PD.CallSiteCounts);
-
   slicer::SliceOptions SOpts = Opts.Slicing;
   SOpts.Speculative = Opts.EnableSpeculativeSlicing;
-  slicer::Slicer TheSlicer(Deps, RG, CG, PD, SOpts);
-
   sched::ScheduleOptions SchedOpts;
   SchedOpts.EnableLoopRotation = Opts.EnableLoopRotation;
   SchedOpts.EnableConditionPrediction = Opts.EnableConditionPrediction;
-  sched::SliceScheduler Scheduler(Deps, RG, PD, SchedOpts);
 
+  // Every analysis is built once here; candidate generation below only
+  // reads it (const-shared across ThreadPool workers when Jobs != 1).
+  AnalysisCache AC(Orig, PD, SOpts, SchedOpts);
+  const ProgramDeps &Deps = AC.deps();
+  const RegionGraph &RG = AC.regions();
+  const CallGraph &CG = AC.calls();
+
+  sched::SliceScheduler Scheduler = AC.makeScheduler();
   trigger::TriggerPlacer Placer(Deps, RG, PD);
 
   std::vector<profile::DelinquentLoad> DLoads = profile::selectDelinquentLoads(
@@ -89,17 +92,30 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
     return true;
   };
 
-  std::vector<Candidate> Chosen;
+  // Candidate generation fans out across the pool: each delinquent load is
+  // independent, so worker Idx writes only Slots[Idx]/HasSlot[Idx]. The
+  // merge below reads the slots in load order, making the report and the
+  // emitted binary bit-identical for every job count (Jobs == 1 runs the
+  // loop bodies inline on this thread).
+  std::vector<Candidate> Slots(DLoads.size());
+  std::vector<uint8_t> HasSlot(DLoads.size(), 0);
+  support::ThreadPool Pool(Opts.Jobs);
 
-  for (const profile::DelinquentLoad &D : DLoads) {
+  Pool.parallelFor(DLoads.size(), [&](size_t LoadIdx) {
+    const profile::DelinquentLoad &D = DLoads[LoadIdx];
+    // Worker-private slicer/scheduler: cheap copies sharing the cache's
+    // precomputed summary and call-cost tables, owning only scratch.
+    slicer::Slicer WorkerSlicer = AC.makeSlicer();
+    sched::SliceScheduler WorkerSched = AC.makeScheduler();
+
     uint64_t LoadExecs = 0;
     if (auto It = PD.Loads.find(D.Sid); It != PD.Loads.end())
       LoadExecs = It->second.Accesses;
     if (LoadExecs == 0)
-      continue;
+      return;
     uint64_t MissPerExec = D.MissCycles / LoadExecs;
     if (MissPerExec == 0)
-      continue;
+      return;
 
     // Region traversal: innermost outward (Section 3.4.1). When the
     // traversal climbs from a procedure into its callers, up to two
@@ -117,7 +133,7 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
       // the rest become extra emission sections (basic SP).
       std::vector<slicer::Slice> Parts;
       for (const std::vector<InstRef> &Ctx : Contexts) {
-        slicer::Slice SP2 = TheSlicer.computeSlice(D.Ref, RegionIdx, Ctx);
+        slicer::Slice SP2 = WorkerSlicer.computeSlice(D.Ref, RegionIdx, Ctx);
         if (SP2.Valid)
           Parts.push_back(std::move(SP2));
       }
@@ -170,7 +186,7 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
         for (sched::SPModel M : Models) {
           if (NullPrefetch)
             break;
-          sched::ScheduledSlice Sched = Scheduler.schedule(S, M);
+          sched::ScheduledSlice Sched = WorkerSched.schedule(S, M);
           // Chaining iterates the *chain* loop; procedure regions fire the
           // trigger once per invocation.
           double TripEff = TripPerEntry, EntriesEff = Entries;
@@ -248,9 +264,18 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
 
     // "If none of the regions reduce the miss cycles beyond the threshold,
     // we pick the region with the largest percentage."
-    if (HaveBest && Best.Reduced > 0)
-      Chosen.push_back(std::move(Best));
-  }
+    if (HaveBest && Best.Reduced > 0) {
+      Slots[LoadIdx] = std::move(Best);
+      HasSlot[LoadIdx] = 1;
+    }
+  });
+
+  // Deterministic merge: drain the slots in delinquent-load order, exactly
+  // the sequence the old serial loop produced.
+  std::vector<Candidate> Chosen;
+  for (size_t Idx = 0; Idx < Slots.size(); ++Idx)
+    if (HasSlot[Idx])
+      Chosen.push_back(std::move(Slots[Idx]));
 
   // Combine slices that share dependence-graph nodes within one region.
   std::vector<Candidate> Combined;

@@ -69,6 +69,13 @@ struct ToolOptions {
   /// etc. walked this many steps per chain link).
   unsigned InnerUnroll = 2;
 
+  /// Worker threads for per-delinquent-load candidate generation. 0 picks
+  /// hardware concurrency; 1 (the default) is the exact inline serial
+  /// path. The AdaptationReport and the emitted binary are bit-identical
+  /// for every value: candidates land in per-load result slots and are
+  /// merged in load order.
+  unsigned Jobs = 1;
+
   /// Trace candidate evaluation to stderr.
   bool Verbose = false;
 

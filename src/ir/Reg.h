@@ -93,6 +93,16 @@ struct Reg {
   }
 };
 
+/// Inverse of Reg::denseIndex.
+inline constexpr Reg regFromDenseIndex(unsigned Dense) {
+  if (Dense < NumIntRegs)
+    return Reg(RegClass::Int, static_cast<uint8_t>(Dense));
+  if (Dense < NumIntRegs + NumFPRegs)
+    return Reg(RegClass::FP, static_cast<uint8_t>(Dense - NumIntRegs));
+  return Reg(RegClass::Pred,
+             static_cast<uint8_t>(Dense - NumIntRegs - NumFPRegs));
+}
+
 /// Shorthand constructors used pervasively by the workload builders.
 inline constexpr Reg ireg(unsigned N) {
   return Reg(RegClass::Int, static_cast<uint8_t>(N));

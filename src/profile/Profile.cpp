@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 using namespace ssp;
 using namespace ssp::profile;
@@ -45,6 +46,11 @@ ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
   for (uint32_t FI = 0; FI < P.numFuncs(); ++FI)
     PD.BlockCounts[FI].assign(P.func(FI).numBlocks(), 0);
 
+  // Accumulate call-site counts in ordered maps while the run is live,
+  // then flatten into the sorted vectors ProfileData carries.
+  std::map<InstRef, uint64_t> DirectCounts;
+  std::map<std::pair<InstRef, uint32_t>, uint64_t> IndirectCounts;
+
   sim::ThreadContext Ctx;
   Ctx.PC = LP.entry();
 
@@ -66,7 +72,7 @@ ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
     InstRef Ref{LI.Func, LI.Block, InstIdx};
 
     if (LI.I->Op == Opcode::Call)
-      PD.CallSiteCounts[Ref]++;
+      DirectCounts[Ref]++;
 
     sim::ExecOutcome Out;
     // The original binary has no chk.c; if one is present (profiling an
@@ -78,18 +84,8 @@ ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
     if (Out.Kind == sim::CtrlKind::Halt)
       break;
 
-    if (LI.I->Op == Opcode::CallInd) {
-      uint32_t Callee = LP.at(Ctx.PC).Func;
-      auto &Targets = PD.IndirectTargets[Ref];
-      bool Found = false;
-      for (auto &[F, C] : Targets)
-        if (F == Callee) {
-          ++C;
-          Found = true;
-        }
-      if (!Found)
-        Targets.push_back({Callee, 1});
-    }
+    if (LI.I->Op == Opcode::CallInd)
+      IndirectCounts[{Ref, LP.at(Ctx.PC).Func}]++;
 
     const LinkedInst &Next = LP.at(Ctx.PC);
     // A block is re-entered either when control moves to a different
@@ -112,6 +108,15 @@ ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
       PrevBlock = Next.Block;
     }
   }
+
+  // Map iteration order is (Site) resp. (Site, Callee) ascending: exactly
+  // the sorted order CallGraph::build requires.
+  PD.CallSiteCounts.reserve(DirectCounts.size());
+  for (const auto &[Site, Count] : DirectCounts)
+    PD.CallSiteCounts.push_back({Site, Count});
+  PD.IndirectTargets.reserve(IndirectCounts.size());
+  for (const auto &[Key, Count] : IndirectCounts)
+    PD.IndirectTargets.push_back({Key.first, Key.second, Count});
   return PD;
 }
 

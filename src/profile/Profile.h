@@ -19,6 +19,7 @@
 #ifndef SSP_PROFILE_PROFILE_H
 #define SSP_PROFILE_PROFILE_H
 
+#include "analysis/CallGraph.h"
 #include "analysis/InstRef.h"
 #include "analysis/Loops.h"
 #include "cache/Cache.h"
@@ -41,12 +42,12 @@ struct ProfileData {
   /// Dynamic count per intra-function CFG edge (from, to), per function.
   std::vector<std::map<std::pair<uint32_t, uint32_t>, uint64_t>> EdgeCounts;
 
-  /// Dynamic call graph: indirect call site -> (callee, count).
-  std::map<analysis::InstRef, std::vector<std::pair<uint32_t, uint64_t>>>
-      IndirectTargets;
+  /// Dynamic call graph for indirect call sites: flat records sorted by
+  /// (Site, Callee), as CallGraph::build consumes them.
+  std::vector<analysis::IndirectCallTarget> IndirectTargets;
 
-  /// Dynamic counts of direct call sites.
-  std::map<analysis::InstRef, uint64_t> CallSiteCounts;
+  /// Dynamic counts of direct call sites, sorted by Site.
+  std::vector<analysis::DirectCallCount> CallSiteCounts;
 
   /// Per-static-load cache behaviour from the baseline timing run.
   cache::CacheProfile Loads;

@@ -14,7 +14,7 @@ using namespace ssp::sched;
 using namespace ssp::analysis;
 using namespace ssp::ir;
 
-SliceScheduler::SliceScheduler(ProgramDeps &Deps, const RegionGraph &RG,
+SliceScheduler::SliceScheduler(const ProgramDeps &Deps, const RegionGraph &RG,
                                const profile::ProfileData &PD,
                                ScheduleOptions Opts)
     : Deps(Deps), RG(RG), PD(PD), Opts(Opts) {}

@@ -120,7 +120,7 @@ struct ScheduledSlice {
 /// Schedules slices against a region and model.
 class SliceScheduler {
 public:
-  SliceScheduler(analysis::ProgramDeps &Deps,
+  SliceScheduler(const analysis::ProgramDeps &Deps,
                  const analysis::RegionGraph &RG,
                  const profile::ProfileData &PD,
                  ScheduleOptions Opts = ScheduleOptions());
@@ -142,6 +142,11 @@ public:
   /// Section 3.3's "length of program schedule in the main thread".
   uint64_t regionScheduleLength(int RegionIdx);
 
+  /// Forces the per-function call-cost table now. Call once before handing
+  /// copies of this scheduler to worker threads: copies share the warmed
+  /// table and never race to build it.
+  void ensureCallCosts() { (void)callCosts(); }
+
 private:
   std::vector<unsigned>
   listSchedule(const SliceDepGraph &G, const std::vector<uint64_t> &Heights,
@@ -154,7 +159,7 @@ private:
   std::vector<uint32_t> CallCostCache;
   bool CallCostsReady = false;
 
-  analysis::ProgramDeps &Deps;
+  const analysis::ProgramDeps &Deps;
   const analysis::RegionGraph &RG;
   const profile::ProfileData &PD;
   ScheduleOptions Opts;

@@ -23,7 +23,7 @@ uint32_t ssp::sched::profiledLoadLatency(const Program &P, const InstRef &Ref,
       2 + S.MissCycles / S.Accesses); // L1 latency + average miss penalty.
 }
 
-SliceDepGraph SliceDepGraph::build(ProgramDeps &Deps,
+SliceDepGraph SliceDepGraph::build(const ProgramDeps &Deps,
                                    const std::vector<InstRef> &Insts,
                                    const Loop *L, uint32_t LoopFunc,
                                    const profile::ProfileData &PD,
@@ -187,7 +187,7 @@ double SliceDepGraph::availableILP() const {
 
 std::vector<InstRef> ssp::sched::regionInstructions(const RegionGraph &RG,
                                                     int RegionIdx,
-                                                    ProgramDeps &Deps) {
+                                                    const ProgramDeps &Deps) {
   const Region &R = RG.region(RegionIdx);
   const Program &P = Deps.program();
   const Function &F = P.func(R.Func);

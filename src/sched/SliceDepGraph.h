@@ -55,7 +55,7 @@ public:
   /// the main thread and use profiled latencies).
   /// \p CallCosts (nullable) gives a per-callee latency estimate for call
   /// instructions, overriding the flat CallLatencyEstimate.
-  static SliceDepGraph build(analysis::ProgramDeps &Deps,
+  static SliceDepGraph build(const analysis::ProgramDeps &Deps,
                              const std::vector<analysis::InstRef> &Insts,
                              const analysis::Loop *L, uint32_t LoopFunc,
                              const profile::ProfileData &PD,
@@ -103,7 +103,7 @@ private:
 /// procedure regions), in layout order.
 std::vector<analysis::InstRef>
 regionInstructions(const analysis::RegionGraph &RG, int RegionIdx,
-                   analysis::ProgramDeps &Deps);
+                   const analysis::ProgramDeps &Deps);
 
 /// Average access latency of the static load at \p Ref according to the
 /// cache profile, or the L1 latency if unprofiled.

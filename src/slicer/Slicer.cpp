@@ -9,18 +9,16 @@
 #include <cassert>
 #include <deque>
 #include <functional>
-#include <tuple>
 
 using namespace ssp;
 using namespace ssp::slicer;
 using namespace ssp::analysis;
 using namespace ssp::ir;
 
-Slicer::Slicer(ProgramDeps &Deps, const RegionGraph &RG, const CallGraph &CG,
-               const profile::ProfileData &PD, SliceOptions Opts)
-    : Deps(Deps), RG(RG), CG(CG), PD(PD), Opts(Opts) {
-  Summaries.resize(Deps.program().numFuncs());
-}
+Slicer::Slicer(const ProgramDeps &Deps, const RegionGraph &RG,
+               const CallGraph &CG, const profile::ProfileData &PD,
+               SliceOptions Opts)
+    : Deps(Deps), RG(RG), CG(CG), PD(PD), Opts(Opts) {}
 
 bool Slicer::blockIsCold(uint32_t Func, uint32_t Block) const {
   if (!Opts.Speculative)
@@ -29,7 +27,7 @@ bool Slicer::blockIsCold(uint32_t Func, uint32_t Block) const {
 }
 
 bool Slicer::regionContains(int RegionIdx, uint32_t Func,
-                            uint32_t Block) {
+                            uint32_t Block) const {
   const Region &R = RG.region(RegionIdx);
   if (R.Func != Func)
     return false;
@@ -49,10 +47,31 @@ namespace {
 /// rejected, which matches the paper's guard against oversized slices).
 constexpr size_t SummaryRegCap = 200;
 
+/// Sorted-unique union into \p A. Inputs need not be sorted; the result is
+/// sorted, matching the std::set-based union this replaces.
+template <typename T>
+void unionInPlace(std::vector<T> &A, const std::vector<T> &B) {
+  A.insert(A.end(), B.begin(), B.end());
+  std::sort(A.begin(), A.end());
+  A.erase(std::unique(A.begin(), A.end()), A.end());
+}
+
 } // namespace
 
 void Slicer::computeSummaries() {
   const Program &P = Deps.program();
+  const InstIndex &Index = Deps.instIndex();
+  std::vector<FuncSummary> Tab(P.numFuncs());
+  for (FuncSummary &Sum : Tab) {
+    Sum.DefinedRegs.resize(Reg::NumDenseIndices);
+    Sum.Defined.resize(Reg::NumDenseIndices);
+  }
+
+  // Per-def closure state, reused across defs: membership bits over dense
+  // program-wide instruction ids and dense register indices.
+  support::BitVector Members(Index.numInsts());
+  support::BitVector Entry(Reg::NumDenseIndices);
+
   // Iterate all function summaries to a fixed point. Sets only grow and
   // are bounded, so this terminates; recursion (e.g. treeadd) converges in
   // a few rounds.
@@ -63,83 +82,93 @@ void Slicer::computeSummaries() {
     ++Round;
     for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
       const FunctionDeps &FD = Deps.forFunction(FI);
-      const Function &F = P.func(FI);
-      FuncSummary &Sum = Summaries[FI];
+      FuncSummary &Sum = Tab[FI];
 
       for (const InstRef &Def : FD.reachingDefs().allDefs()) {
         Reg R = Def.get(P).def();
         if (blockIsCold(FI, Def.Block))
           continue;
+        Sum.Defined.set(R.denseIndex());
         FuncSummary::RegInfo &Info = Sum.DefinedRegs[R.denseIndex()];
 
         // Closure of this def within the function.
-        std::set<InstRef> Members(Info.Insts.begin(), Info.Insts.end());
-        std::set<unsigned> Entry;
+        Members.clearAll();
+        Entry.clearAll();
+        size_t NumMembers = Info.Insts.size();
+        size_t NumEntry = Info.EntryDeps.size();
+        for (const InstRef &M : Info.Insts)
+          Members.set(Index.id(M));
         for (Reg E : Info.EntryDeps)
-          Entry.insert(E.denseIndex());
-        size_t OldMembers = Members.size(), OldEntry = Entry.size();
+          Entry.set(E.denseIndex());
+        size_t OldMembers = NumMembers, OldEntry = NumEntry;
 
         std::deque<InstRef> Work;
-        if (!Members.count(Def))
+        if (Members.testAndSet(Index.id(Def))) {
+          ++NumMembers;
           Work.push_back(Def);
-        Members.insert(Def);
+        }
         while (!Work.empty()) {
           InstRef I = Work.front();
           Work.pop_front();
-          if (Members.size() > SummaryRegCap)
+          if (NumMembers > SummaryRegCap)
             break;
           const Instruction &Inst = I.get(P);
           Inst.forEachUse([&](Reg U) {
             if ((U.isInt() || U.isPred()) && U.Num == 0)
               return;
-            for (const InstRef &Prod :
-                 FD.reachingDefs().reachingDefs(I.Block, I.Inst, U)) {
-              if (blockIsCold(FI, Prod.Block))
-                continue;
-              if (Members.insert(Prod).second)
-                Work.push_back(Prod);
-            }
-            if (FD.reachingDefs().mayBeLiveIn(I.Block, I.Inst, U))
-              Entry.insert(U.denseIndex());
+            FD.reachingDefs().forEachReachingDef(
+                I.Block, I.Inst, U, RDScratch, [&](const InstRef &Prod) {
+                  if (blockIsCold(FI, Prod.Block))
+                    return;
+                  if (Members.testAndSet(Index.id(Prod))) {
+                    ++NumMembers;
+                    Work.push_back(Prod);
+                  }
+                });
+            if (FD.reachingDefs().mayBeLiveIn(I.Block, I.Inst, U) &&
+                Entry.testAndSet(U.denseIndex()))
+              ++NumEntry;
           });
           for (const InstRef &Ctrl : FD.controlSources(I)) {
             if (blockIsCold(FI, Ctrl.Block))
               continue;
-            if (Members.insert(Ctrl).second)
+            if (Members.testAndSet(Index.id(Ctrl))) {
+              ++NumMembers;
               Work.push_back(Ctrl);
+            }
           }
         }
 
-        if (Members.size() != OldMembers || Entry.size() != OldEntry) {
+        if (NumMembers != OldMembers || NumEntry != OldEntry) {
           Changed = true;
-          Info.Insts.assign(Members.begin(), Members.end());
+          Info.Insts.clear();
+          Info.Insts.reserve(NumMembers);
+          Members.forEachSetBit([&](size_t Id) {
+            Info.Insts.push_back(Index.ref(static_cast<uint32_t>(Id)));
+          });
           Info.EntryDeps.clear();
-          for (unsigned Dense : Entry) {
-            // Reconstruct the Reg from its dense index.
-            Reg E;
-            if (Dense < NumIntRegs)
-              E = Reg(RegClass::Int, static_cast<uint8_t>(Dense));
-            else if (Dense < NumIntRegs + NumFPRegs)
-              E = Reg(RegClass::FP,
-                      static_cast<uint8_t>(Dense - NumIntRegs));
-            else
-              E = Reg(RegClass::Pred,
-                      static_cast<uint8_t>(Dense - NumIntRegs - NumFPRegs));
-            Info.EntryDeps.push_back(E);
-          }
+          Info.EntryDeps.reserve(NumEntry);
+          Entry.forEachSetBit([&](size_t Dense) {
+            Info.EntryDeps.push_back(
+                regFromDenseIndex(static_cast<unsigned>(Dense)));
+          });
         }
       }
-      (void)F;
       Sum.Computed = true;
     }
   }
-  SummariesReady = true;
+  Summaries =
+      std::make_shared<const std::vector<FuncSummary>>(std::move(Tab));
+}
+
+void Slicer::ensureSummaries() {
+  if (!Summaries)
+    computeSummaries();
 }
 
 const FuncSummary &Slicer::summaryOf(uint32_t Func) {
-  if (!SummariesReady)
-    computeSummaries();
-  return Summaries[Func];
+  ensureSummaries();
+  return (*Summaries)[Func];
 }
 
 //===----------------------------------------------------------------------===//
@@ -178,6 +207,7 @@ bool mayReach(const FunctionDeps &FD, const InstRef &From,
 Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
                            const std::vector<InstRef> &ContextCallSites) {
   const Program &P = Deps.program();
+  const InstIndex &Index = Deps.instIndex();
   Slice S;
   S.PrimaryLoad = Load;
   S.TargetLoads.push_back(Load);
@@ -187,8 +217,9 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
   // Frame k function: 0 = load's function; k>0 = ContextCallSites[k-1]'s.
   const size_t TopFrame = ContextCallSites.size();
 
-  std::set<InstRef> Members;
-  std::set<unsigned> LiveInDense;
+  support::BitVector Members(Index.numInsts());
+  size_t NumMembers = 0;
+  support::BitVector LiveInDense(Reg::NumDenseIndices);
   std::deque<std::pair<InstRef, size_t>> Work; // (instruction, frame).
 
   auto InRegionAtFrame = [&](const InstRef &I, size_t K) {
@@ -199,35 +230,41 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
 
   // Adds an instruction to the slice.
   auto Include = [&](const InstRef &I, size_t K) {
-    if (Members.count(I))
+    if (Members.test(Index.id(I)))
       return;
     if (blockIsCold(I.Func, I.Block))
       return; // Speculative slicing filters unexecuted paths.
-    Members.insert(I);
+    Members.set(Index.id(I));
+    ++NumMembers;
     Work.push_back({I, K});
   };
 
   // Expands the value of register R as observed just before position Pos
   // at frame K. Memoized on (position, frame, register) to terminate in
-  // the presence of recursive entry-dependence chains.
-  std::set<std::tuple<InstRef, size_t, unsigned>> ExpandedUses;
+  // the presence of recursive entry-dependence chains; the memo is one
+  // lazily allocated instruction-id bitset per (frame, register).
+  std::vector<std::unique_ptr<support::BitVector>> ExpandedUses(
+      (TopFrame + 1) * Reg::NumDenseIndices);
   std::function<void(const InstRef &, size_t, Reg)> ExpandUse =
       [&](const InstRef &Pos, size_t K, Reg R) {
         if ((R.isInt() || R.isPred()) && R.Num == 0)
           return;
-        if (!ExpandedUses.insert({Pos, K, R.denseIndex()}).second)
+        auto &Memo = ExpandedUses[K * Reg::NumDenseIndices + R.denseIndex()];
+        if (!Memo)
+          Memo = std::make_unique<support::BitVector>(Index.numInsts());
+        if (!Memo->testAndSet(Index.id(Pos)))
           return;
         const FunctionDeps &FD = Deps.forFunction(Pos.Func);
 
-        for (const InstRef &Prod :
-             FD.reachingDefs().reachingDefs(Pos.Block, Pos.Inst, R)) {
-          if (InRegionAtFrame(Prod, K)) {
-            Include(Prod, K);
-          } else {
-            // Producer outside the region: the value is a region live-in.
-            LiveInDense.insert(R.denseIndex());
-          }
-        }
+        FD.reachingDefs().forEachReachingDef(
+            Pos.Block, Pos.Inst, R, RDScratch, [&](const InstRef &Prod) {
+              if (InRegionAtFrame(Prod, K)) {
+                Include(Prod, K);
+              } else {
+                // Producer outside the region: the value is a live-in.
+                LiveInDense.set(R.denseIndex());
+              }
+            });
 
         // Values produced inside callees: expand through summaries for
         // every warm call site that can reach this position and whose
@@ -240,13 +277,13 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
           if (!InRegionAtFrame(C.Site, K))
             continue;
           const FuncSummary &Sum = summaryOf(C.Callee);
-          auto It = Sum.DefinedRegs.find(R.denseIndex());
-          if (It == Sum.DefinedRegs.end())
+          const FuncSummary::RegInfo *Info = Sum.regInfo(R.denseIndex());
+          if (!Info)
             continue;
           S.Interprocedural = true;
-          for (const InstRef &M : It->second.Insts)
+          for (const InstRef &M : Info->Insts)
             Include(M, K); // Callee instructions: dynamically in region.
-          for (Reg E : It->second.EntryDeps)
+          for (Reg E : Info->EntryDeps)
             ExpandUse(C.Site, K, E); // Actuals just before the call.
         }
 
@@ -257,7 +294,7 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
             S.Interprocedural = true;
             ExpandUse(ContextCallSites[K], K + 1, R);
           } else {
-            LiveInDense.insert(R.denseIndex());
+            LiveInDense.set(R.denseIndex());
           }
         }
       };
@@ -278,7 +315,7 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
   while (!Work.empty()) {
     auto [I, K] = Work.front();
     Work.pop_front();
-    if (Members.size() > Opts.MaxSize) {
+    if (NumMembers > Opts.MaxSize) {
       S.Valid = false;
       S.RejectReason = "slice exceeds size cap";
       break;
@@ -301,18 +338,13 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
         Include(Ctrl, K);
   }
 
-  S.Insts.assign(Members.begin(), Members.end());
-  for (unsigned Dense : LiveInDense) {
-    Reg R;
-    if (Dense < NumIntRegs)
-      R = Reg(RegClass::Int, static_cast<uint8_t>(Dense));
-    else if (Dense < NumIntRegs + NumFPRegs)
-      R = Reg(RegClass::FP, static_cast<uint8_t>(Dense - NumIntRegs));
-    else
-      R = Reg(RegClass::Pred,
-              static_cast<uint8_t>(Dense - NumIntRegs - NumFPRegs));
-    S.LiveIns.push_back(R);
-  }
+  S.Insts.reserve(NumMembers);
+  Members.forEachSetBit([&](size_t Id) {
+    S.Insts.push_back(Index.ref(static_cast<uint32_t>(Id)));
+  });
+  LiveInDense.forEachSetBit([&](size_t Dense) {
+    S.LiveIns.push_back(regFromDenseIndex(static_cast<unsigned>(Dense)));
+  });
   S.Interprocedural |= TopFrame > 0;
 
   if (S.LiveIns.size() > sim::MaxLIBSlots - 2) {
@@ -328,15 +360,9 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
 
 void Slicer::mergeInto(Slice &A, const Slice &B) {
   assert(A.RegionIdx == B.RegionIdx && "merging slices of different regions");
-  std::set<InstRef> Members(A.Insts.begin(), A.Insts.end());
-  Members.insert(B.Insts.begin(), B.Insts.end());
-  A.Insts.assign(Members.begin(), Members.end());
-  std::set<InstRef> Targets(A.TargetLoads.begin(), A.TargetLoads.end());
-  Targets.insert(B.TargetLoads.begin(), B.TargetLoads.end());
-  A.TargetLoads.assign(Targets.begin(), Targets.end());
-  std::set<Reg> Lives(A.LiveIns.begin(), A.LiveIns.end());
-  Lives.insert(B.LiveIns.begin(), B.LiveIns.end());
-  A.LiveIns.assign(Lives.begin(), Lives.end());
+  unionInPlace(A.Insts, B.Insts);
+  unionInPlace(A.TargetLoads, B.TargetLoads);
+  unionInPlace(A.LiveIns, B.LiveIns);
   A.Interprocedural |= B.Interprocedural;
 }
 
@@ -352,15 +378,9 @@ bool Slicer::combineIfOverlapping(Slice &A, const Slice &B) {
   if (!Shares)
     return false;
   // Union members, targets and live-ins.
-  std::set<InstRef> Members(A.Insts.begin(), A.Insts.end());
-  Members.insert(B.Insts.begin(), B.Insts.end());
-  A.Insts.assign(Members.begin(), Members.end());
-  std::set<InstRef> Targets(A.TargetLoads.begin(), A.TargetLoads.end());
-  Targets.insert(B.TargetLoads.begin(), B.TargetLoads.end());
-  A.TargetLoads.assign(Targets.begin(), Targets.end());
-  std::set<Reg> Lives(A.LiveIns.begin(), A.LiveIns.end());
-  Lives.insert(B.LiveIns.begin(), B.LiveIns.end());
-  A.LiveIns.assign(Lives.begin(), Lives.end());
+  unionInPlace(A.Insts, B.Insts);
+  unionInPlace(A.TargetLoads, B.TargetLoads);
+  unionInPlace(A.LiveIns, B.LiveIns);
   A.Interprocedural |= B.Interprocedural;
   return true;
 }

@@ -33,9 +33,9 @@
 #include "analysis/DependenceGraph.h"
 #include "analysis/RegionGraph.h"
 #include "profile/Profile.h"
+#include "support/BitVector.h"
 
-#include <map>
-#include <set>
+#include <memory>
 #include <vector>
 
 namespace ssp::slicer {
@@ -81,17 +81,33 @@ struct Slice {
 /// depend on (the reusable "slice summary" of Section 3.1.1).
 struct FuncSummary {
   struct RegInfo {
-    std::vector<analysis::InstRef> Insts;
-    std::vector<ir::Reg> EntryDeps;
+    std::vector<analysis::InstRef> Insts; ///< Sorted, program layout order.
+    std::vector<ir::Reg> EntryDeps;       ///< Sorted by dense index.
   };
-  std::map<unsigned, RegInfo> DefinedRegs; ///< Keyed by dense register idx.
+  /// Indexed by dense register idx; only indices set in Defined are
+  /// populated (dense array + membership bits replace the old ordered map
+  /// on the slicer's hottest lookup).
+  std::vector<RegInfo> DefinedRegs;
+  support::BitVector Defined;
   bool Computed = false;
+
+  /// Summary for dense register index \p Dense, or nullptr when the
+  /// function never defines it.
+  const RegInfo *regInfo(unsigned Dense) const {
+    return Defined.size() > Dense && Defined.test(Dense)
+               ? &DefinedRegs[Dense]
+               : nullptr;
+  }
 };
 
-/// Demand-driven slicer with summary caching.
+/// Demand-driven slicer with summary caching. Copying a Slicer is cheap
+/// and shares the (immutable once computed) summary table: parallel
+/// candidate generation gives each worker thread its own copy, so only the
+/// per-slicer scratch buffers are private while every analysis input stays
+/// const-shared.
 class Slicer {
 public:
-  Slicer(analysis::ProgramDeps &Deps, const analysis::RegionGraph &RG,
+  Slicer(const analysis::ProgramDeps &Deps, const analysis::RegionGraph &RG,
          const analysis::CallGraph &CG, const profile::ProfileData &PD,
          SliceOptions Opts = SliceOptions());
 
@@ -116,18 +132,25 @@ public:
   /// Summary of \p Func, computed on demand with recursion fixed point.
   const FuncSummary &summaryOf(uint32_t Func);
 
+  /// Forces the summary fixed point now. Call once before handing copies
+  /// of this slicer to worker threads so they never race to build it.
+  void ensureSummaries();
+
 private:
   bool blockIsCold(uint32_t Func, uint32_t Block) const;
-  bool regionContains(int RegionIdx, uint32_t Func, uint32_t Block);
+  bool regionContains(int RegionIdx, uint32_t Func, uint32_t Block) const;
   void computeSummaries();
 
-  analysis::ProgramDeps &Deps;
+  const analysis::ProgramDeps &Deps;
   const analysis::RegionGraph &RG;
   const analysis::CallGraph &CG;
   const profile::ProfileData &PD;
   SliceOptions Opts;
-  std::vector<FuncSummary> Summaries;
-  bool SummariesReady = false;
+  /// Shared by all copies of this slicer; immutable once built.
+  std::shared_ptr<const std::vector<FuncSummary>> Summaries;
+  /// Reused reaching-def id buffer (private per copy, so concurrent
+  /// slicers never share scratch).
+  std::vector<uint32_t> RDScratch;
 };
 
 } // namespace ssp::slicer

@@ -1,0 +1,114 @@
+//===- support/BitVector.h - Dense fixed-size bit vector ------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense word-packed bit vector, promoted out of ReachingDefs' private
+/// BitSet so every analysis and the slicer share one implementation. The
+/// slicer's hot paths key sets by dense instruction / register ids, so a
+/// flat bit vector replaces the tree-based std::set<...> structures: set
+/// membership is one load+mask, unions are word-wide ORs, and ascending
+/// iteration (forEachSetBit) reproduces std::set's sorted traversal order
+/// bit for bit — the property the deterministic-output contract rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SUPPORT_BITVECTOR_H
+#define SSP_SUPPORT_BITVECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssp::support {
+
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(size_t Bits) { resize(Bits); }
+
+  /// Resizes to \p Bits bits, all zero (existing contents are discarded).
+  void resize(size_t Bits) {
+    NumBits = Bits;
+    Words.assign((Bits + 63) / 64, 0);
+  }
+
+  /// Clears every bit, keeping the size.
+  void clearAll() { Words.assign(Words.size(), 0); }
+
+  size_t size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  bool test(size_t I) const {
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  void set(size_t I) { Words[I / 64] |= uint64_t(1) << (I % 64); }
+  void reset(size_t I) { Words[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+
+  /// Sets bit \p I; returns true when it was previously clear (the
+  /// insert-if-new idiom the slicer worklists use).
+  bool testAndSet(size_t I) {
+    uint64_t &W = Words[I / 64];
+    uint64_t Mask = uint64_t(1) << (I % 64);
+    if (W & Mask)
+      return false;
+    W |= Mask;
+    return true;
+  }
+
+  /// In-place union; returns true if any bit changed.
+  bool unionWith(const BitVector &O) {
+    bool Changed = false;
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t New = Words[W] | O.Words[W];
+      if (New != Words[W]) {
+        Words[W] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// True when the two vectors share any set bit (sized equally).
+  bool anyCommon(const BitVector &O) const {
+    size_t N = Words.size() < O.Words.size() ? Words.size() : O.Words.size();
+    for (size_t W = 0; W < N; ++W)
+      if (Words[W] & O.Words[W])
+        return true;
+    return false;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Calls \p Fn(index) for every set bit in ascending order.
+  template <typename Fn> void forEachSetBit(Fn &&F) const {
+    for (size_t WI = 0; WI < Words.size(); ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned B = static_cast<unsigned>(__builtin_ctzll(W));
+        F(WI * 64 + B);
+        W &= W - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const BitVector &A, const BitVector &B) {
+    return A.NumBits == B.NumBits && A.Words == B.Words;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t NumBits = 0;
+};
+
+} // namespace ssp::support
+
+#endif // SSP_SUPPORT_BITVECTOR_H

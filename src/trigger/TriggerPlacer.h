@@ -52,7 +52,7 @@ struct TriggerPlan {
 /// Places triggers for scheduled slices.
 class TriggerPlacer {
 public:
-  TriggerPlacer(analysis::ProgramDeps &Deps,
+  TriggerPlacer(const analysis::ProgramDeps &Deps,
                 const analysis::RegionGraph &RG,
                 const profile::ProfileData &PD)
       : Deps(Deps), RG(RG), PD(PD) {}
@@ -77,7 +77,7 @@ public:
   uint64_t minCutCost(const slicer::Slice &S);
 
 private:
-  analysis::ProgramDeps &Deps;
+  const analysis::ProgramDeps &Deps;
   const analysis::RegionGraph &RG;
   const profile::ProfileData &PD;
 };

@@ -1,0 +1,170 @@
+//===- workloads/Stress.cpp - Synthetic tool-scalability stress workload --===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parameterized synthetic program generator for measuring *tool*
+/// throughput (analysis, slicing, scheduling, full adaptation) on binaries
+/// 10-100x larger than the hand-written paper kernels. Every function runs
+/// the same shape of pointer-chasing scan the paper's workloads exercise --
+/// per-block delinquent loads through a scattered node region larger than
+/// the L3 -- so the adaptation pipeline does representative work on every
+/// scale point: delinquent-load selection, region traversal, callee
+/// summaries (the arc stride runs through a shared helper call), chaining
+/// and basic SP scheduling, trigger placement, and rewriting.
+///
+/// Layout of one generated binary:
+///   fn0           main: calls every worker once, stores the checksum.
+///   fn1           stride helper: arc += ArcRecordBytes; ret.
+///   fn2..fn1+F    workers: a loop of `BlocksPerFunc` fall-through body
+///                 blocks, each issuing `LoadsPerBlock` pointer->node load
+///                 pairs; the latch advances the arc cursor via fn1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+
+constexpr uint64_t StressArcBase = 0x1000000;
+constexpr uint64_t StressNodeBase = 0x10000000;
+constexpr uint64_t NodeStride = 64;
+/// 4 MiB of 64-byte nodes: larger than the 3 MiB L3, so node loads miss.
+constexpr unsigned NumNodes = 1 << 16;
+/// Loop trips per worker function (fixed: the knobs scale the *static*
+/// program, which is what tool-throughput benchmarking needs).
+constexpr unsigned ArcsPerFunc = 48;
+
+/// Bytes of one arc record: one 8-byte slot per (block, load) pair plus a
+/// header word, rounded up to whole cache lines.
+uint64_t arcRecordBytes(unsigned BlocksPerFunc, unsigned LoadsPerBlock) {
+  uint64_t Slots = 1 + static_cast<uint64_t>(BlocksPerFunc) * LoadsPerBlock;
+  return (Slots * 8 + 63) / 64 * 64;
+}
+
+} // namespace
+
+Workload ssp::workloads::makeStress(unsigned Funcs, unsigned BlocksPerFunc,
+                                    unsigned LoadsPerBlock) {
+  if (Funcs == 0)
+    Funcs = 1;
+  if (BlocksPerFunc == 0)
+    BlocksPerFunc = 1;
+  if (LoadsPerBlock == 0)
+    LoadsPerBlock = 1;
+  const uint64_t ArcBytes = arcRecordBytes(BlocksPerFunc, LoadsPerBlock);
+  const uint64_t SliceBytes = ArcBytes * ArcsPerFunc;
+
+  Workload W;
+  W.Name = "stress(" + std::to_string(Funcs) + "x" +
+           std::to_string(BlocksPerFunc) + "x" +
+           std::to_string(LoadsPerBlock) + ")";
+
+  W.Build = [Funcs, BlocksPerFunc, LoadsPerBlock, ArcBytes, SliceBytes]() {
+    Program P;
+    IRBuilder B(P);
+
+    const Reg Arc = ireg(1), Sum = ireg(2), Ptr = ireg(3), End = ireg(4),
+              Val = ireg(5), Tmp = ireg(6), Res = ireg(22);
+    const Reg Cont = preg(1);
+
+    // fn0: main.
+    B.createFunction("main");
+    B.createBlock("entry");
+    B.movI(Sum, 0);
+    for (unsigned F = 0; F < Funcs; ++F)
+      B.call(2 + F);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Sum);
+    B.halt();
+
+    // fn1: stride(arc in r1) -> r1 += ArcBytes. Routing the induction
+    // update through a call forces the slicer to expand a callee summary
+    // for every worker slice.
+    B.createFunction("stride");
+    B.createBlock("entry");
+    B.addI(Arc, Arc, static_cast<int64_t>(ArcBytes));
+    B.ret();
+
+    // fn2..: workers.
+    for (unsigned F = 0; F < Funcs; ++F) {
+      B.createFunction("work" + std::to_string(F));
+      uint32_t Entry = B.createBlock("entry");
+      std::vector<uint32_t> Bodies;
+      for (unsigned Blk = 0; Blk < BlocksPerFunc; ++Blk)
+        Bodies.push_back(B.createBlock("body" + std::to_string(Blk)));
+      uint32_t Latch = B.createBlock("latch");
+      uint32_t Exit = B.createBlock("exit");
+
+      uint64_t Base = StressArcBase + static_cast<uint64_t>(F) * SliceBytes;
+      B.setInsertPoint(Entry);
+      B.movI(Arc, static_cast<int64_t>(Base));
+      B.movI(End, static_cast<int64_t>(Base + SliceBytes));
+      B.jmp(Bodies.front());
+
+      for (unsigned Blk = 0; Blk < BlocksPerFunc; ++Blk) {
+        B.setInsertPoint(Bodies[Blk]);
+        for (unsigned L = 0; L < LoadsPerBlock; ++L) {
+          int64_t Slot = 8 * (1 + static_cast<int64_t>(Blk) * LoadsPerBlock +
+                              L);
+          B.load(Ptr, Arc, Slot);  // Arc slot: sequential line.
+          B.load(Val, Ptr, 0);     // Node line: delinquent.
+          B.add(Sum, Sum, Val);
+        }
+        // Filler arithmetic off the slice (the slicer must skip it).
+        B.addI(Tmp, Sum, 7);
+        B.xor_(Tmp, Tmp, Sum);
+        // Falls through to the next body block (or the latch).
+      }
+
+      B.setInsertPoint(Latch);
+      B.call(1); // arc += ArcBytes via the stride helper.
+      B.cmp(CondCode::LT, Cont, Arc, End);
+      B.br(Cont, Bodies.front()); // Falls through to exit.
+
+      B.setInsertPoint(Exit);
+      B.ret();
+      (void)Latch;
+    }
+
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [Funcs, BlocksPerFunc, LoadsPerBlock, ArcBytes,
+                   SliceBytes](mem::SimMemory &Mem) {
+    RNG Rng(0x57E55);
+    for (unsigned I = 0; I < NumNodes; ++I)
+      Mem.write(StressNodeBase + static_cast<uint64_t>(I) * NodeStride,
+                I * 7 + 3);
+    uint64_t Expected = 0;
+    for (unsigned F = 0; F < Funcs; ++F) {
+      uint64_t Base = StressArcBase + static_cast<uint64_t>(F) * SliceBytes;
+      for (unsigned A = 0; A < ArcsPerFunc; ++A) {
+        uint64_t Arc = Base + static_cast<uint64_t>(A) * ArcBytes;
+        for (unsigned Blk = 0; Blk < BlocksPerFunc; ++Blk)
+          for (unsigned L = 0; L < LoadsPerBlock; ++L) {
+            uint64_t Slot =
+                Arc + 8 * (1 + static_cast<uint64_t>(Blk) * LoadsPerBlock +
+                           L);
+            uint64_t Node =
+                StressNodeBase + Rng.nextBelow(NumNodes) * NodeStride;
+            Mem.write(Slot, Node);
+            Expected += Mem.read(Node);
+          }
+      }
+    }
+    Mem.write(ResultAddr, 0);
+    return Expected;
+  };
+  return W;
+}

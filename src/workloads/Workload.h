@@ -73,6 +73,15 @@ Workload makeArcKernel(unsigned NumArcs = 800, unsigned NumNodes = 1 << 16);
 Workload makePhasedKernel(unsigned NumPasses = 6, unsigned NumArcs = 800,
                           unsigned NumNodes = 1 << 10);
 
+/// A parameterized synthetic stress program for tool-throughput
+/// benchmarking: \p Funcs worker functions of \p BlocksPerFunc loop-body
+/// blocks, each issuing \p LoadsPerBlock pointer-chasing (delinquent) load
+/// pairs, with the loop induction routed through a shared helper call.
+/// Scales the *static* program 10-100x beyond the paper kernels while the
+/// dynamic run stays small enough to profile quickly.
+Workload makeStress(unsigned Funcs = 32, unsigned BlocksPerFunc = 8,
+                    unsigned LoadsPerBlock = 2);
+
 } // namespace ssp::workloads
 
 #endif // SSP_WORKLOADS_WORKLOAD_H

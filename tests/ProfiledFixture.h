@@ -1,0 +1,61 @@
+//===- tests/ProfiledFixture.h - Process-shared profiled workloads --------===//
+//
+// Building and profiling a workload (two full simulation passes) dominates
+// the wall time of the end-to-end test binaries, and most tests want the
+// *same* profiled program. This header shares one profiled copy of each
+// workload across every test in the process: the first request builds and
+// profiles it, later requests hit the cache. Profiling is deterministic
+// and independent of tool options, so sharing cannot couple tests.
+//
+// profileRuns() counts the actual core::profileProgram invocations, letting
+// a test pin the "profiled once per workload per process" contract.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_TESTS_PROFILEDFIXTURE_H
+#define SSP_TESTS_PROFILEDFIXTURE_H
+
+#include "core/PostPassTool.h"
+#include "workloads/Workload.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace ssp::workloads {
+
+/// A workload with its program built and profiled exactly once.
+struct ProfiledWorkload {
+  Workload W;
+  ir::Program P;
+  profile::ProfileData PD;
+};
+
+/// Number of core::profileProgram runs performed through
+/// profiledWorkload() in this process.
+inline unsigned &profileRuns() {
+  static unsigned N = 0;
+  return N;
+}
+
+/// The process-wide profiled copy of \p W, keyed by workload name. Note
+/// the key: parameterized builders that do not encode their parameters in
+/// Workload::Name (e.g. makeArcKernel) must be shared at one scale per
+/// process; makeStress encodes its shape, so any mix is safe.
+inline const ProfiledWorkload &profiledWorkload(const Workload &W) {
+  static std::map<std::string, std::unique_ptr<ProfiledWorkload>> Cache;
+  auto It = Cache.find(W.Name);
+  if (It == Cache.end()) {
+    auto PW = std::make_unique<ProfiledWorkload>();
+    PW->W = W;
+    PW->P = W.Build();
+    PW->PD = core::profileProgram(PW->P, PW->W.BuildMemory);
+    ++profileRuns();
+    It = Cache.emplace(W.Name, std::move(PW)).first;
+  }
+  return *It->second;
+}
+
+} // namespace ssp::workloads
+
+#endif // SSP_TESTS_PROFILEDFIXTURE_H

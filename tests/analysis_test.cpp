@@ -245,8 +245,7 @@ TEST(CallGraph, DirectAndIndirectEdges) {
   B.ret();
   P.setEntry(0);
 
-  std::map<InstRef, std::vector<std::pair<uint32_t, uint64_t>>> Indirect;
-  Indirect[{0, 0, 1}] = {{2, 42}};
+  std::vector<IndirectCallTarget> Indirect = {{{0, 0, 1}, 2, 42}};
   CallGraph CG = CallGraph::build(P, Indirect, {{{0, 0, 0}, 7}});
   ASSERT_EQ(CG.callersOf(1).size(), 1u);
   EXPECT_EQ(CG.callersOf(1)[0].Count, 7u);

@@ -63,11 +63,10 @@ TEST(Profile, IndirectCallTargetsCaptured) {
   ASSERT_FALSE(R.PD.IndirectTargets.empty());
   uint64_t TotalIndirect = 0;
   std::set<uint32_t> Callees;
-  for (const auto &[Site, Targets] : R.PD.IndirectTargets)
-    for (const auto &[Callee, Count] : Targets) {
-      TotalIndirect += Count;
-      Callees.insert(Callee);
-    }
+  for (const analysis::IndirectCallTarget &T : R.PD.IndirectTargets) {
+    TotalIndirect += T.Count;
+    Callees.insert(T.Callee);
+  }
   EXPECT_EQ(Callees.size(), 2u) << "both cost models must be observed";
   EXPECT_GT(TotalIndirect, 100u);
 }
@@ -76,8 +75,8 @@ TEST(Profile, DirectCallSiteCounts) {
   Profiled R = profileWorkload(workloads::makeMst());
   // main calls hash_lookup once per lookup.
   uint64_t Calls = 0;
-  for (const auto &[Site, Count] : R.PD.CallSiteCounts)
-    Calls += Count;
+  for (const analysis::DirectCallCount &C : R.PD.CallSiteCounts)
+    Calls += C.Count;
   EXPECT_EQ(Calls, 3000u);
 }
 

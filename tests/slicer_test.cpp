@@ -187,7 +187,15 @@ TEST(Slicer, SummariesCoverRecursion) {
   // point over the recursion).
   const FuncSummary &Sum = S.summaryOf(1);
   EXPECT_TRUE(Sum.Computed);
-  EXPECT_FALSE(Sum.DefinedRegs.empty());
+  EXPECT_GT(Sum.Defined.count(), 0u);
+  // Every defined register's summary carries at least its defining
+  // instruction.
+  Sum.Defined.forEachSetBit([&](size_t Dense) {
+    const FuncSummary::RegInfo *Info =
+        Sum.regInfo(static_cast<unsigned>(Dense));
+    ASSERT_NE(Info, nullptr);
+    EXPECT_FALSE(Info->Insts.empty());
+  });
 }
 
 TEST(Slicer, ContextSensitiveSliceReachesCaller) {

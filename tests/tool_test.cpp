@@ -12,6 +12,8 @@
 #include "sim/Simulator.h"
 #include "workloads/Workload.h"
 
+#include "ProfiledFixture.h"
+
 #include <gtest/gtest.h>
 
 using namespace ssp;
@@ -40,11 +42,13 @@ struct AdaptedRun {
 };
 
 AdaptedRun adaptWorkload(Workload W, ToolOptions Opts = ToolOptions()) {
+  // Build + profile once per workload per process (see ProfiledFixture.h);
+  // only the adaptation itself reruns per test.
+  const ProfiledWorkload &PW = profiledWorkload(W);
   AdaptedRun R;
-  R.W = W;
-  R.Orig = W.Build();
-  profile::ProfileData PD = profileProgram(R.Orig, W.BuildMemory);
-  PostPassTool Tool(R.Orig, PD, Opts);
+  R.W = PW.W;
+  R.Orig = PW.P.clone();
+  PostPassTool Tool(R.Orig, PW.PD, Opts);
   R.Enhanced = Tool.adapt(&R.Report);
   return R;
 }
@@ -186,4 +190,13 @@ TEST(PostPassTool, UnadaptedProgramStillRunsCorrectly) {
                           &Clone);
   EXPECT_EQ(Base, Clone);
   EXPECT_EQ(S.TriggersFired, 0u);
+}
+
+TEST(PostPassTool, ProfilesEachWorkloadOncePerProcess) {
+  // The shared fixture contract: every adaptWorkload() above reused one
+  // profiled arc kernel; profiling must not have rerun per test.
+  adaptWorkload(makeArcKernel());
+  adaptWorkload(makeArcKernel());
+  EXPECT_EQ(profileRuns(), 1u)
+      << "profiledWorkload must build and profile each workload once";
 }

@@ -8,6 +8,9 @@
 //   ssp-adapt input.ssp --run            ... and simulate baseline vs SSP
 //                                        on both machine models
 //   ssp-adapt input.ssp --no-chaining    basic SP only
+//   ssp-adapt input.ssp --jobs N         parallel candidate generation
+//                                        (0 = hardware concurrency; the
+//                                        output is identical for every N)
 //   ssp-adapt input.ssp --throttle       enable dynamic trigger throttling
 //   ssp-adapt input.ssp --verbose        trace the region/model decisions
 //   ssp-adapt input.ssp --Werror         verifier warnings fail the run
@@ -26,6 +29,7 @@
 #include "sim/Simulator.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -37,7 +41,7 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp> [--emit] [--run] [--no-chaining] "
-               "[--throttle] [--verbose] [--Werror]\n",
+               "[--jobs N] [--throttle] [--verbose] [--Werror]\n",
                Argv0);
   return 1;
 }
@@ -74,7 +78,15 @@ int main(int argc, char **argv) {
       Run = true;
     else if (std::strcmp(argv[I], "--no-chaining") == 0)
       Opts.EnableChaining = false;
-    else if (std::strcmp(argv[I], "--throttle") == 0)
+    else if (std::strcmp(argv[I], "--jobs") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      char *End = nullptr;
+      unsigned long N = std::strtoul(argv[++I], &End, 10);
+      if (!End || *End != '\0')
+        return usage(argv[0]);
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (std::strcmp(argv[I], "--throttle") == 0)
       Throttle = true;
     else if (std::strcmp(argv[I], "--verbose") == 0)
       Opts.Verbose = true;
