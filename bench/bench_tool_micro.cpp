@@ -21,6 +21,8 @@
 #include "core/AnalysisCache.h"
 #include "core/PostPassTool.h"
 #include "harness/Experiment.h"
+#include "obs/Registry.h"
+#include "support/Args.h"
 #include "sched/Scheduler.h"
 #include "slicer/Slicer.h"
 #include "workloads/Workload.h"
@@ -256,10 +258,39 @@ void printStages(std::FILE *F, const char *Name, const StageTimes &T,
                TrailingComma ? "," : "");
 }
 
+/// One instrumented adaptation of mcf through the obs registry: the
+/// tool's own per-stage wall times and counters, reported alongside the
+/// external best-of timings above (run separately so the metric overhead
+/// never lands inside a timed best-of iteration).
+std::string collectToolMetrics() {
+  workloads::Workload W = workloads::makeMcf();
+  ir::Program P = W.Build();
+  profile::ProfileData PD = core::profileProgram(P, W.BuildMemory);
+  obs::Registry Reg;
+  core::ToolOptions Opts;
+  Opts.Metrics = &Reg;
+  core::PostPassTool Tool(P, PD, Opts);
+  ir::Program E = Tool.adapt();
+  benchmark::DoNotOptimize(E.numInsts());
+  std::string Json = Reg.renderJSON();
+  // Trim the trailing newline so the value embeds cleanly.
+  while (!Json.empty() && Json.back() == '\n')
+    Json.pop_back();
+  // Re-indent the nested object two extra spaces for the enclosing doc.
+  std::string Out;
+  for (char C : Json) {
+    Out += C;
+    if (C == '\n')
+      Out += "  ";
+  }
+  return Out;
+}
+
 int jsonMain(const char *OutPath, unsigned Jobs) {
   StageTimes Mcf = measureStages(workloads::makeMcf(), Jobs);
   StageTimes Stress =
       measureStages(workloads::makeStress(32, 8, 2), Jobs);
+  std::string ToolMetrics = collectToolMetrics();
 
   std::FILE *F = std::fopen(OutPath, "w");
   if (!F) {
@@ -273,7 +304,8 @@ int jsonMain(const char *OutPath, unsigned Jobs) {
     std::fprintf(Out, "  \"adaptations_per_sec\": %.2f,\n",
                  TotalAdaptMs > 0 ? 2000.0 / TotalAdaptMs : 0.0);
     printStages(Out, "mcf", Mcf, /*TrailingComma=*/true);
-    printStages(Out, "stress_32x8x2", Stress, /*TrailingComma=*/false);
+    printStages(Out, "stress_32x8x2", Stress, /*TrailingComma=*/true);
+    std::fprintf(Out, "  \"tool_metrics_mcf\": %s\n", ToolMetrics.c_str());
     std::fprintf(Out, "}\n");
   }
   std::fclose(F);
@@ -288,8 +320,12 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
       OutPath = argv[++I];
-    else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
-      Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (std::strcmp(argv[I], "--jobs") == 0) {
+      uint64_t N = 0;
+      if (!support::parseUnsignedFlag(argc, argv, I, 1, 512, N))
+        return 1;
+      Jobs = static_cast<unsigned>(N);
+    }
   }
   if (OutPath)
     return jsonMain(OutPath, Jobs == 0 ? 1 : Jobs);

@@ -39,6 +39,18 @@ for f in examples/*.ssp; do
   ./build-ci/tools/ssp-verify "build-ci/$(basename "$f").adapted"
 done
 
+echo "== Observability artifacts (trace + metrics JSON) =="
+# The obs layer is off by default; this stage exercises the opt-in paths
+# and validates the emitted JSON with the stdlib checker (no new deps).
+./build-ci/tools/ssp-sim examples/listsum.ssp --report=attrib \
+  --trace build-ci/listsum.trace.json >/dev/null
+python3 -m json.tool build-ci/listsum.trace.json >/dev/null
+python3 scripts/check_obs_json.py trace build-ci/listsum.trace.json
+./build-ci/tools/ssp-adapt examples/listsum.ssp \
+  --metrics build-ci/listsum.metrics.json >/dev/null
+python3 -m json.tool build-ci/listsum.metrics.json >/dev/null
+python3 scripts/check_obs_json.py metrics build-ci/listsum.metrics.json
+
 echo "== Sanitized build (ASan+UBSan) + tests =="
 cmake -B build-asan -S . -DSSP_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS"

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <set>
 
@@ -25,6 +26,19 @@ PostPassTool::PostPassTool(const Program &Orig,
     : Orig(Orig), PD(PD), Opts(Opts) {}
 
 Program PostPassTool::adapt(AdaptationReport *Report) {
+  // Stage wall-time metrics (off unless the caller supplied a registry;
+  // the adaptation itself is identical either way).
+  auto StageStart = std::chrono::steady_clock::now();
+  auto EndStage = [&](const char *Name) {
+    if (!Opts.Metrics)
+      return;
+    auto NowT = std::chrono::steady_clock::now();
+    Opts.Metrics->addTimeMs(
+        Name, std::chrono::duration<double, std::milli>(NowT - StageStart)
+                  .count());
+    StageStart = NowT;
+  };
+
   slicer::SliceOptions SOpts = Opts.Slicing;
   SOpts.Speculative = Opts.EnableSpeculativeSlicing;
   sched::ScheduleOptions SchedOpts;
@@ -46,6 +60,7 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
 
   AdaptationReport Rep;
   Rep.DelinquentLoads = static_cast<unsigned>(DLoads.size());
+  EndStage("adapt.analysis_ms");
 
   struct Candidate {
     slicer::Slice Slice;                    ///< Primary-context slice.
@@ -269,6 +284,7 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
       HasSlot[LoadIdx] = 1;
     }
   });
+  EndStage("adapt.candidates_ms");
 
   // Deterministic merge: drain the slots in delinquent-load order, exactly
   // the sequence the old serial loop produced.
@@ -293,6 +309,7 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
     if (!Merged)
       Combined.push_back(std::move(C));
   }
+  EndStage("adapt.combine_ms");
 
   // Trigger placement and rewrite payload.
   std::vector<codegen::AdaptedLoad> Adapted;
@@ -366,16 +383,19 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
 
     Adapted.push_back(std::move(AL));
   }
+  EndStage("adapt.triggers_ms");
 
   Program Enhanced = codegen::rewriteWithSlices(Orig, Adapted, &Rep.Rewrite,
                                                 &Rep.Manifest);
+  EndStage("adapt.rewrite_ms");
 
   // Validate the adaptation end to end: the emitted binary against the
   // original (translation validation) and against the rewrite plan, plus
   // the stub/slice speculation contracts. Errors here mean the tool
   // produced an unsafe binary — by default that is fatal.
   if (Opts.VerifyAdapted) {
-    ssp::verify::VerifyContext VC{Enhanced, &Orig, &Rep.Manifest};
+    ssp::verify::VerifyContext VC{Enhanced, &Orig, &Rep.Manifest,
+                                  Opts.Metrics};
     ssp::verify::DiagnosticEngine DE = ssp::verify::runStandardPipeline(VC);
     Rep.VerifyErrors = DE.errorCount();
     Rep.VerifyWarnings = DE.warningCount();
@@ -385,6 +405,19 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
                    ssp::verify::renderTextAll(DE, &Enhanced).c_str());
       fatalError("adapted binary failed SSP verification");
     }
+  }
+  EndStage("adapt.verify_ms");
+
+  if (Opts.Metrics) {
+    Opts.Metrics->addCounter("adapt.runs");
+    Opts.Metrics->addCounter("adapt.delinquent_loads", Rep.DelinquentLoads);
+    Opts.Metrics->addCounter("adapt.slices", Rep.numSlices());
+    Opts.Metrics->addCounter("adapt.interprocedural_slices",
+                             Rep.numInterprocedural());
+    Opts.Metrics->addCounter("adapt.triggers_inserted",
+                             Rep.Rewrite.TriggersInserted);
+    Opts.Metrics->addCounter("adapt.verify_errors", Rep.VerifyErrors);
+    Opts.Metrics->addCounter("adapt.verify_warnings", Rep.VerifyWarnings);
   }
 
   if (Report)

@@ -24,6 +24,7 @@
 #define SSP_CORE_POSTPASSTOOL_H
 
 #include "codegen/SSPCodeGen.h"
+#include "obs/Registry.h"
 #include "profile/Profile.h"
 #include "verify/Diagnostic.h"
 
@@ -89,6 +90,13 @@ struct ToolOptions {
   /// false to print the diagnostics and exit with a status code instead;
   /// the findings are in AdaptationReport::VerifyDiags either way.
   bool FatalOnVerifyError = true;
+
+  /// Optional metrics sink: adapt() reports per-stage wall times
+  /// ("adapt.<stage>_ms") and summary counters ("adapt.*") into it, and
+  /// forwards it to the verification pipeline ("verify.<pass>_ms").
+  /// Null (the default) disables all metric collection; the adaptation
+  /// output is identical either way (`ssp-adapt --metrics out.json`).
+  obs::Registry *Metrics = nullptr;
 
   slicer::SliceOptions Slicing;
 };

@@ -2,6 +2,7 @@
 
 #include "harness/Experiment.h"
 
+#include "support/Args.h"
 #include "support/Assert.h"
 
 #include <cstdio>
@@ -120,12 +121,10 @@ void ParallelSuiteRunner::runAll(const std::vector<workloads::Workload> &Ws) {
 
 unsigned ssp::harness::jobsFromArgs(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
-      int N = std::atoi(argv[I + 1]);
-      if (N < 1 || N > 512) {
-        std::fprintf(stderr, "error: --jobs expects a count in [1, 512]\n");
+    if (std::strcmp(argv[I], "--jobs") == 0) {
+      uint64_t N = 0;
+      if (!support::parseUnsignedFlag(argc, argv, I, 1, 512, N))
         std::exit(1);
-      }
       return static_cast<unsigned>(N);
     }
   }

@@ -20,7 +20,11 @@ public:
   explicit LineCursor(const std::string &Line) : Text(Line) {}
 
   void skipSpace() {
-    while (Pos < Text.size() && std::isspace(unsigned(Text[Pos])))
+    // Cast through unsigned char first: passing a sign-extended negative
+    // char (a high-bit byte in a corrupted input) to the ctype functions
+    // is undefined behaviour.
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
       ++Pos;
   }
 
@@ -49,22 +53,27 @@ public:
     skipSpace();
     size_t Start = Pos;
     while (Pos < Text.size() &&
-           (std::isalnum(unsigned(Text[Pos])) || Text[Pos] == '_' ||
-            Text[Pos] == '.' || Text[Pos] == '-'))
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '.' || Text[Pos] == '-'))
       ++Pos;
     return Text.substr(Start, Pos - Start);
   }
 
-  /// Reads a signed integer; returns false on failure.
+  /// Reads a signed integer; returns false on failure (including a bare
+  /// sign with no digits, which strtoll would silently read as 0).
   bool integer(int64_t &Out) {
     skipSpace();
     size_t Start = Pos;
+    size_t Digits = Pos;
     if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      Digits = ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
       ++Pos;
-    while (Pos < Text.size() && std::isdigit(unsigned(Text[Pos])))
-      ++Pos;
-    if (Pos == Start)
+    if (Pos == Digits) {
+      Pos = Start;
       return false;
+    }
     Out = std::strtoll(Text.substr(Start, Pos - Start).c_str(), nullptr,
                        10);
     return true;
@@ -169,6 +178,13 @@ private:
       std::string Hex = C.word();
       if (Hex.empty())
         return error("expected hex address");
+      // word() accepts identifier characters; insist on actual hex digits
+      // so "0xzz" is rejected instead of silently reading as 0.
+      if (Hex.size() > 16)
+        return error("hex address too wide: 0x" + Hex);
+      for (char Ch : Hex)
+        if (!std::isxdigit(static_cast<unsigned char>(Ch)))
+          return error("bad hex digit in address: 0x" + Hex);
       Addr = std::strtoull(Hex.c_str(), nullptr, 16);
       return true;
     }
@@ -235,6 +251,11 @@ private:
     if (W.size() < 2)
       return error("expected register, got '" + W + "'");
     char Cls = W[0];
+    // The number must be all digits: strtol would quietly read "rx" as
+    // r0 otherwise.
+    for (size_t P = 1; P < W.size(); ++P)
+      if (!std::isdigit(static_cast<unsigned char>(W[P])))
+        return error("bad register '" + W + "'");
     long N = std::strtol(W.c_str() + 1, nullptr, 10);
     if (Cls == 'r' && N >= 0 && N < int(NumIntRegs))
       Out2 = ireg(unsigned(N));
@@ -268,6 +289,8 @@ private:
     int64_t N = 0;
     if (!C.integer(N))
       return error("expected block number");
+    if (N < 0 || N > int64_t(~0u))
+      return error("block number out of range");
     Target = static_cast<uint32_t>(N);
     return true;
   }
@@ -399,7 +422,7 @@ private:
     else if (Mn == "call") {
       I.Op = Opcode::Call;
       int64_t N = 0;
-      Ok = C.eat("fn") && C.integer(N);
+      Ok = C.eat("fn") && C.integer(N) && N >= 0 && N <= int64_t(~0u);
       I.Target = static_cast<uint32_t>(N);
     } else if (Mn == "calli") {
       I.Op = Opcode::CallInd;

@@ -1,0 +1,118 @@
+//===- obs/Registry.cpp - Named counters and wall-time metrics ------------===//
+
+#include "obs/Registry.h"
+
+#include <cstdio>
+
+using namespace ssp;
+using namespace ssp::obs;
+
+void Registry::addCounter(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(M);
+  Counters[Name] += Delta;
+}
+
+void Registry::setCounter(const std::string &Name, uint64_t Value) {
+  std::lock_guard<std::mutex> Lock(M);
+  Counters[Name] = Value;
+}
+
+void Registry::addTimeMs(const std::string &Name, double Ms) {
+  std::lock_guard<std::mutex> Lock(M);
+  TimersMs[Name] += Ms;
+}
+
+uint64_t Registry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+double Registry::timeMs(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = TimersMs.find(Name);
+  return It == TimersMs.end() ? 0.0 : It->second;
+}
+
+size_t Registry::numCounters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters.size();
+}
+
+size_t Registry::numTimers() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return TimersMs.size();
+}
+
+namespace {
+
+/// Keys are dotted stage names produced by this codebase (no exotic
+/// characters), but escape the JSON-critical ones anyway.
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::string Registry::renderJSON() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, V] : Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"";
+    appendEscaped(Out, Name);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "\": %llu", (unsigned long long)V);
+    Out += Buf;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"timers_ms\": {";
+  First = true;
+  for (const auto &[Name, Ms] : TimersMs) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"";
+    appendEscaped(Out, Name);
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "\": %.4f", Ms);
+    Out += Buf;
+  }
+  Out += First ? "}\n" : "\n  }\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool Registry::writeJSON(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string S = renderJSON();
+  bool Ok = std::fwrite(S.data(), 1, S.size(), F) == S.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  return Ok;
+}

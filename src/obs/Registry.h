@@ -1,0 +1,87 @@
+//===- obs/Registry.h - Named counters and wall-time metrics --------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: a registry of named
+/// uint64 counters and wall-time accumulators (milliseconds) that the
+/// post-pass tool and the verification pipeline report into. Like the
+/// TraceSink, it is off by default — producers hold a `Registry *` that
+/// is null unless the caller asked for metrics (`ssp-adapt --metrics`),
+/// and every producer site is null-guarded, so a run without a registry
+/// does no timing calls at all.
+///
+/// The registry is mutex-protected (the tool's candidate generation is
+/// parallel) and keyed by std::map, so the rendered JSON is byte-stable
+/// for a deterministic run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_OBS_REGISTRY_H
+#define SSP_OBS_REGISTRY_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ssp::obs {
+
+/// Named counter + timer store.
+class Registry {
+public:
+  /// Adds \p Delta to counter \p Name (created at zero).
+  void addCounter(const std::string &Name, uint64_t Delta = 1);
+  /// Sets counter \p Name to \p Value.
+  void setCounter(const std::string &Name, uint64_t Value);
+  /// Adds \p Ms to timer \p Name (created at zero).
+  void addTimeMs(const std::string &Name, double Ms);
+
+  uint64_t counter(const std::string &Name) const;
+  double timeMs(const std::string &Name) const;
+  size_t numCounters() const;
+  size_t numTimers() const;
+
+  /// `{"counters": {...}, "timers_ms": {...}}`, keys sorted.
+  std::string renderJSON() const;
+  /// Writes renderJSON() to \p Path; false on I/O failure.
+  bool writeJSON(const std::string &Path) const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> TimersMs;
+};
+
+/// RAII wall-clock timer: accumulates the scope's duration into
+/// \p Name on destruction. A null registry makes it a no-op, so producer
+/// code can time scopes unconditionally.
+class ScopedTimerMs {
+public:
+  ScopedTimerMs(Registry *R, std::string Name)
+      : R(R), Name(std::move(Name)),
+        Start(R ? std::chrono::steady_clock::now()
+                : std::chrono::steady_clock::time_point()) {}
+  ~ScopedTimerMs() {
+    if (!R)
+      return;
+    R->addTimeMs(Name,
+                 std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count());
+  }
+  ScopedTimerMs(const ScopedTimerMs &) = delete;
+  ScopedTimerMs &operator=(const ScopedTimerMs &) = delete;
+
+private:
+  Registry *R;
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace ssp::obs
+
+#endif // SSP_OBS_REGISTRY_H

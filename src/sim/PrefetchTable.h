@@ -5,12 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The line-address -> origin-trigger table behind the simulator's prefetch
-/// usefulness accounting (Section 4.4.1 dynamic throttling). It is touched
-/// on every speculative line-moving access and on every main-thread load,
-/// so it is an open-addressed flat table instead of a node-based hash map:
-/// one multiplicative hash, a short linear probe over three parallel
-/// arrays, no allocation on the hot path.
+/// The line-address -> origin table behind the simulator's prefetch
+/// usefulness accounting (Section 4.4.1 dynamic throttling) and the
+/// prefetch-lifecycle attribution. It is touched on every speculative
+/// line-moving access and on every main-thread load, so it is an
+/// open-addressed flat table instead of a node-based hash map: one
+/// multiplicative hash, a short linear probe over three parallel arrays,
+/// no allocation on the hot path.
 ///
 /// Capacity is fixed at 2^17 slots so that the historical overflow policy
 /// is preserved exactly: the simulator clears the table when the live count
@@ -30,8 +31,19 @@
 
 namespace ssp::sim {
 
-/// Maps 64-bit line addresses to the StaticId of the chk.c trigger whose
-/// speculative thread moved the line up the hierarchy.
+/// Everything the simulator remembers about a tracked (line-moving)
+/// speculative prefetch until its fate resolves: the chk.c trigger whose
+/// thread moved the line, the slice it was executing, how deep in the
+/// spawn chain that thread was, and whether the access was a wild load.
+struct PrefetchOrigin {
+  ir::StaticId Trigger = 0;
+  ir::StaticId Slice = 0;
+  uint32_t Depth = 0;
+  bool Wild = false;
+};
+
+/// Maps 64-bit line addresses to the PrefetchOrigin of the speculative
+/// access that moved the line up the hierarchy.
 class PrefetchedLineTable {
   enum : uint8_t { Empty = 0, Full = 1, Tomb = 2 };
   static constexpr unsigned LogCap = 17;
@@ -40,14 +52,14 @@ class PrefetchedLineTable {
 public:
   /// Storage is allocated on first insert: baseline and profiling runs
   /// never touch the table, and a Simulator is built per run, so paying
-  /// ~2 MB of zeroed arrays up front would tax exactly the runs that
+  /// several MB of zeroed arrays up front would tax exactly the runs that
   /// cannot use them.
   PrefetchedLineTable() = default;
 
   size_t size() const { return Live; }
 
   /// Pointer to the value stored for \p Line, or nullptr if absent.
-  ir::StaticId *find(uint64_t Line) {
+  PrefetchOrigin *find(uint64_t Line) {
     if (State.empty())
       return nullptr;
     size_t I = slotOf(Line);
@@ -59,13 +71,16 @@ public:
     return nullptr;
   }
 
-  /// Inserts (Line, Sid); returns true when the key was absent. An existing
-  /// entry's value is overwritten (matching map::insert + assignment in the
-  /// original simulator code).
-  bool insertOrAssign(uint64_t Line, ir::StaticId Sid) {
+  /// Inserts (Line, Origin); returns true when the key was absent. An
+  /// existing entry's value is overwritten (matching map::insert +
+  /// assignment in the original simulator code); when \p Replaced is
+  /// non-null it receives the overwritten value so the caller can resolve
+  /// the superseded prefetch's fate.
+  bool insertOrAssign(uint64_t Line, const PrefetchOrigin &Origin,
+                      PrefetchOrigin *Replaced = nullptr) {
     if (State.empty()) {
       Keys.assign(Cap, 0);
-      Vals.assign(Cap, 0);
+      Vals.assign(Cap, PrefetchOrigin());
       State.assign(Cap, Empty);
     }
     if (Live + Tombs >= Cap - (Cap >> 2))
@@ -74,7 +89,9 @@ public:
     size_t FirstFree = Cap;
     while (State[I] != Empty) {
       if (State[I] == Full && Keys[I] == Line) {
-        Vals[I] = Sid;
+        if (Replaced)
+          *Replaced = Vals[I];
+        Vals[I] = Origin;
         return false;
       }
       if (State[I] == Tomb && FirstFree == Cap)
@@ -87,7 +104,7 @@ public:
     }
     State[I] = Full;
     Keys[I] = Line;
-    Vals[I] = Sid;
+    Vals[I] = Origin;
     ++Live;
     return true;
   }
@@ -108,6 +125,15 @@ public:
     }
   }
 
+  /// Visits every live entry (slot order; used to drain still-pending
+  /// entries' fates at overflow clears and at end of run — the visit
+  /// order does not affect the resulting counts).
+  template <typename Fn> void forEach(Fn &&Visit) const {
+    for (size_t I = 0; I < State.size(); ++I)
+      if (State[I] == Full)
+        Visit(Keys[I], Vals[I]);
+  }
+
   void clear() {
     std::fill(State.begin(), State.end(), uint8_t(Empty));
     Live = 0;
@@ -122,18 +148,18 @@ private:
   /// Rehashes live entries in place, dropping tombstones. Deterministic and
   /// invisible to callers (no entry is added or removed).
   void rebuild() {
-    std::vector<std::pair<uint64_t, ir::StaticId>> Entries;
+    std::vector<std::pair<uint64_t, PrefetchOrigin>> Entries;
     Entries.reserve(Live);
     for (size_t I = 0; I < Cap; ++I)
       if (State[I] == Full)
         Entries.push_back({Keys[I], Vals[I]});
     clear();
-    for (const auto &[Line, Sid] : Entries)
-      insertOrAssign(Line, Sid);
+    for (const auto &[Line, Origin] : Entries)
+      insertOrAssign(Line, Origin);
   }
 
   std::vector<uint64_t> Keys;
-  std::vector<ir::StaticId> Vals;
+  std::vector<PrefetchOrigin> Vals;
   std::vector<uint8_t> State;
   size_t Live = 0;
   size_t Tombs = 0;

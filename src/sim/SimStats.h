@@ -22,6 +22,7 @@
 #include "cache/Cache.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace ssp::sim {
 
@@ -54,6 +55,56 @@ inline const char *cycleCatName(CycleCat C) {
   return "?";
 }
 
+/// Lifecycle fate of one attributed speculative prefetch (one fate per
+/// speculative data access whose thread has a known origin trigger).
+enum class PrefetchFate : uint8_t {
+  UsefulTimely = 0,  ///< Consumed while fully present (no memory trip).
+  UsefulLate = 1,    ///< Consumed while still in flight (partial overlap).
+  EvictedUnused = 2, ///< Tracked but evicted/lapsed before any use.
+  Redundant = 3,     ///< Line was already near (L1/L2) or re-prefetched.
+  Wild = 4,          ///< Speculative access of an unmapped address.
+};
+inline constexpr unsigned NumPrefetchFates = 5;
+
+inline const char *prefetchFateName(PrefetchFate F) {
+  switch (F) {
+  case PrefetchFate::UsefulTimely:
+    return "useful-timely";
+  case PrefetchFate::UsefulLate:
+    return "useful-late";
+  case PrefetchFate::EvictedUnused:
+    return "evicted-unused";
+  case PrefetchFate::Redundant:
+    return "redundant";
+  case PrefetchFate::Wild:
+    return "wild";
+  }
+  return "?";
+}
+
+/// Per-trigger rollup of the prefetch lifecycle (the rows behind
+/// `ssp-sim --report=attrib`, mirroring Figure 9 / Table 2). Trigger and
+/// Slice are ir::StaticId values kept as raw uint64 so this header stays
+/// below ir/ in the dependency order.
+struct PrefetchAttribution {
+  uint64_t Trigger = 0;      ///< StaticId of the chk.c trigger.
+  uint64_t Slice = 0;        ///< StaticId of the spawned slice's first inst.
+  uint64_t Spawns = 0;       ///< Speculative threads this trigger spawned.
+  uint32_t MaxChainDepth = 0; ///< Deepest spawn chain observed.
+  uint64_t Fates[NumPrefetchFates] = {0, 0, 0, 0, 0};
+
+  uint64_t prefetches() const {
+    uint64_t N = 0;
+    for (uint64_t F : Fates)
+      N += F;
+    return N;
+  }
+  uint64_t useful() const {
+    return Fates[static_cast<unsigned>(PrefetchFate::UsefulTimely)] +
+           Fates[static_cast<unsigned>(PrefetchFate::UsefulLate)];
+  }
+};
+
 /// All counters produced by Simulator::run().
 struct SimStats {
   uint64_t Cycles = 0;          ///< Cycles until the main thread halted.
@@ -84,6 +135,20 @@ struct SimStats {
   // Memory system (global + per-static-load).
   cache::CacheHierarchy::Totals CacheTotals;
   cache::CacheProfile LoadProfile;
+
+  // Prefetch-lifecycle attribution: one entry per origin trigger, in
+  // first-spawn order (deterministic). Every attributed speculative
+  // access lands in exactly one fate bucket, so
+  //   UsefulPrefetches == sum over entries of useful()
+  // holds by construction (pinned in tests/sim_test.cpp).
+  std::vector<PrefetchAttribution> Attribution;
+
+  uint64_t attributedPrefetches() const {
+    uint64_t N = 0;
+    for (const PrefetchAttribution &A : Attribution)
+      N += A.prefetches();
+    return N;
+  }
 
   double ipc() const {
     return Cycles == 0 ? 0.0

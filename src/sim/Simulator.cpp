@@ -2,6 +2,7 @@
 
 #include "sim/Simulator.h"
 
+#include "obs/TraceSink.h"
 #include "support/Assert.h"
 
 #include <algorithm>
@@ -116,6 +117,21 @@ void Simulator::evaluateThrottle() {
   }
 }
 
+void Simulator::countFate(const PrefetchOrigin &Origin, PrefetchFate Fate) {
+  PrefetchAttribution &A = Attrib[Origin.Trigger];
+  if (A.Slice == 0)
+    A.Slice = Origin.Slice;
+  if (Origin.Depth > A.MaxChainDepth)
+    A.MaxChainDepth = Origin.Depth;
+  ++A.Fates[static_cast<unsigned>(Fate)];
+}
+
+void Simulator::drainPendingFates() {
+  PrefetchedLines.forEach([this](uint64_t, const PrefetchOrigin &O) {
+    countFate(O, O.Wild ? PrefetchFate::Wild : PrefetchFate::EvictedUnused);
+  });
+}
+
 void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
                                const cache::AccessResult &R) {
   uint64_t Line = S.Out.MemAddr / Cfg.Cache.L1.LineBytes;
@@ -130,15 +146,31 @@ void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
     // a useless prefetch (the data was cached anyway).
     bool MovedLine = R.ServedBy == cache::Level::L3 ||
                      R.ServedBy == cache::Level::Mem;
+    PrefetchOrigin O{T.OriginTrigger, T.SliceSid, T.SpawnDepth,
+                     S.Out.WildLoad};
     if (MovedLine) {
       if (PrefetchedLines.size() > (1u << 16)) {
+        drainPendingFates(); // Lapsing entries were never consumed.
         PrefetchedLines.clear(); // Bound the table; stale entries lapse.
         for (auto &[Sid2, H2] : TriggerStats)
           H2.InFlight = 0;
       }
-      if (PrefetchedLines.insertOrAssign(Line, T.OriginTrigger))
+      PrefetchOrigin Prev;
+      if (PrefetchedLines.insertOrAssign(Line, O, &Prev))
         ++TriggerStats[T.OriginTrigger].InFlight;
+      else
+        // The earlier prefetch of this line was superseded before any
+        // consumption: a redundant re-prefetch.
+        countFate(Prev, Prev.Wild ? PrefetchFate::Wild
+                                  : PrefetchFate::Redundant);
       ++TriggerStats[T.OriginTrigger].Tracked;
+      if (Trace)
+        Trace->record(Tid, obs::EventKind::Prefetch, Now, 0, Line,
+                      T.OriginTrigger,
+                      static_cast<uint32_t>(R.ServedBy));
+    } else {
+      // The line was already near: this access resolves immediately.
+      countFate(O, O.Wild ? PrefetchFate::Wild : PrefetchFate::Redundant);
     }
     ++TriggerStats[T.OriginTrigger].Prefetches;
     return;
@@ -147,21 +179,33 @@ void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
     return;
   // Main-thread consumption: a prefetched line consumed quickly counts as
   // a timely ("useful") prefetch for its trigger.
-  ir::StaticId *Origin = PrefetchedLines.find(Line);
+  PrefetchOrigin *Origin = PrefetchedLines.find(Line);
   if (!Origin)
     return;
   // Timely enough, or still in flight (the prefetch overlapped part of
   // the miss): either way the thread reduced latency.
-  TriggerHealth &H = TriggerStats[*Origin];
+  TriggerHealth &H = TriggerStats[Origin->Trigger];
   if (H.InFlight > 0)
     --H.InFlight;
   // The prefetch helped if the main thread did not pay a full memory
   // access for the line: it was still cached at some level (TLB penalties
   // are the main thread's own) or the fetch was at least in flight.
-  if (R.Partial || R.ServedBy != cache::Level::Mem) {
+  PrefetchFate Fate;
+  if (R.Partial)
+    Fate = PrefetchFate::UsefulLate;
+  else if (R.ServedBy != cache::Level::Mem)
+    Fate = PrefetchFate::UsefulTimely;
+  else
+    Fate = Origin->Wild ? PrefetchFate::Wild : PrefetchFate::EvictedUnused;
+  if (Fate == PrefetchFate::UsefulTimely ||
+      Fate == PrefetchFate::UsefulLate) {
     ++Stats.UsefulPrefetches;
     ++H.Useful;
   }
+  countFate(*Origin, Fate);
+  if (Trace)
+    Trace->record(Tid, obs::EventKind::Retire, Now, 0, Line,
+                  Origin->Trigger, static_cast<uint32_t>(Fate));
   PrefetchedLines.erase(Line);
 }
 
@@ -169,17 +213,33 @@ void Simulator::trySpawn(const ExecOutcome &Out, unsigned SpawnerTid) {
   const Thread &Spawner = Threads[SpawnerTid];
   ir::StaticId Origin = Spawner.Speculative ? Spawner.OriginTrigger
                                             : Spawner.LastFiredTrigger;
-  for (Thread &T : Threads) {
+  for (unsigned NewTid = 0; NewTid < Threads.size(); ++NewTid) {
+    Thread &T = Threads[NewTid];
     if (T.Active)
       continue;
     T.resetForSpawn();
     T.Active = true;
     T.Speculative = true;
     T.OriginTrigger = Origin;
+    // Attribution tags: which slice this context runs and how deep in the
+    // spawn chain it sits (a chained slice re-spawning itself deepens it).
+    T.SliceSid = LP.at(Out.SpawnTargetAddr).Sid;
+    T.SpawnDepth = Spawner.Speculative ? Spawner.SpawnDepth + 1 : 1;
     T.Ctx.PC = Out.SpawnTargetAddr;
     std::memcpy(T.Ctx.LIBIn, Out.SpawnFrame, sizeof(T.Ctx.LIBIn));
     // The new context begins fetching next cycle.
     T.FetchResumeCycle = Now + 1;
+    if (Origin != 0) {
+      PrefetchAttribution &A = Attrib[Origin];
+      ++A.Spawns;
+      if (A.Slice == 0)
+        A.Slice = T.SliceSid;
+      if (T.SpawnDepth > A.MaxChainDepth)
+        A.MaxChainDepth = T.SpawnDepth;
+    }
+    if (Trace)
+      Trace->record(NewTid, obs::EventKind::Spawn, Now, 0, Origin,
+                    T.SliceSid, T.SpawnDepth);
     ++Stats.SpawnsSucceeded;
     return;
   }
@@ -300,6 +360,8 @@ unsigned Simulator::fetchThread(unsigned Tid, unsigned MaxBundles) {
       }
       case CtrlKind::ChkCFired:
         T.LastFiredTrigger = S.LI->Sid;
+        if (Trace)
+          Trace->record(Tid, obs::EventKind::Trigger, Now, 0, S.LI->Sid, 0);
         // The spawn exception is taken at retirement; the hardware
         // predicts "no exception" so fetch is not stalled until then —
         // the cost is a full pipeline flush and refill when it fires.
@@ -900,9 +962,23 @@ SimStats Simulator::run() {
         Stats.CatCycles[static_cast<unsigned>(Cat)] += Span;
         Stats.SkippedCycles += Span;
         ++Stats.SkipEvents;
+        // One span event for the whole jumped range — the skip path never
+        // emits per-cycle events.
+        if (Trace)
+          Trace->record(0, obs::EventKind::IdleSpan, Now + 1, Span,
+                        static_cast<uint64_t>(Cat), 0);
         Now = Next - 1;
       }
     }
+  }
+
+  // Lines still tracked when the main thread halts were never consumed.
+  drainPendingFates();
+  Stats.Attribution.clear();
+  Stats.Attribution.reserve(Attrib.size());
+  for (const auto &[Sid, A] : Attrib) {
+    Stats.Attribution.push_back(A);
+    Stats.Attribution.back().Trigger = Sid;
   }
 
   Stats.Cycles = Now;

@@ -38,6 +38,10 @@
 #include <deque>
 #include <vector>
 
+namespace ssp::obs {
+class TraceSink;
+} // namespace ssp::obs
+
 namespace ssp::sim {
 
 /// Runs one program to completion on one machine configuration.
@@ -49,6 +53,12 @@ public:
 
   /// Simulates until the main thread halts and returns the statistics.
   SimStats run();
+
+  /// Attaches an event-trace sink (null detaches). Off by default: with no
+  /// sink attached the simulator executes no tracing code beyond the null
+  /// checks at the emission sites, and the architectural statistics are
+  /// identical either way.
+  void setTraceSink(obs::TraceSink *Sink) { Trace = Sink; }
 
 private:
   /// What event re-enables fetch for a thread blocked on this instruction.
@@ -94,6 +104,12 @@ private:
     /// Main thread only: the most recently fired chk.c (the stub's spawn
     /// attributes its thread to it).
     ir::StaticId LastFiredTrigger = 0;
+    /// Speculative threads: the StaticId of the spawn target's first
+    /// instruction (which slice this thread runs) and how many spawns deep
+    /// in the chain it is (a directly-spawned thread has depth 1). Both
+    /// feed the prefetch-lifecycle attribution.
+    ir::StaticId SliceSid = 0;
+    uint32_t SpawnDepth = 0;
     ThreadContext Ctx;
 
     std::deque<InstSlot> FrontQ; ///< Expansion queue / decode queue.
@@ -175,6 +191,11 @@ private:
   /// Prefetch health bookkeeping around one data access.
   void noteDataAccess(unsigned Tid, const InstSlot &S,
                       const cache::AccessResult &R);
+  /// Records one resolved prefetch fate in \p Origin's per-trigger rollup.
+  void countFate(const PrefetchOrigin &Origin, PrefetchFate Fate);
+  /// Resolves every still-pending tracked line as evicted-unused (wild
+  /// entries as wild); used before overflow clears and at end of run.
+  void drainPendingFates();
   /// Periodic per-trigger usefulness verdicts (dynamic throttling).
   void evaluateThrottle();
   unsigned fuLimit(ir::FuncUnit FU) const;
@@ -223,6 +244,15 @@ private:
   /// updated on every speculative data access — no hashing on either path.
   ir::DenseSidMap<TriggerHealth> TriggerStats;
   PrefetchedLineTable PrefetchedLines;
+
+  /// Prefetch-lifecycle rollup per origin trigger, keyed by trigger
+  /// StaticId in first-spawn order; copied into SimStats::Attribution at
+  /// the end of the run. Unlike TriggerStats (whose period counters the
+  /// throttle resets), these only accumulate.
+  ir::DenseSidMap<PrefetchAttribution> Attrib;
+
+  /// Event-trace sink; null (the default) disables tracing entirely.
+  obs::TraceSink *Trace = nullptr;
 };
 
 } // namespace ssp::sim

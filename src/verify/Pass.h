@@ -19,16 +19,22 @@
 #include "verify/Diagnostic.h"
 #include "verify/Manifest.h"
 
+namespace ssp::obs {
+class Registry;
+} // namespace ssp::obs
+
 namespace ssp::verify {
 
 /// Everything a pass may look at. Orig and Manifest are optional: when
 /// absent, passes that need them (translation validation, plan diffing)
 /// skip silently, so the same pipeline serves `ssp-verify prog.ssp` and
-/// the in-tool post-rewrite validation.
+/// the in-tool post-rewrite validation. Metrics, when set, receives
+/// per-pass wall times from the PassManager (keys "verify.<pass>_ms").
 struct VerifyContext {
   const ir::Program &P;                       ///< The (adapted) program.
   const ir::Program *Orig = nullptr;          ///< Pre-adaptation binary.
   const AdaptationManifest *Manifest = nullptr; ///< Rewriter's plan.
+  obs::Registry *Metrics = nullptr;           ///< Optional metrics sink.
 };
 
 /// One verification pass.

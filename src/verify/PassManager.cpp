@@ -2,6 +2,7 @@
 
 #include "verify/PassManager.h"
 
+#include "obs/Registry.h"
 #include "verify/Checks.h"
 
 using namespace ssp;
@@ -16,6 +17,8 @@ DiagnosticEngine PassManager::run(const VerifyContext &Ctx) const {
     // pass declaring requiresWellFormed() == false) always runs.
     if (P->requiresWellFormed() && DE.hasErrors())
       continue;
+    obs::ScopedTimerMs Timer(
+        Ctx.Metrics, std::string("verify.") + P->name() + "_ms");
     P->run(Ctx, DE);
   }
   return DE;

@@ -269,3 +269,60 @@ TEST(Simulator, ProfileIdentifiesDelinquentLoad) {
   ASSERT_GT(Total, 0u);
   EXPECT_GT(Top * 10, Total * 4) << "one load should dominate miss cycles";
 }
+
+// Prefetch-lifecycle attribution (the obs layer's always-on rollup): every
+// useful prefetch is exactly one of the two useful fates, so the audited
+// invariant UsefulPrefetches == useful-timely + useful-late holds — no
+// speculative access is credited twice (double-prefetch-then-one-use
+// resolves the superseded entry as redundant; an evicted line refetched
+// from memory earns no credit).
+TEST(Simulator, PrefetchAttributionInvariants) {
+  for (auto Pipe : {PipelineKind::InOrder, PipelineKind::OutOfOrder}) {
+    for (bool Skip : {true, false}) {
+      SCOPED_TRACE((Pipe == PipelineKind::InOrder ? "in-order" : "ooo") +
+                   std::string(Skip ? " skip" : " no-skip"));
+      MachineConfig Cfg = Pipe == PipelineKind::InOrder
+                              ? MachineConfig::inOrder()
+                              : MachineConfig::outOfOrder();
+      Cfg.SkipIdleCycles = Skip;
+      SimStats S = runArcProgram(true, Cfg);
+      ASSERT_FALSE(S.Attribution.empty());
+      uint64_t Useful = 0, Attributed = 0;
+      for (const PrefetchAttribution &A : S.Attribution) {
+        EXPECT_NE(A.Trigger, 0u);
+        EXPECT_NE(A.Slice, 0u);
+        EXPECT_GT(A.Spawns, 0u);
+        Useful += A.useful();
+        Attributed += A.prefetches();
+      }
+      EXPECT_EQ(Useful, S.UsefulPrefetches);
+      EXPECT_EQ(Attributed, S.attributedPrefetches());
+      // Every access from a trigger-attributed thread lands in the rollup;
+      // the hand-adapted arc program spawns only via its chk.c trigger.
+      EXPECT_EQ(Attributed, S.SpecPrefetches);
+      EXPECT_GT(Attributed, 0u);
+    }
+  }
+}
+
+// The attribution rollup is itself deterministic and identical across the
+// skip and no-skip schedulers (its inputs are all skip-invariant).
+TEST(Simulator, PrefetchAttributionSkipInvariant) {
+  MachineConfig Skip = MachineConfig::inOrder();
+  MachineConfig NoSkip = MachineConfig::inOrder();
+  NoSkip.SkipIdleCycles = false;
+  SimStats A = runArcProgram(true, Skip);
+  SimStats B = runArcProgram(true, NoSkip);
+  ASSERT_EQ(A.Attribution.size(), B.Attribution.size());
+  for (size_t I = 0; I < A.Attribution.size(); ++I) {
+    const PrefetchAttribution &X = A.Attribution[I];
+    const PrefetchAttribution &Y = B.Attribution[I];
+    EXPECT_EQ(X.Trigger, Y.Trigger);
+    EXPECT_EQ(X.Slice, Y.Slice);
+    EXPECT_EQ(X.Spawns, Y.Spawns);
+    EXPECT_EQ(X.MaxChainDepth, Y.MaxChainDepth);
+    for (unsigned F = 0; F < NumPrefetchFates; ++F)
+      EXPECT_EQ(X.Fates[F], Y.Fates[F]) << prefetchFateName(
+          static_cast<PrefetchFate>(F));
+  }
+}

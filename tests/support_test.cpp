@@ -1,5 +1,6 @@
 //===- tests/support_test.cpp - Unit tests for ssp::support ---------------===//
 
+#include "support/Args.h"
 #include "support/RNG.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
@@ -135,4 +136,56 @@ TEST(ThreadPool, DestructorDrainsQueue) {
       Pool.submit([&] { ++Count; });
   } // Destructor joins after running everything queued.
   EXPECT_EQ(Count.load(), 50);
+}
+
+//===----------------------------------------------------------------------===//
+// Checked CLI argument parsing
+//===----------------------------------------------------------------------===//
+
+TEST(Args, ParseUnsignedAcceptsPlainDecimal) {
+  uint64_t V = 0;
+  EXPECT_TRUE(support::parseUnsigned("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(support::parseUnsigned("230", V));
+  EXPECT_EQ(V, 230u);
+  EXPECT_TRUE(support::parseUnsigned("18446744073709551615", V));
+  EXPECT_EQ(V, UINT64_MAX);
+}
+
+TEST(Args, ParseUnsignedRejectsGarbage) {
+  uint64_t V = 0;
+  // The atoi class of bug this replaces: all of these read as 0.
+  EXPECT_FALSE(support::parseUnsigned("", V));
+  EXPECT_FALSE(support::parseUnsigned("garbage", V));
+  EXPECT_FALSE(support::parseUnsigned("12x", V));
+  EXPECT_FALSE(support::parseUnsigned("x12", V));
+  EXPECT_FALSE(support::parseUnsigned(" 12", V));
+  EXPECT_FALSE(support::parseUnsigned("12 ", V));
+  EXPECT_FALSE(support::parseUnsigned("-1", V));
+  EXPECT_FALSE(support::parseUnsigned("+1", V));
+  EXPECT_FALSE(support::parseUnsigned("1.5", V));
+  // One past UINT64_MAX.
+  EXPECT_FALSE(support::parseUnsigned("18446744073709551616", V));
+}
+
+TEST(Args, ParseUnsignedFlagConsumesValueAndRangeChecks) {
+  const char *Argv[] = {"tool", "--jobs", "8", "--memlat", "9999"};
+  int I = 1;
+  uint64_t V = 0;
+  EXPECT_TRUE(support::parseUnsignedFlag(5, const_cast<char **>(Argv), I, 1,
+                                         512, V));
+  EXPECT_EQ(I, 2);
+  EXPECT_EQ(V, 8u);
+  I = 3;
+  EXPECT_FALSE(support::parseUnsignedFlag(5, const_cast<char **>(Argv), I, 1,
+                                          512, V))
+      << "9999 is out of [1, 512]";
+}
+
+TEST(Args, ParseUnsignedFlagRejectsMissingValue) {
+  const char *Argv[] = {"tool", "--jobs"};
+  int I = 1;
+  uint64_t V = 0;
+  EXPECT_FALSE(
+      support::parseUnsignedFlag(2, const_cast<char **>(Argv), I, 1, 512, V));
 }

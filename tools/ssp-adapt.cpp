@@ -14,6 +14,9 @@
 //   ssp-adapt input.ssp --throttle       enable dynamic trigger throttling
 //   ssp-adapt input.ssp --verbose        trace the region/model decisions
 //   ssp-adapt input.ssp --Werror         verifier warnings fail the run
+//   ssp-adapt input.ssp --metrics m.json write per-stage wall times and
+//                                        counters as JSON (the adaptation
+//                                        output is identical either way)
 //
 // The adapted binary is verified (see src/verify/) before the tool
 // returns: verification errors print to stderr and exit non-zero.
@@ -27,6 +30,7 @@
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "sim/Simulator.h"
+#include "support/Args.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,7 +45,8 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp> [--emit] [--run] [--no-chaining] "
-               "[--jobs N] [--throttle] [--verbose] [--Werror]\n",
+               "[--jobs N] [--throttle] [--verbose] [--Werror] "
+               "[--metrics <out.json>]\n",
                Argv0);
   return 1;
 }
@@ -65,12 +70,13 @@ sim::SimStats simulate(const ir::Program &P, const ir::DataImage &Data,
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage(argv[0]);
-  const char *Path = nullptr;
+  const char *Path = nullptr, *MetricsPath = nullptr;
   bool Emit = false, Run = false, Throttle = false, Werror = false;
   core::ToolOptions Opts;
   // Report verification findings here instead of aborting inside the
   // library; the exit status reflects them below.
   Opts.FatalOnVerifyError = false;
+  obs::Registry Metrics;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--emit") == 0)
       Emit = true;
@@ -79,13 +85,13 @@ int main(int argc, char **argv) {
     else if (std::strcmp(argv[I], "--no-chaining") == 0)
       Opts.EnableChaining = false;
     else if (std::strcmp(argv[I], "--jobs") == 0) {
-      if (I + 1 >= argc)
-        return usage(argv[0]);
-      char *End = nullptr;
-      unsigned long N = std::strtoul(argv[++I], &End, 10);
-      if (!End || *End != '\0')
+      uint64_t N = 0;
+      if (!support::parseUnsignedFlag(argc, argv, I, 0, 512, N))
         return usage(argv[0]);
       Opts.Jobs = static_cast<unsigned>(N);
+    } else if (std::strcmp(argv[I], "--metrics") == 0 && I + 1 < argc) {
+      MetricsPath = argv[++I];
+      Opts.Metrics = &Metrics;
     } else if (std::strcmp(argv[I], "--throttle") == 0)
       Throttle = true;
     else if (std::strcmp(argv[I], "--verbose") == 0)
@@ -154,6 +160,16 @@ int main(int argc, char **argv) {
               Rep.VerifyWarnings);
   bool VerifyFailed =
       Rep.VerifyErrors != 0 || (Werror && Rep.VerifyWarnings != 0);
+
+  if (MetricsPath) {
+    if (!Metrics.writeJSON(MetricsPath)) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   MetricsPath);
+      return 1;
+    }
+    std::printf("metrics: %zu counters, %zu timers -> %s\n",
+                Metrics.numCounters(), Metrics.numTimers(), MetricsPath);
+  }
 
   if (Emit)
     std::printf("\n%s", Enhanced.str().c_str());

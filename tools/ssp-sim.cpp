@@ -16,6 +16,9 @@
 //   ssp-sim prog.ssp --no-skip        tick every cycle (no idle skipping)
 //   ssp-sim a.ssp b.ssp --jobs N      simulation parallelism (default:
 //                                     hardware concurrency)
+//   ssp-sim prog.ssp --report=attrib  per-trigger prefetch-lifecycle table
+//   ssp-sim prog.ssp --trace out.json Chrome trace_event JSON of the
+//                                     spawn/prefetch lifecycle (one input)
 //
 // With several inputs each file is simulated as an independent job on a
 // thread pool; output is buffered per file and printed in command-line
@@ -25,7 +28,10 @@
 
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "obs/TraceSink.h"
 #include "sim/Simulator.h"
+#include "support/Args.h"
+#include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
 #include <cstdarg>
@@ -44,7 +50,8 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp>... [--ooo] [--contexts N] [--memlat N] "
-               "[--icount] [--throttle] [--no-skip] [--jobs N]\n",
+               "[--icount] [--throttle] [--no-skip] [--jobs N] "
+               "[--report=attrib] [--trace <out.json>]\n",
                Argv0);
   return 1;
 }
@@ -61,11 +68,74 @@ void appendf(std::string &Out, const char *Fmt, ...) {
   Out += Buf;
 }
 
+/// Locates \p Sid in the linked image and renders it as
+/// "func.bB+K" (block index and instruction offset within the block),
+/// the InstRef notation used by the adaptation report.
+std::string describeSid(const ir::LinkedProgram &LP, ir::StaticId Sid) {
+  for (uint32_t Addr = 0; Addr < LP.size(); ++Addr) {
+    const ir::LinkedInst &LI = LP.at(Addr);
+    if (LI.Sid != Sid)
+      continue;
+    const ir::Function &F = LP.program().func(LI.Func);
+    std::string Ref = F.getName();
+    appendf(Ref, ".b%u+%u", LI.Block,
+            Addr - LP.blockStart(LI.Func, LI.Block));
+    return Ref;
+  }
+  std::string Ref;
+  appendf(Ref, "sid:%llx", static_cast<unsigned long long>(Sid));
+  return Ref;
+}
+
+/// The --report=attrib table: one row per originating trigger with its
+/// slice, spawn statistics and the fate breakdown of every speculative
+/// line it caused (the software analogue of the paper's Figure 9).
+void appendAttribReport(const sim::SimStats &S, const ir::LinkedProgram &LP,
+                        std::string &Out) {
+  appendf(Out, "prefetch attribution:\n");
+  if (S.Attribution.empty()) {
+    appendf(Out, "  (no attributed speculative accesses)\n");
+    return;
+  }
+  TablePrinter T;
+  T.row();
+  T.cell("trigger");
+  T.cell("slice");
+  T.cell("spawns");
+  T.cell("depth");
+  T.cell("accesses");
+  for (unsigned F = 0; F < sim::NumPrefetchFates; ++F)
+    T.cell(sim::prefetchFateName(static_cast<sim::PrefetchFate>(F)));
+  for (const sim::PrefetchAttribution &A : S.Attribution) {
+    T.row();
+    T.cell(describeSid(LP, A.Trigger));
+    T.cell(A.Slice
+               ? LP.program().func(ir::staticIdFunc(A.Slice)).getName()
+               : std::string("-"));
+    T.cell(static_cast<unsigned long long>(A.Spawns));
+    T.cell(static_cast<unsigned long long>(A.MaxChainDepth));
+    T.cell(static_cast<unsigned long long>(A.prefetches()));
+    for (unsigned F = 0; F < sim::NumPrefetchFates; ++F)
+      T.cell(static_cast<unsigned long long>(A.Fates[F]));
+  }
+  Out += T.toString();
+  uint64_t Attributed = S.attributedPrefetches();
+  appendf(Out,
+          "attributed %llu of %llu speculative accesses (%.1f%%)\n",
+          static_cast<unsigned long long>(Attributed),
+          static_cast<unsigned long long>(S.SpecPrefetches),
+          S.SpecPrefetches
+              ? 100.0 * static_cast<double>(Attributed) /
+                    static_cast<double>(S.SpecPrefetches)
+              : 0.0);
+}
+
 /// Parses, verifies and simulates one input file; the report (or the
 /// errors) go to \p Out so concurrent jobs never interleave output.
 /// Returns false on any failure.
 bool simulateFile(const std::string &Path, const sim::MachineConfig &Cfg,
-                  bool Banner, std::string &Out) {
+                  bool Banner, std::string &Out, bool ReportAttrib = false,
+                  obs::TraceSink *Trace = nullptr) {
   std::ifstream In(Path);
   if (!In) {
     appendf(Out, "error: cannot open '%s'\n", Path.c_str());
@@ -93,6 +163,8 @@ bool simulateFile(const std::string &Path, const sim::MachineConfig &Cfg,
   for (const auto &[Addr, Value] : Data)
     Mem.write(Addr, Value);
   sim::Simulator Sim(Cfg, LP, Mem);
+  if (Trace)
+    Sim.setTraceSink(Trace);
   sim::SimStats S = Sim.run();
 
   if (Banner)
@@ -133,6 +205,8 @@ bool simulateFile(const std::string &Path, const sim::MachineConfig &Cfg,
             static_cast<unsigned long long>(S.UsefulPrefetches),
             static_cast<unsigned long long>(S.SpecPrefetches),
             static_cast<unsigned long long>(S.ThrottleEvents));
+  if (ReportAttrib)
+    appendAttribReport(S, LP, Out);
   return true;
 }
 
@@ -142,26 +216,34 @@ int main(int argc, char **argv) {
   std::vector<std::string> Paths;
   sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
   unsigned Jobs = 0; // 0 = hardware concurrency.
+  bool ReportAttrib = false;
+  const char *TracePath = nullptr;
   for (int I = 1; I < argc; ++I) {
+    uint64_t V = 0;
     if (std::strcmp(argv[I], "--ooo") == 0) {
       Cfg.Pipeline = sim::PipelineKind::OutOfOrder;
-    } else if (std::strcmp(argv[I], "--contexts") == 0 && I + 1 < argc) {
-      Cfg.NumThreads = unsigned(std::atoi(argv[++I]));
-      if (Cfg.NumThreads < 1 || Cfg.NumThreads > 8)
+    } else if (std::strcmp(argv[I], "--contexts") == 0) {
+      if (!support::parseUnsignedFlag(argc, argv, I, 1, 8, V))
         return usage(argv[0]);
-    } else if (std::strcmp(argv[I], "--memlat") == 0 && I + 1 < argc) {
-      Cfg.Cache.MemLatency = unsigned(std::atoi(argv[++I]));
+      Cfg.NumThreads = static_cast<unsigned>(V);
+    } else if (std::strcmp(argv[I], "--memlat") == 0) {
+      if (!support::parseUnsignedFlag(argc, argv, I, 1, 1000000, V))
+        return usage(argv[0]);
+      Cfg.Cache.MemLatency = static_cast<unsigned>(V);
     } else if (std::strcmp(argv[I], "--icount") == 0) {
       Cfg.Fetch = sim::FetchPolicy::ICount;
     } else if (std::strcmp(argv[I], "--throttle") == 0) {
       Cfg.EnableSSPThrottle = true;
     } else if (std::strcmp(argv[I], "--no-skip") == 0) {
       Cfg.SkipIdleCycles = false;
-    } else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
-      int N = std::atoi(argv[++I]);
-      if (N < 1 || N > 512)
+    } else if (std::strcmp(argv[I], "--jobs") == 0) {
+      if (!support::parseUnsignedFlag(argc, argv, I, 1, 512, V))
         return usage(argv[0]);
-      Jobs = unsigned(N);
+      Jobs = static_cast<unsigned>(V);
+    } else if (std::strcmp(argv[I], "--report=attrib") == 0) {
+      ReportAttrib = true;
+    } else if (std::strcmp(argv[I], "--trace") == 0 && I + 1 < argc) {
+      TracePath = argv[++I];
     } else if (argv[I][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -170,6 +252,12 @@ int main(int argc, char **argv) {
   }
   if (Paths.empty())
     return usage(argv[0]);
+  if (TracePath && Paths.size() != 1) {
+    std::fprintf(stderr, "error: --trace requires a single input file\n");
+    return usage(argv[0]);
+  }
+
+  obs::TraceSink Sink;
 
   // Each input is an independent simulation job; buffered output keeps
   // the report in command-line order whatever the schedule.
@@ -177,8 +265,10 @@ int main(int argc, char **argv) {
   std::vector<char> FileOk(Paths.size(), 1);
   support::ThreadPool Pool(Paths.size() == 1 ? 1 : Jobs);
   Pool.parallelFor(Paths.size(), [&](size_t I) {
-    FileOk[I] =
-        simulateFile(Paths[I], Cfg, Paths.size() > 1, Outputs[I]) ? 1 : 0;
+    FileOk[I] = simulateFile(Paths[I], Cfg, Paths.size() > 1, Outputs[I],
+                             ReportAttrib, TracePath ? &Sink : nullptr)
+                    ? 1
+                    : 0;
   });
 
   bool AllOk = true;
@@ -187,6 +277,15 @@ int main(int argc, char **argv) {
       std::printf("\n");
     std::fputs(Outputs[I].c_str(), FileOk[I] ? stdout : stderr);
     AllOk = AllOk && FileOk[I];
+  }
+  if (AllOk && TracePath) {
+    if (!Sink.writeChromeJSON(TracePath)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n", TracePath);
+      return 1;
+    }
+    std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(Sink.recorded()),
+                static_cast<unsigned long long>(Sink.dropped()), TracePath);
   }
   return AllOk ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 //   ssp-verify prog.ssp --orig o.ssp   also translation-validate against
 //                                      the original (unadapted) binary
 //   ssp-verify prog.ssp --quiet        exit code only, no output
+//   ssp-verify prog.ssp --limit N      print at most N findings
 //
 // Exit status: 0 clean, 1 verification errors (or warnings under
 // --Werror), 2 usage/parse errors.
@@ -17,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
+#include "support/Args.h"
 #include "verify/PassManager.h"
 
 #include <cstdio>
@@ -31,7 +33,7 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <prog.ssp> [--json] [--Werror] [--quiet] "
-               "[--orig <original.ssp>]\n",
+               "[--limit N] [--orig <original.ssp>]\n",
                Argv0);
   return 2;
 }
@@ -57,6 +59,7 @@ bool parseFile(const char *Path, ir::Program &P) {
 int main(int argc, char **argv) {
   const char *Path = nullptr, *OrigPath = nullptr;
   bool Json = false, Werror = false, Quiet = false;
+  uint64_t Limit = UINT64_MAX; // Findings to print (all by default).
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
       Json = true;
@@ -64,7 +67,10 @@ int main(int argc, char **argv) {
       Werror = true;
     else if (std::strcmp(argv[I], "--quiet") == 0)
       Quiet = true;
-    else if (std::strcmp(argv[I], "--orig") == 0 && I + 1 < argc)
+    else if (std::strcmp(argv[I], "--limit") == 0) {
+      if (!support::parseUnsignedFlag(argc, argv, I, 0, UINT64_MAX, Limit))
+        return usage(argv[0]);
+    } else if (std::strcmp(argv[I], "--orig") == 0 && I + 1 < argc)
       OrigPath = argv[++I];
     else if (argv[I][0] == '-')
       return usage(argv[0]);
@@ -89,7 +95,17 @@ int main(int argc, char **argv) {
     if (Json) {
       std::printf("%s\n", verify::renderJSON(DE, &P).c_str());
     } else {
-      std::fputs(verify::renderTextAll(DE, &P).c_str(), stdout);
+      const std::vector<verify::Diagnostic> &Diags = DE.diagnostics();
+      uint64_t Printed = 0;
+      for (const verify::Diagnostic &D : Diags) {
+        if (Printed == Limit)
+          break;
+        std::printf("%s\n", verify::renderText(D, &P).c_str());
+        ++Printed;
+      }
+      if (Printed < Diags.size())
+        std::printf("... %zu more finding(s) suppressed by --limit\n",
+                    Diags.size() - static_cast<size_t>(Printed));
       std::printf("%s: %u error(s), %u warning(s)\n", Path,
                   DE.errorCount(), DE.warningCount());
     }
