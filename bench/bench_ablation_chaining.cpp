@@ -32,6 +32,9 @@ int main(int argc, char **argv) {
   const std::vector<workloads::Workload> Suite = workloads::paperSuite();
   SuiteRunner *Runners[] = {&Full, &BasicOnly};
   support::ThreadPool Pool(jobsFromArgs(argc, argv));
+  const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
+  for (SuiteRunner *R : Runners)
+    R->setSamplingPlan(Sample);
   Pool.parallelFor(2 * Suite.size(), [&](size_t I) {
     Runners[I % 2]->run(Suite[I / 2], nullptr);
   });

@@ -36,6 +36,9 @@ int main(int argc, char **argv) {
   const std::vector<workloads::Workload> Suite = workloads::paperSuite();
   SuiteRunner *Runners[] = {&Full, &NoRotation, &NoPrediction};
   support::ThreadPool Pool(jobsFromArgs(argc, argv));
+  const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
+  for (SuiteRunner *R : Runners)
+    R->setSamplingPlan(Sample);
   Pool.parallelFor(3 * Suite.size(), [&](size_t I) {
     Runners[I % 3]->run(Suite[I / 3], nullptr);
   });

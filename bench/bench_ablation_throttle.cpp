@@ -32,12 +32,14 @@ struct Row {
 };
 
 Row measure(const workloads::Workload &W, const ir::Program &Orig,
-            const ir::Program &Enhanced, sim::PipelineKind Pipe) {
+            const ir::Program &Enhanced, sim::PipelineKind Pipe,
+            const sim::SamplingPlan &Sample) {
   auto Run = [&](const ir::Program &P, bool Throttle) {
     sim::MachineConfig Cfg = Pipe == sim::PipelineKind::InOrder
                                  ? sim::MachineConfig::inOrder()
                                  : sim::MachineConfig::outOfOrder();
     Cfg.EnableSSPThrottle = Throttle;
+    Cfg.Sample = Sample;
     return SuiteRunner::simulate(P, W, Cfg);
   };
   Row R{};
@@ -75,6 +77,7 @@ int main(int argc, char **argv) {
   // simulations serially inside the job. The print loop then only reads
   // the Rows array, so the output is identical for any --jobs value.
   support::ThreadPool Pool(jobsFromArgs(argc, argv));
+  const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
   struct Prepared {
     ir::Program Orig, Enhanced;
   };
@@ -90,7 +93,8 @@ int main(int argc, char **argv) {
   Pool.parallelFor(Rows.size(), [&](size_t I) {
     Rows[I] = measure(Suite[I / 2], Prep[I / 2].Orig, Prep[I / 2].Enhanced,
                       I % 2 == 0 ? sim::PipelineKind::InOrder
-                                 : sim::PipelineKind::OutOfOrder);
+                                 : sim::PipelineKind::OutOfOrder,
+                      Sample);
   });
 
   for (size_t WI = 0; WI < Suite.size(); ++WI) {

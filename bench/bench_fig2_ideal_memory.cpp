@@ -24,6 +24,7 @@ int main(int argc, char **argv) {
   printMachineBanner();
 
   ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
+  Runner.setSamplingPlan(sampleFromArgs(argc, argv));
 
   // "Delinquent loads always hit" must be computed to a fixpoint: on
   // lines shared by several loads, idealizing the profiled miss-taker

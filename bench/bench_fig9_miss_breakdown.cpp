@@ -61,6 +61,7 @@ int main(int argc, char **argv) {
   printMachineBanner();
 
   ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
+  Runner.setSamplingPlan(sampleFromArgs(argc, argv));
   Runner.runAll(workloads::paperSuite());
   TablePrinter T;
   T.row();

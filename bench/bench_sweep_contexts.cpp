@@ -36,6 +36,7 @@ int main(int argc, char **argv) {
   const std::vector<workloads::Workload> Suite = workloads::paperSuite();
   constexpr size_t NumCfgs = 4;
   support::ThreadPool Pool(jobsFromArgs(argc, argv));
+  const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
   struct Prepared {
     ir::Program Orig, Enhanced;
   };
@@ -51,6 +52,7 @@ int main(int argc, char **argv) {
   Pool.parallelFor(Speedups.size(), [&](size_t I) {
     size_t WI = I / NumCfgs, CI = I % NumCfgs;
     sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+    Cfg.Sample = Sample;
     Cfg.NumThreads = CI < 3 ? Contexts[CI] : 4;
     Cfg.Fetch =
         CI < 3 ? sim::FetchPolicy::RoundRobin : sim::FetchPolicy::ICount;

@@ -34,6 +34,7 @@ int main(int argc, char **argv) {
   // the hardware. Phase 2: one pool job per (workload, latency) point.
   const std::vector<workloads::Workload> Suite = workloads::paperSuite();
   support::ThreadPool Pool(jobsFromArgs(argc, argv));
+  const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
   struct Prepared {
     ir::Program Orig, Enhanced;
   };
@@ -49,6 +50,7 @@ int main(int argc, char **argv) {
   Pool.parallelFor(Speedups.size(), [&](size_t I) {
     const workloads::Workload &W = Suite[I / NumLat];
     sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+    Cfg.Sample = Sample;
     Cfg.Cache.MemLatency = Latencies[I % NumLat];
     uint64_t Base = SuiteRunner::simulate(Prep[I / NumLat].Orig, W, Cfg).Cycles;
     uint64_t Ssp =

@@ -29,9 +29,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 using namespace ssp;
 
@@ -315,20 +317,17 @@ int jsonMain(const char *OutPath, unsigned Jobs) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // Scan-style parsing (not the strict FlagParser): google-benchmark's
+  // own --benchmark_* flags must pass through to Initialize below.
   const char *OutPath = nullptr;
-  unsigned Jobs = 2;
-  for (int I = 1; I < argc; ++I) {
+  for (int I = 1; I < argc; ++I)
     if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
       OutPath = argv[++I];
-    else if (std::strcmp(argv[I], "--jobs") == 0) {
-      uint64_t N = 0;
-      if (!support::parseUnsignedFlag(argc, argv, I, 1, 512, N))
-        return 1;
-      Jobs = static_cast<unsigned>(N);
-    }
-  }
+  unsigned Jobs = harness::jobsFromArgs(argc, argv);
   if (OutPath)
-    return jsonMain(OutPath, Jobs == 0 ? 1 : Jobs);
+    return jsonMain(
+        OutPath,
+        Jobs == 0 ? std::max(1u, std::thread::hardware_concurrency()) : Jobs);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

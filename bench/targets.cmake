@@ -25,21 +25,23 @@ ssp_add_bench(bench_sweep_contexts)
 ssp_add_bench(bench_smoke)
 
 # `cmake --build build --target bench-smoke` first runs the idle-skipping
-# differential test (skip vs --no-skip must be bit-identical — the
-# invariant every number in BENCH_smoke.json rests on; pair with
+# and sampling differential tests (skip vs --no-skip must be bit-identical,
+# and the sampled simulator must honor its exactness/error contracts — the
+# invariants every number in BENCH_smoke.json rests on; pair with
 # -DSSP_SANITIZE=ON for the instrumented CI run), then runs one small
 # workload end-to-end on the parallel harness and writes BENCH_smoke.json
-# (throughput in simulated cycles/sec, with skipping on and off, + the
-# in-order SSP speedup).
+# (throughput in simulated cycles/sec — skipping on/off and sampled per
+# workload tier — + the in-order SSP speedup and per-tier sampling error).
 add_custom_target(bench-smoke
   COMMAND $<TARGET_FILE:skip_test> --gtest_brief=1
+  COMMAND $<TARGET_FILE:sample_test> --gtest_brief=1
   COMMAND ${CMAKE_COMMAND}
           -DBENCH_BIN=$<TARGET_FILE:bench_smoke>
           -DOUT=${CMAKE_BINARY_DIR}/BENCH_smoke.json
           -DJOBS=2
           -P ${CMAKE_SOURCE_DIR}/bench/emit_json.cmake
-  DEPENDS bench_smoke skip_test
-  COMMENT "Running skip differential + end-to-end bench smoke (2 jobs)"
+  DEPENDS bench_smoke skip_test sample_test
+  COMMENT "Running skip + sampling differentials + end-to-end bench smoke (2 jobs)"
   VERBATIM)
 
 add_executable(bench_tool_micro ${CMAKE_SOURCE_DIR}/bench/bench_tool_micro.cpp)

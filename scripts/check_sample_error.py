@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate the sampled-simulation section of the bench-smoke report.
+
+    check_sample_error.py <BENCH_smoke.json> [--min-stress-speedup X]
+
+Checks, per workload tier, that the sampled-vs-exact extrapolation error
+stays under the pinned per-tier threshold. The error values are
+deterministic (they depend only on the sampling plan and workload, never
+on wall clock), so these are hard bounds; the same bounds are pinned at
+unit level in tests/sample_test.cpp. Threshold provenance: DESIGN.md,
+"Sampled simulation".
+
+Sampled *speedups* are wall-clock measurements and flake on loaded CI
+hosts, so they are reported but only enforced when --min-stress-speedup
+is given (the acceptance sweep runs it on a quiet machine).
+
+Stdlib only (json + sys): CI must not grow dependencies. Exits non-zero
+with a message on the first violation.
+"""
+
+import json
+import sys
+
+# Per-tier |error| bounds in percent, keyed by tier-name prefix. The
+# stress tiers are the throughput-acceptance point (<= 2%); em3d's
+# enhanced run carries the ~3% warm-cleanliness cycle bias (see
+# DESIGN.md) and is bounded at 4%; mcf is short and phase-aliased, 3%.
+TIER_BOUNDS = (
+    ("stress", 2.0),
+    ("em3d", 4.0),
+    ("mcf", 3.0),
+)
+
+
+def fail(msg):
+    sys.stderr.write("check_sample_error: %s\n" % msg)
+    sys.exit(1)
+
+
+def bound_for(tier):
+    for prefix, bound in TIER_BOUNDS:
+        if tier.startswith(prefix):
+            return bound
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: check_sample_error.py <BENCH_smoke.json> "
+             "[--min-stress-speedup X]")
+    min_speedup = None
+    if "--min-stress-speedup" in argv:
+        min_speedup = float(argv[argv.index("--min-stress-speedup") + 1])
+
+    with open(argv[1]) as f:
+        doc = json.load(f)
+
+    for key in ("sim_cycles_per_sec_skip", "sample_error_pct", "tiers"):
+        if key not in doc:
+            fail("report missing key %r" % key)
+    tiers = doc["tiers"]
+    if not isinstance(tiers, list) or not tiers:
+        fail("tiers must be a non-empty list")
+
+    best_stress_speedup = 0.0
+    for tier in tiers:
+        for key in ("tier", "plan", "sample_error_pct",
+                    "sample_error_pct_cycles", "sample_error_pct_fates",
+                    "sample_speedup", "checksum_ok"):
+            if key not in tier:
+                fail("tier entry missing key %r: %r" % (key, tier))
+        name = tier["tier"]
+        if not tier["checksum_ok"]:
+            fail("%s: checksum mismatch under sampling" % name)
+        bound = bound_for(name)
+        if bound is None:
+            fail("%s: no pinned error bound for this tier" % name)
+        err = tier["sample_error_pct"]
+        status = "error %.2f%% (bound %.1f%%)" % (err, bound)
+        print("  %-18s plan %-22s speedup %5.2fx  %s"
+              % (name, tier["plan"], tier["sample_speedup"], status))
+        if err > bound:
+            fail("%s: sample_error_pct %.2f exceeds bound %.1f"
+                 % (name, err, bound))
+        if name.startswith("stress"):
+            best_stress_speedup = max(best_stress_speedup,
+                                      tier["sample_speedup"])
+
+    if min_speedup is not None and best_stress_speedup < min_speedup:
+        fail("best stress sample_speedup %.2fx below required %.2fx"
+             % (best_stress_speedup, min_speedup))
+    print("check_sample_error: OK (best stress speedup %.2fx)"
+          % best_stress_speedup)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

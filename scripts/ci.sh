@@ -51,6 +51,20 @@ python3 scripts/check_obs_json.py trace build-ci/listsum.trace.json
 python3 -m json.tool build-ci/listsum.metrics.json >/dev/null
 python3 scripts/check_obs_json.py metrics build-ci/listsum.metrics.json
 
+echo "== Sampled simulation (bench-smoke + error-bound check) =="
+# bench-smoke emits one tier per workload with the sampled-vs-exact
+# extrapolation error under that tier's pinned SamplingPlan. The error
+# values are deterministic, so the stdlib checker enforces them as hard
+# bounds even on loaded CI hosts; speedups are reported but not gated
+# here (enable with SSP_CI_SPEEDUP=minX on a quiet machine).
+cmake --build build-ci --target bench-smoke
+if [[ -n "${SSP_CI_SPEEDUP:-}" ]]; then
+  python3 scripts/check_sample_error.py build-ci/BENCH_smoke.json \
+    --min-stress-speedup "$SSP_CI_SPEEDUP"
+else
+  python3 scripts/check_sample_error.py build-ci/BENCH_smoke.json
+fi
+
 echo "== Sanitized build (ASan+UBSan) + tests =="
 cmake -B build-asan -S . -DSSP_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS"

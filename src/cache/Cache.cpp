@@ -72,6 +72,69 @@ void CacheLevel::reset() {
 }
 
 //===----------------------------------------------------------------------===//
+// TLB
+//===----------------------------------------------------------------------===//
+
+void TLB::unlink(uint32_t Slot) {
+  uint32_t P = PrevS[Slot], N = NextS[Slot];
+  if (P != NoSlot)
+    NextS[P] = N;
+  else
+    Head = N;
+  if (N != NoSlot)
+    PrevS[N] = P;
+  else
+    Tail = P;
+}
+
+void TLB::pushFront(uint32_t Slot) {
+  PrevS[Slot] = NoSlot;
+  NextS[Slot] = Head;
+  if (Head != NoSlot)
+    PrevS[Head] = Slot;
+  Head = Slot;
+  if (Tail == NoSlot)
+    Tail = Slot;
+}
+
+bool TLB::touch(uint64_t Page, uint32_t Capacity) {
+  if (Capacity == 0)
+    return false;
+  auto It = Map.find(Page);
+  if (It != Map.end()) {
+    uint32_t Slot = It->second;
+    if (Head != Slot) {
+      unlink(Slot);
+      pushFront(Slot);
+    }
+    return true;
+  }
+  uint32_t Slot;
+  if (PageOf.size() < Capacity) {
+    Slot = static_cast<uint32_t>(PageOf.size());
+    PageOf.push_back(Page);
+    PrevS.push_back(NoSlot);
+    NextS.push_back(NoSlot);
+  } else {
+    Slot = Tail;
+    Map.erase(PageOf[Slot]);
+    unlink(Slot);
+    PageOf[Slot] = Page;
+  }
+  Map.emplace(Page, Slot);
+  pushFront(Slot);
+  return false;
+}
+
+void TLB::clear() {
+  PageOf.clear();
+  PrevS.clear();
+  NextS.clear();
+  Head = Tail = NoSlot;
+  Map.clear();
+}
+
+//===----------------------------------------------------------------------===//
 // CacheHierarchy
 //===----------------------------------------------------------------------===//
 
@@ -85,7 +148,6 @@ CacheHierarchy::CacheHierarchy(const CacheConfig &Cfg, unsigned NumThreads)
   }
   Fill.resize(Cfg.FillBufferEntries);
   TLBs.resize(NumThreads);
-  TLBClock.resize(NumThreads, 0);
   TLBLastPage.resize(NumThreads, 0);
   TLBLastValid.resize(NumThreads, 0);
 }
@@ -140,27 +202,10 @@ uint32_t CacheHierarchy::tlbAccess(unsigned Tid, uint64_t Addr) {
   uint64_t Page = Addr >> 12;
   if (TLBLastValid[Tid] && TLBLastPage[Tid] == Page)
     return 0;
-  auto &TLB = TLBs[Tid];
-  uint64_t &Clock = TLBClock[Tid];
-  for (auto &Entry : TLB) {
-    if (Entry.first == Page) {
-      Entry.second = ++Clock;
-      TLBLastPage[Tid] = Page;
-      TLBLastValid[Tid] = 1;
-      return 0;
-    }
-  }
-  // Miss: insert, evicting the LRU entry when full.
-  if (TLB.size() < Cfg.TLBEntries) {
-    TLB.push_back({Page, ++Clock});
-  } else {
-    auto Victim = std::min_element(
-        TLB.begin(), TLB.end(),
-        [](const auto &A, const auto &B) { return A.second < B.second; });
-    *Victim = {Page, ++Clock};
-  }
   TLBLastPage[Tid] = Page;
   TLBLastValid[Tid] = 1;
+  if (TLBs[Tid].touch(Page, Cfg.TLBEntries))
+    return 0;
   ++Tot.TLBMisses;
   return Cfg.TLBMissPenalty;
 }
@@ -259,6 +304,32 @@ AccessResult CacheHierarchy::access(uint64_t Addr, uint64_t Cycle,
   return R;
 }
 
+void CacheHierarchy::warmAccess(uint64_t Addr, ir::StaticId Pc, unsigned Tid) {
+  // The idealized modes leave cache state untouched; warming is a no-op.
+  if (PerfectMemory || (!PerfectLoads.empty() && PerfectLoads.count(Pc)))
+    return;
+  uint64_t Line = lineOf(Addr);
+
+  // TLB state evolution, minus the penalty bookkeeping. The one-entry MRU
+  // filter makes the repeated-page case (the common one in warmed loops)
+  // two compares.
+  uint64_t Page = Addr >> 12;
+  if (!TLBLastValid[Tid] || TLBLastPage[Tid] != Page) {
+    TLBLastPage[Tid] = Page;
+    TLBLastValid[Tid] = 1;
+    TLBs[Tid].touch(Page, Cfg.TLBEntries);
+  }
+
+  if (L1.lookup(Line))
+    return;
+  if (!L2.lookup(Line)) {
+    if (!L3.lookup(Line))
+      L3.insert(Line);
+    L2.insert(Line);
+  }
+  L1.insert(Line);
+}
+
 void CacheHierarchy::reset() {
   L1.reset();
   L2.reset();
@@ -266,9 +337,8 @@ void CacheHierarchy::reset() {
   for (FillEntry &E : Fill)
     E.Valid = false;
   FillLatestReady = 0;
-  for (auto &TLB : TLBs)
-    TLB.clear();
-  std::fill(TLBClock.begin(), TLBClock.end(), 0);
+  for (TLB &T : TLBs)
+    T.clear();
   std::fill(TLBLastValid.begin(), TLBLastValid.end(), 0);
   Profile.clear();
   Tot = Totals();

@@ -22,6 +22,7 @@
 #include "ir/Program.h"
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -114,6 +115,35 @@ private:
   uint64_t UseClock = 0;
 };
 
+/// One fully-associative exact-LRU translation buffer in O(1) per touch:
+/// a page->slot hash map plus an intrusive LRU list over fixed slots.
+/// Eviction picks the list tail — the same entry a least-use-stamp scan
+/// would pick — so the resident-page set evolves identically to the
+/// classic stamp implementation while costing a hash probe instead of a
+/// capacity-long scan (which sat on both the detailed issue path and the
+/// functional-warming path for every access).
+class TLB {
+public:
+  /// Touches \p Page: returns true on a hit (refreshing recency), false
+  /// on a miss (inserting, evicting the LRU page when full). A
+  /// zero-capacity TLB misses every touch and holds nothing.
+  bool touch(uint64_t Page, uint32_t Capacity);
+
+  /// Drops every translation.
+  void clear();
+
+private:
+  static constexpr uint32_t NoSlot = UINT32_MAX;
+
+  void unlink(uint32_t Slot);
+  void pushFront(uint32_t Slot);
+
+  std::vector<uint64_t> PageOf; ///< Slot -> resident page.
+  std::vector<uint32_t> PrevS, NextS; ///< Intrusive LRU list (MRU at Head).
+  uint32_t Head = NoSlot, Tail = NoSlot;
+  std::unordered_map<uint64_t, uint32_t> Map; ///< Page -> slot.
+};
+
 /// Per-static-load hit/miss statistics, keyed by ir::StaticId. This is both
 /// the cache profile the tool's delinquent-load identification consumes
 /// (Section 3.1) and the data behind the paper's Figure 9.
@@ -145,6 +175,17 @@ public:
   /// recorded in the per-PC profile (main-thread demand loads only).
   AccessResult access(uint64_t Addr, uint64_t Cycle, ir::StaticId Pc,
                       unsigned Tid, bool CollectProfile);
+
+  /// Functional-warming touch: evolves the replacement state (TLB and the
+  /// three LRU arrays) exactly as a demand access from thread \p Tid would,
+  /// but models no timing — no fill buffer, no latency, no counters, no
+  /// profile. An order of magnitude cheaper than access(); this is what
+  /// keeps the sampled simulator's functional level fast (see
+  /// sim::warmForward). The approximation relative to access(): a warmed
+  /// miss installs its line instantly instead of occupying a fill-buffer
+  /// entry, so a detailed interval never starts with warm-initiated fills
+  /// still in flight.
+  void warmAccess(uint64_t Addr, ir::StaticId Pc, unsigned Tid);
 
   /// When enabled, every access hits in L1 (Figure 2's "perfect memory").
   void setPerfectMemory(bool Enable) { PerfectMemory = Enable; }
@@ -208,12 +249,11 @@ private:
   /// cycle is past it, no fill can be in flight and the 16-entry scan is
   /// skipped entirely (the common L1-hit fast path).
   uint64_t FillLatestReady = 0;
-  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> TLBs; // (page,use)
-  std::vector<uint64_t> TLBClock;
+  std::vector<TLB> TLBs; ///< One per hardware thread.
   /// One-entry MRU filter per thread: consecutive accesses to the same page
-  /// skip the TLB scan. Skipping the LRU-clock bump on those hits cannot
-  /// change eviction decisions — the filtered entry already holds the
-  /// strictly greatest use stamp until another page is touched.
+  /// skip the TLB probe. Skipping the recency refresh on those hits cannot
+  /// change eviction decisions — the filtered entry already sits at the
+  /// head of the LRU list until another page is touched.
   std::vector<uint64_t> TLBLastPage;
   std::vector<uint8_t> TLBLastValid;
   CacheProfile Profile;

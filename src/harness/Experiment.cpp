@@ -4,6 +4,7 @@
 
 #include "support/Args.h"
 #include "support/Assert.h"
+#include "support/FlagParser.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -123,7 +124,7 @@ unsigned ssp::harness::jobsFromArgs(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--jobs") == 0) {
       uint64_t N = 0;
-      if (!support::parseUnsignedFlag(argc, argv, I, 1, 512, N))
+      if (!support::parseUnsignedFlag(argc, argv, I, 0, 512, N))
         std::exit(1);
       return static_cast<unsigned>(N);
     }
@@ -136,6 +137,44 @@ bool ssp::harness::noSkipFromArgs(int argc, char **argv) {
     if (std::strcmp(argv[I], "--no-skip") == 0)
       return true;
   return false;
+}
+
+sim::SamplingPlan ssp::harness::sampleFromArgs(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--sample") == 0)
+      return sim::SamplingPlan::defaults();
+    if (std::strncmp(argv[I], "--sample=", 9) == 0) {
+      sim::SamplingPlan Plan;
+      if (!sim::parseSamplingPlan(argv[I] + 9, Plan)) {
+        std::fprintf(stderr, "error: invalid --sample plan '%s' "
+                             "(expected W:D:F instruction counts)\n",
+                     argv[I] + 9);
+        std::exit(1);
+      }
+      return Plan;
+    }
+  }
+  return sim::SamplingPlan(); // Disabled: exact simulation.
+}
+
+BenchArgs ssp::harness::parseBenchArgs(int argc, char **argv) {
+  BenchArgs A;
+  support::FlagParser P(argc, argv);
+  P.flag("--jobs", A.Jobs, 0, 512);
+  P.flag("--no-skip", A.NoSkip);
+  P.flag("--out", A.OutPath);
+  P.flagEq("--sample", [&A](const char *V) {
+    return V ? sim::parseSamplingPlan(V, A.Sample)
+             : (A.Sample = sim::SamplingPlan::defaults(), true);
+  });
+  if (!P.parse()) {
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--no-skip] [--out FILE] "
+                 "[--sample[=W:D:F]]\n",
+                 argv[0]);
+    std::exit(1);
+  }
+  return A;
 }
 
 void ssp::harness::printMachineBanner() {

@@ -104,6 +104,12 @@ public:
   /// simulate/simulateOriginal carry their own SkipIdleCycles flag.
   void setSkipIdleCycles(bool Skip) { SkipIdle = Skip; }
 
+  /// Applies a sampled-simulation plan (`--sample` in the benches) to the
+  /// runner's own simulations. Profiling always runs exactly — the plan
+  /// affects the four timing simulations only. Same caveats as
+  /// setSkipIdleCycles: set before the first run().
+  void setSamplingPlan(const sim::SamplingPlan &Plan) { SamplePlan = Plan; }
+
   /// Simulates \p P on \p W's data image; checks the checksum when
   /// \p ChecksumOk is provided.
   static sim::SimStats simulate(const ir::Program &P,
@@ -131,20 +137,24 @@ private:
   void computeResult(const workloads::Workload &W, BenchResult &R,
                      support::ThreadPool *Pool);
 
-  /// Table 1 machine configs with the runner's skip setting applied.
+  /// Table 1 machine configs with the runner's skip/sampling settings
+  /// applied.
   sim::MachineConfig ioCfg() const {
     sim::MachineConfig C = sim::MachineConfig::inOrder();
     C.SkipIdleCycles = SkipIdle;
+    C.Sample = SamplePlan;
     return C;
   }
   sim::MachineConfig oooCfg() const {
     sim::MachineConfig C = sim::MachineConfig::outOfOrder();
     C.SkipIdleCycles = SkipIdle;
+    C.Sample = SamplePlan;
     return C;
   }
 
   core::ToolOptions Opts;
   bool SkipIdle = true;
+  sim::SamplingPlan SamplePlan;
   std::mutex CacheMutex;
   std::map<std::string, CacheEntry<BenchResult>> Cache;
   std::map<std::string, CacheEntry<profile::ProfileData>> Profiles;
@@ -190,6 +200,9 @@ public:
   }
   const core::ToolOptions &options() const { return Inner.options(); }
   void setSkipIdleCycles(bool Skip) { Inner.setSkipIdleCycles(Skip); }
+  void setSamplingPlan(const sim::SamplingPlan &Plan) {
+    Inner.setSamplingPlan(Plan);
+  }
 
   static sim::SimStats simulate(const ir::Program &P,
                                 const workloads::Workload &W,
@@ -208,12 +221,32 @@ private:
 
 /// Parses a `--jobs N` argument from the command line (for the bench
 /// binaries and tools). Returns 0 — "use hardware_concurrency" — when the
-/// flag is absent; exits with a usage error on a malformed value.
+/// flag is absent or given as the explicit auto spelling `--jobs 0`;
+/// exits with a usage error on a malformed value.
 unsigned jobsFromArgs(int argc, char **argv);
 
 /// Parses a `--no-skip` argument (disable event-driven idle-cycle
 /// skipping; see MachineConfig::SkipIdleCycles). Returns true when present.
 bool noSkipFromArgs(int argc, char **argv);
+
+/// Parses a `--sample[=W:D:F]` argument: bare `--sample` selects
+/// SamplingPlan::defaults(), `--sample=W:D:F` an explicit plan. Returns a
+/// disabled plan when the flag is absent; exits with a usage error on a
+/// malformed plan. Scan-style like jobsFromArgs so the google-benchmark
+/// binaries can mix it with --benchmark_* flags.
+sim::SamplingPlan sampleFromArgs(int argc, char **argv);
+
+/// The shared command line of the JSON-emitting bench binaries:
+///   [--jobs N] [--no-skip] [--out FILE] [--sample[=W:D:F]]
+/// Parsed strictly with support::FlagParser (unknown flags are an error);
+/// exits non-zero on malformed input.
+struct BenchArgs {
+  unsigned Jobs = 0; ///< 0 = hardware concurrency.
+  bool NoSkip = false;
+  const char *OutPath = nullptr;
+  sim::SamplingPlan Sample; ///< Disabled unless --sample was given.
+};
+BenchArgs parseBenchArgs(int argc, char **argv);
 
 /// Prints the Table 1 machine-model banner every bench emits.
 void printMachineBanner();

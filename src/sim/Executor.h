@@ -20,6 +20,13 @@
 #include "mem/SimMemory.h"
 #include "sim/ThreadContext.h"
 
+namespace ssp::branch {
+class BranchPredictor;
+} // namespace ssp::branch
+namespace ssp::cache {
+class CacheHierarchy;
+} // namespace ssp::cache
+
 namespace ssp::sim {
 
 /// Control effect of one functionally executed instruction.
@@ -62,6 +69,33 @@ struct ExecOutcome {
 void executeStep(ThreadContext &Ctx, const ir::LinkedProgram &LP,
                  mem::SimMemory &Mem, bool Speculative,
                  bool FreeContextAvailable, ExecOutcome &Out);
+
+/// Result of one batched functional interval (fastForward / warmForward).
+struct FunctionalResult {
+  uint64_t Insts = 0; ///< Instructions executed (including a final halt).
+  bool Halted = false; ///< The program's halt was reached in this interval.
+};
+
+/// Executes up to \p MaxInsts instructions of the (main, non-speculative)
+/// thread purely architecturally: registers, memory and control flow
+/// advance, but no cache, TLB or branch-predictor state is touched and no
+/// timing exists. chk.c never fires (functionally it behaves as if no
+/// context were free), so no speculative work happens. Stops early at
+/// halt, leaving \p Ctx parked on the halt instruction.
+FunctionalResult fastForward(ThreadContext &Ctx, const ir::LinkedProgram &LP,
+                             mem::SimMemory &Mem, uint64_t MaxInsts);
+
+/// fastForward plus functional warming: every memory access goes through
+/// \p Cache (filling lines, the TLB and the fill buffer) and every
+/// conditional branch / indirect transfer trains \p Bpred, so the next
+/// detailed interval starts from warm microarchitectural state. \p Now
+/// advances one (nominal) cycle per instruction so the cache's
+/// time-based structures age plausibly.
+FunctionalResult warmForward(ThreadContext &Ctx, const ir::LinkedProgram &LP,
+                             mem::SimMemory &Mem,
+                             cache::CacheHierarchy &Cache,
+                             branch::BranchPredictor &Bpred, uint64_t &Now,
+                             uint64_t MaxInsts);
 
 } // namespace ssp::sim
 

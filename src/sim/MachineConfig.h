@@ -16,6 +16,7 @@
 #define SSP_SIM_MACHINECONFIG_H
 
 #include "cache/Cache.h"
+#include "sim/Sampling.h"
 
 #include <cstdint>
 #include <unordered_set>
@@ -93,6 +94,14 @@ struct MachineConfig {
   /// disable (`--no-skip` in the tools) to cross-check or to step the
   /// simulator cycle by cycle under a debugger.
   bool SkipIdleCycles = true;
+
+  /// Two-level sampled simulation (`--sample=W:D:F` in the tools): when
+  /// the plan is enabled, detailed intervals alternate with functional
+  /// fast-forward/warming intervals and whole-run statistics are
+  /// extrapolated from the detailed ones (see sim/Sampling.h and the
+  /// DESIGN.md "Sampled simulation" section). The default (disabled)
+  /// plan is the plain exact simulator.
+  SamplingPlan Sample;
 
   cache::CacheConfig Cache;
 

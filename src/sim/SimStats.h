@@ -132,6 +132,17 @@ struct SimStats {
   uint64_t SkippedCycles = 0; ///< Idle cycles accounted in bulk, not ticked.
   uint64_t SkipEvents = 0;    ///< Number of idle spans jumped over.
 
+  // Sampled-simulation diagnostics (also non-architectural; zero on
+  // unsampled runs). When Sampled is set, Cycles, CatCycles, the SSP/
+  // branch/cache counters and Attribution are extrapolated from the
+  // detailed intervals; MainInsts is exact and LoadProfile covers the
+  // detailed intervals only.
+  bool Sampled = false;           ///< Run used a SamplingPlan.
+  uint64_t SampleIntervals = 0;   ///< Measured detailed intervals executed.
+  uint64_t SampleDetailInsts = 0; ///< Main insts in measured detail.
+  uint64_t SampleFunctionalInsts = 0; ///< Main insts executed functionally.
+  uint64_t SampleRampInsts = 0; ///< Main insts in unmeasured detailed ramp.
+
   // Memory system (global + per-static-load).
   cache::CacheHierarchy::Totals CacheTotals;
   cache::CacheProfile LoadProfile;

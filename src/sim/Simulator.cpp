@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 
 using namespace ssp;
@@ -251,6 +252,8 @@ void Simulator::trySpawn(const ExecOutcome &Out, unsigned SpawnerTid) {
 //===----------------------------------------------------------------------===//
 
 void Simulator::fetchCycle() {
+  if (FetchDisabled)
+    return; // Draining an interval boundary: no new instructions enter.
   // Candidate threads, least-recently-fetched first.
   unsigned Order[8];
   unsigned N = 0;
@@ -856,7 +859,7 @@ uint64_t Simulator::nextEventCycle() const {
       continue;
     // A fetch-capable thread fetches as soon as its resume cycle arrives
     // (a fetch candidate always fetches at least one bundle).
-    if (!T.FetchStopped && !T.FetchWaitingOnEvent &&
+    if (!FetchDisabled && !T.FetchStopped && !T.FetchWaitingOnEvent &&
         T.FrontQ.size() < QueueCap)
       Consider(std::max(T.FetchResumeCycle, Now + 1));
     if (!T.FrontQ.empty()) {
@@ -917,61 +920,80 @@ uint64_t Simulator::nextEventCycle() const {
   return Next == UINT64_MAX ? Now + 1 : Next;
 }
 
-SimStats Simulator::run() {
-  while (!MainDone) {
-    ++Now;
-    if (Now > Cfg.MaxCycles)
-      fatalError("simulation exceeded MaxCycles (livelock?)");
-    pruneMainOutstanding();
-    // Boundary test handles any period: strength-reduced mask for powers
-    // of two, modulo otherwise, never for a zero period.
-    if (Cfg.ThrottleEvalPeriod != 0 &&
-        (ThrottlePow2 ? (Now & (Cfg.ThrottleEvalPeriod - 1)) == 0
-                      : Now % Cfg.ThrottleEvalPeriod == 0))
-      evaluateThrottle();
-    std::memset(IssuedThisCycle, 0, sizeof(IssuedThisCycle));
-    ActivityThisCycle = false;
+void Simulator::stepCycle() {
+  ++Now;
+  if (Now > Cfg.MaxCycles)
+    fatalError("simulation exceeded MaxCycles (livelock?)");
+  pruneMainOutstanding();
+  // Boundary test handles any period: strength-reduced mask for powers
+  // of two, modulo otherwise, never for a zero period.
+  if (Cfg.ThrottleEvalPeriod != 0 &&
+      (ThrottlePow2 ? (Now & (Cfg.ThrottleEvalPeriod - 1)) == 0
+                    : Now % Cfg.ThrottleEvalPeriod == 0))
+    evaluateThrottle();
+  std::memset(IssuedThisCycle, 0, sizeof(IssuedThisCycle));
+  ActivityThisCycle = false;
 
-    if (Cfg.Pipeline == PipelineKind::InOrder) {
-      issueCycleInOrder();
-      fetchCycle();
-    } else {
-      oooWriteback();
-      oooResolveRS();
-      oooRetire();
-      if (MainDone)
-        break;
-      oooIssue();
-      oooDispatch();
-      fetchCycle();
-    }
-    CycleCat Cat = classifyCycle();
-    ++Stats.CatCycles[static_cast<unsigned>(Cat)];
+  if (Cfg.Pipeline == PipelineKind::InOrder) {
+    issueCycleInOrder();
+    fetchCycle();
+  } else {
+    oooWriteback();
+    oooResolveRS();
+    oooRetire();
+    if (MainDone)
+      return;
+    oooIssue();
+    oooDispatch();
+    fetchCycle();
+  }
+  CycleCat Cat = classifyCycle();
+  ++Stats.CatCycles[static_cast<unsigned>(Cat)];
 
-    // Event-driven idle skipping: nothing fetched, issued, dispatched,
-    // completed or retired this cycle, so every cycle before the next
-    // event repeats this one's (in)activity and classification exactly —
-    // account the whole span at once and jump.
-    if (Cfg.SkipIdleCycles && !ActivityThisCycle) {
-      uint64_t Next = nextEventCycle();
-      // Keep the livelock guard firing at the same cycle as serial mode.
-      if (Next > Cfg.MaxCycles + 1)
-        Next = Cfg.MaxCycles + 1;
-      if (Next > Now + 1) {
-        uint64_t Span = Next - 1 - Now;
-        Stats.CatCycles[static_cast<unsigned>(Cat)] += Span;
-        Stats.SkippedCycles += Span;
-        ++Stats.SkipEvents;
-        // One span event for the whole jumped range — the skip path never
-        // emits per-cycle events.
-        if (Trace)
-          Trace->record(0, obs::EventKind::IdleSpan, Now + 1, Span,
-                        static_cast<uint64_t>(Cat), 0);
-        Now = Next - 1;
-      }
+  // Event-driven idle skipping: nothing fetched, issued, dispatched,
+  // completed or retired this cycle, so every cycle before the next
+  // event repeats this one's (in)activity and classification exactly —
+  // account the whole span at once and jump.
+  if (Cfg.SkipIdleCycles && !ActivityThisCycle) {
+    uint64_t Next = nextEventCycle();
+    // Keep the livelock guard firing at the same cycle as serial mode.
+    if (Next > Cfg.MaxCycles + 1)
+      Next = Cfg.MaxCycles + 1;
+    if (Next > Now + 1) {
+      uint64_t Span = Next - 1 - Now;
+      Stats.CatCycles[static_cast<unsigned>(Cat)] += Span;
+      Stats.SkippedCycles += Span;
+      ++Stats.SkipEvents;
+      // One span event for the whole jumped range — the skip path never
+      // emits per-cycle events.
+      if (Trace)
+        Trace->record(0, obs::EventKind::IdleSpan, Now + 1, Span,
+                      static_cast<uint64_t>(Cat), 0);
+      Now = Next - 1;
     }
   }
+}
 
+void Simulator::runDetailedLoop(uint64_t StopMainInsts) {
+  while (!MainDone && Stats.MainInsts < StopMainInsts)
+    stepCycle();
+}
+
+bool Simulator::pipelineEmpty() const {
+  for (const Thread &T : Threads)
+    if (!T.FrontQ.empty() || !T.Rob.empty())
+      return false;
+  return true;
+}
+
+void Simulator::drainPipeline() {
+  FetchDisabled = true;
+  while (!MainDone && !pipelineEmpty())
+    stepCycle();
+  FetchDisabled = false;
+}
+
+void Simulator::finalizeExact() {
   // Lines still tracked when the main thread halts were never consumed.
   drainPendingFates();
   Stats.Attribution.clear();
@@ -985,6 +1007,244 @@ SimStats Simulator::run() {
   Stats.Branches = Bpred.numBranches();
   Stats.BranchMispredicts = Bpred.numMispredicts();
   Stats.CacheTotals = Cache.totals();
+  Stats.LoadProfile = Cache.profile();
+}
+
+SimStats Simulator::run() {
+  if (Cfg.Sample.enabled())
+    return runSampled();
+  runDetailedLoop(UINT64_MAX);
+  finalizeExact();
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Two-level sampled simulation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Accumulates (After - Before) into \p Acc, field by field.
+void addTotalsDelta(cache::CacheHierarchy::Totals &Acc,
+                    const cache::CacheHierarchy::Totals &Before,
+                    const cache::CacheHierarchy::Totals &After) {
+  Acc.Accesses += After.Accesses - Before.Accesses;
+  for (unsigned L = 0; L < 4; ++L) {
+    Acc.Hits[L] += After.Hits[L] - Before.Hits[L];
+    Acc.Partials[L] += After.Partials[L] - Before.Partials[L];
+  }
+  Acc.FillBufferStallCycles +=
+      After.FillBufferStallCycles - Before.FillBufferStallCycles;
+  Acc.TLBMisses += After.TLBMisses - Before.TLBMisses;
+}
+
+} // namespace
+
+SimStats Simulator::runSampled() {
+  const SamplingPlan Plan = Cfg.Sample;
+  assert(Plan.DetailInsts > 0 && "enabled plan requires a detail interval");
+  // The obs contract under sampling: attribution stays exact *within*
+  // measured detailed intervals (and is extrapolated like every other
+  // counter), but event tracing is disabled — an extrapolated run cannot
+  // emit a faithful per-event stream. Pinned in tests/sample_test.cpp.
+  Trace = nullptr;
+
+  // Everything extrapolated is accumulated as *measured-window deltas*:
+  // the detailed ramp (unmeasured detail that re-populates the pipeline
+  // and the speculative-thread contexts after a functional gap) runs
+  // through the same counters, so wholesale scaling of Stats would charge
+  // the windows for work done outside them.
+  struct SspCounters {
+    uint64_t SpecInsts, TriggersFired, TriggersIgnored, SpawnsSucceeded,
+        SpawnsDropped, SpecWildLoads, SpecPrefetches, ThrottleEvents;
+  };
+  auto snapCounters = [this]() -> SspCounters {
+    return {Stats.SpecInsts,     Stats.TriggersFired, Stats.TriggersIgnored,
+            Stats.SpawnsSucceeded, Stats.SpawnsDropped, Stats.SpecWildLoads,
+            Stats.SpecPrefetches, Stats.ThrottleEvents};
+  };
+
+  uint64_t DetailCycles = 0;
+  uint64_t DetailMainInsts = 0;
+  uint64_t FunctionalInsts = 0;
+  uint64_t RampInsts = 0;
+  uint64_t DetailBranches = 0;
+  uint64_t DetailMispredicts = 0;
+  uint64_t DetailCat[NumCycleCats] = {};
+  SspCounters Meas = {};
+  cache::CacheHierarchy::Totals DetailTotals;
+  ir::DenseSidMap<PrefetchAttribution> MeasAttrib;
+  ir::DenseSidMap<PrefetchAttribution> AttribBefore;
+
+  bool First = true;
+  while (!MainDone) {
+    // Detailed ramp before every measured window except the first: the
+    // run itself starts detailed (cold-start exact), so the first window
+    // needs no lead-in.
+    if (!First && Plan.RampInsts > 0) {
+      const uint64_t RampStart = Stats.MainInsts;
+      runDetailedLoop(Stats.MainInsts + Plan.RampInsts);
+      RampInsts += Stats.MainInsts - RampStart;
+      if (MainDone)
+        break;
+    }
+    First = false;
+
+    const uint64_t StartCycle = Now;
+    const uint64_t StartMain = Stats.MainInsts;
+    const uint64_t StartBranches = Bpred.numBranches();
+    const uint64_t StartMispredicts = Bpred.numMispredicts();
+    const cache::CacheHierarchy::Totals StartTotals = Cache.totals();
+    const SspCounters C0 = snapCounters();
+    uint64_t StartCat[NumCycleCats];
+    std::memcpy(StartCat, Stats.CatCycles, sizeof(StartCat));
+    AttribBefore = Attrib;
+
+    runDetailedLoop(Stats.MainInsts + Plan.DetailInsts);
+    drainPipeline();
+    // Interval close, inside the measurement: speculative work does not
+    // survive a functional gap (the functional levels execute the main
+    // thread only). Contexts are freed — the ramp before the next window
+    // re-populates them — and every still-pending prefetched line
+    // resolves its fate now, so fates are measured per detail interval.
+    for (Thread &T : Threads)
+      if (T.Speculative)
+        T.Active = false;
+    drainPendingFates();
+    PrefetchedLines.clear();
+    for (auto &[Sid, H] : TriggerStats)
+      H.InFlight = 0;
+
+    ++Stats.SampleIntervals;
+    DetailCycles += Now - StartCycle;
+    DetailMainInsts += Stats.MainInsts - StartMain;
+    DetailBranches += Bpred.numBranches() - StartBranches;
+    DetailMispredicts += Bpred.numMispredicts() - StartMispredicts;
+    addTotalsDelta(DetailTotals, StartTotals, Cache.totals());
+    for (unsigned C = 0; C < NumCycleCats; ++C)
+      DetailCat[C] += Stats.CatCycles[C] - StartCat[C];
+    const SspCounters C1 = snapCounters();
+    Meas.SpecInsts += C1.SpecInsts - C0.SpecInsts;
+    Meas.TriggersFired += C1.TriggersFired - C0.TriggersFired;
+    Meas.TriggersIgnored += C1.TriggersIgnored - C0.TriggersIgnored;
+    Meas.SpawnsSucceeded += C1.SpawnsSucceeded - C0.SpawnsSucceeded;
+    Meas.SpawnsDropped += C1.SpawnsDropped - C0.SpawnsDropped;
+    Meas.SpecWildLoads += C1.SpecWildLoads - C0.SpecWildLoads;
+    Meas.SpecPrefetches += C1.SpecPrefetches - C0.SpecPrefetches;
+    Meas.ThrottleEvents += C1.ThrottleEvents - C0.ThrottleEvents;
+    for (const auto &[Sid, A] : Attrib) {
+      PrefetchAttribution &M = MeasAttrib[Sid];
+      M.Slice = A.Slice;
+      if (A.MaxChainDepth > M.MaxChainDepth)
+        M.MaxChainDepth = A.MaxChainDepth;
+      auto It = AttribBefore.find(Sid);
+      const PrefetchAttribution *B =
+          It != AttribBefore.end() ? &It->second : nullptr;
+      M.Spawns += A.Spawns - (B ? B->Spawns : 0);
+      for (unsigned F = 0; F < NumPrefetchFates; ++F)
+        M.Fates[F] += A.Fates[F] - (B ? B->Fates[F] : 0);
+    }
+    if (MainDone)
+      break;
+
+    // Functional fast-forward: architectural state only.
+    if (Plan.FastForwardInsts > 0) {
+      FunctionalResult R =
+          fastForward(Threads[0].Ctx, LP, Mem, Plan.FastForwardInsts);
+      FunctionalInsts += R.Insts;
+      Now += R.Insts; // One nominal cycle per instruction.
+      if (R.Halted) {
+        MainDone = true;
+        break;
+      }
+    }
+    // Functional warming immediately before the ramp and the next
+    // measured window: caches, TLB and predictor reach steady state again
+    // so the measurement does not pay (or enjoy) a cold
+    // microarchitecture.
+    if (Plan.WarmupInsts > 0) {
+      FunctionalResult R = warmForward(Threads[0].Ctx, LP, Mem, Cache, Bpred,
+                                       Now, Plan.WarmupInsts);
+      FunctionalInsts += R.Insts;
+      if (R.Halted) {
+        MainDone = true;
+        break;
+      }
+    }
+  }
+
+  // Fates still pending when the run ended outside a measured window
+  // (e.g. during the ramp) resolve into the exact Attrib but not into the
+  // extrapolated stats — like any other unmeasured work.
+  drainPendingFates();
+
+  // Extrapolation: every rate-like counter scales by the ratio of total
+  // main-thread instructions to *measured* detailed main-thread
+  // instructions. MainInsts itself is exact (detail-issued plus
+  // functional).
+  const uint64_t DetailMain = DetailMainInsts;
+  const uint64_t TotalMain = Stats.MainInsts + FunctionalInsts;
+  const double Ratio = DetailMain == 0 ? 1.0
+                                       : static_cast<double>(TotalMain) /
+                                             static_cast<double>(DetailMain);
+  auto Scale = [Ratio](uint64_t V) {
+    return static_cast<uint64_t>(
+        std::llround(static_cast<double>(V) * Ratio));
+  };
+
+  Stats.Sampled = true;
+  Stats.SampleDetailInsts = DetailMain;
+  Stats.SampleFunctionalInsts = FunctionalInsts;
+  Stats.SampleRampInsts = RampInsts;
+  Stats.MainInsts = TotalMain;
+
+  Stats.Cycles = Scale(DetailCycles);
+  for (unsigned C = 0; C < NumCycleCats; ++C)
+    Stats.CatCycles[C] = Scale(DetailCat[C]);
+  Stats.SpecInsts = Scale(Meas.SpecInsts);
+  Stats.TriggersFired = Scale(Meas.TriggersFired);
+  Stats.TriggersIgnored = Scale(Meas.TriggersIgnored);
+  Stats.SpawnsSucceeded = Scale(Meas.SpawnsSucceeded);
+  Stats.SpawnsDropped = Scale(Meas.SpawnsDropped);
+  Stats.SpecWildLoads = Scale(Meas.SpecWildLoads);
+  Stats.SpecPrefetches = Scale(Meas.SpecPrefetches);
+  Stats.ThrottleEvents = Scale(Meas.ThrottleEvents);
+  Stats.Branches = Scale(DetailBranches);
+  Stats.BranchMispredicts = Scale(DetailMispredicts);
+
+  cache::CacheHierarchy::Totals ScaledTotals = DetailTotals;
+  ScaledTotals.Accesses = Scale(ScaledTotals.Accesses);
+  for (unsigned L = 0; L < 4; ++L) {
+    ScaledTotals.Hits[L] = Scale(ScaledTotals.Hits[L]);
+    ScaledTotals.Partials[L] = Scale(ScaledTotals.Partials[L]);
+  }
+  ScaledTotals.FillBufferStallCycles = Scale(ScaledTotals.FillBufferStallCycles);
+  ScaledTotals.TLBMisses = Scale(ScaledTotals.TLBMisses);
+  Stats.CacheTotals = ScaledTotals;
+
+  // Attribution: per-trigger measured fates scale like the global
+  // counters; UsefulPrefetches is re-derived from the scaled fates so the
+  //   UsefulPrefetches == sum of useful()
+  // invariant (tests/sim_test.cpp) survives rounding. MaxChainDepth is a
+  // high-water mark, not a rate, and stays unscaled.
+  Stats.Attribution.clear();
+  Stats.Attribution.reserve(MeasAttrib.size());
+  uint64_t UsefulScaled = 0;
+  for (const auto &[Sid, A] : MeasAttrib) {
+    PrefetchAttribution Scaled = A;
+    Scaled.Trigger = Sid;
+    Scaled.Spawns = Scale(Scaled.Spawns);
+    for (unsigned F = 0; F < NumPrefetchFates; ++F)
+      Scaled.Fates[F] = Scale(Scaled.Fates[F]);
+    UsefulScaled += Scaled.useful();
+    Stats.Attribution.push_back(Scaled);
+  }
+  Stats.UsefulPrefetches = UsefulScaled;
+
+  // The load profile covers the detailed stretches (measured and ramp)
+  // exactly and is not extrapolated: its consumers (delinquent-load
+  // selection) rank loads by relative miss volume, which systematic
+  // sampling preserves.
   Stats.LoadProfile = Cache.profile();
   return Stats;
 }

@@ -52,6 +52,9 @@ public:
             mem::SimMemory &Mem);
 
   /// Simulates until the main thread halts and returns the statistics.
+  /// With Cfg.Sample enabled this is the two-level sampled run (detailed
+  /// intervals alternating with functional fast-forward/warming, stats
+  /// extrapolated); otherwise the exact detailed simulation.
   SimStats run();
 
   /// Attaches an event-trace sink (null detaches). Off by default: with no
@@ -202,6 +205,24 @@ private:
   bool mainMissOutstanding() const;
   void pruneMainOutstanding();
 
+  // Main-loop structure. stepCycle is one full simulated cycle (all
+  // pipeline phases plus Figure 10 accounting and idle-span skipping);
+  // runDetailedLoop steps until the main thread halts or its issued
+  // instruction count reaches \p StopMainInsts (UINT64_MAX = run to
+  // completion, the exact unsampled path).
+  void stepCycle();
+  void runDetailedLoop(uint64_t StopMainInsts);
+  /// Steps with fetch disabled until every thread's front queue and ROB
+  /// are empty: the end-of-detail-interval drain, after which only
+  /// architectural state (plus caches/predictor) carries forward.
+  void drainPipeline();
+  bool pipelineEmpty() const;
+  /// End-of-run bookkeeping for the exact path: pending prefetch fates,
+  /// attribution copy-out, final counter snapshots.
+  void finalizeExact();
+  /// The two-level sampled run (Cfg.Sample enabled); see DESIGN.md.
+  SimStats runSampled();
+
   // Owned by value: callers routinely pass a temporary (e.g.
   // MachineConfig::inOrder()) whose lifetime ends before run().
   const MachineConfig Cfg;
@@ -214,6 +235,9 @@ private:
 
   uint64_t Now = 0;
   bool MainDone = false;
+  /// Set during drainPipeline: fetch stops so in-flight instructions
+  /// retire without new ones entering (sampled interval boundaries).
+  bool FetchDisabled = false;
   /// Whether the current cycle fetched, issued, dispatched, completed or
   /// retired anything; an idle (false) cycle is a candidate for skipping.
   bool ActivityThisCycle = false;

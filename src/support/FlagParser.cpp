@@ -1,0 +1,126 @@
+//===- support/FlagParser.cpp - Declarative CLI flag parsing --------------===//
+
+#include "support/FlagParser.h"
+
+#include "support/Args.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace ssp::support;
+
+FlagParser &FlagParser::flag(const char *Name, bool &Out) {
+  Spec S;
+  S.K = Spec::Bool;
+  S.Name = Name;
+  S.B = &Out;
+  Specs.push_back(std::move(S));
+  return *this;
+}
+
+FlagParser &FlagParser::flag(const char *Name, unsigned &Out, uint64_t Min,
+                             uint64_t Max) {
+  Spec S;
+  S.K = Spec::Uint;
+  S.Name = Name;
+  S.U32 = &Out;
+  S.Min = Min;
+  S.Max = Max;
+  Specs.push_back(std::move(S));
+  return *this;
+}
+
+FlagParser &FlagParser::flag(const char *Name, uint64_t &Out, uint64_t Min,
+                             uint64_t Max) {
+  Spec S;
+  S.K = Spec::Uint;
+  S.Name = Name;
+  S.U64 = &Out;
+  S.Min = Min;
+  S.Max = Max;
+  Specs.push_back(std::move(S));
+  return *this;
+}
+
+FlagParser &FlagParser::flag(const char *Name, const char *&Out) {
+  Spec S;
+  S.K = Spec::Str;
+  S.Name = Name;
+  S.S = &Out;
+  Specs.push_back(std::move(S));
+  return *this;
+}
+
+FlagParser &FlagParser::flagEq(const char *Name,
+                               std::function<bool(const char *)> Fn) {
+  Spec S;
+  S.K = Spec::Eq;
+  S.Name = Name;
+  S.Fn = std::move(Fn);
+  Specs.push_back(std::move(S));
+  return *this;
+}
+
+bool FlagParser::parse(std::vector<std::string> *Positional) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (Arg[0] != '-' || Arg[1] == '\0') {
+      if (!Positional) {
+        std::fprintf(stderr, "error: unexpected argument '%s'\n", Arg);
+        return false;
+      }
+      Positional->push_back(Arg);
+      continue;
+    }
+    const Spec *Match = nullptr;
+    const char *EqValue = nullptr; // Non-null only for `--name=VALUE`.
+    for (const Spec &S : Specs) {
+      if (std::strcmp(Arg, S.Name) == 0) {
+        Match = &S;
+        break;
+      }
+      if (S.K == Spec::Eq) {
+        size_t Len = std::strlen(S.Name);
+        if (std::strncmp(Arg, S.Name, Len) == 0 && Arg[Len] == '=') {
+          Match = &S;
+          EqValue = Arg + Len + 1;
+          break;
+        }
+      }
+    }
+    if (!Match) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg);
+      return false;
+    }
+    switch (Match->K) {
+    case Spec::Bool:
+      *Match->B = true;
+      break;
+    case Spec::Uint: {
+      uint64_t V = 0;
+      if (!parseUnsignedFlag(Argc, Argv, I, Match->Min, Match->Max, V))
+        return false;
+      if (Match->U32)
+        *Match->U32 = static_cast<unsigned>(V);
+      else
+        *Match->U64 = V;
+      break;
+    }
+    case Spec::Str:
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Match->Name);
+        return false;
+      }
+      *Match->S = Argv[++I];
+      break;
+    case Spec::Eq:
+      if (!Match->Fn(EqValue)) {
+        std::fprintf(stderr, "error: invalid value for %s: '%s'\n",
+                     Match->Name, EqValue ? EqValue : "");
+        return false;
+      }
+      break;
+    }
+  }
+  return true;
+}

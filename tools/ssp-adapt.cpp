@@ -9,8 +9,10 @@
 //                                        on both machine models
 //   ssp-adapt input.ssp --no-chaining    basic SP only
 //   ssp-adapt input.ssp --jobs N         parallel candidate generation
-//                                        (0 = hardware concurrency; the
-//                                        output is identical for every N)
+//                                        (default and the explicit
+//                                        spelling 0: hardware concurrency;
+//                                        the output is identical for
+//                                        every N)
 //   ssp-adapt input.ssp --throttle       enable dynamic trigger throttling
 //   ssp-adapt input.ssp --verbose        trace the region/model decisions
 //   ssp-adapt input.ssp --Werror         verifier warnings fail the run
@@ -30,7 +32,7 @@
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "sim/Simulator.h"
-#include "support/Args.h"
+#include "support/FlagParser.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -70,43 +72,37 @@ sim::SimStats simulate(const ir::Program &P, const ir::DataImage &Data,
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage(argv[0]);
-  const char *Path = nullptr, *MetricsPath = nullptr;
+  const char *MetricsPath = nullptr;
   bool Emit = false, Run = false, Throttle = false, Werror = false;
+  bool NoChaining = false;
   core::ToolOptions Opts;
   // Report verification findings here instead of aborting inside the
   // library; the exit status reflects them below.
   Opts.FatalOnVerifyError = false;
+  // CLI default: parallel candidate generation at hardware concurrency
+  // (the library default is the serial path; --jobs N overrides, with 0
+  // the explicit auto spelling).
+  Opts.Jobs = 0;
   obs::Registry Metrics;
-  for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--emit") == 0)
-      Emit = true;
-    else if (std::strcmp(argv[I], "--run") == 0)
-      Run = true;
-    else if (std::strcmp(argv[I], "--no-chaining") == 0)
-      Opts.EnableChaining = false;
-    else if (std::strcmp(argv[I], "--jobs") == 0) {
-      uint64_t N = 0;
-      if (!support::parseUnsignedFlag(argc, argv, I, 0, 512, N))
-        return usage(argv[0]);
-      Opts.Jobs = static_cast<unsigned>(N);
-    } else if (std::strcmp(argv[I], "--metrics") == 0 && I + 1 < argc) {
-      MetricsPath = argv[++I];
-      Opts.Metrics = &Metrics;
-    } else if (std::strcmp(argv[I], "--throttle") == 0)
-      Throttle = true;
-    else if (std::strcmp(argv[I], "--verbose") == 0)
-      Opts.Verbose = true;
-    else if (std::strcmp(argv[I], "--Werror") == 0)
-      Werror = true;
-    else if (argv[I][0] == '-')
-      return usage(argv[0]);
-    else if (Path)
-      return usage(argv[0]);
-    else
-      Path = argv[I];
-  }
-  if (!Path)
+  std::vector<std::string> Paths;
+  support::FlagParser Parser(argc, argv);
+  Parser.flag("--emit", Emit)
+      .flag("--run", Run)
+      .flag("--no-chaining", NoChaining)
+      .flag("--jobs", Opts.Jobs, 0, 512)
+      .flag("--metrics", MetricsPath)
+      .flag("--throttle", Throttle)
+      .flag("--verbose", Opts.Verbose)
+      .flag("--Werror", Werror);
+  if (!Parser.parse(&Paths))
     return usage(argv[0]);
+  if (NoChaining)
+    Opts.EnableChaining = false;
+  if (MetricsPath)
+    Opts.Metrics = &Metrics;
+  if (Paths.size() != 1)
+    return usage(argv[0]);
+  const char *Path = Paths[0].c_str();
 
   std::ifstream In(Path);
   if (!In) {

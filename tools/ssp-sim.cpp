@@ -14,8 +14,13 @@
 //   ssp-sim prog.ssp --icount         ICOUNT fetch policy
 //   ssp-sim prog.ssp --throttle       dynamic trigger throttling
 //   ssp-sim prog.ssp --no-skip        tick every cycle (no idle skipping)
-//   ssp-sim a.ssp b.ssp --jobs N      simulation parallelism (default:
+//   ssp-sim a.ssp b.ssp --jobs N      simulation parallelism (default and
+//                                     the explicit spelling --jobs 0:
 //                                     hardware concurrency)
+//   ssp-sim prog.ssp --sample[=W:D:F] two-level sampled simulation
+//                                     (warmup:detail:fastforward interval
+//                                     lengths in main-thread instructions;
+//                                     bare --sample uses the default plan)
 //   ssp-sim prog.ssp --report=attrib  per-trigger prefetch-lifecycle table
 //   ssp-sim prog.ssp --trace out.json Chrome trace_event JSON of the
 //                                     spawn/prefetch lifecycle (one input)
@@ -30,7 +35,7 @@
 #include "ir/Verifier.h"
 #include "obs/TraceSink.h"
 #include "sim/Simulator.h"
-#include "support/Args.h"
+#include "support/FlagParser.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
@@ -51,7 +56,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp>... [--ooo] [--contexts N] [--memlat N] "
                "[--icount] [--throttle] [--no-skip] [--jobs N] "
-               "[--report=attrib] [--trace <out.json>]\n",
+               "[--sample[=W:D:F]] [--report=attrib] [--trace <out.json>]\n",
                Argv0);
   return 1;
 }
@@ -180,6 +185,14 @@ bool simulateFile(const std::string &Path, const sim::MachineConfig &Cfg,
           static_cast<unsigned long long>(S.Cycles),
           static_cast<unsigned long long>(S.MainInsts), S.ipc(),
           static_cast<unsigned long long>(S.SpecInsts));
+  if (S.Sampled)
+    appendf(Out,
+            "sampled (plan %s): %llu detail intervals, %llu detail + %llu "
+            "functional insts; stats extrapolated\n",
+            Cfg.Sample.str().c_str(),
+            static_cast<unsigned long long>(S.SampleIntervals),
+            static_cast<unsigned long long>(S.SampleDetailInsts),
+            static_cast<unsigned long long>(S.SampleFunctionalInsts));
   appendf(Out, "cycle breakdown:");
   for (unsigned C = 0; C < sim::NumCycleCats; ++C)
     appendf(Out, " %s %.1f%%",
@@ -216,44 +229,52 @@ int main(int argc, char **argv) {
   std::vector<std::string> Paths;
   sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
   unsigned Jobs = 0; // 0 = hardware concurrency.
+  bool Ooo = false, ICount = false, Throttle = false, NoSkip = false;
   bool ReportAttrib = false;
   const char *TracePath = nullptr;
-  for (int I = 1; I < argc; ++I) {
-    uint64_t V = 0;
-    if (std::strcmp(argv[I], "--ooo") == 0) {
-      Cfg.Pipeline = sim::PipelineKind::OutOfOrder;
-    } else if (std::strcmp(argv[I], "--contexts") == 0) {
-      if (!support::parseUnsignedFlag(argc, argv, I, 1, 8, V))
-        return usage(argv[0]);
-      Cfg.NumThreads = static_cast<unsigned>(V);
-    } else if (std::strcmp(argv[I], "--memlat") == 0) {
-      if (!support::parseUnsignedFlag(argc, argv, I, 1, 1000000, V))
-        return usage(argv[0]);
-      Cfg.Cache.MemLatency = static_cast<unsigned>(V);
-    } else if (std::strcmp(argv[I], "--icount") == 0) {
-      Cfg.Fetch = sim::FetchPolicy::ICount;
-    } else if (std::strcmp(argv[I], "--throttle") == 0) {
-      Cfg.EnableSSPThrottle = true;
-    } else if (std::strcmp(argv[I], "--no-skip") == 0) {
-      Cfg.SkipIdleCycles = false;
-    } else if (std::strcmp(argv[I], "--jobs") == 0) {
-      if (!support::parseUnsignedFlag(argc, argv, I, 1, 512, V))
-        return usage(argv[0]);
-      Jobs = static_cast<unsigned>(V);
-    } else if (std::strcmp(argv[I], "--report=attrib") == 0) {
-      ReportAttrib = true;
-    } else if (std::strcmp(argv[I], "--trace") == 0 && I + 1 < argc) {
-      TracePath = argv[++I];
-    } else if (argv[I][0] == '-') {
-      return usage(argv[0]);
-    } else {
-      Paths.push_back(argv[I]);
-    }
-  }
+  support::FlagParser Parser(argc, argv);
+  Parser.flag("--ooo", Ooo)
+      .flag("--contexts", Cfg.NumThreads, 1, 8)
+      .flag("--memlat", Cfg.Cache.MemLatency, 1, 1000000)
+      .flag("--icount", ICount)
+      .flag("--throttle", Throttle)
+      .flag("--no-skip", NoSkip)
+      .flag("--jobs", Jobs, 0, 512)
+      .flag("--trace", TracePath)
+      .flagEq("--report",
+              [&ReportAttrib](const char *V) {
+                if (!V || std::strcmp(V, "attrib") != 0)
+                  return false;
+                ReportAttrib = true;
+                return true;
+              })
+      .flagEq("--sample", [&Cfg](const char *V) {
+        if (!V) {
+          Cfg.Sample = sim::SamplingPlan::defaults();
+          return true;
+        }
+        return sim::parseSamplingPlan(V, Cfg.Sample);
+      });
+  if (!Parser.parse(&Paths))
+    return usage(argv[0]);
+  if (Ooo)
+    Cfg.Pipeline = sim::PipelineKind::OutOfOrder;
+  if (ICount)
+    Cfg.Fetch = sim::FetchPolicy::ICount;
+  Cfg.EnableSSPThrottle = Throttle;
+  Cfg.SkipIdleCycles = !NoSkip;
   if (Paths.empty())
     return usage(argv[0]);
   if (TracePath && Paths.size() != 1) {
     std::fprintf(stderr, "error: --trace requires a single input file\n");
+    return usage(argv[0]);
+  }
+  if (TracePath && Cfg.Sample.enabled()) {
+    // The obs contract under sampling: an extrapolated run has no faithful
+    // per-event stream, so event tracing is rejected rather than silently
+    // emitting a truncated trace.
+    std::fprintf(stderr, "error: --trace cannot be combined with --sample "
+                         "(sampled runs do not emit event traces)\n");
     return usage(argv[0]);
   }
 

@@ -18,7 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
-#include "support/Args.h"
+#include "support/FlagParser.h"
 #include "verify/PassManager.h"
 
 #include <cstdio>
@@ -57,30 +57,19 @@ bool parseFile(const char *Path, ir::Program &P) {
 } // namespace
 
 int main(int argc, char **argv) {
-  const char *Path = nullptr, *OrigPath = nullptr;
+  const char *OrigPath = nullptr;
   bool Json = false, Werror = false, Quiet = false;
   uint64_t Limit = UINT64_MAX; // Findings to print (all by default).
-  for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--json") == 0)
-      Json = true;
-    else if (std::strcmp(argv[I], "--Werror") == 0)
-      Werror = true;
-    else if (std::strcmp(argv[I], "--quiet") == 0)
-      Quiet = true;
-    else if (std::strcmp(argv[I], "--limit") == 0) {
-      if (!support::parseUnsignedFlag(argc, argv, I, 0, UINT64_MAX, Limit))
-        return usage(argv[0]);
-    } else if (std::strcmp(argv[I], "--orig") == 0 && I + 1 < argc)
-      OrigPath = argv[++I];
-    else if (argv[I][0] == '-')
-      return usage(argv[0]);
-    else if (Path)
-      return usage(argv[0]);
-    else
-      Path = argv[I];
-  }
-  if (!Path)
+  std::vector<std::string> Paths;
+  support::FlagParser Parser(argc, argv);
+  Parser.flag("--json", Json)
+      .flag("--Werror", Werror)
+      .flag("--quiet", Quiet)
+      .flag("--limit", Limit, 0, UINT64_MAX)
+      .flag("--orig", OrigPath);
+  if (!Parser.parse(&Paths) || Paths.size() != 1)
     return usage(argv[0]);
+  const char *Path = Paths[0].c_str();
 
   ir::Program P, Orig;
   if (!parseFile(Path, P))
