@@ -44,6 +44,25 @@ add_custom_target(bench-smoke
   COMMENT "Running skip + sampling differentials + end-to-end bench smoke (2 jobs)"
   VERBATIM)
 
+ssp_add_bench(bench_serve)
+
+# `cmake --build build --target bench-serve` drives the AdaptService the
+# way a client drives ssp-adaptd: framed protocol requests, cold (fresh
+# daemon state) vs warm (content-cache hit), verifying every response
+# byte-identical to the one-shot library path. Writes BENCH_serve.json
+# with reqs/sec + p50/p95/p99 latency per regime and the warm/cold ratio;
+# scripts/check_serve_json.py validates it in CI.
+add_custom_target(bench-serve
+  COMMAND ${CMAKE_COMMAND}
+          -DBENCH_BIN=$<TARGET_FILE:bench_serve>
+          -DOUT=${CMAKE_BINARY_DIR}/BENCH_serve.json
+          -DJOBS=2
+          -DREQUIRE=warm_over_cold
+          -P ${CMAKE_SOURCE_DIR}/bench/emit_json.cmake
+  DEPENDS bench_serve
+  COMMENT "Load-testing the serving layer (cold vs warm) on mcf + stress"
+  VERBATIM)
+
 add_executable(bench_tool_micro ${CMAKE_SOURCE_DIR}/bench/bench_tool_micro.cpp)
 target_link_libraries(bench_tool_micro PRIVATE ssp_harness
                       benchmark::benchmark)

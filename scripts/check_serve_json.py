@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_serve.json report emitted by bench_serve.
+
+    check_serve_json.py <BENCH_serve.json> [--min-warm-over-cold X]
+
+Stdlib only (json + sys): CI must not grow dependencies. Always checks
+the report's shape, bounds, and the byte-identity flag; the warm-over-
+cold speedup is only gated when --min-warm-over-cold is given (wall-time
+ratios are only meaningful on quiet machines — CI passes it via
+SSP_CI_SPEEDUP). Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+REGIME_KEYS = (
+    "requests",
+    "reqs_per_sec",
+    "latency_p50_us",
+    "latency_p95_us",
+    "latency_p99_us",
+    "latency_mean_us",
+)
+
+
+def fail(msg):
+    sys.stderr.write("check_serve_json: %s\n" % msg)
+    sys.exit(1)
+
+
+def check_regime(doc, name):
+    if name not in doc or not isinstance(doc[name], dict):
+        fail("missing object %r" % name)
+    regime = doc[name]
+    for key in REGIME_KEYS:
+        if key not in regime:
+            fail("%s missing key %r" % (name, key))
+        if not isinstance(regime[key], (int, float)) or regime[key] < 0:
+            fail("%s.%s must be a non-negative number, got %r"
+                 % (name, key, regime[key]))
+    if regime["requests"] < 1:
+        fail("%s.requests must be >= 1" % name)
+    if regime["reqs_per_sec"] <= 0:
+        fail("%s.reqs_per_sec must be positive" % name)
+    p50, p95, p99 = (regime["latency_p50_us"], regime["latency_p95_us"],
+                     regime["latency_p99_us"])
+    if not p50 <= p95 <= p99:
+        fail("%s percentiles not monotone: p50=%s p95=%s p99=%s"
+             % (name, p50, p95, p99))
+    return regime
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: check_serve_json.py <BENCH_serve.json> "
+             "[--min-warm-over-cold X]")
+    min_ratio = None
+    if "--min-warm-over-cold" in argv:
+        i = argv.index("--min-warm-over-cold")
+        if i + 1 >= len(argv):
+            fail("--min-warm-over-cold needs a value")
+        min_ratio = float(argv[i + 1])
+
+    with open(argv[1]) as f:
+        doc = json.load(f)
+
+    for key in ("jobs", "corpus", "byte_identical", "warm_over_cold"):
+        if key not in doc:
+            fail("missing key %r" % key)
+    if not isinstance(doc["corpus"], list) or not doc["corpus"]:
+        fail("corpus must be a non-empty list")
+    for want in ("mcf", "stress_32x8x2"):
+        if want not in doc["corpus"]:
+            fail("corpus missing %r" % want)
+    # The hard correctness bit: every served response matched the
+    # one-shot tool output byte for byte.
+    if doc["byte_identical"] is not True:
+        fail("byte_identical is %r — served responses diverged from the "
+             "one-shot tool output" % doc["byte_identical"])
+
+    cold = check_regime(doc, "cold")
+    warm = check_regime(doc, "warm")
+    if warm["requests"] < cold["requests"]:
+        fail("warm.requests (%s) < cold.requests (%s): the warm regime "
+             "must be sampled at least as densely"
+             % (warm["requests"], cold["requests"]))
+
+    ratio = doc["warm_over_cold"]
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        fail("warm_over_cold must be a positive number, got %r" % ratio)
+    if min_ratio is not None and ratio < min_ratio:
+        fail("warm_over_cold %.2f below the required %.2f" % (ratio, min_ratio))
+
+    # The embedded serve.* metrics must agree with the regime counts:
+    # every warm request was a cache hit.
+    metrics = doc.get("serve_metrics", {})
+    counters = metrics.get("counters", {}) if isinstance(metrics, dict) else {}
+    if counters:
+        hits = counters.get("serve.cache_hits")
+        if hits is not None and hits < warm["requests"]:
+            fail("serve.cache_hits (%s) < warm requests (%s): warm regime "
+                 "was not actually served from the cache" % (hits, warm["requests"]))
+
+    print("serve report ok: cold %.1f req/s, warm %.1f req/s (%.1fx)%s"
+          % (cold["reqs_per_sec"], warm["reqs_per_sec"], ratio,
+             ", gated >= %.1fx" % min_ratio if min_ratio is not None else ""))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -65,21 +65,52 @@ else
   python3 scripts/check_sample_error.py build-ci/BENCH_smoke.json
 fi
 
+echo "== Serving layer (ssp-adaptd pipe + bench-serve) =="
+# Daemon smoke: frame two identical requests (miss, then a hit across a
+# flush boundary) through a real ssp-adaptd pipe; both must come back ok.
+./build-ci/tools/ssp-adapt examples/listsum.ssp \
+  --emit-profile build-ci/listsum.sspprof >/dev/null
+serve_request() { # id program profile
+  printf 'request %s\n' "$1"
+  printf 'program %s\n' "$(wc -c <"$2")"; cat "$2"
+  printf 'profile %s\n' "$(wc -c <"$3")"; cat "$3"
+  printf 'end\n'
+}
+{
+  serve_request r1 examples/listsum.ssp build-ci/listsum.sspprof
+  printf 'flush\n'
+  serve_request r2 examples/listsum.ssp build-ci/listsum.sspprof
+} | ./build-ci/tools/ssp-adaptd >build-ci/served.txt
+grep -q '^response r1 ok$' build-ci/served.txt
+grep -q '^response r2 ok$' build-ci/served.txt
+# The load generator re-checks every response byte-for-byte against the
+# one-shot tool output and reports cold/warm throughput + latency. The
+# warm-over-cold speedup is only gated on quiet machines (SSP_CI_SPEEDUP,
+# same switch as the sampling-speedup gate).
+cmake --build build-ci --target bench-serve
+if [[ -n "${SSP_CI_SPEEDUP:-}" ]]; then
+  python3 scripts/check_serve_json.py build-ci/BENCH_serve.json \
+    --min-warm-over-cold 10
+else
+  python3 scripts/check_serve_json.py build-ci/BENCH_serve.json
+fi
+
 echo "== Sanitized build (ASan+UBSan) + tests =="
 cmake -B build-asan -S . -DSSP_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 # Optional third matrix entry: ThreadSanitizer over the concurrent paths
-# (the parallel simulation harness and the tool's parallel candidate
-# generation). Enable with SSP_CI_TSAN=1; off by default because TSan
+# (the parallel simulation harness, the tool's parallel candidate
+# generation, and the daemon's batched request execution). Enable with SSP_CI_TSAN=1; off by default because TSan
 # roughly doubles CI wall time on top of the ASan pass.
 if [[ "${SSP_CI_TSAN:-0}" != 0 ]]; then
   echo "== Sanitized build (TSan) + concurrency tests =="
   cmake -B build-tsan -S . -DSSP_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target tool_parallel_test parallel_test
+  cmake --build build-tsan -j "$JOBS" \
+    --target tool_parallel_test parallel_test serve_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'ToolParallelDeterminism|Parallel'
+    -R 'ToolParallelDeterminism|Parallel|Serve'
 fi
 
 echo "CI OK"

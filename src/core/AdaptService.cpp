@@ -1,0 +1,663 @@
+//===- core/AdaptService.cpp - The adaptation-as-a-service engine ---------===//
+
+#include "core/AdaptService.h"
+
+#include "core/AnalysisCache.h"
+#include "core/PostPassTool.h"
+#include "core/ReportRender.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "obs/Percentile.h"
+#include "obs/Registry.h"
+#include "profile/ProfileIO.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+using namespace ssp;
+using namespace ssp::core;
+
+//===----------------------------------------------------------------------===//
+// Request options: strict parsing + canonical rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string trimmed(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+bool strictU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  Out = 0;
+  for (char Ch : S) {
+    if (!std::isdigit(static_cast<unsigned char>(Ch)))
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(Ch - '0');
+    if (Out > (~0ULL - Digit) / 10)
+      return false;
+    Out = Out * 10 + Digit;
+  }
+  return true;
+}
+
+bool strictBool(const std::string &S, bool &Out) {
+  if (S == "1" || S == "true") {
+    Out = true;
+    return true;
+  }
+  if (S == "0" || S == "false") {
+    Out = false;
+    return true;
+  }
+  return false;
+}
+
+bool strictFraction(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtod(S.c_str(), &End);
+  return End == S.c_str() + S.size() && std::isfinite(Out) && Out >= 0.0 &&
+         Out <= 1.0;
+}
+
+std::string fmtDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+/// Applies one `option KEY=VALUE` to \p TO; false + \p Msg on error.
+/// The key set mirrors the semantic ToolOptions knobs — serving-level
+/// knobs (jobs, metrics) are daemon flags, not request options, so they
+/// can never split the cache key.
+bool applyOption(core::ToolOptions &TO, const std::string &Key,
+                 const std::string &Value, std::string &Msg) {
+  uint64_t U = 0;
+  bool B = false;
+  double D = 0;
+  auto Bad = [&](const char *Want) {
+    Msg = "option " + Key + ": expected " + Want + ", got '" + Value + "'";
+    return false;
+  };
+  if (Key == "chaining")
+    return strictBool(Value, TO.EnableChaining) || Bad("0/1");
+  if (Key == "cond-prediction")
+    return strictBool(Value, TO.EnableConditionPrediction) || Bad("0/1");
+  if (Key == "coverage") {
+    if (!strictFraction(Value, D))
+      return Bad("a fraction in [0, 1]");
+    TO.DelinquentCoverage = D;
+    return true;
+  }
+  if (Key == "cutoff") {
+    if (!strictFraction(Value, D))
+      return Bad("a fraction in [0, 1]");
+    TO.ReducedMissCutoff = D;
+    return true;
+  }
+  if (Key == "inner-unroll") {
+    if (!strictU64(Value, U) || U < 1 || U > 64)
+      return Bad("an integer in [1, 64]");
+    TO.InnerUnroll = static_cast<unsigned>(U);
+    return true;
+  }
+  if (Key == "loop-rotation")
+    return strictBool(Value, TO.EnableLoopRotation) || Bad("0/1");
+  if (Key == "max-depth") {
+    if (!strictU64(Value, U) || U < 1 || U > 64)
+      return Bad("an integer in [1, 64]");
+    TO.MaxRegionDepth = static_cast<unsigned>(U);
+    return true;
+  }
+  if (Key == "max-loads") {
+    if (!strictU64(Value, U) || U < 1 || U > 4096)
+      return Bad("an integer in [1, 4096]");
+    TO.MaxDelinquentLoads = static_cast<unsigned>(U);
+    return true;
+  }
+  if (Key == "min-slack") {
+    if (!strictU64(Value, U))
+      return Bad("an unsigned integer");
+    TO.MinSlackCycles = U;
+    return true;
+  }
+  if (Key == "reject-store-dep")
+    return strictBool(Value, TO.Slicing.RejectStoreDependent) || Bad("0/1");
+  if (Key == "restart-triggers")
+    return strictBool(Value, TO.EnableRestartTriggers) || Bad("0/1");
+  if (Key == "slice-max") {
+    if (!strictU64(Value, U) || U < 1 || U > 4096)
+      return Bad("an integer in [1, 4096]");
+    TO.Slicing.MaxSize = static_cast<unsigned>(U);
+    return true;
+  }
+  if (Key == "speculative") {
+    if (!strictBool(Value, B))
+      return Bad("0/1");
+    TO.EnableSpeculativeSlicing = B;
+    return true;
+  }
+  if (Key == "trip-budget") {
+    if (!strictU64(Value, U) || U < 1)
+      return Bad("a positive integer");
+    TO.MaxTripBudget = U;
+    return true;
+  }
+  Msg = "option " + Key + ": unknown option";
+  return false;
+}
+
+/// Canonical option text: every semantic knob, fixed (alphabetical)
+/// order, defaults filled in — so two requests that differ only in how
+/// they spelled the defaults share one cache key.
+std::string canonicalOptionsText(const core::ToolOptions &TO) {
+  std::string S;
+  S += "chaining=" + std::string(TO.EnableChaining ? "1" : "0") + "\n";
+  S += "cond-prediction=" +
+       std::string(TO.EnableConditionPrediction ? "1" : "0") + "\n";
+  S += "coverage=" + fmtDouble(TO.DelinquentCoverage) + "\n";
+  S += "cutoff=" + fmtDouble(TO.ReducedMissCutoff) + "\n";
+  S += "inner-unroll=" + std::to_string(TO.InnerUnroll) + "\n";
+  S += "loop-rotation=" + std::string(TO.EnableLoopRotation ? "1" : "0") +
+       "\n";
+  S += "max-depth=" + std::to_string(TO.MaxRegionDepth) + "\n";
+  S += "max-loads=" + std::to_string(TO.MaxDelinquentLoads) + "\n";
+  S += "min-slack=" + std::to_string(TO.MinSlackCycles) + "\n";
+  S += "reject-store-dep=" +
+       std::string(TO.Slicing.RejectStoreDependent ? "1" : "0") + "\n";
+  S += "restart-triggers=" +
+       std::string(TO.EnableRestartTriggers ? "1" : "0") + "\n";
+  S += "slice-max=" + std::to_string(TO.Slicing.MaxSize) + "\n";
+  S += "speculative=" +
+       std::string(TO.EnableSpeculativeSlicing ? "1" : "0") + "\n";
+  S += "trip-budget=" + std::to_string(TO.MaxTripBudget) + "\n";
+  return S;
+}
+
+/// The subset of option text the AnalysisCache construction depends on:
+/// the warm-memo key. Requests differing only in non-analysis knobs
+/// (coverage, trip budget, ...) share one warm analysis state.
+std::string analysisOptionsText(const core::ToolOptions &TO) {
+  slicer::SliceOptions SO = core::PostPassTool::sliceOptionsOf(TO);
+  sched::ScheduleOptions SchO = core::PostPassTool::scheduleOptionsOf(TO);
+  std::string S;
+  S += "cond-prediction=" +
+       std::string(SchO.EnableConditionPrediction ? "1" : "0") + "\n";
+  S += "loop-rotation=" + std::string(SchO.EnableLoopRotation ? "1" : "0") +
+       "\n";
+  S += "reject-store-dep=" +
+       std::string(SO.RejectStoreDependent ? "1" : "0") + "\n";
+  S += "slice-max=" + std::to_string(SO.MaxSize) + "\n";
+  S += "speculative=" + std::string(SO.Speculative ? "1" : "0") + "\n";
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Request and warm-state records
+//===----------------------------------------------------------------------===//
+
+struct AdaptService::Request {
+  std::string Id = "?";
+  bool HaveProgram = false, HaveProfile = false;
+  std::string ProgramText, ProfileText;
+  std::vector<std::pair<std::string, std::string>> RawOptions;
+  /// First framing/semantic error; non-empty turns the whole request
+  /// into an `error` response.
+  std::string Error;
+
+  // Execution state.
+  core::ToolOptions TO;
+  ServeKey Key;
+  std::string Report, Binary;
+  bool IsHit = false;
+  int DupOf = -1; ///< Index of an identical earlier miss in this batch.
+  WarmEntry *Entry = nullptr;
+
+  void fail(std::string Msg) {
+    if (Error.empty())
+      Error = std::move(Msg);
+  }
+  bool isMiss() const {
+    return Error.empty() && !IsHit && DupOf < 0;
+  }
+};
+
+struct AdaptService::WarmEntry {
+  std::string ProgramText, ProfileText, AnalysisOpts;
+  slicer::SliceOptions SliceOpts;
+  sched::ScheduleOptions SchedOpts;
+
+  ir::Program Prog;
+  ir::DataImage Data;
+  profile::ProfileData PD;
+  std::optional<AnalysisCache> AC;
+  std::string Error; ///< Parse/validation failure; sticky for reuse.
+  bool Built = false;
+
+  /// Parses and validates the texts, then builds the analyses. Runs on a
+  /// pool worker; touches only this entry.
+  void build() {
+    Built = true;
+    std::string Err;
+    if (!ir::parseProgram(ProgramText, Prog, Err, &Data)) {
+      Error = "program: " + Err;
+      return;
+    }
+    std::vector<std::string> Diags = ir::verify(Prog);
+    if (!Diags.empty()) {
+      Error = "program: " + Diags.front();
+      return;
+    }
+    if (!profile::parseProfileText(ProfileText, PD, Err)) {
+      Error = "profile: " + Err;
+      return;
+    }
+    // Cross-validate the profile against the program: sizes the parser
+    // cannot know, and the call records CallGraph::build indexes with.
+    if (PD.BlockCounts.size() != Prog.numFuncs()) {
+      Error = "profile: function count " +
+              std::to_string(PD.BlockCounts.size()) +
+              " does not match program (" +
+              std::to_string(Prog.numFuncs()) + " functions)";
+      return;
+    }
+    auto SiteOk = [&](const analysis::InstRef &Site) {
+      return Site.Func < Prog.numFuncs() &&
+             Site.Block < Prog.func(Site.Func).numBlocks() &&
+             Site.Inst <
+                 Prog.func(Site.Func).block(Site.Block).Insts.size();
+    };
+    for (const analysis::DirectCallCount &C : PD.CallSiteCounts)
+      if (!SiteOk(C.Site)) {
+        Error = "profile: call site " + C.Site.str() + " out of range";
+        return;
+      }
+    for (const analysis::IndirectCallTarget &T : PD.IndirectTargets)
+      if (!SiteOk(T.Site) || T.Callee >= Prog.numFuncs()) {
+        Error = "profile: icall record " + T.Site.str() + " -> fn" +
+                std::to_string(T.Callee) + " out of range";
+        return;
+      }
+    AC.emplace(Prog, PD, SliceOpts, SchedOpts);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Service
+//===----------------------------------------------------------------------===//
+
+AdaptService::AdaptService(const ServeOptions &Opts)
+    : Opts(Opts), Pool(Opts.Jobs), Cache(Opts.CacheBytes) {}
+
+AdaptService::~AdaptService() = default;
+
+AdaptService::WarmEntry *
+AdaptService::findWarm(const std::string &ProgramText,
+                       const std::string &ProfileText,
+                       const std::string &AnalysisOpts) {
+  for (auto It = Warm.begin(); It != Warm.end(); ++It) {
+    WarmEntry &E = **It;
+    if (E.ProgramText == ProgramText && E.ProfileText == ProfileText &&
+        E.AnalysisOpts == AnalysisOpts) {
+      Warm.splice(Warm.begin(), Warm, It); // Refresh LRU.
+      if (Opts.Metrics)
+        Opts.Metrics->addCounter("serve.warm_hits");
+      return Warm.front().get();
+    }
+  }
+  auto E = std::make_unique<WarmEntry>();
+  E->ProgramText = ProgramText;
+  E->ProfileText = ProfileText;
+  E->AnalysisOpts = AnalysisOpts;
+  Warm.push_front(std::move(E));
+  if (Opts.Metrics)
+    Opts.Metrics->addCounter("serve.warm_builds");
+  return Warm.front().get();
+}
+
+void AdaptService::executeBatch(std::vector<Request> &Batch,
+                                std::ostream &Out) {
+  if (Batch.empty())
+    return;
+  obs::Registry *M = Opts.Metrics;
+  if (M)
+    M->addCounter("serve.batches");
+
+  // Stage 1 (serial): options, cache keys, result-cache lookups, and
+  // batch-local dedup. Serial lookups keep hit/miss accounting and LRU
+  // order independent of --jobs.
+  {
+    obs::ScopedTimerMs T(M, "serve.lookup_ms");
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Request &R = Batch[I];
+      if (!R.Error.empty())
+        continue;
+      if (!R.HaveProgram) {
+        R.fail("request '" + R.Id + "': missing program section");
+        continue;
+      }
+      if (!R.HaveProfile) {
+        R.fail("request '" + R.Id + "': missing profile section");
+        continue;
+      }
+      std::string Msg;
+      for (const auto &[Key, Value] : R.RawOptions)
+        if (!applyOption(R.TO, Key, Value, Msg)) {
+          R.fail(Msg);
+          break;
+        }
+      if (!R.Error.empty())
+        continue;
+      R.TO.FatalOnVerifyError = false;
+      R.TO.Metrics = M;
+      R.TO.Pool = &Pool;
+      R.Key = ServeKey{R.ProgramText, R.ProfileText,
+                       canonicalOptionsText(R.TO)};
+      if (const ServeResult *Hit = Cache.lookup(R.Key)) {
+        R.Report = Hit->Report;
+        R.Binary = Hit->Binary;
+        R.IsHit = true;
+        continue;
+      }
+      for (size_t J = 0; J < I; ++J)
+        if (Batch[J].isMiss() && Batch[J].Key == R.Key) {
+          R.DupOf = static_cast<int>(J);
+          break;
+        }
+    }
+  }
+
+  // Stage 2 (serial): attach each miss to its warm analysis state,
+  // creating unbuilt entries for unseen (program, profile, analysis-
+  // options) triples.
+  std::vector<WarmEntry *> ToBuild;
+  for (Request &R : Batch) {
+    if (!R.isMiss())
+      continue;
+    R.Entry = findWarm(R.ProgramText, R.ProfileText,
+                       analysisOptionsText(R.TO));
+    if (!R.Entry->Built) {
+      R.Entry->SliceOpts = PostPassTool::sliceOptionsOf(R.TO);
+      R.Entry->SchedOpts = PostPassTool::scheduleOptionsOf(R.TO);
+      if (std::find(ToBuild.begin(), ToBuild.end(), R.Entry) ==
+          ToBuild.end())
+        ToBuild.push_back(R.Entry);
+    }
+  }
+
+  // Stage 3 (parallel): parse + analyze new programs, then run every
+  // miss. Each worker touches only its own entry/request slot, and
+  // adaptWith() fans out further on the same pool — the cooperative
+  // parallelFor makes the nesting safe.
+  {
+    obs::ScopedTimerMs T(M, "serve.analysis_ms");
+    Pool.parallelFor(ToBuild.size(),
+                     [&](size_t I) { ToBuild[I]->build(); });
+  }
+  std::vector<size_t> Misses;
+  for (size_t I = 0; I < Batch.size(); ++I)
+    if (Batch[I].isMiss())
+      Misses.push_back(I);
+  std::vector<double> MissUs(Misses.size(), 0.0);
+  {
+    obs::ScopedTimerMs T(M, "serve.adapt_ms");
+    Pool.parallelFor(Misses.size(), [&](size_t I) {
+      Request &R = Batch[Misses[I]];
+      WarmEntry &E = *R.Entry;
+      if (!E.Error.empty()) {
+        R.fail(E.Error);
+        return;
+      }
+      auto Start = std::chrono::steady_clock::now();
+      PostPassTool Tool(E.Prog, E.PD, R.TO);
+      AdaptationReport Rep;
+      ir::Program Enhanced = Tool.adaptWith(&*E.AC, &Rep);
+      R.Report = renderReportText(E.PD.BaselineCycles, Rep);
+      R.Binary = Enhanced.str();
+      MissUs[I] = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    });
+  }
+  for (double Us : MissUs)
+    if (Us > 0.0)
+      LatencyUs.push_back(Us);
+
+  // Stage 4 (serial, request order): resolve duplicates, publish results
+  // into the cache, and write the responses. Insertion order — and with
+  // it eviction order — is therefore deterministic for any job count.
+  {
+    obs::ScopedTimerMs T(M, "serve.respond_ms");
+    for (Request &R : Batch) {
+      if (R.DupOf >= 0 && R.Error.empty()) {
+        const Request &Src = Batch[static_cast<size_t>(R.DupOf)];
+        if (Src.Error.empty()) {
+          R.Report = Src.Report;
+          R.Binary = Src.Binary;
+        } else {
+          R.fail(Src.Error);
+        }
+      }
+      if (R.Error.empty() && !R.IsHit && R.DupOf < 0)
+        Cache.insert(R.Key, ServeResult{R.Report, R.Binary});
+      ++Served;
+      if (!R.Error.empty()) {
+        Out << "response " << R.Id << " error\n"
+            << "message " << R.Error.size() << "\n"
+            << R.Error << "\n"
+            << "end\n";
+      } else {
+        Out << "response " << R.Id << " ok\n"
+            << "report " << R.Report.size() << "\n"
+            << R.Report << "\n"
+            << "binary " << R.Binary.size() << "\n"
+            << R.Binary << "\n"
+            << "end\n";
+      }
+      if (M) {
+        M->addCounter("serve.requests");
+        M->addCounter(R.Error.empty() ? "serve.responses_ok"
+                                      : "serve.responses_error");
+      }
+    }
+  }
+
+  // Stage 5: retire warm state beyond the budget (never an entry this
+  // batch just used — those were all refreshed to the front).
+  while (Warm.size() > Opts.WarmPrograms)
+    Warm.pop_back();
+
+  if (M) {
+    const ServeCache::Stats &St = Cache.stats();
+    M->setCounter("serve.cache_hits", St.Hits);
+    M->setCounter("serve.cache_misses", St.Misses);
+    M->setCounter("serve.cache_evictions", St.Evictions);
+    M->setCounter("serve.cache_collisions", St.Collisions);
+    M->setCounter("serve.cache_entries", Cache.size());
+    M->setCounter("serve.cache_bytes", Cache.usedBytes());
+  }
+}
+
+uint64_t AdaptService::serve(std::istream &In, std::ostream &Out) {
+  uint64_t ServedBefore = Served;
+  std::vector<Request> Batch;
+  uint64_t LineNo = 0;
+  std::string Line;
+
+  auto Located = [&](const std::string &Msg) {
+    return "line " + std::to_string(LineNo) + ": " + Msg;
+  };
+  // After a framing error inside a request the payload boundary is
+  // unknown; skip forward to the next lone `end` so the session can
+  // continue. (Payload bytes that happen to contain an `end` line will
+  // mis-resync — the price of broken framing; the daemon still answers
+  // every subsequent well-formed request.)
+  auto Resync = [&] {
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      if (trimmed(Line) == "end")
+        return;
+    }
+  };
+  // Reads an N-byte length-prefixed payload plus its terminating
+  // newline; false + a located error on truncation.
+  auto ReadPayload = [&](uint64_t N, std::string &PayloadOut,
+                         std::string &Err) {
+    PayloadOut.assign(N, '\0');
+    if (N > 0)
+      In.read(&PayloadOut[0], static_cast<std::streamsize>(N));
+    if (static_cast<uint64_t>(In.gcount()) != N) {
+      PayloadOut.resize(static_cast<size_t>(std::max<std::streamsize>(
+          In.gcount(), 0)));
+      Err = Located("truncated payload (got " +
+                    std::to_string(PayloadOut.size()) + " of " +
+                    std::to_string(N) + " bytes)");
+      return false;
+    }
+    // One optional newline terminates the frame: explicit-framing clients
+    // send `<N bytes>\n`, shell clients `cat` files whose own trailing
+    // newline is already inside the byte count. Directive lines never
+    // start with '\n', so consuming it only when present is unambiguous.
+    LineNo += static_cast<uint64_t>(
+        std::count(PayloadOut.begin(), PayloadOut.end(), '\n'));
+    if (In.peek() == '\n') {
+      In.get();
+      ++LineNo;
+    }
+    return true;
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string T = trimmed(Line);
+    if (T.empty() || T[0] == '#')
+      continue;
+    if (T == "flush") {
+      executeBatch(Batch, Out);
+      Batch.clear();
+      Out.flush();
+      continue;
+    }
+    if (T.compare(0, 8, "request ") != 0 && T != "request") {
+      Request Bad;
+      Bad.fail(Located("expected 'request' or 'flush', got '" + T + "'"));
+      Batch.push_back(std::move(Bad));
+      continue;
+    }
+
+    Request R;
+    {
+      std::string Id = T == "request" ? "" : trimmed(T.substr(8));
+      if (Id.empty() || Id.find(' ') != std::string::npos) {
+        R.fail(Located("'request' needs a single id token"));
+        Batch.push_back(std::move(R));
+        Resync();
+        continue;
+      }
+      R.Id = Id;
+    }
+
+    // Section loop, until `end`.
+    bool Ended = false;
+    while (!Ended) {
+      if (!std::getline(In, Line)) {
+        R.fail(Located("unexpected end of input inside request '" + R.Id +
+                       "'"));
+        break;
+      }
+      ++LineNo;
+      T = trimmed(Line);
+      if (T.empty() || T[0] == '#')
+        continue;
+      if (T == "end") {
+        Ended = true;
+        break;
+      }
+      bool IsProgram = T.compare(0, 8, "program ") == 0;
+      bool IsProfile = T.compare(0, 8, "profile ") == 0;
+      if (IsProgram || IsProfile) {
+        uint64_t N = 0;
+        if (!strictU64(trimmed(T.substr(8)), N)) {
+          R.fail(Located("bad payload length in '" + T + "'"));
+          Resync();
+          break;
+        }
+        std::string Payload, Err;
+        if (!ReadPayload(N, Payload, Err)) {
+          R.fail(Err);
+          break; // Truncation means EOF: nothing left to resync over.
+        }
+        bool &Have = IsProgram ? R.HaveProgram : R.HaveProfile;
+        if (Have) {
+          R.fail(Located(std::string("duplicate '") +
+                         (IsProgram ? "program" : "profile") +
+                         "' section"));
+          continue; // Framing is intact; keep consuming to `end`.
+        }
+        Have = true;
+        (IsProgram ? R.ProgramText : R.ProfileText) = std::move(Payload);
+        continue;
+      }
+      if (T.compare(0, 7, "option ") == 0) {
+        std::string Rest = trimmed(T.substr(7));
+        size_t Eq = Rest.find('=');
+        if (Eq == std::string::npos || Eq == 0) {
+          R.fail(Located("malformed option (want KEY=VALUE): '" + Rest +
+                         "'"));
+          continue;
+        }
+        R.RawOptions.emplace_back(trimmed(Rest.substr(0, Eq)),
+                                  trimmed(Rest.substr(Eq + 1)));
+        continue;
+      }
+      R.fail(Located("expected 'program', 'profile', 'option', or 'end', "
+                     "got '" +
+                     T + "'"));
+      Resync();
+      break;
+    }
+    Batch.push_back(std::move(R));
+  }
+  executeBatch(Batch, Out); // EOF is the final flush.
+  Out.flush();
+  return Served - ServedBefore;
+}
+
+std::string AdaptService::processBatch(const std::string &Session) {
+  std::istringstream In(Session);
+  std::ostringstream Out;
+  serve(In, Out);
+  return Out.str();
+}
+
+void AdaptService::flushLatencyMetrics() {
+  if (!Opts.Metrics || LatencyUs.empty())
+    return;
+  obs::PercentileSet P;
+  for (double Us : LatencyUs)
+    P.record(Us);
+  auto AsUs = [](double V) { return static_cast<uint64_t>(V + 0.5); };
+  Opts.Metrics->setCounter("serve.latency_p50_us", AsUs(P.percentile(50)));
+  Opts.Metrics->setCounter("serve.latency_p95_us", AsUs(P.percentile(95)));
+  Opts.Metrics->setCounter("serve.latency_p99_us", AsUs(P.percentile(99)));
+  Opts.Metrics->setCounter("serve.latency_mean_us", AsUs(P.mean()));
+  Opts.Metrics->setCounter("serve.latency_samples", P.count());
+}

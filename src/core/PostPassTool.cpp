@@ -14,6 +14,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <set>
 
 using namespace ssp;
@@ -25,7 +26,25 @@ PostPassTool::PostPassTool(const Program &Orig,
                            const profile::ProfileData &PD, ToolOptions Opts)
     : Orig(Orig), PD(PD), Opts(Opts) {}
 
+slicer::SliceOptions PostPassTool::sliceOptionsOf(const ToolOptions &Opts) {
+  slicer::SliceOptions SOpts = Opts.Slicing;
+  SOpts.Speculative = Opts.EnableSpeculativeSlicing;
+  return SOpts;
+}
+
+sched::ScheduleOptions PostPassTool::scheduleOptionsOf(const ToolOptions &Opts) {
+  sched::ScheduleOptions SchedOpts;
+  SchedOpts.EnableLoopRotation = Opts.EnableLoopRotation;
+  SchedOpts.EnableConditionPrediction = Opts.EnableConditionPrediction;
+  return SchedOpts;
+}
+
 Program PostPassTool::adapt(AdaptationReport *Report) {
+  return adaptWith(nullptr, Report);
+}
+
+Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
+                                AdaptationReport *Report) {
   // Stage wall-time metrics (off unless the caller supplied a registry;
   // the adaptation itself is identical either way).
   auto StageStart = std::chrono::steady_clock::now();
@@ -39,15 +58,15 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
     StageStart = NowT;
   };
 
-  slicer::SliceOptions SOpts = Opts.Slicing;
-  SOpts.Speculative = Opts.EnableSpeculativeSlicing;
-  sched::ScheduleOptions SchedOpts;
-  SchedOpts.EnableLoopRotation = Opts.EnableLoopRotation;
-  SchedOpts.EnableConditionPrediction = Opts.EnableConditionPrediction;
-
-  // Every analysis is built once here; candidate generation below only
-  // reads it (const-shared across ThreadPool workers when Jobs != 1).
-  AnalysisCache AC(Orig, PD, SOpts, SchedOpts);
+  // Every analysis is built once (or arrives warm from the serving
+  // daemon's memo); candidate generation below only reads it
+  // (const-shared across ThreadPool workers when Jobs != 1).
+  std::optional<AnalysisCache> OwnAC;
+  if (!ExternalAC) {
+    OwnAC.emplace(Orig, PD, sliceOptionsOf(Opts), scheduleOptionsOf(Opts));
+    ExternalAC = &*OwnAC;
+  }
+  const AnalysisCache &AC = *ExternalAC;
   const ProgramDeps &Deps = AC.deps();
   const RegionGraph &RG = AC.regions();
   const CallGraph &CG = AC.calls();
@@ -114,9 +133,14 @@ Program PostPassTool::adapt(AdaptationReport *Report) {
   // loop bodies inline on this thread).
   std::vector<Candidate> Slots(DLoads.size());
   std::vector<uint8_t> HasSlot(DLoads.size(), 0);
-  support::ThreadPool Pool(Opts.Jobs);
+  std::optional<support::ThreadPool> OwnPool;
+  support::ThreadPool *Pool = Opts.Pool;
+  if (!Pool) {
+    OwnPool.emplace(Opts.Jobs);
+    Pool = &*OwnPool;
+  }
 
-  Pool.parallelFor(DLoads.size(), [&](size_t LoadIdx) {
+  Pool->parallelFor(DLoads.size(), [&](size_t LoadIdx) {
     const profile::DelinquentLoad &D = DLoads[LoadIdx];
     // Worker-private slicer/scheduler: cheap copies sharing the cache's
     // precomputed summary and call-cost tables, owning only scratch.

@@ -33,7 +33,13 @@
 #include <string>
 #include <vector>
 
+namespace ssp::support {
+class ThreadPool;
+}
+
 namespace ssp::core {
+
+class AnalysisCache;
 
 /// Tuning options of the tool (defaults follow the paper).
 struct ToolOptions {
@@ -97,6 +103,13 @@ struct ToolOptions {
   /// Null (the default) disables all metric collection; the adaptation
   /// output is identical either way (`ssp-adapt --metrics out.json`).
   obs::Registry *Metrics = nullptr;
+
+  /// Optional external worker pool. When set, adapt() fans candidate
+  /// generation out on it instead of constructing a private pool (and
+  /// Jobs is ignored). The serving daemon points every request at one
+  /// process-wide pool; parallelFor's cooperative wait makes the nested
+  /// use (requests over loads) safe. Results are unchanged either way.
+  support::ThreadPool *Pool = nullptr;
 
   slicer::SliceOptions Slicing;
 };
@@ -168,6 +181,19 @@ public:
 
   /// Runs the full pipeline and returns the SSP-enhanced binary.
   ir::Program adapt(AdaptationReport *Report = nullptr);
+
+  /// Like adapt(), but reuses a prebuilt AnalysisCache instead of building
+  /// one — the serving daemon's warm path, which keeps per-program
+  /// analyses alive across requests. \p AC must have been constructed from
+  /// this tool's program/profile with sliceOptionsOf/scheduleOptionsOf of
+  /// these options; null falls back to building locally.
+  ir::Program adaptWith(const AnalysisCache *AC,
+                        AdaptationReport *Report = nullptr);
+
+  /// The slicing options adapt() derives from \p Opts — the AnalysisCache
+  /// construction parameters, exposed so external caches match exactly.
+  static slicer::SliceOptions sliceOptionsOf(const ToolOptions &Opts);
+  static sched::ScheduleOptions scheduleOptionsOf(const ToolOptions &Opts);
 
 private:
   const ir::Program &Orig;

@@ -1,0 +1,26 @@
+//===- core/ReportRender.cpp - Canonical adaptation-report text -----------===//
+
+#include "core/ReportRender.h"
+
+#include "core/PostPassTool.h"
+
+using namespace ssp;
+using namespace ssp::core;
+
+std::string core::renderReportText(uint64_t BaselineCycles,
+                                   const AdaptationReport &Rep) {
+  std::string S = "profiled: " + std::to_string(BaselineCycles) +
+                  " baseline in-order cycles\n";
+  S += "delinquent loads: " + std::to_string(Rep.DelinquentLoads) +
+       "   slices: " + std::to_string(Rep.numSlices()) +
+       " (interprocedural " + std::to_string(Rep.numInterprocedural()) +
+       ")   triggers: " + std::to_string(Rep.Rewrite.TriggersInserted) + "\n";
+  for (const SliceReport &R : Rep.Slices)
+    S += "  " + R.FunctionName + " @ " + R.Load.str() + ": " +
+         std::to_string(R.Size) + " insts, " + std::to_string(R.LiveIns) +
+         " live-ins, " + std::string(sched::modelName(R.Model)) +
+         " SP, slack " + std::to_string(R.SlackPerIteration) + "\n";
+  S += "verified: " + std::to_string(Rep.VerifyErrors) + " error(s), " +
+       std::to_string(Rep.VerifyWarnings) + " warning(s)\n";
+  return S;
+}

@@ -1,0 +1,41 @@
+//===- core/ReportRender.h - Canonical adaptation-report text -------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one canonical text rendering of an adaptation run's outcome,
+/// shared by the `ssp-adapt` CLI (stdout) and the `ssp-adaptd` daemon
+/// (the `report` payload of a response). Serving correctness is defined
+/// as byte-identity against the one-shot tool for any job count and any
+/// cache hit/miss interleaving; routing both front ends through this
+/// single renderer is what makes that a structural property instead of
+/// two printf sequences kept in sync by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_CORE_REPORTRENDER_H
+#define SSP_CORE_REPORTRENDER_H
+
+#include <cstdint>
+#include <string>
+
+namespace ssp::core {
+
+struct AdaptationReport;
+
+/// Renders the adaptation outcome exactly as `ssp-adapt` prints it:
+///
+///   profiled: <BaselineCycles> baseline in-order cycles
+///   delinquent loads: <N>   slices: <N> (interprocedural <N>)   triggers: <N>
+///     <func> @ <ref>: <N> insts, <N> live-ins, <model> SP, slack <N>
+///   verified: <E> error(s), <W> warning(s)
+///
+/// \p BaselineCycles is the profile's baseline timing-run cycle count.
+std::string renderReportText(uint64_t BaselineCycles,
+                             const AdaptationReport &Rep);
+
+} // namespace ssp::core
+
+#endif // SSP_CORE_REPORTRENDER_H

@@ -7,6 +7,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 using namespace ssp;
@@ -216,6 +217,8 @@ private:
       return error("expected ':' after function header");
     CurFunc = &Out.addFunction(Name);
     CurBlock = ~0u;
+    UnannotatedId = 0;
+    UsedIds.clear();
     if (IsEntry)
       Out.setEntry(CurFunc->getIndex());
     return true;
@@ -313,9 +316,21 @@ private:
     return true;
   }
 
-  void emit(Instruction I) {
-    I.Id = CurFunc->nextInstId();
+  /// Assigns \p I its static id and appends it to the current block. An
+  /// explicit `@N` annotation wins; otherwise ids count up over the
+  /// function's *unannotated* instructions, mirroring Program::str(),
+  /// which emits an annotation exactly when an id deviates from this
+  /// default. Ids must be unique within the function (the same invariant
+  /// ir::verify enforces); rejecting the collision here gives the error a
+  /// line number.
+  bool emit(Instruction I, int64_t AnnotatedId) {
+    I.Id = AnnotatedId >= 0 ? static_cast<uint32_t>(AnnotatedId)
+                            : UnannotatedId++;
+    if (!UsedIds.insert(I.Id).second)
+      return error("duplicate instruction id @" + std::to_string(I.Id));
+    CurFunc->setInstIdWatermark(I.Id + 1);
     CurFunc->block(CurBlock).Insts.push_back(I);
+    return true;
   }
 
   bool parseInstruction(LineCursor &C) {
@@ -463,10 +478,17 @@ private:
     if (!Ok)
       return Msg.empty() ? error("malformed operands for '" + Mn + "'")
                          : false;
+    // Optional static-id annotation: `@N` pins this instruction's id (see
+    // emit()). Strict like every other number: digits only, in range.
+    int64_t AnnotatedId = -1;
+    if (C.eat("@")) {
+      if (!C.integer(AnnotatedId) || AnnotatedId < 0 ||
+          AnnotatedId > int64_t(~0u))
+        return error("bad instruction id annotation");
+    }
     if (!C.atEnd())
       return error("trailing junk after instruction");
-    emit(I);
-    return true;
+    return emit(I, AnnotatedId);
   }
 
   static bool suffixIsLib(const std::string &S) {
@@ -481,6 +503,8 @@ private:
   std::string Msg;
   Function *CurFunc = nullptr;
   uint32_t CurBlock = ~0u;
+  uint32_t UnannotatedId = 0; ///< Default-id counter of the current function.
+  std::unordered_set<uint32_t> UsedIds; ///< Ids taken in the current function.
 };
 
 } // namespace

@@ -15,7 +15,16 @@
 ///   program   := function+
 ///   function  := "function" NAME "(fn" N ")" ["[entry]"] ":" block+
 ///   block     := "bb" N "<" NAME ">" ["[stub]"|"[slice]"] ":" inst*
-///   inst      := mnemonic operands        (exactly the printer's syntax)
+///   inst      := mnemonic operands ["@" N]   (exactly the printer's syntax)
+///
+/// The optional `@N` suffix pins the instruction's static id. Without it,
+/// ids count up over the function's unannotated instructions — the same
+/// default Program::str() assumes, which emits `@N` exactly where an id
+/// deviates (in practice: the chk.c triggers a rewrite inserts mid-block
+/// after allocating attachment ids). Ids must be unique per function.
+/// Profiles have their own text format (`.sspprof`, see
+/// profile/ProfileIO.h) keyed by these ids, so a (program, profile) pair
+/// round-trips through text with sid-keyed data intact.
 ///
 /// Examples of instruction syntax accepted (and printed):
 ///

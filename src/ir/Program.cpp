@@ -207,6 +207,16 @@ std::string Program::str() const {
     if (FI == EntryFunc)
       S += " [entry]";
     S += ":\n";
+    // Static instruction ids are carried by the text format only where
+    // they deviate from the parser's default numbering (one counter of
+    // *unannotated* instructions per function). A builder-produced
+    // function whose ids follow layout order prints without any
+    // annotations; an adapted function prints a compact `@id` suffix on
+    // exactly the out-of-order instructions (the inserted chk.c triggers,
+    // whose ids are allocated after the attachment blocks'). Reparsing
+    // then reconstructs every id — sid-keyed data (cache profiles,
+    // prefetch attribution) survives the text round trip bit-identically.
+    uint32_t DefaultId = 0;
     for (const BasicBlock &BB : F.blocks()) {
       S += "  bb" + std::to_string(BB.Index) + " <" + BB.Name + ">";
       if (BB.Kind == BlockKind::Stub)
@@ -214,8 +224,14 @@ std::string Program::str() const {
       else if (BB.Kind == BlockKind::Slice)
         S += " [slice]";
       S += ":\n";
-      for (const Instruction &I : BB.Insts)
-        S += "    " + I.str() + "\n";
+      for (const Instruction &I : BB.Insts) {
+        S += "    " + I.str();
+        if (I.Id == DefaultId)
+          ++DefaultId;
+        else
+          S += " @" + std::to_string(I.Id);
+        S += "\n";
+      }
     }
   }
   return S;

@@ -1,0 +1,320 @@
+//===- profile/ProfileIO.cpp - Text serialization for ProfileData ---------===//
+
+#include "profile/ProfileIO.h"
+
+#include "profile/Profile.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace ssp;
+using namespace ssp::profile;
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+std::string profile::writeProfileText(const ProfileData &PD) {
+  std::string S = "sspprof v1\n";
+  S += "baseline " + std::to_string(PD.BaselineCycles) + "\n";
+  S += "funcs " + std::to_string(PD.BlockCounts.size()) + "\n";
+  for (size_t F = 0; F < PD.BlockCounts.size(); ++F) {
+    const std::vector<uint64_t> &Row = PD.BlockCounts[F];
+    S += "blockcounts " + std::to_string(F) + " " +
+         std::to_string(Row.size()) + ":";
+    for (uint64_t C : Row)
+      S += " " + std::to_string(C);
+    S += "\n";
+  }
+  for (size_t F = 0; F < PD.EdgeCounts.size(); ++F)
+    for (const auto &[Edge, Count] : PD.EdgeCounts[F])
+      S += "edge " + std::to_string(F) + " " + std::to_string(Edge.first) +
+           " " + std::to_string(Edge.second) + " " + std::to_string(Count) +
+           "\n";
+  for (const analysis::DirectCallCount &C : PD.CallSiteCounts)
+    S += "call " + std::to_string(C.Site.Func) + " " +
+         std::to_string(C.Site.Block) + " " + std::to_string(C.Site.Inst) +
+         " " + std::to_string(C.Count) + "\n";
+  for (const analysis::IndirectCallTarget &T : PD.IndirectTargets)
+    S += "icall " + std::to_string(T.Site.Func) + " " +
+         std::to_string(T.Site.Block) + " " + std::to_string(T.Site.Inst) +
+         " " + std::to_string(T.Callee) + " " + std::to_string(T.Count) +
+         "\n";
+  // File order of `load` records is the cache profile's insertion order —
+  // meaningful, and preserved by the parser.
+  for (const auto &[Sid, St] : PD.Loads) {
+    S += "load " + std::to_string(ir::staticIdFunc(Sid)) + " " +
+         std::to_string(ir::staticIdInst(Sid)) + " " +
+         std::to_string(St.Accesses);
+    for (uint64_t H : St.Hits)
+      S += " " + std::to_string(H);
+    for (uint64_t P : St.Partials)
+      S += " " + std::to_string(P);
+    S += " " + std::to_string(St.MissCycles) + "\n";
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A cursor over one `.sspprof` line: lower-case keywords and strict
+/// unsigned decimal numbers (no sign, no hex, overflow rejected).
+class Cursor {
+public:
+  explicit Cursor(const std::string &Line) : Text(Line) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size() || Text[Pos] == '#';
+  }
+
+  std::string word() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           std::isalpha(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  bool eat(char C) {
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool number(uint64_t &Out) {
+    skipSpace();
+    if (Pos >= Text.size() ||
+        !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return false;
+    Out = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      uint64_t Digit = static_cast<uint64_t>(Text[Pos] - '0');
+      if (Out > (~0ULL - Digit) / 10)
+        return false; // overflow
+      Out = Out * 10 + Digit;
+      ++Pos;
+    }
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+class ProfParser {
+public:
+  ProfParser(const std::string &Text, ProfileData &PD) : PD(PD) {
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line))
+      Lines.push_back(Line);
+  }
+
+  bool run(std::string &Error) {
+    bool SawHeader = false;
+    for (LineNo = 0; LineNo < Lines.size(); ++LineNo) {
+      Cursor C(Lines[LineNo]);
+      if (C.atEnd())
+        continue;
+      if (!SawHeader) {
+        if (C.word() != "sspprof" || C.word() != "v" || !expect(C, Version) ||
+            Version != 1 || !end(C))
+          return error(Error, "expected 'sspprof v1' header");
+        SawHeader = true;
+        continue;
+      }
+      std::string Kw = C.word();
+      bool Ok;
+      if (Kw == "baseline")
+        Ok = parseBaseline(C);
+      else if (Kw == "funcs")
+        Ok = parseFuncs(C);
+      else if (Kw == "blockcounts")
+        Ok = parseBlockCounts(C);
+      else if (Kw == "edge")
+        Ok = parseEdge(C);
+      else if (Kw == "call")
+        Ok = parseCall(C);
+      else if (Kw == "icall")
+        Ok = parseICall(C);
+      else if (Kw == "load")
+        Ok = parseLoad(C);
+      else
+        return error(Error, "unknown record '" + Kw + "'");
+      if (!Ok)
+        return error(Error, Msg.empty() ? "malformed '" + Kw + "' record"
+                                        : Msg);
+    }
+    if (!SawHeader)
+      return error(Error, "empty profile: missing 'sspprof v1' header");
+    return true;
+  }
+
+private:
+  bool parseBaseline(Cursor &C) {
+    if (SawBaseline)
+      return failed("duplicate 'baseline' record");
+    if (!C.number(PD.BaselineCycles) || !end(C))
+      return false;
+    SawBaseline = true;
+    return true;
+  }
+
+  bool parseFuncs(Cursor &C) {
+    if (SawFuncs)
+      return failed("duplicate 'funcs' record");
+    uint64_t N;
+    if (!expect(C, N) || !end(C) || !fits32(N))
+      return false;
+    PD.BlockCounts.resize(N);
+    PD.EdgeCounts.resize(N);
+    SawFuncs = true;
+    return true;
+  }
+
+  bool parseBlockCounts(Cursor &C) {
+    uint64_t F, N;
+    if (!func(C, F) || !expect(C, N) || !C.eat(':'))
+      return false;
+    std::vector<uint64_t> &Row = PD.BlockCounts[F];
+    if (!Row.empty())
+      return failed("duplicate 'blockcounts' for fn" + std::to_string(F));
+    Row.resize(N);
+    for (uint64_t I = 0; I < N; ++I)
+      if (!C.number(Row[I]))
+        return failed("expected " + std::to_string(N) + " counts");
+    return end(C);
+  }
+
+  bool parseEdge(Cursor &C) {
+    uint64_t F, From, To, Count;
+    if (!func(C, F) || !expect(C, From) || !expect(C, To) ||
+        !expect(C, Count) || !end(C) || !fits32(From) || !fits32(To))
+      return false;
+    if (!PD.EdgeCounts[F]
+             .emplace(std::make_pair(uint32_t(From), uint32_t(To)), Count)
+             .second)
+      return failed("duplicate 'edge' record");
+    return true;
+  }
+
+  bool parseCall(Cursor &C) {
+    analysis::DirectCallCount R;
+    uint64_t F, B, I, Count;
+    if (!func(C, F) || !expect(C, B) || !expect(C, I) || !expect(C, Count) ||
+        !end(C) || !fits32(B) || !fits32(I))
+      return false;
+    R.Site = {uint32_t(F), uint32_t(B), uint32_t(I)};
+    R.Count = Count;
+    // CallGraph::build requires the vector sorted by Site; demanding the
+    // canonical order here keeps the precondition a parse-time error
+    // instead of a downstream assertion.
+    if (!PD.CallSiteCounts.empty() && !(PD.CallSiteCounts.back().Site < R.Site))
+      return failed("'call' records out of order");
+    PD.CallSiteCounts.push_back(R);
+    return true;
+  }
+
+  bool parseICall(Cursor &C) {
+    analysis::IndirectCallTarget R;
+    uint64_t F, B, I, Callee, Count;
+    if (!func(C, F) || !expect(C, B) || !expect(C, I) || !expect(C, Callee) ||
+        !expect(C, Count) || !end(C) || !fits32(B) || !fits32(I) ||
+        !fits32(Callee))
+      return false;
+    R.Site = {uint32_t(F), uint32_t(B), uint32_t(I)};
+    R.Callee = uint32_t(Callee);
+    R.Count = Count;
+    if (!PD.IndirectTargets.empty()) {
+      const analysis::IndirectCallTarget &Prev = PD.IndirectTargets.back();
+      if (!(Prev.Site < R.Site ||
+            (Prev.Site == R.Site && Prev.Callee < R.Callee)))
+        return failed("'icall' records out of order");
+    }
+    PD.IndirectTargets.push_back(R);
+    return true;
+  }
+
+  bool parseLoad(Cursor &C) {
+    uint64_t F, Id;
+    cache::PcCacheStats St;
+    if (!func(C, F) || !expect(C, Id) || !fits32(Id) || !C.number(St.Accesses))
+      return false;
+    for (uint64_t &H : St.Hits)
+      if (!C.number(H))
+        return false;
+    for (uint64_t &P : St.Partials)
+      if (!C.number(P))
+        return false;
+    if (!C.number(St.MissCycles) || !end(C))
+      return false;
+    ir::StaticId Sid = ir::makeStaticId(uint32_t(F), uint32_t(Id));
+    if (PD.Loads.count(Sid))
+      return failed("duplicate 'load' record");
+    PD.Loads[Sid] = St;
+    return true;
+  }
+
+  /// Parses a function index and bounds it against the 'funcs' record
+  /// (which must therefore come first).
+  bool func(Cursor &C, uint64_t &F) {
+    if (!SawFuncs)
+      return failed("record before 'funcs'");
+    if (!expect(C, F))
+      return false;
+    if (F >= PD.BlockCounts.size())
+      return failed("function index " + std::to_string(F) + " out of range");
+    return true;
+  }
+
+  bool expect(Cursor &C, uint64_t &Out) { return C.number(Out); }
+
+  bool end(Cursor &C) {
+    return C.atEnd() ? true : failed("trailing junk after record");
+  }
+
+  bool fits32(uint64_t V) {
+    return V <= ~0u ? true : failed("value out of 32-bit range");
+  }
+
+  bool failed(std::string M) {
+    if (Msg.empty())
+      Msg = std::move(M);
+    return false;
+  }
+
+  bool error(std::string &Error, const std::string &M) {
+    Error = "line " + std::to_string(LineNo + 1) + ": " + M;
+    return false;
+  }
+
+  ProfileData &PD;
+  std::vector<std::string> Lines;
+  size_t LineNo = 0;
+  uint64_t Version = 0;
+  std::string Msg;
+  bool SawHeader = false, SawBaseline = false, SawFuncs = false;
+};
+
+} // namespace
+
+bool profile::parseProfileText(const std::string &Text, ProfileData &PD,
+                               std::string &Error) {
+  return ProfParser(Text, PD).run(Error);
+}

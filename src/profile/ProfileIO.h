@@ -1,0 +1,58 @@
+//===- profile/ProfileIO.h - Text serialization for ProfileData -----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `.sspprof` text format: a printer + strict parser for ProfileData,
+/// symmetric with ir::Parser the way Program::str() is. Together the two
+/// formats let a complete adaptation request — program text plus profile
+/// text — arrive as bytes over a pipe (the `ssp-adaptd` protocol) instead
+/// of being assembled programmatically.
+///
+/// Grammar (one record per line; '#' starts a comment; all counts are
+/// unsigned decimal):
+///
+///   profile     := "sspprof v1" record*
+///   record      := "baseline" CYCLES
+///                | "funcs" NFUNCS
+///                | "blockcounts" FUNC N ":" COUNT{N}
+///                | "edge" FUNC FROM TO COUNT
+///                | "call" FUNC BLOCK INST COUNT
+///                | "icall" FUNC BLOCK INST CALLEE COUNT
+///                | "load" FUNC INSTID ACCESSES H0 H1 H2 H3 P0 P1 P2 P3
+///                         MISSCYCLES
+///
+/// `load` is keyed by (function index, static instruction id) — the same
+/// ids the program text pins with `@N` annotations (ir/Parser.h) — and
+/// file order is meaningful: it is the cache profile's insertion order,
+/// which downstream consumers iterate deterministically. writeProfileText
+/// emits records in a canonical order (header, baseline, funcs,
+/// blockcounts by function, edges, calls, icalls, loads), so
+/// write(parse(write(PD))) is byte-identical to write(PD).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_PROFILE_PROFILEIO_H
+#define SSP_PROFILE_PROFILEIO_H
+
+#include <string>
+
+namespace ssp::profile {
+
+struct ProfileData;
+
+/// Renders \p PD in the `.sspprof` text format (canonical record order).
+std::string writeProfileText(const ProfileData &PD);
+
+/// Parses `.sspprof` text into \p PD (which must be default-constructed).
+/// Strict: unknown records, missing fields, trailing junk, out-of-range
+/// numbers, and out-of-order sorted records all fail. On failure returns
+/// false and sets \p Error to "line N: message".
+bool parseProfileText(const std::string &Text, ProfileData &PD,
+                      std::string &Error);
+
+} // namespace ssp::profile
+
+#endif // SSP_PROFILE_PROFILEIO_H

@@ -1,0 +1,25 @@
+//===- support/Hash.cpp - Stable 64-bit content hashing -------------------===//
+
+#include "support/Hash.h"
+
+using namespace ssp;
+using namespace ssp::support;
+
+static constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+uint64_t ssp::support::hashBytes(const void *Data, size_t Len, uint64_t H) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t ssp::support::hashValue(uint64_t Value, uint64_t H) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= (Value >> (8 * I)) & 0xFF;
+    H *= FnvPrime;
+  }
+  return H;
+}

@@ -1,0 +1,46 @@
+//===- support/Hash.h - Stable 64-bit content hashing ---------------------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable 64-bit content hash (FNV-1a) for the adaptation service's
+/// content-addressed cache: request payloads (program text, profile text,
+/// canonical option text) are keyed by their hash, with the full bytes
+/// compared on every hit — the hash narrows the search, it is never
+/// trusted alone. FNV-1a is used deliberately instead of std::hash:
+/// the value is part of the serving contract (logged, reported in
+/// metrics, usable across processes), so it must not vary by standard
+/// library, platform, or process (std::hash<std::string> may be seeded
+/// per process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_SUPPORT_HASH_H
+#define SSP_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ssp::support {
+
+/// FNV-1a offset basis: the hash of zero bytes.
+inline constexpr uint64_t HashSeed = 0xcbf29ce484222325ULL;
+
+/// Folds \p Len bytes at \p Data into \p H (FNV-1a step).
+uint64_t hashBytes(const void *Data, size_t Len, uint64_t H = HashSeed);
+
+/// Content hash of a string's bytes.
+inline uint64_t hashString(const std::string &S, uint64_t H = HashSeed) {
+  return hashBytes(S.data(), S.size(), H);
+}
+
+/// Mixes \p Value into \p H as 8 little-endian bytes (endian-independent:
+/// the bytes are derived by shifting, not by reinterpreting memory).
+uint64_t hashValue(uint64_t Value, uint64_t H);
+
+} // namespace ssp::support
+
+#endif // SSP_SUPPORT_HASH_H

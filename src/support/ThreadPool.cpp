@@ -2,6 +2,7 @@
 
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <memory>
 
 using namespace ssp;
@@ -61,6 +62,19 @@ std::future<void> ThreadPool::submit(std::function<void()> Fn) {
   return Fut;
 }
 
+bool ThreadPool::runOneTask() {
+  std::packaged_task<void()> Task;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Queue.empty())
+      return false;
+    Task = std::move(Queue.front());
+    Queue.pop_front();
+  }
+  Task();
+  return true;
+}
+
 void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
   if (NumThreads <= 1 || N <= 1) {
     for (size_t I = 0; I < N; ++I)
@@ -75,6 +89,18 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
   Futures.reserve(N);
   for (size_t I = 0; I < N; ++I)
     Futures.push_back(submit([Shared, I] { (*Shared)(I); }));
+  // Cooperative wait: while our tasks are pending, drain and run whatever
+  // sits in the queue (ours or another waiter's) instead of sleeping. A
+  // thread therefore never blocks on a task that is merely *queued* — it
+  // only blocks once the queue is empty, at which point the awaited task
+  // is provably running on another thread (or done). That makes nested
+  // parallelFor on one shared pool deadlock-free: the serving layer fans
+  // out over requests while each request fans out over delinquent loads.
+  for (std::future<void> &F : Futures)
+    while (F.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready)
+      if (!runOneTask())
+        F.wait();
   for (std::future<void> &F : Futures)
     F.get(); // Rethrows the first failure in index order.
 }

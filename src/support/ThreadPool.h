@@ -51,9 +51,12 @@ public:
   /// before submit returns.
   std::future<void> submit(std::function<void()> Fn);
 
-  /// Runs Fn(0..N-1), blocking until all complete. The calling thread
-  /// participates by draining its own futures; with an inline pool this is
-  /// a plain loop.
+  /// Runs Fn(0..N-1), blocking until all complete. With an inline pool
+  /// this is a plain loop. Otherwise the wait is *cooperative*: while its
+  /// tasks are pending the calling thread pops and runs queued tasks (any
+  /// waiter's), and blocks only when the queue is empty — so nesting
+  /// parallelFor inside a pool task is safe; one process-wide pool can
+  /// carry request-level parallelism layered over per-request fan-out.
   void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
 
   /// max(1, std::thread::hardware_concurrency()).
@@ -61,6 +64,9 @@ public:
 
 private:
   void workerLoop();
+
+  /// Pops and runs one queued task; false if the queue was empty.
+  bool runOneTask();
 
   unsigned NumThreads;
   std::vector<std::thread> Workers;

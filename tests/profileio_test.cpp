@@ -1,0 +1,162 @@
+//===- tests/profileio_test.cpp - .sspprof text format round trips --------===//
+//
+// The profile half of the serving serialization: writeProfileText and
+// parseProfileText must round-trip every real profile byte-identically
+// (canonical order in, canonical order out) and reconstruct every field
+// the adaptation pipeline consumes. The negative fixtures pin the strict
+// located-error contract malformed daemon requests rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProfiledFixture.h"
+#include "profile/ProfileIO.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssp;
+using namespace ssp::profile;
+using namespace ssp::workloads;
+
+namespace {
+
+void expectProfilesEqual(const ProfileData &A, const ProfileData &B) {
+  EXPECT_EQ(A.BaselineCycles, B.BaselineCycles);
+  ASSERT_EQ(A.BlockCounts.size(), B.BlockCounts.size());
+  for (size_t F = 0; F < A.BlockCounts.size(); ++F)
+    EXPECT_EQ(A.BlockCounts[F], B.BlockCounts[F]) << "fn" << F;
+  ASSERT_EQ(A.EdgeCounts.size(), B.EdgeCounts.size());
+  for (size_t F = 0; F < A.EdgeCounts.size(); ++F)
+    EXPECT_EQ(A.EdgeCounts[F], B.EdgeCounts[F]) << "fn" << F;
+  ASSERT_EQ(A.CallSiteCounts.size(), B.CallSiteCounts.size());
+  for (size_t I = 0; I < A.CallSiteCounts.size(); ++I) {
+    EXPECT_EQ(A.CallSiteCounts[I].Site, B.CallSiteCounts[I].Site);
+    EXPECT_EQ(A.CallSiteCounts[I].Count, B.CallSiteCounts[I].Count);
+  }
+  ASSERT_EQ(A.IndirectTargets.size(), B.IndirectTargets.size());
+  for (size_t I = 0; I < A.IndirectTargets.size(); ++I) {
+    EXPECT_EQ(A.IndirectTargets[I].Site, B.IndirectTargets[I].Site);
+    EXPECT_EQ(A.IndirectTargets[I].Callee, B.IndirectTargets[I].Callee);
+    EXPECT_EQ(A.IndirectTargets[I].Count, B.IndirectTargets[I].Count);
+  }
+  // Loads: identical keys in identical insertion order (the format
+  // defines file order as the map's order), identical counters.
+  ASSERT_EQ(A.Loads.size(), B.Loads.size());
+  auto BIt = B.Loads.begin();
+  for (const auto &[Sid, SA] : A.Loads) {
+    const auto &[SidB, SB] = *BIt++;
+    EXPECT_EQ(Sid, SidB);
+    EXPECT_EQ(SA.Accesses, SB.Accesses);
+    EXPECT_EQ(SA.MissCycles, SB.MissCycles);
+    for (unsigned L = 0; L < 4; ++L) {
+      EXPECT_EQ(SA.Hits[L], SB.Hits[L]);
+      EXPECT_EQ(SA.Partials[L], SB.Partials[L]);
+    }
+  }
+}
+
+TEST(ProfileIO, RoundTripsPaperSuiteByteIdentically) {
+  for (const Workload &W : paperSuite()) {
+    SCOPED_TRACE(W.Name);
+    const ProfileData &PD = profiledWorkload(W).PD;
+    std::string Text = writeProfileText(PD);
+    ProfileData Parsed;
+    std::string Err;
+    ASSERT_TRUE(parseProfileText(Text, Parsed, Err)) << Err;
+    expectProfilesEqual(PD, Parsed);
+    // write(parse(write(PD))) == write(PD): the canonical order is a
+    // fixpoint, so cache keys built from the text are stable.
+    EXPECT_EQ(writeProfileText(Parsed), Text);
+  }
+}
+
+TEST(ProfileIO, RoundTripsStressAndIndirectCalls) {
+  for (const Workload &W : {makeStress(8, 4, 2), makeHealth(), makeVpr()}) {
+    SCOPED_TRACE(W.Name);
+    const ProfileData &PD = profiledWorkload(W).PD;
+    std::string Text = writeProfileText(PD);
+    ProfileData Parsed;
+    std::string Err;
+    ASSERT_TRUE(parseProfileText(Text, Parsed, Err)) << Err;
+    expectProfilesEqual(PD, Parsed);
+  }
+}
+
+TEST(ProfileIO, CommentsAndBlankLinesAreIgnored) {
+  ProfileData PD;
+  std::string Err;
+  EXPECT_TRUE(parseProfileText("# hello\n\nsspprof v1\n# mid\nfuncs 1\n"
+                               "blockcounts 0 2: 5 6  # trailing\n"
+                               "baseline 42\n",
+                               PD, Err))
+      << Err;
+  EXPECT_EQ(PD.BaselineCycles, 42u);
+  ASSERT_EQ(PD.BlockCounts.size(), 1u);
+  EXPECT_EQ(PD.BlockCounts[0], (std::vector<uint64_t>{5, 6}));
+}
+
+struct BadCase {
+  const char *Name;
+  const char *Text;
+  const char *ErrSubstring;
+};
+
+TEST(ProfileIO, RejectsMalformedInputWithLocatedErrors) {
+  const BadCase Cases[] = {
+      {"missing header", "funcs 1\n", "header"},
+      {"wrong version", "sspprof v2\n", "header"},
+      {"empty", "", "missing 'sspprof v1' header"},
+      {"unknown record", "sspprof v1\nfuncs 1\nbogus 1 2\n",
+       "unknown record 'bogus'"},
+      {"record before funcs", "sspprof v1\nblockcounts 0 1: 3\n",
+       "before 'funcs'"},
+      {"func out of range", "sspprof v1\nfuncs 1\nedge 1 0 0 5\n",
+       "out of range"},
+      {"duplicate funcs", "sspprof v1\nfuncs 1\nfuncs 2\n",
+       "duplicate 'funcs'"},
+      {"duplicate baseline", "sspprof v1\nbaseline 1\nbaseline 2\n",
+       "duplicate 'baseline'"},
+      {"duplicate blockcounts",
+       "sspprof v1\nfuncs 1\nblockcounts 0 1: 3\nblockcounts 0 1: 4\n",
+       "duplicate 'blockcounts'"},
+      {"count arity", "sspprof v1\nfuncs 1\nblockcounts 0 3: 1 2\n",
+       "expected 3 counts"},
+      {"trailing junk", "sspprof v1\nfuncs 1\nbaseline 7 extra\n",
+       "trailing junk"},
+      {"negative number", "sspprof v1\nfuncs 1\nbaseline -4\n",
+       "malformed 'baseline'"},
+      {"overflow", "sspprof v1\nfuncs 1\nbaseline 99999999999999999999\n",
+       "malformed 'baseline'"},
+      {"duplicate edge", "sspprof v1\nfuncs 1\nedge 0 0 1 5\nedge 0 0 1 6\n",
+       "duplicate 'edge'"},
+      {"out-of-order calls",
+       "sspprof v1\nfuncs 2\ncall 1 0 0 5\ncall 0 0 0 6\n", "out of order"},
+      {"out-of-order icalls",
+       "sspprof v1\nfuncs 2\nicall 0 0 0 1 5\nicall 0 0 0 1 6\n",
+       "out of order"},
+      {"duplicate load",
+       "sspprof v1\nfuncs 1\nload 0 3 1 0 0 0 1 0 0 0 0 230\n"
+       "load 0 3 1 0 0 0 1 0 0 0 0 230\n",
+       "duplicate 'load'"},
+      {"short load record", "sspprof v1\nfuncs 1\nload 0 3 1 0 0\n",
+       "malformed 'load'"},
+  };
+  for (const BadCase &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    ProfileData PD;
+    std::string Err;
+    EXPECT_FALSE(parseProfileText(C.Text, PD, Err));
+    EXPECT_NE(Err.find("line "), std::string::npos) << Err;
+    EXPECT_NE(Err.find(C.ErrSubstring), std::string::npos) << Err;
+  }
+}
+
+TEST(ProfileIO, ErrorLineNumbersAreExact) {
+  ProfileData PD;
+  std::string Err;
+  EXPECT_FALSE(
+      parseProfileText("sspprof v1\nfuncs 1\n\nbogus\n", PD, Err));
+  EXPECT_EQ(Err.find("line 4:"), 0u) << Err;
+}
+
+} // namespace

@@ -19,6 +19,15 @@
 //   ssp-adapt input.ssp --metrics m.json write per-stage wall times and
 //                                        counters as JSON (the adaptation
 //                                        output is identical either way)
+//   ssp-adapt input.ssp --profile p.sspprof
+//                                        use a recorded profile instead of
+//                                        profiling in-process (the daemon's
+//                                        input form; output is identical
+//                                        when the profile matches)
+//   ssp-adapt input.ssp --emit-profile p.sspprof
+//                                        write the collected profile as
+//                                        .sspprof text (corpus builder for
+//                                        ssp-adaptd / bench_serve)
 //
 // The adapted binary is verified (see src/verify/) before the tool
 // returns: verification errors print to stderr and exit non-zero.
@@ -29,8 +38,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/PostPassTool.h"
+#include "core/ReportRender.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "profile/ProfileIO.h"
 #include "sim/Simulator.h"
 #include "support/FlagParser.h"
 
@@ -48,7 +59,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp> [--emit] [--run] [--no-chaining] "
                "[--jobs N] [--throttle] [--verbose] [--Werror] "
-               "[--metrics <out.json>]\n",
+               "[--metrics <out.json>] [--profile <in.sspprof>] "
+               "[--emit-profile <out.sspprof>]\n",
                Argv0);
   return 1;
 }
@@ -73,6 +85,8 @@ int main(int argc, char **argv) {
   if (argc < 2)
     return usage(argv[0]);
   const char *MetricsPath = nullptr;
+  const char *ProfilePath = nullptr;
+  const char *EmitProfilePath = nullptr;
   bool Emit = false, Run = false, Throttle = false, Werror = false;
   bool NoChaining = false;
   core::ToolOptions Opts;
@@ -91,6 +105,8 @@ int main(int argc, char **argv) {
       .flag("--no-chaining", NoChaining)
       .flag("--jobs", Opts.Jobs, 0, 512)
       .flag("--metrics", MetricsPath)
+      .flag("--profile", ProfilePath)
+      .flag("--emit-profile", EmitProfilePath)
       .flag("--throttle", Throttle)
       .flag("--verbose", Opts.Verbose)
       .flag("--Werror", Werror);
@@ -126,34 +142,60 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  // Pass 1 (Figure 1): profile the original binary on its data image.
-  auto BuildMemory = [&Data](mem::SimMemory &Mem) { applyData(Mem, Data); };
-  profile::ProfileData PD = core::profileProgram(Orig, BuildMemory);
-  std::printf("profiled: %llu baseline in-order cycles\n",
-              static_cast<unsigned long long>(PD.BaselineCycles));
+  // Pass 1 (Figure 1): profile the original binary on its data image —
+  // or load a recorded `.sspprof` (the form adaptation requests arrive
+  // in over the daemon protocol).
+  profile::ProfileData PD;
+  if (ProfilePath) {
+    std::ifstream PIn(ProfilePath);
+    if (!PIn) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", ProfilePath);
+      return 1;
+    }
+    std::stringstream PBuf;
+    PBuf << PIn.rdbuf();
+    if (!profile::parseProfileText(PBuf.str(), PD, Err)) {
+      std::fprintf(stderr, "%s: parse error: %s\n", ProfilePath,
+                   Err.c_str());
+      return 1;
+    }
+    if (PD.BlockCounts.size() != Orig.numFuncs()) {
+      std::fprintf(stderr,
+                   "%s: profile has %zu functions, program has %u\n",
+                   ProfilePath, PD.BlockCounts.size(), Orig.numFuncs());
+      return 1;
+    }
+  } else {
+    auto BuildMemory = [&Data](mem::SimMemory &Mem) {
+      applyData(Mem, Data);
+    };
+    PD = core::profileProgram(Orig, BuildMemory);
+  }
+  if (EmitProfilePath) {
+    std::ofstream POut(EmitProfilePath);
+    POut << profile::writeProfileText(PD);
+    if (!POut) {
+      std::fprintf(stderr, "error: cannot write profile to '%s'\n",
+                   EmitProfilePath);
+      return 1;
+    }
+  }
 
   // Pass 2: adapt.
   core::PostPassTool Tool(Orig, PD, Opts);
   core::AdaptationReport Rep;
   ir::Program Enhanced = Tool.adapt(&Rep);
 
-  std::printf("delinquent loads: %u   slices: %u (interprocedural %u)   "
-              "triggers: %u\n",
-              Rep.DelinquentLoads, Rep.numSlices(),
-              Rep.numInterprocedural(), Rep.Rewrite.TriggersInserted);
-  for (const core::SliceReport &S : Rep.Slices)
-    std::printf("  %s @ %s: %u insts, %u live-ins, %s SP, slack %llu\n",
-                S.FunctionName.c_str(), S.Load.str().c_str(), S.Size,
-                S.LiveIns, sched::modelName(S.Model),
-                static_cast<unsigned long long>(S.SlackPerIteration));
+  // The canonical report rendering — shared with ssp-adaptd, whose
+  // `report` response payload must be byte-identical to this block.
+  std::fputs(core::renderReportText(PD.BaselineCycles, Rep).c_str(),
+             stdout);
 
   // Verification findings over the adapted binary (collected by the tool;
   // errors mean the rewriter emitted an unsafe adaptation).
   for (const verify::Diagnostic &D : Rep.VerifyDiags)
     if (D.isError() || Opts.Verbose || Werror)
       std::fprintf(stderr, "%s\n", verify::renderText(D, &Enhanced).c_str());
-  std::printf("verified: %u error(s), %u warning(s)\n", Rep.VerifyErrors,
-              Rep.VerifyWarnings);
   bool VerifyFailed =
       Rep.VerifyErrors != 0 || (Werror && Rep.VerifyWarnings != 0);
 

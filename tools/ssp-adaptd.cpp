@@ -1,0 +1,110 @@
+//===- tools/ssp-adaptd.cpp - The adaptation daemon -----------------------===//
+//
+// Adaptation-as-a-service: a persistent front end over core::AdaptService
+// speaking the stdin-batch protocol (see core/AdaptService.h for the
+// grammar). Clients stream (program, profile, options) requests and read
+// back responses whose report/binary payloads are byte-identical to
+// one-shot `ssp-adapt` output — warm state (the content-addressed result
+// cache and per-program analyses) only changes latency, never bytes.
+//
+//   ssp-adaptd                          serve stdin until EOF
+//   ssp-adaptd --jobs N                 worker threads of the shared pool
+//                                       (0 = hardware concurrency; the
+//                                       responses are identical for any N)
+//   ssp-adaptd --cache-bytes N          result-cache byte budget
+//   ssp-adaptd --warm N                 warm analysis states to keep
+//   ssp-adaptd --metrics m.json         write serve.* counters, stage
+//                                       timers, and latency percentiles
+//                                       on exit
+//   ssp-adaptd --verbose                log batch summaries to stderr
+//
+// Quickstart (one request, shell-only):
+//
+//   P=examples/listsum.ssp
+//   ssp-adapt $P --emit-profile /tmp/p.sspprof >/dev/null
+//   { printf 'request r1\n'
+//     printf 'program %s\n' $(wc -c < $P); cat $P
+//     printf 'profile %s\n' $(wc -c < /tmp/p.sspprof); cat /tmp/p.sspprof
+//     printf 'end\nflush\n'; } | ssp-adaptd
+//
+// Malformed input (bad framing, truncated payloads, unparsable program
+// or profile text) produces located `error` responses; the daemon never
+// exits on bad requests, only on EOF.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdaptService.h"
+#include "obs/Registry.h"
+#include "support/FlagParser.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace ssp;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--cache-bytes N] [--warm N] "
+               "[--metrics <out.json>] [--verbose]\n",
+               Argv0);
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *MetricsPath = nullptr;
+  bool Verbose = false;
+  core::ServeOptions Opts;
+  Opts.Jobs = 0; // Daemon default: hardware concurrency.
+  uint64_t CacheBytes = Opts.CacheBytes;
+  unsigned Jobs = 0, WarmPrograms = Opts.WarmPrograms;
+  obs::Registry Metrics;
+
+  support::FlagParser Parser(argc, argv);
+  Parser.flag("--jobs", Jobs, 0, 512)
+      .flag("--cache-bytes", CacheBytes, 0, ~0ULL)
+      .flag("--warm", WarmPrograms, 1, 4096)
+      .flag("--metrics", MetricsPath)
+      .flag("--verbose", Verbose);
+  if (!Parser.parse())
+    return usage(argv[0]);
+  Opts.Jobs = Jobs;
+  Opts.CacheBytes = CacheBytes;
+  Opts.WarmPrograms = WarmPrograms;
+  if (MetricsPath)
+    Opts.Metrics = &Metrics;
+
+  core::AdaptService Service(Opts);
+  // Untie cin from cout: the protocol flushes explicitly per batch, and
+  // tied streams would force a flush on every read.
+  std::cin.tie(nullptr);
+  uint64_t N = Service.serve(std::cin, std::cout);
+
+  if (Verbose) {
+    const core::ServeCache::Stats &St = Service.cache().stats();
+    std::fprintf(stderr,
+                 "[ssp-adaptd] served %llu request(s): %llu hit(s), "
+                 "%llu miss(es), %llu eviction(s), %llu collision(s); "
+                 "cache %zu entries / %llu bytes\n",
+                 static_cast<unsigned long long>(N),
+                 static_cast<unsigned long long>(St.Hits),
+                 static_cast<unsigned long long>(St.Misses),
+                 static_cast<unsigned long long>(St.Evictions),
+                 static_cast<unsigned long long>(St.Collisions),
+                 Service.cache().size(),
+                 static_cast<unsigned long long>(
+                     Service.cache().usedBytes()));
+  }
+  if (MetricsPath) {
+    Service.flushLatencyMetrics();
+    if (!Metrics.writeJSON(MetricsPath)) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   MetricsPath);
+      return 1;
+    }
+  }
+  return 0;
+}
