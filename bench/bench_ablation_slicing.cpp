@@ -7,17 +7,49 @@
 // ("empirical results have shown that pure static slicing may introduce a
 // large number of unnecessary instructions").
 //
+// Second arm pair: speculation-aware dependence pruning (--spec-deps in
+// ssp-adapt). With it, may-dependence edges the profile shows cold are
+// dropped from the slices; without it, every conservative edge is honored.
+// The pair reports per-workload slice-length and speedup deltas and writes
+// them to the JSON report (BENCH_ablation.json via --out); every drop is
+// re-audited by the speculation.* verify pass, whose error count is part
+// of the report.
+//
+//   bench_ablation_slicing [--jobs N] [--out FILE] [--no-skip]
+//                          [--sample[=W:D:F[:R]]]
+//
 //===----------------------------------------------------------------------===//
 
 #include "harness/Experiment.h"
 #include "support/TablePrinter.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace ssp;
 using namespace ssp::harness;
 
+namespace {
+
+/// Confidence threshold of the spec-deps arm: an edge observed in at most
+/// this fraction of the consumer's executions is considered cold. The
+/// paper suite's prunable carried edges are either never activated
+/// (treeadd.bf's queue-tail cross flows) or activate once per pass (the
+/// mcf/vpr pointer resyncs), so a conservative 0.05 already separates
+/// them from the every-trip induction edges.
+constexpr double kSpecThreshold = 0.05;
+
+unsigned droppedEdges(const core::AdaptationReport &R) {
+  size_t N = 0;
+  for (const verify::SliceManifest &SM : R.Manifest.Slices)
+    N += SM.SpecDrops.size();
+  return static_cast<unsigned>(N);
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv);
   std::printf("=== Ablation: control-flow speculative slicing ===\n");
   printMachineBanner();
 
@@ -25,18 +57,25 @@ int main(int argc, char **argv) {
   core::ToolOptions NoSpec;
   NoSpec.EnableSpeculativeSlicing = false;
   SuiteRunner StaticOnly(NoSpec);
+  core::ToolOptions SpecDeps;
+  SpecDeps.EnableSpecDeps = true;
+  SpecDeps.SpecDepThreshold = kSpecThreshold;
+  SuiteRunner SpecOn(SpecDeps);
 
   // Warm every runner across the suite in parallel: one pool job per
-  // (runner, workload) pair; the report loop below then reads cached
+  // (runner, workload) pair; the report loops below then read cached
   // results, so the output is identical for any --jobs value.
   const std::vector<workloads::Workload> Suite = workloads::paperSuite();
-  SuiteRunner *Runners[] = {&Full, &StaticOnly};
-  support::ThreadPool Pool(jobsFromArgs(argc, argv));
-  const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
-  for (SuiteRunner *R : Runners)
-    R->setSamplingPlan(Sample);
-  Pool.parallelFor(2 * Suite.size(), [&](size_t I) {
-    Runners[I % 2]->run(Suite[I / 2], nullptr);
+  SuiteRunner *Runners[] = {&Full, &StaticOnly, &SpecOn};
+  constexpr size_t NumRunners = sizeof(Runners) / sizeof(Runners[0]);
+  support::ThreadPool Pool(Args.Jobs);
+  for (SuiteRunner *R : Runners) {
+    R->setSkipIdleCycles(!Args.NoSkip);
+    if (Args.Sample.enabled())
+      R->setSamplingPlan(Args.Sample);
+  }
+  Pool.parallelFor(NumRunners * Suite.size(), [&](size_t I) {
+    Runners[I % NumRunners]->run(Suite[I / NumRunners], nullptr);
   });
 
   TablePrinter T;
@@ -49,7 +88,7 @@ int main(int argc, char **argv) {
   T.cell(std::string("spec slices"));
   T.cell(std::string("static slices"));
 
-  for (const workloads::Workload &W : workloads::paperSuite()) {
+  for (const workloads::Workload &W : Suite) {
     const BenchResult &A = Full.run(W);
     const BenchResult &B = StaticOnly.run(W);
     T.row();
@@ -66,5 +105,97 @@ int main(int argc, char **argv) {
   std::printf("\npaper: slice-pruning (speculative + region-based slicing) "
               "is key for SSP — a precise slicing tool may not produce "
               "useful slices if precomputation is untimely.\n");
-  return 0;
+
+  std::printf("\n=== Ablation: speculation-aware dependence pruning "
+              "(threshold %.2f) ===\n",
+              kSpecThreshold);
+  TablePrinter T2;
+  T2.row();
+  T2.cell(std::string("benchmark"));
+  T2.cell(std::string("off speedup"));
+  T2.cell(std::string("on speedup"));
+  T2.cell(std::string("off avg size"));
+  T2.cell(std::string("on avg size"));
+  T2.cell(std::string("dropped edges"));
+  T2.cell(std::string("verify errors"));
+
+  std::string Json;
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\n"
+                "  \"spec_threshold\": %.2f,\n"
+                "  \"jobs\": %u,\n"
+                "  \"workloads\": [\n",
+                kSpecThreshold, Pool.numThreads());
+  Json += Buf;
+
+  unsigned Shorter = 0, Regressions = 0, TotalDrops = 0, TotalErrors = 0;
+  bool ChecksumsOk = true;
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    const workloads::Workload &W = Suite[I];
+    const BenchResult &Off = Full.run(W);
+    const BenchResult &On = SpecOn.run(W);
+    unsigned Drops = droppedEdges(On.Report);
+    double LenOff = Off.Report.averageSize();
+    double LenOn = On.Report.averageSize();
+    if (LenOn < LenOff)
+      ++Shorter;
+    if (On.speedupIO() < Off.speedupIO())
+      ++Regressions;
+    TotalDrops += Drops;
+    TotalErrors += On.Report.VerifyErrors;
+    ChecksumsOk = ChecksumsOk && Off.ChecksumsOk && On.ChecksumsOk;
+
+    T2.row();
+    T2.cell(W.Name);
+    T2.cell(Off.speedupIO(), 2);
+    T2.cell(On.speedupIO(), 2);
+    T2.cell(LenOff, 1);
+    T2.cell(LenOn, 1);
+    T2.cell(static_cast<unsigned long long>(Drops));
+    T2.cell(static_cast<unsigned long long>(On.Report.VerifyErrors));
+
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\n"
+                  "      \"name\": \"%s\",\n"
+                  "      \"speedup_spec_off\": %.4f,\n"
+                  "      \"speedup_spec_on\": %.4f,\n"
+                  "      \"slice_len_off\": %.2f,\n"
+                  "      \"slice_len_on\": %.2f,\n"
+                  "      \"slice_len_delta\": %.2f,\n"
+                  "      \"dropped_edges\": %u,\n"
+                  "      \"verify_errors\": %u\n"
+                  "    }%s\n",
+                  W.Name.c_str(), Off.speedupIO(), On.speedupIO(), LenOff,
+                  LenOn, LenOn - LenOff, Drops, On.Report.VerifyErrors,
+                  I + 1 == Suite.size() ? "" : ",");
+    Json += Buf;
+  }
+  T2.print();
+
+  std::snprintf(Buf, sizeof(Buf),
+                "  ],\n"
+                "  \"workloads_with_shorter_slices\": %u,\n"
+                "  \"speedup_regressions\": %u,\n"
+                "  \"total_dropped_edges\": %u,\n"
+                "  \"verify_errors\": %u,\n"
+                "  \"checksum_ok\": %s\n"
+                "}\n",
+                Shorter, Regressions, TotalDrops, TotalErrors,
+                ChecksumsOk ? "true" : "false");
+  Json += Buf;
+
+  std::printf("\nspec-deps: %u workloads with shorter slices, %u dropped "
+              "edges, %u verify errors, %u speedup regressions\n",
+              Shorter, TotalDrops, TotalErrors, Regressions);
+  if (Args.OutPath) {
+    std::FILE *F = std::fopen(Args.OutPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Args.OutPath);
+      return 1;
+    }
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+  }
+  return (ChecksumsOk && TotalErrors == 0) ? 0 : 1;
 }

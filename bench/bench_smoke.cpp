@@ -196,8 +196,8 @@ int main(int argc, char **argv) {
     std::vector<TierResult> Tiers;
     Tiers.push_back(runTier(Inner, Em3d, "4000:2000:6000:4000",
                             /*Enhanced=*/true));
-    Tiers.push_back(runTier(Inner, workloads::makeMcf(), "4000:2000:8000:2000",
-                            /*Enhanced=*/false));
+    Tiers.push_back(runTier(Inner, workloads::makeMcf(),
+                            "12000:2000:7000:2000", /*Enhanced=*/false));
     Tiers.push_back(runTier(Inner, workloads::makeStress(128, 32, 8),
                             "20000:2000:78000:2000", /*Enhanced=*/false));
     Tiers.push_back(runTier(Inner, workloads::makeStress(256, 32, 8),

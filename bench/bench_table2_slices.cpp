@@ -28,9 +28,18 @@ int main(int argc, char **argv) {
       {"vpr", {6, 0, 13.5, 4.0}},
   };
 
-  ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
+  unsigned Jobs = jobsFromArgs(argc, argv);
+  ParallelSuiteRunner Runner(core::ToolOptions(), Jobs);
   Runner.setSamplingPlan(sampleFromArgs(argc, argv));
   Runner.runAll(workloads::paperSuite());
+  // The spec-deps arm: same pipeline with profile-cold may-dependences
+  // pruned from the slices (the "spec size/drops" columns below).
+  core::ToolOptions SpecOpts;
+  SpecOpts.EnableSpecDeps = true;
+  SpecOpts.SpecDepThreshold = 0.05;
+  ParallelSuiteRunner SpecRunner(SpecOpts, Jobs);
+  SpecRunner.setSamplingPlan(sampleFromArgs(argc, argv));
+  SpecRunner.runAll(workloads::paperSuite());
   TablePrinter T;
   T.row();
   T.cell(std::string("benchmark"));
@@ -38,11 +47,17 @@ int main(int argc, char **argv) {
   T.cell(std::string("interproc"));
   T.cell(std::string("avg size"));
   T.cell(std::string("avg live-in"));
+  T.cell(std::string("spec size"));
+  T.cell(std::string("drops"));
   T.cell(std::string("model(s)"));
   T.cell(std::string("paper: n/ip/size/li"));
 
   for (const workloads::Workload &W : workloads::paperSuite()) {
     const BenchResult &R = Runner.run(W);
+    const BenchResult &Spec = SpecRunner.run(W);
+    size_t Drops = 0;
+    for (const verify::SliceManifest &SM : Spec.Report.Manifest.Slices)
+      Drops += SM.SpecDrops.size();
     std::string Models;
     for (const core::SliceReport &S : R.Report.Slices) {
       if (!Models.empty())
@@ -60,6 +75,8 @@ int main(int argc, char **argv) {
     T.cell(static_cast<unsigned long long>(R.Report.numInterprocedural()));
     T.cell(R.Report.averageSize(), 1);
     T.cell(R.Report.averageLiveIns(), 1);
+    T.cell(Spec.Report.averageSize(), 1);
+    T.cell(static_cast<unsigned long long>(Drops));
     T.cell(Models);
     T.cell(std::string(PaperCell));
   }

@@ -44,6 +44,24 @@ add_custom_target(bench-smoke
   COMMENT "Running skip + sampling differentials + end-to-end bench smoke (2 jobs)"
   VERBATIM)
 
+# `cmake --build build --target bench-ablation` reruns the slicing
+# ablation — control-flow speculative slicing and speculation-aware
+# dependence pruning (--spec-deps) — and writes BENCH_ablation.json with
+# per-workload spec-on/spec-off speedups, slice lengths, dropped-edge and
+# speculation.* verify-error counts; scripts/check_ablation_json.py
+# validates it in CI (shorter slices on >= 2 workloads, no speedup
+# regressions, zero verify errors).
+add_custom_target(bench-ablation
+  COMMAND ${CMAKE_COMMAND}
+          -DBENCH_BIN=$<TARGET_FILE:bench_ablation_slicing>
+          -DOUT=${CMAKE_BINARY_DIR}/BENCH_ablation.json
+          -DJOBS=2
+          -DREQUIRE=workloads_with_shorter_slices
+          -P ${CMAKE_SOURCE_DIR}/bench/emit_json.cmake
+  DEPENDS bench_ablation_slicing
+  COMMENT "Running the slicing ablation (spec-deps on/off) on the suite"
+  VERBATIM)
+
 ssp_add_bench(bench_serve)
 
 # `cmake --build build --target bench-serve` drives the AdaptService the

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_ablation.json report emitted by bench_ablation_slicing.
+
+    check_ablation_json.py <BENCH_ablation.json>
+
+Stdlib only (json + sys): CI must not grow dependencies. Checks the
+speculation-aware dependence-pruning arms of the report against the
+acceptance bar of the spec-deps feature:
+
+  * shape: the spec arms and per-workload keys are present and sane;
+  * safety: zero speculation.* verify errors and intact checksums;
+  * effect: slices get shorter on >= 2 workloads, every shorter-slice
+    workload actually dropped edges, and the spec-on arm is never slower
+    than the spec-off arm.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+WORKLOAD_KEYS = (
+    "name",
+    "speedup_spec_off",
+    "speedup_spec_on",
+    "slice_len_off",
+    "slice_len_on",
+    "slice_len_delta",
+    "dropped_edges",
+    "verify_errors",
+)
+
+TOP_KEYS = (
+    "spec_threshold",
+    "jobs",
+    "workloads",
+    "workloads_with_shorter_slices",
+    "speedup_regressions",
+    "total_dropped_edges",
+    "verify_errors",
+    "checksum_ok",
+)
+
+
+def fail(msg):
+    sys.stderr.write("check_ablation_json: %s\n" % msg)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        fail("usage: check_ablation_json.py <BENCH_ablation.json>")
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot read %s: %s" % (argv[1], e))
+
+    for key in TOP_KEYS:
+        if key not in doc:
+            fail("missing top-level key %r" % key)
+    if not isinstance(doc["workloads"], list) or not doc["workloads"]:
+        fail("'workloads' must be a non-empty list")
+    if not 0.0 <= doc["spec_threshold"] <= 1.0:
+        fail("spec_threshold %r outside [0, 1]" % doc["spec_threshold"])
+
+    shorter = regressions = drops = errors = 0
+    for w in doc["workloads"]:
+        for key in WORKLOAD_KEYS:
+            if key not in w:
+                fail("workload entry missing key %r: %r" % (key, w))
+        name = w["name"]
+        if w["speedup_spec_off"] <= 0 or w["speedup_spec_on"] <= 0:
+            fail("%s: speedups must be positive" % name)
+        if w["slice_len_on"] > w["slice_len_off"]:
+            fail("%s: spec-deps grew the slices (%s -> %s)"
+                 % (name, w["slice_len_off"], w["slice_len_on"]))
+        delta = w["slice_len_on"] - w["slice_len_off"]
+        if abs(delta - w["slice_len_delta"]) > 0.011:
+            fail("%s: slice_len_delta %s inconsistent with lengths"
+                 % (name, w["slice_len_delta"]))
+        if w["slice_len_on"] < w["slice_len_off"]:
+            shorter += 1
+            if w["dropped_edges"] == 0:
+                fail("%s: slices shrank with zero dropped edges" % name)
+        if w["speedup_spec_on"] < w["speedup_spec_off"]:
+            regressions += 1
+        drops += w["dropped_edges"]
+        errors += w["verify_errors"]
+
+    if shorter != doc["workloads_with_shorter_slices"]:
+        fail("workloads_with_shorter_slices %s != recomputed %s"
+             % (doc["workloads_with_shorter_slices"], shorter))
+    if drops != doc["total_dropped_edges"]:
+        fail("total_dropped_edges %s != recomputed %s"
+             % (doc["total_dropped_edges"], drops))
+    if errors != doc["verify_errors"]:
+        fail("verify_errors %s != recomputed %s"
+             % (doc["verify_errors"], errors))
+
+    if not doc["checksum_ok"]:
+        fail("checksum_ok is false: a pruned slice corrupted a result")
+    if doc["verify_errors"] != 0:
+        fail("%d speculation.* verify errors" % doc["verify_errors"])
+    if doc["speedup_regressions"] != 0 or regressions != 0:
+        fail("spec-deps slowed down %d workload(s)"
+             % max(doc["speedup_regressions"], regressions))
+    if shorter < 2:
+        fail("spec-deps shortened slices on only %d workload(s), need >= 2"
+             % shorter)
+
+    print("check_ablation_json: OK (%d workloads, %d shorter, %d dropped "
+          "edges, 0 verify errors)"
+          % (len(doc["workloads"]), shorter, drops))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

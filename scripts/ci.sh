@@ -65,6 +65,16 @@ else
   python3 scripts/check_sample_error.py build-ci/BENCH_smoke.json
 fi
 
+echo "== Speculation-aware dependence pruning (bench-ablation) =="
+# The slicing ablation runs the paper suite with --spec-deps on and off.
+# The stdlib checker enforces the feature's acceptance bar: slices get
+# shorter on >= 2 workloads, the spec-on arm never regresses a speedup,
+# every shrink is backed by dropped edges, and the speculation.* verify
+# pass reports zero errors. All values are deterministic (simulated
+# cycles, not wall time), so the bounds hold on loaded hosts too.
+cmake --build build-ci --target bench-ablation
+python3 scripts/check_ablation_json.py build-ci/BENCH_ablation.json
+
 echo "== Serving layer (ssp-adaptd pipe + bench-serve) =="
 # Daemon smoke: frame two identical requests (miss, then a hit across a
 # flush boundary) through a real ssp-adaptd pipe; both must come back ok.

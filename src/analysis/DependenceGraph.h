@@ -19,6 +19,27 @@
 /// matching the measurements of Aamodt et al. cited in Section 4.1 (0.87
 /// stores per slice on average).
 ///
+/// Every edge this analysis reports is conservative ("may"); the
+/// speculation layer (analysis/SpecDeps.h) refines the view with a
+/// must/hot/cold taxonomy when profile evidence is available:
+///
+///   * **must** edges have an intra-iteration component — a register def
+///     reaches its use over a back-edge-free path inside their innermost
+///     common loop, the endpoints are in different functions, or a
+///     memorySources store precedes its load in the same block. The
+///     consumers here (Slicer, SliceDepGraph) always honor them.
+///   * **hot**/**cold** are the remaining may-edges — purely loop-carried
+///     register flows and cross-block disambiguator-approved store->load
+///     pairs — split by observed dynamic activation ratio. Only *cold*
+///     edges are prunable, and only by consumers that record a SpecDrop
+///     for the `speculation.*` verification pass.
+///
+/// In particular a memorySources result is prunable exactly when the pair
+/// is cross-block (or backward within a block) and the profile shows the
+/// store's value reaching the load in at most threshold * trips of the
+/// load's executions; dataSources/controlSources edges are never pruned
+/// here — pruning happens in the consumers against the SpecDeps oracle.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SSP_ANALYSIS_DEPENDENCEGRAPH_H

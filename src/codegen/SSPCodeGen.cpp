@@ -397,6 +397,16 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
           }
         }
       SM.PrefetchTargets.assign(Planned.begin(), Planned.end());
+      SM.SpecDrops = AL.Slice.SpecDrops;
+      SM.SpecDrops.insert(SM.SpecDrops.end(), AL.Sched.SpecDrops.begin(),
+                          AL.Sched.SpecDrops.end());
+      for (const sched::ScheduledSlice &Extra : AL.ExtraSections)
+        SM.SpecDrops.insert(SM.SpecDrops.end(), Extra.SpecDrops.begin(),
+                            Extra.SpecDrops.end());
+      std::sort(SM.SpecDrops.begin(), SM.SpecDrops.end());
+      SM.SpecDrops.erase(
+          std::unique(SM.SpecDrops.begin(), SM.SpecDrops.end()),
+          SM.SpecDrops.end());
       Manifest->Slices.push_back(std::move(SM));
       Manifest->PlannedTriggers += static_cast<unsigned>(
           AL.Plan.Triggers.size() + AL.Plan.RestartTriggers.size());

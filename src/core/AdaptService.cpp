@@ -147,6 +147,14 @@ bool applyOption(core::ToolOptions &TO, const std::string &Key,
     TO.Slicing.MaxSize = static_cast<unsigned>(U);
     return true;
   }
+  if (Key == "spec-deps")
+    return strictBool(Value, TO.EnableSpecDeps) || Bad("0/1");
+  if (Key == "spec-threshold") {
+    if (!strictFraction(Value, D))
+      return Bad("a fraction in [0, 1]");
+    TO.SpecDepThreshold = D;
+    return true;
+  }
   if (Key == "speculative") {
     if (!strictBool(Value, B))
       return Bad("0/1");
@@ -184,6 +192,8 @@ std::string canonicalOptionsText(const core::ToolOptions &TO) {
   S += "restart-triggers=" +
        std::string(TO.EnableRestartTriggers ? "1" : "0") + "\n";
   S += "slice-max=" + std::to_string(TO.Slicing.MaxSize) + "\n";
+  S += "spec-deps=" + std::string(TO.EnableSpecDeps ? "1" : "0") + "\n";
+  S += "spec-threshold=" + fmtDouble(TO.SpecDepThreshold) + "\n";
   S += "speculative=" +
        std::string(TO.EnableSpeculativeSlicing ? "1" : "0") + "\n";
   S += "trip-budget=" + std::to_string(TO.MaxTripBudget) + "\n";
@@ -196,6 +206,7 @@ std::string canonicalOptionsText(const core::ToolOptions &TO) {
 std::string analysisOptionsText(const core::ToolOptions &TO) {
   slicer::SliceOptions SO = core::PostPassTool::sliceOptionsOf(TO);
   sched::ScheduleOptions SchO = core::PostPassTool::scheduleOptionsOf(TO);
+  analysis::SpecDepOptions SpO = core::PostPassTool::specDepOptionsOf(TO);
   std::string S;
   S += "cond-prediction=" +
        std::string(SchO.EnableConditionPrediction ? "1" : "0") + "\n";
@@ -204,6 +215,8 @@ std::string analysisOptionsText(const core::ToolOptions &TO) {
   S += "reject-store-dep=" +
        std::string(SO.RejectStoreDependent ? "1" : "0") + "\n";
   S += "slice-max=" + std::to_string(SO.MaxSize) + "\n";
+  S += "spec-deps=" + std::string(SpO.Enabled ? "1" : "0") + "\n";
+  S += "spec-threshold=" + fmtDouble(SpO.Threshold) + "\n";
   S += "speculative=" + std::string(SO.Speculative ? "1" : "0") + "\n";
   return S;
 }
@@ -244,6 +257,7 @@ struct AdaptService::WarmEntry {
   std::string ProgramText, ProfileText, AnalysisOpts;
   slicer::SliceOptions SliceOpts;
   sched::ScheduleOptions SchedOpts;
+  analysis::SpecDepOptions SpecOpts;
 
   ir::Program Prog;
   ir::DataImage Data;
@@ -296,7 +310,7 @@ struct AdaptService::WarmEntry {
                 std::to_string(T.Callee) + " out of range";
         return;
       }
-    AC.emplace(Prog, PD, SliceOpts, SchedOpts);
+    AC.emplace(Prog, PD, SliceOpts, SchedOpts, SpecOpts);
   }
 };
 
@@ -397,6 +411,7 @@ void AdaptService::executeBatch(std::vector<Request> &Batch,
     if (!R.Entry->Built) {
       R.Entry->SliceOpts = PostPassTool::sliceOptionsOf(R.TO);
       R.Entry->SchedOpts = PostPassTool::scheduleOptionsOf(R.TO);
+      R.Entry->SpecOpts = PostPassTool::specDepOptionsOf(R.TO);
       if (std::find(ToBuild.begin(), ToBuild.end(), R.Entry) ==
           ToBuild.end())
         ToBuild.push_back(R.Entry);

@@ -36,12 +36,14 @@ class AnalysisCache {
 public:
   AnalysisCache(const ir::Program &P, const profile::ProfileData &PD,
                 slicer::SliceOptions SliceOpts,
-                sched::ScheduleOptions SchedOpts)
+                sched::ScheduleOptions SchedOpts,
+                analysis::SpecDepOptions SpecOpts = {})
       : Deps(P), Regions(analysis::RegionGraph::build(Deps)),
         Calls(analysis::CallGraph::build(P, PD.IndirectTargets,
                                          PD.CallSiteCounts)),
-        MasterSlicer(Deps, Regions, Calls, PD, SliceOpts),
-        MasterScheduler(Deps, Regions, PD, SchedOpts) {
+        Spec(Deps, SpecOpts, PD.depEvidence()),
+        MasterSlicer(Deps, Regions, Calls, PD, SliceOpts, &Spec),
+        MasterScheduler(Deps, Regions, PD, SchedOpts, &Spec) {
     MasterSlicer.ensureSummaries();
     MasterScheduler.ensureCallCosts();
   }
@@ -53,6 +55,11 @@ public:
   const analysis::RegionGraph &regions() const { return Regions; }
   const analysis::CallGraph &calls() const { return Calls; }
 
+  /// Speculation-aware dependence classifier over this program and
+  /// profile. Disabled (classifies nothing cold) unless the cache was
+  /// built with SpecDepOptions::Enabled and the profile has evidence.
+  const analysis::SpecDeps &specDeps() const { return Spec; }
+
   /// A worker-private slicer sharing the precomputed summary table.
   slicer::Slicer makeSlicer() const { return MasterSlicer; }
 
@@ -63,6 +70,7 @@ private:
   analysis::ProgramDeps Deps;
   analysis::RegionGraph Regions;
   analysis::CallGraph Calls;
+  analysis::SpecDeps Spec; ///< Before the slicer/scheduler: they point at it.
   slicer::Slicer MasterSlicer;
   sched::SliceScheduler MasterScheduler;
 };

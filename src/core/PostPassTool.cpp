@@ -39,6 +39,14 @@ sched::ScheduleOptions PostPassTool::scheduleOptionsOf(const ToolOptions &Opts) 
   return SchedOpts;
 }
 
+analysis::SpecDepOptions
+PostPassTool::specDepOptionsOf(const ToolOptions &Opts) {
+  analysis::SpecDepOptions SpecOpts;
+  SpecOpts.Enabled = Opts.EnableSpecDeps;
+  SpecOpts.Threshold = Opts.SpecDepThreshold;
+  return SpecOpts;
+}
+
 Program PostPassTool::adapt(AdaptationReport *Report) {
   return adaptWith(nullptr, Report);
 }
@@ -63,7 +71,8 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
   // (const-shared across ThreadPool workers when Jobs != 1).
   std::optional<AnalysisCache> OwnAC;
   if (!ExternalAC) {
-    OwnAC.emplace(Orig, PD, sliceOptionsOf(Opts), scheduleOptionsOf(Opts));
+    OwnAC.emplace(Orig, PD, sliceOptionsOf(Opts), scheduleOptionsOf(Opts),
+                  specDepOptionsOf(Opts));
     ExternalAC = &*OwnAC;
   }
   const AnalysisCache &AC = *ExternalAC;
@@ -419,7 +428,7 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
   // produced an unsafe binary — by default that is fatal.
   if (Opts.VerifyAdapted) {
     ssp::verify::VerifyContext VC{Enhanced, &Orig, &Rep.Manifest,
-                                  Opts.Metrics};
+                                  Opts.Metrics, &AC.specDeps()};
     ssp::verify::DiagnosticEngine DE = ssp::verify::runStandardPipeline(VC);
     Rep.VerifyErrors = DE.errorCount();
     Rep.VerifyWarnings = DE.warningCount();

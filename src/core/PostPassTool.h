@@ -61,6 +61,13 @@ struct ToolOptions {
   bool EnableConditionPrediction = true;
   bool EnableSpeculativeSlicing = true;
 
+  /// Speculation-aware dependence analysis (`--spec-deps[=T]`): prune
+  /// may-dependence edges whose profiled activation ratio is at most
+  /// SpecDepThreshold, recording every drop for the `speculation.*`
+  /// verify pass. Off by default; off is bit-identical to older builds.
+  bool EnableSpecDeps = false;
+  double SpecDepThreshold = 0.0;
+
   /// Bound on the chain length when the spawn condition is predicted.
   uint64_t MaxTripBudget = 4096;
 
@@ -194,6 +201,7 @@ public:
   /// construction parameters, exposed so external caches match exactly.
   static slicer::SliceOptions sliceOptionsOf(const ToolOptions &Opts);
   static sched::ScheduleOptions scheduleOptionsOf(const ToolOptions &Opts);
+  static analysis::SpecDepOptions specDepOptionsOf(const ToolOptions &Opts);
 
 private:
   const ir::Program &Orig;

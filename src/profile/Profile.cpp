@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <unordered_map>
 
 using namespace ssp;
 using namespace ssp::profile;
@@ -43,13 +44,40 @@ ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
   ProfileData PD;
   PD.BlockCounts.resize(P.numFuncs());
   PD.EdgeCounts.resize(P.numFuncs());
-  for (uint32_t FI = 0; FI < P.numFuncs(); ++FI)
-    PD.BlockCounts[FI].assign(P.func(FI).numBlocks(), 0);
+  PD.InstCounts.resize(P.numFuncs());
+  for (uint32_t FI = 0; FI < P.numFuncs(); ++FI) {
+    const Function &F = P.func(FI);
+    PD.BlockCounts[FI].assign(F.numBlocks(), 0);
+    uint32_t MaxId = 0;
+    for (uint32_t BI = 0; BI < F.numBlocks(); ++BI)
+      for (const Instruction &I : F.block(BI).Insts)
+        MaxId = std::max(MaxId, I.Id + 1);
+    PD.InstCounts[FI].assign(MaxId, 0);
+  }
 
   // Accumulate call-site counts in ordered maps while the run is live,
   // then flatten into the sorted vectors ProfileData carries.
   std::map<InstRef, uint64_t> DirectCounts;
   std::map<std::pair<InstRef, uint32_t>, uint64_t> IndirectCounts;
+
+  // Dependence evidence for speculation-aware slicing: the last writer of
+  // each register and of each memory address, and per static-edge
+  // activation counts. The ordered maps' (From, To) iteration order is the
+  // canonical record order the .sspprof writer emits.
+  struct LastWrite {
+    uint32_t Func = 0;
+    uint32_t Block = 0;
+    uint32_t Inst = 0;
+    uint32_t Id = 0;
+    bool Valid = false;
+  };
+  LastWrite LastReg[Reg::NumDenseIndices];
+  std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> LastStore;
+  std::map<std::pair<StaticId, StaticId>, uint64_t> RegPairs;
+  std::map<std::pair<StaticId, StaticId>, uint64_t> MemPairs;
+  auto IsHardwired = [](Reg R) {
+    return (R.isInt() || R.isPred()) && R.Num == 0;
+  };
 
   sim::ThreadContext Ctx;
   Ctx.PC = LP.entry();
@@ -70,9 +98,26 @@ ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
     const LinkedInst &LI = LP.at(Ctx.PC);
     uint32_t InstIdx = Ctx.PC - LP.blockStart(LI.Func, LI.Block);
     InstRef Ref{LI.Func, LI.Block, InstIdx};
+    PD.InstCounts[LI.Func][LI.I->Id]++;
 
     if (LI.I->Op == Opcode::Call)
       DirectCounts[Ref]++;
+
+    // Register-use reads happen before the step so self-edges (r = f(r))
+    // see the previous writer. Intra-block forward flows are skipped:
+    // those are must-dependences regardless of evidence, and they are the
+    // overwhelming majority of dynamic flows.
+    LI.I->forEachUse([&](Reg R) {
+      if (IsHardwired(R))
+        return;
+      const LastWrite &W = LastReg[R.denseIndex()];
+      if (!W.Valid || W.Func != LI.Func)
+        return;
+      if (W.Block == LI.Block && W.Inst < InstIdx)
+        return;
+      RegPairs[{makeStaticId(W.Func, W.Id),
+                makeStaticId(LI.Func, LI.I->Id)}]++;
+    });
 
     sim::ExecOutcome Out;
     // The original binary has no chk.c; if one is present (profiling an
@@ -83,6 +128,29 @@ ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
 
     if (Out.Kind == sim::CtrlKind::Halt)
       break;
+
+    // Def and memory updates happen after the step (the effective address
+    // is an outcome). Only same-function store->load flows are recorded;
+    // cross-function pairs are must-deps to the classifier anyway.
+    if (Out.IsLoad) {
+      auto It = LastStore.find(Out.MemAddr);
+      if (It != LastStore.end() && It->second.first == LI.Func)
+        MemPairs[{makeStaticId(LI.Func, It->second.second),
+                  makeStaticId(LI.Func, LI.I->Id)}]++;
+    } else if (Out.IsStore) {
+      LastStore[Out.MemAddr] = {LI.Func, LI.I->Id};
+    }
+    if (LI.I->writesDst()) {
+      Reg D = LI.I->def();
+      if (!IsHardwired(D)) {
+        LastWrite &W = LastReg[D.denseIndex()];
+        W.Func = LI.Func;
+        W.Block = LI.Block;
+        W.Inst = InstIdx;
+        W.Id = LI.I->Id;
+        W.Valid = true;
+      }
+    }
 
     if (LI.I->Op == Opcode::CallInd)
       IndirectCounts[{Ref, LP.at(Ctx.PC).Func}]++;
@@ -117,6 +185,13 @@ ssp::profile::collectControlFlowProfile(const LinkedProgram &LP,
   PD.IndirectTargets.reserve(IndirectCounts.size());
   for (const auto &[Key, Count] : IndirectCounts)
     PD.IndirectTargets.push_back({Key.first, Key.second, Count});
+  PD.MemDepCounts.reserve(MemPairs.size());
+  for (const auto &[Edge, Count] : MemPairs)
+    PD.MemDepCounts.push_back({Edge.first, Edge.second, Count});
+  PD.RegDepCounts.reserve(RegPairs.size());
+  for (const auto &[Edge, Count] : RegPairs)
+    PD.RegDepCounts.push_back({Edge.first, Edge.second, Count});
+  PD.HasDepEvidence = true;
   return PD;
 }
 

@@ -22,6 +22,7 @@
 #include "analysis/CallGraph.h"
 #include "analysis/InstRef.h"
 #include "analysis/Loops.h"
+#include "analysis/SpecDeps.h"
 #include "cache/Cache.h"
 #include "ir/Program.h"
 #include "mem/SimMemory.h"
@@ -54,6 +55,40 @@ struct ProfileData {
 
   /// Baseline cycles of the timing run that produced `Loads`.
   uint64_t BaselineCycles = 0;
+
+  /// Observed dynamic memory flow edges: (store sid, load sid) with the
+  /// number of executions in which the load read that store's last write
+  /// to its address. Sorted by (From, To); same-function pairs only.
+  std::vector<analysis::DepEdgeCount> MemDepCounts;
+
+  /// Observed dynamic register flow edges that are candidates for
+  /// loop-carried speculation: (def sid, use sid) activation counts for
+  /// flows that cross a block boundary or wrap around within one block.
+  /// Intra-block forward flows are omitted (always must-dependences).
+  /// Sorted by (From, To); same-function pairs only.
+  std::vector<analysis::DepEdgeCount> RegDepCounts;
+
+  /// Per (function, instruction Id) dynamic execution counts — the trip
+  /// denominator of the dependence classifier. Block counts cannot serve
+  /// that role: a block containing a call is counted again when the return
+  /// resumes it, so an every-iteration edge would look half-activated.
+  /// Collected together with the dependence evidence below.
+  std::vector<std::vector<uint64_t>> InstCounts;
+
+  /// True once a functional run collected the dependence evidence above.
+  /// Profiles predating the evidence records parse with this false, which
+  /// disables may-dep pruning (analysis::SpecDeps::enabled).
+  bool HasDepEvidence = false;
+
+  /// The flat evidence view analysis::SpecDeps consumes.
+  analysis::DepEvidence depEvidence() const {
+    analysis::DepEvidence Ev;
+    Ev.MemDeps = &MemDepCounts;
+    Ev.RegDeps = &RegDepCounts;
+    Ev.InstCounts = &InstCounts;
+    Ev.Collected = HasDepEvidence;
+    return Ev;
+  }
 
   uint64_t blockCount(uint32_t Func, uint32_t Block) const {
     if (Func >= BlockCounts.size() || Block >= BlockCounts[Func].size())

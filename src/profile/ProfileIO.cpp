@@ -52,6 +52,26 @@ std::string profile::writeProfileText(const ProfileData &PD) {
       S += " " + std::to_string(P);
     S += " " + std::to_string(St.MissCycles) + "\n";
   }
+  // Dependence evidence (PR 8): the marker record distinguishes "measured,
+  // possibly empty" from legacy profiles with no evidence at all.
+  if (PD.HasDepEvidence) {
+    S += "depevidence 1\n";
+    for (size_t F = 0; F < PD.InstCounts.size(); ++F)
+      for (size_t Id = 0; Id < PD.InstCounts[F].size(); ++Id)
+        if (uint64_t C = PD.InstCounts[F][Id])
+          S += "instcount " + std::to_string(F) + " " + std::to_string(Id) +
+               " " + std::to_string(C) + "\n";
+    for (const analysis::DepEdgeCount &D : PD.MemDepCounts)
+      S += "memdep " + std::to_string(ir::staticIdFunc(D.From)) + " " +
+           std::to_string(ir::staticIdInst(D.From)) + " " +
+           std::to_string(ir::staticIdInst(D.To)) + " " +
+           std::to_string(D.Count) + "\n";
+    for (const analysis::DepEdgeCount &D : PD.RegDepCounts)
+      S += "regdep " + std::to_string(ir::staticIdFunc(D.From)) + " " +
+           std::to_string(ir::staticIdInst(D.From)) + " " +
+           std::to_string(ir::staticIdInst(D.To)) + " " +
+           std::to_string(D.Count) + "\n";
+  }
   return S;
 }
 
@@ -155,6 +175,14 @@ public:
         Ok = parseICall(C);
       else if (Kw == "load")
         Ok = parseLoad(C);
+      else if (Kw == "depevidence")
+        Ok = parseDepEvidence(C);
+      else if (Kw == "instcount")
+        Ok = parseInstCount(C);
+      else if (Kw == "memdep")
+        Ok = parseDep(C, "memdep", PD.MemDepCounts);
+      else if (Kw == "regdep")
+        Ok = parseDep(C, "regdep", PD.RegDepCounts);
       else
         return error(Error, "unknown record '" + Kw + "'");
       if (!Ok)
@@ -271,6 +299,63 @@ private:
     return true;
   }
 
+  bool parseDepEvidence(Cursor &C) {
+    if (PD.HasDepEvidence)
+      return failed("duplicate 'depevidence' record");
+    uint64_t V;
+    if (!expect(C, V) || !end(C))
+      return false;
+    if (V != 1)
+      return failed("unsupported 'depevidence' version");
+    PD.HasDepEvidence = true;
+    return true;
+  }
+
+  /// Per-instruction execution counts: the classifier's trip denominator.
+  /// Zero counts are never written, so they are rejected on read too; the
+  /// strict (FUNC, INSTID) order makes parse(write(PD)) canonical.
+  bool parseInstCount(Cursor &C) {
+    if (!PD.HasDepEvidence)
+      return failed("'instcount' before 'depevidence'");
+    uint64_t F, Id, Count;
+    if (!func(C, F) || !expect(C, Id) || !expect(C, Count) || !end(C) ||
+        !fits32(Id))
+      return false;
+    if (Count == 0)
+      return failed("zero 'instcount' record");
+    PD.InstCounts.resize(PD.BlockCounts.size());
+    if (std::make_pair(F, Id) <= LastInstCount && SawInstCount)
+      return failed("'instcount' records out of order");
+    SawInstCount = true;
+    LastInstCount = {F, Id};
+    std::vector<uint64_t> &Row = PD.InstCounts[F];
+    if (Row.size() <= Id)
+      Row.resize(Id + 1);
+    Row[Id] = Count;
+    return true;
+  }
+
+  /// Shared body of 'memdep' and 'regdep': both endpoints live in one
+  /// function and records arrive strictly sorted by (From, To) — the
+  /// canonical order the writer emits.
+  bool parseDep(Cursor &C, const char *Kw,
+                std::vector<analysis::DepEdgeCount> &Out) {
+    if (!PD.HasDepEvidence)
+      return failed("'" + std::string(Kw) + "' before 'depevidence'");
+    uint64_t F, FromId, ToId, Count;
+    if (!func(C, F) || !expect(C, FromId) || !expect(C, ToId) ||
+        !expect(C, Count) || !end(C) || !fits32(FromId) || !fits32(ToId))
+      return false;
+    analysis::DepEdgeCount R;
+    R.From = ir::makeStaticId(uint32_t(F), uint32_t(FromId));
+    R.To = ir::makeStaticId(uint32_t(F), uint32_t(ToId));
+    R.Count = Count;
+    if (!Out.empty() && !(Out.back() < R))
+      return failed("'" + std::string(Kw) + "' records out of order");
+    Out.push_back(R);
+    return true;
+  }
+
   /// Parses a function index and bounds it against the 'funcs' record
   /// (which must therefore come first).
   bool func(Cursor &C, uint64_t &F) {
@@ -309,7 +394,9 @@ private:
   size_t LineNo = 0;
   uint64_t Version = 0;
   std::string Msg;
+  std::pair<uint64_t, uint64_t> LastInstCount = {0, 0};
   bool SawHeader = false, SawBaseline = false, SawFuncs = false;
+  bool SawInstCount = false;
 };
 
 } // namespace

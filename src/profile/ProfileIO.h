@@ -23,14 +23,30 @@
 ///                | "icall" FUNC BLOCK INST CALLEE COUNT
 ///                | "load" FUNC INSTID ACCESSES H0 H1 H2 H3 P0 P1 P2 P3
 ///                         MISSCYCLES
+///                | "depevidence" 1
+///                | "instcount" FUNC INSTID COUNT
+///                | "memdep" FUNC FROMID TOID COUNT
+///                | "regdep" FUNC FROMID TOID COUNT
 ///
 /// `load` is keyed by (function index, static instruction id) — the same
 /// ids the program text pins with `@N` annotations (ir/Parser.h) — and
 /// file order is meaningful: it is the cache profile's insertion order,
-/// which downstream consumers iterate deterministically. writeProfileText
-/// emits records in a canonical order (header, baseline, funcs,
-/// blockcounts by function, edges, calls, icalls, loads), so
-/// write(parse(write(PD))) is byte-identical to write(PD).
+/// which downstream consumers iterate deterministically.
+///
+/// `instcount`/`memdep`/`regdep` carry the dynamic dependence evidence
+/// that backs speculation-aware slicing (analysis/SpecDeps.h): per-static-
+/// instruction execution counts (the classifier's trip denominator; zero
+/// counts are omitted) and per (producer id, consumer id) activation
+/// counts for store->load flows resp. candidate loop-carried register
+/// flows, both endpoints in FUNC. All three require a preceding
+/// `depevidence 1` marker (absent in legacy profiles, which therefore
+/// disable may-dep pruning) and must arrive strictly sorted — `instcount`
+/// by (FUNC, INSTID), the dep kinds by (FROMID, TOID) within each kind.
+///
+/// writeProfileText emits records in a canonical order (header, baseline,
+/// funcs, blockcounts by function, edges, calls, icalls, loads,
+/// depevidence, instcounts, memdeps, regdeps), so write(parse(write(PD)))
+/// is byte-identical to write(PD).
 ///
 //===----------------------------------------------------------------------===//
 

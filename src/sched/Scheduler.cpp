@@ -16,8 +16,8 @@ using namespace ssp::ir;
 
 SliceScheduler::SliceScheduler(const ProgramDeps &Deps, const RegionGraph &RG,
                                const profile::ProfileData &PD,
-                               ScheduleOptions Opts)
-    : Deps(Deps), RG(RG), PD(PD), Opts(Opts) {}
+                               ScheduleOptions Opts, const SpecDeps *Spec)
+    : Deps(Deps), RG(RG), PD(PD), Opts(Opts), Spec(Spec) {}
 
 uint64_t SliceScheduler::reducedMissCycles(uint64_t SlackPerIter,
                                            uint64_t MissPerIter,
@@ -191,7 +191,9 @@ ScheduledSlice SliceScheduler::schedule(const slicer::Slice &S,
   std::vector<InstRef> Members = S.Insts;
   SliceDepGraph G = SliceDepGraph::build(Deps, Members, ChainLoop,
                                          ChainFunc, PD,
-                                         /*PessimisticLoads=*/true);
+                                         /*PessimisticLoads=*/true,
+                                         /*CallCosts=*/nullptr, Spec,
+                                         &Out.SpecDrops);
 
   auto FindConditionBranch = [&]() {
     Out.HasConditionBranch = false;
@@ -281,10 +283,18 @@ ScheduledSlice SliceScheduler::schedule(const slicer::Slice &S,
             Pruned.push_back(M);
         Members = std::move(Pruned);
         G = SliceDepGraph::build(Deps, Members, ChainLoop, ChainFunc, PD,
-                                 /*PessimisticLoads=*/true);
+                                 /*PessimisticLoads=*/true,
+                                 /*CallCosts=*/nullptr, Spec,
+                                 &Out.SpecDrops);
       }
     }
   }
+
+  // Both graph builds above may have recorded the same dropped edge.
+  std::sort(Out.SpecDrops.begin(), Out.SpecDrops.end());
+  Out.SpecDrops.erase(
+      std::unique(Out.SpecDrops.begin(), Out.SpecDrops.end()),
+      Out.SpecDrops.end());
 
   Out.SliceHeight = G.height();
   Out.AvailableILP = G.availableILP();

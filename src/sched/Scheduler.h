@@ -115,15 +115,23 @@ struct ScheduledSlice {
   unsigned RotationBoundary = 0;
   unsigned CarriedEdgesBefore = 0;
   unsigned CarriedEdgesAfter = 0;
+
+  /// Loop-carried data edges the scheduler's dependence graphs dropped on
+  /// profile evidence (sorted, deduplicated). Unioned with the slice's own
+  /// drops in the adaptation manifest for the `speculation.*` verify pass.
+  std::vector<analysis::SpecDrop> SpecDrops;
 };
 
 /// Schedules slices against a region and model.
 class SliceScheduler {
 public:
+  /// \p Spec, when non-null and enabled, drops cold loop-carried data
+  /// edges from the slice dependence graphs (never from region graphs).
   SliceScheduler(const analysis::ProgramDeps &Deps,
                  const analysis::RegionGraph &RG,
                  const profile::ProfileData &PD,
-                 ScheduleOptions Opts = ScheduleOptions());
+                 ScheduleOptions Opts = ScheduleOptions(),
+                 const analysis::SpecDeps *Spec = nullptr);
 
   /// Produces the schedule of \p S under \p Model. The region must be the
   /// slice's region. Chaining on a non-loop region degrades to basic.
@@ -163,6 +171,7 @@ private:
   const analysis::RegionGraph &RG;
   const profile::ProfileData &PD;
   ScheduleOptions Opts;
+  const analysis::SpecDeps *Spec;
 };
 
 } // namespace ssp::sched

@@ -28,7 +28,9 @@ SliceDepGraph SliceDepGraph::build(const ProgramDeps &Deps,
                                    const Loop *L, uint32_t LoopFunc,
                                    const profile::ProfileData &PD,
                                    bool PessimisticLoads,
-                                   const std::vector<uint32_t> *CallCosts) {
+                                   const std::vector<uint32_t> *CallCosts,
+                                   const SpecDeps *Spec,
+                                   std::vector<SpecDrop> *Drops) {
   SliceDepGraph G;
   const Program &P = Deps.program();
   std::map<InstRef, unsigned> Index;
@@ -61,14 +63,24 @@ SliceDepGraph SliceDepGraph::build(const ProgramDeps &Deps,
     const InstRef &Use = G.Nodes[UI].Ref;
     const FunctionDeps &FD = Deps.forFunction(Use.Func);
 
-    auto Classify = [&](const InstRef &Def, unsigned DI) {
+    auto Classify = [&](const InstRef &Def, unsigned DI, bool IsData) {
       bool SameLoopFunc = L && Def.Func == LoopFunc && Use.Func == LoopFunc &&
                           L->contains(Def.Block) && L->contains(Use.Block);
       if (SameLoopFunc) {
-        if (FD.reachesWithoutBackedge(Def, Use, *L))
+        if (FD.reachesWithoutBackedge(Def, Use, *L)) {
           G.Intra[DI].push_back(UI);
-        else
+        } else {
+          // Purely loop-carried data edge: the speculation candidate.
+          analysis::SpecDrop Drop;
+          if (IsData && Spec &&
+              Spec->shouldPrune(analysis::DepKind::Register, Def, Use,
+                                &Drop)) {
+            if (Drops)
+              Drops->push_back(Drop);
+            return;
+          }
           G.Carried[DI].push_back(UI);
+        }
       } else {
         // Interprocedural members or no loop: order by layout as intra.
         G.Intra[DI].push_back(UI);
@@ -78,12 +90,12 @@ SliceDepGraph SliceDepGraph::build(const ProgramDeps &Deps,
     for (const InstRef &Def : FD.dataSources(Use)) {
       auto It = Index.find(Def);
       if (It != Index.end() && It->second != UI)
-        Classify(Def, It->second);
+        Classify(Def, It->second, /*IsData=*/true);
     }
     for (const InstRef &Ctrl : FD.controlSources(Use)) {
       auto It = Index.find(Ctrl);
       if (It != Index.end() && It->second != UI)
-        Classify(Ctrl, It->second);
+        Classify(Ctrl, It->second, /*IsData=*/false);
     }
 
     // Cross-function flow edges: a use whose value may come from outside

@@ -21,6 +21,7 @@
 
 #include "analysis/DependenceGraph.h"
 #include "analysis/RegionGraph.h"
+#include "analysis/SpecDeps.h"
 #include "profile/Profile.h"
 
 #include <cstdint>
@@ -55,12 +56,20 @@ public:
   /// the main thread and use profiled latencies).
   /// \p CallCosts (nullable) gives a per-callee latency estimate for call
   /// instructions, overriding the flat CallLatencyEstimate.
+  /// \p Spec (nullable) enables speculation-aware classification: a
+  /// loop-carried *data* edge the classifier calls cold is omitted from
+  /// the graph entirely (shrinking the critical pre-spawn partition) and
+  /// recorded in \p Drops. Control and intra-iteration edges are never
+  /// pruned. Region graphs must pass null — they model the main thread.
   static SliceDepGraph build(const analysis::ProgramDeps &Deps,
                              const std::vector<analysis::InstRef> &Insts,
                              const analysis::Loop *L, uint32_t LoopFunc,
                              const profile::ProfileData &PD,
                              bool PessimisticLoads = false,
                              const std::vector<uint32_t> *CallCosts =
+                                 nullptr,
+                             const analysis::SpecDeps *Spec = nullptr,
+                             std::vector<analysis::SpecDrop> *Drops =
                                  nullptr);
 
   size_t size() const { return Nodes.size(); }

@@ -17,8 +17,8 @@ using namespace ssp::ir;
 
 Slicer::Slicer(const ProgramDeps &Deps, const RegionGraph &RG,
                const CallGraph &CG, const profile::ProfileData &PD,
-               SliceOptions Opts)
-    : Deps(Deps), RG(RG), CG(CG), PD(PD), Opts(Opts) {}
+               SliceOptions Opts, const SpecDeps *Spec)
+    : Deps(Deps), RG(RG), CG(CG), PD(PD), Opts(Opts), Spec(Spec) {}
 
 bool Slicer::blockIsCold(uint32_t Func, uint32_t Block) const {
   if (!Opts.Speculative)
@@ -258,12 +258,23 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
 
         FD.reachingDefs().forEachReachingDef(
             Pos.Block, Pos.Inst, R, RDScratch, [&](const InstRef &Prod) {
-              if (InRegionAtFrame(Prod, K)) {
-                Include(Prod, K);
-              } else {
+              if (!InRegionAtFrame(Prod, K)) {
                 // Producer outside the region: the value is a live-in.
                 LiveInDense.set(R.denseIndex());
+                return;
               }
+              // Speculation-aware slicing: a cold purely-loop-carried
+              // producer is dropped from the slice and its value taken
+              // from the LIB at trigger time instead — exactly what the
+              // speculation assumes about the edge.
+              analysis::SpecDrop Drop;
+              if (Spec && Spec->shouldPrune(analysis::DepKind::Register,
+                                            Prod, Pos, &Drop)) {
+                LiveInDense.set(R.denseIndex());
+                S.SpecDrops.push_back(Drop);
+                return;
+              }
+              Include(Prod, K);
             });
 
         // Values produced inside callees: expand through summaries for
@@ -326,6 +337,14 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
     if (Opts.RejectStoreDependent && isLoad(Inst.Op)) {
       for (const InstRef &Store : FD.memorySources(I)) {
         if (InRegionAtFrame(Store, K)) {
+          // A cold store->load may-edge is speculatively ignored instead
+          // of rejecting the slice.
+          analysis::SpecDrop Drop;
+          if (Spec && Spec->shouldPrune(analysis::DepKind::Memory, Store, I,
+                                        &Drop)) {
+            S.SpecDrops.push_back(Drop);
+            continue;
+          }
           S.Valid = false;
           S.RejectReason = "address depends on an in-region store";
         }
@@ -346,6 +365,9 @@ Slice Slicer::computeSlice(const InstRef &Load, int RegionIdx,
     S.LiveIns.push_back(regFromDenseIndex(static_cast<unsigned>(Dense)));
   });
   S.Interprocedural |= TopFrame > 0;
+  std::sort(S.SpecDrops.begin(), S.SpecDrops.end());
+  S.SpecDrops.erase(std::unique(S.SpecDrops.begin(), S.SpecDrops.end()),
+                    S.SpecDrops.end());
 
   if (S.LiveIns.size() > sim::MaxLIBSlots - 2) {
     S.Valid = false;
@@ -363,6 +385,7 @@ void Slicer::mergeInto(Slice &A, const Slice &B) {
   unionInPlace(A.Insts, B.Insts);
   unionInPlace(A.TargetLoads, B.TargetLoads);
   unionInPlace(A.LiveIns, B.LiveIns);
+  unionInPlace(A.SpecDrops, B.SpecDrops);
   A.Interprocedural |= B.Interprocedural;
 }
 
@@ -377,10 +400,11 @@ bool Slicer::combineIfOverlapping(Slice &A, const Slice &B) {
     }
   if (!Shares)
     return false;
-  // Union members, targets and live-ins.
+  // Union members, targets, live-ins and speculation records.
   unionInPlace(A.Insts, B.Insts);
   unionInPlace(A.TargetLoads, B.TargetLoads);
   unionInPlace(A.LiveIns, B.LiveIns);
+  unionInPlace(A.SpecDrops, B.SpecDrops);
   A.Interprocedural |= B.Interprocedural;
   return true;
 }

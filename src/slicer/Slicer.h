@@ -32,6 +32,7 @@
 #include "analysis/CallGraph.h"
 #include "analysis/DependenceGraph.h"
 #include "analysis/RegionGraph.h"
+#include "analysis/SpecDeps.h"
 #include "profile/Profile.h"
 #include "support/BitVector.h"
 
@@ -67,6 +68,12 @@ struct Slice {
   bool Interprocedural = false;
   bool Valid = false;
   std::string RejectReason;
+
+  /// May-dependence edges speculatively dropped while building this slice
+  /// (sorted, deduplicated). Each producer became a trigger-time live-in
+  /// instead of a member; the `speculation.*` verify pass re-derives every
+  /// entry against the profile evidence.
+  std::vector<analysis::SpecDrop> SpecDrops;
 
   bool contains(const analysis::InstRef &I) const {
     for (const analysis::InstRef &M : Insts)
@@ -107,9 +114,13 @@ struct FuncSummary {
 /// const-shared.
 class Slicer {
 public:
+  /// \p Spec, when non-null and enabled, prunes cold may-dependences
+  /// during slice closure (speculation-aware slicing); every drop is
+  /// recorded in Slice::SpecDrops.
   Slicer(const analysis::ProgramDeps &Deps, const analysis::RegionGraph &RG,
          const analysis::CallGraph &CG, const profile::ProfileData &PD,
-         SliceOptions Opts = SliceOptions());
+         SliceOptions Opts = SliceOptions(),
+         const analysis::SpecDeps *Spec = nullptr);
 
   /// Computes the slice of \p Load's address restricted to region
   /// \p RegionIdx. \p ContextCallSites is the call-stack context from the
@@ -146,6 +157,7 @@ private:
   const analysis::CallGraph &CG;
   const profile::ProfileData &PD;
   SliceOptions Opts;
+  const analysis::SpecDeps *Spec;
   /// Shared by all copies of this slicer; immutable once built.
   std::shared_ptr<const std::vector<FuncSummary>> Summaries;
   /// Reused reaching-def id buffer (private per copy, so concurrent

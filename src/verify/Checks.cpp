@@ -991,6 +991,137 @@ private:
 };
 
 //===----------------------------------------------------------------------===//
+// Speculation audit (speculation.*)
+//===----------------------------------------------------------------------===//
+
+/// Audits the manifest's speculatively dropped may-dependence edges. The
+/// adaptation was *built* trusting analysis::SpecDeps; this pass replays
+/// the decision independently per recorded drop: the edge must
+/// re-classify as cold (never a must-dep), must have nonzero trip
+/// coverage, and the recorded evidence must match the classifier's. Each
+/// accepted drop becomes a `speculation.dropped-edge` note so the full
+/// audit trail reaches text and JSON output.
+class SpeculationPass : public VerifyPass {
+public:
+  const char *name() const override { return "speculation"; }
+  void run(const VerifyContext &Ctx, DiagnosticEngine &DE) override {
+    if (!Ctx.Manifest)
+      return; // Standalone ssp-verify without a plan: nothing to audit.
+    size_t NumDrops = 0;
+    for (const SliceManifest &SM : Ctx.Manifest->Slices)
+      NumDrops += SM.SpecDrops.size();
+    if (NumDrops == 0)
+      return;
+
+    if (!Ctx.Spec || !Ctx.Spec->enabled()) {
+      DE.errorInProgram(
+          "speculation.unsupported-drop",
+          std::to_string(NumDrops) +
+              " dropped dependence edges recorded but the speculation "
+              "classifier is " +
+              (Ctx.Spec ? "disabled (no profile evidence or --spec-deps "
+                          "off)"
+                        : "unavailable"),
+          "rebuild the adaptation without pruning, or supply the profile "
+          "evidence it was pruned with");
+      return;
+    }
+    if (!Ctx.Orig) {
+      DE.errorInProgram("speculation.unsupported-drop",
+                        "dropped dependence edges recorded but no original "
+                        "program to re-derive them against");
+      return;
+    }
+
+    // The drops name producer/consumer by static id in the *original*
+    // program (attachment code is never speculated on).
+    std::map<StaticId, analysis::InstRef> Index;
+    for (uint32_t FI = 0; FI < Ctx.Orig->numFuncs(); ++FI) {
+      const Function &F = Ctx.Orig->func(FI);
+      for (uint32_t BI = 0; BI < F.numBlocks(); ++BI) {
+        const BasicBlock &BB = F.block(BI);
+        for (uint32_t II = 0; II < BB.Insts.size(); ++II)
+          Index[makeStaticId(FI, BB.Insts[II].Id)] = {FI, BI, II};
+      }
+    }
+
+    for (const SliceManifest &SM : Ctx.Manifest->Slices)
+      for (const analysis::SpecDrop &D : SM.SpecDrops)
+        auditDrop(Ctx, DE, SM, D, Index);
+  }
+
+private:
+  static std::string describeEdge(const analysis::SpecDrop &D) {
+    return std::string(analysis::depKindName(D.Kind)) + " edge fn" +
+           std::to_string(staticIdFunc(D.From)) + ":@" +
+           std::to_string(staticIdInst(D.From)) + " -> fn" +
+           std::to_string(staticIdFunc(D.To)) + ":@" +
+           std::to_string(staticIdInst(D.To));
+  }
+
+  void auditDrop(const VerifyContext &Ctx, DiagnosticEngine &DE,
+                 const SliceManifest &SM, const analysis::SpecDrop &D,
+                 const std::map<StaticId, analysis::InstRef> &Index) {
+    auto FromIt = Index.find(D.From);
+    auto ToIt = Index.find(D.To);
+    if (FromIt == Index.end() || ToIt == Index.end()) {
+      DE.errorInFunc("speculation.unsupported-drop", SM.Func,
+                     "dropped " + describeEdge(D) +
+                         " names an instruction the original program does "
+                         "not contain");
+      return;
+    }
+    const analysis::InstRef &From = FromIt->second;
+    const analysis::InstRef &To = ToIt->second;
+
+    // Zero profile coverage means there was no evidence either way:
+    // dropping such an edge is never supported.
+    if (D.Trips == 0) {
+      DE.error("speculation.unsupported-drop", To,
+               "dropped " + describeEdge(D) +
+                   " has zero profile coverage (consumer never executed "
+                   "under the profile)");
+      return;
+    }
+
+    // Independent re-derivation of the classification and evidence.
+    analysis::DepClass C =
+        D.Kind == analysis::DepKind::Memory
+            ? Ctx.Spec->classifyMemEdge(From, To)
+            : Ctx.Spec->classifyRegEdge(From, To);
+    if (C != analysis::DepClass::Cold) {
+      DE.error("speculation.unsupported-drop", To,
+               "dropped " + describeEdge(D) + " re-classifies as " +
+                   analysis::depClassName(C) +
+                   ", not cold (observed " + std::to_string(D.Observed) +
+                   "/" + std::to_string(D.Trips) + " trips, threshold " +
+                   std::to_string(D.Threshold) + ")");
+      return;
+    }
+    uint64_t Observed = 0, Trips = 0;
+    Ctx.Spec->evidenceFor(D.Kind, From, To, Observed, Trips);
+    if (Observed != D.Observed || Trips != D.Trips ||
+        D.Threshold != Ctx.Spec->threshold()) {
+      DE.error("speculation.evidence-mismatch", To,
+               "dropped " + describeEdge(D) + " records evidence " +
+                   std::to_string(D.Observed) + "/" +
+                   std::to_string(D.Trips) + " @ " +
+                   std::to_string(D.Threshold) +
+                   " but the profile says " + std::to_string(Observed) +
+                   "/" + std::to_string(Trips) + " @ " +
+                   std::to_string(Ctx.Spec->threshold()));
+      return;
+    }
+
+    DE.note("speculation.dropped-edge", To,
+            "dropped " + describeEdge(D) + ": observed " +
+                std::to_string(D.Observed) + " of " +
+                std::to_string(D.Trips) + " trips (threshold " +
+                std::to_string(D.Threshold) + ")");
+  }
+};
+
+//===----------------------------------------------------------------------===//
 // Structural wrapper
 //===----------------------------------------------------------------------===//
 
@@ -1031,4 +1162,7 @@ std::unique_ptr<VerifyPass> ssp::verify::createSliceDataflowPass() {
 }
 std::unique_ptr<VerifyPass> ssp::verify::createLintPass() {
   return std::make_unique<LintPass>();
+}
+std::unique_ptr<VerifyPass> ssp::verify::createSpeculationPass() {
+  return std::make_unique<SpeculationPass>();
 }

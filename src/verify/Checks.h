@@ -14,6 +14,10 @@
 ///                         termination, prefetch coverage
 ///   lint.*                warnings: dead slice code, staging order,
 ///                         bundle slot pressure, trigger reachability
+///   speculation.*         speculation-aware dependence drops: every
+///                         manifest-recorded dropped may-edge re-derived
+///                         against the profile evidence (notes), with
+///                         evidence-free or must-dep drops fatal
 ///
 /// The full list with rationale is documented in DESIGN.md under
 /// "Verification architecture".
@@ -52,6 +56,16 @@ std::unique_ptr<VerifyPass> createSliceDataflowPass();
 /// spawn, over-subscribed issue bundles, LIB pressure, unreachable or
 /// possibly-uninitialized triggers.
 std::unique_ptr<VerifyPass> createLintPass();
+
+/// Audits the manifest's speculatively dropped dependence edges: each one
+/// is re-classified via Ctx.Spec and must come out cold with nonzero trip
+/// coverage and matching recorded evidence. Every accepted drop is emitted
+/// as a `speculation.dropped-edge` note (the speculation audit trail in
+/// text and JSON); a drop that is a must-dep, has zero profile coverage,
+/// exceeds the threshold, or lacks a classifier is a fatal
+/// `speculation.unsupported-drop`. Skips silently when no manifest is
+/// present or it records no drops.
+std::unique_ptr<VerifyPass> createSpeculationPass();
 
 } // namespace ssp::verify
 

@@ -21,6 +21,7 @@
 #ifndef SSP_VERIFY_MANIFEST_H
 #define SSP_VERIFY_MANIFEST_H
 
+#include "analysis/SpecDeps.h"
 #include "ir/Reg.h"
 
 #include <cstdint>
@@ -45,6 +46,12 @@ struct SliceManifest {
   bool UsesBudget = false;
   /// The budget value staged via lib.sti when UsesBudget.
   uint64_t TripBudget = 0;
+  /// May-dependence edges speculatively dropped for this slice (slicer
+  /// membership drops plus scheduler carried-edge drops, sorted and
+  /// deduplicated), each with the profile evidence that justified it. The
+  /// `speculation.*` verify pass re-derives every entry and rejects drops
+  /// without evidence.
+  std::vector<analysis::SpecDrop> SpecDrops;
 };
 
 /// Everything the rewriter planned, for one whole adaptation.

@@ -35,6 +35,10 @@ struct VerifyContext {
   const ir::Program *Orig = nullptr;          ///< Pre-adaptation binary.
   const AdaptationManifest *Manifest = nullptr; ///< Rewriter's plan.
   obs::Registry *Metrics = nullptr;           ///< Optional metrics sink.
+  /// The speculation classifier the adaptation pruned with (over the
+  /// *original* program's dependence graph). Required by the speculation
+  /// pass whenever the manifest records dropped edges; null otherwise.
+  const analysis::SpecDeps *Spec = nullptr;
 };
 
 /// One verification pass.

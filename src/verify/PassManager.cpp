@@ -39,6 +39,7 @@ PassManager PassManager::standardPipeline() {
   PM.add(createStubContractPass());
   PM.add(createSliceDataflowPass());
   PM.add(createLintPass());
+  PM.add(createSpeculationPass());
   return PM;
 }
 

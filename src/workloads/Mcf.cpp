@@ -36,6 +36,16 @@ constexpr uint64_t NodeBase = 0x8000000;
 constexpr uint64_t NodeStride = 64;
 constexpr unsigned NumNodes = 1 << 16;  // 4 MiB of node lines.
 constexpr unsigned NumPasses = 2;       // Outer pricing iterations.
+constexpr unsigned ArcsPerPass = (NumArcs + NrGroup - 1) / NrGroup;
+
+// mcf re-derives the scan pointer from the group bookkeeping when a group
+// boundary is crossed ("arc = arcs + group_pos"); here that resync fires
+// once per pass, at iteration SyncIter, recomputing the pointer as
+// base + i * stride from the arcs base spilled to memory. It is rare but
+// *executed* — block-level speculative slicing cannot filter it, only the
+// profile-cold carried edge it feeds can be pruned (--spec-deps).
+constexpr unsigned SyncIter = 1024;
+constexpr uint64_t SyncBase = 0x9200;
 
 // Arc layout: +0 cost, +8 tail pointer.
 // Node layout: +0 potential.
@@ -90,14 +100,19 @@ Workload ssp::workloads::makeMcf() {
     uint32_t Loop = B.createBlock("loop");
     uint32_t LoopBody = B.createBlock("loop.body");
     uint32_t Latch = B.createBlock("latch");
+    uint32_t Latch2 = B.createBlock("latch.cont");
     uint32_t Done = B.createBlock("done");
     uint32_t Update = B.createBlock("basket_update");
     uint32_t Refresh = B.createBlock("refresh.tail");
+    uint32_t Resync = B.createBlock("group.resync");
 
     const Reg Arc = ireg(1), Sum = ireg(2), Tail = ireg(3), K = ireg(4),
               Cost = ireg(5), Pot = ireg(6), RedCost = ireg(7),
-              BestCost = ireg(9), BestArc = ireg(10), Tail2 = ireg(11);
-    const Reg Cont = preg(1), IsBetter = preg(2), NeedRefresh = preg(3);
+              BestCost = ireg(9), BestArc = ireg(10), Tail2 = ireg(11),
+              ICnt = ireg(12), SyncPtr = ireg(13), GrpArc = ireg(14),
+              Wgt = ireg(15), WSum = ireg(16), ROfs = ireg(17);
+    const Reg Cont = preg(1), IsBetter = preg(2), NeedRefresh = preg(3),
+              NeedSync = preg(5);
 
     B.setInsertPoint(Entry);
     B.movI(Arc, ArcBase);
@@ -105,6 +120,9 @@ Workload ssp::workloads::makeMcf() {
     B.movI(Sum, 0);
     B.movI(BestCost, 1 << 30);
     B.movI(BestArc, 0);
+    B.movI(ICnt, 0);
+    B.movI(SyncPtr, SyncBase);
+    B.load(GrpArc, SyncPtr, 0); // Spilled arcs base ("arcs" pointer).
     B.jmp(Loop);
 
     B.setInsertPoint(Loop);
@@ -116,13 +134,22 @@ Workload ssp::workloads::makeMcf() {
     B.setInsertPoint(LoopBody);
     B.load(Pot, Tail, 0);      // tail->potential: the delinquent load.
     B.sub(RedCost, Cost, Pot); // red_cost = cost - potential.
-    B.add(Sum, Sum, RedCost);
+    // Degeneracy-weighted accumulation (mcf scales reduced costs by the
+    // per-arc flow weight before summing into the pricing total).
+    B.mulI(Wgt, RedCost, 5);
+    B.xor_(WSum, Wgt, Cost);
+    B.add(Sum, Sum, WSum);
     B.cmp(CondCode::LT, IsBetter, RedCost, BestCost);
     B.br(IsBetter, Update);
 
     B.setInsertPoint(Latch);
     B.addI(Arc, Arc, ArcSize * NrGroup);
-    B.cmp(CondCode::LT, Cont, Arc, K);
+    B.addI(ICnt, ICnt, 1);
+    B.cmpI(CondCode::EQ, NeedSync, ICnt, SyncIter);
+    B.br(NeedSync, Resync); // Falls through to latch.cont.
+
+    B.setInsertPoint(Latch2);
+    B.cmpI(CondCode::LT, Cont, ICnt, ArcsPerPass);
     B.br(Cont, Loop);
 
     B.setInsertPoint(Update); // Basket update: remember the best arc.
@@ -134,6 +161,19 @@ Workload ssp::workloads::makeMcf() {
     B.load(Tail2, Arc, 16);    // Secondary tail slot.
     B.mov(Tail, Tail2);
     B.jmp(LoopBody);
+
+    // Rare (once per pass): re-derive the scan pointer from the spilled
+    // base, mcf's "arc = arcs + group_pos". The recomputation yields
+    // exactly the address the scan already holds, so semantics do not
+    // change — but the carried Arc def here reaches the next iteration's
+    // arc loads, and a static slicer must drag the resync (and its
+    // control chain) into every p-slice. The profile shows the edge
+    // activates on ~1/SyncIter of trips; --spec-deps prunes it and the
+    // chain falls out.
+    B.setInsertPoint(Resync);
+    B.mulI(ROfs, ICnt, ArcSize * NrGroup);
+    B.add(Arc, GrpArc, ROfs);
+    B.jmp(Latch2);
 
     B.setInsertPoint(Done);
     B.add(RetVal, Sum, BestCost);
@@ -158,6 +198,11 @@ Workload ssp::workloads::makeMcf() {
       Mem.write(Arc + 8, Tails[I]);
       Mem.write(Arc + 16, Tails[I]); // Secondary tail (cold refresh path).
     }
+    // Spilled arcs base: the resync recomputes arc = base + i * stride,
+    // which equals the address the scan already holds — a semantic no-op
+    // re-derivation.
+    static_assert(SyncIter < ArcsPerPass, "resync must fire");
+    Mem.write(SyncBase, ArcBase);
     Mem.write(ResultAddr, 0);
 
     // Mirror the program to compute the expected checksum.
@@ -169,7 +214,7 @@ Workload ssp::workloads::makeMcf() {
       for (uint64_t A = 0; A < NumArcs; A += NrGroup) {
         int64_t Red = static_cast<int64_t>(Costs[A]) -
                       static_cast<int64_t>(Mem.read(Tails[A]));
-        Sum += static_cast<uint64_t>(Red);
+        Sum += (static_cast<uint64_t>(Red) * 5) ^ Costs[A];
         if (Red < BestCost) {
           BestCost = Red;
           BestArc = ArcBase + A * ArcSize;

@@ -20,6 +20,16 @@ using namespace ssp::workloads;
 
 namespace {
 
+void expectDepEdgesEqual(const std::vector<analysis::DepEdgeCount> &A,
+                         const std::vector<analysis::DepEdgeCount> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].From, B[I].From) << "edge " << I;
+    EXPECT_EQ(A[I].To, B[I].To) << "edge " << I;
+    EXPECT_EQ(A[I].Count, B[I].Count) << "edge " << I;
+  }
+}
+
 void expectProfilesEqual(const ProfileData &A, const ProfileData &B) {
   EXPECT_EQ(A.BaselineCycles, B.BaselineCycles);
   ASSERT_EQ(A.BlockCounts.size(), B.BlockCounts.size());
@@ -53,6 +63,21 @@ void expectProfilesEqual(const ProfileData &A, const ProfileData &B) {
       EXPECT_EQ(SA.Partials[L], SB.Partials[L]);
     }
   }
+  // Dependence evidence: the fields analysis::SpecDeps classifies from.
+  // Zero inst counts are omitted from the text (absent == zero to the
+  // classifier), so rows compare modulo trailing zeros.
+  EXPECT_EQ(A.HasDepEvidence, B.HasDepEvidence);
+  auto TrimZeros = [](std::vector<uint64_t> Row) {
+    while (!Row.empty() && Row.back() == 0)
+      Row.pop_back();
+    return Row;
+  };
+  ASSERT_EQ(A.InstCounts.size(), B.InstCounts.size());
+  for (size_t F = 0; F < A.InstCounts.size(); ++F)
+    EXPECT_EQ(TrimZeros(A.InstCounts[F]), TrimZeros(B.InstCounts[F]))
+        << "fn" << F;
+  expectDepEdgesEqual(A.MemDepCounts, B.MemDepCounts);
+  expectDepEdgesEqual(A.RegDepCounts, B.RegDepCounts);
 }
 
 TEST(ProfileIO, RoundTripsPaperSuiteByteIdentically) {
@@ -140,6 +165,61 @@ TEST(ProfileIO, RejectsMalformedInputWithLocatedErrors) {
        "duplicate 'load'"},
       {"short load record", "sspprof v1\nfuncs 1\nload 0 3 1 0 0\n",
        "malformed 'load'"},
+      // Dependence-evidence records (depevidence/instcount/memdep/regdep).
+      {"instcount before depevidence",
+       "sspprof v1\nfuncs 1\ninstcount 0 0 5\n", "before 'depevidence'"},
+      {"memdep before depevidence",
+       "sspprof v1\nfuncs 1\nmemdep 0 0 1 5\n", "before 'depevidence'"},
+      {"regdep before depevidence",
+       "sspprof v1\nfuncs 1\nregdep 0 0 1 5\n", "before 'depevidence'"},
+      {"duplicate depevidence",
+       "sspprof v1\nfuncs 1\ndepevidence 1\ndepevidence 1\n",
+       "duplicate 'depevidence'"},
+      {"depevidence version",
+       "sspprof v1\nfuncs 1\ndepevidence 2\n", "unsupported 'depevidence'"},
+      {"zero instcount",
+       "sspprof v1\nfuncs 1\ndepevidence 1\ninstcount 0 0 0\n",
+       "zero 'instcount'"},
+      {"out-of-order instcounts",
+       "sspprof v1\nfuncs 1\ndepevidence 1\ninstcount 0 2 5\n"
+       "instcount 0 1 4\n",
+       "out of order"},
+      {"duplicate instcount",
+       "sspprof v1\nfuncs 1\ndepevidence 1\ninstcount 0 1 5\n"
+       "instcount 0 1 5\n",
+       "out of order"},
+      {"out-of-order memdeps",
+       "sspprof v1\nfuncs 1\ndepevidence 1\nmemdep 0 2 3 5\n"
+       "memdep 0 1 3 4\n",
+       "out of order"},
+      {"out-of-order regdeps",
+       "sspprof v1\nfuncs 1\ndepevidence 1\nregdep 0 2 3 5\n"
+       "regdep 0 1 3 4\n",
+       "out of order"},
+      {"instcount func out of range",
+       "sspprof v1\nfuncs 1\ndepevidence 1\ninstcount 1 0 5\n",
+       "out of range"},
+      {"memdep func out of range",
+       "sspprof v1\nfuncs 1\ndepevidence 1\nmemdep 1 0 1 5\n",
+       "out of range"},
+      {"truncated instcount",
+       "sspprof v1\nfuncs 1\ndepevidence 1\ninstcount 0 1\n",
+       "malformed 'instcount'"},
+      {"truncated memdep",
+       "sspprof v1\nfuncs 1\ndepevidence 1\nmemdep 0 1 2\n",
+       "malformed 'memdep'"},
+      {"truncated regdep",
+       "sspprof v1\nfuncs 1\ndepevidence 1\nregdep 0 1 2\n",
+       "malformed 'regdep'"},
+      {"instcount count overflow",
+       "sspprof v1\nfuncs 1\ndepevidence 1\n"
+       "instcount 0 1 99999999999999999999\n",
+       "malformed 'instcount'"},
+      {"memdep id overflow",
+       "sspprof v1\nfuncs 1\ndepevidence 1\nmemdep 0 99999999999 1 5\n",
+       "out of 32-bit range"},
+      {"depevidence trailing junk",
+       "sspprof v1\nfuncs 1\ndepevidence 1 extra\n", "trailing junk"},
   };
   for (const BadCase &C : Cases) {
     SCOPED_TRACE(C.Name);
@@ -149,6 +229,114 @@ TEST(ProfileIO, RejectsMalformedInputWithLocatedErrors) {
     EXPECT_NE(Err.find("line "), std::string::npos) << Err;
     EXPECT_NE(Err.find(C.ErrSubstring), std::string::npos) << Err;
   }
+}
+
+// The canonical record order the writer guarantees: the dependence
+// evidence forms a trailer — marker first, then instcounts, memdeps,
+// regdeps — after every legacy record kind. Cache keys are built from the
+// text, so the order is part of the format contract, not a style choice.
+TEST(ProfileIO, DependenceRecordsAreACanonicalTrailer) {
+  size_t SuiteMemDeps = 0, SuiteRegDeps = 0;
+  for (const Workload &W : paperSuite()) {
+    SCOPED_TRACE(W.Name);
+    const ProfileData &PD = profiledWorkload(W).PD;
+    ASSERT_TRUE(PD.HasDepEvidence);
+    EXPECT_FALSE(PD.InstCounts.empty());
+    SuiteMemDeps += PD.MemDepCounts.size();
+    SuiteRegDeps += PD.RegDepCounts.size();
+
+    std::string Text = writeProfileText(PD);
+    size_t Ev = Text.find("\ndepevidence 1\n");
+    ASSERT_NE(Ev, std::string::npos);
+    EXPECT_EQ(Text.find("depevidence", Ev + 2), std::string::npos);
+    // No legacy record may follow the marker.
+    for (const char *Kw :
+         {"\nbaseline ", "\nfuncs ", "\nblockcounts ", "\nedge ", "\ncall ",
+          "\nicall ", "\nload "})
+      EXPECT_EQ(Text.find(Kw, Ev), std::string::npos) << Kw;
+    // Evidence kinds appear in instcount -> memdep -> regdep order.
+    size_t Ic = Text.find("\ninstcount ");
+    size_t Md = Text.find("\nmemdep ");
+    size_t Rd = Text.find("\nregdep ");
+    ASSERT_NE(Ic, std::string::npos);
+    EXPECT_LT(Ev, Ic);
+    if (Md != std::string::npos) {
+      EXPECT_LT(Ic, Md);
+    }
+    if (Rd != std::string::npos) {
+      EXPECT_LT(Ic, Rd);
+      if (Md != std::string::npos) {
+        EXPECT_LT(Md, Rd);
+      }
+    }
+  }
+  // The suite exercises both dependence kinds end to end.
+  EXPECT_GT(SuiteMemDeps, 0u);
+  EXPECT_GT(SuiteRegDeps, 0u);
+}
+
+// The parser's totality contract under mutation: every mutant either
+// fails with a located "line N:" error or parses into a profile whose
+// canonical text is a fixpoint. Nothing may crash or silently accept a
+// corrupt record.
+void expectParseTotal(const std::string &Text) {
+  ProfileData PD;
+  std::string Err;
+  if (!parseProfileText(Text, PD, Err)) {
+    EXPECT_NE(Err.find("line "), std::string::npos) << Err;
+    return;
+  }
+  std::string Canon = writeProfileText(PD);
+  ProfileData PD2;
+  ASSERT_TRUE(parseProfileText(Canon, PD2, Err)) << Err;
+  EXPECT_EQ(writeProfileText(PD2), Canon);
+}
+
+TEST(ProfileIO, MutatedDependenceRecordsFailLocatedOrStayCanonical) {
+  const ProfileData &PD = profiledWorkload(makeMcf()).PD;
+  ASSERT_TRUE(PD.HasDepEvidence);
+  std::string Text = writeProfileText(PD);
+
+  std::vector<std::string> Lines;
+  for (size_t Pos = 0; Pos < Text.size();) {
+    size_t Nl = Text.find('\n', Pos);
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+
+  auto rebuild = [&](size_t Skip, const std::string &Replace) {
+    std::string S;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (I == Skip)
+        S += Replace; // May be empty (deletion) or two lines (duplication).
+      else
+        S += Lines[I] + "\n";
+    }
+    return S;
+  };
+
+  unsigned Mutants = 0;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const std::string &L = Lines[I];
+    if (L.rfind("depevidence", 0) != 0 && L.rfind("instcount", 0) != 0 &&
+        L.rfind("memdep", 0) != 0 && L.rfind("regdep", 0) != 0)
+      continue;
+    SCOPED_TRACE("line " + std::to_string(I + 1) + ": " + L);
+    // Truncated record: drop the last token.
+    expectParseTotal(rebuild(I, L.substr(0, L.find_last_of(' ')) + "\n"));
+    // Unknown record: corrupt the keyword.
+    expectParseTotal(rebuild(I, "x" + L + "\n"));
+    // Duplicated record: breaks the strict sort (or the marker's
+    // uniqueness).
+    expectParseTotal(rebuild(I, L + "\n" + L + "\n"));
+    // Deleted record: legal for counts/edges, fatal for the marker.
+    expectParseTotal(rebuild(I, ""));
+    // File truncated mid-record.
+    expectParseTotal(Text.substr(0, Text.find(L) + L.size() / 2));
+    Mutants += 5;
+  }
+  // The sweep must actually have covered the evidence trailer.
+  EXPECT_GE(Mutants, 5u * 4u);
 }
 
 TEST(ProfileIO, ErrorLineNumbersAreExact) {

@@ -272,10 +272,12 @@ INSTANTIATE_TEST_SUITE_P(
         // pollution); fate totals are a true rate and extrapolate well.
         ErrorBoundCase{"em3d-enhanced", workloads::makeEm3d, true,
                        "4000:2000:6000:4000", 4.0, 2.0},
-        // mcf baseline: short program, phase-aliased; the period-16k plan
-        // is the one that averages across its phases.
+        // mcf baseline: short program, phase-aliased between an all-miss
+        // first pricing pass and an L2-resident second one; the plan's
+        // period (23k insts) matches the pass length, so each pass
+        // contributes one detail window.
         ErrorBoundCase{"mcf-baseline", workloads::makeMcf, false,
-                       "4000:2000:8000:2000", 3.0, -1.0},
+                       "12000:2000:7000:2000", 3.0, -1.0},
         // stress baseline: the throughput-acceptance tier of the bench.
         ErrorBoundCase{"stress128-baseline", makeStress128, false,
                        "20000:2000:78000:2000", 2.0, -1.0}),

@@ -160,9 +160,9 @@ TEST(DiagnosticEngine, RenderJSONEscapesAndCounts) {
 TEST(PassManagerTest, StandardPipelineHasExpectedOrder) {
   verify::PassManager PM = verify::PassManager::standardPipeline();
   std::vector<std::string> Names = PM.passNames();
-  ASSERT_EQ(Names.size(), 5u);
+  ASSERT_EQ(Names.size(), 6u);
   EXPECT_EQ(Names.front(), "structural");
-  EXPECT_EQ(Names.back(), "lint");
+  EXPECT_EQ(Names.back(), "speculation");
 }
 
 //===----------------------------------------------------------------------===//

@@ -13,6 +13,14 @@
 //                                        spelling 0: hardware concurrency;
 //                                        the output is identical for
 //                                        every N)
+//   ssp-adapt input.ssp --spec-deps[=T]  prune profile-cold may-dependences
+//                                        from p-slices (threshold T in
+//                                        [0, 1], default 0: only edges the
+//                                        profile never observed). Off, the
+//                                        output is bit-identical to a build
+//                                        without the flag; every drop is
+//                                        audited by the speculation.*
+//                                        verify pass.
 //   ssp-adapt input.ssp --throttle       enable dynamic trigger throttling
 //   ssp-adapt input.ssp --verbose        trace the region/model decisions
 //   ssp-adapt input.ssp --Werror         verifier warnings fail the run
@@ -58,8 +66,9 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp> [--emit] [--run] [--no-chaining] "
-               "[--jobs N] [--throttle] [--verbose] [--Werror] "
-               "[--metrics <out.json>] [--profile <in.sspprof>] "
+               "[--jobs N] [--spec-deps[=T]] [--throttle] [--verbose] "
+               "[--Werror] [--metrics <out.json>] "
+               "[--profile <in.sspprof>] "
                "[--emit-profile <out.sspprof>]\n",
                Argv0);
   return 1;
@@ -104,6 +113,18 @@ int main(int argc, char **argv) {
       .flag("--run", Run)
       .flag("--no-chaining", NoChaining)
       .flag("--jobs", Opts.Jobs, 0, 512)
+      .flagEq("--spec-deps",
+              [&](const char *V) {
+                Opts.EnableSpecDeps = true;
+                if (!V)
+                  return true;
+                char *End = nullptr;
+                double D = std::strtod(V, &End);
+                if (*V == '\0' || *End != '\0' || !(D >= 0.0 && D <= 1.0))
+                  return false;
+                Opts.SpecDepThreshold = D;
+                return true;
+              })
       .flag("--metrics", MetricsPath)
       .flag("--profile", ProfilePath)
       .flag("--emit-profile", EmitProfilePath)
