@@ -1,0 +1,213 @@
+//===- bench/bench_feedback.cpp - closed-loop re-adaptation evaluation ----===//
+//
+// The headline experiment of the feedback subsystem: for every workload of
+// the paper suite, run the one-shot adaptation and the closed feedback
+// loop (adapt -> simulate -> fold per-trigger prefetch fates into per-load
+// directives -> re-adapt, to a fixpoint or 4 rounds, monotonic accept) and
+// report the speedup delta of the fixpoint binary over the one-shot one.
+//
+// The per-round decision trace (hoists, deepenings, throttles, drops) is
+// printed for every workload, the fixpoint binary's checksum is validated
+// against the analytically expected value, and the JSON report
+// (BENCH_feedback.json via --out) carries per-workload one-shot/feedback
+// speedups plus the counts scripts/check_feedback_json.py gates in CI:
+// >= 2 workloads must improve, none may regress, and every loop must
+// reach its fixpoint within the round bound.
+//
+//   bench_feedback [--jobs N] [--out FILE] [--no-skip] [--sample[=W:D:F]]
+//
+// --sample applies to the loop's *internal* per-round simulations; the
+// final reported speedups always come from full-detail runs so the
+// headline numbers are exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Feedback.h"
+#include "core/ReportRender.h"
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+namespace {
+
+/// Feedback-round cap: the acceptance bar (and the CI gate) is a fixpoint
+/// within 4 rounds on every workload.
+constexpr unsigned kMaxRounds = 4;
+
+struct WorkloadOutcome {
+  std::string Name;
+  double OneShot = 0.0;
+  double Feedback = 0.0;
+  unsigned Rounds = 0;
+  unsigned AcceptedRounds = 0;
+  unsigned Decisions = 0;
+  bool Fixpoint = false;
+  bool ChecksumOk = false;
+  unsigned VerifyErrors = 0;
+  std::string Trace; ///< renderFeedbackText of the loop.
+};
+
+bool checksumOk(const ir::Program &P,
+                const std::function<uint64_t(mem::SimMemory &)> &Build,
+                bool SkipIdle) {
+  ir::LinkedProgram LP = ir::LinkedProgram::link(P);
+  mem::SimMemory Mem;
+  uint64_t Expected = Build(Mem);
+  sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+  Cfg.SkipIdleCycles = SkipIdle;
+  sim::Simulator Sim(Cfg, LP, Mem);
+  Sim.run();
+  return Mem.read(workloads::ResultAddr) == Expected;
+}
+
+WorkloadOutcome runOne(const workloads::Workload &W, const BenchArgs &Args) {
+  WorkloadOutcome O;
+  O.Name = W.Name;
+
+  ir::Program Orig = W.Build();
+  profile::ProfileData PD = core::profileProgram(Orig, W.BuildMemory);
+
+  core::ToolOptions TO;
+  core::FeedbackOptions FO;
+  FO.MaxRounds = kMaxRounds;
+  if (Args.Sample.enabled())
+    FO.Sample = Args.Sample;
+  core::FeedbackResult FR =
+      core::runFeedbackLoop(Orig, PD, TO, FO, W.BuildMemory);
+
+  O.OneShot = FR.OneShotSpeedup;
+  O.Feedback = FR.BestSpeedup;
+  O.Rounds = static_cast<unsigned>(FR.Rounds.size());
+  O.Fixpoint = FR.Fixpoint;
+  O.VerifyErrors = FR.BestReport.VerifyErrors;
+  O.Trace = core::renderFeedbackText(FR);
+  for (const core::FeedbackRound &R : FR.Rounds) {
+    if (R.Accepted)
+      ++O.AcceptedRounds;
+    O.Decisions += static_cast<unsigned>(R.Decisions.size());
+  }
+
+  // Validate the delivered binary end-to-end: the fixpoint program must
+  // still compute the workload's expected checksum.
+  O.ChecksumOk = checksumOk(FR.Best, W.BuildMemory, !Args.NoSkip);
+  return O;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv);
+  std::printf("=== Closed-loop feedback-directed re-adaptation "
+              "(max %u rounds) ===\n",
+              kMaxRounds);
+  printMachineBanner();
+
+  const std::vector<workloads::Workload> Suite = workloads::paperSuite();
+  std::vector<WorkloadOutcome> Out(Suite.size());
+  support::ThreadPool Pool(Args.Jobs);
+  Pool.parallelFor(Suite.size(),
+                   [&](size_t I) { Out[I] = runOne(Suite[I], Args); });
+
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("benchmark"));
+  T.cell(std::string("one-shot"));
+  T.cell(std::string("feedback"));
+  T.cell(std::string("delta"));
+  T.cell(std::string("rounds"));
+  T.cell(std::string("decisions"));
+  T.cell(std::string("fixpoint"));
+  for (const WorkloadOutcome &O : Out) {
+    T.row();
+    T.cell(O.Name);
+    T.cell(O.OneShot, 3);
+    T.cell(O.Feedback, 3);
+    T.cell(O.Feedback - O.OneShot, 3);
+    T.cell(static_cast<unsigned long long>(O.Rounds));
+    T.cell(static_cast<unsigned long long>(O.Decisions));
+    T.cell(std::string(O.Fixpoint ? "yes" : "no"));
+  }
+  T.print();
+
+  std::printf("\n");
+  for (const WorkloadOutcome &O : Out) {
+    std::printf("--- %s ---\n", O.Name.c_str());
+    std::fputs(O.Trace.c_str(), stdout);
+  }
+
+  unsigned Improved = 0, Regressed = 0, MaxRoundsUsed = 0;
+  unsigned TotalErrors = 0;
+  bool AllFixpoint = true, ChecksumsOk = true;
+  std::string Json = "{\n  \"max_rounds\": " + std::to_string(kMaxRounds) +
+                     ",\n  \"jobs\": " +
+                     std::to_string(Pool.numThreads()) +
+                     ",\n  \"workloads\": [\n";
+  char Buf[512];
+  for (size_t I = 0; I < Out.size(); ++I) {
+    const WorkloadOutcome &O = Out[I];
+    // Strict comparison: the monotonic-accept rule makes feedback < one-
+    // shot impossible, so any regression here is a harness/loop bug.
+    if (O.Feedback > O.OneShot)
+      ++Improved;
+    if (O.Feedback < O.OneShot)
+      ++Regressed;
+    MaxRoundsUsed = std::max(MaxRoundsUsed, O.Rounds);
+    AllFixpoint = AllFixpoint && O.Fixpoint;
+    ChecksumsOk = ChecksumsOk && O.ChecksumOk;
+    TotalErrors += O.VerifyErrors;
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\n"
+                  "      \"name\": \"%s\",\n"
+                  "      \"speedup_oneshot\": %.4f,\n"
+                  "      \"speedup_feedback\": %.4f,\n"
+                  "      \"speedup_delta\": %.4f,\n"
+                  "      \"rounds\": %u,\n"
+                  "      \"accepted_rounds\": %u,\n"
+                  "      \"decisions\": %u,\n"
+                  "      \"fixpoint\": %s,\n"
+                  "      \"checksum_ok\": %s,\n"
+                  "      \"verify_errors\": %u\n"
+                  "    }%s\n",
+                  O.Name.c_str(), O.OneShot, O.Feedback,
+                  O.Feedback - O.OneShot, O.Rounds, O.AcceptedRounds,
+                  O.Decisions, O.Fixpoint ? "true" : "false",
+                  O.ChecksumOk ? "true" : "false", O.VerifyErrors,
+                  I + 1 == Out.size() ? "" : ",");
+    Json += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "  ],\n"
+                "  \"workloads_improved\": %u,\n"
+                "  \"workloads_regressed\": %u,\n"
+                "  \"max_rounds_used\": %u,\n"
+                "  \"all_fixpoint\": %s,\n"
+                "  \"verify_errors\": %u,\n"
+                "  \"checksum_ok\": %s\n"
+                "}\n",
+                Improved, Regressed, MaxRoundsUsed,
+                AllFixpoint ? "true" : "false", TotalErrors,
+                ChecksumsOk ? "true" : "false");
+  Json += Buf;
+
+  std::printf("feedback: %u workloads improved, %u regressed, max %u "
+              "rounds, fixpoint %s, %u verify errors\n",
+              Improved, Regressed, MaxRoundsUsed,
+              AllFixpoint ? "everywhere" : "NOT reached", TotalErrors);
+
+  if (Args.OutPath) {
+    std::FILE *F = std::fopen(Args.OutPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Args.OutPath);
+      return 1;
+    }
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+  }
+  return (ChecksumsOk && TotalErrors == 0 && Regressed == 0) ? 0 : 1;
+}

@@ -62,6 +62,26 @@ add_custom_target(bench-ablation
   COMMENT "Running the slicing ablation (spec-deps on/off) on the suite"
   VERBATIM)
 
+ssp_add_bench(bench_feedback)
+
+# `cmake --build build --target bench-feedback` reruns the closed-loop
+# feedback evaluation — one-shot vs adapt->simulate->re-adapt fixpoint on
+# the paper suite — and writes BENCH_feedback.json with per-workload
+# speedups, round counts and decision traces;
+# scripts/check_feedback_json.py validates it in CI (>= 2 workloads
+# improve, none regress, fixpoint within the round bound, checksums and
+# zero verify errors).
+add_custom_target(bench-feedback
+  COMMAND ${CMAKE_COMMAND}
+          -DBENCH_BIN=$<TARGET_FILE:bench_feedback>
+          -DOUT=${CMAKE_BINARY_DIR}/BENCH_feedback.json
+          -DJOBS=2
+          -DREQUIRE=workloads_improved
+          -P ${CMAKE_SOURCE_DIR}/bench/emit_json.cmake
+  DEPENDS bench_feedback
+  COMMENT "Running the closed-loop feedback evaluation on the suite"
+  VERBATIM)
+
 ssp_add_bench(bench_serve)
 
 # `cmake --build build --target bench-serve` drives the AdaptService the

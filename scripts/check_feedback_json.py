@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_feedback.json report emitted by bench_feedback.
+
+    check_feedback_json.py <BENCH_feedback.json>
+
+Stdlib only (json + sys): CI must not grow dependencies. Checks the
+closed-loop feedback-directed re-adaptation report against the feature's
+acceptance bar:
+
+  * shape: per-workload keys present and sane, round counts bounded;
+  * safety: intact checksums, zero verify errors, and no workload where
+    the feedback binary is slower than the one-shot binary (the
+    monotonic-accept rule makes a regression a loop bug, not noise);
+  * convergence: every loop reaches its fixpoint within max_rounds;
+  * effect: the fixpoint beats the one-shot on >= 2 workloads.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+WORKLOAD_KEYS = (
+    "name",
+    "speedup_oneshot",
+    "speedup_feedback",
+    "speedup_delta",
+    "rounds",
+    "accepted_rounds",
+    "decisions",
+    "fixpoint",
+    "checksum_ok",
+    "verify_errors",
+)
+
+TOP_KEYS = (
+    "max_rounds",
+    "jobs",
+    "workloads",
+    "workloads_improved",
+    "workloads_regressed",
+    "max_rounds_used",
+    "all_fixpoint",
+    "verify_errors",
+    "checksum_ok",
+)
+
+
+def fail(msg):
+    sys.stderr.write("check_feedback_json: %s\n" % msg)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        fail("usage: check_feedback_json.py <BENCH_feedback.json>")
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot read %s: %s" % (argv[1], e))
+
+    for key in TOP_KEYS:
+        if key not in doc:
+            fail("missing top-level key %r" % key)
+    if not isinstance(doc["workloads"], list) or not doc["workloads"]:
+        fail("'workloads' must be a non-empty list")
+    if doc["max_rounds"] < 1:
+        fail("max_rounds %r must be >= 1" % doc["max_rounds"])
+
+    improved = regressed = errors = 0
+    max_rounds_used = 0
+    for w in doc["workloads"]:
+        for key in WORKLOAD_KEYS:
+            if key not in w:
+                fail("workload entry missing key %r: %r" % (key, w))
+        name = w["name"]
+        if w["speedup_oneshot"] <= 0 or w["speedup_feedback"] <= 0:
+            fail("%s: speedups must be positive" % name)
+        delta = w["speedup_feedback"] - w["speedup_oneshot"]
+        if abs(delta - w["speedup_delta"]) > 0.00011:
+            fail("%s: speedup_delta %s inconsistent with speedups"
+                 % (name, w["speedup_delta"]))
+        if not 1 <= w["rounds"] <= doc["max_rounds"]:
+            fail("%s: %s rounds outside [1, %s]"
+                 % (name, w["rounds"], doc["max_rounds"]))
+        if not 1 <= w["accepted_rounds"] <= w["rounds"]:
+            fail("%s: accepted_rounds %s outside [1, rounds]; round 1 is "
+                 "always accepted" % (name, w["accepted_rounds"]))
+        if not w["fixpoint"] and w["rounds"] < doc["max_rounds"]:
+            fail("%s: loop stopped after %s rounds without a fixpoint"
+                 % (name, w["rounds"]))
+        if not w["checksum_ok"]:
+            fail("%s: the fixpoint binary corrupted the result checksum"
+                 % name)
+        if w["speedup_feedback"] > w["speedup_oneshot"]:
+            improved += 1
+            if w["decisions"] == 0:
+                fail("%s: speedup improved with zero feedback decisions"
+                     % name)
+        if w["speedup_feedback"] < w["speedup_oneshot"]:
+            regressed += 1
+        errors += w["verify_errors"]
+        max_rounds_used = max(max_rounds_used, w["rounds"])
+
+    if improved != doc["workloads_improved"]:
+        fail("workloads_improved %s != recomputed %s"
+             % (doc["workloads_improved"], improved))
+    if regressed != doc["workloads_regressed"]:
+        fail("workloads_regressed %s != recomputed %s"
+             % (doc["workloads_regressed"], regressed))
+    if max_rounds_used != doc["max_rounds_used"]:
+        fail("max_rounds_used %s != recomputed %s"
+             % (doc["max_rounds_used"], max_rounds_used))
+    if errors != doc["verify_errors"]:
+        fail("verify_errors %s != recomputed %s"
+             % (doc["verify_errors"], errors))
+
+    if not doc["checksum_ok"]:
+        fail("checksum_ok is false")
+    if doc["verify_errors"] != 0:
+        fail("%d verify errors in feedback rounds" % doc["verify_errors"])
+    if regressed != 0:
+        fail("feedback regressed %d workload(s): the monotonic-accept "
+             "rule is broken" % regressed)
+    if not doc["all_fixpoint"]:
+        fail("not every loop reached a fixpoint within %s rounds"
+             % doc["max_rounds"])
+    if improved < 2:
+        fail("feedback improved only %d workload(s), need >= 2" % improved)
+
+    print("check_feedback_json: OK (%d workloads, %d improved, 0 "
+          "regressed, fixpoint within %d rounds)"
+          % (len(doc["workloads"]), improved, max_rounds_used))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

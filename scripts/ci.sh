@@ -75,6 +75,16 @@ echo "== Speculation-aware dependence pruning (bench-ablation) =="
 cmake --build build-ci --target bench-ablation
 python3 scripts/check_ablation_json.py build-ci/BENCH_ablation.json
 
+echo "== Closed-loop feedback re-adaptation (bench-feedback) =="
+# One-shot vs adapt->simulate->re-adapt fixpoint on the paper suite. The
+# stdlib checker enforces the feature's acceptance bar: the fixpoint
+# improves >= 2 workloads, regresses none (monotonic accept), converges
+# within the round bound, and keeps checksums and the feedback.* verify
+# pass clean. Simulated cycles are deterministic, so the bounds hold on
+# loaded hosts too.
+cmake --build build-ci --target bench-feedback
+python3 scripts/check_feedback_json.py build-ci/BENCH_feedback.json
+
 echo "== Serving layer (ssp-adaptd pipe + bench-serve) =="
 # Daemon smoke: frame two identical requests (miss, then a hit across a
 # flush boundary) through a real ssp-adaptd pipe; both must come back ok.

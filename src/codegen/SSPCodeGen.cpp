@@ -118,9 +118,16 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
 
   // Trigger insertions are deferred so that block instruction indices from
   // the plans (computed on the original layout) stay valid. Key: (func,
-  // block) -> list of (index, stub block).
-  std::map<std::pair<uint32_t, uint32_t>, std::vector<std::pair<uint32_t,
-                                                               uint32_t>>>
+  // block) -> insertions; each remembers which manifest slice it belongs
+  // to (and whether it is a restart trigger) so the chk.c static ids
+  // assigned at insertion time can be recorded for attribution joins.
+  struct PendingTrigger {
+    uint32_t Idx = 0;       ///< Instruction index within the block.
+    uint32_t Stub = 0;      ///< Stub block the chk.c targets.
+    int SliceIdx = -1;      ///< Manifest slice index (-1: no manifest).
+    bool Restart = false;   ///< Chain restart trigger (vs cut-set).
+  };
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<PendingTrigger>>
       PendingTriggers;
 
   for (const AdaptedLoad &AL : Loads) {
@@ -363,12 +370,13 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
     B.rfi();
 
     // --- Triggers (cut-set triggers plus chain restart triggers) ---
+    int SliceIdx = Manifest ? static_cast<int>(Manifest->Slices.size()) : -1;
     for (const trigger::TriggerPlacement &T : AL.Plan.Triggers)
       PendingTriggers[{T.Where.Func, T.Where.Block}].push_back(
-          {T.Where.Inst, Stub});
+          {T.Where.Inst, Stub, SliceIdx, /*Restart=*/false});
     for (const trigger::TriggerPlacement &T : AL.Plan.RestartTriggers)
       PendingTriggers[{T.Where.Func, T.Where.Block}].push_back(
-          {T.Where.Inst, Stub});
+          {T.Where.Inst, Stub, SliceIdx, /*Restart=*/true});
 
     // --- Rewrite plan record for the verification pipeline ---
     // Planned prefetches mirror the emission dedup above exactly: the
@@ -381,6 +389,21 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
       SM.HeaderBlock = Hdr;
       SM.UsesBudget = UseBudget;
       SM.TripBudget = AL.TripBudget;
+      SM.PrimaryLoadSid = ir::makeStaticId(
+          AL.Slice.PrimaryLoad.Func, AL.Slice.PrimaryLoad.get(New).Id);
+      {
+        std::set<uint64_t> TargetSids;
+        for (const InstRef &T : AL.Slice.TargetLoads)
+          TargetSids.insert(ir::makeStaticId(T.Func, T.get(New).Id));
+        for (const std::vector<InstRef> &Ts : AL.ExtraTargets)
+          for (const InstRef &T : Ts)
+            TargetSids.insert(ir::makeStaticId(T.Func, T.get(New).Id));
+        SM.TargetLoadSids.assign(TargetSids.begin(), TargetSids.end());
+      }
+      SM.RegionDepth = AL.RegionDepth;
+      SM.InnerUnroll = AL.InnerUnroll;
+      SM.InnerMembers =
+          static_cast<unsigned>(AL.Sched.InnerLoopMembers.size());
       std::set<std::pair<Reg, int64_t>> Planned;
       for (const InstRef &T : AL.Slice.TargetLoads) {
         const Instruction &L = T.get(New);
@@ -417,19 +440,32 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
   for (auto &[Loc, Inserts] : PendingTriggers) {
     auto [Func, Block] = Loc;
     std::sort(Inserts.begin(), Inserts.end(),
-              [](const auto &A, const auto &B2) { return A.first > B2.first; });
+              [](const PendingTrigger &A, const PendingTrigger &B2) {
+                return A.Idx > B2.Idx;
+              });
     Function &F = New.func(Func);
-    for (const auto &[Idx, Stub] : Inserts) {
+    for (const PendingTrigger &PT : Inserts) {
       Instruction I;
       I.Op = Opcode::ChkC;
-      I.Target = Stub;
+      I.Target = PT.Stub;
       I.Id = F.nextInstId();
       BasicBlock &BB = F.block(Block);
-      assert(Idx <= BB.Insts.size() && "trigger index out of range");
-      BB.Insts.insert(BB.Insts.begin() + Idx, I);
+      assert(PT.Idx <= BB.Insts.size() && "trigger index out of range");
+      BB.Insts.insert(BB.Insts.begin() + PT.Idx, I);
       ++Stats.TriggersInserted;
+      // Record the freshly assigned static id for the attribution join.
+      if (Manifest && PT.SliceIdx >= 0) {
+        verify::SliceManifest &SM = Manifest->Slices[PT.SliceIdx];
+        (PT.Restart ? SM.RestartTriggerSids : SM.CutTriggerSids)
+            .push_back(ir::makeStaticId(Func, I.Id));
+      }
     }
   }
+  if (Manifest)
+    for (verify::SliceManifest &SM : Manifest->Slices) {
+      std::sort(SM.CutTriggerSids.begin(), SM.CutTriggerSids.end());
+      std::sort(SM.RestartTriggerSids.begin(), SM.RestartTriggerSids.end());
+    }
 
   std::vector<std::string> Diags = ir::verify(New);
   if (!Diags.empty()) {

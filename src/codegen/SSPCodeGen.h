@@ -53,6 +53,9 @@ struct AdaptedLoad {
   /// Total emission count for inner-loop members (see
   /// ScheduledSlice::InnerLoopMembers).
   unsigned InnerUnroll = 2;
+  /// Outward steps the region traversal took to reach the slice's region
+  /// (recorded into the manifest for the feedback audit).
+  unsigned RegionDepth = 0;
   /// Additional per-calling-context sections (basic SP only): each is
   /// emitted after a fresh live-in reload, so sections may redefine the
   /// same registers (e.g. treeadd's left- and right-child chains).

@@ -3,6 +3,7 @@
 #include "core/AdaptService.h"
 
 #include "core/AnalysisCache.h"
+#include "core/Feedback.h"
 #include "core/PostPassTool.h"
 #include "core/ReportRender.h"
 #include "ir/Parser.h"
@@ -111,6 +112,42 @@ bool applyOption(core::ToolOptions &TO, const std::string &Key,
     TO.ReducedMissCutoff = D;
     return true;
   }
+  if (Key == "feedback-deepen-late") {
+    if (!strictFraction(Value, D))
+      return Bad("a fraction in [0, 1]");
+    TO.Feedback.DeepenLateMax = D;
+    return true;
+  }
+  if (Key == "feedback-drop-max") {
+    if (!strictFraction(Value, D))
+      return Bad("a fraction in [0, 1]");
+    TO.Feedback.DropUsefulMax = D;
+    return true;
+  }
+  if (Key == "feedback-hoist-late") {
+    if (!strictFraction(Value, D))
+      return Bad("a fraction in [0, 1]");
+    TO.Feedback.HoistLateMin = D;
+    return true;
+  }
+  if (Key == "feedback-min-sample") {
+    if (!strictU64(Value, U))
+      return Bad("an unsigned integer");
+    TO.Feedback.MinSample = U;
+    return true;
+  }
+  if (Key == "feedback-rounds") {
+    if (!strictU64(Value, U) || U > 64)
+      return Bad("an integer in [0, 64]");
+    TO.FeedbackRounds = static_cast<unsigned>(U);
+    return true;
+  }
+  if (Key == "feedback-throttle-evicted") {
+    if (!strictFraction(Value, D))
+      return Bad("a fraction in [0, 1]");
+    TO.Feedback.ThrottleEvictedMin = D;
+    return true;
+  }
   if (Key == "inner-unroll") {
     if (!strictU64(Value, U) || U < 1 || U > 64)
       return Bad("an integer in [1, 64]");
@@ -181,6 +218,18 @@ std::string canonicalOptionsText(const core::ToolOptions &TO) {
        std::string(TO.EnableConditionPrediction ? "1" : "0") + "\n";
   S += "coverage=" + fmtDouble(TO.DelinquentCoverage) + "\n";
   S += "cutoff=" + fmtDouble(TO.ReducedMissCutoff) + "\n";
+  // Feedback knobs are part of the result-cache key even though the
+  // one-shot tool ignores them: with feedback-rounds > 0 the served
+  // binary is the loop's fixpoint, and the attribution evidence the loop
+  // folds in travels inside the profile text (already keyed above the
+  // options). Same pattern as the PR 8 spec-deps keys.
+  S += "feedback-deepen-late=" + fmtDouble(TO.Feedback.DeepenLateMax) + "\n";
+  S += "feedback-drop-max=" + fmtDouble(TO.Feedback.DropUsefulMax) + "\n";
+  S += "feedback-hoist-late=" + fmtDouble(TO.Feedback.HoistLateMin) + "\n";
+  S += "feedback-min-sample=" + std::to_string(TO.Feedback.MinSample) + "\n";
+  S += "feedback-rounds=" + std::to_string(TO.FeedbackRounds) + "\n";
+  S += "feedback-throttle-evicted=" +
+       fmtDouble(TO.Feedback.ThrottleEvictedMin) + "\n";
   S += "inner-unroll=" + std::to_string(TO.InnerUnroll) + "\n";
   S += "loop-rotation=" + std::string(TO.EnableLoopRotation ? "1" : "0") +
        "\n";
@@ -442,11 +491,29 @@ void AdaptService::executeBatch(std::vector<Request> &Batch,
         return;
       }
       auto Start = std::chrono::steady_clock::now();
-      PostPassTool Tool(E.Prog, E.PD, R.TO);
-      AdaptationReport Rep;
-      ir::Program Enhanced = Tool.adaptWith(&*E.AC, &Rep);
-      R.Report = renderReportText(E.PD.BaselineCycles, Rep);
-      R.Binary = Enhanced.str();
+      if (R.TO.FeedbackRounds > 0) {
+        // Closed-loop serving: the daemon runs the adapt -> simulate ->
+        // re-adapt loop itself (it has the data image and the warm
+        // analyses), and the response carries the best round's binary
+        // plus the per-round decision trace appended to the report.
+        FeedbackOptions FO;
+        FO.MaxRounds = R.TO.FeedbackRounds;
+        auto BuildMemory = [&E](mem::SimMemory &Mem) {
+          for (const auto &[Addr, Value] : E.Data)
+            Mem.write(Addr, Value);
+        };
+        FeedbackResult FR =
+            runFeedbackLoop(E.Prog, E.PD, R.TO, FO, BuildMemory, &*E.AC);
+        R.Report = renderReportText(E.PD.BaselineCycles, FR.BestReport) +
+                   renderFeedbackText(FR);
+        R.Binary = FR.Best.str();
+      } else {
+        PostPassTool Tool(E.Prog, E.PD, R.TO);
+        AdaptationReport Rep;
+        ir::Program Enhanced = Tool.adaptWith(&*E.AC, &Rep);
+        R.Report = renderReportText(E.PD.BaselineCycles, Rep);
+        R.Binary = Enhanced.str();
+      }
       MissUs[I] = std::chrono::duration<double, std::micro>(
                       std::chrono::steady_clock::now() - Start)
                       .count();

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <optional>
 #include <set>
@@ -97,6 +98,10 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
     uint64_t Reduced = 0;
     unsigned Depth = 0;
     double TripPerEntry = 1.0;
+    /// Feedback override of the primary load (no-op defaults when the
+    /// load has none). When overlapping slices are combined, the
+    /// earlier (hotter) candidate's override wins.
+    LoadOverride Override;
   };
 
   // Converts slice members that sit *before* the trigger position (and
@@ -151,6 +156,12 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
 
   Pool->parallelFor(DLoads.size(), [&](size_t LoadIdx) {
     const profile::DelinquentLoad &D = DLoads[LoadIdx];
+    // Feedback directives for this load (default: no change).
+    LoadOverride Ov;
+    if (auto It = Opts.Overrides.find(D.Sid); It != Opts.Overrides.end())
+      Ov = It->second;
+    if (Ov.Drop)
+      return;
     // Worker-private slicer/scheduler: cheap copies sharing the cache's
     // precomputed summary and call-cost tables, owning only scratch.
     slicer::Slicer WorkerSlicer = AC.makeSlicer();
@@ -178,13 +189,16 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
     for (unsigned Depth = 0; Depth < Opts.MaxRegionDepth && RegionIdx >= 0;
          ++Depth) {
       // Slice each calling context; the hottest valid one is primary and
-      // the rest become extra emission sections (basic SP).
+      // the rest become extra emission sections (basic SP). A feedback
+      // hoist directive rejects regions shallower than MinRegionDepth
+      // (the traversal still runs so caller contexts accumulate).
       std::vector<slicer::Slice> Parts;
-      for (const std::vector<InstRef> &Ctx : Contexts) {
-        slicer::Slice SP2 = WorkerSlicer.computeSlice(D.Ref, RegionIdx, Ctx);
-        if (SP2.Valid)
-          Parts.push_back(std::move(SP2));
-      }
+      if (Depth >= Ov.MinRegionDepth)
+        for (const std::vector<InstRef> &Ctx : Contexts) {
+          slicer::Slice SP2 = WorkerSlicer.computeSlice(D.Ref, RegionIdx, Ctx);
+          if (SP2.Valid)
+            Parts.push_back(std::move(SP2));
+        }
       if (!Parts.empty()) {
         slicer::Slice &S = Parts.front();
         const Region &R = RG.region(RegionIdx);
@@ -273,6 +287,7 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
             Best.Reduced = Reduced;
             Best.Depth = Depth;
             Best.TripPerEntry = TripPerEntry;
+            Best.Override = Ov;
             HaveBest = true;
           }
         }
@@ -353,8 +368,10 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
     // precede the trigger become live-ins, which can in turn move the
     // trigger past their producers.
     trigger::TriggerPlan Plan;
+    bool RestartTriggers =
+        Opts.EnableRestartTriggers && !C.Override.NoRestartTrigger;
     for (int Iter = 0; Iter < 3; ++Iter) {
-      Plan = Placer.place(C.Slice, C.Sched, Opts.EnableRestartTriggers);
+      Plan = Placer.place(C.Slice, C.Sched, RestartTriggers);
       if (Plan.Triggers.empty())
         break;
       bool Changed = false;
@@ -371,11 +388,15 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
     AL.Slice = C.Slice;
     AL.Sched = C.Sched;
     AL.Plan = Plan;
-    AL.InnerUnroll = Opts.InnerUnroll;
+    AL.InnerUnroll =
+        C.Override.InnerUnroll ? C.Override.InnerUnroll : Opts.InnerUnroll;
+    AL.RegionDepth = C.Depth;
     // The chain budget covers the chain loop's trips (with headroom for
-    // trip-count variance across region entries).
+    // trip-count variance across region entries). A feedback throttle/
+    // deepen directive scales it by 2^N before the clamp.
     double BudgetTrips =
         std::max(C.TripPerEntry, C.Sched.ChainTripCount) * 2.0;
+    BudgetTrips = std::ldexp(BudgetTrips, C.Override.TripBudgetLog2);
     AL.TripBudget = std::min<uint64_t>(
         Opts.MaxTripBudget,
         std::max<uint64_t>(4, static_cast<uint64_t>(BudgetTrips)));
@@ -420,6 +441,18 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
 
   Program Enhanced = codegen::rewriteWithSlices(Orig, Adapted, &Rep.Rewrite,
                                                 &Rep.Manifest);
+  // Record the feedback directives the run honoured (std::map order:
+  // sorted by load sid) so the `feedback.*` verify pass can audit them.
+  for (const auto &[Sid, Ov] : Opts.Overrides) {
+    verify::FeedbackOverrideRecord FR;
+    FR.LoadSid = Sid;
+    FR.Drop = Ov.Drop;
+    FR.NoRestartTrigger = Ov.NoRestartTrigger;
+    FR.MinRegionDepth = Ov.MinRegionDepth;
+    FR.TripBudgetLog2 = Ov.TripBudgetLog2;
+    FR.InnerUnroll = Ov.InnerUnroll;
+    Rep.Manifest.FeedbackOverrides.push_back(FR);
+  }
   EndStage("adapt.rewrite_ms");
 
   // Validate the adaptation end to end: the emitted binary against the

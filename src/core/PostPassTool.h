@@ -30,6 +30,8 @@
 
 #include <functional>
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,82 @@ class ThreadPool;
 namespace ssp::core {
 
 class AnalysisCache;
+
+/// One per-delinquent-load re-adaptation directive, keyed (in
+/// ToolOptions::Overrides) by the load's StaticId in the original binary.
+/// This is the channel the closed-loop feedback driver (core/Feedback.h)
+/// writes its decisions through; all fields default to "no change" and an
+/// empty override map is bit-identical to older builds. Every override is
+/// recorded in the AdaptationManifest so the `feedback.*` verify pass can
+/// audit that the emitted binary honoured it.
+struct LoadOverride {
+  /// Suppress adaptation of this load entirely (no slice, no triggers).
+  bool Drop = false;
+  /// Disable the chain-loop-header restart trigger for this load's slice
+  /// (see trigger::TriggerPlan::RestartTriggers).
+  bool NoRestartTrigger = false;
+  /// Reject candidate regions fewer than this many outward steps from the
+  /// innermost — hoist the trigger into a larger region so prefetches get
+  /// more lead time.
+  unsigned MinRegionDepth = 0;
+  /// Scale the chain trip budget by 2^N before the MaxTripBudget clamp
+  /// (negative throttles a trigger whose prefetches mostly lapse).
+  int TripBudgetLog2 = 0;
+  /// Nonzero replaces ToolOptions::InnerUnroll for this load's slice
+  /// (deepen inner-loop emission where timely headroom exists).
+  unsigned InnerUnroll = 0;
+
+  bool operator==(const LoadOverride &O) const {
+    return Drop == O.Drop && NoRestartTrigger == O.NoRestartTrigger &&
+           MinRegionDepth == O.MinRegionDepth &&
+           TripBudgetLog2 == O.TripBudgetLog2 && InnerUnroll == O.InnerUnroll;
+  }
+  bool operator!=(const LoadOverride &O) const { return !(*this == O); }
+};
+
+/// Thresholds of the feedback policy mapping each trigger's fate
+/// distribution to a re-adaptation action (the policy table lives in
+/// DESIGN.md "Closed-loop adaptation"; the loop in core/Feedback.h).
+struct FeedbackPolicy {
+  /// Ignore slices with fewer attributed prefetches than this — the fate
+  /// distribution is noise at small samples.
+  uint64_t MinSample = 256;
+  /// Drop the load when useful/(all attributed) falls below this.
+  double DropUsefulMax = 0.02;
+  /// Hoist (MinRegionDepth+1) when useful-late/useful exceeds this.
+  double HoistLateMin = 0.5;
+  /// Throttle (TripBudgetLog2-1) when evicted-unused/attributed exceeds
+  /// this.
+  double ThrottleEvictedMin = 0.25;
+  /// Deepen (double the inner unroll) when useful-late/useful is below
+  /// this and the slice walks inner-loop members.
+  double DeepenLateMax = 0.30;
+  /// Disable the restart trigger when its useful fraction is below this
+  /// while the cut-set trigger sustains chains >= RestartMinCutDepth deep
+  /// on its own.
+  double RestartUsefulMax = 0.30;
+  uint32_t RestartMinCutDepth = 64;
+  /// Saturation cap for deepened inner unroll (guarantees the override
+  /// map reaches a fixpoint).
+  unsigned MaxInnerUnroll = 8;
+  /// Saturation caps for hoisting, throttling and budget deepening.
+  unsigned MaxHoistDepth = 3;
+  int MinTripBudgetLog2 = -3;
+  int MaxTripBudgetLog2 = 2;
+
+  bool operator==(const FeedbackPolicy &O) const {
+    return MinSample == O.MinSample && DropUsefulMax == O.DropUsefulMax &&
+           HoistLateMin == O.HoistLateMin &&
+           ThrottleEvictedMin == O.ThrottleEvictedMin &&
+           DeepenLateMax == O.DeepenLateMax &&
+           RestartUsefulMax == O.RestartUsefulMax &&
+           RestartMinCutDepth == O.RestartMinCutDepth &&
+           MaxInnerUnroll == O.MaxInnerUnroll &&
+           MaxHoistDepth == O.MaxHoistDepth &&
+           MinTripBudgetLog2 == O.MinTripBudgetLog2 &&
+           MaxTripBudgetLog2 == O.MaxTripBudgetLog2;
+  }
+};
 
 /// Tuning options of the tool (defaults follow the paper).
 struct ToolOptions {
@@ -82,6 +160,20 @@ struct ToolOptions {
   /// Total emission count for inner-loop slice members (collision chains
   /// etc. walked this many steps per chain link).
   unsigned InnerUnroll = 2;
+
+  /// Per-delinquent-load re-adaptation directives keyed by original-binary
+  /// StaticId (std::map: deterministic order for canonical option
+  /// rendering). Empty (the default) leaves every code path untouched.
+  std::map<uint64_t, LoadOverride> Overrides;
+
+  /// Closed-loop feedback re-adaptation (`ssp-adapt --feedback[=N]`):
+  /// upper bound on adapt -> simulate -> re-adapt rounds taken by
+  /// core::runFeedbackLoop. 0 (the default) disables the loop. adapt()
+  /// itself never reads this — it is carried here so the CLIs and the
+  /// serving daemon configure and cache-key the loop uniformly.
+  unsigned FeedbackRounds = 0;
+  /// Thresholds of the feedback policy (only read when FeedbackRounds>0).
+  FeedbackPolicy Feedback;
 
   /// Worker threads for per-delinquent-load candidate generation. 0 picks
   /// hardware concurrency; 1 (the default) is the exact inline serial

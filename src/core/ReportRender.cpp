@@ -2,10 +2,21 @@
 
 #include "core/ReportRender.h"
 
+#include "core/Feedback.h"
 #include "core/PostPassTool.h"
+
+#include <cstdio>
 
 using namespace ssp;
 using namespace ssp::core;
+
+namespace {
+std::string fmtSpeedup(double S) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "x%.3f", S);
+  return Buf;
+}
+} // namespace
 
 std::string core::renderReportText(uint64_t BaselineCycles,
                                    const AdaptationReport &Rep) {
@@ -22,5 +33,23 @@ std::string core::renderReportText(uint64_t BaselineCycles,
          " SP, slack " + std::to_string(R.SlackPerIteration) + "\n";
   S += "verified: " + std::to_string(Rep.VerifyErrors) + " error(s), " +
        std::to_string(Rep.VerifyWarnings) + " warning(s)\n";
+  return S;
+}
+
+std::string core::renderFeedbackText(const FeedbackResult &FR) {
+  std::string S = "feedback: " + std::to_string(FR.Rounds.size()) +
+                  " round(s), fixpoint " + (FR.Fixpoint ? "yes" : "no") +
+                  ", one-shot " + fmtSpeedup(FR.OneShotSpeedup) +
+                  ", best " + fmtSpeedup(FR.BestSpeedup) + "\n";
+  for (const FeedbackRound &R : FR.Rounds) {
+    S += "  round " + std::to_string(R.Round) + ": " +
+         std::to_string(R.Cycles) + " cycles, speedup " +
+         fmtSpeedup(R.Speedup) + (R.Accepted ? ", accepted" : ", rejected") +
+         "\n";
+    for (const FeedbackDecision &D : R.Decisions)
+      S += "    load fn" + std::to_string(ir::staticIdFunc(D.LoadSid)) +
+           ":@" + std::to_string(ir::staticIdInst(D.LoadSid)) + " " +
+           D.Action + ": " + D.Why + "\n";
+  }
   return S;
 }

@@ -24,6 +24,7 @@
 namespace ssp::core {
 
 struct AdaptationReport;
+struct FeedbackResult;
 
 /// Renders the adaptation outcome exactly as `ssp-adapt` prints it:
 ///
@@ -35,6 +36,20 @@ struct AdaptationReport;
 /// \p BaselineCycles is the profile's baseline timing-run cycle count.
 std::string renderReportText(uint64_t BaselineCycles,
                              const AdaptationReport &Rep);
+
+/// Renders the closed-loop feedback trace appended by `ssp-adapt
+/// --feedback` and the daemon's feedback-mode responses — every round with
+/// its simulated cycles, speedup, accept/reject outcome, and each policy
+/// decision with the fate evidence it was made on:
+///
+///   feedback: <N> round(s), fixpoint <yes|no>, one-shot x<S>, best x<S>
+///     round <K>: <cycles> cycles, speedup x<S>, accepted|rejected
+///       load fn<F>:@<I> <action>: <why>
+///
+/// Like renderReportText, this is the one canonical rendering both front
+/// ends share; byte-identity across job counts holds because the result
+/// itself is deterministic.
+std::string renderFeedbackText(const FeedbackResult &FR);
 
 } // namespace ssp::core
 

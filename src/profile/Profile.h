@@ -80,6 +80,17 @@ struct ProfileData {
   /// disables may-dep pruning (analysis::SpecDeps::enabled).
   bool HasDepEvidence = false;
 
+  /// Per-trigger prefetch-lifecycle rollups from simulating an *adapted*
+  /// binary (`ssp-sim --emit-attrib`, `fates` records) — the evidence the
+  /// closed-loop feedback policy consumes (core/Feedback.h). Keyed by the
+  /// chk.c trigger's StaticId in the adapted binary; sorted by Trigger.
+  std::vector<sim::PrefetchAttribution> Attrib;
+
+  /// True once an `attrib 1` marker declared attribution records (possibly
+  /// zero of them). Absent in legacy profiles, which simply carry no
+  /// feedback evidence.
+  bool HasAttrib = false;
+
   /// The flat evidence view analysis::SpecDeps consumes.
   analysis::DepEvidence depEvidence() const {
     analysis::DepEvidence Ev;

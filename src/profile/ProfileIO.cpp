@@ -4,6 +4,7 @@
 
 #include "profile/Profile.h"
 
+#include <algorithm>
 #include <cctype>
 #include <sstream>
 
@@ -71,6 +72,30 @@ std::string profile::writeProfileText(const ProfileData &PD) {
            std::to_string(ir::staticIdInst(D.From)) + " " +
            std::to_string(ir::staticIdInst(D.To)) + " " +
            std::to_string(D.Count) + "\n";
+  }
+  // Attribution evidence (PR 9): per-trigger prefetch-lifecycle rollups
+  // from simulating an adapted binary. The marker distinguishes
+  // "simulated, possibly zero triggers" from legacy profiles. The writer
+  // sorts a copy by trigger sid, so any in-memory order renders as the
+  // one canonical form the parser enforces.
+  if (PD.HasAttrib) {
+    S += "attrib 1\n";
+    std::vector<sim::PrefetchAttribution> Sorted = PD.Attrib;
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const sim::PrefetchAttribution &A,
+                 const sim::PrefetchAttribution &B) {
+                return A.Trigger < B.Trigger;
+              });
+    for (const sim::PrefetchAttribution &A : Sorted) {
+      S += "fates " + std::to_string(ir::staticIdFunc(A.Trigger)) + " " +
+           std::to_string(ir::staticIdInst(A.Trigger)) + " " +
+           std::to_string(ir::staticIdFunc(A.Slice)) + " " +
+           std::to_string(ir::staticIdInst(A.Slice)) + " " +
+           std::to_string(A.Spawns) + " " + std::to_string(A.MaxChainDepth);
+      for (uint64_t F : A.Fates)
+        S += " " + std::to_string(F);
+      S += " " + std::to_string(A.LateCycles) + "\n";
+    }
   }
   return S;
 }
@@ -183,6 +208,10 @@ public:
         Ok = parseDep(C, "memdep", PD.MemDepCounts);
       else if (Kw == "regdep")
         Ok = parseDep(C, "regdep", PD.RegDepCounts);
+      else if (Kw == "attrib")
+        Ok = parseAttrib(C);
+      else if (Kw == "fates")
+        Ok = parseFates(C);
       else
         return error(Error, "unknown record '" + Kw + "'");
       if (!Ok)
@@ -353,6 +382,48 @@ private:
     if (!Out.empty() && !(Out.back() < R))
       return failed("'" + std::string(Kw) + "' records out of order");
     Out.push_back(R);
+    return true;
+  }
+
+  bool parseAttrib(Cursor &C) {
+    if (PD.HasAttrib)
+      return failed("duplicate 'attrib' record");
+    uint64_t V;
+    if (!expect(C, V) || !end(C))
+      return false;
+    if (V != 1)
+      return failed("unsupported 'attrib' version");
+    PD.HasAttrib = true;
+    return true;
+  }
+
+  /// One per-trigger fate rollup. Strictly sorted by trigger (FUNC, ID) —
+  /// the canonical order the writer emits — which also rejects duplicate
+  /// triggers. The slice sid may be (0, 0): the simulator's "origin slice
+  /// unknown" sentinel.
+  bool parseFates(Cursor &C) {
+    if (!PD.HasAttrib)
+      return failed("'fates' before 'attrib'");
+    uint64_t TF, TId, SF, SId, Depth;
+    sim::PrefetchAttribution A;
+    if (!func(C, TF) || !expect(C, TId) || !fits32(TId) || !expect(C, SF) ||
+        !fits32(SF) || !expect(C, SId) || !fits32(SId) ||
+        !C.number(A.Spawns) || !expect(C, Depth) || !fits32(Depth))
+      return false;
+    if (SF >= PD.BlockCounts.size() && !(SF == 0 && SId == 0))
+      return failed("function index " + std::to_string(SF) +
+                    " out of range");
+    for (unsigned F = 0; F < sim::NumPrefetchFates; ++F)
+      if (!C.number(A.Fates[F]))
+        return false;
+    if (!C.number(A.LateCycles) || !end(C))
+      return false;
+    A.Trigger = ir::makeStaticId(uint32_t(TF), uint32_t(TId));
+    A.Slice = ir::makeStaticId(uint32_t(SF), uint32_t(SId));
+    A.MaxChainDepth = uint32_t(Depth);
+    if (!PD.Attrib.empty() && !(PD.Attrib.back().Trigger < A.Trigger))
+      return failed("'fates' records out of order");
+    PD.Attrib.push_back(A);
     return true;
   }
 

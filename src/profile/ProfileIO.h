@@ -27,6 +27,9 @@
 ///                | "instcount" FUNC INSTID COUNT
 ///                | "memdep" FUNC FROMID TOID COUNT
 ///                | "regdep" FUNC FROMID TOID COUNT
+///                | "attrib" 1
+///                | "fates" TFUNC TID SFUNC SID SPAWNS MAXDEPTH
+///                          TIMELY LATE EVICTED REDUNDANT WILD LATECYCLES
 ///
 /// `load` is keyed by (function index, static instruction id) — the same
 /// ids the program text pins with `@N` annotations (ir/Parser.h) — and
@@ -43,10 +46,19 @@
 /// disable may-dep pruning) and must arrive strictly sorted — `instcount`
 /// by (FUNC, INSTID), the dep kinds by (FROMID, TOID) within each kind.
 ///
+/// `attrib`/`fates` carry prefetch-lifecycle attribution from simulating
+/// an *adapted* binary (`ssp-sim --emit-attrib`): per chk.c trigger, the
+/// origin slice's static id (or 0 0 when unknown), spawn count, deepest
+/// chain, the five fate counters (sim/SimStats.h order), and the
+/// timeliness slack shortfall in cycles. This is the evidence the
+/// closed-loop feedback policy (core/Feedback.h) consumes. `fates`
+/// requires a preceding `attrib 1` marker (absent in legacy profiles) and
+/// must arrive strictly sorted by trigger (TFUNC, TID).
+///
 /// writeProfileText emits records in a canonical order (header, baseline,
 /// funcs, blockcounts by function, edges, calls, icalls, loads,
-/// depevidence, instcounts, memdeps, regdeps), so write(parse(write(PD)))
-/// is byte-identical to write(PD).
+/// depevidence, instcounts, memdeps, regdeps, attrib, fates sorted by
+/// trigger), so write(parse(write(PD))) is byte-identical to write(PD).
 ///
 //===----------------------------------------------------------------------===//
 

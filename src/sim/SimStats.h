@@ -92,6 +92,12 @@ struct PrefetchAttribution {
   uint64_t Spawns = 0;       ///< Speculative threads this trigger spawned.
   uint32_t MaxChainDepth = 0; ///< Deepest spawn chain observed.
   uint64_t Fates[NumPrefetchFates] = {0, 0, 0, 0, 0};
+  /// Timeliness slack shortfall: cycles the main thread still paid on
+  /// useful-late consumptions (the residual latency of the in-flight
+  /// line). 0 when every useful prefetch was fully timely; large values
+  /// mean the trigger fires too close to the consumption — the signal
+  /// the feedback policy's hoist action keys on.
+  uint64_t LateCycles = 0;
 
   uint64_t prefetches() const {
     uint64_t N = 0;

@@ -118,13 +118,15 @@ void Simulator::evaluateThrottle() {
   }
 }
 
-void Simulator::countFate(const PrefetchOrigin &Origin, PrefetchFate Fate) {
+void Simulator::countFate(const PrefetchOrigin &Origin, PrefetchFate Fate,
+                          uint64_t LateCycles) {
   PrefetchAttribution &A = Attrib[Origin.Trigger];
   if (A.Slice == 0)
     A.Slice = Origin.Slice;
   if (Origin.Depth > A.MaxChainDepth)
     A.MaxChainDepth = Origin.Depth;
   ++A.Fates[static_cast<unsigned>(Fate)];
+  A.LateCycles += LateCycles;
 }
 
 void Simulator::drainPendingFates() {
@@ -203,7 +205,10 @@ void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
     ++Stats.UsefulPrefetches;
     ++H.Useful;
   }
-  countFate(*Origin, Fate);
+  // Useful-late consumptions record the residual latency the main thread
+  // still paid as timeliness slack shortfall.
+  countFate(*Origin, Fate,
+            Fate == PrefetchFate::UsefulLate ? R.Latency : 0);
   if (Trace)
     Trace->record(Tid, obs::EventKind::Retire, Now, 0, Line,
                   Origin->Trigger, static_cast<uint32_t>(Fate));
@@ -1143,6 +1148,7 @@ SimStats Simulator::runSampled() {
       M.Spawns += A.Spawns - (B ? B->Spawns : 0);
       for (unsigned F = 0; F < NumPrefetchFates; ++F)
         M.Fates[F] += A.Fates[F] - (B ? B->Fates[F] : 0);
+      M.LateCycles += A.LateCycles - (B ? B->LateCycles : 0);
     }
     if (MainDone)
       break;
@@ -1236,6 +1242,7 @@ SimStats Simulator::runSampled() {
     Scaled.Spawns = Scale(Scaled.Spawns);
     for (unsigned F = 0; F < NumPrefetchFates; ++F)
       Scaled.Fates[F] = Scale(Scaled.Fates[F]);
+    Scaled.LateCycles = Scale(Scaled.LateCycles);
     UsefulScaled += Scaled.useful();
     Stats.Attribution.push_back(Scaled);
   }

@@ -195,7 +195,8 @@ private:
   void noteDataAccess(unsigned Tid, const InstSlot &S,
                       const cache::AccessResult &R);
   /// Records one resolved prefetch fate in \p Origin's per-trigger rollup.
-  void countFate(const PrefetchOrigin &Origin, PrefetchFate Fate);
+  void countFate(const PrefetchOrigin &Origin, PrefetchFate Fate,
+                 uint64_t LateCycles = 0);
   /// Resolves every still-pending tracked line as evicted-unused (wild
   /// entries as wild); used before overflow clears and at end of run.
   void drainPendingFates();

@@ -1122,6 +1122,203 @@ private:
 };
 
 //===----------------------------------------------------------------------===//
+// Feedback audit (feedback.*)
+//===----------------------------------------------------------------------===//
+
+/// Audits closed-loop re-adaptation rounds. The manifest records the
+/// per-load feedback directives the tool ran with
+/// (AdaptationManifest::FeedbackOverrides) plus, per slice, the join keys
+/// the feedback policy uses (primary/target load sids, region depth,
+/// unroll, and the inserted trigger sids). This pass cross-checks plan
+/// against directives: a dropped load must not be adapted, region-depth /
+/// restart / unroll directives must be honored by every covering slice,
+/// and every recorded trigger sid must name a real chk.c in the adapted
+/// program that targets the slice's stub block (otherwise the
+/// attribution->slice join the next round decides from is garbage).
+/// Honored directives become `feedback.applied-override` notes — the
+/// audit trail `ssp-adapt --feedback` rounds are checked by.
+class FeedbackPass : public VerifyPass {
+public:
+  const char *name() const override { return "feedback"; }
+
+  void run(const VerifyContext &Ctx, DiagnosticEngine &DE) override {
+    if (!Ctx.Manifest || Ctx.Manifest->FeedbackOverrides.empty())
+      return; // Not a closed-loop round: nothing to audit.
+
+    // Index every instruction of the adapted program by static id once.
+    std::map<StaticId, analysis::InstRef> Index;
+    for (uint32_t FI = 0; FI < Ctx.P.numFuncs(); ++FI) {
+      const Function &F = Ctx.P.func(FI);
+      for (uint32_t BI = 0; BI < F.numBlocks(); ++BI) {
+        const BasicBlock &BB = F.block(BI);
+        for (uint32_t II = 0; II < BB.Insts.size(); ++II)
+          Index[makeStaticId(FI, BB.Insts[II].Id)] = {FI, BI, II};
+      }
+    }
+
+    // The feedback join (per-trigger fates -> slice) is only sound when
+    // every recorded trigger sid resolves to a chk.c aimed at the slice's
+    // stub; validate that before auditing the directives.
+    for (const SliceManifest &SM : Ctx.Manifest->Slices) {
+      checkTriggerSids(Ctx, DE, SM, SM.CutTriggerSids, "cut", Index);
+      checkTriggerSids(Ctx, DE, SM, SM.RestartTriggerSids, "restart",
+                       Index);
+    }
+
+    for (const FeedbackOverrideRecord &R : Ctx.Manifest->FeedbackOverrides)
+      auditOverride(Ctx, DE, R);
+  }
+
+private:
+  static std::string describeLoad(uint64_t Sid) {
+    return "load fn" + std::to_string(staticIdFunc(Sid)) + ":@" +
+           std::to_string(staticIdInst(Sid));
+  }
+
+  static std::string describeOverride(const FeedbackOverrideRecord &R) {
+    std::string S;
+    auto Add = [&](const std::string &Part) {
+      if (!S.empty())
+        S += ", ";
+      S += Part;
+    };
+    if (R.Drop)
+      Add("drop");
+    if (R.NoRestartTrigger)
+      Add("no-restart-trigger");
+    if (R.MinRegionDepth)
+      Add("min-region-depth " + std::to_string(R.MinRegionDepth));
+    if (R.TripBudgetLog2)
+      Add("trip-budget x2^" + std::to_string(R.TripBudgetLog2));
+    if (R.InnerUnroll)
+      Add("inner-unroll " + std::to_string(R.InnerUnroll));
+    return S.empty() ? std::string("no-op") : S;
+  }
+
+  void checkTriggerSids(const VerifyContext &Ctx, DiagnosticEngine &DE,
+                        const SliceManifest &SM,
+                        const std::vector<uint64_t> &Sids, const char *Role,
+                        const std::map<StaticId, analysis::InstRef> &Index) {
+    for (uint64_t Sid : Sids) {
+      auto It = Index.find(Sid);
+      if (It == Index.end()) {
+        DE.errorInBlock("feedback.bad-trigger-record", SM.Func,
+                        SM.StubBlock,
+                        std::string("recorded ") + Role + " trigger sid fn" +
+                            std::to_string(staticIdFunc(Sid)) + ":@" +
+                            std::to_string(staticIdInst(Sid)) +
+                            " names no instruction in the adapted program");
+        continue;
+      }
+      const analysis::InstRef &Ref = It->second;
+      const Instruction &I =
+          Ctx.P.func(Ref.Func).block(Ref.Block).Insts[Ref.Inst];
+      if (I.Op != Opcode::ChkC || Ref.Func != SM.Func ||
+          I.Target != SM.StubBlock) {
+        DE.error("feedback.bad-trigger-record", Ref,
+                 std::string("recorded ") + Role + " trigger sid resolves "
+                     "to '" + I.str() + "' which is not a chk.c targeting "
+                     "this slice's stub bb" + std::to_string(SM.StubBlock),
+                 "per-trigger attribution would be folded onto the wrong "
+                 "slice; the trigger-sid recording in codegen is broken");
+      }
+    }
+  }
+
+  void auditOverride(const VerifyContext &Ctx, DiagnosticEngine &DE,
+                     const FeedbackOverrideRecord &R) {
+    // Every slice covering the directed load, and whether the load is the
+    // slice's primary (codegen honors the primary candidate's override
+    // when a combined slice merges loads with different directives).
+    bool Covered = false;
+    for (const SliceManifest &SM : Ctx.Manifest->Slices) {
+      bool Primary = SM.PrimaryLoadSid == R.LoadSid;
+      bool Target = std::find(SM.TargetLoadSids.begin(),
+                              SM.TargetLoadSids.end(),
+                              R.LoadSid) != SM.TargetLoadSids.end();
+      if (!Primary && !Target)
+        continue;
+      Covered = true;
+      auditAgainstSlice(DE, R, SM, Primary);
+    }
+    if (!Covered)
+      DE.noteInProgram("feedback.inactive-override",
+                       describeLoad(R.LoadSid) + " directive (" +
+                           describeOverride(R) + ") matched no emitted "
+                           "slice" +
+                           (R.Drop ? ": drop honored"
+                                   : " (load not selected this round)"));
+  }
+
+  void auditAgainstSlice(DiagnosticEngine &DE,
+                         const FeedbackOverrideRecord &R,
+                         const SliceManifest &SM, bool Primary) {
+    if (R.Drop) {
+      DE.errorInBlock("feedback.dropped-load-adapted", SM.Func,
+                      SM.StubBlock,
+                      describeLoad(R.LoadSid) + " carries a drop directive "
+                          "but a slice was emitted for it",
+                      "the candidate generator must skip dropped loads "
+                      "before region selection");
+      return;
+    }
+    bool Violated = false;
+    if (SM.RegionDepth < R.MinRegionDepth) {
+      Violated = true;
+      diagnose(DE, SM, Primary,
+               describeLoad(R.LoadSid) + ": hoist directive requires "
+                   "region depth >= " + std::to_string(R.MinRegionDepth) +
+                   " but the slice was planned at depth " +
+                   std::to_string(SM.RegionDepth));
+    }
+    if (R.NoRestartTrigger && !SM.RestartTriggerSids.empty()) {
+      Violated = true;
+      diagnose(DE, SM, Primary,
+               describeLoad(R.LoadSid) + ": no-restart directive but " +
+                   std::to_string(SM.RestartTriggerSids.size()) +
+                   " restart triggers were inserted");
+    }
+    if (R.InnerUnroll && SM.InnerMembers > 0 &&
+        SM.InnerUnroll != R.InnerUnroll) {
+      Violated = true;
+      diagnose(DE, SM, Primary,
+               describeLoad(R.LoadSid) + ": deepen directive requires "
+                   "inner unroll " + std::to_string(R.InnerUnroll) +
+                   " but the slice was planned with " +
+                   std::to_string(SM.InnerUnroll));
+    }
+    // TripBudgetLog2 is not re-checked here: the directive scales a base
+    // budget this pass cannot re-derive, and slice.chain-budget already
+    // pins the emitted staging to the manifest's final TripBudget.
+    if (!Violated)
+      DE.noteInFunc("feedback.applied-override", SM.Func,
+                    describeLoad(R.LoadSid) + " directive (" +
+                        describeOverride(R) + ") honored by slice at bb" +
+                        std::to_string(SM.StubBlock) + " (depth " +
+                        std::to_string(SM.RegionDepth) + ", unroll " +
+                        std::to_string(SM.InnerUnroll) + ")");
+  }
+
+  /// A directive the covering slice did not honor. Fatal when the load is
+  /// the slice's primary (codegen takes the plan from the primary
+  /// candidate, so a mismatch there is a tool bug); a warning when the
+  /// load was merely absorbed into another load's slice, whose own
+  /// directive legitimately won.
+  void diagnose(DiagnosticEngine &DE, const SliceManifest &SM, bool Primary,
+                const std::string &Msg) {
+    if (Primary)
+      DE.errorInBlock("feedback.unapplied-override", SM.Func, SM.StubBlock,
+                      Msg);
+    else
+      DE.warningInBlock("feedback.override-conflict", SM.Func,
+                        SM.StubBlock,
+                        Msg + " (covered by " +
+                            describeLoad(SM.PrimaryLoadSid) +
+                            "'s slice, whose directive took precedence)");
+  }
+};
+
+//===----------------------------------------------------------------------===//
 // Structural wrapper
 //===----------------------------------------------------------------------===//
 
@@ -1165,4 +1362,7 @@ std::unique_ptr<VerifyPass> ssp::verify::createLintPass() {
 }
 std::unique_ptr<VerifyPass> ssp::verify::createSpeculationPass() {
   return std::make_unique<SpeculationPass>();
+}
+std::unique_ptr<VerifyPass> ssp::verify::createFeedbackPass() {
+  return std::make_unique<FeedbackPass>();
 }

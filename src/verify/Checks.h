@@ -18,6 +18,11 @@
 ///                         manifest-recorded dropped may-edge re-derived
 ///                         against the profile evidence (notes), with
 ///                         evidence-free or must-dep drops fatal
+///   feedback.*            closed-loop re-adaptation directives: drops,
+///                         hoists, restart suppression, and unroll
+///                         deepening cross-checked against the emitted
+///                         plan; trigger-sid records validated so the
+///                         attribution->slice join is sound
 ///
 /// The full list with rationale is documented in DESIGN.md under
 /// "Verification architecture".
@@ -66,6 +71,19 @@ std::unique_ptr<VerifyPass> createLintPass();
 /// `speculation.unsupported-drop`. Skips silently when no manifest is
 /// present or it records no drops.
 std::unique_ptr<VerifyPass> createSpeculationPass();
+
+/// Audits closed-loop feedback directives (ToolOptions::Overrides as
+/// recorded in AdaptationManifest::FeedbackOverrides) against the emitted
+/// plan: a dropped load must not have a slice, covering slices must honor
+/// min-region-depth / no-restart / inner-unroll directives
+/// (`feedback.unapplied-override`; a `feedback.override-conflict` warning
+/// when a merged slice's primary directive legitimately won), and every
+/// recorded trigger sid must resolve to a chk.c aimed at its slice's stub
+/// (`feedback.bad-trigger-record`). Honored directives become
+/// `feedback.applied-override` notes; directives matching no slice become
+/// `feedback.inactive-override` notes. Skips silently when the manifest
+/// records no overrides.
+std::unique_ptr<VerifyPass> createFeedbackPass();
 
 } // namespace ssp::verify
 

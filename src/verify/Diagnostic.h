@@ -128,6 +128,14 @@ public:
     report({Severity::Note, std::move(CheckId), LocKind::Inst, Loc,
             std::move(Msg), ""});
   }
+  void noteInFunc(std::string CheckId, uint32_t Func, std::string Msg) {
+    report({Severity::Note, std::move(CheckId), LocKind::Function,
+            {Func, 0, 0}, std::move(Msg), ""});
+  }
+  void noteInProgram(std::string CheckId, std::string Msg) {
+    report({Severity::Note, std::move(CheckId), LocKind::Program, {},
+            std::move(Msg), ""});
+  }
 
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
   unsigned errorCount() const { return Errors; }

@@ -52,6 +52,42 @@ struct SliceManifest {
   /// `speculation.*` verify pass re-derives every entry and rejects drops
   /// without evidence.
   std::vector<analysis::SpecDrop> SpecDrops;
+
+  /// StaticId of the primary delinquent load this slice covers (in the
+  /// original binary; preserved in the clone). Joins the slice with
+  /// profile attribution records and feedback overrides.
+  uint64_t PrimaryLoadSid = 0;
+  /// StaticIds of *all* target loads the (combined) slice covers,
+  /// sorted and deduplicated — feedback decisions must reach every one,
+  /// or a re-adaptation would split the non-directed loads back out into
+  /// their own shallow slices.
+  std::vector<uint64_t> TargetLoadSids;
+  /// Outward steps the region traversal took from the innermost region.
+  unsigned RegionDepth = 0;
+  /// Inner-loop member emission count the plan was built with, and how
+  /// many slice members sit in an inner loop (0: unrolling is a no-op —
+  /// the feedback policy's deepen action falls back to the trip budget).
+  unsigned InnerUnroll = 0;
+  unsigned InnerMembers = 0;
+  /// StaticIds of the inserted chk.c instructions, split by role: the
+  /// cut-set triggers versus the chain-loop-header restart triggers.
+  /// Sorted. These are the keys simulation attribution reports under, so
+  /// the feedback loop can fold per-trigger fates back onto this slice.
+  std::vector<uint64_t> CutTriggerSids;
+  std::vector<uint64_t> RestartTriggerSids;
+};
+
+/// One ToolOptions::Overrides entry the adaptation ran with, recorded
+/// verbatim (a plain mirror of core::LoadOverride — verify/ sits below
+/// core/ in the dependency order). The `feedback.*` verify pass audits
+/// the emitted plan against these.
+struct FeedbackOverrideRecord {
+  uint64_t LoadSid = 0;
+  bool Drop = false;
+  bool NoRestartTrigger = false;
+  unsigned MinRegionDepth = 0;
+  int TripBudgetLog2 = 0;
+  unsigned InnerUnroll = 0;
 };
 
 /// Everything the rewriter planned, for one whole adaptation.
@@ -59,6 +95,9 @@ struct AdaptationManifest {
   std::vector<SliceManifest> Slices;
   /// Number of chk.c trigger insertions planned.
   unsigned PlannedTriggers = 0;
+  /// Feedback directives the tool ran with, sorted by LoadSid (empty
+  /// outside closed-loop re-adaptation rounds).
+  std::vector<FeedbackOverrideRecord> FeedbackOverrides;
 };
 
 } // namespace ssp::verify

@@ -40,6 +40,7 @@ PassManager PassManager::standardPipeline() {
   PM.add(createSliceDataflowPass());
   PM.add(createLintPass());
   PM.add(createSpeculationPass());
+  PM.add(createFeedbackPass());
   return PM;
 }
 

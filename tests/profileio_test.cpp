@@ -10,8 +10,10 @@
 
 #include "ProfiledFixture.h"
 #include "profile/ProfileIO.h"
+#include "sim/Simulator.h"
 #include "workloads/Workload.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 using namespace ssp;
@@ -337,6 +339,149 @@ TEST(ProfileIO, MutatedDependenceRecordsFailLocatedOrStayCanonical) {
   }
   // The sweep must actually have covered the evidence trailer.
   EXPECT_GE(Mutants, 5u * 4u);
+}
+
+/// Real attribution evidence: adapt mcf, simulate the enhanced binary,
+/// and attach the per-trigger fate rollups to the profile.
+ProfileData attribProfileOf(const Workload &W) {
+  const ProfiledWorkload &PW = profiledWorkload(W);
+  core::ToolOptions TO;
+  core::PostPassTool Tool(PW.P, PW.PD, TO);
+  ir::Program Enhanced = Tool.adapt();
+  ir::LinkedProgram LP = ir::LinkedProgram::link(Enhanced);
+  mem::SimMemory Mem;
+  PW.W.BuildMemory(Mem);
+  sim::Simulator Sim(sim::MachineConfig::inOrder(), LP, Mem);
+  sim::SimStats S = Sim.run();
+  ProfileData PD = PW.PD;
+  PD.HasAttrib = true;
+  PD.Attrib = S.Attribution;
+  return PD;
+}
+
+TEST(ProfileIO, AttributionRecordsRoundTripByteIdentically) {
+  ProfileData PD = attribProfileOf(makeMcf());
+  ASSERT_FALSE(PD.Attrib.empty());
+  std::string Text = writeProfileText(PD);
+  ProfileData Parsed;
+  std::string Err;
+  ASSERT_TRUE(parseProfileText(Text, Parsed, Err)) << Err;
+  EXPECT_TRUE(Parsed.HasAttrib);
+
+  // Parsed order is the canonical (trigger-sorted) order; every field —
+  // including the timeliness slack the feedback policy hoists on — must
+  // survive.
+  std::vector<sim::PrefetchAttribution> Sorted = PD.Attrib;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const sim::PrefetchAttribution &A,
+               const sim::PrefetchAttribution &B) {
+              return A.Trigger < B.Trigger;
+            });
+  ASSERT_EQ(Parsed.Attrib.size(), Sorted.size());
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    SCOPED_TRACE("record " + std::to_string(I));
+    EXPECT_EQ(Parsed.Attrib[I].Trigger, Sorted[I].Trigger);
+    EXPECT_EQ(Parsed.Attrib[I].Slice, Sorted[I].Slice);
+    EXPECT_EQ(Parsed.Attrib[I].Spawns, Sorted[I].Spawns);
+    EXPECT_EQ(Parsed.Attrib[I].MaxChainDepth, Sorted[I].MaxChainDepth);
+    for (unsigned F = 0; F < sim::NumPrefetchFates; ++F)
+      EXPECT_EQ(Parsed.Attrib[I].Fates[F], Sorted[I].Fates[F]);
+    EXPECT_EQ(Parsed.Attrib[I].LateCycles, Sorted[I].LateCycles);
+  }
+
+  // The canonical text is a fixpoint, and the writer canonicalizes any
+  // in-memory order — so profile-text cache keys are stable however the
+  // attribution was produced.
+  EXPECT_EQ(writeProfileText(Parsed), Text);
+  std::reverse(Parsed.Attrib.begin(), Parsed.Attrib.end());
+  EXPECT_EQ(writeProfileText(Parsed), Text);
+}
+
+TEST(ProfileIO, RejectsMalformedAttributionRecords) {
+  const char *Hdr = "sspprof v1\nfuncs 2\nbaseline 1\n";
+  const BadCase Cases[] = {
+      {"fates before the marker", "fates 0 1 0 0 3 2 1 0 0 0 0 9\n",
+       "'fates' before 'attrib'"},
+      {"duplicate marker", "attrib 1\nattrib 1\n",
+       "duplicate 'attrib' record"},
+      {"unsupported version", "attrib 2\n",
+       "unsupported 'attrib' version"},
+      {"marker with junk", "attrib 1 1\n", "trailing junk"},
+      {"out of order", "attrib 1\nfates 0 2 0 0 1 1 1 0 0 0 0 0\n"
+                       "fates 0 1 0 0 1 1 1 0 0 0 0 0\n",
+       "out of order"},
+      {"duplicate trigger", "attrib 1\nfates 0 1 0 0 1 1 1 0 0 0 0 0\n"
+                            "fates 0 1 0 0 1 1 1 0 0 0 0 0\n",
+       "out of order"},
+      {"trigger func out of range", "attrib 1\nfates 7 1 0 0 1 1 1 0 0 0 0 0\n",
+       "out of range"},
+      {"slice func out of range", "attrib 1\nfates 0 1 5 3 1 1 1 0 0 0 0 0\n",
+       "out of range"},
+      {"truncated fates", "attrib 1\nfates 0 1 0 0 3 2 1 0 0 0 0\n",
+       "malformed 'fates' record"},
+      {"trailing junk", "attrib 1\nfates 0 1 0 0 3 2 1 0 0 0 0 9 9\n",
+       "trailing junk"},
+  };
+  for (const BadCase &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    std::string Text = std::string(Hdr) + C.Text;
+    ProfileData PD;
+    std::string Err;
+    EXPECT_FALSE(parseProfileText(Text, PD, Err)) << Text;
+    EXPECT_NE(Err.find("line "), std::string::npos) << Err;
+    EXPECT_NE(Err.find(C.ErrSubstring), std::string::npos)
+        << "got: " << Err;
+  }
+  // The (0, 0) slice sid is the simulator's "origin unknown" sentinel
+  // and must stay accepted even though fn0's index namespace is real.
+  ProfileData PD;
+  std::string Err;
+  EXPECT_TRUE(parseProfileText(std::string(Hdr) +
+                                   "attrib 1\nfates 1 4 0 0 3 2 1 0 0 0 0 9\n",
+                               PD, Err))
+      << Err;
+  ASSERT_EQ(PD.Attrib.size(), 1u);
+  EXPECT_EQ(PD.Attrib[0].Slice, 0u);
+  EXPECT_EQ(PD.Attrib[0].LateCycles, 9u);
+}
+
+TEST(ProfileIO, MutatedAttributionRecordsFailLocatedOrStayCanonical) {
+  ProfileData PD = attribProfileOf(makeMcf());
+  ASSERT_FALSE(PD.Attrib.empty());
+  std::string Text = writeProfileText(PD);
+
+  std::vector<std::string> Lines;
+  for (size_t Pos = 0; Pos < Text.size();) {
+    size_t Nl = Text.find('\n', Pos);
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  auto rebuild = [&](size_t Skip, const std::string &Replace) {
+    std::string S;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (I == Skip)
+        S += Replace;
+      else
+        S += Lines[I] + "\n";
+    }
+    return S;
+  };
+
+  unsigned Mutants = 0;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const std::string &L = Lines[I];
+    if (L.rfind("attrib", 0) != 0 && L.rfind("fates", 0) != 0)
+      continue;
+    SCOPED_TRACE("line " + std::to_string(I + 1) + ": " + L);
+    expectParseTotal(rebuild(I, L.substr(0, L.find_last_of(' ')) + "\n"));
+    expectParseTotal(rebuild(I, "x" + L + "\n"));
+    expectParseTotal(rebuild(I, L + "\n" + L + "\n"));
+    expectParseTotal(rebuild(I, ""));
+    expectParseTotal(Text.substr(0, Text.find(L) + L.size() / 2));
+    Mutants += 5;
+  }
+  // Marker plus at least one fates record must have been swept.
+  EXPECT_GE(Mutants, 5u * 2u);
 }
 
 TEST(ProfileIO, ErrorLineNumbersAreExact) {

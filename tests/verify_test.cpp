@@ -160,9 +160,10 @@ TEST(DiagnosticEngine, RenderJSONEscapesAndCounts) {
 TEST(PassManagerTest, StandardPipelineHasExpectedOrder) {
   verify::PassManager PM = verify::PassManager::standardPipeline();
   std::vector<std::string> Names = PM.passNames();
-  ASSERT_EQ(Names.size(), 6u);
+  ASSERT_EQ(Names.size(), 7u);
   EXPECT_EQ(Names.front(), "structural");
-  EXPECT_EQ(Names.back(), "speculation");
+  EXPECT_EQ(Names[5], "speculation");
+  EXPECT_EQ(Names.back(), "feedback");
 }
 
 //===----------------------------------------------------------------------===//

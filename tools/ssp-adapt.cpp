@@ -36,6 +36,21 @@
 //                                        write the collected profile as
 //                                        .sspprof text (corpus builder for
 //                                        ssp-adaptd / bench_serve)
+//   ssp-adapt input.ssp --feedback[=N]   closed-loop re-adaptation: adapt,
+//                                        simulate, fold the per-trigger
+//                                        prefetch fates back into per-load
+//                                        directives, and re-adapt until a
+//                                        fixpoint or N rounds (default 4).
+//                                        Monotonic accept: the reported
+//                                        binary is the best simulated round,
+//                                        never worse than one-shot.
+//                                        --feedback=0 (and omitting the
+//                                        flag) is bit-identical to the
+//                                        ordinary pipeline.
+//   ssp-adapt input.ssp --feedback --sample[=W:D:F]
+//                                        run the per-round simulations under
+//                                        the two-level sampling plan instead
+//                                        of in full detail
 //
 // The adapted binary is verified (see src/verify/) before the tool
 // returns: verification errors print to stderr and exit non-zero.
@@ -45,6 +60,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Feedback.h"
 #include "core/PostPassTool.h"
 #include "core/ReportRender.h"
 #include "ir/Parser.h"
@@ -69,7 +85,8 @@ int usage(const char *Argv0) {
                "[--jobs N] [--spec-deps[=T]] [--throttle] [--verbose] "
                "[--Werror] [--metrics <out.json>] "
                "[--profile <in.sspprof>] "
-               "[--emit-profile <out.sspprof>]\n",
+               "[--emit-profile <out.sspprof>] "
+               "[--feedback[=N]] [--sample[=W:D:F]]\n",
                Argv0);
   return 1;
 }
@@ -98,6 +115,7 @@ int main(int argc, char **argv) {
   const char *EmitProfilePath = nullptr;
   bool Emit = false, Run = false, Throttle = false, Werror = false;
   bool NoChaining = false;
+  sim::SamplingPlan Sample;
   core::ToolOptions Opts;
   // Report verification findings here instead of aborting inside the
   // library; the exit status reflects them below.
@@ -128,6 +146,27 @@ int main(int argc, char **argv) {
       .flag("--metrics", MetricsPath)
       .flag("--profile", ProfilePath)
       .flag("--emit-profile", EmitProfilePath)
+      .flagEq("--feedback",
+              [&](const char *V) {
+                if (!V) {
+                  Opts.FeedbackRounds = core::FeedbackOptions().MaxRounds;
+                  return true;
+                }
+                char *End = nullptr;
+                unsigned long N = std::strtoul(V, &End, 10);
+                if (*V == '\0' || *End != '\0' || N > 64)
+                  return false;
+                Opts.FeedbackRounds = static_cast<unsigned>(N);
+                return true;
+              })
+      .flagEq("--sample",
+              [&](const char *V) {
+                if (!V) {
+                  Sample = sim::SamplingPlan::defaults();
+                  return true;
+                }
+                return sim::parseSamplingPlan(V, Sample);
+              })
       .flag("--throttle", Throttle)
       .flag("--verbose", Opts.Verbose)
       .flag("--Werror", Werror);
@@ -202,15 +241,33 @@ int main(int argc, char **argv) {
     }
   }
 
-  // Pass 2: adapt.
-  core::PostPassTool Tool(Orig, PD, Opts);
+  // Pass 2: adapt — one-shot, or the closed feedback loop when
+  // --feedback asked for re-adaptation rounds.
   core::AdaptationReport Rep;
-  ir::Program Enhanced = Tool.adapt(&Rep);
+  ir::Program Enhanced;
+  std::string FeedbackTrace;
+  if (Opts.FeedbackRounds > 0) {
+    core::FeedbackOptions FO;
+    FO.MaxRounds = Opts.FeedbackRounds;
+    FO.Sample = Sample;
+    auto BuildMemory = [&Data](mem::SimMemory &Mem) {
+      applyData(Mem, Data);
+    };
+    core::FeedbackResult FR =
+        core::runFeedbackLoop(Orig, PD, Opts, FO, BuildMemory);
+    Enhanced = std::move(FR.Best);
+    Rep = std::move(FR.BestReport);
+    FeedbackTrace = core::renderFeedbackText(FR);
+  } else {
+    core::PostPassTool Tool(Orig, PD, Opts);
+    Enhanced = Tool.adapt(&Rep);
+  }
 
   // The canonical report rendering — shared with ssp-adaptd, whose
   // `report` response payload must be byte-identical to this block.
   std::fputs(core::renderReportText(PD.BaselineCycles, Rep).c_str(),
              stdout);
+  std::fputs(FeedbackTrace.c_str(), stdout);
 
   // Verification findings over the adapted binary (collected by the tool;
   // errors mean the rewriter emitted an unsafe adaptation).

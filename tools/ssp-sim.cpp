@@ -22,6 +22,12 @@
 //                                     lengths in main-thread instructions;
 //                                     bare --sample uses the default plan)
 //   ssp-sim prog.ssp --report=attrib  per-trigger prefetch-lifecycle table
+//   ssp-sim prog.ssp --emit-attrib out.sspprof
+//                                     serialize the per-trigger fate
+//                                     rollups as `attrib`/`fates` profile
+//                                     records (one input) — the evidence
+//                                     `ssp-adapt --feedback` rounds and
+//                                     offline re-adaptation consume
 //   ssp-sim prog.ssp --trace out.json Chrome trace_event JSON of the
 //                                     spawn/prefetch lifecycle (one input)
 //
@@ -34,6 +40,8 @@
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "obs/TraceSink.h"
+#include "profile/Profile.h"
+#include "profile/ProfileIO.h"
 #include "sim/Simulator.h"
 #include "support/FlagParser.h"
 #include "support/TablePrinter.h"
@@ -56,7 +64,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp>... [--ooo] [--contexts N] [--memlat N] "
                "[--icount] [--throttle] [--no-skip] [--jobs N] "
-               "[--sample[=W:D:F]] [--report=attrib] [--trace <out.json>]\n",
+               "[--sample[=W:D:F]] [--report=attrib] "
+               "[--emit-attrib <out.sspprof>] [--trace <out.json>]\n",
                Argv0);
   return 1;
 }
@@ -111,6 +120,7 @@ void appendAttribReport(const sim::SimStats &S, const ir::LinkedProgram &LP,
   T.cell("accesses");
   for (unsigned F = 0; F < sim::NumPrefetchFates; ++F)
     T.cell(sim::prefetchFateName(static_cast<sim::PrefetchFate>(F)));
+  T.cell("late-cyc");
   for (const sim::PrefetchAttribution &A : S.Attribution) {
     T.row();
     T.cell(describeSid(LP, A.Trigger));
@@ -122,6 +132,7 @@ void appendAttribReport(const sim::SimStats &S, const ir::LinkedProgram &LP,
     T.cell(static_cast<unsigned long long>(A.prefetches()));
     for (unsigned F = 0; F < sim::NumPrefetchFates; ++F)
       T.cell(static_cast<unsigned long long>(A.Fates[F]));
+    T.cell(static_cast<unsigned long long>(A.LateCycles));
   }
   Out += T.toString();
   uint64_t Attributed = S.attributedPrefetches();
@@ -140,7 +151,8 @@ void appendAttribReport(const sim::SimStats &S, const ir::LinkedProgram &LP,
 /// Returns false on any failure.
 bool simulateFile(const std::string &Path, const sim::MachineConfig &Cfg,
                   bool Banner, std::string &Out, bool ReportAttrib = false,
-                  obs::TraceSink *Trace = nullptr) {
+                  obs::TraceSink *Trace = nullptr,
+                  std::string *AttribProfile = nullptr) {
   std::ifstream In(Path);
   if (!In) {
     appendf(Out, "error: cannot open '%s'\n", Path.c_str());
@@ -220,6 +232,18 @@ bool simulateFile(const std::string &Path, const sim::MachineConfig &Cfg,
             static_cast<unsigned long long>(S.ThrottleEvents));
   if (ReportAttrib)
     appendAttribReport(S, LP, Out);
+  if (AttribProfile) {
+    // The fate rollups as profile records: `funcs` sizes the namespace the
+    // parser bounds sids against, `baseline` carries this run's cycles so
+    // downstream speedup math has a denominator.
+    profile::ProfileData PD;
+    PD.BaselineCycles = S.Cycles;
+    PD.BlockCounts.resize(P.numFuncs());
+    PD.EdgeCounts.resize(P.numFuncs());
+    PD.HasAttrib = true;
+    PD.Attrib = S.Attribution;
+    *AttribProfile = profile::writeProfileText(PD);
+  }
   return true;
 }
 
@@ -232,6 +256,7 @@ int main(int argc, char **argv) {
   bool Ooo = false, ICount = false, Throttle = false, NoSkip = false;
   bool ReportAttrib = false;
   const char *TracePath = nullptr;
+  const char *AttribPath = nullptr;
   support::FlagParser Parser(argc, argv);
   Parser.flag("--ooo", Ooo)
       .flag("--contexts", Cfg.NumThreads, 1, 8)
@@ -241,6 +266,7 @@ int main(int argc, char **argv) {
       .flag("--no-skip", NoSkip)
       .flag("--jobs", Jobs, 0, 512)
       .flag("--trace", TracePath)
+      .flag("--emit-attrib", AttribPath)
       .flagEq("--report",
               [&ReportAttrib](const char *V) {
                 if (!V || std::strcmp(V, "attrib") != 0)
@@ -269,6 +295,11 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: --trace requires a single input file\n");
     return usage(argv[0]);
   }
+  if (AttribPath && Paths.size() != 1) {
+    std::fprintf(stderr,
+                 "error: --emit-attrib requires a single input file\n");
+    return usage(argv[0]);
+  }
   if (TracePath && Cfg.Sample.enabled()) {
     // The obs contract under sampling: an extrapolated run has no faithful
     // per-event stream, so event tracing is rejected rather than silently
@@ -284,10 +315,12 @@ int main(int argc, char **argv) {
   // the report in command-line order whatever the schedule.
   std::vector<std::string> Outputs(Paths.size());
   std::vector<char> FileOk(Paths.size(), 1);
+  std::string AttribProfile;
   support::ThreadPool Pool(Paths.size() == 1 ? 1 : Jobs);
   Pool.parallelFor(Paths.size(), [&](size_t I) {
     FileOk[I] = simulateFile(Paths[I], Cfg, Paths.size() > 1, Outputs[I],
-                             ReportAttrib, TracePath ? &Sink : nullptr)
+                             ReportAttrib, TracePath ? &Sink : nullptr,
+                             AttribPath ? &AttribProfile : nullptr)
                     ? 1
                     : 0;
   });
@@ -298,6 +331,22 @@ int main(int argc, char **argv) {
       std::printf("\n");
     std::fputs(Outputs[I].c_str(), FileOk[I] ? stdout : stderr);
     AllOk = AllOk && FileOk[I];
+  }
+  if (AllOk && AttribPath) {
+    std::ofstream AF(AttribPath);
+    if (!AF || !(AF << AttribProfile)) {
+      std::fprintf(stderr, "error: cannot write attribution profile to '%s'\n",
+                   AttribPath);
+      return 1;
+    }
+    // Count is derivable from the text, but printing it makes a truncated
+    // simulation (zero triggers reached) obvious at the console.
+    size_t Fates = 0;
+    for (size_t Pos = AttribProfile.find("\nfates ");
+         Pos != std::string::npos; Pos = AttribProfile.find("\nfates ", Pos + 1))
+      ++Fates;
+    std::printf("attribution: %zu trigger record(s) -> %s\n", Fates,
+                AttribPath);
   }
   if (AllOk && TracePath) {
     if (!Sink.writeChromeJSON(TracePath)) {
