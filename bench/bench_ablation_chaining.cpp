@@ -29,7 +29,7 @@ int main(int argc, char **argv) {
   // Warm both runners across the suite in parallel: one pool job per
   // (runner, workload) pair; the report loop below then reads cached
   // results, so the output is identical for any --jobs value.
-  const std::vector<workloads::Workload> Suite = workloads::paperSuite();
+  const std::vector<workloads::Workload> Suite = workloads::fullSuite();
   SuiteRunner *Runners[] = {&Full, &BasicOnly};
   support::ThreadPool Pool(jobsFromArgs(argc, argv));
   const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
@@ -47,7 +47,7 @@ int main(int argc, char **argv) {
   T.cell(std::string("chaining spawns"));
   T.cell(std::string("basic spawns"));
 
-  for (const workloads::Workload &W : workloads::paperSuite()) {
+  for (const workloads::Workload &W : workloads::fullSuite()) {
     const BenchResult &A = Full.run(W);
     const BenchResult &B = BasicOnly.run(W);
     T.row();

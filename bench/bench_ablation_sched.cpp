@@ -33,7 +33,7 @@ int main(int argc, char **argv) {
   // Warm every runner across the suite in parallel: one pool job per
   // (runner, workload) pair; the report loop below then reads cached
   // results, so the output is identical for any --jobs value.
-  const std::vector<workloads::Workload> Suite = workloads::paperSuite();
+  const std::vector<workloads::Workload> Suite = workloads::fullSuite();
   SuiteRunner *Runners[] = {&Full, &NoRotation, &NoPrediction};
   support::ThreadPool Pool(jobsFromArgs(argc, argv));
   const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
@@ -53,7 +53,7 @@ int main(int argc, char **argv) {
   T.cell(std::string("slack/iter"));
   T.cell(std::string("predicted?"));
 
-  for (const workloads::Workload &W : workloads::paperSuite()) {
+  for (const workloads::Workload &W : workloads::fullSuite()) {
     const BenchResult &A = Full.run(W);
     const BenchResult &B = NoRotation.run(W);
     const BenchResult &C = NoPrediction.run(W);

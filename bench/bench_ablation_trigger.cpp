@@ -29,7 +29,7 @@ int main(int argc, char **argv) {
   // Warm every runner across the suite in parallel: one pool job per
   // (runner, workload) pair; the report loop below then reads cached
   // results, so the output is identical for any --jobs value.
-  const std::vector<workloads::Workload> Suite = workloads::paperSuite();
+  const std::vector<workloads::Workload> Suite = workloads::fullSuite();
   SuiteRunner *Runners[] = {&Full, &WithoutRestart};
   support::ThreadPool Pool(jobsFromArgs(argc, argv));
   const sim::SamplingPlan Sample = sampleFromArgs(argc, argv);
@@ -48,7 +48,7 @@ int main(int argc, char **argv) {
   T.cell(std::string("min-cut cost"));
   T.cell(std::string("ratio"));
 
-  for (const workloads::Workload &W : workloads::paperSuite()) {
+  for (const workloads::Workload &W : workloads::fullSuite()) {
     const BenchResult &A = Full.run(W);
     const BenchResult &B = WithoutRestart.run(W);
     uint64_t Heuristic = 0, MinCut = 0;

@@ -14,7 +14,7 @@
 // >= 2 workloads must improve, none may regress, and every loop must
 // reach its fixpoint within the round bound.
 //
-//   bench_feedback [--jobs N] [--out FILE] [--no-skip] [--sample[=W:D:F]]
+//   bench_feedback [--jobs N] [--out FILE] [--no-skip] [--sample[=W:D:F[:R]]]
 //
 // --sample applies to the loop's *internal* per-round simulations; the
 // final reported speedups always come from full-detail runs so the

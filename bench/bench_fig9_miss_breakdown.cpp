@@ -62,7 +62,7 @@ int main(int argc, char **argv) {
 
   ParallelSuiteRunner Runner(core::ToolOptions(), jobsFromArgs(argc, argv));
   Runner.setSamplingPlan(sampleFromArgs(argc, argv));
-  Runner.runAll(workloads::paperSuite());
+  Runner.runAll(workloads::fullSuite());
   TablePrinter T;
   T.row();
   T.cell(std::string("benchmark"));
@@ -75,7 +75,7 @@ int main(int argc, char **argv) {
   T.cell(std::string("Mem"));
   T.cell(std::string("MemPart"));
 
-  for (const workloads::Workload &W : workloads::paperSuite()) {
+  for (const workloads::Workload &W : workloads::fullSuite()) {
     const BenchResult &R = Runner.run(W);
     std::unordered_set<ir::StaticId> Delinquent = Runner.delinquentIdsOf(W);
     struct Row {

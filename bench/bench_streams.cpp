@@ -1,0 +1,212 @@
+//===- bench/bench_streams.cpp - stream-descriptor evaluation -------------===//
+//
+// The headline experiment of the stream-descriptor subsystem: for every
+// indirect workload of streamSuite() (hashjoin, pagerank, oahash — the
+// a[b[i]] kernels DESIGN.md's "Stream descriptors" section targets), adapt
+// twice — full p-slice replay (--streams off) and descriptor execution
+// (--streams on) — and report both speedups over the unadapted binary on
+// the in-order model. Descriptor execution serves every trigger from the
+// simulator's stream engine with no spawned-context fetch/decode, so the
+// delta isolates exactly what the compact encoding buys.
+//
+// Every adapted binary's checksum is validated against the analytically
+// expected value and the streams run is audited by verify pass 8 (the
+// stream.* class); the JSON report (BENCH_streams.json via --out) carries
+// the per-workload speedups plus the counts scripts/check_streams_json.py
+// gates in CI: >= 2 workloads with attached descriptors must beat their
+// full-p-slice binary, none may fall below it, and the stream.* audit must
+// be clean.
+//
+//   bench_streams [--jobs N] [--out FILE] [--no-skip] [--sample[=W:D:F[:R]]]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PostPassTool.h"
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ssp;
+using namespace ssp::harness;
+
+namespace {
+
+struct WorkloadOutcome {
+  std::string Name;
+  std::string Kind; ///< Attached descriptor kind ("indirect", ...).
+  unsigned Descriptors = 0;
+  double SpeedupSlices = 0.0;  ///< Full p-slice replay over baseline.
+  double SpeedupStreams = 0.0; ///< Descriptor execution over baseline.
+  uint64_t StreamActivations = 0;
+  uint64_t StreamSteps = 0;
+  uint64_t SpawnsSlices = 0;  ///< Spawned contexts, p-slice binary.
+  uint64_t SpawnsStreams = 0; ///< Spawned contexts, streams binary.
+  bool ChecksumOk = false;
+  unsigned VerifyErrors = 0;       ///< All classes, streams adaptation.
+  unsigned StreamVerifyErrors = 0; ///< stream.* subset.
+};
+
+WorkloadOutcome runOne(const workloads::Workload &W, const BenchArgs &Args) {
+  WorkloadOutcome O;
+  O.Name = W.Name;
+
+  ir::Program Orig = W.Build();
+  profile::ProfileData PD = core::profileProgram(Orig, W.BuildMemory);
+
+  auto Adapt = [&](bool Streams, core::AdaptationReport &Rep) {
+    core::ToolOptions TO;
+    TO.EnableStreams = Streams;
+    return core::PostPassTool(Orig, PD, TO).adapt(&Rep);
+  };
+  core::AdaptationReport RepSlices, RepStreams;
+  ir::Program Slices = Adapt(false, RepSlices);
+  ir::Program Streams = Adapt(true, RepStreams);
+
+  O.Descriptors = static_cast<unsigned>(Streams.streams().size());
+  if (O.Descriptors > 0)
+    O.Kind = ir::streamKindName(Streams.streams().front().Kind);
+  O.VerifyErrors = RepStreams.VerifyErrors;
+  for (const verify::Diagnostic &D : RepStreams.VerifyDiags)
+    if (D.isError() && D.CheckId.rfind("stream.", 0) == 0)
+      ++O.StreamVerifyErrors;
+
+  sim::MachineConfig Cfg = sim::MachineConfig::inOrder();
+  Cfg.SkipIdleCycles = !Args.NoSkip;
+  Cfg.Sample = Args.Sample;
+  bool Ok1 = false, Ok2 = false, Ok3 = false;
+  sim::SimStats Base = SuiteRunner::simulate(Orig, W, Cfg, &Ok1);
+  sim::SimStats SlRun = SuiteRunner::simulate(Slices, W, Cfg, &Ok2);
+  sim::SimStats StRun = SuiteRunner::simulate(Streams, W, Cfg, &Ok3);
+  O.ChecksumOk = Ok1 && Ok2 && Ok3;
+
+  O.SpeedupSlices = static_cast<double>(Base.Cycles) /
+                    static_cast<double>(SlRun.Cycles);
+  O.SpeedupStreams = static_cast<double>(Base.Cycles) /
+                     static_cast<double>(StRun.Cycles);
+  O.StreamActivations = StRun.StreamActivations;
+  O.StreamSteps = StRun.StreamSteps;
+  O.SpawnsSlices = SlRun.SpawnsSucceeded;
+  O.SpawnsStreams = StRun.SpawnsSucceeded;
+  return O;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv);
+  std::printf("=== Stream descriptors: p-slice replay vs descriptor "
+              "execution (indirect suite) ===\n");
+  printMachineBanner();
+
+  const std::vector<workloads::Workload> Suite = workloads::streamSuite();
+  std::vector<WorkloadOutcome> Out(Suite.size());
+  support::ThreadPool Pool(Args.Jobs);
+  Pool.parallelFor(Suite.size(),
+                   [&](size_t I) { Out[I] = runOne(Suite[I], Args); });
+
+  TablePrinter T;
+  T.row();
+  T.cell(std::string("benchmark"));
+  T.cell(std::string("kind"));
+  T.cell(std::string("p-slices"));
+  T.cell(std::string("streams"));
+  T.cell(std::string("delta"));
+  T.cell(std::string("activations"));
+  T.cell(std::string("steps"));
+  T.cell(std::string("spawns"));
+  for (const WorkloadOutcome &O : Out) {
+    T.row();
+    T.cell(O.Name);
+    T.cell(O.Kind.empty() ? std::string("-") : O.Kind);
+    T.cell(O.SpeedupSlices, 3);
+    T.cell(O.SpeedupStreams, 3);
+    T.cell(O.SpeedupStreams - O.SpeedupSlices, 3);
+    T.cell(static_cast<unsigned long long>(O.StreamActivations));
+    T.cell(static_cast<unsigned long long>(O.StreamSteps));
+    T.cell(static_cast<unsigned long long>(O.SpawnsStreams));
+  }
+  T.print();
+
+  unsigned Improved = 0, Regressed = 0, WithDescriptors = 0;
+  unsigned TotalErrors = 0, StreamErrors = 0;
+  bool ChecksumsOk = true;
+  std::string Json = "{\n  \"jobs\": " +
+                     std::to_string(Pool.numThreads()) +
+                     ",\n  \"workloads\": [\n";
+  char Buf[640];
+  for (size_t I = 0; I < Out.size(); ++I) {
+    const WorkloadOutcome &O = Out[I];
+    if (O.Descriptors > 0)
+      ++WithDescriptors;
+    // The stream engine serves the same triggers with no spawned-context
+    // fetch/decode, so descriptor execution falling behind full replay on
+    // any workload is an engine bug, not noise (the simulator is exact).
+    if (O.Descriptors > 0 && O.SpeedupStreams > O.SpeedupSlices)
+      ++Improved;
+    if (O.SpeedupStreams < O.SpeedupSlices)
+      ++Regressed;
+    ChecksumsOk = ChecksumsOk && O.ChecksumOk;
+    TotalErrors += O.VerifyErrors;
+    StreamErrors += O.StreamVerifyErrors;
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\n"
+                  "      \"name\": \"%s\",\n"
+                  "      \"kind\": \"%s\",\n"
+                  "      \"descriptors\": %u,\n"
+                  "      \"speedup_slices\": %.4f,\n"
+                  "      \"speedup_streams\": %.4f,\n"
+                  "      \"speedup_delta\": %.4f,\n"
+                  "      \"stream_activations\": %llu,\n"
+                  "      \"stream_steps\": %llu,\n"
+                  "      \"spawns_slices\": %llu,\n"
+                  "      \"spawns_streams\": %llu,\n"
+                  "      \"checksum_ok\": %s,\n"
+                  "      \"verify_errors\": %u,\n"
+                  "      \"stream_verify_errors\": %u\n"
+                  "    }%s\n",
+                  O.Name.c_str(), O.Kind.c_str(), O.Descriptors,
+                  O.SpeedupSlices, O.SpeedupStreams,
+                  O.SpeedupStreams - O.SpeedupSlices,
+                  static_cast<unsigned long long>(O.StreamActivations),
+                  static_cast<unsigned long long>(O.StreamSteps),
+                  static_cast<unsigned long long>(O.SpawnsSlices),
+                  static_cast<unsigned long long>(O.SpawnsStreams),
+                  O.ChecksumOk ? "true" : "false", O.VerifyErrors,
+                  O.StreamVerifyErrors, I + 1 == Out.size() ? "" : ",");
+    Json += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "  ],\n"
+                "  \"workloads_with_descriptors\": %u,\n"
+                "  \"workloads_improved\": %u,\n"
+                "  \"workloads_regressed\": %u,\n"
+                "  \"verify_errors\": %u,\n"
+                "  \"stream_verify_errors\": %u,\n"
+                "  \"checksum_ok\": %s\n"
+                "}\n",
+                WithDescriptors, Improved, Regressed, TotalErrors,
+                StreamErrors, ChecksumsOk ? "true" : "false");
+  Json += Buf;
+
+  std::printf("\nstreams: %u/%zu workloads classified, %u beat full "
+              "p-slices, %u regressed, %u stream verify errors\n",
+              WithDescriptors, Out.size(), Improved, Regressed,
+              StreamErrors);
+
+  if (Args.OutPath) {
+    std::FILE *F = std::fopen(Args.OutPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Args.OutPath);
+      return 1;
+    }
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+  }
+  return (ChecksumsOk && TotalErrors == 0 && Regressed == 0 &&
+          Improved >= 2)
+             ? 0
+             : 1;
+}

@@ -82,6 +82,26 @@ add_custom_target(bench-feedback
   COMMENT "Running the closed-loop feedback evaluation on the suite"
   VERBATIM)
 
+ssp_add_bench(bench_streams)
+
+# `cmake --build build --target bench-streams` reruns the stream-descriptor
+# evaluation — full p-slice replay vs descriptor execution on the indirect
+# suite (hashjoin, pagerank, oahash) — and writes BENCH_streams.json with
+# per-workload speedups, descriptor kinds and stream-engine counters;
+# scripts/check_streams_json.py validates it in CI (>= 2 classified
+# workloads beat their full-p-slice binary, none regress, checksums and
+# zero stream.* verify errors).
+add_custom_target(bench-streams
+  COMMAND ${CMAKE_COMMAND}
+          -DBENCH_BIN=$<TARGET_FILE:bench_streams>
+          -DOUT=${CMAKE_BINARY_DIR}/BENCH_streams.json
+          -DJOBS=2
+          -DREQUIRE=workloads_improved
+          -P ${CMAKE_SOURCE_DIR}/bench/emit_json.cmake
+  DEPENDS bench_streams
+  COMMENT "Running the stream-descriptor evaluation on the indirect suite"
+  VERBATIM)
+
 ssp_add_bench(bench_serve)
 
 # `cmake --build build --target bench-serve` drives the AdaptService the

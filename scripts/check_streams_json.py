@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_streams.json report emitted by bench_streams.
+
+    check_streams_json.py <BENCH_streams.json>
+
+Stdlib only (json + sys): CI must not grow dependencies. Checks the
+stream-descriptor evaluation report against the feature's acceptance bar:
+
+  * shape: per-workload keys present and sane, deltas consistent;
+  * safety: intact checksums, zero verify errors overall and zero in the
+    stream.* class in particular, and no workload where descriptor
+    execution is slower than its full-p-slice binary (the engine serves
+    the same triggers with strictly less work, so a regression is an
+    engine bug, not noise — the simulator is exact);
+  * coverage: every classified workload actually activated its stream
+    and spawned no speculative contexts (descriptors fully replace the
+    spawned-thread path);
+  * effect: descriptor execution beats full p-slice replay on >= 2
+    workloads with attached descriptors.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+WORKLOAD_KEYS = (
+    "name",
+    "kind",
+    "descriptors",
+    "speedup_slices",
+    "speedup_streams",
+    "speedup_delta",
+    "stream_activations",
+    "stream_steps",
+    "spawns_slices",
+    "spawns_streams",
+    "checksum_ok",
+    "verify_errors",
+    "stream_verify_errors",
+)
+
+TOP_KEYS = (
+    "jobs",
+    "workloads",
+    "workloads_with_descriptors",
+    "workloads_improved",
+    "workloads_regressed",
+    "verify_errors",
+    "stream_verify_errors",
+    "checksum_ok",
+)
+
+KINDS = ("affine", "chase", "indirect")
+
+
+def fail(msg):
+    sys.stderr.write("check_streams_json: %s\n" % msg)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        fail("usage: check_streams_json.py <BENCH_streams.json>")
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot read %s: %s" % (argv[1], e))
+
+    for key in TOP_KEYS:
+        if key not in doc:
+            fail("missing top-level key %r" % key)
+    if not isinstance(doc["workloads"], list) or not doc["workloads"]:
+        fail("'workloads' must be a non-empty list")
+
+    with_desc = improved = regressed = 0
+    errors = stream_errors = 0
+    for w in doc["workloads"]:
+        for key in WORKLOAD_KEYS:
+            if key not in w:
+                fail("workload entry missing key %r: %r" % (key, w))
+        name = w["name"]
+        if w["speedup_slices"] <= 0 or w["speedup_streams"] <= 0:
+            fail("%s: speedups must be positive" % name)
+        delta = w["speedup_streams"] - w["speedup_slices"]
+        if abs(delta - w["speedup_delta"]) > 0.00011:
+            fail("%s: speedup_delta %s inconsistent with speedups"
+                 % (name, w["speedup_delta"]))
+        if w["descriptors"] > 0:
+            with_desc += 1
+            if w["kind"] not in KINDS:
+                fail("%s: unknown descriptor kind %r" % (name, w["kind"]))
+            if w["stream_activations"] == 0:
+                fail("%s: descriptor attached but the stream engine "
+                     "never activated it" % name)
+            if w["stream_steps"] == 0:
+                fail("%s: stream activated but advanced zero steps" % name)
+            if w["spawns_streams"] != 0:
+                fail("%s: %s speculative contexts spawned alongside "
+                     "descriptor execution; descriptors must fully "
+                     "replace the spawned-thread path"
+                     % (name, w["spawns_streams"]))
+            if w["spawns_slices"] == 0:
+                fail("%s: the full-p-slice arm spawned nothing; the "
+                     "comparison is vacuous" % name)
+        if w["descriptors"] > 0 and w["speedup_streams"] > w["speedup_slices"]:
+            improved += 1
+        if w["speedup_streams"] < w["speedup_slices"]:
+            regressed += 1
+        if not w["checksum_ok"]:
+            fail("%s: an adapted binary corrupted the result checksum"
+                 % name)
+        if w["stream_verify_errors"] > w["verify_errors"]:
+            fail("%s: stream_verify_errors exceeds verify_errors" % name)
+        errors += w["verify_errors"]
+        stream_errors += w["stream_verify_errors"]
+
+    if with_desc != doc["workloads_with_descriptors"]:
+        fail("workloads_with_descriptors %s != recomputed %s"
+             % (doc["workloads_with_descriptors"], with_desc))
+    if improved != doc["workloads_improved"]:
+        fail("workloads_improved %s != recomputed %s"
+             % (doc["workloads_improved"], improved))
+    if regressed != doc["workloads_regressed"]:
+        fail("workloads_regressed %s != recomputed %s"
+             % (doc["workloads_regressed"], regressed))
+    if errors != doc["verify_errors"]:
+        fail("verify_errors %s != recomputed %s"
+             % (doc["verify_errors"], errors))
+    if stream_errors != doc["stream_verify_errors"]:
+        fail("stream_verify_errors %s != recomputed %s"
+             % (doc["stream_verify_errors"], stream_errors))
+
+    if not doc["checksum_ok"]:
+        fail("checksum_ok is false")
+    if doc["verify_errors"] != 0:
+        fail("%d verify errors in stream adaptations" % doc["verify_errors"])
+    if doc["stream_verify_errors"] != 0:
+        fail("%d stream.* verify errors" % doc["stream_verify_errors"])
+    if regressed != 0:
+        fail("descriptor execution regressed %d workload(s) vs full "
+             "p-slices" % regressed)
+    if with_desc < 2:
+        fail("only %d workload(s) classified as streams, need >= 2"
+             % with_desc)
+    if improved < 2:
+        fail("descriptor execution beat full p-slices on only %d "
+             "workload(s), need >= 2" % improved)
+
+    print("check_streams_json: OK (%d workloads, %d classified, %d beat "
+          "full p-slices, 0 regressed, 0 stream verify errors)"
+          % (len(doc["workloads"]), with_desc, improved))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

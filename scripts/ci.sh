@@ -75,6 +75,17 @@ echo "== Speculation-aware dependence pruning (bench-ablation) =="
 cmake --build build-ci --target bench-ablation
 python3 scripts/check_ablation_json.py build-ci/BENCH_ablation.json
 
+echo "== Stream descriptors on the indirect suite (bench-streams) =="
+# Full p-slice replay vs descriptor execution (--streams) on hashjoin,
+# pagerank and oahash. The stdlib checker enforces the feature's
+# acceptance bar: >= 2 classified workloads beat their full-p-slice
+# binary, none regress, every classified workload activates its stream
+# and spawns zero speculative contexts, checksums stay intact, and the
+# stream.* verify pass reports zero errors. Simulated cycles are
+# deterministic, so the bounds hold on loaded hosts too.
+cmake --build build-ci --target bench-streams
+python3 scripts/check_streams_json.py build-ci/BENCH_streams.json
+
 echo "== Closed-loop feedback re-adaptation (bench-feedback) =="
 # One-shot vs adapt->simulate->re-adapt fixpoint on the paper suite. The
 # stdlib checker enforces the feature's acceptance bar: the fixpoint

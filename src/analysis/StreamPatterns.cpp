@@ -1,0 +1,484 @@
+//===- analysis/StreamPatterns.cpp - P-slice access-pattern classifier ----===//
+//
+// Abstract interpretation of a chained slice over symbolic initial register
+// values. The domain has four useful shapes plus Opaque:
+//
+//   Lin     c + sum(K_i * init(R_i))          (<= 2 terms)
+//   Gather  map(mem[idx]) where idx is Lin and
+//           map(v) = init(VBase) + (((v*VMul) & VMask) << VShift) + VAdd
+//   Chase   chase^Links(init(Ptr); LinkOff) + Add
+//   Opaque  anything else
+//
+// The per-link recurrence is the critical sub-slice alone: the rewriter
+// stages chain live-ins back to the LIB immediately after the critical
+// instructions, so link i's initial environment is EnvC applied i-1 times.
+// Target addresses are evaluated after critical + body. Classification
+// succeeds only when that composition collapses into one of the
+// StreamDescriptor forms exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StreamPatterns.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ssp;
+using namespace ssp::analysis;
+using namespace ssp::ir;
+
+namespace {
+
+/// c + sum(K_i * init(R_i)); terms sorted by dense index, coefficients
+/// nonzero, at most two terms (the descriptor encodes base + ind*mul).
+struct LinExpr {
+  struct Term {
+    Reg R;
+    int64_t K = 0;
+  };
+  int64_t C = 0;
+  std::vector<Term> Terms;
+
+  bool sameTerms(const LinExpr &O) const {
+    if (Terms.size() != O.Terms.size())
+      return false;
+    for (size_t I = 0; I < Terms.size(); ++I)
+      if (Terms[I].R != O.Terms[I].R || Terms[I].K != O.Terms[I].K)
+        return false;
+    return true;
+  }
+};
+
+struct Expr {
+  enum Shape { Lin, Gather, Chase, Opaque } S = Opaque;
+
+  LinExpr L; // Lin: the value. Gather: the index-load address.
+
+  // Gather value mapping (identity right after the load).
+  Reg VBase;
+  int64_t VMul = 1;
+  uint64_t VMask = ~0ull;
+  int64_t VShift = 0;
+  int64_t VAdd = 0;
+
+  // Chase: value = chase^Links(init(Ptr)) + Add, where one link loads at
+  // (current pointer + LinkOff).
+  Reg Ptr;
+  int64_t LinkOff = 0;
+  unsigned Links = 0;
+  int64_t Add = 0;
+
+  static Expr opaque() { return Expr{}; }
+  static Expr lin(LinExpr LE) {
+    Expr E;
+    E.S = Lin;
+    E.L = std::move(LE);
+    return E;
+  }
+};
+
+/// Lazy symbolic environment: registers default to their initial value.
+class Env {
+public:
+  Expr get(Reg R) const {
+    if (!R.isValid() || !R.isInt())
+      return Expr::opaque();
+    if (R.Num == 0) // hardwired zero
+      return Expr::lin(LinExpr{0, {}});
+    auto It = M.find(R.denseIndex());
+    if (It != M.end())
+      return It->second;
+    LinExpr LE;
+    LE.Terms.push_back({R, 1});
+    return Expr::lin(LE);
+  }
+
+  void set(Reg R, Expr E) {
+    if (!R.isValid() || !R.isInt() || R.Num == 0)
+      return;
+    M[R.denseIndex()] = std::move(E);
+  }
+
+private:
+  std::map<unsigned, Expr> M;
+};
+
+bool addLin(const LinExpr &A, const LinExpr &B, int64_t BSign, LinExpr &Out) {
+  Out = A;
+  Out.C += BSign * B.C;
+  for (const LinExpr::Term &T : B.Terms) {
+    bool Merged = false;
+    for (auto It = Out.Terms.begin(); It != Out.Terms.end(); ++It) {
+      if (It->R == T.R) {
+        It->K += BSign * T.K;
+        if (It->K == 0)
+          Out.Terms.erase(It);
+        Merged = true;
+        break;
+      }
+    }
+    if (!Merged)
+      Out.Terms.push_back({T.R, BSign * T.K});
+  }
+  if (Out.Terms.size() > 2)
+    return false;
+  std::sort(Out.Terms.begin(), Out.Terms.end(),
+            [](const LinExpr::Term &X, const LinExpr::Term &Y) {
+              return X.R.denseIndex() < Y.R.denseIndex();
+            });
+  return true;
+}
+
+Expr addExprs(const Expr &A, const Expr &B, int64_t BSign) {
+  if (A.S == Expr::Lin && B.S == Expr::Lin) {
+    LinExpr R;
+    if (!addLin(A.L, B.L, BSign, R))
+      return Expr::opaque();
+    return Expr::lin(R);
+  }
+  // Gather/Chase absorb Lin addends; subtraction *from* them only.
+  const Expr *Big = nullptr;
+  const Expr *Small = nullptr;
+  int64_t Sign = 1;
+  if (A.S != Expr::Lin && B.S == Expr::Lin) {
+    Big = &A;
+    Small = &B;
+    Sign = BSign;
+  } else if (A.S == Expr::Lin && B.S != Expr::Lin && BSign == 1) {
+    Big = &B;
+    Small = &A;
+  } else {
+    return Expr::opaque();
+  }
+  Expr R = *Big;
+  if (R.S == Expr::Chase) {
+    if (!Small->L.Terms.empty())
+      return Expr::opaque();
+    R.Add += Sign * Small->L.C;
+    return R;
+  }
+  if (R.S == Expr::Gather) {
+    // A captured base register may join exactly once, with coefficient 1.
+    if (Small->L.Terms.size() > 1)
+      return Expr::opaque();
+    if (Small->L.Terms.size() == 1) {
+      if (Sign != 1 || Small->L.Terms[0].K != 1 || R.VBase.isValid())
+        return Expr::opaque();
+      R.VBase = Small->L.Terms[0].R;
+    }
+    R.VAdd += Sign * Small->L.C;
+    return R;
+  }
+  return Expr::opaque();
+}
+
+Expr mulExprImm(const Expr &A, int64_t K) {
+  if (K == 0)
+    return Expr::lin(LinExpr{0, {}});
+  if (A.S == Expr::Lin) {
+    LinExpr R = A.L;
+    R.C *= K;
+    for (LinExpr::Term &T : R.Terms)
+      T.K *= K;
+    return Expr::lin(R);
+  }
+  if (A.S == Expr::Gather && A.VMask == ~0ull && A.VShift == 0 &&
+      !A.VBase.isValid()) {
+    Expr R = A;
+    R.VMul *= K;
+    R.VAdd *= K;
+    return R;
+  }
+  return Expr::opaque();
+}
+
+Expr shlExprImm(const Expr &A, int64_t Sh) {
+  if (Sh < 0 || Sh > 63)
+    return Expr::opaque();
+  if (A.S == Expr::Lin)
+    return mulExprImm(A, int64_t(1) << Sh);
+  if (A.S == Expr::Gather && !A.VBase.isValid()) {
+    Expr R = A;
+    R.VShift += Sh;
+    R.VAdd = static_cast<int64_t>(static_cast<uint64_t>(R.VAdd) << Sh);
+    return R;
+  }
+  return Expr::opaque();
+}
+
+Expr andExprImm(const Expr &A, int64_t M) {
+  if (A.S == Expr::Lin && A.L.Terms.empty())
+    return Expr::lin(
+        LinExpr{static_cast<int64_t>(static_cast<uint64_t>(A.L.C) &
+                                     static_cast<uint64_t>(M)),
+                {}});
+  if (A.S == Expr::Gather && A.VShift == 0 && A.VAdd == 0 &&
+      !A.VBase.isValid()) {
+    Expr R = A;
+    R.VMask &= static_cast<uint64_t>(M);
+    return R;
+  }
+  return Expr::opaque();
+}
+
+/// True when \p E is exactly c + 1*init(R) for some single register.
+bool isPurePointer(const Expr &E, Reg &R, int64_t &C) {
+  if (E.S != Expr::Lin || E.L.Terms.size() != 1 || E.L.Terms[0].K != 1)
+    return false;
+  R = E.L.Terms[0].R;
+  C = E.L.C;
+  return true;
+}
+
+Expr loadExpr(const Expr &Addr, int64_t Imm, Reg Dst) {
+  Reg P;
+  int64_t C = 0;
+  // A self-recurrent load through a plain pointer is one chase link; the
+  // per-link offset is everything added to the current pointer.
+  if (isPurePointer(Addr, P, C) && Dst == P) {
+    Expr E;
+    E.S = Expr::Chase;
+    E.Ptr = P;
+    E.LinkOff = C + Imm;
+    E.Links = 1;
+    return E;
+  }
+  if (Addr.S == Expr::Chase && Dst == Addr.Ptr &&
+      Addr.Add + Imm == Addr.LinkOff) {
+    Expr E = Addr;
+    E.Links += 1;
+    E.Add = 0;
+    return E;
+  }
+  if (Addr.S == Expr::Lin) {
+    Expr E;
+    E.S = Expr::Gather;
+    E.L = Addr.L;
+    E.L.C += Imm;
+    return E;
+  }
+  return Expr::opaque();
+}
+
+void transfer(Env &E, const Instruction &I) {
+  Reg D = I.def();
+  if (!D.isValid() || !D.isInt())
+    return; // predicate/float defs and non-writers never carry addresses
+  Expr R = Expr::opaque();
+  switch (I.Op) {
+  case Opcode::MovI:
+    R = Expr::lin(LinExpr{I.Imm, {}});
+    break;
+  case Opcode::Mov:
+    R = E.get(I.Src1);
+    break;
+  case Opcode::Add:
+    R = addExprs(E.get(I.Src1), E.get(I.Src2), 1);
+    break;
+  case Opcode::Sub:
+    R = addExprs(E.get(I.Src1), E.get(I.Src2), -1);
+    break;
+  case Opcode::AddI:
+    R = addExprs(E.get(I.Src1), Expr::lin(LinExpr{I.Imm, {}}), 1);
+    break;
+  case Opcode::MulI:
+    R = mulExprImm(E.get(I.Src1), I.Imm);
+    break;
+  case Opcode::ShlI:
+    R = shlExprImm(E.get(I.Src1), I.Imm);
+    break;
+  case Opcode::AndI:
+    R = andExprImm(E.get(I.Src1), I.Imm);
+    break;
+  case Opcode::Load:
+    R = loadExpr(E.get(I.Src1), I.Imm, D);
+    break;
+  default:
+    break; // Mul/And/Or/Xor/Shl/Shr/OrI/FToX/CopyFromLIB...: opaque
+  }
+  E.set(D, R);
+}
+
+/// Step of one register across a link: EnvC maps init(R) to init(R) + s.
+/// Returns false when the register changes in any non-affine way.
+bool linearStep(const Env &EnvC, Reg R, int64_t &Step) {
+  Expr E = EnvC.get(R);
+  Reg P;
+  int64_t C = 0;
+  if (!isPurePointer(E, P, C) || P != R)
+    return false;
+  Step = C;
+  return true;
+}
+
+/// Encodes a Lin address into the descriptor's base/ind/mul/add slots.
+bool encodeAddr(const LinExpr &L, StreamDescriptor &D) {
+  D.AddrAdd = L.C;
+  D.AddrMul = 0;
+  if (L.Terms.empty())
+    return true;
+  if (L.Terms.size() == 1) {
+    if (L.Terms[0].K == 1) {
+      D.AddrBase = L.Terms[0].R;
+    } else {
+      D.AddrInd = L.Terms[0].R;
+      D.AddrMul = L.Terms[0].K;
+    }
+    return true;
+  }
+  // Two terms: one must carry coefficient 1 for the base slot.
+  const LinExpr::Term *BaseT = nullptr;
+  const LinExpr::Term *IndT = nullptr;
+  for (const LinExpr::Term &T : L.Terms) {
+    if (T.K == 1 && !BaseT)
+      BaseT = &T;
+    else
+      IndT = &T;
+  }
+  if (!BaseT || !IndT)
+    return false;
+  D.AddrBase = BaseT->R;
+  D.AddrInd = IndT->R;
+  D.AddrMul = IndT->K;
+  return true;
+}
+
+/// Per-link advance of a Lin address: sum of coefficient * register step.
+bool linStride(const Env &EnvC, const LinExpr &L, int64_t &Stride) {
+  Stride = 0;
+  for (const LinExpr::Term &T : L.Terms) {
+    int64_t S = 0;
+    if (!linearStep(EnvC, T.R, S))
+      return false;
+    Stride += T.K * S;
+  }
+  return Stride != 0;
+}
+
+} // namespace
+
+std::optional<StreamDescriptor>
+analysis::classifyStream(const StreamClassifyInput &In) {
+  if (In.Targets.empty() || In.Depth == 0)
+    return std::nullopt;
+
+  Env EnvC;
+  for (const Instruction &I : In.Critical)
+    transfer(EnvC, I);
+  Env EnvF = EnvC;
+  for (const Instruction &I : In.Body)
+    transfer(EnvF, I);
+
+  std::vector<Expr> TE;
+  TE.reserve(In.Targets.size());
+  for (const auto &[Base, Imm] : In.Targets) {
+    (void)Imm;
+    TE.push_back(EnvF.get(Base));
+  }
+
+  size_t NLin = 0, NGather = 0, NChase = 0;
+  for (const Expr &E : TE) {
+    NLin += E.S == Expr::Lin;
+    NGather += E.S == Expr::Gather;
+    NChase += E.S == Expr::Chase;
+  }
+  if (NLin + NGather + NChase != TE.size())
+    return std::nullopt; // an opaque target defeats full coverage
+
+  StreamDescriptor D;
+  D.Depth = In.Depth;
+
+  // ---- Chase: every target dereferences the same one-link recurrence. ----
+  if (NChase == TE.size()) {
+    const Expr &E0 = TE[0];
+    if (E0.Links != 1)
+      return std::nullopt; // the engine advances one link per step
+    for (const Expr &E : TE)
+      if (E.Ptr != E0.Ptr || E.LinkOff != E0.LinkOff || E.Links != E0.Links)
+        return std::nullopt;
+    // The staged pointer must advance by exactly that link.
+    Expr S = EnvC.get(E0.Ptr);
+    if (S.S != Expr::Chase || S.Ptr != E0.Ptr || S.LinkOff != E0.LinkOff ||
+        S.Links != 1 || S.Add != 0)
+      return std::nullopt;
+    D.Kind = StreamKind::Chase;
+    D.AddrBase = E0.Ptr;
+    D.ChaseOff = E0.LinkOff;
+    for (size_t J = 0; J < TE.size(); ++J)
+      D.PrefetchOffsets.push_back(TE[J].Add + In.Targets[J].second);
+    return D;
+  }
+
+  // ---- Affine: every target is the same linear form, differing only in
+  // its constant; each participating register steps linearly. ----
+  if (NLin == TE.size()) {
+    const LinExpr &L0 = TE[0].L;
+    for (const Expr &E : TE)
+      if (!E.L.sameTerms(L0))
+        return std::nullopt;
+    if (!linStride(EnvC, L0, D.Stride))
+      return std::nullopt;
+    LinExpr First = L0;
+    First.C += In.Targets[0].second;
+    if (!encodeAddr(First, D))
+      return std::nullopt;
+    D.Kind = StreamKind::Affine;
+    for (size_t J = 0; J < TE.size(); ++J)
+      D.PrefetchOffsets.push_back((TE[J].L.C + In.Targets[J].second) -
+                                  First.C);
+    return D;
+  }
+
+  // ---- Indirect: gather targets share one index stream and one value
+  // mapping; any Lin targets must prefetch that index stream itself. ----
+  if (NGather >= 1 && NGather + NLin == TE.size()) {
+    const Expr *G0 = nullptr;
+    for (const Expr &E : TE)
+      if (E.S == Expr::Gather) {
+        G0 = &E;
+        break;
+      }
+    for (const Expr &E : TE)
+      if (E.S == Expr::Gather &&
+          (!E.L.sameTerms(G0->L) || E.L.C != G0->L.C || E.VMul != G0->VMul ||
+           E.VMask != G0->VMask || E.VShift != G0->VShift ||
+           E.VBase != G0->VBase))
+        return std::nullopt;
+    if (!linStride(EnvC, G0->L, D.Stride))
+      return std::nullopt;
+    if (G0->VBase.isValid()) {
+      int64_t S = 0;
+      if (!linearStep(EnvC, G0->VBase, S) || S != 0)
+        return std::nullopt; // the gather base must be loop-invariant
+    }
+    if (!encodeAddr(G0->L, D))
+      return std::nullopt;
+    D.Kind = StreamKind::Indirect;
+    D.ValBase = G0->VBase;
+    D.ValMul = G0->VMul;
+    D.ValMask = G0->VMask;
+    D.ValShift = G0->VShift;
+    bool HaveFirst = false;
+    for (size_t J = 0; J < TE.size(); ++J) {
+      const Expr &E = TE[J];
+      int64_t Imm = In.Targets[J].second;
+      if (E.S == Expr::Gather) {
+        int64_t Abs = E.VAdd + Imm;
+        if (!HaveFirst) {
+          D.ValAdd = Abs;
+          HaveFirst = true;
+        }
+        D.PrefetchOffsets.push_back(Abs - D.ValAdd);
+      } else {
+        // Index prefetch: same linear form as the index address.
+        if (!E.L.sameTerms(G0->L))
+          return std::nullopt;
+        D.PrefetchIndex = true;
+        D.IdxPrefetchOffsets.push_back((E.L.C + Imm) - G0->L.C);
+      }
+    }
+    return D;
+  }
+
+  return std::nullopt;
+}

@@ -1,0 +1,62 @@
+//===- analysis/StreamPatterns.h - P-slice access-pattern classifier ------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies a scheduled, chained p-slice as one of the regular stream
+/// patterns of ir/Stream.h — induction-affine, recurrence pointer-chase,
+/// or indirect (affine index stream feeding a dependent gather) — by
+/// abstract interpretation of the slice's straight-line dataflow over
+/// symbolic initial register values. Irregular slices classify as nullopt
+/// and keep their full p-slice replay: a descriptor is only ever attached
+/// when the whole prefetch address recurrence is provably captured.
+///
+/// The same entry point serves the code generator (classifying the slice
+/// it is about to emit) and the `stream.*` verify pass (re-deriving the
+/// descriptor from the *emitted* slice blocks); both feed it the identical
+/// instruction sequences, so a disagreement is a real codegen bug rather
+/// than a modeling artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_ANALYSIS_STREAMPATTERNS_H
+#define SSP_ANALYSIS_STREAMPATTERNS_H
+
+#include "ir/Instruction.h"
+#include "ir/Stream.h"
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ssp::analysis {
+
+/// One chained slice in the shape the rewriter emits it (see
+/// codegen::rewriteWithSlices): the critical sub-slice is the per-link
+/// recurrence (its results are re-staged into the LIB for the next link),
+/// the body is the non-critical remainder (including inner-loop unroll
+/// copies), and the targets are the deduplicated (base register, offset)
+/// prefetches, in emission order. Only slice-emittable instructions
+/// belong here — control transfers and stores never enter a slice.
+struct StreamClassifyInput {
+  std::vector<ir::Instruction> Critical;
+  std::vector<ir::Instruction> Body;
+  std::vector<std::pair<ir::Reg, int64_t>> Targets;
+  /// Chain trip budget: how many links the replayed chain would run.
+  uint32_t Depth = 0;
+};
+
+/// Classifies \p In. On success the returned descriptor covers *every*
+/// target (kind, first address, stride/chase offset, per-step prefetch
+/// offsets, depth); Func/StubBlock are left zero for the caller to bind.
+/// Returns nullopt for any pattern the descriptor language cannot express
+/// exactly — the caller falls back to full p-slice replay.
+std::optional<ir::StreamDescriptor>
+classifyStream(const StreamClassifyInput &In);
+
+} // namespace ssp::analysis
+
+#endif // SSP_ANALYSIS_STREAMPATTERNS_H

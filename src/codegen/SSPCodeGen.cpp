@@ -2,6 +2,7 @@
 
 #include "codegen/SSPCodeGen.h"
 
+#include "analysis/StreamPatterns.h"
 #include "ir/IRBuilder.h"
 #include "sim/ThreadContext.h"
 #include "ir/Verifier.h"
@@ -10,6 +11,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace ssp;
@@ -109,7 +111,8 @@ void emitSliceInst(IRBuilder &B, const Program &Src, const InstRef &Ref,
 Program ssp::codegen::rewriteWithSlices(const Program &Orig,
                                         const std::vector<AdaptedLoad> &Loads,
                                         RewriteInfo *Info,
-                                        verify::AdaptationManifest *Manifest) {
+                                        verify::AdaptationManifest *Manifest,
+                                        bool EnableStreams) {
   Program New = Orig.clone();
   IRBuilder B(New);
   RewriteInfo Stats;
@@ -369,6 +372,57 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
     B.spawn(HasPrologue ? Pro : Hdr);
     B.rfi();
 
+    // --- Stream classification (regular patterns only) ---
+    // Only the plain chained shape is classified: one section, no
+    // prologue, gated on either the LIB trip budget or the slice's own
+    // latch condition (a condition cmp in the critical sub-slice defines
+    // only a predicate, which the classifier ignores). The classifier
+    // sees exactly the instruction sequences the emitters above produced
+    // (same sliceEmittable filter, same inner-unroll expansion, same
+    // prefetch dedup), so the attached descriptor describes the emitted
+    // slice, not merely the plan; the stream.* verify pass re-derives it
+    // from the emitted blocks and any disagreement is fatal.
+    std::optional<StreamDescriptor> StreamD;
+    if (EnableStreams && Chaining && !HasPrologue &&
+        AL.ExtraSections.empty()) {
+      StreamClassifyInput SIn;
+      for (const InstRef &I : AL.Sched.Critical) {
+        const Instruction &Inst = I.get(New);
+        if (sliceEmittable(Inst.Op))
+          SIn.Critical.push_back(Inst);
+      }
+      std::set<InstRef> Inner(AL.Sched.InnerLoopMembers.begin(),
+                              AL.Sched.InnerLoopMembers.end());
+      auto AppendBody = [&](bool InnerOnly) {
+        for (const InstRef &I : AL.Sched.NonCritical) {
+          if (InnerOnly && !Inner.count(I))
+            continue;
+          const Instruction &Inst = I.get(New);
+          if (sliceEmittable(Inst.Op))
+            SIn.Body.push_back(Inst);
+        }
+      };
+      AppendBody(false);
+      if (!Inner.empty() && AL.InnerUnroll > 1)
+        for (unsigned U = 1; U < AL.InnerUnroll; ++U)
+          AppendBody(true);
+      std::set<std::pair<Reg, int64_t>> Seen;
+      for (const InstRef &T : AL.Slice.TargetLoads) {
+        const Instruction &L = T.get(New);
+        if (Seen.insert({L.Src1, L.Imm}).second)
+          SIn.Targets.push_back({L.Src1, L.Imm});
+      }
+      SIn.Depth = static_cast<uint32_t>(
+          std::min<uint64_t>(AL.TripBudget, UINT32_MAX));
+      StreamD = classifyStream(SIn);
+      if (StreamD) {
+        StreamD->Func = Func;
+        StreamD->StubBlock = Stub;
+        New.addStream(*StreamD);
+        ++Stats.StreamDescriptors;
+      }
+    }
+
     // --- Triggers (cut-set triggers plus chain restart triggers) ---
     int SliceIdx = Manifest ? static_cast<int>(Manifest->Slices.size()) : -1;
     for (const trigger::TriggerPlacement &T : AL.Plan.Triggers)
@@ -430,6 +484,10 @@ Program ssp::codegen::rewriteWithSlices(const Program &Orig,
       SM.SpecDrops.erase(
           std::unique(SM.SpecDrops.begin(), SM.SpecDrops.end()),
           SM.SpecDrops.end());
+      if (StreamD) {
+        SM.HasStream = true;
+        SM.Stream = *StreamD;
+      }
       Manifest->Slices.push_back(std::move(SM));
       Manifest->PlannedTriggers += static_cast<unsigned>(
           AL.Plan.Triggers.size() + AL.Plan.RestartTriggers.size());

@@ -70,6 +70,7 @@ struct RewriteInfo {
   unsigned StubBlocks = 0;
   unsigned SliceBlocks = 0;
   unsigned SliceInsts = 0; ///< Instructions emitted into slice blocks.
+  unsigned StreamDescriptors = 0; ///< Slices classified as stream patterns.
 };
 
 /// Produces the SSP-enhanced binary: a clone of \p Orig with triggers
@@ -82,10 +83,18 @@ struct RewriteInfo {
 /// placement), recorded from the AdaptedLoad inputs rather than from the
 /// emitted code: the verification pipeline diffs plan against emission, so
 /// an emission bug that drops a prefetch or the budget staging is caught.
+///
+/// With \p EnableStreams, every chained budget-bounded slice is run through
+/// analysis::classifyStream; slices matching a regular pattern get a
+/// StreamDescriptor attached to the program (and mirrored into the
+/// manifest), which the simulator's stream engine executes directly at
+/// trigger time. Off by default: the emitted binary is then bit-identical
+/// to an adaptation without classification.
 ir::Program rewriteWithSlices(const ir::Program &Orig,
                               const std::vector<AdaptedLoad> &Loads,
                               RewriteInfo *Info = nullptr,
-                              verify::AdaptationManifest *Manifest = nullptr);
+                              verify::AdaptationManifest *Manifest = nullptr,
+                              bool EnableStreams = false);
 
 } // namespace ssp::codegen
 

@@ -198,6 +198,8 @@ bool applyOption(core::ToolOptions &TO, const std::string &Key,
     TO.EnableSpeculativeSlicing = B;
     return true;
   }
+  if (Key == "streams")
+    return strictBool(Value, TO.EnableStreams) || Bad("0/1");
   if (Key == "trip-budget") {
     if (!strictU64(Value, U) || U < 1)
       return Bad("a positive integer");
@@ -245,6 +247,7 @@ std::string canonicalOptionsText(const core::ToolOptions &TO) {
   S += "spec-threshold=" + fmtDouble(TO.SpecDepThreshold) + "\n";
   S += "speculative=" +
        std::string(TO.EnableSpeculativeSlicing ? "1" : "0") + "\n";
+  S += "streams=" + std::string(TO.EnableStreams ? "1" : "0") + "\n";
   S += "trip-budget=" + std::to_string(TO.MaxTripBudget) + "\n";
   return S;
 }

@@ -440,7 +440,8 @@ Program PostPassTool::adaptWith(const AnalysisCache *ExternalAC,
   EndStage("adapt.triggers_ms");
 
   Program Enhanced = codegen::rewriteWithSlices(Orig, Adapted, &Rep.Rewrite,
-                                                &Rep.Manifest);
+                                                &Rep.Manifest,
+                                                Opts.EnableStreams);
   // Record the feedback directives the run honoured (std::map order:
   // sorted by load sid) so the `feedback.*` verify pass can audit them.
   for (const auto &[Sid, Ov] : Opts.Overrides) {

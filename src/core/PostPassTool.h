@@ -146,6 +146,14 @@ struct ToolOptions {
   bool EnableSpecDeps = false;
   double SpecDepThreshold = 0.0;
 
+  /// Stream-descriptor classification (`--streams`): attach compact
+  /// StreamDescriptors to chained slices whose access pattern classifies
+  /// as affine / pointer-chase / indirect; the simulator's stream engine
+  /// then executes those descriptors directly at trigger time instead of
+  /// spawning a thread context. Off by default; off is bit-identical to
+  /// older builds.
+  bool EnableStreams = false;
+
   /// Bound on the chain length when the spawn condition is predicted.
   uint64_t MaxTripBudget = 4096;
 

@@ -147,7 +147,7 @@ sim::SamplingPlan ssp::harness::sampleFromArgs(int argc, char **argv) {
       sim::SamplingPlan Plan;
       if (!sim::parseSamplingPlan(argv[I] + 9, Plan)) {
         std::fprintf(stderr, "error: invalid --sample plan '%s' "
-                             "(expected W:D:F instruction counts)\n",
+                             "(expected W:D:F[:R] instruction counts)\n",
                      argv[I] + 9);
         std::exit(1);
       }
@@ -170,7 +170,7 @@ BenchArgs ssp::harness::parseBenchArgs(int argc, char **argv) {
   if (!P.parse()) {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--no-skip] [--out FILE] "
-                 "[--sample[=W:D:F]]\n",
+                 "[--sample[=W:D:F[:R]]]\n",
                  argv[0]);
     std::exit(1);
   }

@@ -229,15 +229,15 @@ unsigned jobsFromArgs(int argc, char **argv);
 /// skipping; see MachineConfig::SkipIdleCycles). Returns true when present.
 bool noSkipFromArgs(int argc, char **argv);
 
-/// Parses a `--sample[=W:D:F]` argument: bare `--sample` selects
-/// SamplingPlan::defaults(), `--sample=W:D:F` an explicit plan. Returns a
+/// Parses a `--sample[=W:D:F[:R]]` argument: bare `--sample` selects
+/// SamplingPlan::defaults(), `--sample=W:D:F[:R]` an explicit plan. Returns a
 /// disabled plan when the flag is absent; exits with a usage error on a
 /// malformed plan. Scan-style like jobsFromArgs so the google-benchmark
 /// binaries can mix it with --benchmark_* flags.
 sim::SamplingPlan sampleFromArgs(int argc, char **argv);
 
 /// The shared command line of the JSON-emitting bench binaries:
-///   [--jobs N] [--no-skip] [--out FILE] [--sample[=W:D:F]]
+///   [--jobs N] [--no-skip] [--out FILE] [--sample[=W:D:F[:R]]]
 /// Parsed strictly with support::FlagParser (unknown flags are an error);
 /// exits non-zero on malformed input.
 struct BenchArgs {

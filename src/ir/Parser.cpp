@@ -110,6 +110,12 @@ public:
           return fail(Error);
         continue;
       }
+      if (C.peek("stream ")) {
+        InDataSection = false;
+        if (!parseStreamLine(C))
+          return fail(Error);
+        continue;
+      }
       if (C.eat("data:")) {
         if (!C.atEnd()) {
           Msg = "trailing junk after 'data:'";
@@ -493,6 +499,98 @@ private:
 
   static bool suffixIsLib(const std::string &S) {
     return S == "st" || S == "sti" || S == "ld";
+  }
+
+  /// "none" or a register; D keeps the invalid default for "none".
+  bool parseStreamReg(LineCursor &C, Reg &R) {
+    if (C.eat("none")) {
+      R = Reg();
+      return true;
+    }
+    return parseReg(C, R);
+  }
+
+  bool parseOffsetList(LineCursor &C, std::vector<int64_t> &Offs) {
+    int64_t V = 0;
+    if (!C.integer(V))
+      return error("expected prefetch offset");
+    Offs.push_back(V);
+    while (C.eat(",")) {
+      if (!C.integer(V))
+        return error("expected prefetch offset after ','");
+      Offs.push_back(V);
+    }
+    return true;
+  }
+
+  /// One `stream` directive (the canonical key order Program::str()
+  /// emits; see ir/Stream.h for the descriptor semantics).
+  bool parseStreamLine(LineCursor &C) {
+    C.eat("stream");
+    StreamDescriptor D;
+    int64_t N = 0;
+    if (!C.eat("fn") || !C.integer(N) || N < 0 || N > int64_t(~0u))
+      return error("expected 'fnN' in stream directive");
+    D.Func = static_cast<uint32_t>(N);
+    if (!C.eat("bb") || !C.integer(N) || N < 0 || N > int64_t(~0u))
+      return error("expected 'bbN' in stream directive");
+    D.StubBlock = static_cast<uint32_t>(N);
+    std::string K = C.word();
+    if (K == "affine")
+      D.Kind = StreamKind::Affine;
+    else if (K == "chase")
+      D.Kind = StreamKind::Chase;
+    else if (K == "indirect")
+      D.Kind = StreamKind::Indirect;
+    else
+      return error("bad stream kind '" + K + "'");
+    auto Int = [&](const char *Key, int64_t &V) {
+      if (!C.eat(std::string(Key) + "="))
+        return error(std::string("expected '") + Key +
+                     "=' in stream directive");
+      if (!C.integer(V))
+        return error(std::string("expected integer for '") + Key + "'");
+      return true;
+    };
+    auto RegKey = [&](const char *Key, Reg &R) {
+      if (!C.eat(std::string(Key) + "="))
+        return error(std::string("expected '") + Key +
+                     "=' in stream directive");
+      return parseStreamReg(C, R);
+    };
+    int64_t Mask = 0, Elem = 0, Depth = 0;
+    if (!RegKey("abase", D.AddrBase) || !RegKey("aind", D.AddrInd) ||
+        !Int("amul", D.AddrMul) || !Int("aadd", D.AddrAdd) ||
+        !Int("stride", D.Stride) || !Int("coff", D.ChaseOff) ||
+        !RegKey("vbase", D.ValBase) || !Int("vmul", D.ValMul) ||
+        !Int("vmask", Mask) || !Int("vshift", D.ValShift) ||
+        !Int("vadd", D.ValAdd) || !Int("elem", Elem) ||
+        !Int("depth", Depth))
+      return false;
+    D.ValMask = static_cast<uint64_t>(Mask);
+    if (Elem <= 0 || Elem > 64)
+      return error("bad stream element size");
+    D.ElemBytes = static_cast<uint32_t>(Elem);
+    if (Depth < 0 || Depth > int64_t(~0u))
+      return error("bad stream depth");
+    D.Depth = static_cast<uint32_t>(Depth);
+    if (!C.eat("pf="))
+      return error("expected 'pf=' in stream directive");
+    if (!parseOffsetList(C, D.PrefetchOffsets))
+      return false;
+    if (!C.eat("ipf="))
+      return error("expected 'ipf=' in stream directive");
+    if (C.eat("none")) {
+      D.PrefetchIndex = false;
+    } else {
+      D.PrefetchIndex = true;
+      if (!parseOffsetList(C, D.IdxPrefetchOffsets))
+        return false;
+    }
+    if (!C.atEnd())
+      return error("trailing junk after stream directive");
+    Out.addStream(D);
+    return true;
   }
 
   Program &Out;

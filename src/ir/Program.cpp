@@ -195,9 +195,50 @@ Program Program::clone() const {
     NF.blocks() = F.blocks();
     NF.setInstIdWatermark(F.numInstIds());
   }
+  New.StreamTable = StreamTable;
   New.setEntry(EntryFunc);
   return New;
 }
+
+namespace {
+
+std::string streamReg(const Reg &R) {
+  return R.isValid() ? R.str() : std::string("none");
+}
+
+/// One `stream` directive line; fixed key order so emission is canonical
+/// and the parser can consume keys positionally.
+std::string streamLine(const StreamDescriptor &D) {
+  std::string S = "stream fn" + std::to_string(D.Func) + " bb" +
+                  std::to_string(D.StubBlock) + " " +
+                  streamKindName(D.Kind);
+  S += " abase=" + streamReg(D.AddrBase);
+  S += " aind=" + streamReg(D.AddrInd);
+  S += " amul=" + std::to_string(D.AddrMul);
+  S += " aadd=" + std::to_string(D.AddrAdd);
+  S += " stride=" + std::to_string(D.Stride);
+  S += " coff=" + std::to_string(D.ChaseOff);
+  S += " vbase=" + streamReg(D.ValBase);
+  S += " vmul=" + std::to_string(D.ValMul);
+  // The all-ones default mask round-trips as signed -1.
+  S += " vmask=" + std::to_string(static_cast<int64_t>(D.ValMask));
+  S += " vshift=" + std::to_string(D.ValShift);
+  S += " vadd=" + std::to_string(D.ValAdd);
+  S += " elem=" + std::to_string(D.ElemBytes);
+  S += " depth=" + std::to_string(D.Depth);
+  S += " pf=";
+  for (size_t I = 0; I < D.PrefetchOffsets.size(); ++I)
+    S += (I ? "," : "") + std::to_string(D.PrefetchOffsets[I]);
+  S += " ipf=";
+  if (!D.PrefetchIndex)
+    S += "none";
+  else
+    for (size_t I = 0; I < D.IdxPrefetchOffsets.size(); ++I)
+      S += (I ? "," : "") + std::to_string(D.IdxPrefetchOffsets[I]);
+  return S;
+}
+
+} // namespace
 
 std::string Program::str() const {
   std::string S;
@@ -234,5 +275,7 @@ std::string Program::str() const {
       }
     }
   }
+  for (const StreamDescriptor &D : StreamTable)
+    S += streamLine(D) + "\n";
   return S;
 }

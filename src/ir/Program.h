@@ -18,6 +18,7 @@
 #define SSP_IR_PROGRAM_H
 
 #include "ir/Function.h"
+#include "ir/Stream.h"
 
 #include <cstdint>
 #include <memory>
@@ -65,6 +66,14 @@ public:
     return N;
   }
 
+  /// Stream descriptors attached to classified slices (empty unless the
+  /// adaptation ran with streams enabled). Keyed by (Func, StubBlock);
+  /// kept in emission order. Part of the binary: they round-trip through
+  /// str()/parseProgram and survive clone().
+  void addStream(const StreamDescriptor &S) { StreamTable.push_back(S); }
+  const std::vector<StreamDescriptor> &streams() const { return StreamTable; }
+  std::vector<StreamDescriptor> &streams() { return StreamTable; }
+
   /// Renders the whole program as assembly-like text.
   std::string str() const;
 
@@ -75,6 +84,7 @@ public:
 
 private:
   std::vector<std::unique_ptr<Function>> Funcs;
+  std::vector<StreamDescriptor> StreamTable;
   uint32_t EntryFunc = 0;
 };
 

@@ -1,0 +1,119 @@
+//===- ir/Stream.h - Stream descriptors for classified p-slices -----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A StreamDescriptor is the compact, directly-executable form of a
+/// classified p-slice: instead of fetching slice instructions through a
+/// spare hardware context, the simulator's stream engine advances the
+/// descriptor's address recurrence at trigger time (gem-forge style; see
+/// DESIGN.md "Stream descriptors"). Three pattern kinds cover the regular
+/// cases:
+///
+///   Affine    addr_i = R[AddrBase] + R[AddrInd]*AddrMul + AddrAdd
+///                      + i*Stride          (induction-affine)
+///   Chase     p_{i+1} = mem[p_i + ChaseOff]; prefetch p_{i+1}+off_j
+///                                           (recurrence pointer-chase)
+///   Indirect  idx_i affine as above; v_i = mem[idx_i];
+///             gather_i = R[ValBase] + (((v_i*ValMul)&ValMask)<<ValShift)
+///                        + ValAdd          (a[b[i]]-style gather)
+///
+/// Register operands are *live-in captures*: the engine snapshots them from
+/// the triggering thread's register file when the descriptor activates.
+/// Irregular slices carry no descriptor and fall back to full p-slice
+/// replay, so attaching descriptors never loses coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSP_IR_STREAM_H
+#define SSP_IR_STREAM_H
+
+#include "ir/Reg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::ir {
+
+/// The access-pattern taxonomy of classified slices.
+enum class StreamKind : uint8_t { Affine, Chase, Indirect };
+
+inline const char *streamKindName(StreamKind K) {
+  switch (K) {
+  case StreamKind::Affine:
+    return "affine";
+  case StreamKind::Chase:
+    return "chase";
+  case StreamKind::Indirect:
+    return "indirect";
+  }
+  return "?";
+}
+
+/// One classified slice, bound to its trigger stub. The (Func, StubBlock)
+/// pair keys the descriptor to the chk.c stub whose firing activates it —
+/// the same key SliceManifest uses, so the verify pass can join them.
+struct StreamDescriptor {
+  StreamKind Kind = StreamKind::Affine;
+  uint32_t Func = 0;
+  uint32_t StubBlock = 0;
+
+  /// Address recurrence (Affine/Indirect first address; Chase seed
+  /// pointer). AddrBase/AddrInd are captured registers (AddrInd optional).
+  Reg AddrBase;
+  Reg AddrInd;
+  int64_t AddrMul = 0;
+  int64_t AddrAdd = 0;
+  /// Per-step address advance (Affine/Indirect index stream).
+  int64_t Stride = 0;
+  /// Chase: the link-pointer load offset (p' = mem[p + ChaseOff]).
+  int64_t ChaseOff = 0;
+
+  /// Indirect gather value mapping: gather = R[ValBase] +
+  /// (((v * ValMul) & ValMask) << ValShift) + ValAdd.
+  Reg ValBase;
+  int64_t ValMul = 1;
+  uint64_t ValMask = ~0ull;
+  int64_t ValShift = 0;
+  int64_t ValAdd = 0;
+
+  /// Access granularity of one element (this IR's loads are 8-byte).
+  uint32_t ElemBytes = 8;
+  /// Steps the engine runs per activation (the slice chain's trip budget,
+  /// clamped by the machine's MaxStreamDepth at activation).
+  uint32_t Depth = 0;
+
+  /// Prefetch offsets relative to the per-step element address (Affine:
+  /// the affine address; Chase: the freshly chased pointer; Indirect: the
+  /// gather address), in the slice's emission order.
+  std::vector<int64_t> PrefetchOffsets;
+  /// Indirect only: also touch the index-stream element (the b[i] load is
+  /// itself delinquent), at these offsets.
+  bool PrefetchIndex = false;
+  std::vector<int64_t> IdxPrefetchOffsets;
+
+  friend bool operator==(const StreamDescriptor &A,
+                         const StreamDescriptor &B) {
+    return A.Kind == B.Kind && A.Func == B.Func &&
+           A.StubBlock == B.StubBlock && A.AddrBase == B.AddrBase &&
+           A.AddrInd == B.AddrInd && A.AddrMul == B.AddrMul &&
+           A.AddrAdd == B.AddrAdd && A.Stride == B.Stride &&
+           A.ChaseOff == B.ChaseOff && A.ValBase == B.ValBase &&
+           A.ValMul == B.ValMul && A.ValMask == B.ValMask &&
+           A.ValShift == B.ValShift && A.ValAdd == B.ValAdd &&
+           A.ElemBytes == B.ElemBytes && A.Depth == B.Depth &&
+           A.PrefetchOffsets == B.PrefetchOffsets &&
+           A.PrefetchIndex == B.PrefetchIndex &&
+           A.IdxPrefetchOffsets == B.IdxPrefetchOffsets;
+  }
+  friend bool operator!=(const StreamDescriptor &A,
+                         const StreamDescriptor &B) {
+    return !(A == B);
+  }
+};
+
+} // namespace ssp::ir
+
+#endif // SSP_IR_STREAM_H

@@ -84,6 +84,21 @@ struct MachineConfig {
   /// completes within this latency (cycles).
   uint32_t ThrottleTimelyLatency = 30;
 
+  /// Stream engine: when the adapted binary carries StreamDescriptors
+  /// (ssp-adapt --streams), a chk.c whose stub is covered by a descriptor
+  /// activates the descriptor directly instead of raising the spawn
+  /// exception — no pipeline flush, no context occupied, no slice
+  /// fetch/decode. A binary without descriptors behaves bit-identically
+  /// whatever these knobs say.
+  bool EnableStreamEngine = true;
+  /// Concurrently active descriptor activations; activations beyond this
+  /// are ignored like a chk.c with no free context.
+  unsigned MaxActiveStreams = 8;
+  /// Descriptor steps advanced per cycle across all active streams.
+  unsigned StreamIssueWidth = 2;
+  /// Per-activation bound on steps (clamps the descriptor's Depth).
+  uint32_t MaxStreamDepth = 64;
+
   /// Safety bound on simulated cycles.
   uint64_t MaxCycles = 4000000000ULL;
 
@@ -95,7 +110,7 @@ struct MachineConfig {
   /// simulator cycle by cycle under a debugger.
   bool SkipIdleCycles = true;
 
-  /// Two-level sampled simulation (`--sample=W:D:F` in the tools): when
+  /// Two-level sampled simulation (`--sample=W:D:F[:R]` in the tools): when
   /// the plan is enabled, detailed intervals alternate with functional
   /// fast-forward/warming intervals and whole-run statistics are
   /// extrapolated from the detailed ones (see sim/Sampling.h and the

@@ -127,6 +127,8 @@ struct SimStats {
   uint64_t SpecPrefetches = 0;  ///< Lines touched by speculative threads.
   uint64_t UsefulPrefetches = 0; ///< ... later consumed timely by main.
   uint64_t ThrottleEvents = 0;  ///< Triggers dynamically disabled.
+  uint64_t StreamActivations = 0; ///< Triggers served by the stream engine.
+  uint64_t StreamSteps = 0;       ///< Descriptor steps the engine advanced.
 
   // Branch prediction.
   uint64_t Branches = 0;

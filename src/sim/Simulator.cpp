@@ -44,6 +44,29 @@ Simulator::Simulator(const MachineConfig &Cfg, const LinkedProgram &LP,
   Threads[0].Active = true;
   Threads[0].Speculative = false;
   Threads[0].Ctx.PC = LP.entry();
+
+  // Bind stream descriptors to their stub addresses. A chk.c targeting a
+  // covered stub is served by the stream engine instead of raising the
+  // spawn exception. Binaries without descriptors leave the map empty and
+  // every simulation path bit-identical to pre-stream builds.
+  if (Cfg.EnableStreamEngine) {
+    for (const StreamDescriptor &D : LP.program().streams()) {
+      StreamInfo SI;
+      SI.Desc = &D;
+      // The slice sid is what the stub's spawn would have tagged threads
+      // with: the first instruction of the spawn target block.
+      uint32_t Addr = LP.blockStart(D.Func, D.StubBlock);
+      for (uint32_t A = Addr;
+           A < LP.size() && LP.at(A).Func == D.Func &&
+           LP.at(A).Block == D.StubBlock;
+           ++A)
+        if (LP.at(A).I->Op == Opcode::Spawn) {
+          SI.SliceSid = LP.at(LP.at(A).TargetAddr).Sid;
+          break;
+        }
+      StreamByStubAddr.emplace(Addr, SI);
+    }
+  }
 }
 
 unsigned Simulator::fuLimit(FuncUnit FU) const {
@@ -135,47 +158,53 @@ void Simulator::drainPendingFates() {
   });
 }
 
+void Simulator::notePrefetchTouch(unsigned Tid, uint64_t Line,
+                                  const PrefetchOrigin &O,
+                                  const cache::AccessResult &R) {
+  // A speculative touch is a prefetch on behalf of its trigger.
+  ++Stats.SpecPrefetches;
+  if (O.Trigger == 0)
+    return;
+  // Only a touch that actually moved the line up from L3/memory can be
+  // credited later: touching an already-near line is the signature of
+  // a useless prefetch (the data was cached anyway).
+  bool MovedLine = R.ServedBy == cache::Level::L3 ||
+                   R.ServedBy == cache::Level::Mem;
+  if (MovedLine) {
+    if (PrefetchedLines.size() > (1u << 16)) {
+      drainPendingFates(); // Lapsing entries were never consumed.
+      PrefetchedLines.clear(); // Bound the table; stale entries lapse.
+      for (auto &[Sid2, H2] : TriggerStats)
+        H2.InFlight = 0;
+    }
+    PrefetchOrigin Prev;
+    if (PrefetchedLines.insertOrAssign(Line, O, &Prev))
+      ++TriggerStats[O.Trigger].InFlight;
+    else
+      // The earlier prefetch of this line was superseded before any
+      // consumption: a redundant re-prefetch.
+      countFate(Prev, Prev.Wild ? PrefetchFate::Wild
+                                : PrefetchFate::Redundant);
+    ++TriggerStats[O.Trigger].Tracked;
+    if (Trace)
+      Trace->record(Tid, obs::EventKind::Prefetch, Now, 0, Line, O.Trigger,
+                    static_cast<uint32_t>(R.ServedBy));
+  } else {
+    // The line was already near: this access resolves immediately.
+    countFate(O, O.Wild ? PrefetchFate::Wild : PrefetchFate::Redundant);
+  }
+  ++TriggerStats[O.Trigger].Prefetches;
+}
+
 void Simulator::noteDataAccess(unsigned Tid, const InstSlot &S,
                                const cache::AccessResult &R) {
   uint64_t Line = S.Out.MemAddr / Cfg.Cache.L1.LineBytes;
   Thread &T = Threads[Tid];
   if (T.Speculative) {
-    // A speculative touch is a prefetch on behalf of its trigger.
-    ++Stats.SpecPrefetches;
-    if (T.OriginTrigger == 0)
-      return;
-    // Only a touch that actually moved the line up from L3/memory can be
-    // credited later: touching an already-near line is the signature of
-    // a useless prefetch (the data was cached anyway).
-    bool MovedLine = R.ServedBy == cache::Level::L3 ||
-                     R.ServedBy == cache::Level::Mem;
-    PrefetchOrigin O{T.OriginTrigger, T.SliceSid, T.SpawnDepth,
-                     S.Out.WildLoad};
-    if (MovedLine) {
-      if (PrefetchedLines.size() > (1u << 16)) {
-        drainPendingFates(); // Lapsing entries were never consumed.
-        PrefetchedLines.clear(); // Bound the table; stale entries lapse.
-        for (auto &[Sid2, H2] : TriggerStats)
-          H2.InFlight = 0;
-      }
-      PrefetchOrigin Prev;
-      if (PrefetchedLines.insertOrAssign(Line, O, &Prev))
-        ++TriggerStats[T.OriginTrigger].InFlight;
-      else
-        // The earlier prefetch of this line was superseded before any
-        // consumption: a redundant re-prefetch.
-        countFate(Prev, Prev.Wild ? PrefetchFate::Wild
-                                  : PrefetchFate::Redundant);
-      ++TriggerStats[T.OriginTrigger].Tracked;
-      if (Trace)
-        Trace->record(Tid, obs::EventKind::Prefetch, Now, 0, Line,
-                      T.OriginTrigger,
-                      static_cast<uint32_t>(R.ServedBy));
-    } else {
-      // The line was already near: this access resolves immediately.
-      countFate(O, O.Wild ? PrefetchFate::Wild : PrefetchFate::Redundant);
-    }
-    ++TriggerStats[T.OriginTrigger].Prefetches;
+    notePrefetchTouch(Tid, Line,
+                      PrefetchOrigin{T.OriginTrigger, T.SliceSid,
+                                     T.SpawnDepth, S.Out.WildLoad},
+                      R);
     return;
   }
   if (!S.Out.IsLoad)
@@ -253,6 +282,153 @@ void Simulator::trySpawn(const ExecOutcome &Out, unsigned SpawnerTid) {
 }
 
 //===----------------------------------------------------------------------===//
+// Stream engine (descriptor-executed slices)
+//===----------------------------------------------------------------------===//
+
+void Simulator::noteStreamTrigger(const StreamInfo &SI, unsigned Tid,
+                                  ir::StaticId TriggerSid) {
+  // Dynamic throttling covers stream triggers exactly like spawning ones:
+  // the engine's touches feed the same per-trigger health ledger.
+  if (Cfg.EnableSSPThrottle) {
+    auto It = TriggerStats.find(TriggerSid);
+    if (It != TriggerStats.end() && It->second.DisabledUntil > Now) {
+      ++Stats.TriggersIgnored;
+      return;
+    }
+  }
+  // One activation per descriptor at a time: re-triggering while the
+  // stream still runs means the chain is already ahead.
+  for (const ActiveStream &AS : ActiveStreams)
+    if (AS.Desc == SI.Desc)
+      return;
+  if (ActiveStreams.size() >= Cfg.MaxActiveStreams) {
+    ++Stats.TriggersIgnored; // Like a chk.c with no free context.
+    return;
+  }
+  const StreamDescriptor &D = *SI.Desc;
+  const ThreadContext &Ctx = Threads[Tid].Ctx;
+  auto RegVal = [&](Reg R) -> uint64_t {
+    return R.isValid() ? Ctx.Regs[R.denseIndex()] : 0;
+  };
+  ActiveStream AS;
+  AS.Desc = SI.Desc;
+  AS.Trigger = TriggerSid;
+  AS.Slice = SI.SliceSid;
+  AS.Tid = Tid;
+  AS.Addr = RegVal(D.AddrBase) +
+            RegVal(D.AddrInd) * static_cast<uint64_t>(D.AddrMul) +
+            static_cast<uint64_t>(D.AddrAdd);
+  AS.VBaseVal = RegVal(D.ValBase);
+  AS.Depth = std::min(D.Depth, Cfg.MaxStreamDepth);
+  AS.ReadyCycle = Now + 1;
+  ActiveStreams.push_back(std::move(AS));
+  ++Stats.TriggersFired;
+  ++Stats.StreamActivations;
+  PrefetchAttribution &A = Attrib[TriggerSid];
+  if (A.Slice == 0)
+    A.Slice = SI.SliceSid;
+  if (A.MaxChainDepth < 1)
+    A.MaxChainDepth = 1;
+  if (Trace)
+    Trace->record(Tid, obs::EventKind::Trigger, Now, 0, TriggerSid, 1);
+}
+
+void Simulator::streamTouch(const ActiveStream &AS, uint64_t Addr,
+                            cache::AccessResult *ROut) {
+  cache::AccessResult R =
+      Cache.access(Addr, Now, AS.Slice, AS.Tid, /*CollectProfile=*/false);
+  notePrefetchTouch(AS.Tid, Addr / Cfg.Cache.L1.LineBytes,
+                    PrefetchOrigin{AS.Trigger, AS.Slice, /*Depth=*/1,
+                                   /*Wild=*/false},
+                    R);
+  if (ROut)
+    *ROut = R;
+}
+
+void Simulator::stepStreams() {
+  if (ActiveStreams.empty())
+    return;
+  unsigned Budget = Cfg.StreamIssueWidth;
+  for (size_t I = 0; I < ActiveStreams.size();) {
+    ActiveStream &AS = ActiveStreams[I];
+    const StreamDescriptor &D = *AS.Desc;
+    // Service gathers whose index load has arrived (completions: these do
+    // not consume issue budget).
+    for (size_t P = 0; P < AS.Pending.size();) {
+      if (AS.Pending[P].first <= Now) {
+        uint64_t G = AS.Pending[P].second;
+        for (int64_t Off : D.PrefetchOffsets)
+          streamTouch(AS, G + static_cast<uint64_t>(Off));
+        AS.Pending.erase(AS.Pending.begin() +
+                         static_cast<ptrdiff_t>(P));
+      } else {
+        ++P;
+      }
+    }
+    // Advance the recurrence while budget and readiness allow.
+    while (Budget > 0 && AS.StepsDone < AS.Depth && AS.ReadyCycle <= Now) {
+      --Budget;
+      ++AS.StepsDone;
+      ++Stats.StreamSteps;
+      switch (D.Kind) {
+      case StreamKind::Affine:
+        for (int64_t Off : D.PrefetchOffsets)
+          streamTouch(AS, AS.Addr + static_cast<uint64_t>(Off));
+        AS.Addr += static_cast<uint64_t>(D.Stride);
+        AS.ReadyCycle = Now + 1;
+        break;
+      case StreamKind::Chase: {
+        uint64_t La = AS.Addr + static_cast<uint64_t>(D.ChaseOff);
+        cache::AccessResult R;
+        streamTouch(AS, La, &R);
+        bool Mapped = false;
+        uint64_t V = Mem.readMaybe(La, Mapped);
+        if (!Mapped || V == 0) {
+          AS.StepsDone = AS.Depth; // End of the chain.
+          break;
+        }
+        for (int64_t Off : D.PrefetchOffsets)
+          streamTouch(AS, V + static_cast<uint64_t>(Off));
+        AS.Addr = V;
+        // The next link dereferences this one's result: the chase is
+        // serialized on the link load's latency.
+        AS.ReadyCycle = std::max(R.ReadyCycle, Now + 1);
+        break;
+      }
+      case StreamKind::Indirect: {
+        cache::AccessResult R;
+        streamTouch(AS, AS.Addr, &R);
+        if (D.PrefetchIndex)
+          for (int64_t Off : D.IdxPrefetchOffsets)
+            if (Off != 0)
+              streamTouch(AS, AS.Addr + static_cast<uint64_t>(Off));
+        bool Mapped = false;
+        uint64_t V = Mem.readMaybe(AS.Addr, Mapped);
+        if (!Mapped) {
+          AS.StepsDone = AS.Depth;
+          break;
+        }
+        uint64_t G = AS.VBaseVal +
+                     (((V * static_cast<uint64_t>(D.ValMul)) & D.ValMask)
+                      << D.ValShift) +
+                     static_cast<uint64_t>(D.ValAdd);
+        // The gather address depends on the index value: its touches wait
+        // until the index load would have returned.
+        AS.Pending.push_back({std::max(R.ReadyCycle, Now + 1), G});
+        AS.Addr += static_cast<uint64_t>(D.Stride);
+        AS.ReadyCycle = Now + 1;
+        break;
+      }
+      }
+    }
+    if (AS.StepsDone >= AS.Depth && AS.Pending.empty())
+      ActiveStreams.erase(ActiveStreams.begin() + static_cast<ptrdiff_t>(I));
+    else
+      ++I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Fetch (shared by both pipelines)
 //===----------------------------------------------------------------------===//
 
@@ -327,8 +503,19 @@ unsigned Simulator::fetchThread(unsigned Tid, unsigned MaxBundles) {
       S.EligibleCycle = Now + Cfg.frontLatency();
       uint64_t FetchPC = T.Ctx.PC;
 
-      executeStep(T.Ctx, LP, Mem, T.Speculative, chkCWouldFire(*S.LI),
-                  S.Out);
+      // A chk.c whose stub is covered by a stream descriptor never raises
+      // the spawn exception: the descriptor is activated directly (below,
+      // on the nop path), skipping the flush/refill the exception costs.
+      const StreamInfo *SI = nullptr;
+      bool Fire = chkCWouldFire(*S.LI);
+      if (!StreamByStubAddr.empty() && S.LI->I->Op == Opcode::ChkC) {
+        auto StreamIt = StreamByStubAddr.find(S.LI->TargetAddr);
+        if (StreamIt != StreamByStubAddr.end()) {
+          SI = &StreamIt->second;
+          Fire = false;
+        }
+      }
+      executeStep(T.Ctx, LP, Mem, T.Speculative, Fire, S.Out);
       FetchedAny = true;
 
       bool InOrder = Cfg.Pipeline == PipelineKind::InOrder;
@@ -336,8 +523,12 @@ unsigned Simulator::fetchThread(unsigned Tid, unsigned MaxBundles) {
       case CtrlKind::Fall:
       case CtrlKind::SpawnPoint:
       case CtrlKind::ChkCNop:
-        if (S.Out.Kind == CtrlKind::ChkCNop)
-          ++Stats.TriggersIgnored;
+        if (S.Out.Kind == CtrlKind::ChkCNop) {
+          if (SI)
+            noteStreamTrigger(*SI, Tid, S.LI->Sid);
+          else
+            ++Stats.TriggersIgnored;
+        }
         break;
       case CtrlKind::Branch: {
         bool Correct =
@@ -912,6 +1103,15 @@ uint64_t Simulator::nextEventCycle() const {
   for (const auto &Miss : MainOutstanding)
     Consider(Miss.first);
 
+  // Active descriptor streams step (or complete pending gathers) at their
+  // own ready cycles; a skipped span must not jump over them.
+  for (const ActiveStream &AS : ActiveStreams) {
+    if (AS.StepsDone < AS.Depth)
+      Consider(std::max(AS.ReadyCycle, Now + 1));
+    for (const auto &P : AS.Pending)
+      Consider(std::max(P.first, Now + 1));
+  }
+
   // Throttle-evaluation boundaries are always events: evaluateThrottle
   // mutates trigger health there, so a skipped span never crosses one.
   if (Cfg.ThrottleEvalPeriod != 0) {
@@ -952,6 +1152,8 @@ void Simulator::stepCycle() {
     oooDispatch();
     fetchCycle();
   }
+  if (!ActiveStreams.empty())
+    stepStreams();
   CycleCat Cat = classifyCycle();
   ++Stats.CatCycles[static_cast<unsigned>(Cat)];
 
@@ -1061,12 +1263,14 @@ SimStats Simulator::runSampled() {
   // the windows for work done outside them.
   struct SspCounters {
     uint64_t SpecInsts, TriggersFired, TriggersIgnored, SpawnsSucceeded,
-        SpawnsDropped, SpecWildLoads, SpecPrefetches, ThrottleEvents;
+        SpawnsDropped, SpecWildLoads, SpecPrefetches, ThrottleEvents,
+        StreamActivations, StreamSteps;
   };
   auto snapCounters = [this]() -> SspCounters {
     return {Stats.SpecInsts,     Stats.TriggersFired, Stats.TriggersIgnored,
             Stats.SpawnsSucceeded, Stats.SpawnsDropped, Stats.SpecWildLoads,
-            Stats.SpecPrefetches, Stats.ThrottleEvents};
+            Stats.SpecPrefetches, Stats.ThrottleEvents,
+            Stats.StreamActivations, Stats.StreamSteps};
   };
 
   uint64_t DetailCycles = 0;
@@ -1115,6 +1319,7 @@ SimStats Simulator::runSampled() {
     for (Thread &T : Threads)
       if (T.Speculative)
         T.Active = false;
+    ActiveStreams.clear();
     drainPendingFates();
     PrefetchedLines.clear();
     for (auto &[Sid, H] : TriggerStats)
@@ -1137,6 +1342,8 @@ SimStats Simulator::runSampled() {
     Meas.SpecWildLoads += C1.SpecWildLoads - C0.SpecWildLoads;
     Meas.SpecPrefetches += C1.SpecPrefetches - C0.SpecPrefetches;
     Meas.ThrottleEvents += C1.ThrottleEvents - C0.ThrottleEvents;
+    Meas.StreamActivations += C1.StreamActivations - C0.StreamActivations;
+    Meas.StreamSteps += C1.StreamSteps - C0.StreamSteps;
     for (const auto &[Sid, A] : Attrib) {
       PrefetchAttribution &M = MeasAttrib[Sid];
       M.Slice = A.Slice;
@@ -1215,6 +1422,8 @@ SimStats Simulator::runSampled() {
   Stats.SpecWildLoads = Scale(Meas.SpecWildLoads);
   Stats.SpecPrefetches = Scale(Meas.SpecPrefetches);
   Stats.ThrottleEvents = Scale(Meas.ThrottleEvents);
+  Stats.StreamActivations = Scale(Meas.StreamActivations);
+  Stats.StreamSteps = Scale(Meas.StreamSteps);
   Stats.Branches = Scale(DetailBranches);
   Stats.BranchMispredicts = Scale(DetailMispredicts);
 

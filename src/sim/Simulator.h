@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 namespace ssp::obs {
@@ -194,6 +195,12 @@ private:
   /// Prefetch health bookkeeping around one data access.
   void noteDataAccess(unsigned Tid, const InstSlot &S,
                       const cache::AccessResult &R);
+  /// The speculative-touch half of noteDataAccess, shared with the stream
+  /// engine: prefetch-health and attribution bookkeeping for one
+  /// speculative touch of \p Line.
+  void notePrefetchTouch(unsigned Tid, uint64_t Line,
+                         const PrefetchOrigin &O,
+                         const cache::AccessResult &R);
   /// Records one resolved prefetch fate in \p Origin's per-trigger rollup.
   void countFate(const PrefetchOrigin &Origin, PrefetchFate Fate,
                  uint64_t LateCycles = 0);
@@ -278,6 +285,48 @@ private:
 
   /// Event-trace sink; null (the default) disables tracing entirely.
   obs::TraceSink *Trace = nullptr;
+
+  // --- Stream engine (descriptor-executed slices; see ir/Stream.h) ---
+
+  /// A descriptor bound to its stub, resolved at construction.
+  struct StreamInfo {
+    const ir::StreamDescriptor *Desc = nullptr;
+    /// StaticId of the first slice instruction the stub would have
+    /// spawned; tags attribution records like Thread::SliceSid does.
+    ir::StaticId SliceSid = 0;
+  };
+  /// One running activation.
+  struct ActiveStream {
+    const ir::StreamDescriptor *Desc = nullptr;
+    ir::StaticId Trigger = 0; ///< chk.c that activated this stream.
+    ir::StaticId Slice = 0;
+    unsigned Tid = 0;         ///< Triggering thread (trace/cache tagging).
+    uint64_t Addr = 0;        ///< Affine/Indirect: next index address;
+                              ///< Chase: current pointer.
+    uint64_t VBaseVal = 0;    ///< Captured gather base value (Indirect).
+    uint32_t StepsDone = 0;
+    uint32_t Depth = 0;       ///< Steps this activation runs.
+    uint64_t ReadyCycle = 0;  ///< Next step not before this cycle.
+    /// Indirect: gathers whose index load is still in flight, as
+    /// (ready cycle, gather address).
+    std::vector<std::pair<uint64_t, uint64_t>> Pending;
+  };
+
+  /// Fires when a stream-covered chk.c executes (it took the ChkCNop
+  /// path): activates the descriptor, capturing live-ins from \p Tid.
+  void noteStreamTrigger(const StreamInfo &SI, unsigned Tid,
+                         ir::StaticId TriggerSid);
+  /// Advances every active stream by up to StreamIssueWidth steps and
+  /// services due gathers; runs once per simulated cycle.
+  void stepStreams();
+  /// One speculative cache touch on behalf of stream \p AS.
+  void streamTouch(const ActiveStream &AS, uint64_t Addr,
+                   cache::AccessResult *ROut = nullptr);
+
+  /// Stub start address -> descriptor, built at construction (empty
+  /// unless the binary carries descriptors and Cfg.EnableStreamEngine).
+  std::unordered_map<uint32_t, StreamInfo> StreamByStubAddr;
+  std::vector<ActiveStream> ActiveStreams;
 };
 
 } // namespace ssp::sim

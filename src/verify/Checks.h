@@ -23,6 +23,10 @@
 ///                         deepening cross-checked against the emitted
 ///                         plan; trigger-sid records validated so the
 ///                         attribution->slice join is sound
+///   stream.*              attached StreamDescriptors re-derived from the
+///                         emitted slice blocks via the same classifier
+///                         codegen used; wrong-kind / wrong-stride /
+///                         non-covering disagreements are fatal
 ///
 /// The full list with rationale is documented in DESIGN.md under
 /// "Verification architecture".
@@ -84,6 +88,16 @@ std::unique_ptr<VerifyPass> createSpeculationPass();
 /// `feedback.inactive-override` notes. Skips silently when the manifest
 /// records no overrides.
 std::unique_ptr<VerifyPass> createFeedbackPass();
+
+/// Audits every stream descriptor the adaptation attached (manifest
+/// SliceManifest::Stream and the binary's stream directives): the
+/// descriptor is re-derived from the emitted slice blocks through
+/// analysis::classifyStream, and any disagreement — wrong kind, wrong
+/// recurrence, non-covering prefetch set — is a fatal `stream.*` error.
+/// With no manifest, the binary's own directives are still checked (the
+/// stub's spawn target and lib.sti budget staging recover the inputs).
+/// Skips silently when neither records any descriptor.
+std::unique_ptr<VerifyPass> createStreamPass();
 
 } // namespace ssp::verify
 

@@ -23,6 +23,7 @@
 
 #include "analysis/SpecDeps.h"
 #include "ir/Reg.h"
+#include "ir/Stream.h"
 
 #include <cstdint>
 #include <utility>
@@ -75,6 +76,12 @@ struct SliceManifest {
   /// the feedback loop can fold per-trigger fates back onto this slice.
   std::vector<uint64_t> CutTriggerSids;
   std::vector<uint64_t> RestartTriggerSids;
+  /// When the adaptation ran with streams enabled and the slice classified
+  /// as a regular pattern, the descriptor the rewriter attached to the
+  /// binary. The `stream.*` verify pass re-derives it from the emitted
+  /// slice blocks and fails on any disagreement.
+  bool HasStream = false;
+  ir::StreamDescriptor Stream;
 };
 
 /// One ToolOptions::Overrides entry the adaptation ran with, recorded

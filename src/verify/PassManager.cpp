@@ -41,6 +41,7 @@ PassManager PassManager::standardPipeline() {
   PM.add(createLintPass());
   PM.add(createSpeculationPass());
   PM.add(createFeedbackPass());
+  PM.add(createStreamPass());
   return PM;
 }
 

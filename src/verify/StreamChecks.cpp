@@ -1,0 +1,253 @@
+//===- verify/StreamChecks.cpp - Stream-descriptor verification -----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The `stream.*` pass audits every StreamDescriptor an adaptation attached:
+// it rebuilds the classifier input from the *emitted* slice blocks (the
+// header's critical sub-slice, the body's compute and prefetch targets),
+// re-runs analysis::classifyStream, and fails on any disagreement with the
+// attached descriptor — a descriptor that prefetches the wrong stream is
+// strictly worse than the full p-slice it replaced. The manifest's copy and
+// the binary's stream directive are also cross-checked both ways, so a
+// descriptor cannot be silently dropped from (or smuggled into) the binary.
+//
+// Check ids:
+//   stream.wrong-kind        descriptor kind != re-derived kind (fatal)
+//   stream.wrong-stride      recurrence fields disagree (fatal)
+//   stream.non-covering      slice does not classify, or the prefetch
+//                            offsets differ (fatal)
+//   stream.missing-descriptor manifest plans a descriptor the binary lacks
+//   stream.orphan-descriptor  binary carries a descriptor the plan disowns
+//   stream.descriptor         note: one verified descriptor (audit trail)
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Checks.h"
+
+#include "analysis/StreamPatterns.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+
+using namespace ssp;
+using namespace ssp::ir;
+using namespace ssp::verify;
+
+namespace {
+
+std::string describeDescriptor(const StreamDescriptor &D) {
+  std::string S = streamKindName(D.Kind);
+  switch (D.Kind) {
+  case StreamKind::Affine:
+    S += " stride=" + std::to_string(D.Stride);
+    break;
+  case StreamKind::Chase:
+    S += " coff=" + std::to_string(D.ChaseOff);
+    break;
+  case StreamKind::Indirect:
+    S += " stride=" + std::to_string(D.Stride) +
+         " vshift=" + std::to_string(D.ValShift);
+    break;
+  }
+  S += " depth=" + std::to_string(D.Depth) + " pf=" +
+       std::to_string(D.PrefetchOffsets.size());
+  return S;
+}
+
+/// Classifies the difference between two descriptors bound to the same
+/// stub into the check-id taxonomy. Precondition: A != B.
+const char *diffCheckId(const StreamDescriptor &A, const StreamDescriptor &B) {
+  if (A.Kind != B.Kind)
+    return "stream.wrong-kind";
+  if (A.PrefetchOffsets != B.PrefetchOffsets ||
+      A.PrefetchIndex != B.PrefetchIndex ||
+      A.IdxPrefetchOffsets != B.IdxPrefetchOffsets)
+    return "stream.non-covering";
+  return "stream.wrong-stride";
+}
+
+class StreamPass : public VerifyPass {
+public:
+  const char *name() const override { return "stream"; }
+
+  void run(const VerifyContext &Ctx, DiagnosticEngine &DE) override {
+    const Program &P = Ctx.P;
+    if (Ctx.Manifest) {
+      // Binary descriptors the plan does not claim are smuggled code.
+      for (const StreamDescriptor &D : P.streams()) {
+        bool Claimed = false;
+        for (const SliceManifest &SM : Ctx.Manifest->Slices)
+          if (SM.HasStream && SM.Func == D.Func &&
+              SM.StubBlock == D.StubBlock) {
+            Claimed = true;
+            break;
+          }
+        if (!Claimed)
+          DE.errorInBlock("stream.orphan-descriptor", D.Func, D.StubBlock,
+                          "binary carries a " + describeDescriptor(D) +
+                              " stream descriptor the adaptation manifest "
+                              "does not record");
+      }
+      for (const SliceManifest &SM : Ctx.Manifest->Slices) {
+        if (!SM.HasStream)
+          continue;
+        checkDescriptor(P, SM.Stream, SM.HeaderBlock,
+                        clampDepth(SM.TripBudget), /*HaveManifest=*/true,
+                        DE);
+      }
+      return;
+    }
+    // Standalone `ssp-verify prog.ssp`: no plan, but the binary's own
+    // directives are still re-derivable — the header block and the trip
+    // budget are read back from the stub (its spawn target and its
+    // lib.sti staging).
+    for (const StreamDescriptor &D : P.streams())
+      checkFromBinary(P, D, DE);
+  }
+
+private:
+  static uint32_t clampDepth(uint64_t TripBudget) {
+    return static_cast<uint32_t>(
+        TripBudget > UINT32_MAX ? UINT32_MAX : TripBudget);
+  }
+
+  void checkFromBinary(const Program &P, const StreamDescriptor &D,
+                       DiagnosticEngine &DE) {
+    if (D.Func >= P.numFuncs() ||
+        D.StubBlock >= P.func(D.Func).numBlocks()) {
+      DE.errorInProgram("stream.orphan-descriptor",
+                        "stream descriptor names fn" +
+                            std::to_string(D.Func) + ":bb" +
+                            std::to_string(D.StubBlock) +
+                            ", which does not exist");
+      return;
+    }
+    const Function &F = P.func(D.Func);
+    const BasicBlock &Stub = F.block(D.StubBlock);
+    uint32_t Header = 0;
+    bool HaveHeader = false;
+    uint64_t Budget = 0;
+    for (const Instruction &I : Stub.Insts) {
+      if (I.Op == Opcode::Spawn) {
+        Header = I.Target;
+        HaveHeader = true;
+      } else if (I.Op == Opcode::CopyToLIBI) {
+        Budget = static_cast<uint64_t>(I.Imm);
+      }
+    }
+    if (!HaveHeader) {
+      DE.errorInBlock("stream.orphan-descriptor", D.Func, D.StubBlock,
+                      "stream descriptor's stub block contains no spawn");
+      return;
+    }
+    // Condition-gated chains carry no lib.sti trip budget in the stub;
+    // the depth then has no binary-side witness, so the descriptor's own
+    // value is used (kind/stride/offsets are still fully re-derived). The
+    // manifest path cross-checks depth against the planned trip budget.
+    if (Budget == 0)
+      Budget = D.Depth;
+    checkDescriptor(P, D, Header, clampDepth(Budget),
+                    /*HaveManifest=*/false, DE);
+  }
+
+  /// Re-derives the descriptor from the emitted slice at (Desc.Func,
+  /// header block \p Header) and diffs it against \p Desc. When a manifest
+  /// supplied Desc, also diffs the binary's own directive against it.
+  void checkDescriptor(const Program &P, const StreamDescriptor &Desc,
+                       uint32_t Header, uint32_t Depth, bool HaveManifest,
+                       DiagnosticEngine &DE) {
+    if (HaveManifest) {
+      const StreamDescriptor *BinD = nullptr;
+      for (const StreamDescriptor &D : P.streams())
+        if (D.Func == Desc.Func && D.StubBlock == Desc.StubBlock) {
+          BinD = &D;
+          break;
+        }
+      if (!BinD)
+        DE.errorInBlock("stream.missing-descriptor", Desc.Func,
+                        Desc.StubBlock,
+                        "manifest plans a " + describeDescriptor(Desc) +
+                            " stream descriptor but the binary carries "
+                            "none for this stub");
+      else if (*BinD != Desc)
+        DE.errorInBlock(diffCheckId(Desc, *BinD), Desc.Func, Desc.StubBlock,
+                        "binary stream directive (" +
+                            describeDescriptor(*BinD) +
+                            ") disagrees with the manifest descriptor (" +
+                            describeDescriptor(Desc) + ")");
+    }
+
+    const Function &F = P.func(Desc.Func);
+    if (Header + 1 >= F.numBlocks()) {
+      DE.errorInBlock("stream.non-covering", Desc.Func, Desc.StubBlock,
+                      "descriptor's slice header bb" +
+                          std::to_string(Header) +
+                          " has no body block to re-derive from");
+      return;
+    }
+
+    // Rebuild the classifier input exactly as codegen fed it: the header's
+    // instructions between the LIB live-in loads and the chain re-staging
+    // are the critical sub-slice; the body block's non-prefetch compute is
+    // the body; its prefetches are the targets, in emission order.
+    analysis::StreamClassifyInput In;
+    const BasicBlock &Hdr = F.block(Header);
+    size_t Idx = 0;
+    while (Idx < Hdr.Insts.size() &&
+           Hdr.Insts[Idx].Op == Opcode::CopyFromLIB)
+      ++Idx;
+    for (; Idx < Hdr.Insts.size(); ++Idx) {
+      const Instruction &I = Hdr.Insts[Idx];
+      if (I.Op == Opcode::CopyToLIB || I.Op == Opcode::CopyToLIBI ||
+          I.Op == Opcode::Br || I.Op == Opcode::Jmp)
+        break;
+      In.Critical.push_back(I);
+    }
+    const BasicBlock &Body = F.block(Header + 1);
+    for (const Instruction &I : Body.Insts) {
+      if (I.Op == Opcode::Prefetch)
+        In.Targets.push_back({I.Src1, I.Imm});
+      else if (I.Op != Opcode::KillThread && I.Op != Opcode::Jmp &&
+               I.Op != Opcode::Br)
+        In.Body.push_back(I);
+    }
+    In.Depth = Depth;
+
+    std::optional<StreamDescriptor> Rederived = analysis::classifyStream(In);
+    if (!Rederived) {
+      DE.errorInBlock("stream.non-covering", Desc.Func, Desc.StubBlock,
+                      "emitted slice does not re-classify as any stream "
+                      "pattern, but a " +
+                          describeDescriptor(Desc) +
+                          " descriptor is attached",
+                      "the descriptor would prefetch a stream the slice "
+                      "does not compute; fall back to full p-slice replay");
+      return;
+    }
+    Rederived->Func = Desc.Func;
+    Rederived->StubBlock = Desc.StubBlock;
+    if (*Rederived != Desc) {
+      DE.errorInBlock(diffCheckId(*Rederived, Desc), Desc.Func,
+                      Desc.StubBlock,
+                      "attached descriptor (" + describeDescriptor(Desc) +
+                          ") disagrees with the slice's re-derived "
+                          "pattern (" + describeDescriptor(*Rederived) +
+                          ")");
+      return;
+    }
+    DE.report({Severity::Note, "stream.descriptor", LocKind::Block,
+               {Desc.Func, Desc.StubBlock, 0},
+               "verified " + describeDescriptor(Desc) +
+                   " stream descriptor against the emitted slice",
+               ""});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<VerifyPass> ssp::verify::createStreamPass() {
+  return std::make_unique<StreamPass>();
+}

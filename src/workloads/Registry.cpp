@@ -8,3 +8,14 @@ std::vector<Workload> ssp::workloads::paperSuite() {
   return {makeEm3d(),      makeHealth(), makeMst(), makeTreeaddDF(),
           makeTreeaddBF(), makeMcf(),    makeVpr()};
 }
+
+std::vector<Workload> ssp::workloads::streamSuite() {
+  return {makeHashJoin(), makePagerank(), makeOaHash()};
+}
+
+std::vector<Workload> ssp::workloads::fullSuite() {
+  std::vector<Workload> All = paperSuite();
+  std::vector<Workload> S = streamSuite();
+  All.insert(All.end(), S.begin(), S.end());
+  return All;
+}

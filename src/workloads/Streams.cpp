@@ -1,0 +1,289 @@
+//===- workloads/Streams.cpp - Indirect-access stream workloads -----------===//
+//
+// Part of the ssp-postpass project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three indirect-access kernels sized past the 3 MiB L3, exercising the
+/// stream-descriptor path (`ssp-adapt --streams`): a hash-join probe whose
+/// probe keys hash into a 4 MiB build-side entry table, an edge-centric
+/// pagerank step gathering ranks through a CSR column array, and an
+/// open-addressing hash-table sweep probing a four-slot window. All three
+/// have the a[b[i]] shape — an affine, cache-friendly index stream feeding
+/// a dependent scatter-gather over a table larger than the L3 — so the
+/// classifier attaches an Indirect StreamDescriptor, while the delinquent
+/// gathers themselves defeat a plain affine prefetcher. Checksums are
+/// computed analytically by the data-image builders, exactly as the paper
+/// suite does.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+#include <vector>
+
+using namespace ssp;
+using namespace ssp::workloads;
+using namespace ssp::ir;
+
+namespace {
+
+/// Probe/edge counts: enough trips to dominate the run, few enough that
+/// the 4 MiB tables stay cold (nearly every gather is an L3 miss).
+constexpr unsigned NumProbes = 3000;
+
+constexpr uint64_t KeyBase = 0x200000; ///< Probe-key / column arrays.
+
+constexpr uint64_t HashMult = 2654435761u; ///< Knuth multiplicative hash.
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// hashjoin: probe phase of a hash join
+//===----------------------------------------------------------------------===//
+//
+// Build side: 2^18 16-byte entries (4 MiB) at EntBase, slot s holding two
+// payload words. Probe side: NumProbes keys; each probe hashes its key and
+// sums both payload words of the hashed entry. The entry loads (+0, +8)
+// are the delinquent gathers.
+
+namespace {
+constexpr uint64_t JoinEntBase = 0x4000000;
+constexpr unsigned JoinEntries = 1 << 18; // 16 B each: 4 MiB.
+
+uint64_t joinKey(unsigned I) {
+  return (static_cast<uint64_t>(I) * 2654435761u + 12345) & 0xFFFFF;
+}
+uint64_t joinSlot(uint64_t Key) {
+  return (Key * HashMult) & (JoinEntries - 1);
+}
+} // namespace
+
+Workload ssp::workloads::makeHashJoin() {
+  Workload W;
+  W.Name = "hashjoin";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+    B.createFunction("main");
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Loop = B.createBlock("probe");
+    uint32_t Exit = B.createBlock("exit");
+
+    const Reg KPtr = ireg(1), Sum = ireg(2), End = ireg(3), K = ireg(4),
+              H = ireg(5), EA = ireg(6), V0 = ireg(7), V1 = ireg(8),
+              Res = ireg(11);
+    const Reg Cont = preg(1);
+
+    B.setInsertPoint(Entry);
+    B.movI(KPtr, KeyBase);
+    B.movI(Sum, 0);
+    B.movI(End, KeyBase + static_cast<uint64_t>(NumProbes) * 8);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.load(K, KPtr, 0); // Probe key: sequential, cache-friendly.
+    B.mulI(H, K, static_cast<int64_t>(HashMult));
+    B.andI(H, H, JoinEntries - 1);
+    B.shlI(H, H, 4); // 16-byte entries.
+    B.addI(EA, H, static_cast<int64_t>(JoinEntBase));
+    B.load(V0, EA, 0); // Delinquent gather: build-side payload.
+    B.load(V1, EA, 8); // Delinquent gather: second payload word.
+    B.add(Sum, Sum, V0);
+    B.add(Sum, Sum, V1);
+    B.addI(KPtr, KPtr, 8);
+    B.cmp(CondCode::LT, Cont, KPtr, End);
+    B.br(Cont, Loop);
+
+    B.setInsertPoint(Exit);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Sum);
+    B.halt();
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    for (unsigned S = 0; S < JoinEntries; ++S) {
+      uint64_t Addr = JoinEntBase + static_cast<uint64_t>(S) * 16;
+      Mem.write(Addr + 0, static_cast<uint64_t>(S) * 13 + 7);
+      Mem.write(Addr + 8, static_cast<uint64_t>(S) * 31 + 3);
+    }
+    uint64_t Sum = 0;
+    for (unsigned I = 0; I < NumProbes; ++I) {
+      uint64_t Key = joinKey(I);
+      Mem.write(KeyBase + static_cast<uint64_t>(I) * 8, Key);
+      uint64_t S = joinSlot(Key);
+      Sum += S * 13 + 7;
+      Sum += S * 31 + 3;
+    }
+    Mem.write(ResultAddr, 0);
+    return Sum;
+  };
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// pagerank: edge-centric rank gather over CSR
+//===----------------------------------------------------------------------===//
+//
+// One edge-centric step of pagerank: for every edge e, gather the source
+// vertex's rank through the CSR column array, rank[col[e]]. The column
+// array is sequential; the 2^19-entry rank array (4 MiB) is indexed by
+// effectively random vertex ids, so the rank load is the delinquent
+// gather.
+
+namespace {
+constexpr uint64_t RankBase = 0x4800000;
+constexpr unsigned NumVerts = 1 << 19; // 8 B each: 4 MiB.
+
+uint64_t rankOf(uint64_t V) { return V * 7 + 1; }
+} // namespace
+
+Workload ssp::workloads::makePagerank() {
+  Workload W;
+  W.Name = "pagerank";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+    B.createFunction("main");
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Loop = B.createBlock("edges");
+    uint32_t Exit = B.createBlock("exit");
+
+    const Reg CPtr = ireg(1), Sum = ireg(2), End = ireg(3), V = ireg(4),
+              RA = ireg(5), R = ireg(6), Res = ireg(11);
+    const Reg Cont = preg(1);
+
+    B.setInsertPoint(Entry);
+    B.movI(CPtr, KeyBase);
+    B.movI(Sum, 0);
+    B.movI(End, KeyBase + static_cast<uint64_t>(NumProbes) * 8);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.load(V, CPtr, 0); // col[e]: sequential, cache-friendly.
+    B.shlI(RA, V, 3);
+    B.addI(RA, RA, static_cast<int64_t>(RankBase));
+    B.load(R, RA, 0); // rank[col[e]]: the delinquent gather.
+    B.add(Sum, Sum, R);
+    B.addI(CPtr, CPtr, 8);
+    B.cmp(CondCode::LT, Cont, CPtr, End);
+    B.br(Cont, Loop);
+
+    B.setInsertPoint(Exit);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Sum);
+    B.halt();
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    RNG Rng(0x9A6E);
+    for (unsigned V = 0; V < NumVerts; ++V)
+      Mem.write(RankBase + static_cast<uint64_t>(V) * 8, rankOf(V));
+    uint64_t Sum = 0;
+    for (unsigned E = 0; E < NumProbes; ++E) {
+      uint64_t V = Rng.nextBelow(NumVerts);
+      Mem.write(KeyBase + static_cast<uint64_t>(E) * 8, V);
+      Sum += rankOf(V);
+    }
+    Mem.write(ResultAddr, 0);
+    return Sum;
+  };
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// oahash: open-addressing table sweep
+//===----------------------------------------------------------------------===//
+//
+// Probes an open-addressing hash table of 2^18 16-byte slots (4 MiB),
+// summing the keys of the four-slot linear-probe window starting at the
+// hashed slot. The table is tail-padded with three extra slots so the
+// window never wraps — the whole probe is the affine window {0,16,32,48}
+// around one gathered slot address.
+
+namespace {
+constexpr uint64_t OaTabBase = 0x5000000;
+constexpr unsigned OaSlots = 1 << 18; // 16 B each: 4 MiB (+3 pad slots).
+
+uint64_t oaKey(unsigned I) {
+  return (static_cast<uint64_t>(I) * 40503 + 977) & 0x3FFFF;
+}
+uint64_t oaSlot(uint64_t Key) { return (Key * HashMult) & (OaSlots - 1); }
+uint64_t oaSlotKey(uint64_t S) { return S * 11 + 29; }
+} // namespace
+
+Workload ssp::workloads::makeOaHash() {
+  Workload W;
+  W.Name = "oahash";
+
+  W.Build = []() {
+    Program P;
+    IRBuilder B(P);
+    B.createFunction("main");
+    uint32_t Entry = B.createBlock("entry");
+    uint32_t Loop = B.createBlock("sweep");
+    uint32_t Exit = B.createBlock("exit");
+
+    const Reg KPtr = ireg(1), Sum = ireg(2), End = ireg(3), K = ireg(4),
+              H = ireg(5), EA = ireg(6), S0 = ireg(7), S1 = ireg(8),
+              S2 = ireg(9), S3 = ireg(10), Res = ireg(11);
+    const Reg Cont = preg(1);
+
+    B.setInsertPoint(Entry);
+    B.movI(KPtr, KeyBase);
+    B.movI(Sum, 0);
+    B.movI(End, KeyBase + static_cast<uint64_t>(NumProbes) * 8);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.load(K, KPtr, 0); // Probe key: sequential, cache-friendly.
+    B.mulI(H, K, static_cast<int64_t>(HashMult));
+    B.andI(H, H, OaSlots - 1);
+    B.shlI(H, H, 4); // 16-byte slots.
+    B.addI(EA, H, static_cast<int64_t>(OaTabBase));
+    B.load(S0, EA, 0);  // Delinquent gathers: the linear-probe window.
+    B.load(S1, EA, 16);
+    B.load(S2, EA, 32);
+    B.load(S3, EA, 48);
+    B.add(Sum, Sum, S0);
+    B.add(Sum, Sum, S1);
+    B.add(Sum, Sum, S2);
+    B.add(Sum, Sum, S3);
+    B.addI(KPtr, KPtr, 8);
+    B.cmp(CondCode::LT, Cont, KPtr, End);
+    B.br(Cont, Loop);
+
+    B.setInsertPoint(Exit);
+    B.movI(Res, ResultAddr);
+    B.store(Res, 0, Sum);
+    B.halt();
+    P.setEntry(0);
+    return P;
+  };
+
+  W.BuildMemory = [](mem::SimMemory &Mem) {
+    for (unsigned S = 0; S < OaSlots + 3; ++S)
+      Mem.write(OaTabBase + static_cast<uint64_t>(S) * 16, oaSlotKey(S));
+    uint64_t Sum = 0;
+    for (unsigned I = 0; I < NumProbes; ++I) {
+      uint64_t Key = oaKey(I);
+      Mem.write(KeyBase + static_cast<uint64_t>(I) * 8, Key);
+      uint64_t S = oaSlot(Key);
+      for (unsigned P = 0; P < 4; ++P)
+        Sum += oaSlotKey(S + P);
+    }
+    Mem.write(ResultAddr, 0);
+    return Sum;
+  };
+  return W;
+}

@@ -61,6 +61,23 @@ std::vector<Workload> paperSuite();
 Workload makeMcfHandAdapted();
 Workload makeHealthHandAdapted();
 
+/// Indirect-access stream workloads (DESIGN.md "Stream descriptors"):
+/// a[b[i]]-shaped kernels whose affine index stream feeds a dependent
+/// gather over a table sized past the 3 MiB L3 — the patterns
+/// `ssp-adapt --streams` classifies as Indirect descriptors.
+Workload makeHashJoin();  ///< Hash-join probe into a 4 MiB build table.
+Workload makePagerank();  ///< Edge-centric rank gather through CSR col[].
+Workload makeOaHash();    ///< Open-addressing 4-slot linear-probe sweep.
+
+/// The three indirect stream workloads, in reporting order. Kept separate
+/// from paperSuite() (whose membership several tests pin); the benches
+/// append it explicitly.
+std::vector<Workload> streamSuite();
+
+/// paperSuite() followed by streamSuite(): the combined reporting set the
+/// figure and ablation benches iterate.
+std::vector<Workload> fullSuite();
+
 /// A small arc-scan kernel (the paper's Figure 3 example) used by tests
 /// and the quickstart example; \p NumArcs and \p NumNodes scale it.
 Workload makeArcKernel(unsigned NumArcs = 800, unsigned NumNodes = 1 << 16);

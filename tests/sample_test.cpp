@@ -130,6 +130,40 @@ TEST(SamplingPlan, ParseRejectsMalformedPlans) {
   EXPECT_FALSE(sim::parseSamplingPlan("1000:0:3000", P));
 }
 
+// str() elides a zero ramp ("W:D:F") and prints it when nonzero
+// ("W:D:F:R"); both spellings must re-parse to the identical plan, so the
+// canonical text in adaptation records and bench JSON round-trips.
+TEST(SamplingPlan, StrParsesBackToSamePlan) {
+  sim::SamplingPlan P;
+  ASSERT_TRUE(sim::parseSamplingPlan("30000:2000:66000", P));
+  sim::SamplingPlan Q;
+  ASSERT_TRUE(sim::parseSamplingPlan(P.str().c_str(), Q));
+  EXPECT_EQ(Q.WarmupInsts, P.WarmupInsts);
+  EXPECT_EQ(Q.DetailInsts, P.DetailInsts);
+  EXPECT_EQ(Q.FastForwardInsts, P.FastForwardInsts);
+  EXPECT_EQ(Q.RampInsts, P.RampInsts);
+  EXPECT_EQ(Q.str(), P.str());
+
+  ASSERT_TRUE(sim::parseSamplingPlan("30000:2000:66000:2000", P));
+  ASSERT_TRUE(sim::parseSamplingPlan(P.str().c_str(), Q));
+  EXPECT_EQ(Q.WarmupInsts, P.WarmupInsts);
+  EXPECT_EQ(Q.DetailInsts, P.DetailInsts);
+  EXPECT_EQ(Q.FastForwardInsts, P.FastForwardInsts);
+  EXPECT_EQ(Q.RampInsts, P.RampInsts);
+  EXPECT_EQ(Q.str(), P.str());
+}
+
+// The grammar is exactly `W:D:F[:R]`: no trailing colon, no fifth field,
+// no empty fields, no bare separator. (Regression tests for the CLI
+// usage-string fix — the accepted language must match the documented one.)
+TEST(SamplingPlan, GrammarRejectsColonEdgeCases) {
+  sim::SamplingPlan P;
+  EXPECT_FALSE(sim::parseSamplingPlan("1:2:3:", P));
+  EXPECT_FALSE(sim::parseSamplingPlan("1:2:3:4:5", P));
+  EXPECT_FALSE(sim::parseSamplingPlan("1::3", P));
+  EXPECT_FALSE(sim::parseSamplingPlan(":", P));
+}
+
 //===----------------------------------------------------------------------===//
 // 100%-detail bit-identity
 //===----------------------------------------------------------------------===//

@@ -160,10 +160,11 @@ TEST(DiagnosticEngine, RenderJSONEscapesAndCounts) {
 TEST(PassManagerTest, StandardPipelineHasExpectedOrder) {
   verify::PassManager PM = verify::PassManager::standardPipeline();
   std::vector<std::string> Names = PM.passNames();
-  ASSERT_EQ(Names.size(), 7u);
+  ASSERT_EQ(Names.size(), 8u);
   EXPECT_EQ(Names.front(), "structural");
   EXPECT_EQ(Names[5], "speculation");
-  EXPECT_EQ(Names.back(), "feedback");
+  EXPECT_EQ(Names[6], "feedback");
+  EXPECT_EQ(Names.back(), "stream");
 }
 
 //===----------------------------------------------------------------------===//

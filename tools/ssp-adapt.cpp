@@ -47,10 +47,17 @@
 //                                        --feedback=0 (and omitting the
 //                                        flag) is bit-identical to the
 //                                        ordinary pipeline.
-//   ssp-adapt input.ssp --feedback --sample[=W:D:F]
+//   ssp-adapt input.ssp --feedback --sample[=W:D:F[:R]]
 //                                        run the per-round simulations under
 //                                        the two-level sampling plan instead
 //                                        of in full detail
+//   ssp-adapt input.ssp --streams        classify chained slices as stream
+//                                        descriptors (affine / pointer-chase
+//                                        / indirect) executed directly by
+//                                        the simulator's stream engine;
+//                                        irregular slices keep full p-slice
+//                                        replay. Omitting the flag is
+//                                        bit-identical to older builds.
 //
 // The adapted binary is verified (see src/verify/) before the tool
 // returns: verification errors print to stderr and exit non-zero.
@@ -82,11 +89,11 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp> [--emit] [--run] [--no-chaining] "
-               "[--jobs N] [--spec-deps[=T]] [--throttle] [--verbose] "
-               "[--Werror] [--metrics <out.json>] "
+               "[--jobs N] [--spec-deps[=T]] [--streams] [--throttle] "
+               "[--verbose] [--Werror] [--metrics <out.json>] "
                "[--profile <in.sspprof>] "
                "[--emit-profile <out.sspprof>] "
-               "[--feedback[=N]] [--sample[=W:D:F]]\n",
+               "[--feedback[=N]] [--sample[=W:D:F[:R]]]\n",
                Argv0);
   return 1;
 }
@@ -143,6 +150,7 @@ int main(int argc, char **argv) {
                 Opts.SpecDepThreshold = D;
                 return true;
               })
+      .flag("--streams", Opts.EnableStreams)
       .flag("--metrics", MetricsPath)
       .flag("--profile", ProfilePath)
       .flag("--emit-profile", EmitProfilePath)

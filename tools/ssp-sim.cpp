@@ -17,7 +17,7 @@
 //   ssp-sim a.ssp b.ssp --jobs N      simulation parallelism (default and
 //                                     the explicit spelling --jobs 0:
 //                                     hardware concurrency)
-//   ssp-sim prog.ssp --sample[=W:D:F] two-level sampled simulation
+//   ssp-sim prog.ssp --sample[=W:D:F[:R]] two-level sampled simulation
 //                                     (warmup:detail:fastforward interval
 //                                     lengths in main-thread instructions;
 //                                     bare --sample uses the default plan)
@@ -64,7 +64,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <input.ssp>... [--ooo] [--contexts N] [--memlat N] "
                "[--icount] [--throttle] [--no-skip] [--jobs N] "
-               "[--sample[=W:D:F]] [--report=attrib] "
+               "[--sample[=W:D:F[:R]]] [--report=attrib] "
                "[--emit-attrib <out.sspprof>] [--trace <out.json>]\n",
                Argv0);
   return 1;
